@@ -1,0 +1,118 @@
+//! Exclusive Lowest Common Ancestor (ELCA) semantics — the answer model
+//! of XRank (Guo et al., SIGMOD 2003; the paper's reference \[7\]).
+//!
+//! A node `v` is an ELCA if, after *excluding* the subtrees of those
+//! children of `v` that already contain all keywords on their own, the
+//! remainder of `v`'s subtree still contains every keyword. Every SLCA is
+//! an ELCA; ELCA additionally keeps ancestors that own "exclusive"
+//! witnesses.
+
+use crate::slca::subtree_masks;
+use xfrag_doc::{Document, InvertedIndex, NodeId};
+
+/// All ELCA nodes for the given terms, in document order.
+pub fn elca(doc: &Document, index: &InvertedIndex, terms: &[String]) -> Vec<NodeId> {
+    if terms.is_empty() {
+        return Vec::new();
+    }
+    let full: u64 = if terms.len() == 64 {
+        u64::MAX
+    } else {
+        (1 << terms.len()) - 1
+    };
+    let (own, sub) = subtree_masks(doc, index, terms);
+    if sub[0] != full {
+        return Vec::new();
+    }
+    doc.node_ids()
+        .filter(|&v| {
+            if sub[v.index()] != full {
+                return false;
+            }
+            let mut exclusive = own[v.index()];
+            for &c in doc.children(v) {
+                if sub[c.index()] != full {
+                    exclusive |= sub[c.index()];
+                }
+            }
+            exclusive == full
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slca::slca;
+    use xfrag_doc::DocumentBuilder;
+
+    fn terms(ts: &[&str]) -> Vec<String> {
+        ts.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// r(0) -> s(1) -> p(2){k1}, q(3){k2} ; r -> t(4){k1}, u(5){k2}
+    ///
+    /// s is an SLCA (hence ELCA). r has its own exclusive witnesses t, u
+    /// outside the full child s → r is an ELCA too, but not an SLCA.
+    fn doc() -> Document {
+        let mut b = DocumentBuilder::new();
+        b.begin("r");
+        b.begin("s");
+        b.leaf("p", "k1");
+        b.leaf("q", "k2");
+        b.end();
+        b.leaf("t", "k1");
+        b.leaf("u", "k2");
+        b.end();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn elca_strictly_contains_slca() {
+        let d = doc();
+        let idx = InvertedIndex::build(&d);
+        let ts = terms(&["k1", "k2"]);
+        let s = slca(&d, &idx, &ts);
+        let e = elca(&d, &idx, &ts);
+        assert_eq!(s, vec![NodeId(1)]);
+        assert_eq!(e, vec![NodeId(0), NodeId(1)]);
+        for v in &s {
+            assert!(e.contains(v), "every SLCA is an ELCA");
+        }
+    }
+
+    #[test]
+    fn ancestor_without_exclusive_witness_is_not_elca() {
+        // r(0) -> s(1) -> p(2){k1}, q(3){k2}: r's only witnesses live in
+        // the full child s → r is not an ELCA.
+        let mut b = DocumentBuilder::new();
+        b.begin("r");
+        b.begin("s");
+        b.leaf("p", "k1");
+        b.leaf("q", "k2");
+        b.end();
+        b.end();
+        let d = b.finish().unwrap();
+        let idx = InvertedIndex::build(&d);
+        assert_eq!(elca(&d, &idx, &terms(&["k1", "k2"])), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn missing_keyword_empties() {
+        let d = doc();
+        let idx = InvertedIndex::build(&d);
+        assert!(elca(&d, &idx, &terms(&["k1", "zzz"])).is_empty());
+        assert!(elca(&d, &idx, &[]).is_empty());
+    }
+
+    #[test]
+    fn single_term_elcas() {
+        let d = doc();
+        let idx = InvertedIndex::build(&d);
+        // k1 at p(2) and t(4): both are ELCAs; ancestors hold no exclusive
+        // occurrence of k1 outside a full child... r has t outside the full
+        // child s? For m=1 every occurrence-subtree is "full", so r's
+        // exclusive mask is empty → not an ELCA.
+        assert_eq!(elca(&d, &idx, &terms(&["k1"])), vec![NodeId(2), NodeId(4)]);
+    }
+}

@@ -1,0 +1,121 @@
+//! The "smallest subtree containing all the keywords" semantics — the
+//! strawman the paper's introduction argues against.
+//!
+//! "It is often argued that given a set of keywords as a query against an
+//! XML tree, the smallest subtree containing all the keywords is enough to
+//! answer this query" (§1). We return *every* size-minimal such subtree
+//! root (ties are possible), so the effectiveness comparison can be fair
+//! to the baseline.
+
+use crate::slca::subtree_masks;
+use xfrag_core::Fragment;
+use xfrag_doc::{Document, InvertedIndex, NodeId};
+
+/// Roots of the minimal-size subtrees containing all keywords, in
+/// document order. Empty if some keyword is absent or `terms` is empty.
+pub fn smallest_subtree(doc: &Document, index: &InvertedIndex, terms: &[String]) -> Vec<NodeId> {
+    if terms.is_empty() {
+        return Vec::new();
+    }
+    let full: u64 = if terms.len() == 64 {
+        u64::MAX
+    } else {
+        (1 << terms.len()) - 1
+    };
+    let (_, sub) = subtree_masks(doc, index, terms);
+    if sub[0] != full {
+        return Vec::new();
+    }
+    let best = doc
+        .node_ids()
+        .filter(|&v| sub[v.index()] == full)
+        .map(|v| doc.subtree_size(v))
+        .min()
+        .expect("root qualifies");
+    doc.node_ids()
+        .filter(|&v| sub[v.index()] == full && doc.subtree_size(v) == best)
+        .collect()
+}
+
+/// The smallest-subtree answers as whole-subtree fragments.
+pub fn subtree_answers_as_fragments(
+    doc: &Document,
+    index: &InvertedIndex,
+    terms: &[String],
+) -> Vec<Fragment> {
+    smallest_subtree(doc, index, terms)
+        .into_iter()
+        .map(|r| Fragment::subtree(doc, r))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xfrag_doc::DocumentBuilder;
+
+    fn terms(ts: &[&str]) -> Vec<String> {
+        ts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn picks_minimal_subtree() {
+        // r(0) -> s(1) -> p(2){k1 k2}; r -> t(3){k1}
+        let mut b = DocumentBuilder::new();
+        b.begin("r");
+        b.begin("s");
+        b.leaf("p", "k1 k2");
+        b.end();
+        b.leaf("t", "k1");
+        b.end();
+        let d = b.finish().unwrap();
+        let idx = InvertedIndex::build(&d);
+        assert_eq!(
+            smallest_subtree(&d, &idx, &terms(&["k1", "k2"])),
+            vec![NodeId(2)]
+        );
+    }
+
+    #[test]
+    fn ties_are_all_reported() {
+        let mut b = DocumentBuilder::new();
+        b.begin("r");
+        b.leaf("p", "k1 k2");
+        b.leaf("q", "k1 k2");
+        b.end();
+        let d = b.finish().unwrap();
+        let idx = InvertedIndex::build(&d);
+        assert_eq!(
+            smallest_subtree(&d, &idx, &terms(&["k1", "k2"])),
+            vec![NodeId(1), NodeId(2)]
+        );
+    }
+
+    #[test]
+    fn fragments_are_whole_subtrees() {
+        let mut b = DocumentBuilder::new();
+        b.begin("r");
+        b.begin("s");
+        b.leaf("p", "k1");
+        b.leaf("q", "k2");
+        b.end();
+        b.end();
+        let d = b.finish().unwrap();
+        let idx = InvertedIndex::build(&d);
+        let frags = subtree_answers_as_fragments(&d, &idx, &terms(&["k1", "k2"]));
+        assert_eq!(frags.len(), 1);
+        assert_eq!(frags[0].nodes().len(), 3); // s with both leaves
+    }
+
+    #[test]
+    fn absent_keyword_empties() {
+        let mut b = DocumentBuilder::new();
+        b.begin("r");
+        b.leaf("p", "k1");
+        b.end();
+        let d = b.finish().unwrap();
+        let idx = InvertedIndex::build(&d);
+        assert!(smallest_subtree(&d, &idx, &terms(&["k1", "nope"])).is_empty());
+        assert!(smallest_subtree(&d, &idx, &[]).is_empty());
+    }
+}

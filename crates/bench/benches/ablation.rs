@@ -1,0 +1,101 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **A1 — n-ary join kernel**: binary fold vs single-pass Steiner span
+//!   (`fragment_join_all` vs `fragment_join_many`);
+//! * **A2 — relational path encoding**: ancestor closure table (join +
+//!   aggregate) vs parent-edge walking (indexed point probes);
+//! * **A3 — filtered fixed point**: filter inside every round (push-down)
+//!   vs compute-then-filter, at a fixed β.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xfrag_bench::query_fixture;
+use xfrag_core::{
+    evaluate, fragment_join_all, fragment_join_many, EvalStats, FilterExpr, Fragment, Query,
+    Strategy,
+};
+use xfrag_corpus::docgen::{generate, DocGenConfig};
+use xfrag_doc::NodeId;
+use xfrag_rel::{edge, encode_document};
+
+fn bench_nary_join(c: &mut Criterion) {
+    let doc = generate(&DocGenConfig::default().with_approx_nodes(10_000));
+    let n = doc.len() as u32;
+    let mut group = c.benchmark_group("ablation/nary-join");
+    for k in [3usize, 8, 16] {
+        let frags: Vec<Fragment> = (0..k)
+            .map(|i| Fragment::node(NodeId((i as u32 * (n / k as u32 + 1) + 1) % n)))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("fold", k), &frags, |b, fs| {
+            b.iter(|| {
+                let mut st = EvalStats::new();
+                black_box(fragment_join_all(&doc, black_box(fs.iter()), &mut st))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("steiner", k), &frags, |b, fs| {
+            b.iter(|| {
+                let mut st = EvalStats::new();
+                black_box(fragment_join_many(&doc, black_box(fs.iter()), &mut st))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_path_encoding(c: &mut Criterion) {
+    let doc = generate(&DocGenConfig::default().with_approx_nodes(3_000));
+    let db = encode_document(&doc);
+    let n = doc.len() as u32;
+    let pairs: Vec<(u32, u32)> = (0..32)
+        .map(|i| ((i * 97 + 1) % n, (i * 211 + 7) % n))
+        .collect();
+    let mut group = c.benchmark_group("ablation/path-encoding");
+    group.sample_size(10);
+    group.bench_function("closure-table", |b| {
+        b.iter(|| {
+            for &(a, z) in &pairs {
+                black_box(xfrag_rel::algebra::path_nodes(&db, a, z));
+            }
+        })
+    });
+    group.bench_function("edge-walking", |b| {
+        b.iter(|| {
+            for &(a, z) in &pairs {
+                black_box(edge::path_edges(&db, a, z));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_filter_placement(c: &mut Criterion) {
+    let fx = query_fixture(3_000, 6, 6, 13);
+    let mut group = c.benchmark_group("ablation/filter-placement");
+    group.sample_size(10);
+    let query = Query::new(
+        [fx.term1.clone(), fx.term2.clone()],
+        FilterExpr::MaxSize(4),
+    );
+    group.bench_function("inside-rounds", |b| {
+        b.iter(|| {
+            black_box(evaluate(&fx.doc, &fx.index, black_box(&query), Strategy::PushDown).unwrap())
+        })
+    });
+    group.bench_function("compute-then-filter", |b| {
+        b.iter(|| {
+            black_box(
+                evaluate(&fx.doc, &fx.index, black_box(&query), Strategy::FixedPointNaive)
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_nary_join,
+    bench_path_encoding,
+    bench_filter_placement
+);
+criterion_main!(benches);

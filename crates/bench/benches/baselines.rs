@@ -1,0 +1,45 @@
+//! Experiment P4 (efficiency side): what the extra effectiveness costs.
+//! SLCA / ELCA / smallest-subtree answer in one mask pass; the algebra
+//! computes a whole answer *set*. This bench quantifies the
+//! effectiveness–efficiency trade-off the paper's §6 concedes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xfrag_baseline::{elca, slca, smallest_subtree};
+use xfrag_bench::query_fixture;
+use xfrag_core::{evaluate, FilterExpr, Query, Strategy};
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    for nodes in [1_000usize, 8_000] {
+        let fx = query_fixture(nodes, 5, 5, 3);
+        let terms = vec![fx.term1.clone(), fx.term2.clone()];
+        group.bench_with_input(BenchmarkId::new("slca", nodes), &terms, |b, ts| {
+            b.iter(|| black_box(slca(&fx.doc, &fx.index, black_box(ts))))
+        });
+        group.bench_with_input(BenchmarkId::new("elca", nodes), &terms, |b, ts| {
+            b.iter(|| black_box(elca(&fx.doc, &fx.index, black_box(ts))))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("smallest-subtree", nodes),
+            &terms,
+            |b, ts| b.iter(|| black_box(smallest_subtree(&fx.doc, &fx.index, black_box(ts)))),
+        );
+        let query = Query::new(
+            [fx.term1.clone(), fx.term2.clone()],
+            FilterExpr::MaxSize(6),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("xfrag-pushdown", nodes),
+            &query,
+            |b, q| {
+                b.iter(|| black_box(evaluate(&fx.doc, &fx.index, black_box(q), Strategy::PushDown)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

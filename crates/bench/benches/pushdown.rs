@@ -1,0 +1,67 @@
+//! Experiment P2 (§4.3 / Figure 5): the value of pushing anti-monotonic
+//! selections below the joins — same answer, less work — swept over the
+//! filter bound β and the document size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xfrag_bench::query_fixture;
+use xfrag_core::{evaluate, FilterExpr, Query, Strategy};
+
+/// Sweep β at fixed selectivity: small β prunes aggressively, large β
+/// converges to the unfiltered fixed-point cost.
+fn bench_beta_sweep(c: &mut Criterion) {
+    let fx = query_fixture(3_000, 6, 6, 7);
+    let mut group = c.benchmark_group("pushdown/beta");
+    group.sample_size(10);
+    for beta in [2u32, 4, 8, 16, 64] {
+        let query = Query::new(
+            [fx.term1.clone(), fx.term2.clone()],
+            FilterExpr::MaxSize(beta),
+        );
+        for strategy in [Strategy::FixedPointNaive, Strategy::PushDown] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), beta),
+                &beta,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(
+                            evaluate(&fx.doc, &fx.index, black_box(&query), strategy).unwrap(),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Sweep the document size at fixed β and selectivity: pruned join work
+/// grows with the tree (paths get longer), so the push-down gap widens.
+fn bench_docsize_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pushdown/docsize");
+    group.sample_size(10);
+    for nodes in [500usize, 2_000, 8_000] {
+        let fx = query_fixture(nodes, 6, 6, 11);
+        let query = Query::new(
+            [fx.term1.clone(), fx.term2.clone()],
+            FilterExpr::MaxSize(4),
+        );
+        for strategy in [Strategy::FixedPointNaive, Strategy::PushDown] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), nodes),
+                &nodes,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(
+                            evaluate(&fx.doc, &fx.index, black_box(&query), strategy).unwrap(),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_beta_sweep, bench_docsize_sweep);
+criterion_main!(benches);

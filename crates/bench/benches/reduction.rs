@@ -1,0 +1,71 @@
+//! Experiment P3 (§5): when does fragment set reduce (`⊖`) pay off?
+//! Fixed-point computation over sets with a *constructed* reduction
+//! factor RF ∈ {0, 0.3, 0.6, 0.9}: naive iteration-with-checking vs the
+//! Theorem 1 reduce-then-iterate evaluation. The crossover calibrates the
+//! cost model's `v` threshold.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xfrag_core::{fixed_point_naive, fixed_point_reduced, EvalStats, FragmentSet};
+use xfrag_corpus::rfset;
+
+fn bench_rf_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction/rf");
+    group.sample_size(10);
+    for rf10 in [0u32, 3, 6, 9] {
+        let target_rf = rf10 as f64 / 10.0;
+        // k = n·(1−RF) independent chains give a ~2^k-span fixed point;
+        // n = 12 keeps the worst case (RF = 0) at 4096 fragments.
+        let set = rfset::with_rf(12, target_rf);
+        let f = FragmentSet::of_nodes(set.members.iter().copied());
+        group.bench_with_input(
+            BenchmarkId::new("naive", format!("rf{:.1}", set.rf)),
+            &f,
+            |b, f| {
+                b.iter(|| {
+                    let mut st = EvalStats::new();
+                    black_box(fixed_point_naive(&set.doc, black_box(f), &mut st))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reduced", format!("rf{:.1}", set.rf)),
+            &f,
+            |b, f| {
+                b.iter(|| {
+                    let mut st = EvalStats::new();
+                    black_box(fixed_point_reduced(&set.doc, black_box(f), &mut st))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Scaling the set size at a favourable RF: the reduce pass is O(n³) in
+/// joins, the saved checking is per-iteration — larger sets stress the
+/// trade both ways.
+fn bench_set_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction/size");
+    group.sample_size(10);
+    for n in [8usize, 12, 16] {
+        let set = rfset::with_rf(n, 0.6);
+        let f = FragmentSet::of_nodes(set.members.iter().copied());
+        group.bench_with_input(BenchmarkId::new("naive", n), &f, |b, f| {
+            b.iter(|| {
+                let mut st = EvalStats::new();
+                black_box(fixed_point_naive(&set.doc, black_box(f), &mut st))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("reduced", n), &f, |b, f| {
+            b.iter(|| {
+                let mut st = EvalStats::new();
+                black_box(fixed_point_reduced(&set.doc, black_box(f), &mut st))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rf_sweep, bench_set_size);
+criterion_main!(benches);

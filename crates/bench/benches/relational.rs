@@ -1,0 +1,38 @@
+//! Experiment P5 (§7): the relational implementation's overhead relative
+//! to the native engine — encoding cost and per-query cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xfrag_bench::query_fixture;
+use xfrag_core::{evaluate, FilterExpr, Query, Strategy};
+use xfrag_rel::{encode_document, evaluate_relational};
+
+fn bench_relational(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relational");
+    group.sample_size(10);
+    for nodes in [500usize, 2_000] {
+        let fx = query_fixture(nodes, 4, 4, 17);
+        let db = encode_document(&fx.doc);
+        let query = Query::new(
+            [fx.term1.clone(), fx.term2.clone()],
+            FilterExpr::MaxSize(6),
+        );
+        group.bench_with_input(BenchmarkId::new("native", nodes), &query, |b, q| {
+            b.iter(|| {
+                black_box(
+                    evaluate(&fx.doc, &fx.index, black_box(q), Strategy::PushDown).unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("relational", nodes), &query, |b, q| {
+            b.iter(|| black_box(evaluate_relational(&db, &fx.doc, black_box(q)).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("encode", nodes), &fx.doc, |b, d| {
+            b.iter(|| black_box(encode_document(black_box(d))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_relational);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Experiment P1 (§4.1): "use of brute force strategy will make little
+//! sense in practical applications" — wall-clock of each strategy as the
+//! operand selectivities |F1| = |F2| grow. Brute force is exponential in
+//! the selectivity; the fixed-point strategies are polynomial for these
+//! shapes; push-down stays cheapest.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xfrag_bench::query_fixture;
+use xfrag_core::{evaluate, FilterExpr, Query, Strategy};
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategies");
+    group.sample_size(10);
+    for df in [2usize, 4, 6, 8] {
+        let fx = query_fixture(2_000, df, df, 99);
+        let query = Query::new(
+            [fx.term1.clone(), fx.term2.clone()],
+            FilterExpr::MaxSize(12),
+        );
+        for strategy in Strategy::ALL {
+            // Brute force enumerates 2^df subsets per side — cap it where
+            // a single iteration would take seconds (the P1 point stands
+            // from the df ≤ 6 curve already).
+            if strategy == Strategy::BruteForce && df > 6 {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), df),
+                &df,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(
+                            evaluate(&fx.doc, &fx.index, black_box(&query), strategy).unwrap(),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

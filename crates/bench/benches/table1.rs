@@ -1,0 +1,31 @@
+//! Experiment T1 (Table 1 / §4): the paper's worked example — query
+//! {XQuery, optimization}, filter `size ≤ 3`, Figure 1 document — timed
+//! under each of the four evaluation strategies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xfrag_core::{evaluate, FilterExpr, Query, Strategy};
+use xfrag_corpus::figure1;
+use xfrag_doc::InvertedIndex;
+
+fn bench_table1(c: &mut Criterion) {
+    let fig = figure1();
+    let doc = fig.doc;
+    let index = InvertedIndex::build(&doc);
+    let query = Query::new(["xquery", "optimization"], FilterExpr::MaxSize(3));
+
+    let mut group = c.benchmark_group("table1");
+    for strategy in Strategy::ALL {
+        group.bench_function(strategy.name(), |b| {
+            b.iter(|| {
+                let r = evaluate(&doc, &index, black_box(&query), strategy).unwrap();
+                assert_eq!(r.fragments.len(), 4);
+                black_box(r)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

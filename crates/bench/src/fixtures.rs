@@ -1,0 +1,67 @@
+//! Shared benchmark fixtures: documents, indexes and operand sets sized
+//! by a single scale parameter, so every bench and experiment pulls
+//! inputs from one place.
+
+use xfrag_core::FragmentSet;
+use xfrag_corpus::docgen::{generate, DocGenConfig};
+use xfrag_doc::{Document, InvertedIndex};
+
+/// A document + index + two planted query terms with known selectivity.
+pub struct QueryFixture {
+    /// The generated document.
+    pub doc: Document,
+    /// Its inverted index.
+    pub index: InvertedIndex,
+    /// First planted term.
+    pub term1: String,
+    /// Second planted term.
+    pub term2: String,
+}
+
+/// Build a fixture with ~`nodes` nodes and the two terms planted `df1`
+/// and `df2` times. One occurrence of each term is planted into an
+/// adjacent sibling-paragraph pair, so small, filter-passing answer
+/// fragments always exist (the realistic shape: a relevant passage plus
+/// scattered stray occurrences).
+pub fn query_fixture(nodes: usize, df1: usize, df2: usize, seed: u64) -> QueryFixture {
+    let near = usize::from(df1 >= 1 && df2 >= 1);
+    let cfg = DocGenConfig {
+        seed,
+        ..DocGenConfig::default()
+    }
+    .with_approx_nodes(nodes)
+    .plant_near("kwalpha", "kwbeta", near)
+    .plant("kwalpha", df1 - near)
+    .plant("kwbeta", df2 - near);
+    let doc = generate(&cfg);
+    let index = InvertedIndex::build(&doc);
+    QueryFixture {
+        doc,
+        index,
+        term1: "kwalpha".into(),
+        term2: "kwbeta".into(),
+    }
+}
+
+/// The operand sets `F1`, `F2` of a fixture, as singleton fragment sets.
+pub fn operand_sets(fx: &QueryFixture) -> (FragmentSet, FragmentSet) {
+    (
+        FragmentSet::of_nodes(fx.index.lookup(&fx.term1).iter().copied()),
+        FragmentSet::of_nodes(fx.index.lookup(&fx.term2).iter().copied()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_has_requested_selectivities() {
+        let fx = query_fixture(1_000, 4, 7, 42);
+        assert_eq!(fx.index.df(&fx.term1), 4);
+        assert_eq!(fx.index.df(&fx.term2), 7);
+        let (f1, f2) = operand_sets(&fx);
+        assert_eq!(f1.len(), 4);
+        assert_eq!(f2.len(), 7);
+    }
+}

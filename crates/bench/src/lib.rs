@@ -1,0 +1,10 @@
+//! # xfrag-bench — measurement harness
+//!
+//! Shared fixtures and table-formatting helpers used by both the
+//! Criterion benches (`benches/`) and the `experiments` binary that
+//! regenerates the paper's tables (see EXPERIMENTS.md).
+
+pub mod fixtures;
+pub mod table;
+
+pub use fixtures::*;

@@ -1,0 +1,263 @@
+//! Hand-rolled argument parsing (the workspace deliberately keeps its
+//! dependency set minimal; a CLI parser crate is not on the list).
+
+use xfrag_core::{FilterExpr, Strategy};
+
+/// Usage text shown on parse errors.
+pub const USAGE: &str = "\
+usage:
+  xfrag search <file.xml|file.xfrg> <keyword>... [options]
+  xfrag msearch <dir> <keyword>... [options]     (searches every .xml/.xfrg in dir)
+  xfrag explain <file.xml|file.xfrg> <keyword>... [options]
+  xfrag compile <in.xml> <out.xfrg>              (pre-parse to binary form)
+  xfrag info <file.xml|file.xfrg>
+  xfrag demo
+
+options:
+  --size N        keep fragments with at most N nodes (anti-monotonic)
+  --height N      keep fragments of height at most N (anti-monotonic)
+  --width N       keep fragments of document-order span at most N
+  --min-size N    keep fragments with at least N nodes (not anti-monotonic)
+  --strategy S    brute | naive | reduced | pushdown   (default: pushdown)
+  --strict        require every keyword at a fragment leaf (Definition 8)
+  --maximal       hide overlapping sub-fragments (show maximal answers only)
+  --ids           print node-id lists instead of XML
+  --stats         print evaluation statistics
+";
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run a query and print answers.
+    Search(SearchArgs),
+    /// Run a query over every document in a directory.
+    MultiSearch(SearchArgs),
+    /// Pre-parse an XML file into the XFRG binary format.
+    Compile {
+        /// Source XML path.
+        input: String,
+        /// Destination .xfrg path.
+        output: String,
+    },
+    /// Print the optimizer trace (Figure 5-style evaluation trees).
+    Explain(SearchArgs),
+    /// Print document statistics.
+    Info {
+        /// Path to the XML file.
+        file: String,
+    },
+    /// Run the paper's §4 example on the built-in Figure 1 document.
+    Demo,
+}
+
+/// Arguments shared by `search` and `explain`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchArgs {
+    /// Path to the XML file.
+    pub file: String,
+    /// Raw query keywords.
+    pub keywords: Vec<String>,
+    /// The assembled selection predicate.
+    pub filter: FilterExpr,
+    /// Evaluation strategy.
+    pub strategy: Strategy,
+    /// Definition 8 strict leaf semantics.
+    pub strict: bool,
+    /// Present maximal answers only.
+    pub maximal: bool,
+    /// Print node ids instead of XML.
+    pub ids: bool,
+    /// Print stats after results.
+    pub stats: bool,
+}
+
+fn parse_u32(flag: &str, v: Option<&String>) -> Result<u32, String> {
+    let v = v.ok_or_else(|| format!("{flag} needs a value"))?;
+    v.parse::<u32>()
+        .map_err(|_| format!("{flag} needs a non-negative integer, got {v:?}"))
+}
+
+/// Parse argv (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let mut it = argv.iter();
+    let sub = it.next().ok_or("missing subcommand")?;
+    match sub.as_str() {
+        "demo" => Ok(Command::Demo),
+        "info" => {
+            let file = it.next().ok_or("info needs a file")?.clone();
+            if let Some(extra) = it.next() {
+                return Err(format!("unexpected argument {extra:?}"));
+            }
+            Ok(Command::Info { file })
+        }
+        "search" | "explain" | "msearch" => {
+            let rest: Vec<String> = it.cloned().collect();
+            let args = parse_search(&rest)?;
+            match sub.as_str() {
+                "search" => Ok(Command::Search(args)),
+                "msearch" => Ok(Command::MultiSearch(args)),
+                _ => Ok(Command::Explain(args)),
+            }
+        }
+        "compile" => {
+            let input = it.next().ok_or("compile needs an input file")?.clone();
+            let output = it.next().ok_or("compile needs an output file")?.clone();
+            if let Some(extra) = it.next() {
+                return Err(format!("unexpected argument {extra:?}"));
+            }
+            Ok(Command::Compile { input, output })
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn parse_search(rest: &[String]) -> Result<SearchArgs, String> {
+    let mut file = None;
+    let mut keywords = Vec::new();
+    let mut filters = Vec::new();
+    let mut strategy = Strategy::PushDown;
+    let mut strict = false;
+    let mut maximal = false;
+    let mut ids = false;
+    let mut stats = false;
+
+    let mut i = 0;
+    while i < rest.len() {
+        let arg = &rest[i];
+        match arg.as_str() {
+            "--size" => {
+                filters.push(FilterExpr::MaxSize(parse_u32("--size", rest.get(i + 1))?));
+                i += 1;
+            }
+            "--height" => {
+                filters.push(FilterExpr::MaxHeight(parse_u32("--height", rest.get(i + 1))?));
+                i += 1;
+            }
+            "--width" => {
+                filters.push(FilterExpr::MaxWidth(parse_u32("--width", rest.get(i + 1))?));
+                i += 1;
+            }
+            "--min-size" => {
+                filters.push(FilterExpr::MinSize(parse_u32("--min-size", rest.get(i + 1))?));
+                i += 1;
+            }
+            "--strategy" => {
+                let v = rest.get(i + 1).ok_or("--strategy needs a value")?;
+                strategy = v.parse::<Strategy>()?;
+                i += 1;
+            }
+            "--strict" => strict = true,
+            "--maximal" => maximal = true,
+            "--ids" => ids = true,
+            "--stats" => stats = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
+            _ => {
+                if file.is_none() {
+                    file = Some(arg.clone());
+                } else {
+                    keywords.push(arg.clone());
+                }
+            }
+        }
+        i += 1;
+    }
+
+    let file = file.ok_or("missing input file")?;
+    if keywords.is_empty() {
+        return Err("missing query keywords".into());
+    }
+    Ok(SearchArgs {
+        file,
+        keywords,
+        filter: FilterExpr::and(filters),
+        strategy,
+        strict,
+        maximal,
+        ids,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_search_with_filters() {
+        let cmd = parse(&argv("search doc.xml xquery optimization --size 3 --stats")).unwrap();
+        match cmd {
+            Command::Search(a) => {
+                assert_eq!(a.file, "doc.xml");
+                assert_eq!(a.keywords, vec!["xquery", "optimization"]);
+                assert_eq!(a.filter, FilterExpr::MaxSize(3));
+                assert_eq!(a.strategy, Strategy::PushDown);
+                assert!(a.stats);
+                assert!(!a.strict);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_multiple_filters_conjoin() {
+        let cmd = parse(&argv("search d.xml k --size 3 --height 2")).unwrap();
+        match cmd {
+            Command::Search(a) => {
+                assert_eq!(
+                    a.filter,
+                    FilterExpr::And(vec![FilterExpr::MaxSize(3), FilterExpr::MaxHeight(2)])
+                );
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn parse_strategy_aliases() {
+        for (alias, expect) in [
+            ("brute", Strategy::BruteForce),
+            ("naive", Strategy::FixedPointNaive),
+            ("reduced", Strategy::FixedPointReduced),
+            ("pushdown", Strategy::PushDown),
+        ] {
+            let cmd = parse(&argv(&format!("search d.xml k --strategy {alias}"))).unwrap();
+            match cmd {
+                Command::Search(a) => assert_eq!(a.strategy, expect),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_info_and_demo() {
+        assert_eq!(
+            parse(&argv("info d.xml")).unwrap(),
+            Command::Info { file: "d.xml".into() }
+        );
+        assert_eq!(parse(&argv("demo")).unwrap(), Command::Demo);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&argv("bogus")).is_err());
+        assert!(parse(&argv("search d.xml")).is_err()); // no keywords
+        assert!(parse(&argv("search k --size x d.xml")).is_err());
+        assert!(parse(&argv("search d.xml k --strategy warp")).is_err());
+        assert!(parse(&argv("search d.xml k --frobnicate")).is_err());
+        assert!(parse(&argv("info")).is_err());
+        assert!(parse(&argv("info a.xml extra")).is_err());
+    }
+
+    #[test]
+    fn no_filters_means_true() {
+        match parse(&argv("search d.xml k")).unwrap() {
+            Command::Search(a) => assert!(a.filter.is_true()),
+            _ => unreachable!(),
+        }
+    }
+}

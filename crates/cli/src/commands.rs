@@ -1,0 +1,424 @@
+//! Command implementations. Each returns the full output as a string so
+//! the logic is unit-testable without capturing stdout.
+
+use crate::args::{Command, SearchArgs};
+use std::fmt::Write as _;
+use xfrag_core::cost::CostModel;
+use xfrag_core::plan::execute;
+use xfrag_core::{evaluate, overlap, EvalStats, LogicalPlan, Optimizer, Query};
+use xfrag_core::collection::{evaluate_collection, top_k_collection};
+use xfrag_core::rank::RankConfig;
+use xfrag_core::snippet::{snippet, SnippetConfig};
+use xfrag_doc::serialize::{fragment_to_xml, WriteOptions};
+use xfrag_doc::{parse_str, store, Collection, Document, InvertedIndex};
+
+/// Top-level error type for command execution.
+#[derive(Debug)]
+pub enum CliError {
+    /// Could not read the input file.
+    Io(String, std::io::Error),
+    /// The input was not well-formed XML.
+    Parse(xfrag_doc::ParseError),
+    /// A binary .xfrg file was corrupted or unreadable.
+    Store(store::StoreError),
+    /// Query evaluation failed.
+    Query(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Io(path, e) => write!(f, "cannot read {path}: {e}"),
+            CliError::Parse(e) => write!(f, "{e}"),
+            CliError::Store(e) => write!(f, "{e}"),
+            CliError::Query(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Execute a parsed command.
+pub fn run(cmd: Command) -> Result<String, CliError> {
+    match cmd {
+        Command::Search(a) => {
+            let doc = load(&a.file)?;
+            search(&doc, &a)
+        }
+        Command::MultiSearch(a) => {
+            let coll = load_dir(&a.file)?;
+            multi_search(&coll, &a)
+        }
+        Command::Compile { input, output } => {
+            let doc = load(&input)?;
+            let bytes = store::encode(&doc);
+            std::fs::write(&output, &bytes).map_err(|e| CliError::Io(output.clone(), e))?;
+            Ok(format!(
+                "compiled {input} ({} nodes) -> {output} ({} bytes)\n",
+                doc.len(),
+                bytes.len()
+            ))
+        }
+        Command::Explain(a) => {
+            let doc = load(&a.file)?;
+            explain(&doc, &a)
+        }
+        Command::Info { file } => {
+            let doc = load(&file)?;
+            Ok(info(&doc))
+        }
+        Command::Demo => Ok(demo()),
+    }
+}
+
+fn load(path: &str) -> Result<Document, CliError> {
+    if path.ends_with(".xfrg") {
+        let bytes = std::fs::read(path).map_err(|e| CliError::Io(path.to_string(), e))?;
+        return store::decode(&bytes.into()).map_err(CliError::Store);
+    }
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::Io(path.to_string(), e))?;
+    parse_str(&text).map_err(CliError::Parse)
+}
+
+/// Load every `.xml`/`.xfrg` file in a directory (sorted for determinism).
+fn load_dir(dir: &str) -> Result<Collection, CliError> {
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| CliError::Io(dir.to_string(), e))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.extension()
+                .and_then(|e| e.to_str())
+                .is_some_and(|e| e == "xml" || e == "xfrg")
+        })
+        .collect();
+    paths.sort();
+    let mut coll = Collection::new();
+    for p in paths {
+        let doc = load(&p.to_string_lossy())?;
+        coll.add(p.file_name().unwrap_or_default().to_string_lossy(), doc);
+    }
+    Ok(coll)
+}
+
+/// `xfrag msearch`.
+pub fn multi_search(coll: &Collection, a: &SearchArgs) -> Result<String, CliError> {
+    let q = build_query(a);
+    let r = evaluate_collection(coll, &q, a.strategy)
+        .map_err(|e| CliError::Query(e.to_string()))?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{} fragment(s) in {} of {} document(s) ({} pruned) for {:?}",
+        r.total_fragments(),
+        r.answers.len(),
+        coll.len(),
+        r.docs_pruned,
+        a.keywords
+    )
+    .unwrap();
+    let top = top_k_collection(coll, &r, &q, &RankConfig::default(), 10);
+    for (i, (doc_id, f, score)) in top.iter().enumerate() {
+        if a.ids {
+            writeln!(
+                out,
+                "[{}] {} {:.3} {}",
+                i + 1,
+                coll.name(*doc_id),
+                score,
+                f
+            )
+            .unwrap();
+        } else {
+            let snip = snippet(
+                coll.doc(*doc_id),
+                f,
+                &q.terms,
+                &SnippetConfig::default(),
+            );
+            writeln!(
+                out,
+                "--- answer {} from {} (score {:.3}, {} nodes)\n    {}",
+                i + 1,
+                coll.name(*doc_id),
+                score,
+                f.size(),
+                snip
+            )
+            .unwrap();
+        }
+    }
+    if a.stats {
+        writeln!(out, "stats: {}", r.stats).unwrap();
+    }
+    Ok(out)
+}
+
+fn build_query(a: &SearchArgs) -> Query {
+    let mut q = Query::new(a.keywords.iter(), a.filter.clone());
+    if a.strict {
+        q = q.with_strict_leaf_semantics();
+    }
+    q
+}
+
+/// `xfrag search`.
+pub fn search(doc: &Document, a: &SearchArgs) -> Result<String, CliError> {
+    let index = InvertedIndex::build(doc);
+    let q = build_query(a);
+    let result =
+        evaluate(doc, &index, &q, a.strategy).map_err(|e| CliError::Query(e.to_string()))?;
+    let answers = if a.maximal {
+        overlap::maximal_only(&result.fragments)
+    } else {
+        result.fragments.clone()
+    };
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{} fragment(s) for {:?} [{}]",
+        answers.len(),
+        a.keywords,
+        a.strategy.name()
+    )
+    .unwrap();
+    for (i, f) in answers.iter().enumerate() {
+        if a.ids {
+            writeln!(out, "[{}] {}", i + 1, f).unwrap();
+        } else {
+            writeln!(out, "--- answer {} (root {}, {} nodes)", i + 1, f.root(), f.size())
+                .unwrap();
+            writeln!(
+                out,
+                "{}",
+                fragment_to_xml(doc, f.nodes(), WriteOptions::default())
+            )
+            .unwrap();
+        }
+    }
+    if a.stats {
+        writeln!(out, "stats: {}", result.stats).unwrap();
+    }
+    Ok(out)
+}
+
+/// `xfrag explain`.
+pub fn explain(doc: &Document, a: &SearchArgs) -> Result<String, CliError> {
+    let index = InvertedIndex::build(doc);
+    let q = build_query(a);
+    let plan = LogicalPlan::for_query(&q).map_err(|e| CliError::Query(e.to_string()))?;
+    let optimizer = Optimizer::standard(doc, &index, CostModel::default());
+
+    let mut out = String::new();
+    for (stage, p) in optimizer.optimize_traced(plan) {
+        writeln!(out, "== {stage} ==").unwrap();
+        out.push_str(&p.render());
+        let mut st = EvalStats::new();
+        match execute(&p, doc, &index, &mut st) {
+            Ok(set) => writeln!(out, "-> {} fragment(s), {}\n", set.len(), st).unwrap(),
+            Err(e) => writeln!(out, "-> not executable at this stage: {e}\n").unwrap(),
+        }
+    }
+    for (term, a_len, b_len) in
+        xfrag_core::query::operand_reduction_factors(doc, &index, &q)
+    {
+        let rf = if a_len == 0 {
+            0.0
+        } else {
+            (a_len - b_len) as f64 / a_len as f64
+        };
+        writeln!(out, "operand {term:?}: |F| = {a_len}, |⊖(F)| = {b_len}, RF = {rf:.2}")
+            .unwrap();
+    }
+    Ok(out)
+}
+
+/// `xfrag info`.
+pub fn info(doc: &Document) -> String {
+    let index = InvertedIndex::build(doc);
+    let mut tags: std::collections::BTreeMap<&str, usize> = Default::default();
+    for n in doc.node_ids() {
+        *tags.entry(doc.tag(n)).or_default() += 1;
+    }
+    let mut out = String::new();
+    writeln!(out, "nodes:  {}", doc.len()).unwrap();
+    writeln!(out, "height: {}", doc.height()).unwrap();
+    writeln!(out, "terms:  {}", index.term_count()).unwrap();
+    writeln!(out, "tags:").unwrap();
+    for (tag, count) in tags {
+        writeln!(out, "  {tag}: {count}").unwrap();
+    }
+    out
+}
+
+/// `xfrag demo` — the paper's §4 walkthrough on the built-in Figure 1
+/// document.
+pub fn demo() -> String {
+    let fig = xfrag_corpus::figure1();
+    let doc = &fig.doc;
+    let a = SearchArgs {
+        file: "<built-in figure 1>".into(),
+        keywords: vec!["XQuery".into(), "optimization".into()],
+        filter: xfrag_core::FilterExpr::MaxSize(3),
+        strategy: xfrag_core::Strategy::PushDown,
+        strict: false,
+        maximal: false,
+        ids: true,
+        stats: true,
+    };
+    let mut out = String::from(
+        "Paper §4 example: query {XQuery, optimization}, filter size ≤ 3,\n\
+         against the Figure 1 document (82 nodes).\n\n",
+    );
+    out.push_str(&search(doc, &a).expect("demo query evaluates"));
+    out.push_str("\nThe fragment ⟨n16,n17,n18⟩ is the paper's \"fragment of interest\".\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xfrag_core::{FilterExpr, Strategy};
+
+    fn args(keywords: &[&str], filter: FilterExpr) -> SearchArgs {
+        SearchArgs {
+            file: String::new(),
+            keywords: keywords.iter().map(|s| s.to_string()).collect(),
+            filter,
+            strategy: Strategy::PushDown,
+            strict: false,
+            maximal: false,
+            ids: true,
+            stats: false,
+        }
+    }
+
+    fn doc() -> Document {
+        parse_str("<a><b>xml search</b><c>xml ranking</c></a>").unwrap()
+    }
+
+    #[test]
+    fn search_lists_fragments() {
+        let out = search(&doc(), &args(&["xml", "search"], FilterExpr::MaxSize(3))).unwrap();
+        assert!(out.contains("fragment(s)"));
+        assert!(out.contains("⟨n1⟩"));
+    }
+
+    #[test]
+    fn search_xml_output() {
+        let mut a = args(&["xml", "ranking"], FilterExpr::True);
+        a.ids = false;
+        let out = search(&doc(), &a).unwrap();
+        assert!(out.contains("<c>xml ranking</c>"));
+    }
+
+    #[test]
+    fn maximal_hides_subfragments() {
+        let base = args(&["xml"], FilterExpr::True);
+        let all = search(&doc(), &base).unwrap();
+        let mut m = base.clone();
+        m.maximal = true;
+        let max = search(&doc(), &m).unwrap();
+        let count = |s: &str| {
+            s.lines()
+                .next()
+                .unwrap()
+                .split_whitespace()
+                .next()
+                .unwrap()
+                .parse::<usize>()
+                .unwrap()
+        };
+        assert!(count(&max) < count(&all));
+    }
+
+    #[test]
+    fn explain_shows_stages_and_rf() {
+        let out = explain(&doc(), &args(&["xml", "search"], FilterExpr::MaxSize(2))).unwrap();
+        assert!(out.contains("== initial =="));
+        assert!(out.contains("Theorem 2"));
+        assert!(out.contains("Theorem 3"));
+        assert!(out.contains("RF ="));
+    }
+
+    #[test]
+    fn info_reports_shape() {
+        let out = info(&doc());
+        assert!(out.contains("nodes:  3"));
+        assert!(out.contains("b: 1"));
+    }
+
+    #[test]
+    fn demo_runs() {
+        let out = demo();
+        assert!(out.contains("⟨n16,n17,n18⟩"));
+        assert!(out.contains("4 fragment(s)"));
+    }
+
+    #[test]
+    fn stats_flag_prints_counters() {
+        let mut a = args(&["xml"], FilterExpr::True);
+        a.stats = true;
+        let out = search(&doc(), &a).unwrap();
+        assert!(out.contains("stats: joins="));
+    }
+}
+
+#[cfg(test)]
+mod multi_tests {
+    use super::*;
+    use crate::args::SearchArgs;
+    use xfrag_core::{FilterExpr, Strategy};
+
+    fn margs(dir: &str) -> SearchArgs {
+        SearchArgs {
+            file: dir.to_string(),
+            keywords: vec!["xml".into(), "search".into()],
+            filter: FilterExpr::MaxSize(3),
+            strategy: Strategy::PushDown,
+            strict: false,
+            maximal: false,
+            ids: true,
+            stats: true,
+        }
+    }
+
+    #[test]
+    fn msearch_over_directory() {
+        let dir = std::env::temp_dir().join(format!("xfrag-msearch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("a.xml"), "<a><p>xml search engines</p></a>").unwrap();
+        std::fs::write(dir.join("b.xml"), "<b><p>xml</p><p>search</p></b>").unwrap();
+        std::fs::write(dir.join("c.xml"), "<c><p>unrelated</p></c>").unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let coll = load_dir(&dir.to_string_lossy()).unwrap();
+        assert_eq!(coll.len(), 3);
+        let out = multi_search(&coll, &margs(&dir.to_string_lossy())).unwrap();
+        assert!(out.contains("a.xml"), "{out}");
+        assert!(out.contains("b.xml"), "{out}");
+        assert!(!out.contains("c.xml"), "{out}");
+        assert!(out.contains("(1 pruned)"), "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compile_then_search_xfrg() {
+        let dir = std::env::temp_dir().join(format!("xfrag-compile-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let xml = dir.join("d.xml");
+        let bin = dir.join("d.xfrg");
+        std::fs::write(&xml, "<d><p>xml search</p></d>").unwrap();
+        let out = run(Command::Compile {
+            input: xml.to_string_lossy().into_owned(),
+            output: bin.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+        assert!(out.contains("compiled"), "{out}");
+        // Searching the compiled form gives the same answer as the XML.
+        let d_xml = load(&xml.to_string_lossy()).unwrap();
+        let d_bin = load(&bin.to_string_lossy()).unwrap();
+        assert_eq!(d_xml, d_bin);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,36 @@
+//! `xfrag` — keyword search over XML documents with the fragment algebra
+//! of Pradhan (VLDB 2006).
+//!
+//! ```text
+//! xfrag search <file.xml> <keyword>... [--size N] [--height N] [--width N]
+//!              [--strategy brute|naive|reduced|pushdown] [--strict]
+//!              [--maximal] [--ids] [--stats]
+//! xfrag explain <file.xml> <keyword>... [--size N] [--height N] [--width N]
+//! xfrag info <file.xml>
+//! xfrag demo
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cmd) => match commands::run(cmd) {
+            Ok(output) => {
+                print!("{output}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", args::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! End-to-end tests driving the actual `xfrag` binary.
+
+use std::process::Command;
+
+fn xfrag() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_xfrag"))
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("xfrag-it-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn demo_reproduces_paper_answer() {
+    let out = xfrag().arg("demo").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("4 fragment(s)"), "{stdout}");
+    assert!(stdout.contains("⟨n16,n17,n18⟩"), "{stdout}");
+}
+
+#[test]
+fn search_explain_info_flow() {
+    let dir = tmpdir("flow");
+    let file = dir.join("doc.xml");
+    std::fs::write(
+        &file,
+        "<article><sec><par>xml retrieval systems</par><par>retrieval models</par></sec></article>",
+    )
+    .unwrap();
+
+    let out = xfrag()
+        .args(["search", file.to_str().unwrap(), "xml", "retrieval", "--size", "3", "--ids"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("fragment(s)"), "{stdout}");
+
+    let out = xfrag()
+        .args(["explain", file.to_str().unwrap(), "xml", "retrieval", "--size", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("Theorem 2"), "{stdout}");
+    assert!(stdout.contains("RF ="), "{stdout}");
+
+    let out = xfrag().args(["info", file.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("nodes:"));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn compile_and_msearch() {
+    let dir = tmpdir("msearch");
+    std::fs::write(dir.join("a.xml"), "<a><p>rust engines</p></a>").unwrap();
+    std::fs::write(dir.join("b.xml"), "<b><p>rust</p><p>engines</p></b>").unwrap();
+    // Compile a third document to the binary format.
+    let cxml = dir.join("c.xml");
+    std::fs::write(&cxml, "<c><p>rust engines again</p></c>").unwrap();
+    let cbin = dir.join("c.xfrg");
+    let out = xfrag()
+        .args(["compile", cxml.to_str().unwrap(), cbin.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    std::fs::remove_file(&cxml).unwrap(); // msearch must read the .xfrg
+
+    let out = xfrag()
+        .args(["msearch", dir.to_str().unwrap(), "rust", "engines", "--size", "3", "--ids"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("a.xml"), "{stdout}");
+    assert!(stdout.contains("c.xfrg"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn errors_exit_nonzero() {
+    // Unknown subcommand → usage on stderr, exit code 2.
+    let out = xfrag().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr).unwrap().contains("usage:"));
+
+    // Missing file → exit 1.
+    let out = xfrag()
+        .args(["search", "/nonexistent/x.xml", "kw"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+
+    // Malformed XML → parse error with position.
+    let dir = tmpdir("err");
+    let bad = dir.join("bad.xml");
+    std::fs::write(&bad, "<a><b></a>").unwrap();
+    let out = xfrag()
+        .args(["search", bad.to_str().unwrap(), "kw"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("XML parse error"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,269 @@
+//! Query evaluation over document collections.
+//!
+//! Fragments never span documents, so a collection query is a per-document
+//! query over the documents that can possibly answer it (those containing
+//! every term — conjunctive semantics prune whole documents before any
+//! join work). Results carry their [`DocId`] so callers can present
+//! per-document groups, and ranking can be applied across the whole
+//! result stream.
+
+use crate::query::{evaluate, Query, QueryError, Strategy};
+use crate::rank::{score, RankConfig};
+use crate::stats::EvalStats;
+use crate::Fragment;
+use xfrag_doc::{Collection, DocId};
+
+/// One document's answers within a collection result.
+#[derive(Debug, Clone)]
+pub struct DocAnswers {
+    /// Which document.
+    pub doc: DocId,
+    /// Its answer fragments, in engine order.
+    pub fragments: Vec<Fragment>,
+}
+
+/// The outcome of a collection query.
+#[derive(Debug, Clone, Default)]
+pub struct CollectionResult {
+    /// Per-document answers, in document-id order; documents with no
+    /// answers are omitted.
+    pub answers: Vec<DocAnswers>,
+    /// Documents skipped because some query term never occurs in them.
+    pub docs_pruned: usize,
+    /// Aggregated operation counters.
+    pub stats: EvalStats,
+}
+
+impl CollectionResult {
+    /// Total number of answer fragments across documents.
+    pub fn total_fragments(&self) -> usize {
+        self.answers.iter().map(|a| a.fragments.len()).sum()
+    }
+}
+
+/// Evaluate a query against every candidate document of a collection.
+pub fn evaluate_collection(
+    collection: &Collection,
+    query: &Query,
+    strategy: Strategy,
+) -> Result<CollectionResult, QueryError> {
+    if query.terms.is_empty() {
+        return Err(QueryError::NoTerms);
+    }
+    let mut out = CollectionResult::default();
+    let candidates: Vec<DocId> = collection.candidate_docs(&query.terms).collect();
+    out.docs_pruned = collection.len() - candidates.len();
+    for id in candidates {
+        let doc = collection.doc(id);
+        let index = collection.index(id);
+        let r = evaluate(doc, index, query, strategy)?;
+        out.stats += r.stats;
+        if !r.fragments.is_empty() {
+            out.answers.push(DocAnswers {
+                doc: id,
+                fragments: r.fragments.iter().cloned().collect(),
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluate a collection query with document-level parallelism: candidate
+/// documents are sharded across `threads` crossbeam workers (fragments
+/// never span documents, so shards are independent). Results are merged
+/// in document order — output is identical to [`evaluate_collection`],
+/// which a unit test and the bench harness both verify.
+pub fn evaluate_collection_parallel(
+    collection: &Collection,
+    query: &Query,
+    strategy: Strategy,
+    threads: usize,
+) -> Result<CollectionResult, QueryError> {
+    if query.terms.is_empty() {
+        return Err(QueryError::NoTerms);
+    }
+    let candidates: Vec<DocId> = collection.candidate_docs(&query.terms).collect();
+    let docs_pruned = collection.len() - candidates.len();
+    if threads <= 1 || candidates.len() <= 1 {
+        let mut r = evaluate_collection(collection, query, strategy)?;
+        r.docs_pruned = docs_pruned;
+        return Ok(r);
+    }
+    let threads = threads.min(candidates.len());
+    let chunk = candidates.len().div_ceil(threads);
+    let mut shard_results: Vec<Result<(Vec<DocAnswers>, EvalStats), QueryError>> = Vec::new();
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = candidates
+            .chunks(chunk)
+            .map(|shard| {
+                scope.spawn(move |_| {
+                    let mut answers = Vec::new();
+                    let mut stats = EvalStats::new();
+                    for &id in shard {
+                        let r = evaluate(collection.doc(id), collection.index(id), query, strategy)?;
+                        stats += r.stats;
+                        if !r.fragments.is_empty() {
+                            answers.push(DocAnswers {
+                                doc: id,
+                                fragments: r.fragments.iter().cloned().collect(),
+                            });
+                        }
+                    }
+                    Ok((answers, stats))
+                })
+            })
+            .collect();
+        for h in handles {
+            shard_results.push(h.join().expect("collection worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+
+    let mut out = CollectionResult {
+        docs_pruned,
+        ..Default::default()
+    };
+    for r in shard_results {
+        let (answers, stats) = r?;
+        out.stats += stats;
+        out.answers.extend(answers);
+    }
+    out.answers.sort_by_key(|a| a.doc);
+    Ok(out)
+}
+
+/// The `k` highest-scoring fragments across the whole collection, as
+/// `(doc, fragment, score)` triples — ties broken by document id then
+/// canonical fragment order, so output is deterministic.
+pub fn top_k_collection(
+    collection: &Collection,
+    result: &CollectionResult,
+    query: &Query,
+    cfg: &RankConfig,
+    k: usize,
+) -> Vec<(DocId, Fragment, f64)> {
+    let mut scored: Vec<(DocId, Fragment, f64)> = result
+        .answers
+        .iter()
+        .flat_map(|da| {
+            let doc = collection.doc(da.doc);
+            da.fragments
+                .iter()
+                .map(move |f| (da.doc, f.clone(), score(doc, f, &query.terms, cfg)))
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        b.2.partial_cmp(&a.2)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+            .then_with(|| a.1.cmp(&b.1))
+    });
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FilterExpr;
+    use xfrag_doc::parse_str;
+
+    fn collection() -> Collection {
+        let mut c = Collection::new();
+        c.add(
+            "one.xml",
+            parse_str("<a><p>alpha beta</p><p>noise</p></a>").unwrap(),
+        );
+        c.add("two.xml", parse_str("<b><p>alpha</p><p>beta</p></b>").unwrap());
+        c.add("three.xml", parse_str("<c><p>alpha only</p></c>").unwrap());
+        c
+    }
+
+    #[test]
+    fn evaluates_candidate_docs_only() {
+        let c = collection();
+        let q = Query::new(["alpha", "beta"], FilterExpr::MaxSize(3));
+        let r = evaluate_collection(&c, &q, Strategy::PushDown).unwrap();
+        assert_eq!(r.docs_pruned, 1, "three.xml lacks beta");
+        assert_eq!(r.answers.len(), 2);
+        assert!(r.total_fragments() >= 2);
+        // Document order is preserved.
+        assert!(r.answers[0].doc < r.answers[1].doc);
+    }
+
+    #[test]
+    fn no_terms_error() {
+        let c = collection();
+        let q = Query::new(Vec::<&str>::new(), FilterExpr::True);
+        assert!(matches!(
+            evaluate_collection(&c, &q, Strategy::PushDown),
+            Err(QueryError::NoTerms)
+        ));
+    }
+
+    #[test]
+    fn unmatched_terms_prune_everything() {
+        let c = collection();
+        let q = Query::new(["alpha", "zeta"], FilterExpr::True);
+        let r = evaluate_collection(&c, &q, Strategy::PushDown).unwrap();
+        assert_eq!(r.docs_pruned, 3);
+        assert!(r.answers.is_empty());
+        assert_eq!(r.stats.joins, 0);
+    }
+
+    #[test]
+    fn top_k_ranks_across_documents() {
+        let c = collection();
+        let q = Query::new(["alpha", "beta"], FilterExpr::MaxSize(3));
+        let r = evaluate_collection(&c, &q, Strategy::PushDown).unwrap();
+        // one.xml answers with the dense single ⟨p⟩; two.xml with the
+        // 3-node ⟨b,p,p⟩ span: 2 fragments total.
+        let top = top_k_collection(&c, &r, &q, &RankConfig::default(), 3);
+        assert_eq!(top.len(), 2);
+        // Highest score first; the densest answer is one.xml's single
+        // ⟨p⟩ node containing both terms.
+        assert!(top.windows(2).all(|w| w[0].2 >= w[1].2));
+        assert_eq!(top[0].0, xfrag_doc::DocId(0));
+        assert_eq!(top[0].1.size(), 1);
+        // Deterministic, and k truncates.
+        let again = top_k_collection(&c, &r, &q, &RankConfig::default(), 3);
+        assert_eq!(top, again);
+        assert_eq!(top_k_collection(&c, &r, &q, &RankConfig::default(), 1).len(), 1);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut c = Collection::new();
+        for i in 0..12 {
+            c.add(
+                format!("d{i}.xml"),
+                parse_str(&format!(
+                    "<r><p>alpha item{i}</p><p>beta item{i}</p></r>"
+                ))
+                .unwrap(),
+            );
+        }
+        let q = Query::new(["alpha", "beta"], FilterExpr::MaxSize(3));
+        let seq = evaluate_collection(&c, &q, Strategy::PushDown).unwrap();
+        for threads in [1, 2, 4, 5] {
+            let par =
+                evaluate_collection_parallel(&c, &q, Strategy::PushDown, threads).unwrap();
+            assert_eq!(par.answers.len(), seq.answers.len(), "threads={threads}");
+            for (a, b) in par.answers.iter().zip(&seq.answers) {
+                assert_eq!(a.doc, b.doc);
+                assert_eq!(a.fragments, b.fragments);
+            }
+            assert_eq!(par.stats.joins, seq.stats.joins);
+            assert_eq!(par.docs_pruned, seq.docs_pruned);
+        }
+    }
+
+    #[test]
+    fn empty_collection_yields_empty_result() {
+        let c = Collection::new();
+        let q = Query::new(["alpha"], FilterExpr::True);
+        let r = evaluate_collection(&c, &q, Strategy::PushDown).unwrap();
+        assert!(r.answers.is_empty());
+        assert_eq!(r.docs_pruned, 0);
+    }
+}

@@ -1,0 +1,539 @@
+//! Selection predicates ("filters") — Definitions 3 and 11, §3.3–§3.4.
+//!
+//! Filters are represented as a closed expression enum rather than a trait
+//! object: the optimizer must *decide* whether a filter is anti-monotonic
+//! (Theorem 3's precondition), serialize plans, and print evaluation trees,
+//! all of which want structural filters. Composition (`And`/`Or`/`Not`)
+//! covers the extension surface the paper describes — conjunction and
+//! disjunction preserve anti-monotonicity; negation destroys it.
+//!
+//! A filter `P` is **anti-monotonic** (Definition 11) iff
+//! `∀ f' ⊆ f: P(f) ⇒ P(f')` — if a fragment passes, so does every
+//! sub-fragment; equivalently, once a fragment fails, every super-fragment
+//! fails, which is what lets selection commute below joins (Theorem 3).
+
+use crate::fragment::Fragment;
+use crate::set::FragmentSet;
+use crate::stats::EvalStats;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use xfrag_doc::text::node_contains;
+use xfrag_doc::Document;
+
+/// A selection predicate over fragments.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FilterExpr {
+    /// Always true — the neutral filter (anti-monotonic trivially).
+    True,
+    /// `size(f) ≤ β` (§3.3.1). Anti-monotonic.
+    MaxSize(u32),
+    /// `height(f) ≤ h` (§3.3.2): root-to-deepest-node distance. Anti-monotonic.
+    MaxHeight(u32),
+    /// `width(f) ≤ w` (§3.3.2): document-order span between the extreme
+    /// (leftmost/rightmost) nodes. Anti-monotonic.
+    MaxWidth(u32),
+    /// `diameter(f) ≤ d`: the maximum tree distance (in edges) between
+    /// any two nodes of the fragment — the "distance between nodes
+    /// containing the query keywords" measure §3.3.2 motivates, made
+    /// symmetric. Anti-monotonic: a sub-fragment's node pairs are a
+    /// subset, so its diameter can only shrink.
+    MaxDiameter(u32),
+    /// `size(f) ≥ v` — the paper's §3.4 example of a filter *without* the
+    /// anti-monotonic property.
+    MinSize(u32),
+    /// Some node of the fragment contains the (normalized) term.
+    /// Monotonic, hence not anti-monotonic.
+    ContainsTerm(String),
+    /// Some *leaf of the fragment* contains the term — the per-keyword
+    /// condition of Definition 8. Not anti-monotonic.
+    LeafTerm(String),
+    /// The paper's §3.4 "equal depth filter": both terms occur in the
+    /// fragment, and every node containing the first term sits at the same
+    /// vertical distance from the fragment root as every node containing
+    /// the second term. Not anti-monotonic (Figure 7: a super-fragment can
+    /// satisfy it while a sub-fragment that lost one term's witnesses does
+    /// not).
+    EqualDepth(String, String),
+    /// The fragment root carries the given tag. Not anti-monotonic.
+    RootTag(String),
+    /// Conjunction. Anti-monotonic iff every conjunct is.
+    And(Vec<FilterExpr>),
+    /// Disjunction. Anti-monotonic iff every disjunct is.
+    Or(Vec<FilterExpr>),
+    /// Negation. Never treated as anti-monotonic (the paper excludes it).
+    Not(Box<FilterExpr>),
+}
+
+impl FilterExpr {
+    /// Evaluate the predicate on a fragment (Definition 3's `P(f)`),
+    /// counting the evaluation in `stats`.
+    pub fn eval(&self, doc: &Document, f: &Fragment, stats: &mut EvalStats) -> bool {
+        stats.filter_evals += 1;
+        self.eval_uncounted(doc, f)
+    }
+
+    /// Evaluate without touching counters (used by tests and by inner
+    /// recursive calls so a composite filter counts as one evaluation).
+    pub fn eval_uncounted(&self, doc: &Document, f: &Fragment) -> bool {
+        match self {
+            FilterExpr::True => true,
+            FilterExpr::MaxSize(b) => f.size() as u32 <= *b,
+            FilterExpr::MaxHeight(h) => f.height(doc) <= *h,
+            FilterExpr::MaxWidth(w) => f.width(doc) <= *w,
+            FilterExpr::MaxDiameter(dm) => diameter(doc, f) <= *dm,
+            FilterExpr::MinSize(v) => f.size() as u32 >= *v,
+            FilterExpr::ContainsTerm(t) => f.iter().any(|n| node_contains(doc, n, t)),
+            FilterExpr::LeafTerm(t) => f.leaves(doc).any(|n| node_contains(doc, n, t)),
+            FilterExpr::EqualDepth(t1, t2) => {
+                // "selects fragments in which each node having keyword k1 is
+                // at the same vertical distance as the node having keyword k2
+                // from the root" — both keywords must be present (otherwise
+                // the filter would be vacuously anti-monotonic, contradicting
+                // Figure 7), and every k1-node must sit at the same distance
+                // from the fragment root as every k2-node.
+                let base = doc.depth(f.root());
+                let d1: Vec<u32> = f
+                    .iter()
+                    .filter(|&n| node_contains(doc, n, t1))
+                    .map(|n| doc.depth(n) - base)
+                    .collect();
+                let d2: Vec<u32> = f
+                    .iter()
+                    .filter(|&n| node_contains(doc, n, t2))
+                    .map(|n| doc.depth(n) - base)
+                    .collect();
+                !d1.is_empty()
+                    && !d2.is_empty()
+                    && d1.iter().all(|a| d2.iter().all(|b| a == b))
+            }
+            FilterExpr::RootTag(t) => doc.tag(f.root()) == t,
+            FilterExpr::And(fs) => fs.iter().all(|p| p.eval_uncounted(doc, f)),
+            FilterExpr::Or(fs) => fs.iter().any(|p| p.eval_uncounted(doc, f)),
+            FilterExpr::Not(p) => !p.eval_uncounted(doc, f),
+        }
+    }
+
+    /// Definition 11 classification, decided structurally (conservative:
+    /// a composite is declared anti-monotonic only when every part is).
+    ///
+    /// ```
+    /// use xfrag_core::FilterExpr;
+    /// assert!(FilterExpr::MaxSize(3).is_anti_monotonic());
+    /// assert!(!FilterExpr::MinSize(2).is_anti_monotonic());
+    /// // Conjunction preserves the property; negation destroys it.
+    /// assert!(FilterExpr::and([FilterExpr::MaxSize(3), FilterExpr::MaxHeight(1)])
+    ///     .is_anti_monotonic());
+    /// assert!(!FilterExpr::Not(Box::new(FilterExpr::MaxSize(3))).is_anti_monotonic());
+    /// ```
+    pub fn is_anti_monotonic(&self) -> bool {
+        match self {
+            FilterExpr::True
+            | FilterExpr::MaxSize(_)
+            | FilterExpr::MaxHeight(_)
+            | FilterExpr::MaxWidth(_)
+            | FilterExpr::MaxDiameter(_) => true,
+            FilterExpr::MinSize(_)
+            | FilterExpr::ContainsTerm(_)
+            | FilterExpr::LeafTerm(_)
+            | FilterExpr::EqualDepth(_, _)
+            | FilterExpr::RootTag(_)
+            | FilterExpr::Not(_) => false,
+            FilterExpr::And(fs) | FilterExpr::Or(fs) => {
+                fs.iter().all(FilterExpr::is_anti_monotonic)
+            }
+        }
+    }
+
+    /// Split a filter into `(anti-monotonic part, residual part)` such that
+    /// the original is equivalent to the conjunction of the two. Only
+    /// conjunctions can be split; the anti-monotonic part is what the
+    /// optimizer pushes below joins, the residual stays on top.
+    pub fn split_anti_monotonic(&self) -> (FilterExpr, FilterExpr) {
+        if self.is_anti_monotonic() {
+            return (self.clone(), FilterExpr::True);
+        }
+        if let FilterExpr::And(fs) = self {
+            let (anti, rest): (Vec<_>, Vec<_>) =
+                fs.iter().cloned().partition(FilterExpr::is_anti_monotonic);
+            return (FilterExpr::and(anti), FilterExpr::and(rest));
+        }
+        (FilterExpr::True, self.clone())
+    }
+
+    /// Smart conjunction: flattens, drops `True`, unwraps singletons.
+    pub fn and(fs: impl IntoIterator<Item = FilterExpr>) -> FilterExpr {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                FilterExpr::True => {}
+                FilterExpr::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => FilterExpr::True,
+            1 => out.pop().unwrap(),
+            _ => FilterExpr::And(out),
+        }
+    }
+
+    /// Smart disjunction: flattens nested `Or`s, unwraps singletons.
+    pub fn or(fs: impl IntoIterator<Item = FilterExpr>) -> FilterExpr {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                FilterExpr::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => FilterExpr::True,
+            1 => out.pop().unwrap(),
+            _ => FilterExpr::Or(out),
+        }
+    }
+
+    /// Whether this filter is the neutral `True`.
+    pub fn is_true(&self) -> bool {
+        matches!(self, FilterExpr::True)
+    }
+}
+
+impl fmt::Display for FilterExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FilterExpr::True => write!(f, "true"),
+            FilterExpr::MaxSize(b) => write!(f, "size≤{b}"),
+            FilterExpr::MaxHeight(h) => write!(f, "height≤{h}"),
+            FilterExpr::MaxWidth(w) => write!(f, "width≤{w}"),
+            FilterExpr::MaxDiameter(d) => write!(f, "diameter≤{d}"),
+            FilterExpr::MinSize(v) => write!(f, "size≥{v}"),
+            FilterExpr::ContainsTerm(t) => write!(f, "contains({t})"),
+            FilterExpr::LeafTerm(t) => write!(f, "leaf-contains({t})"),
+            FilterExpr::EqualDepth(a, b) => write!(f, "equal-depth({a},{b})"),
+            FilterExpr::RootTag(t) => write!(f, "root-tag({t})"),
+            FilterExpr::And(fs) => {
+                write!(f, "(")?;
+                for (i, p) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            FilterExpr::Or(fs) => {
+                write!(f, "(")?;
+                for (i, p) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            FilterExpr::Not(p) => write!(f, "¬{p}"),
+        }
+    }
+}
+
+/// Tree distance (edges) between the two farthest nodes of a fragment.
+///
+/// A connected fragment is itself a tree, so the classic two-sweep works:
+/// take the node farthest from the root, then the node farthest from
+/// *that* — their distance is the diameter. Distances inside the fragment
+/// coincide with document distances because the induced subgraph is
+/// connected.
+pub fn diameter(doc: &Document, f: &Fragment) -> u32 {
+    let dist = |a, b| {
+        let l = doc.lca(a, b);
+        doc.depth(a) + doc.depth(b) - 2 * doc.depth(l)
+    };
+    let root = f.root();
+    let a = f
+        .iter()
+        .max_by_key(|&n| dist(root, n))
+        .expect("fragments are non-empty");
+    f.iter().map(|n| dist(a, n)).max().unwrap_or(0)
+}
+
+/// `σ_P(F)` — Definition 3: the sub-set of fragments satisfying `P`.
+pub fn select(
+    doc: &Document,
+    p: &FilterExpr,
+    f: &FragmentSet,
+    stats: &mut EvalStats,
+) -> FragmentSet {
+    if p.is_true() {
+        return f.clone();
+    }
+    let mut out = FragmentSet::new();
+    for frag in f.iter() {
+        if p.eval(doc, frag, stats) {
+            out.insert(frag.clone());
+        } else {
+            stats.filter_pruned += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::Fragment;
+    use xfrag_doc::{DocumentBuilder, NodeId};
+
+    /// r(0) -> s(1){"alpha"} -> p(2){"alpha beta"}, p(3){"beta"};
+    /// r -> s(4) -> p(5){"alpha"}
+    fn doc() -> Document {
+        let mut b = DocumentBuilder::new();
+        b.begin("r");
+        b.begin("s");
+        b.text("alpha");
+        b.leaf("p", "alpha beta");
+        b.leaf("p", "beta");
+        b.end();
+        b.begin("s");
+        b.leaf("p", "alpha");
+        b.end();
+        b.end();
+        b.finish().unwrap()
+    }
+
+    fn frag(d: &Document, ns: &[u32]) -> Fragment {
+        Fragment::from_nodes(d, ns.iter().map(|&n| NodeId(n))).unwrap()
+    }
+
+    #[test]
+    fn size_filter() {
+        let d = doc();
+        let f3 = frag(&d, &[1, 2, 3]);
+        assert!(FilterExpr::MaxSize(3).eval_uncounted(&d, &f3));
+        assert!(!FilterExpr::MaxSize(2).eval_uncounted(&d, &f3));
+        assert!(FilterExpr::MinSize(3).eval_uncounted(&d, &f3));
+        assert!(!FilterExpr::MinSize(4).eval_uncounted(&d, &f3));
+    }
+
+    #[test]
+    fn diameter_filter() {
+        let d = doc();
+        // ⟨n1..n3⟩: distances — n2,n3 are siblings under n1: dist = 2.
+        let f = frag(&d, &[1, 2, 3]);
+        assert_eq!(diameter(&d, &f), 2);
+        assert!(FilterExpr::MaxDiameter(2).eval_uncounted(&d, &f));
+        assert!(!FilterExpr::MaxDiameter(1).eval_uncounted(&d, &f));
+        // Whole tree: n2/n3 (depth 2) to n5 (depth 2) through root: 4.
+        let whole = frag(&d, &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(diameter(&d, &whole), 4);
+        // Singletons have diameter 0.
+        assert_eq!(diameter(&d, &frag(&d, &[2])), 0);
+    }
+
+    #[test]
+    fn height_and_width_filters() {
+        let d = doc();
+        let f = frag(&d, &[0, 1, 2, 4]);
+        assert!(FilterExpr::MaxHeight(2).eval_uncounted(&d, &f));
+        assert!(!FilterExpr::MaxHeight(1).eval_uncounted(&d, &f));
+        assert!(FilterExpr::MaxWidth(4).eval_uncounted(&d, &f));
+        assert!(!FilterExpr::MaxWidth(3).eval_uncounted(&d, &f));
+    }
+
+    #[test]
+    fn term_filters() {
+        let d = doc();
+        let f = frag(&d, &[1, 2]);
+        assert!(FilterExpr::ContainsTerm("beta".into()).eval_uncounted(&d, &f));
+        assert!(!FilterExpr::ContainsTerm("gamma".into()).eval_uncounted(&d, &f));
+        // "alpha" occurs at leaf n2 → leaf filter passes.
+        assert!(FilterExpr::LeafTerm("alpha".into()).eval_uncounted(&d, &f));
+        // n1 contains alpha but is internal to ⟨n1,n2⟩; "beta" is at leaf n2 too.
+        let f13 = frag(&d, &[1, 3]);
+        // leaf of ⟨n1,n3⟩ is n3 only; alpha is at n1 (internal) → fails.
+        assert!(!FilterExpr::LeafTerm("alpha".into()).eval_uncounted(&d, &f13));
+    }
+
+    #[test]
+    fn root_tag_filter() {
+        let d = doc();
+        assert!(FilterExpr::RootTag("s".into()).eval_uncounted(&d, &frag(&d, &[1, 2])));
+        assert!(!FilterExpr::RootTag("p".into()).eval_uncounted(&d, &frag(&d, &[1, 2])));
+    }
+
+    #[test]
+    fn anti_monotonic_classification() {
+        use FilterExpr::*;
+        assert!(True.is_anti_monotonic());
+        assert!(MaxSize(3).is_anti_monotonic());
+        assert!(MaxHeight(2).is_anti_monotonic());
+        assert!(MaxWidth(5).is_anti_monotonic());
+        assert!(MaxDiameter(4).is_anti_monotonic());
+        assert!(!MinSize(2).is_anti_monotonic());
+        assert!(!ContainsTerm("x".into()).is_anti_monotonic());
+        assert!(!LeafTerm("x".into()).is_anti_monotonic());
+        assert!(!EqualDepth("a".into(), "b".into()).is_anti_monotonic());
+        assert!(!RootTag("s".into()).is_anti_monotonic());
+        // Closure: ∧ and ∨ of anti-monotonic filters are anti-monotonic.
+        assert!(And(vec![MaxSize(3), MaxHeight(2)]).is_anti_monotonic());
+        assert!(Or(vec![MaxSize(3), MaxWidth(1)]).is_anti_monotonic());
+        // Mixed composites are conservatively not.
+        assert!(!And(vec![MaxSize(3), MinSize(1)]).is_anti_monotonic());
+        assert!(!Or(vec![MaxSize(3), MinSize(1)]).is_anti_monotonic());
+        // Negation destroys the property.
+        assert!(!Not(Box::new(MaxSize(3))).is_anti_monotonic());
+    }
+
+    /// Definition 11 spot-check: for the anti-monotonic trio, a passing
+    /// fragment's sub-fragments all pass.
+    #[test]
+    fn definition11_holds_for_size_height_width() {
+        let d = doc();
+        let f = frag(&d, &[0, 1, 2, 3, 4]);
+        let subs = [
+            frag(&d, &[0, 1]),
+            frag(&d, &[1, 2, 3]),
+            frag(&d, &[4]),
+            frag(&d, &[0, 4]),
+        ];
+        for p in [
+            FilterExpr::MaxSize(5),
+            FilterExpr::MaxHeight(2),
+            FilterExpr::MaxWidth(4),
+        ] {
+            assert!(p.eval_uncounted(&d, &f));
+            for s in &subs {
+                assert!(s.is_subfragment_of(&f));
+                assert!(p.eval_uncounted(&d, s), "{p} failed on sub {s}");
+            }
+        }
+    }
+
+    /// §3.4's observation that `size ≥ v` is not anti-monotonic, witnessed.
+    #[test]
+    fn min_size_violates_definition11() {
+        let d = doc();
+        let f = frag(&d, &[1, 2, 3]);
+        let sub = frag(&d, &[1]);
+        let p = FilterExpr::MinSize(2);
+        assert!(p.eval_uncounted(&d, &f));
+        assert!(!p.eval_uncounted(&d, &sub)); // sub fails ⇒ not anti-monotonic
+    }
+
+    #[test]
+    fn split_anti_monotonic_partitions_conjunctions() {
+        use FilterExpr::*;
+        let p = And(vec![MaxSize(3), MinSize(1), MaxHeight(2)]);
+        let (anti, rest) = p.split_anti_monotonic();
+        assert_eq!(anti, And(vec![MaxSize(3), MaxHeight(2)]));
+        assert_eq!(rest, MinSize(1));
+        // Pure anti-monotonic filter splits into (self, True).
+        let (anti, rest) = MaxSize(3).split_anti_monotonic();
+        assert_eq!(anti, MaxSize(3));
+        assert!(rest.is_true());
+        // Non-conjunction, non-anti-monotonic: nothing to push.
+        let (anti, rest) = MinSize(1).split_anti_monotonic();
+        assert!(anti.is_true());
+        assert_eq!(rest, MinSize(1));
+    }
+
+    #[test]
+    fn smart_constructors_flatten() {
+        use FilterExpr::*;
+        assert_eq!(FilterExpr::and([]), True);
+        assert_eq!(FilterExpr::and([MaxSize(3)]), MaxSize(3));
+        assert_eq!(
+            FilterExpr::and([True, And(vec![MaxSize(3), MaxHeight(1)]), MinSize(1)]),
+            And(vec![MaxSize(3), MaxHeight(1), MinSize(1)])
+        );
+        assert_eq!(FilterExpr::or([MaxSize(2)]), MaxSize(2));
+        assert_eq!(
+            FilterExpr::or([Or(vec![MaxSize(1), MaxSize(2)]), MaxSize(3)]),
+            Or(vec![MaxSize(1), MaxSize(2), MaxSize(3)])
+        );
+    }
+
+    #[test]
+    fn select_filters_and_counts() {
+        let d = doc();
+        let set = crate::set::FragmentSet::from_iter([
+            frag(&d, &[1]),
+            frag(&d, &[1, 2, 3]),
+            frag(&d, &[0, 1, 2, 3, 4, 5]),
+        ]);
+        let mut st = EvalStats::new();
+        let out = select(&d, &FilterExpr::MaxSize(3), &set, &mut st);
+        assert_eq!(out.len(), 2);
+        assert_eq!(st.filter_evals, 3);
+        assert_eq!(st.filter_pruned, 1);
+        // True short-circuits without evaluating.
+        let mut st = EvalStats::new();
+        let out = select(&d, &FilterExpr::True, &set, &mut st);
+        assert_eq!(out.len(), 3);
+        assert_eq!(st.filter_evals, 0);
+    }
+
+    #[test]
+    fn display_renders_paper_notation() {
+        use FilterExpr::*;
+        assert_eq!(MaxSize(3).to_string(), "size≤3");
+        assert_eq!(
+            And(vec![MaxSize(3), Not(Box::new(MinSize(2)))]).to_string(),
+            "(size≤3 ∧ ¬size≥2)"
+        );
+        assert_eq!(
+            Or(vec![MaxHeight(1), MaxWidth(2)]).to_string(),
+            "(height≤1 ∨ width≤2)"
+        );
+    }
+
+    #[test]
+    fn equal_depth_filter_semantics() {
+        let d = doc();
+        let p = FilterExpr::EqualDepth("alpha".into(), "beta".into());
+        // Fragment ⟨n2⟩: alpha and beta both at depth 0 from the root → true.
+        assert!(p.eval_uncounted(&d, &frag(&d, &[2])));
+        // Fragment ⟨n1,n3⟩: alpha at depth 0 (n1), beta at depth 1 (n3) → false.
+        assert!(!p.eval_uncounted(&d, &frag(&d, &[1, 3])));
+        // Missing either term → false (both must be present).
+        assert!(!p.eval_uncounted(&d, &frag(&d, &[5]))); // only alpha
+        assert!(!p.eval_uncounted(&d, &frag(&d, &[3]))); // only beta
+    }
+
+    /// The Figure 7 pattern made concrete: a super-fragment satisfies the
+    /// equal-depth filter while one of its connected sub-fragments does
+    /// not — witnessing that the filter is **not** anti-monotonic.
+    ///
+    /// ```text
+    ///        r(q0)
+    ///       /     \
+    ///    a(q1)   d(q3)
+    ///      |       |
+    ///  c(q2)"k2" e(q4)"k1"
+    /// ```
+    ///
+    /// The full tree has k1 at depth 2 and k2 at depth 2 → passes. The
+    /// sub-fragment ⟨q0,q1,q2⟩ still contains k2 but no k1 → fails.
+    #[test]
+    fn equal_depth_counterexample_figure7() {
+        let mut b = DocumentBuilder::new();
+        b.begin("r"); // q0
+        {
+            b.begin("a"); // q1
+            b.leaf("c", "k2"); // q2
+            b.end();
+            b.begin("d"); // q3
+            b.leaf("e", "k1"); // q4
+            b.end();
+        }
+        b.end();
+        let d = b.finish().unwrap();
+        let p = FilterExpr::EqualDepth("k1".into(), "k2".into());
+        let full = frag(&d, &[0, 1, 2, 3, 4]);
+        assert!(p.eval_uncounted(&d, &full));
+        let sub = frag(&d, &[0, 1, 2]);
+        assert!(sub.is_subfragment_of(&full));
+        assert!(!p.eval_uncounted(&d, &sub)); // Definition 11 violated
+        assert!(!p.is_anti_monotonic());
+    }
+}

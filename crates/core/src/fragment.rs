@@ -1,0 +1,325 @@
+//! Document fragments — Definition 2 of the paper.
+//!
+//! A fragment of document `D` is a node subset whose induced subgraph in
+//! `D` is a rooted (hence connected) tree. Because node ids are pre-order
+//! ranks (see `xfrag-doc`), the root of a fragment is always its minimum
+//! id, matching the paper's convention that "the first node of a fragment
+//! represents the root of the tree induced by it".
+//!
+//! The representation is a sorted, duplicate-free `Vec<NodeId>`: joins are
+//! merge-unions, containment is subset testing over sorted slices, and the
+//! canonical form makes `Eq`/`Hash` structural — which is what makes
+//! fragment *sets* behave like the paper's sets (Table 1's duplicate rows
+//! collapse).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use xfrag_doc::{Document, NodeId};
+
+/// A document fragment: a connected node set, canonically sorted.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Fragment {
+    nodes: Vec<NodeId>,
+}
+
+/// Error produced when a node set does not induce a connected tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FragmentError {
+    /// The node set was empty.
+    Empty,
+    /// `node`'s parent is outside the set, and `node` is not the minimum.
+    Disconnected {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A node id outside the document.
+    OutOfRange {
+        /// The offending node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for FragmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FragmentError::Empty => write!(f, "fragment must contain at least one node"),
+            FragmentError::Disconnected { node } => {
+                write!(f, "node {node} is disconnected from the fragment root")
+            }
+            FragmentError::OutOfRange { node } => {
+                write!(f, "node {node} is not in the document")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FragmentError {}
+
+impl Fragment {
+    /// A single-node fragment — what the paper simply calls "a node".
+    pub fn node(n: NodeId) -> Self {
+        Fragment { nodes: vec![n] }
+    }
+
+    /// Build a fragment from an arbitrary collection of node ids,
+    /// verifying connectivity against the document (Definition 2).
+    ///
+    /// The check is O(|nodes| log |nodes|): after sorting, every node but
+    /// the first must have its parent inside the set (pre-order ids make
+    /// the minimum the only possible root).
+    pub fn from_nodes(
+        doc: &Document,
+        nodes: impl IntoIterator<Item = NodeId>,
+    ) -> Result<Self, FragmentError> {
+        let mut v: Vec<NodeId> = nodes.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        if v.is_empty() {
+            return Err(FragmentError::Empty);
+        }
+        for &n in &v {
+            if doc.check(n).is_err() {
+                return Err(FragmentError::OutOfRange { node: n });
+            }
+        }
+        for &n in &v[1..] {
+            let p = doc.parent(n).ok_or(FragmentError::Disconnected { node: n })?;
+            if v.binary_search(&p).is_err() {
+                return Err(FragmentError::Disconnected { node: n });
+            }
+        }
+        Ok(Fragment { nodes: v })
+    }
+
+    /// Build from a sorted, unique, known-connected node list without
+    /// re-verifying. Used by the join kernel, which constructs connected
+    /// sets by construction.
+    pub(crate) fn from_sorted_unchecked(nodes: Vec<NodeId>) -> Self {
+        debug_assert!(!nodes.is_empty());
+        debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]), "not sorted/unique");
+        Fragment { nodes }
+    }
+
+    /// The whole subtree rooted at `n` as a fragment.
+    pub fn subtree(doc: &Document, n: NodeId) -> Self {
+        Fragment {
+            nodes: doc.subtree_ids(n).collect(),
+        }
+    }
+
+    /// The fragment's root: minimum pre-order id.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Number of nodes — the `size(f)` of §3.3.1.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Sorted node ids.
+    #[inline]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Membership test (binary search).
+    #[inline]
+    pub fn contains_node(&self, n: NodeId) -> bool {
+        self.nodes.binary_search(&n).is_ok()
+    }
+
+    /// Sub-fragment test `self ⊆ other` — node-set inclusion, which for
+    /// connected sets coincides with the paper's fragment containment.
+    pub fn is_subfragment_of(&self, other: &Fragment) -> bool {
+        if self.nodes.len() > other.nodes.len() {
+            return false;
+        }
+        // Merge-style subset check over two sorted slices.
+        let mut oi = 0;
+        'outer: for &n in &self.nodes {
+            while oi < other.nodes.len() {
+                match other.nodes[oi].cmp(&n) {
+                    std::cmp::Ordering::Less => oi += 1,
+                    std::cmp::Ordering::Equal => {
+                        oi += 1;
+                        continue 'outer;
+                    }
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// `height(f)` of §3.3.2: vertical distance from the fragment root to
+    /// its deepest node. A single node has height 0.
+    pub fn height(&self, doc: &Document) -> u32 {
+        let base = doc.depth(self.root());
+        self.nodes
+            .iter()
+            .map(|&n| doc.depth(n) - base)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// `width(f)` of §3.3.2, concretized as the document-order span between
+    /// the fragment's extreme (leftmost and rightmost) nodes. Any sub-
+    /// fragment spans a sub-interval, so `width ≤ γ` is anti-monotonic,
+    /// which is the property the paper requires of the filter.
+    pub fn width(&self, _doc: &Document) -> u32 {
+        self.nodes[self.nodes.len() - 1].0 - self.nodes[0].0
+    }
+
+    /// The fragment's leaves: nodes with no child *inside the fragment*
+    /// (Definition 8 quantifies keywords over these).
+    pub fn leaves<'a>(&'a self, doc: &'a Document) -> impl Iterator<Item = NodeId> + 'a {
+        self.nodes
+            .iter()
+            .copied()
+            .filter(move |&n| !doc.children(n).iter().any(|c| self.contains_node(*c)))
+    }
+
+    /// Iterate nodes in document order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        self.nodes.iter().copied()
+    }
+}
+
+impl fmt::Debug for Fragment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The paper writes fragments as ⟨n16,n17,n18⟩.
+        write!(f, "⟨")?;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+impl fmt::Display for Fragment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xfrag_doc::DocumentBuilder;
+
+    /// r(0) -> a(1) -> b(2), c(3); r -> d(4) -> e(5)
+    fn doc() -> Document {
+        let mut b = DocumentBuilder::new();
+        b.begin("r");
+        b.begin("a");
+        b.leaf("b", "");
+        b.leaf("c", "");
+        b.end();
+        b.begin("d");
+        b.leaf("e", "");
+        b.end();
+        b.end();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn single_node() {
+        let f = Fragment::node(NodeId(3));
+        assert_eq!(f.root(), NodeId(3));
+        assert_eq!(f.size(), 1);
+    }
+
+    #[test]
+    fn from_nodes_accepts_connected() {
+        let d = doc();
+        let f = Fragment::from_nodes(&d, [NodeId(3), NodeId(1), NodeId(2)]).unwrap();
+        assert_eq!(f.root(), NodeId(1));
+        assert_eq!(f.nodes(), &[NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn from_nodes_dedups() {
+        let d = doc();
+        let f = Fragment::from_nodes(&d, [NodeId(1), NodeId(1), NodeId(2)]).unwrap();
+        assert_eq!(f.size(), 2);
+    }
+
+    #[test]
+    fn from_nodes_rejects_disconnected() {
+        let d = doc();
+        let e = Fragment::from_nodes(&d, [NodeId(2), NodeId(5)]).unwrap_err();
+        assert!(matches!(e, FragmentError::Disconnected { .. }));
+        // {r, b} without a: disconnected.
+        let e = Fragment::from_nodes(&d, [NodeId(0), NodeId(2)]).unwrap_err();
+        assert_eq!(e, FragmentError::Disconnected { node: NodeId(2) });
+    }
+
+    #[test]
+    fn from_nodes_rejects_empty_and_oob() {
+        let d = doc();
+        assert_eq!(
+            Fragment::from_nodes(&d, []).unwrap_err(),
+            FragmentError::Empty
+        );
+        assert_eq!(
+            Fragment::from_nodes(&d, [NodeId(99)]).unwrap_err(),
+            FragmentError::OutOfRange { node: NodeId(99) }
+        );
+    }
+
+    #[test]
+    fn whole_subtree() {
+        let d = doc();
+        let f = Fragment::subtree(&d, NodeId(1));
+        assert_eq!(f.nodes(), &[NodeId(1), NodeId(2), NodeId(3)]);
+        let whole = Fragment::subtree(&d, NodeId(0));
+        assert_eq!(whole.size(), d.len());
+    }
+
+    #[test]
+    fn subfragment_relation() {
+        let d = doc();
+        let small = Fragment::from_nodes(&d, [NodeId(1), NodeId(2)]).unwrap();
+        let big = Fragment::subtree(&d, NodeId(1));
+        assert!(small.is_subfragment_of(&big));
+        assert!(!big.is_subfragment_of(&small));
+        assert!(small.is_subfragment_of(&small));
+        let other = Fragment::subtree(&d, NodeId(4));
+        assert!(!small.is_subfragment_of(&other));
+    }
+
+    #[test]
+    fn metrics() {
+        let d = doc();
+        let f = Fragment::from_nodes(&d, [NodeId(0), NodeId(1), NodeId(3), NodeId(4)]).unwrap();
+        assert_eq!(f.size(), 4);
+        assert_eq!(f.height(&d), 2); // root r at 0, n3 at depth 2
+        assert_eq!(f.width(&d), 4); // span n0..n4
+        assert_eq!(Fragment::node(NodeId(2)).height(&d), 0);
+        assert_eq!(Fragment::node(NodeId(2)).width(&d), 0);
+    }
+
+    #[test]
+    fn leaves_are_fragment_relative() {
+        let d = doc();
+        let f = Fragment::from_nodes(&d, [NodeId(0), NodeId(1), NodeId(4)]).unwrap();
+        let mut leaves: Vec<_> = f.leaves(&d).collect();
+        leaves.sort();
+        // a(1) and d(4) have document children but none inside f.
+        assert_eq!(leaves, vec![NodeId(1), NodeId(4)]);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let d = doc();
+        let f = Fragment::from_nodes(&d, [NodeId(1), NodeId(2)]).unwrap();
+        assert_eq!(format!("{f}"), "⟨n1,n2⟩");
+    }
+}

@@ -1,0 +1,80 @@
+#![warn(missing_docs)]
+
+//! # xfrag-core — the fragment algebra
+//!
+//! The primary contribution of Pradhan, *"An Algebraic Query Model for
+//! Effective and Efficient Retrieval of XML Fragments"* (VLDB 2006):
+//! a database-style algebra over document fragments, with
+//!
+//! * [`Fragment`] / [`FragmentSet`] — Definition 2 and the set operands;
+//! * [`join`] — fragment join, pairwise fragment join, powerset fragment
+//!   join (Definitions 4–6);
+//! * [`fixpoint`] — fixed points, fragment set reduce, Theorems 1 & 2;
+//! * [`filter`] — selection predicates, anti-monotonic classification
+//!   (Definitions 3 & 11, Theorem 3's precondition);
+//! * [`query`] — keyword queries and the §4 evaluation strategies;
+//! * [`plan`] — a logical plan representation with the paper's algebraic
+//!   rewrites as optimizer rules, plus `EXPLAIN`-style rendering of query
+//!   evaluation trees (Figure 5);
+//! * [`cost`] — the §5 cost-model sketch made concrete: join-count
+//!   estimation and reduction-factor-driven strategy choice;
+//! * [`overlap`] — grouping of overlapping answers (§5 discussion);
+//! * [`parallel`] — optional multi-threaded pairwise joins for large sets.
+//!
+//! ## Example
+//!
+//! The paper's running query, end to end:
+//!
+//! ```
+//! use xfrag_core::{evaluate, FilterExpr, Query, Strategy};
+//! use xfrag_doc::{parse_str, InvertedIndex};
+//!
+//! let doc = parse_str(
+//!     "<sec><sub>optimization topics\
+//!        <par>XQuery optimization in practice</par>\
+//!        <par>XQuery rewriting</par></sub></sec>",
+//! ).unwrap();
+//! let index = InvertedIndex::build(&doc);
+//! let query = Query::new(["xquery", "optimization"], FilterExpr::MaxSize(3));
+//!
+//! // All four strategies return the same answer set.
+//! let push = evaluate(&doc, &index, &query, Strategy::PushDown).unwrap();
+//! let brute = evaluate(&doc, &index, &query, Strategy::BruteForce).unwrap();
+//! assert_eq!(push.fragments, brute.fragments);
+//! // ⟨sub, par, par⟩ — the self-contained fragment — is among them.
+//! assert!(push.fragments.iter().any(|f| f.size() == 3));
+//! ```
+
+pub mod collection;
+pub mod cost;
+pub mod filter;
+pub mod fixpoint;
+pub mod fragment;
+pub mod join;
+pub mod overlap;
+pub mod parallel;
+pub mod plan;
+pub mod query;
+pub mod rank;
+pub mod set;
+pub mod snippet;
+pub mod stats;
+
+pub use collection::{
+    evaluate_collection, evaluate_collection_parallel, top_k_collection, CollectionResult,
+    DocAnswers,
+};
+pub use filter::{select, FilterExpr};
+pub use fixpoint::{
+    fixed_point, fixed_point_naive, fixed_point_reduced, powerset_via_fixpoint, reduce,
+    reduction_factor, FixpointMode,
+};
+pub use fragment::{Fragment, FragmentError};
+pub use join::{
+    fragment_join, fragment_join_all, fragment_join_many, pairwise_join, powerset_join,
+    powerset_join_candidates, PowersetTooLarge, POWERSET_LIMIT,
+};
+pub use plan::{LogicalPlan, Optimizer, OptimizerRule};
+pub use query::{evaluate, evaluate_scoped, Query, QueryResult, ScopedQueryError, Strategy};
+pub use set::FragmentSet;
+pub use stats::EvalStats;

@@ -1,0 +1,147 @@
+//! Overlapping answers — the §5 discussion, made operational.
+//!
+//! The algebra deliberately returns *overlapping* answers (Table 1 keeps
+//! ⟨n16,n17⟩ alongside ⟨n16,n17,n18⟩): "overlapping answers are simply the
+//! sub-fragments of target fragments. We believe it is only a question of
+//! how they should be presented to the users. Either they can be
+//! completely hidden, or, together with target fragments, they can be
+//! presented in a visually pleasing way to show their structural
+//! relationships."
+//!
+//! This module implements both presentations:
+//! * [`maximal_only`] — hide sub-fragments entirely;
+//! * [`group`] — nest each answer under the maximal answers containing it.
+
+use crate::fragment::Fragment;
+use crate::set::FragmentSet;
+use serde::{Deserialize, Serialize};
+
+/// One maximal answer together with the overlapping sub-answers it
+/// subsumes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverlapGroup {
+    /// A fragment not contained in any other answer fragment.
+    pub maximal: Fragment,
+    /// Answer fragments strictly contained in `maximal`, in set order.
+    pub contained: Vec<Fragment>,
+}
+
+/// Keep only the maximal fragments: those not strictly contained in
+/// another member of the set.
+pub fn maximal_only(answers: &FragmentSet) -> FragmentSet {
+    let mut out = FragmentSet::new();
+    for f in answers.iter() {
+        let dominated = answers
+            .iter()
+            .any(|g| g != f && f.is_subfragment_of(g));
+        if !dominated {
+            out.insert(f.clone());
+        }
+    }
+    out
+}
+
+/// Group every answer under the maximal answers that contain it. A
+/// sub-fragment contained in several maximal answers appears in each of
+/// their groups (overlap is many-to-many).
+pub fn group(answers: &FragmentSet) -> Vec<OverlapGroup> {
+    let maximal = maximal_only(answers);
+    maximal
+        .iter()
+        .map(|m| OverlapGroup {
+            maximal: m.clone(),
+            contained: answers
+                .iter()
+                .filter(|f| *f != m && f.is_subfragment_of(m))
+                .cloned()
+                .collect(),
+        })
+        .collect()
+}
+
+/// The overlap ratio of an answer set: fraction of answers that are
+/// sub-fragments of another answer. 0.0 means all answers are maximal
+/// (the metric XML-IR evaluations penalize, cf. the paper's refs. 3 and 10).
+pub fn overlap_ratio(answers: &FragmentSet) -> f64 {
+    if answers.is_empty() {
+        return 0.0;
+    }
+    let max = maximal_only(answers).len();
+    (answers.len() - max) as f64 / answers.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::Fragment;
+    use xfrag_doc::{Document, DocumentBuilder, NodeId};
+
+    fn doc() -> Document {
+        let mut b = DocumentBuilder::new();
+        b.begin("r");
+        b.begin("a");
+        b.leaf("b", "");
+        b.leaf("c", "");
+        b.end();
+        b.leaf("d", "");
+        b.end();
+        b.finish().unwrap()
+    }
+
+    fn frag(d: &Document, ns: &[u32]) -> Fragment {
+        Fragment::from_nodes(d, ns.iter().map(|&n| NodeId(n))).unwrap()
+    }
+
+    #[test]
+    fn maximal_only_drops_subfragments() {
+        let d = doc();
+        let answers = FragmentSet::from_iter([
+            frag(&d, &[1, 2, 3]),
+            frag(&d, &[1, 2]),
+            frag(&d, &[2]),
+            frag(&d, &[4]),
+        ]);
+        let max = maximal_only(&answers);
+        assert_eq!(max.len(), 2);
+        assert!(max.contains(&frag(&d, &[1, 2, 3])));
+        assert!(max.contains(&frag(&d, &[4])));
+    }
+
+    #[test]
+    fn groups_nest_contained_answers() {
+        let d = doc();
+        let answers = FragmentSet::from_iter([
+            frag(&d, &[1, 2, 3]),
+            frag(&d, &[1, 2]),
+            frag(&d, &[2]),
+            frag(&d, &[4]),
+        ]);
+        let groups = group(&answers);
+        assert_eq!(groups.len(), 2);
+        let g0 = groups
+            .iter()
+            .find(|g| g.maximal == frag(&d, &[1, 2, 3]))
+            .unwrap();
+        assert_eq!(g0.contained, vec![frag(&d, &[1, 2]), frag(&d, &[2])]);
+        let g1 = groups.iter().find(|g| g.maximal == frag(&d, &[4])).unwrap();
+        assert!(g1.contained.is_empty());
+    }
+
+    #[test]
+    fn overlap_ratio_bounds() {
+        let d = doc();
+        assert_eq!(overlap_ratio(&FragmentSet::new()), 0.0);
+        let disjoint = FragmentSet::from_iter([frag(&d, &[2]), frag(&d, &[3])]);
+        assert_eq!(overlap_ratio(&disjoint), 0.0);
+        let nested = FragmentSet::from_iter([frag(&d, &[1, 2]), frag(&d, &[2])]);
+        assert_eq!(overlap_ratio(&nested), 0.5);
+    }
+
+    #[test]
+    fn identical_maximal_sets_kept_once() {
+        let d = doc();
+        let answers = FragmentSet::from_iter([frag(&d, &[1, 2]), frag(&d, &[1, 2])]);
+        assert_eq!(answers.len(), 1);
+        assert_eq!(maximal_only(&answers).len(), 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Parallel pairwise fragment join.
+//!
+//! `F1 ⋈ F2` is embarrassingly parallel: every output fragment depends on
+//! exactly one `(f1, f2)` pair. This module shards the left operand across
+//! crossbeam scoped threads and merges the per-shard results into one
+//! deduplicated [`FragmentSet`]. It is used by the benchmark harness on
+//! large synthetic sets; the sequential path in [`crate::join`] remains
+//! the default (deterministic stats, zero thread overhead for the small
+//! sets real queries produce).
+//!
+//! The result is set-identical to the sequential operator (a unit test and
+//! the bench harness both check this); only the *insertion order* of the
+//! final set differs from sequential evaluation in general, which set
+//! equality deliberately ignores. Shards are merged in shard order, so the
+//! output order is still deterministic for a fixed thread count.
+
+use crate::fragment::Fragment;
+use crate::join::fragment_join;
+use crate::set::FragmentSet;
+use crate::stats::EvalStats;
+use xfrag_doc::Document;
+
+/// Parallel `F1 ⋈ F2` over `threads` workers. Falls back to the
+/// sequential operator when either operand is small or `threads <= 1`.
+pub fn pairwise_join_parallel(
+    doc: &Document,
+    f1: &FragmentSet,
+    f2: &FragmentSet,
+    threads: usize,
+    stats: &mut EvalStats,
+) -> FragmentSet {
+    const MIN_PAIRS_PER_THREAD: usize = 256;
+    let pairs = f1.len().saturating_mul(f2.len());
+    if threads <= 1 || pairs < MIN_PAIRS_PER_THREAD * 2 {
+        return crate::join::pairwise_join(doc, f1, f2, stats);
+    }
+    let threads = threads.min(f1.len().max(1));
+    let left: Vec<&Fragment> = f1.iter().collect();
+    let chunk = left.len().div_ceil(threads);
+
+    let mut shard_results: Vec<(Vec<Fragment>, EvalStats)> = Vec::new();
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = left
+            .chunks(chunk)
+            .map(|shard| {
+                scope.spawn(move |_| {
+                    let mut local_stats = EvalStats::new();
+                    let mut out: Vec<Fragment> =
+                        Vec::with_capacity(shard.len() * f2.len());
+                    for a in shard {
+                        for b in f2.iter() {
+                            out.push(fragment_join(doc, a, b, &mut local_stats));
+                            local_stats.fragments_emitted += 1;
+                        }
+                    }
+                    (out, local_stats)
+                })
+            })
+            .collect();
+        for h in handles {
+            shard_results.push(h.join().expect("join worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+
+    let mut set = FragmentSet::new();
+    for (frags, local) in shard_results {
+        *stats += local;
+        for f in frags {
+            if !set.insert(f) {
+                stats.duplicates_collapsed += 1;
+            }
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::pairwise_join;
+    use xfrag_doc::{DocumentBuilder, NodeId};
+
+    /// A wide two-level tree with `n` leaves.
+    fn wide_doc(n: u32) -> Document {
+        let mut b = DocumentBuilder::new();
+        b.begin("r");
+        for i in 0..n {
+            b.leaf(format!("c{i}"), "");
+        }
+        b.end();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let d = wide_doc(64);
+        let f1 = FragmentSet::of_nodes((1..40).map(NodeId));
+        let f2 = FragmentSet::of_nodes((20..64).map(NodeId));
+        let mut st_seq = EvalStats::new();
+        let seq = pairwise_join(&d, &f1, &f2, &mut st_seq);
+        for threads in [1, 2, 4, 7] {
+            let mut st_par = EvalStats::new();
+            let par = pairwise_join_parallel(&d, &f1, &f2, threads, &mut st_par);
+            assert_eq!(par, seq, "threads={threads}");
+            assert_eq!(st_par.joins, st_seq.joins, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn small_inputs_fall_back_to_sequential() {
+        let d = wide_doc(4);
+        let f1 = FragmentSet::of_nodes([NodeId(1), NodeId(2)]);
+        let f2 = FragmentSet::of_nodes([NodeId(3)]);
+        let mut st = EvalStats::new();
+        let out = pairwise_join_parallel(&d, &f1, &f2, 8, &mut st);
+        assert_eq!(out.len(), 2);
+        assert_eq!(st.joins, 2);
+    }
+
+    #[test]
+    fn empty_operands() {
+        let d = wide_doc(4);
+        let mut st = EvalStats::new();
+        let empty = FragmentSet::new();
+        let f2 = FragmentSet::of_nodes([NodeId(1)]);
+        assert!(pairwise_join_parallel(&d, &empty, &f2, 4, &mut st).is_empty());
+        assert!(pairwise_join_parallel(&d, &f2, &empty, 4, &mut st).is_empty());
+    }
+}

@@ -1,0 +1,655 @@
+//! Keyword queries and the evaluation strategies of §4.
+//!
+//! A query `Q_P{k1,…,km}` (Definition 7) is evaluated as
+//! `σ_P(F1 ⋈* F2 ⋈* … ⋈* Fm)` where `Fi = σ_{keyword=ki}(nodes(D))`
+//! (§2.3 gives the two-keyword case; the m-ary form is well-defined
+//! because powerset join is associative and commutative, and by the same
+//! argument as Theorem 2 it equals the pairwise-join fold of the operand
+//! fixed points `F1⁺ ⋈ … ⋈ Fm⁺`). For `m = 1` this degenerates to
+//! `σ_P(F1⁺)`.
+//!
+//! Four strategies implement the same semantics:
+//!
+//! | Strategy | Paper section | Mechanism |
+//! |---|---|---|
+//! | [`Strategy::BruteForce`] | §4.1 | literal subset enumeration, post-filter |
+//! | [`Strategy::FixedPointNaive`] | §3.1.1 | `Fi⁺` with per-round stabilization checks |
+//! | [`Strategy::FixedPointReduced`] | §3.1.2/§4.2 | Theorem 1: `|⊖(Fi)|` rounds, no checks |
+//! | [`Strategy::PushDown`] | §3.2/§4.3 | Theorem 3: anti-monotonic selection below every join |
+//!
+//! All four must return identical fragment sets — the test-suite and a
+//! proptest enforce it. They differ (dramatically) in work performed,
+//! which [`crate::EvalStats`] exposes.
+
+use crate::filter::{select, FilterExpr};
+use crate::fixpoint::{fixed_point_naive, fixed_point_reduced, reduce};
+use crate::join::{fragment_join_many, pairwise_join, PowersetTooLarge};
+use crate::set::FragmentSet;
+use crate::stats::EvalStats;
+use serde::{Deserialize, Serialize};
+use xfrag_doc::text::normalize_term;
+use xfrag_doc::{Document, InvertedIndex};
+
+/// A keyword query with a selection predicate (Definition 7).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Query {
+    /// Normalized query terms `k1 … km` (conjunctive semantics).
+    pub terms: Vec<String>,
+    /// The selection predicate `P`.
+    pub filter: FilterExpr,
+    /// Enforce Definition 8's letter: every keyword must occur in a *leaf*
+    /// of the answer fragment. The paper's operational formula
+    /// `σ_P(F1 ⋈* F2)` can produce fragments where a keyword node became
+    /// internal (e.g. joining a node with its own descendant); strict mode
+    /// post-filters those out. Off by default, matching §4's worked example.
+    pub strict_leaf_semantics: bool,
+}
+
+impl Query {
+    /// Build a query from raw terms; terms are normalized like document
+    /// text and empty ones dropped.
+    pub fn new(terms: impl IntoIterator<Item = impl AsRef<str>>, filter: FilterExpr) -> Self {
+        Query {
+            terms: terms
+                .into_iter()
+                .filter_map(|t| normalize_term(t.as_ref()))
+                .collect(),
+            filter,
+            strict_leaf_semantics: false,
+        }
+    }
+
+    /// Parse a whitespace-separated keyword string.
+    pub fn parse(input: &str, filter: FilterExpr) -> Self {
+        Self::new(input.split_whitespace(), filter)
+    }
+
+    /// Enable Definition 8's strict keyword-in-leaf requirement.
+    pub fn with_strict_leaf_semantics(mut self) -> Self {
+        self.strict_leaf_semantics = true;
+        self
+    }
+}
+
+/// The §4 evaluation strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// §4.1: powerset join by literal subset enumeration, filter last.
+    /// Exponential; refuses operands larger than
+    /// [`crate::POWERSET_LIMIT`].
+    BruteForce,
+    /// §3.1.1: fixed points by iteration with stabilization checks.
+    FixedPointNaive,
+    /// §4.2: Theorem 1 — pre-compute `|⊖(F)|`, skip stabilization checks.
+    FixedPointReduced,
+    /// §4.3: Theorem 3 — push the anti-monotonic part of the filter below
+    /// all joins (and inside fixed-point iteration); evaluate the residual
+    /// part at the top.
+    PushDown,
+}
+
+impl Strategy {
+    /// All strategies, in paper order.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::BruteForce,
+        Strategy::FixedPointNaive,
+        Strategy::FixedPointReduced,
+        Strategy::PushDown,
+    ];
+
+    /// Short stable name for tables and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::BruteForce => "brute-force",
+            Strategy::FixedPointNaive => "fixpoint-naive",
+            Strategy::FixedPointReduced => "fixpoint-reduced",
+            Strategy::PushDown => "push-down",
+        }
+    }
+}
+
+impl std::str::FromStr for Strategy {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "brute-force" | "brute" => Ok(Strategy::BruteForce),
+            "fixpoint-naive" | "naive" => Ok(Strategy::FixedPointNaive),
+            "fixpoint-reduced" | "reduced" => Ok(Strategy::FixedPointReduced),
+            "push-down" | "pushdown" => Ok(Strategy::PushDown),
+            other => Err(format!(
+                "unknown strategy {other:?} (expected brute-force, fixpoint-naive, fixpoint-reduced or push-down)"
+            )),
+        }
+    }
+}
+
+/// The outcome of evaluating a query: the answer set `A` plus the work
+/// accounting that the paper's efficiency arguments are about.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The answer fragments.
+    pub fragments: FragmentSet,
+    /// Operation counters accumulated during evaluation.
+    pub stats: EvalStats,
+}
+
+/// Errors surfaced by query evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query contained no usable terms after normalization.
+    NoTerms,
+    /// Brute force was asked to enumerate an oversized powerset.
+    PowersetTooLarge(PowersetTooLarge),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::NoTerms => write!(f, "query has no terms"),
+            QueryError::PowersetTooLarge(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<PowersetTooLarge> for QueryError {
+    fn from(e: PowersetTooLarge) -> Self {
+        QueryError::PowersetTooLarge(e)
+    }
+}
+
+/// Evaluate `query` over `doc` using `index` for the keyword selections.
+pub fn evaluate(
+    doc: &Document,
+    index: &InvertedIndex,
+    query: &Query,
+    strategy: Strategy,
+) -> Result<QueryResult, QueryError> {
+    // Fi = σ_{keyword=ki}(nodes(D)) — single-node fragments.
+    let operands: Vec<FragmentSet> = query
+        .terms
+        .iter()
+        .map(|t| FragmentSet::of_nodes(index.lookup(t).iter().copied()))
+        .collect();
+    evaluate_operands(doc, query, strategy, &operands)
+}
+
+/// Strategy dispatch over pre-built operand sets (shared by [`evaluate`]
+/// and the scoped/hybrid entry point).
+pub(crate) fn evaluate_operands(
+    doc: &Document,
+    query: &Query,
+    strategy: Strategy,
+    operands: &[FragmentSet],
+) -> Result<QueryResult, QueryError> {
+    if query.terms.is_empty() {
+        return Err(QueryError::NoTerms);
+    }
+    let mut stats = EvalStats::new();
+
+    // Conjunctive semantics: a term with no occurrences empties the answer.
+    if operands.iter().any(FragmentSet::is_empty) {
+        return Ok(QueryResult {
+            fragments: FragmentSet::new(),
+            stats,
+        });
+    }
+
+    let raw = match strategy {
+        Strategy::BruteForce => brute_force(doc, operands, &mut stats)?,
+        Strategy::FixedPointNaive => {
+            let fps: Vec<FragmentSet> = operands
+                .iter()
+                .map(|f| fixed_point_naive(doc, f, &mut stats))
+                .collect();
+            fold_pairwise(doc, fps, &mut stats)
+        }
+        Strategy::FixedPointReduced => {
+            let fps: Vec<FragmentSet> = operands
+                .iter()
+                .map(|f| fixed_point_reduced(doc, f, &mut stats))
+                .collect();
+            fold_pairwise(doc, fps, &mut stats)
+        }
+        Strategy::PushDown => {
+            let (anti, _rest) = query.filter.split_anti_monotonic();
+            let fps: Vec<FragmentSet> = operands
+                .iter()
+                .map(|f| {
+                    let base = select(doc, &anti, f, &mut stats);
+                    filtered_fixed_point(doc, &base, &anti, &mut stats)
+                })
+                .collect();
+            let mut acc: Option<FragmentSet> = None;
+            for fp in fps {
+                acc = Some(match acc {
+                    None => fp,
+                    Some(prev) => {
+                        let joined = pairwise_join(doc, &prev, &fp, &mut stats);
+                        select(doc, &anti, &joined, &mut stats)
+                    }
+                });
+            }
+            acc.expect("at least one operand")
+        }
+    };
+
+    // Top-level selection σ_P — for PushDown this re-checks the
+    // anti-monotonic part (already guaranteed) and applies the residual.
+    let mut fragments = select(doc, &query.filter, &raw, &mut stats);
+    if query.strict_leaf_semantics {
+        let strict = FilterExpr::and(
+            query
+                .terms
+                .iter()
+                .map(|t| FilterExpr::LeafTerm(t.clone())),
+        );
+        fragments = select(doc, &strict, &fragments, &mut stats);
+    }
+    Ok(QueryResult { fragments, stats })
+}
+
+/// §4.1 brute force: enumerate every choice of non-empty subsets, one per
+/// operand, and join each union.
+fn brute_force(
+    doc: &Document,
+    operands: &[FragmentSet],
+    stats: &mut EvalStats,
+) -> Result<FragmentSet, PowersetTooLarge> {
+    for s in operands {
+        if s.len() > crate::join::POWERSET_LIMIT {
+            return Err(PowersetTooLarge { len: s.len() });
+        }
+    }
+    let slices: Vec<Vec<&crate::fragment::Fragment>> =
+        operands.iter().map(|s| s.iter().collect()).collect();
+    let mut out = FragmentSet::new();
+    // Odometer over non-empty subset masks of each operand.
+    let mut masks: Vec<u32> = vec![1; slices.len()];
+    loop {
+        let chosen = slices.iter().zip(&masks).flat_map(|(fs, &m)| {
+            fs.iter()
+                .enumerate()
+                .filter(move |(i, _)| m & (1 << i) != 0)
+                .map(|(_, f)| *f)
+        });
+        let joined = fragment_join_many(doc, chosen, stats).expect("non-empty choice");
+        stats.fragments_emitted += 1;
+        if !out.insert(joined) {
+            stats.duplicates_collapsed += 1;
+        }
+        // Advance the odometer.
+        let mut i = 0;
+        loop {
+            if i == masks.len() {
+                return Ok(out);
+            }
+            masks[i] += 1;
+            if masks[i] < (1u32 << slices[i].len()) {
+                break;
+            }
+            masks[i] = 1;
+            i += 1;
+        }
+    }
+}
+
+/// Fold `F1⁺ ⋈ F2⁺ ⋈ … ⋈ Fm⁺` left to right.
+fn fold_pairwise(
+    doc: &Document,
+    fps: Vec<FragmentSet>,
+    stats: &mut EvalStats,
+) -> FragmentSet {
+    let mut it = fps.into_iter();
+    let first = it.next().expect("at least one operand");
+    it.fold(first, |acc, fp| pairwise_join(doc, &acc, &fp, stats))
+}
+
+/// Fixed point with an anti-monotonic filter applied after every round —
+/// the §3.3 expansion `σ_Pa(σ_Pa(F) ⋈ σ_Pa(F) ⋈ …)`. Fragments the filter
+/// rejects can never grow back into accepted ones (anti-monotonicity), so
+/// pruning inside the loop preserves the filtered fixed point.
+fn filtered_fixed_point(
+    doc: &Document,
+    f: &FragmentSet,
+    anti: &FilterExpr,
+    stats: &mut EvalStats,
+) -> FragmentSet {
+    if f.is_empty() {
+        return FragmentSet::new();
+    }
+    let mut h = f.clone();
+    loop {
+        stats.fixpoint_iterations += 1;
+        let joined = pairwise_join(doc, &h, f, stats);
+        let kept = select(doc, anti, &joined, stats);
+        let next = kept.union(&h);
+        stats.fixpoint_checks += 1;
+        if next.len() == h.len() {
+            return h;
+        }
+        h = next;
+    }
+}
+
+/// Hybrid structural + keyword evaluation — the integration the paper's
+/// §6 attributes to Florescu et al. and Al-Khalifa et al.: a structural
+/// path expression *scopes* the keyword query, and the algebra runs
+/// inside each scope subtree independently. Returns `(scope, answers)`
+/// pairs for the scopes that produced answers, in document order.
+///
+/// Scoping restricts the operand selections `Fi` to the scope's subtree,
+/// so answer fragments are always contained in one scope — joins never
+/// escape through the scope root's ancestors.
+pub fn evaluate_scoped(
+    doc: &Document,
+    index: &InvertedIndex,
+    query: &Query,
+    scope_path: &str,
+    strategy: Strategy,
+) -> Result<Vec<(xfrag_doc::NodeId, QueryResult)>, ScopedQueryError> {
+    let scopes = xfrag_doc::select_path(doc, scope_path).map_err(ScopedQueryError::Path)?;
+    let mut out = Vec::new();
+    for scope in scopes {
+        // Restrict each operand's postings to the scope subtree; pre-order
+        // spans make this a range filter on node ids.
+        let lo = scope.0;
+        let hi = scope.0 + doc.subtree_size(scope);
+        let scoped_index = ScopedIndex {
+            inner: index,
+            lo,
+            hi,
+        };
+        let r = evaluate_with_lookup(doc, &scoped_index, query, strategy)
+            .map_err(ScopedQueryError::Query)?;
+        if !r.fragments.is_empty() {
+            out.push((scope, r));
+        }
+    }
+    Ok(out)
+}
+
+/// Error type for [`evaluate_scoped`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScopedQueryError {
+    /// The scope path failed to parse.
+    Path(xfrag_doc::path::PathError),
+    /// The inner keyword query failed.
+    Query(QueryError),
+}
+
+impl std::fmt::Display for ScopedQueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScopedQueryError::Path(e) => write!(f, "{e}"),
+            ScopedQueryError::Query(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScopedQueryError {}
+
+/// Posting lookup abstraction so scoped evaluation can reuse the engine.
+trait TermLookup {
+    fn postings(&self, term: &str) -> Vec<xfrag_doc::NodeId>;
+}
+
+impl TermLookup for InvertedIndex {
+    fn postings(&self, term: &str) -> Vec<xfrag_doc::NodeId> {
+        self.lookup(term).to_vec()
+    }
+}
+
+struct ScopedIndex<'a> {
+    inner: &'a InvertedIndex,
+    lo: u32,
+    hi: u32,
+}
+
+impl TermLookup for ScopedIndex<'_> {
+    fn postings(&self, term: &str) -> Vec<xfrag_doc::NodeId> {
+        self.inner
+            .lookup(term)
+            .iter()
+            .copied()
+            .filter(|n| n.0 >= self.lo && n.0 < self.hi)
+            .collect()
+    }
+}
+
+fn evaluate_with_lookup(
+    doc: &Document,
+    lookup: &dyn TermLookup,
+    query: &Query,
+    strategy: Strategy,
+) -> Result<QueryResult, QueryError> {
+    // Build a transient index view: materialize the scoped postings into
+    // fragment sets and reuse the public engine by constructing the
+    // operand sets directly. The main `evaluate` consumes an
+    // `InvertedIndex`, so rather than duplicate its strategy dispatch we
+    // rebuild a minimal document-backed index is unnecessary — instead we
+    // inline the operand construction and call the strategy machinery via
+    // a private entry point.
+    crate::query::evaluate_operands(
+        doc,
+        query,
+        strategy,
+        &query
+            .terms
+            .iter()
+            .map(|t| crate::set::FragmentSet::of_nodes(lookup.postings(t)))
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Convenience wrapper: the §4.2-style diagnostic of how much each operand
+/// set would shrink under `⊖` — used by the cost model and the CLI explain
+/// output.
+pub fn operand_reduction_factors(
+    doc: &Document,
+    index: &InvertedIndex,
+    query: &Query,
+) -> Vec<(String, usize, usize)> {
+    let mut stats = EvalStats::new();
+    query
+        .terms
+        .iter()
+        .map(|t| {
+            let f = FragmentSet::of_nodes(index.lookup(t).iter().copied());
+            let r = reduce(doc, &f, &mut stats);
+            (t.clone(), f.len(), r.len())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xfrag_doc::DocumentBuilder;
+
+    /// article(0) -> sec(1){"alpha"} -> p(2){"alpha beta"}, p(3){"beta"};
+    /// article -> sec(4) -> p(5){"alpha"}, p(6){"gamma"}
+    fn doc() -> Document {
+        let mut b = DocumentBuilder::new();
+        b.begin("article");
+        b.begin("sec");
+        b.text("alpha");
+        b.leaf("p", "alpha beta");
+        b.leaf("p", "beta");
+        b.end();
+        b.begin("sec");
+        b.leaf("p", "alpha");
+        b.leaf("p", "gamma");
+        b.end();
+        b.end();
+        b.finish().unwrap()
+    }
+
+    fn eval(q: &Query, s: Strategy) -> QueryResult {
+        let d = doc();
+        let idx = InvertedIndex::build(&d);
+        evaluate(&d, &idx, q, s).unwrap()
+    }
+
+    #[test]
+    fn all_strategies_agree() {
+        let q = Query::new(["alpha", "beta"], FilterExpr::MaxSize(3));
+        let results: Vec<QueryResult> = Strategy::ALL.iter().map(|&s| eval(&q, s)).collect();
+        for r in &results[1..] {
+            assert_eq!(r.fragments, results[0].fragments);
+        }
+        assert!(!results[0].fragments.is_empty());
+    }
+
+    #[test]
+    fn conjunctive_semantics_unknown_term_empties() {
+        let q = Query::new(["alpha", "zzz"], FilterExpr::True);
+        for s in Strategy::ALL {
+            assert!(eval(&q, s).fragments.is_empty(), "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn no_terms_is_an_error() {
+        let d = doc();
+        let idx = InvertedIndex::build(&d);
+        let q = Query::new(Vec::<&str>::new(), FilterExpr::True);
+        assert_eq!(
+            evaluate(&d, &idx, &q, Strategy::PushDown).unwrap_err(),
+            QueryError::NoTerms
+        );
+        // Terms that normalize to nothing behave the same.
+        let q = Query::parse("  ,. ", FilterExpr::True);
+        assert_eq!(
+            evaluate(&d, &idx, &q, Strategy::PushDown).unwrap_err(),
+            QueryError::NoTerms
+        );
+    }
+
+    #[test]
+    fn single_term_query_is_operand_fixed_point() {
+        // "beta" occurs at n2 and n3 (siblings under n1): answer should
+        // contain ⟨n2⟩, ⟨n3⟩ and their join ⟨n1,n2,n3⟩.
+        let q = Query::new(["beta"], FilterExpr::True);
+        let r = eval(&q, Strategy::FixedPointNaive);
+        assert_eq!(r.fragments.len(), 3);
+        let q_filtered = Query::new(["beta"], FilterExpr::MaxSize(1));
+        let r = eval(&q_filtered, Strategy::PushDown);
+        assert_eq!(r.fragments.len(), 2);
+    }
+
+    #[test]
+    fn three_term_query_consistency() {
+        let q = Query::new(["alpha", "beta", "gamma"], FilterExpr::MaxSize(10));
+        let results: Vec<QueryResult> = Strategy::ALL.iter().map(|&s| eval(&q, s)).collect();
+        for r in &results[1..] {
+            assert_eq!(r.fragments, results[0].fragments);
+        }
+        // gamma only at n6; any answer must span both sec subtrees → root n0.
+        for f in results[0].fragments.iter() {
+            assert!(f.contains_node(xfrag_doc::NodeId(0)));
+        }
+    }
+
+    #[test]
+    fn pushdown_does_less_join_work() {
+        let q = Query::new(["alpha", "beta"], FilterExpr::MaxSize(2));
+        let naive = eval(&q, Strategy::FixedPointNaive);
+        let push = eval(&q, Strategy::PushDown);
+        assert_eq!(naive.fragments, push.fragments);
+        assert!(
+            push.stats.joins <= naive.stats.joins,
+            "push-down should not join more: {} vs {}",
+            push.stats.joins,
+            naive.stats.joins
+        );
+    }
+
+    #[test]
+    fn strict_leaf_semantics_prunes_internal_keyword_answers() {
+        // Query {alpha, beta}: fragment ⟨n1,n3⟩ joins keyword node n1
+        // (alpha, internal? no — n1 has child n3 in fragment; alpha is at
+        // n1 which is internal) — strict mode must reject it, relaxed mode
+        // keeps it.
+        let relaxed = Query::new(["alpha", "beta"], FilterExpr::True);
+        let strict = relaxed.clone().with_strict_leaf_semantics();
+        let r_rel = eval(&relaxed, Strategy::FixedPointNaive);
+        let r_str = eval(&strict, Strategy::FixedPointNaive);
+        assert!(r_str.fragments.len() < r_rel.fragments.len());
+        for f in r_str.fragments.iter() {
+            // every term occurs at some fragment leaf
+            for t in &strict.terms {
+                assert!(FilterExpr::LeafTerm(t.clone()).eval_uncounted(&doc(), f));
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_parsing_and_names() {
+        for s in Strategy::ALL {
+            assert_eq!(s.name().parse::<Strategy>().unwrap(), s);
+        }
+        assert!("bogus".parse::<Strategy>().is_err());
+    }
+
+    #[test]
+    fn scoped_hybrid_query() {
+        // article(0) -> sec(1){alpha} -> p(2){alpha beta}, p(3){beta};
+        // article -> sec(4) -> p(5){alpha}, p(6){gamma}
+        let d = doc();
+        let idx = InvertedIndex::build(&d);
+        let q = Query::new(["alpha", "beta"], FilterExpr::MaxSize(3));
+        // Scoped to each <sec>: only the first section answers, and no
+        // fragment escapes its scope subtree.
+        let scoped =
+            evaluate_scoped(&d, &idx, &q, "/article/sec", Strategy::PushDown).unwrap();
+        assert_eq!(scoped.len(), 1);
+        let (scope, r) = &scoped[0];
+        assert_eq!(*scope, xfrag_doc::NodeId(1));
+        assert!(!r.fragments.is_empty());
+        for f in r.fragments.iter() {
+            for n in f.iter() {
+                assert!(d.is_ancestor_or_self(*scope, n), "{f} escaped scope");
+            }
+        }
+        // An unscoped query joins across sections; a scope forbids it.
+        let q_cross = Query::new(["beta", "gamma"], FilterExpr::True);
+        let unscoped = evaluate(&d, &idx, &q_cross, Strategy::PushDown).unwrap();
+        assert!(!unscoped.fragments.is_empty());
+        let scoped =
+            evaluate_scoped(&d, &idx, &q_cross, "/article/sec", Strategy::PushDown).unwrap();
+        assert!(scoped.is_empty(), "beta and gamma live in different sections");
+    }
+
+    #[test]
+    fn scoped_errors() {
+        let d = doc();
+        let idx = InvertedIndex::build(&d);
+        let q = Query::new(["alpha"], FilterExpr::True);
+        assert!(matches!(
+            evaluate_scoped(&d, &idx, &q, "no-slash", Strategy::PushDown),
+            Err(ScopedQueryError::Path(_))
+        ));
+        let empty = Query::new(Vec::<&str>::new(), FilterExpr::True);
+        assert!(matches!(
+            evaluate_scoped(&d, &idx, &empty, "//sec", Strategy::PushDown),
+            Err(ScopedQueryError::Query(QueryError::NoTerms))
+        ));
+    }
+
+    #[test]
+    fn reduction_factors_reported() {
+        let d = doc();
+        let idx = InvertedIndex::build(&d);
+        let q = Query::new(["alpha"], FilterExpr::True);
+        let rfs = operand_reduction_factors(&d, &idx, &q);
+        assert_eq!(rfs.len(), 1);
+        let (term, a, b) = &rfs[0];
+        assert_eq!(term, "alpha");
+        // alpha at n1, n2, n5: n1 ⊆ n2 ⋈ n5 (path through n0? no —
+        // path(n2,n5) = n2,n1,n0,n4,n5 ∋ n1) → n1 eliminated.
+        assert_eq!(*a, 3);
+        assert_eq!(*b, 2);
+    }
+}

@@ -1,0 +1,210 @@
+//! Ranking of answer fragments — the §6 bridge to IR-style systems.
+//!
+//! The paper positions database-style filtering as a *complement* to
+//! IR-style ranking: "ranking techniques described in those studies can
+//! be easily incorporated into our work". This module makes that claim
+//! executable with a small, transparent scoring model in the spirit of
+//! XRank's decay-based scoring, adapted to fragments:
+//!
+//! * **compactness** — smaller fragments score higher (`1 / size`);
+//! * **coverage** — distinct query terms hit more nodes of the fragment;
+//! * **leaf proximity** — terms occurring at fragment leaves (the
+//!   Definition 8 position) count more than internal occurrences;
+//! * **depth decay** — deeper, more specific components are preferred
+//!   over near-root spans (`decay^depth(root)` with decay > 1 favouring
+//!   depth).
+//!
+//! Scores are deterministic; ties break by the fragment's canonical node
+//! list so ranked output is stable across runs.
+
+use crate::fragment::Fragment;
+use crate::set::FragmentSet;
+use serde::{Deserialize, Serialize};
+use xfrag_doc::text::node_contains;
+use xfrag_doc::Document;
+
+/// Weights of the scoring model. All default weights are positive, so
+/// higher scores are better.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankConfig {
+    /// Weight of the `1 / size` compactness term.
+    pub compactness: f64,
+    /// Weight of per-term coverage (fraction of fragment nodes containing
+    /// any query term).
+    pub coverage: f64,
+    /// Bonus per query term that occurs at a fragment leaf.
+    pub leaf_bonus: f64,
+    /// Multiplicative preference for deeper fragment roots: the score is
+    /// multiplied by `1 - decay^-(depth+1)`-style factor; `0.0` disables.
+    pub depth_preference: f64,
+}
+
+impl Default for RankConfig {
+    fn default() -> Self {
+        RankConfig {
+            compactness: 1.0,
+            coverage: 1.0,
+            leaf_bonus: 0.5,
+            depth_preference: 0.1,
+        }
+    }
+}
+
+/// A scored fragment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ranked {
+    /// The answer fragment.
+    pub fragment: Fragment,
+    /// Its score under the supplied [`RankConfig`] (higher is better).
+    pub score: f64,
+}
+
+/// Score one fragment against the query terms.
+pub fn score(doc: &Document, f: &Fragment, terms: &[String], cfg: &RankConfig) -> f64 {
+    let size = f.size() as f64;
+    let compact = cfg.compactness / size;
+
+    let hit_nodes = f
+        .iter()
+        .filter(|&n| terms.iter().any(|t| node_contains(doc, n, t)))
+        .count() as f64;
+    let coverage = cfg.coverage * hit_nodes / size;
+
+    let leaf_terms = terms
+        .iter()
+        .filter(|t| f.leaves(doc).any(|n| node_contains(doc, n, t)))
+        .count() as f64;
+    let leaves = cfg.leaf_bonus * leaf_terms / (terms.len().max(1) as f64);
+
+    let depth = doc.depth(f.root()) as f64;
+    let depth_pref = cfg.depth_preference * (1.0 - 1.0 / (depth + 1.0));
+
+    compact + coverage + leaves + depth_pref
+}
+
+/// Rank an answer set: highest score first, canonical tie-break.
+pub fn rank(
+    doc: &Document,
+    answers: &FragmentSet,
+    terms: &[String],
+    cfg: &RankConfig,
+) -> Vec<Ranked> {
+    let mut out: Vec<Ranked> = answers
+        .iter()
+        .map(|f| Ranked {
+            fragment: f.clone(),
+            score: score(doc, f, terms, cfg),
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.fragment.cmp(&b.fragment))
+    });
+    out
+}
+
+/// The top-`k` ranked answers.
+pub fn top_k(
+    doc: &Document,
+    answers: &FragmentSet,
+    terms: &[String],
+    cfg: &RankConfig,
+    k: usize,
+) -> Vec<Ranked> {
+    let mut all = rank(doc, answers, terms, cfg);
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xfrag_doc::{DocumentBuilder, NodeId};
+
+    /// sec(0){"alpha"} -> p(1){"alpha beta"}, p(2){"beta"}, p(3){}
+    fn doc() -> Document {
+        let mut b = DocumentBuilder::new();
+        b.begin("sec");
+        b.text("alpha");
+        b.leaf("p", "alpha beta");
+        b.leaf("p", "beta");
+        b.leaf("p", "nothing here");
+        b.end();
+        b.finish().unwrap()
+    }
+
+    fn terms() -> Vec<String> {
+        vec!["alpha".into(), "beta".into()]
+    }
+
+    fn frag(d: &Document, ns: &[u32]) -> Fragment {
+        Fragment::from_nodes(d, ns.iter().map(|&n| NodeId(n))).unwrap()
+    }
+
+    #[test]
+    fn single_dense_node_beats_sprawling_fragment() {
+        let d = doc();
+        let cfg = RankConfig::default();
+        let dense = frag(&d, &[1]); // both terms, one node
+        let sprawl = frag(&d, &[0, 1, 2, 3]); // includes a term-free node
+        assert!(score(&d, &dense, &terms(), &cfg) > score(&d, &sprawl, &terms(), &cfg));
+    }
+
+    #[test]
+    fn coverage_rewards_term_bearing_nodes() {
+        let d = doc();
+        let cfg = RankConfig {
+            compactness: 0.0,
+            leaf_bonus: 0.0,
+            depth_preference: 0.0,
+            ..RankConfig::default()
+        };
+        let with_terms = frag(&d, &[0, 1, 2]); // all three carry terms
+        let with_dead = frag(&d, &[0, 1, 3]); // n3 carries none
+        assert!(score(&d, &with_terms, &terms(), &cfg) > score(&d, &with_dead, &terms(), &cfg));
+    }
+
+    #[test]
+    fn leaf_bonus_counts_definition8_positions() {
+        let d = doc();
+        let cfg = RankConfig {
+            compactness: 0.0,
+            coverage: 0.0,
+            depth_preference: 0.0,
+            leaf_bonus: 1.0,
+        };
+        // ⟨0,1⟩: leaf n1 has alpha+beta → both terms at leaves → 1.0.
+        assert!((score(&d, &frag(&d, &[0, 1]), &terms(), &cfg) - 1.0).abs() < 1e-9);
+        // ⟨0,3⟩: leaf n3 has neither; alpha only internal → 0.0.
+        assert!((score(&d, &frag(&d, &[0, 3]), &terms(), &cfg)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_is_sorted_and_stable() {
+        let d = doc();
+        let answers = FragmentSet::from_iter([
+            frag(&d, &[0, 1, 2, 3]),
+            frag(&d, &[1]),
+            frag(&d, &[0, 1]),
+        ]);
+        let ranked = rank(&d, &answers, &terms(), &RankConfig::default());
+        assert_eq!(ranked.len(), 3);
+        assert!(ranked.windows(2).all(|w| w[0].score >= w[1].score));
+        assert_eq!(ranked[0].fragment, frag(&d, &[1]));
+        // Deterministic across calls.
+        let again = rank(&d, &answers, &terms(), &RankConfig::default());
+        assert_eq!(ranked, again);
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let d = doc();
+        let answers = FragmentSet::from_iter([frag(&d, &[1]), frag(&d, &[2]), frag(&d, &[3])]);
+        let top = top_k(&d, &answers, &terms(), &RankConfig::default(), 2);
+        assert_eq!(top.len(), 2);
+        let all = top_k(&d, &answers, &terms(), &RankConfig::default(), 99);
+        assert_eq!(all.len(), 3);
+    }
+}

@@ -1,0 +1,197 @@
+//! Answer presentation: text snippets with keyword highlighting.
+//!
+//! The paper leaves "answer presentation techniques" to future work (§7);
+//! any real retrieval system needs them. A snippet renders a fragment's
+//! textual content — node by node, in document order — with query-term
+//! occurrences marked and long stretches of non-matching text elided.
+
+use crate::fragment::Fragment;
+use xfrag_doc::text::tokenize;
+use xfrag_doc::Document;
+
+/// Snippet rendering options.
+#[derive(Debug, Clone)]
+pub struct SnippetConfig {
+    /// Marker inserted before a highlighted term.
+    pub open: String,
+    /// Marker inserted after a highlighted term.
+    pub close: String,
+    /// Maximum words kept around each highlight; longer gaps become `…`.
+    pub context_words: usize,
+    /// Hard cap on the rendered snippet length in characters.
+    pub max_chars: usize,
+}
+
+impl Default for SnippetConfig {
+    fn default() -> Self {
+        SnippetConfig {
+            open: "[".into(),
+            close: "]".into(),
+            context_words: 4,
+            max_chars: 240,
+        }
+    }
+}
+
+/// Render a highlighted snippet of `fragment` for the given (normalized)
+/// query terms.
+pub fn snippet(
+    doc: &Document,
+    fragment: &Fragment,
+    terms: &[String],
+    cfg: &SnippetConfig,
+) -> String {
+    // Collect the fragment's words in document order, flagging matches.
+    let mut words: Vec<(String, bool)> = Vec::new();
+    for n in fragment.iter() {
+        for raw in doc.text(n).split_whitespace() {
+            let is_hit = tokenize(raw).any(|t| terms.contains(&t));
+            words.push((raw.to_string(), is_hit));
+        }
+    }
+    if words.is_empty() {
+        return String::new();
+    }
+
+    // Keep words within `context_words` of any hit; elide the rest.
+    let keep: Vec<bool> = {
+        let mut keep = vec![false; words.len()];
+        for (i, (_, hit)) in words.iter().enumerate() {
+            if *hit {
+                let lo = i.saturating_sub(cfg.context_words);
+                let hi = (i + cfg.context_words + 1).min(words.len());
+                for k in keep.iter_mut().take(hi).skip(lo) {
+                    *k = true;
+                }
+            }
+        }
+        // No hits at all (e.g. structural-only fragment): keep a prefix.
+        if !keep.iter().any(|&k| k) {
+            for k in keep.iter_mut().take(2 * cfg.context_words) {
+                *k = true;
+            }
+        }
+        keep
+    };
+
+    let mut out = String::new();
+    let mut elided = false;
+    for (i, (w, hit)) in words.iter().enumerate() {
+        if !keep[i] {
+            if !elided {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push('…');
+                elided = true;
+            }
+            continue;
+        }
+        elided = false;
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        if *hit {
+            out.push_str(&cfg.open);
+            out.push_str(w);
+            out.push_str(&cfg.close);
+        } else {
+            out.push_str(w);
+        }
+        if out.len() >= cfg.max_chars {
+            out.truncate(cfg.max_chars);
+            out.push('…');
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xfrag_doc::{parse_str, NodeId};
+
+    fn setup() -> (xfrag_doc::Document, Fragment, Vec<String>) {
+        let d = parse_str(
+            "<sec><par>one two three four five six seven XQuery eight nine ten \
+             eleven twelve optimization thirteen fourteen</par></sec>",
+        )
+        .unwrap();
+        let f = Fragment::from_nodes(&d, [NodeId(0), NodeId(1)]).unwrap();
+        let terms = vec!["xquery".to_string(), "optimization".to_string()];
+        (d, f, terms)
+    }
+
+    #[test]
+    fn highlights_and_elides() {
+        let (d, f, terms) = setup();
+        let s = snippet(&d, &f, &terms, &SnippetConfig::default());
+        assert!(s.contains("[XQuery]"), "{s}");
+        assert!(s.contains("[optimization]"), "{s}");
+        // The far prefix is elided.
+        assert!(s.starts_with('…'), "{s}");
+        assert!(!s.contains("one two three"), "{s}");
+    }
+
+    #[test]
+    fn tight_context() {
+        let (d, f, terms) = setup();
+        let cfg = SnippetConfig {
+            context_words: 1,
+            ..SnippetConfig::default()
+        };
+        let s = snippet(&d, &f, &terms, &cfg);
+        assert!(s.contains("seven [XQuery] eight"), "{s}");
+        assert!(s.contains("…"), "{s}");
+    }
+
+    #[test]
+    fn custom_markers() {
+        let (d, f, terms) = setup();
+        let cfg = SnippetConfig {
+            open: "<b>".into(),
+            close: "</b>".into(),
+            ..SnippetConfig::default()
+        };
+        let s = snippet(&d, &f, &terms, &cfg);
+        assert!(s.contains("<b>XQuery</b>"), "{s}");
+    }
+
+    #[test]
+    fn punctuation_does_not_block_matches() {
+        let d = parse_str("<p>about XQuery, optimization!</p>").unwrap();
+        let f = Fragment::node(NodeId(0));
+        let terms = vec!["xquery".to_string(), "optimization".to_string()];
+        let s = snippet(&d, &f, &terms, &SnippetConfig::default());
+        assert!(s.contains("[XQuery,]"), "{s}");
+        assert!(s.contains("[optimization!]"), "{s}");
+    }
+
+    #[test]
+    fn no_hits_keeps_prefix() {
+        let d = parse_str("<p>just ordinary words with no matches here</p>").unwrap();
+        let f = Fragment::node(NodeId(0));
+        let s = snippet(&d, &f, &["absent".to_string()], &SnippetConfig::default());
+        assert!(s.starts_with("just ordinary"), "{s}");
+        assert!(!s.contains('['));
+    }
+
+    #[test]
+    fn empty_fragment_text() {
+        let d = parse_str("<p><q/></p>").unwrap();
+        let f = Fragment::from_nodes(&d, [NodeId(0), NodeId(1)]).unwrap();
+        assert_eq!(snippet(&d, &f, &["x".to_string()], &SnippetConfig::default()), "");
+    }
+
+    #[test]
+    fn max_chars_caps_output() {
+        let (d, f, terms) = setup();
+        let cfg = SnippetConfig {
+            max_chars: 20,
+            ..SnippetConfig::default()
+        };
+        let s = snippet(&d, &f, &terms, &cfg);
+        assert!(s.len() <= 24, "{s}"); // cap + ellipsis bytes
+    }
+}

@@ -1,0 +1,106 @@
+//! Operation accounting.
+//!
+//! The paper argues its optimizations save *work* (join computations
+//! avoided, fragments never materialized) — claims that wall-clock alone
+//! can't isolate. Every operator in this crate threads an [`EvalStats`]
+//! counter so the benchmark harness can report exactly the quantities the
+//! paper reasons about in §3–§4.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Counters accumulated during the evaluation of one algebraic expression.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvalStats {
+    /// Number of binary fragment-join (`f1 ⋈ f2`) kernels executed.
+    pub joins: u64,
+    /// Total nodes merged across all join kernels (proxy for join cost,
+    /// since a join is linear in its operand sizes).
+    pub nodes_merged: u64,
+    /// Fragments offered to a [`crate::FragmentSet`] by an operator.
+    pub fragments_emitted: u64,
+    /// Of those, how many were duplicates the set collapsed.
+    pub duplicates_collapsed: u64,
+    /// Filter predicate evaluations.
+    pub filter_evals: u64,
+    /// Fragments a filter rejected (pruned before further processing when
+    /// the selection was pushed down, or dropped from the result otherwise).
+    pub filter_pruned: u64,
+    /// Pairwise-join iterations executed by fixed-point computations.
+    pub fixpoint_iterations: u64,
+    /// Fixed-point stabilization checks performed (the overhead §3.1.2
+    /// eliminates).
+    pub fixpoint_checks: u64,
+    /// Subset tests executed by `⊖` (fragment set reduce).
+    pub reduce_checks: u64,
+}
+
+impl EvalStats {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl AddAssign for EvalStats {
+    fn add_assign(&mut self, o: Self) {
+        self.joins += o.joins;
+        self.nodes_merged += o.nodes_merged;
+        self.fragments_emitted += o.fragments_emitted;
+        self.duplicates_collapsed += o.duplicates_collapsed;
+        self.filter_evals += o.filter_evals;
+        self.filter_pruned += o.filter_pruned;
+        self.fixpoint_iterations += o.fixpoint_iterations;
+        self.fixpoint_checks += o.fixpoint_checks;
+        self.reduce_checks += o.reduce_checks;
+    }
+}
+
+impl fmt::Display for EvalStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "joins={} merged_nodes={} emitted={} dups={} filter_evals={} pruned={} fp_iters={} fp_checks={} reduce_checks={}",
+            self.joins,
+            self.nodes_merged,
+            self.fragments_emitted,
+            self.duplicates_collapsed,
+            self.filter_evals,
+            self.filter_pruned,
+            self.fixpoint_iterations,
+            self.fixpoint_checks,
+            self.reduce_checks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = EvalStats {
+            joins: 1,
+            filter_evals: 2,
+            ..Default::default()
+        };
+        let b = EvalStats {
+            joins: 3,
+            filter_pruned: 4,
+            ..Default::default()
+        };
+        a += b;
+        assert_eq!(a.joins, 4);
+        assert_eq!(a.filter_evals, 2);
+        assert_eq!(a.filter_pruned, 4);
+    }
+
+    #[test]
+    fn display_is_single_line() {
+        let s = EvalStats::new().to_string();
+        assert!(s.contains("joins=0"));
+        assert!(!s.contains('\n'));
+    }
+}

@@ -1,0 +1,110 @@
+//! A DBLP-like *data-centric* generator.
+//!
+//! The paper's introduction contrasts document-centric XML with highly
+//! schematic, data-centric collections (bibliographies) where the smallest
+//! subtree semantics works well. This generator produces that shape —
+//! `<bib>` of `<article>` records with `<author>`, `<title>`, `<year>`,
+//! `<journal>` children — so the effectiveness experiments (P4 in
+//! DESIGN.md) can show both regimes.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use xfrag_doc::{Document, DocumentBuilder};
+
+const SURNAMES: &[&str] = &[
+    "tanaka", "smith", "garcia", "kumar", "chen", "novak", "okafor", "ivanov", "silva", "larsen",
+];
+const TOPICS: &[&str] = &[
+    "indexing", "joins", "ranking", "streams", "caching", "recovery", "views", "privacy",
+    "compression", "sampling",
+];
+const JOURNALS: &[&str] = &["tods", "vldbj", "sigmod", "icde", "edbt"];
+
+/// Configuration for [`generate_bib`].
+#[derive(Debug, Clone)]
+pub struct BibConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of `<article>` records.
+    pub articles: usize,
+    /// Max authors per record (min 1).
+    pub max_authors: usize,
+}
+
+impl Default for BibConfig {
+    fn default() -> Self {
+        BibConfig {
+            seed: 0xB1B,
+            articles: 100,
+            max_authors: 3,
+        }
+    }
+}
+
+/// Generate the bibliography document.
+pub fn generate_bib(cfg: &BibConfig) -> Document {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = DocumentBuilder::new();
+    b.begin("bib");
+    for i in 0..cfg.articles {
+        b.begin("article");
+        b.attr("key", format!("rec{i}"));
+        let nauth = rng.random_range(1..=cfg.max_authors.max(1));
+        for _ in 0..nauth {
+            b.leaf("author", *SURNAMES.get(rng.random_range(0..SURNAMES.len())).unwrap());
+        }
+        let t1 = TOPICS[rng.random_range(0..TOPICS.len())];
+        let t2 = TOPICS[rng.random_range(0..TOPICS.len())];
+        b.leaf("title", format!("on {t1} and {t2} in database systems"));
+        b.leaf("year", format!("{}", 1990 + rng.random_range(0..30)));
+        b.leaf("journal", *JOURNALS.get(rng.random_range(0..JOURNALS.len())).unwrap());
+        b.end();
+    }
+    b.end();
+    b.finish().expect("bibliography is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xfrag_doc::InvertedIndex;
+
+    #[test]
+    fn deterministic_and_valid() {
+        let cfg = BibConfig::default();
+        let a = generate_bib(&cfg);
+        assert_eq!(a, generate_bib(&cfg));
+        a.validate().unwrap();
+        assert_eq!(a.tag(a.root()), "bib");
+    }
+
+    #[test]
+    fn record_shape() {
+        let d = generate_bib(&BibConfig {
+            articles: 5,
+            ..BibConfig::default()
+        });
+        let records: Vec<_> = d.children(d.root()).to_vec();
+        assert_eq!(records.len(), 5);
+        for r in records {
+            assert_eq!(d.tag(r), "article");
+            let tags: Vec<&str> = d.children(r).iter().map(|&c| d.tag(c)).collect();
+            assert!(tags.contains(&"author"));
+            assert!(tags.contains(&"title"));
+            assert!(tags.contains(&"year"));
+            assert!(tags.contains(&"journal"));
+        }
+    }
+
+    #[test]
+    fn keywords_searchable() {
+        let d = generate_bib(&BibConfig {
+            articles: 200,
+            ..BibConfig::default()
+        });
+        let idx = InvertedIndex::build(&d);
+        // Every record title mentions "database".
+        assert_eq!(idx.df("database"), 200);
+        assert!(idx.df("indexing") > 0);
+    }
+}

@@ -1,0 +1,355 @@
+//! Seeded generator of document-centric XML.
+//!
+//! The paper's target data is "non-schematic, long textual contents, tag
+//! names such as `<section>`, `<subsection>`, `<par>` which only describe
+//! structural relationship". This generator produces exactly that shape:
+//! an `<article>` of sections, nested subsections and paragraphs whose
+//! words are drawn from a Zipfian vocabulary — plus *planted* query terms
+//! at controlled positions, so experiments can dial keyword selectivity
+//! (`|F1|`, `|F2|`) independently of document size.
+
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use xfrag_doc::{Document, DocumentBuilder, NodeId};
+
+/// Configuration for [`generate`]. All randomness is derived from `seed`.
+#[derive(Debug, Clone)]
+pub struct DocGenConfig {
+    /// RNG seed; equal configs generate identical documents.
+    pub seed: u64,
+    /// Number of top-level `<section>`s.
+    pub sections: usize,
+    /// Min/max `<subsection>`s per section.
+    pub subsections: (usize, usize),
+    /// Min/max `<par>`s per subsection.
+    pub paragraphs: (usize, usize),
+    /// Min/max words per paragraph.
+    pub words: (usize, usize),
+    /// Vocabulary size (`term1 … termN`).
+    pub vocabulary: usize,
+    /// Zipf exponent of the vocabulary distribution.
+    pub zipf_exponent: f64,
+    /// Terms planted into randomly chosen paragraphs: `(term, count)`.
+    /// Planted terms are appended to the paragraph text, one paragraph per
+    /// occurrence (a paragraph may receive several distinct terms).
+    pub planted: Vec<(String, usize)>,
+    /// Term *pairs* planted into adjacent sibling paragraphs:
+    /// `(term1, term2, count)` — `count` sibling pairs receive one term
+    /// each, so the pair co-occurs within a single subsection and small
+    /// answer fragments exist. Counts add to any `planted` occurrences of
+    /// the same terms.
+    pub planted_near: Vec<(String, String, usize)>,
+}
+
+impl Default for DocGenConfig {
+    fn default() -> Self {
+        DocGenConfig {
+            seed: 0xD0C5EED,
+            sections: 5,
+            subsections: (2, 4),
+            paragraphs: (3, 8),
+            words: (8, 40),
+            vocabulary: 2_000,
+            zipf_exponent: 1.1,
+            planted: Vec::new(),
+            planted_near: Vec::new(),
+        }
+    }
+}
+
+impl DocGenConfig {
+    /// Scale the structural knobs so the generated document has roughly
+    /// `target` nodes (± the randomness of fan-outs).
+    pub fn with_approx_nodes(mut self, target: usize) -> Self {
+        // Expected nodes per section ≈ 1 + title + E[sub]·(1 + title + E[par]).
+        let esub = (self.subsections.0 + self.subsections.1) as f64 / 2.0;
+        let epar = (self.paragraphs.0 + self.paragraphs.1) as f64 / 2.0;
+        let per_section = 2.0 + esub * (2.0 + epar);
+        self.sections = ((target as f64 - 1.0) / per_section).ceil().max(1.0) as usize;
+        self
+    }
+
+    /// Plant a term into `count` distinct paragraphs.
+    pub fn plant(mut self, term: impl Into<String>, count: usize) -> Self {
+        self.planted.push((term.into(), count));
+        self
+    }
+
+    /// Plant a term pair into `count` adjacent sibling-paragraph pairs.
+    pub fn plant_near(
+        mut self,
+        term1: impl Into<String>,
+        term2: impl Into<String>,
+        count: usize,
+    ) -> Self {
+        self.planted_near.push((term1.into(), term2.into(), count));
+        self
+    }
+}
+
+fn sample_range(rng: &mut StdRng, (lo, hi): (usize, usize)) -> usize {
+    if hi <= lo {
+        lo
+    } else {
+        rng.random_range(lo..=hi)
+    }
+}
+
+/// Generate a document from the configuration.
+pub fn generate(cfg: &DocGenConfig) -> Document {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let zipf = Zipf::new(cfg.vocabulary.max(1), cfg.zipf_exponent);
+    let word = |rng: &mut StdRng, zipf: &Zipf| format!("term{}", zipf.sample(rng));
+
+    let mut b = DocumentBuilder::new();
+    let mut paragraph_ids: Vec<NodeId> = Vec::new();
+    // Adjacent sibling paragraph pairs, for `planted_near`.
+    let mut sibling_pairs: Vec<(NodeId, NodeId)> = Vec::new();
+    b.begin("article");
+    b.leaf("title", {
+        let mut t = String::new();
+        for i in 0..6 {
+            if i > 0 {
+                t.push(' ');
+            }
+            t.push_str(&word(&mut rng, &zipf));
+        }
+        t
+    });
+    for _ in 0..cfg.sections {
+        b.begin("section");
+        b.leaf("title", word(&mut rng, &zipf));
+        let nsub = sample_range(&mut rng, cfg.subsections);
+        for _ in 0..nsub {
+            b.begin("subsection");
+            b.leaf("title", word(&mut rng, &zipf));
+            let npar = sample_range(&mut rng, cfg.paragraphs);
+            let mut prev_par: Option<NodeId> = None;
+            for _ in 0..npar {
+                let nwords = sample_range(&mut rng, cfg.words);
+                let mut text = String::new();
+                for i in 0..nwords {
+                    if i > 0 {
+                        text.push(' ');
+                    }
+                    text.push_str(&word(&mut rng, &zipf));
+                }
+                let id = b.leaf("par", text);
+                paragraph_ids.push(id);
+                if let Some(p) = prev_par {
+                    sibling_pairs.push((p, id));
+                }
+                prev_par = Some(id);
+            }
+            b.end();
+        }
+        b.end();
+    }
+    b.end();
+    let mut doc = b.finish().expect("generated document is well-formed");
+
+    // Plant query terms into distinct paragraphs. Planting rebuilds the
+    // tree with extra text, which does not change the tree shape.
+    if (!cfg.planted.is_empty() || !cfg.planted_near.is_empty()) && !paragraph_ids.is_empty() {
+        let mut planted_text: Vec<(NodeId, String)> = Vec::new();
+        let mut used: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+        // Near-pairs first, so they claim adjacent siblings before the
+        // uniform planting consumes paragraphs.
+        for (t1, t2, count) in &cfg.planted_near {
+            let mut planted = 0usize;
+            let mut pair_idx: Vec<usize> = (0..sibling_pairs.len()).collect();
+            // Deterministic shuffle via the seeded RNG.
+            for i in (1..pair_idx.len()).rev() {
+                pair_idx.swap(i, rng.random_range(0..=i));
+            }
+            for pi in pair_idx {
+                if planted == *count {
+                    break;
+                }
+                let (a, z) = sibling_pairs[pi];
+                if used.contains(&a) || used.contains(&z) {
+                    continue;
+                }
+                used.insert(a);
+                used.insert(z);
+                planted_text.push((a, t1.clone()));
+                planted_text.push((z, t2.clone()));
+                planted += 1;
+            }
+        }
+        for (term, count) in &cfg.planted {
+            let mut chosen = std::collections::HashSet::new();
+            let want = (*count).min(paragraph_ids.len().saturating_sub(used.len()));
+            while chosen.len() < want {
+                let idx = rng.random_range(0..paragraph_ids.len());
+                let id = paragraph_ids[idx];
+                if !used.contains(&id) {
+                    chosen.insert(id);
+                }
+            }
+            for n in chosen {
+                used.insert(n);
+                planted_text.push((n, term.clone()));
+            }
+        }
+        doc = replant(doc, &planted_text);
+    }
+    doc
+}
+
+/// Rebuild the document with extra terms appended to the named nodes'
+/// text. `Document` is immutable by design, so planting re-runs the
+/// builder over the existing tree.
+fn replant(doc: Document, extra: &[(NodeId, String)]) -> Document {
+    let mut b = DocumentBuilder::new();
+    // Recursive copy in pre-order; ids are preserved because pre-order
+    // construction order is identical.
+    fn copy(doc: &Document, n: NodeId, b: &mut DocumentBuilder, extra: &[(NodeId, String)]) {
+        let node = doc.node(n);
+        b.begin(node.tag.clone());
+        for (k, v) in &node.attrs {
+            b.attr(k.clone(), v.clone());
+        }
+        if !node.text.is_empty() {
+            b.text(&node.text);
+        }
+        for (target, term) in extra {
+            if *target == n {
+                b.text(term);
+            }
+        }
+        for &c in doc.children(n) {
+            copy(doc, c, b, extra);
+        }
+        b.end();
+    }
+    copy(&doc, doc.root(), &mut b, extra);
+    b.finish().expect("replanted document is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xfrag_doc::InvertedIndex;
+
+    #[test]
+    fn deterministic_generation() {
+        let cfg = DocGenConfig::default();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a, b);
+        a.validate().unwrap();
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&DocGenConfig::default());
+        let b = generate(&DocGenConfig {
+            seed: 999,
+            ..DocGenConfig::default()
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn approx_node_targeting() {
+        for target in [200, 1_000, 5_000] {
+            let cfg = DocGenConfig::default().with_approx_nodes(target);
+            let d = generate(&cfg);
+            let n = d.len() as f64;
+            assert!(
+                n > target as f64 * 0.4 && n < target as f64 * 2.5,
+                "target {target}, got {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn planted_terms_have_exact_df() {
+        let cfg = DocGenConfig::default()
+            .with_approx_nodes(2_000)
+            .plant("xquery", 7)
+            .plant("optimization", 3);
+        let d = generate(&cfg);
+        let idx = InvertedIndex::build(&d);
+        assert_eq!(idx.df("xquery"), 7);
+        assert_eq!(idx.df("optimization"), 3);
+        // Planted terms land on <par> nodes.
+        for &n in idx.lookup("xquery") {
+            assert_eq!(d.tag(n), "par");
+        }
+    }
+
+    #[test]
+    fn structure_is_document_centric() {
+        let d = generate(&DocGenConfig::default());
+        assert_eq!(d.tag(d.root()), "article");
+        let tags: std::collections::HashSet<&str> =
+            d.node_ids().map(|n| d.tag(n)).collect();
+        for t in ["section", "subsection", "par", "title"] {
+            assert!(tags.contains(t), "missing {t}");
+        }
+        assert!(d.height() == 3);
+    }
+
+    #[test]
+    fn planting_count_capped_by_paragraphs() {
+        let cfg = DocGenConfig {
+            sections: 1,
+            subsections: (1, 1),
+            paragraphs: (2, 2),
+            ..DocGenConfig::default()
+        }
+        .plant("rare", 100);
+        let d = generate(&cfg);
+        let idx = InvertedIndex::build(&d);
+        assert_eq!(idx.df("rare"), 2);
+    }
+}
+
+#[cfg(test)]
+mod near_tests {
+    use super::*;
+    use xfrag_doc::InvertedIndex;
+
+    #[test]
+    fn plant_near_places_sibling_pairs() {
+        let cfg = DocGenConfig::default()
+            .with_approx_nodes(2_000)
+            .plant_near("alphaq", "betaq", 3);
+        let d = generate(&cfg);
+        let idx = InvertedIndex::build(&d);
+        assert_eq!(idx.df("alphaq"), 3);
+        assert_eq!(idx.df("betaq"), 3);
+        // Every alphaq paragraph has a betaq sibling right next to it.
+        for &a in idx.lookup("alphaq") {
+            let parent = d.parent(a).unwrap();
+            let siblings = d.children(parent);
+            let pos = siblings.iter().position(|&c| c == a).unwrap();
+            let next = siblings.get(pos + 1).copied();
+            assert!(
+                next.is_some_and(|n| idx.lookup("betaq").contains(&n)),
+                "no adjacent betaq sibling for {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn plant_near_and_plant_do_not_overlap() {
+        let cfg = DocGenConfig::default()
+            .with_approx_nodes(2_000)
+            .plant_near("t1", "t2", 2)
+            .plant("t1", 3);
+        let d = generate(&cfg);
+        let idx = InvertedIndex::build(&d);
+        assert_eq!(idx.df("t1"), 5); // 2 near + 3 uniform, disjoint nodes
+        assert_eq!(idx.df("t2"), 2);
+    }
+
+    #[test]
+    fn plant_near_deterministic() {
+        let cfg = DocGenConfig::default().plant_near("x1", "x2", 2);
+        assert_eq!(generate(&cfg), generate(&cfg));
+    }
+}

@@ -1,0 +1,258 @@
+//! The paper's Figure 1 document, reconstructed exactly.
+//!
+//! The figure itself only names a handful of nodes, but Table 1 and the
+//! §4 walkthrough pin down everything the reproduction needs:
+//!
+//! * the document has nodes n0…n81 (n81 is the highest id used);
+//! * parent chains `n17 → n16 → n14 → n1 → n0` and
+//!   `n81 → n80 → n79 → n0` (read off the join results: `f17 ⋈ f81 =
+//!   ⟨n0,n1,n14,n16,n17,n79,n80,n81⟩` forces `lca(n17, n81) = n0` with
+//!   exactly those ancestors);
+//! * `n18` is a sibling of `n17` under `n16` (`f17 ⋈ f18 = ⟨n16,n17,n18⟩`);
+//! * `σ_{keyword=XQuery}` selects exactly {n17, n18} and
+//!   `σ_{keyword=optimization}` exactly {n16, n17, n81}.
+//!
+//! Everything else (the other 73 nodes) is filler — sections, subsections,
+//! titles and paragraphs whose text deliberately avoids the two query
+//! keywords — laid out so the anchored ids land on the right pre-order
+//! ranks.
+
+use xfrag_doc::{Document, DocumentBuilder, NodeId};
+
+/// The reconstructed Figure 1 document plus its anchored node ids.
+#[derive(Debug, Clone)]
+pub struct Figure1 {
+    /// The 82-node document.
+    pub doc: Document,
+}
+
+/// Anchored node ids named by the paper.
+impl Figure1 {
+    /// Document root `n0` (the `<article>`).
+    pub const N0: NodeId = NodeId(0);
+    /// First `<section>`, `n1`.
+    pub const N1: NodeId = NodeId(1);
+    /// The subsection `n14` under `n1`.
+    pub const N14: NodeId = NodeId(14);
+    /// `n16` — contains "optimization" in its own content.
+    pub const N16: NodeId = NodeId(16);
+    /// `n17` — paragraph containing both "XQuery" and "optimization".
+    pub const N17: NodeId = NodeId(17);
+    /// `n18` — paragraph containing "XQuery".
+    pub const N18: NodeId = NodeId(18);
+    /// Second `<section>`, `n79`.
+    pub const N79: NodeId = NodeId(79);
+    /// Subsection `n80` under `n79`.
+    pub const N80: NodeId = NodeId(80);
+    /// Paragraph `n81` containing "optimization".
+    pub const N81: NodeId = NodeId(81);
+}
+
+/// Filler sentence fragments that avoid the query keywords.
+const FILLER: &[&str] = &[
+    "structured documents can be decomposed into logical components",
+    "retrieval units are determined by the underlying tree topology",
+    "tag names describe structure rather than meaning",
+    "users prefer simple interfaces over complex syntax",
+    "ranking techniques order candidate answers by relevance",
+    "indices accelerate lookups over large collections",
+    "algebraic laws enable systematic rewriting of expressions",
+    "set oriented processing exposes batching opportunities",
+    "schema free data resists fixed navigation paths",
+    "evaluation plans differ widely in the work they perform",
+    "document order is preserved by depth first traversal",
+    "connected subgraphs of a tree are again trees",
+];
+
+fn filler(i: usize) -> &'static str {
+    FILLER[i % FILLER.len()]
+}
+
+/// Build the Figure 1 document. Layout (pre-order ids):
+///
+/// ```text
+/// n0  article
+/// n1    section                       (spans n1..n78)
+/// n2      title
+/// n3..n13   par ×11
+/// n14     subsection                  (spans n14..n30)
+/// n15       title
+/// n16       subsubsection "… optimization …"   (spans n16..n18)
+/// n17         par "… XQuery … optimization …"
+/// n18         par "… XQuery …"
+/// n19..n30  par ×12
+/// n31     subsection  (n32 title, n33..n45 par)
+/// n46     subsection  (n47 title, n48..n60 par)
+/// n61     subsection  (n62 title, n63..n78 par)
+/// n79   section
+/// n80     subsection
+/// n81       par "… optimization …"
+/// ```
+pub fn figure1() -> Figure1 {
+    let mut b = DocumentBuilder::new();
+    let mut fill = 0usize;
+    let mut next_filler = || {
+        fill += 1;
+        filler(fill)
+    };
+
+    b.begin("article"); // n0
+    {
+        b.begin("section"); // n1
+        b.leaf("title", "Background on fragment retrieval"); // n2
+        for _ in 3..=13 {
+            b.leaf("par", next_filler()); // n3..n13
+        }
+        b.begin("subsection"); // n14
+        b.leaf("title", "Processing strategies"); // n15
+        b.begin("subsubsection"); // n16
+        b.text("Optimization of query processing");
+        b.leaf(
+            "par",
+            "XQuery processors apply algebraic optimization to reduce evaluation work.",
+        ); // n17
+        b.leaf(
+            "par",
+            "XQuery expressions are rewritten into equivalent evaluation plans.",
+        ); // n18
+        b.end(); // n16
+        for _ in 19..=30 {
+            b.leaf("par", next_filler()); // n19..n30
+        }
+        b.end(); // n14
+        b.begin("subsection"); // n31
+        b.leaf("title", "Data models"); // n32
+        for _ in 33..=45 {
+            b.leaf("par", next_filler()); // n33..n45
+        }
+        b.end(); // n31
+        b.begin("subsection"); // n46
+        b.leaf("title", "Related approaches"); // n47
+        for _ in 48..=60 {
+            b.leaf("par", next_filler()); // n48..n60
+        }
+        b.end(); // n46
+        b.begin("subsection"); // n61
+        b.leaf("title", "Summary of findings"); // n62
+        for _ in 63..=78 {
+            b.leaf("par", next_filler()); // n63..n78
+        }
+        b.end(); // n61
+        b.end(); // n1
+        b.begin("section"); // n79
+        b.begin("subsection"); // n80
+        b.leaf(
+            "par",
+            "Cost based optimization requires reliable statistics over the data.",
+        ); // n81
+        b.end(); // n80
+        b.end(); // n79
+    }
+    b.end(); // n0
+
+    let doc = b.finish().expect("figure 1 document is well-formed");
+    debug_assert_eq!(doc.len(), 82);
+    Figure1 { doc }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xfrag_doc::text::node_contains;
+    use xfrag_doc::InvertedIndex;
+
+    #[test]
+    fn has_82_nodes_and_validates() {
+        let f = figure1();
+        assert_eq!(f.doc.len(), 82);
+        f.doc.validate().unwrap();
+    }
+
+    #[test]
+    fn anchored_parent_chains() {
+        let d = figure1().doc;
+        assert_eq!(d.parent(Figure1::N17), Some(Figure1::N16));
+        assert_eq!(d.parent(Figure1::N18), Some(Figure1::N16));
+        assert_eq!(d.parent(Figure1::N16), Some(Figure1::N14));
+        assert_eq!(d.parent(Figure1::N14), Some(Figure1::N1));
+        assert_eq!(d.parent(Figure1::N1), Some(Figure1::N0));
+        assert_eq!(d.parent(Figure1::N81), Some(Figure1::N80));
+        assert_eq!(d.parent(Figure1::N80), Some(Figure1::N79));
+        assert_eq!(d.parent(Figure1::N79), Some(Figure1::N0));
+        assert_eq!(d.lca(Figure1::N17, Figure1::N81), Figure1::N0);
+    }
+
+    /// §4's operand sets: F1 = σ_{keyword=XQuery} = {n17, n18} and
+    /// F2 = σ_{keyword=optimization} = {n16, n17, n81} — exactly.
+    #[test]
+    fn keyword_selections_match_section4() {
+        let d = figure1().doc;
+        let idx = InvertedIndex::build(&d);
+        assert_eq!(idx.lookup("xquery"), &[Figure1::N17, Figure1::N18]);
+        assert_eq!(
+            idx.lookup("optimization"),
+            &[Figure1::N16, Figure1::N17, Figure1::N81]
+        );
+    }
+
+    #[test]
+    fn filler_avoids_keywords() {
+        let d = figure1().doc;
+        for n in d.node_ids() {
+            let has_kw =
+                node_contains(&d, n, "xquery") || node_contains(&d, n, "optimization");
+            let anchored = [Figure1::N16, Figure1::N17, Figure1::N18, Figure1::N81]
+                .contains(&n);
+            assert_eq!(has_kw, anchored, "unexpected keyword placement at {n}");
+        }
+    }
+
+    #[test]
+    fn tag_structure() {
+        let d = figure1().doc;
+        assert_eq!(d.tag(Figure1::N0), "article");
+        assert_eq!(d.tag(Figure1::N1), "section");
+        assert_eq!(d.tag(Figure1::N14), "subsection");
+        assert_eq!(d.tag(Figure1::N16), "subsubsection");
+        assert_eq!(d.tag(Figure1::N17), "par");
+        assert_eq!(d.tag(Figure1::N79), "section");
+        assert_eq!(d.tag(Figure1::N81), "par");
+    }
+
+    /// `f16 ⋈ f81` must produce ⟨n0,n1,n14,n16,n79,n80,n81⟩ per §4.3.
+    #[test]
+    fn section43_path_check() {
+        let d = figure1().doc;
+        let mut path = d.path(Figure1::N16, Figure1::N81);
+        path.sort();
+        assert_eq!(
+            path,
+            vec![
+                Figure1::N0,
+                Figure1::N1,
+                Figure1::N14,
+                Figure1::N16,
+                Figure1::N79,
+                Figure1::N80,
+                Figure1::N81
+            ]
+        );
+    }
+}
+
+/// The Figure 1 document as pretty-printed XML, shipped as a golden asset
+/// (`data/figure1.xml`). Parsing it reproduces [`figure1`] exactly — a
+/// cross-check between the builder, the serializer and the parser, and a
+/// convenient file for driving the CLI.
+pub const FIGURE1_XML: &str = include_str!("../data/figure1.xml");
+
+#[cfg(test)]
+mod golden_tests {
+    use super::*;
+
+    #[test]
+    fn golden_xml_parses_to_the_same_document() {
+        let parsed = xfrag_doc::parse_str(FIGURE1_XML).expect("golden asset parses");
+        assert_eq!(parsed, figure1().doc);
+    }
+}

@@ -1,0 +1,62 @@
+//! The abstract tree of the paper's Figure 3(a).
+//!
+//! The paper numbers its nodes n1…n10; our node ids are 0-based pre-order
+//! ranks, so **paper nᵢ is our n(i−1)**:
+//!
+//! ```text
+//!  paper:        n1                ours:         n0
+//!          ┌─────┼─────┐                   ┌─────┼─────┐
+//!          n2    n8    n10                 n1    n7    n9
+//!          │     │                         │     │
+//!          n3    n9                        n2    n8
+//!        ┌─┴─┐                           ┌─┴─┐
+//!        n4  n6                          n3  n5
+//!        │   │                           │   │
+//!        n5  n7                          n4  n6
+//! ```
+
+use xfrag_doc::{Document, DocumentBuilder};
+
+/// Build the Figure 3(a) tree (10 nodes).
+pub fn figure3() -> Document {
+    let mut b = DocumentBuilder::new();
+    b.begin("n1"); // ours n0
+    {
+        b.begin("n2"); // n1
+        {
+            b.begin("n3"); // n2
+            b.begin("n4"); // n3
+            b.leaf("n5", ""); // n4
+            b.end();
+            b.begin("n6"); // n5
+            b.leaf("n7", ""); // n6
+            b.end();
+            b.end();
+        }
+        b.end();
+        b.begin("n8"); // n7
+        b.leaf("n9", ""); // n8
+        b.end();
+        b.leaf("n10", ""); // n9
+    }
+    b.end();
+    b.finish().expect("figure 3 tree is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xfrag_doc::NodeId;
+
+    #[test]
+    fn shape_matches_figure() {
+        let d = figure3();
+        assert_eq!(d.len(), 10);
+        d.validate().unwrap();
+        // Paper's n1 (our n0) has children n2, n8, n10 (ours n1, n7, n9).
+        assert_eq!(d.children(NodeId(0)), &[NodeId(1), NodeId(7), NodeId(9)]);
+        // Paper's n3 (our n2) has children n4, n6 (ours n3, n5).
+        assert_eq!(d.children(NodeId(2)), &[NodeId(3), NodeId(5)]);
+        assert_eq!(d.depth(NodeId(4)), 4);
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # xfrag-corpus — documents to query
+//!
+//! The paper evaluates its model on a single hand-drawn document (its
+//! Figure 1) and small abstract trees (Figures 3 and 4). This crate
+//! provides:
+//!
+//! * [`figure1::figure1`] — the Figure 1 article, reconstructed *exactly*
+//!   on its anchored node ids (n0, n1, n14, n16, n17, n18, n79, n80, n81)
+//!   and keyword placement, so Table 1 can be reproduced row by row;
+//! * [`figure3::figure3`] — the Figure 3 tree used by the join examples;
+//! * [`docgen`] — a seeded generator of document-centric XML (articles
+//!   with sections/subsections/paragraphs, Zipfian vocabulary) for the
+//!   scaling experiments the paper leaves as future work;
+//! * [`datacentric`] — a DBLP-like generator for the data-centric
+//!   contrast the introduction draws;
+//! * [`rfset`] — trees and node sets with a *controlled reduction factor*
+//!   for the §5 threshold calibration;
+//! * [`workload`] — deterministic query workloads over generated corpora;
+//! * [`zipf`] — the Zipf sampler behind the vocabulary model.
+
+pub mod datacentric;
+pub mod docgen;
+pub mod figure1;
+pub mod figure3;
+pub mod rfset;
+pub mod workload;
+pub mod zipf;
+
+pub use docgen::{generate, DocGenConfig};
+pub use figure1::{figure1, Figure1};
+pub use figure3::figure3;

@@ -1,0 +1,142 @@
+//! Trees and node sets with a *controlled reduction factor*.
+//!
+//! §5 of the paper proposes that an optimizer estimate the reduction
+//! factor `RF = (a − b)/a` of a fragment set and apply `⊖` only above a
+//! calibrated threshold `v`. Calibrating `v` needs inputs whose true RF is
+//! known by construction. This module builds them:
+//!
+//! a root with `k` disjoint chains of depth `d`; the set consists of the
+//! `k` chain *bottoms* (irreducible: a leaf never lies on the path between
+//! two other set members) plus `e` chain *interior* nodes (each lies on
+//! the path from its chain's bottom to any other chain's bottom, hence is
+//! eliminated by `⊖` whenever `k ≥ 2`). The exact reduction factor is
+//! `e / (e + k)`.
+
+use xfrag_doc::{Document, DocumentBuilder, NodeId};
+
+/// A document plus a node set with known reduction behaviour.
+#[derive(Debug, Clone)]
+pub struct RfSet {
+    /// The comb-shaped document.
+    pub doc: Document,
+    /// The fragment-set members (single nodes), interiors first.
+    pub members: Vec<NodeId>,
+    /// The `k` irreducible members (chain bottoms).
+    pub kept: Vec<NodeId>,
+    /// The exact reduction factor `e / (e + k)`.
+    pub rf: f64,
+}
+
+/// Build a set with `k ≥ 2` irreducible members and `e` eliminable ones.
+///
+/// Chain depth is `ceil(e / k) + 1`; interiors are distributed round-robin
+/// across chains, nearest-to-bottom first, so every chosen interior is an
+/// ancestor of its chain's bottom.
+pub fn build(k: usize, e: usize) -> RfSet {
+    assert!(k >= 2, "need at least two chains for elimination to occur");
+    let per_chain = e.div_ceil(k); // interiors used per chain (max)
+    let depth = per_chain + 1; // chain length below the root
+
+    let mut b = DocumentBuilder::new();
+    b.begin("root");
+    let mut chain_nodes: Vec<Vec<NodeId>> = Vec::with_capacity(k);
+    for c in 0..k {
+        let mut nodes = Vec::with_capacity(depth);
+        for lvl in 0..depth {
+            nodes.push(b.begin(format!("c{c}l{lvl}")));
+        }
+        for _ in 0..depth {
+            b.end();
+        }
+        chain_nodes.push(nodes);
+    }
+    b.end();
+    let doc = b.finish().expect("comb document is well-formed");
+
+    let kept: Vec<NodeId> = chain_nodes.iter().map(|c| *c.last().unwrap()).collect();
+    // Pick e interiors round-robin: chain 0 level depth-2, chain 1 level
+    // depth-2, …, then depth-3, and so on.
+    let mut interiors = Vec::with_capacity(e);
+    'outer: for step in 1..depth {
+        for chain in &chain_nodes {
+            if interiors.len() == e {
+                break 'outer;
+            }
+            interiors.push(chain[depth - 1 - step]);
+        }
+    }
+    assert_eq!(interiors.len(), e, "not enough interior slots");
+
+    let mut members = interiors;
+    members.extend(&kept);
+    let rf = e as f64 / (e + k) as f64;
+    RfSet {
+        doc,
+        members,
+        kept,
+        rf,
+    }
+}
+
+/// Build a set of `n` members with reduction factor as close as possible
+/// to `rf` (`0.0 ≤ rf < 1.0`); returns the realized construction.
+pub fn with_rf(n: usize, rf: f64) -> RfSet {
+    assert!((0.0..1.0).contains(&rf), "rf must be in [0, 1)");
+    assert!(n >= 2, "need at least two members");
+    let e = ((n as f64) * rf).round() as usize;
+    let k = (n - e).max(2);
+    build(k, n.saturating_sub(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_counts() {
+        let s = build(4, 6);
+        assert_eq!(s.kept.len(), 4);
+        assert_eq!(s.members.len(), 10);
+        assert!((s.rf - 0.6).abs() < 1e-9);
+        s.doc.validate().unwrap();
+    }
+
+    #[test]
+    fn interiors_are_ancestors_of_bottoms() {
+        let s = build(3, 5);
+        for &m in &s.members {
+            if s.kept.contains(&m) {
+                continue;
+            }
+            assert!(
+                s.kept.iter().any(|&bot| s.doc.is_ancestor(m, bot)),
+                "interior {m} is not an ancestor of any kept bottom"
+            );
+        }
+    }
+
+    #[test]
+    fn with_rf_hits_target() {
+        for target in [0.0, 0.2, 0.5, 0.8] {
+            let s = with_rf(20, target);
+            assert!(
+                (s.rf - target).abs() <= 0.1,
+                "target {target}, realized {}",
+                s.rf
+            );
+        }
+    }
+
+    #[test]
+    fn zero_rf_has_no_interiors() {
+        let s = with_rf(10, 0.0);
+        assert_eq!(s.members.len(), s.kept.len());
+        assert_eq!(s.rf, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two chains")]
+    fn rejects_single_chain() {
+        let _ = build(1, 3);
+    }
+}

@@ -1,0 +1,108 @@
+//! Deterministic query workloads over a corpus.
+//!
+//! Experiments need many queries with *known* operand selectivities
+//! (`|Fi|` drives every cost in the algebra). A workload pairs a
+//! generated document with planted query terms and emits the term tuples
+//! to query, classified by selectivity band.
+
+use crate::docgen::{generate, DocGenConfig};
+use xfrag_doc::{Document, InvertedIndex};
+
+/// A keyword workload: a document, its index, and query term tuples.
+#[derive(Debug)]
+pub struct Workload {
+    /// The generated document.
+    pub doc: Document,
+    /// Its inverted index.
+    pub index: InvertedIndex,
+    /// Queries: each a vector of terms (all planted, so selectivity is
+    /// exactly as configured).
+    pub queries: Vec<Vec<String>>,
+}
+
+/// Configuration for [`build`].
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Seed forwarded to the document generator.
+    pub seed: u64,
+    /// Approximate document size in nodes.
+    pub approx_nodes: usize,
+    /// Per-query term selectivities: one query is produced for each entry,
+    /// with one planted term per selectivity value.
+    pub selectivities: Vec<Vec<usize>>,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            seed: 0x20AD,
+            approx_nodes: 2_000,
+            selectivities: vec![vec![2, 3], vec![4, 4], vec![8, 2], vec![3, 3, 3]],
+        }
+    }
+}
+
+/// Build the workload: terms `q{i}t{j}` are planted with the requested
+/// document frequencies and returned as queries.
+pub fn build(cfg: &WorkloadConfig) -> Workload {
+    let mut doc_cfg = DocGenConfig {
+        seed: cfg.seed,
+        ..DocGenConfig::default()
+    }
+    .with_approx_nodes(cfg.approx_nodes);
+
+    let mut queries = Vec::new();
+    for (qi, sels) in cfg.selectivities.iter().enumerate() {
+        let mut terms = Vec::new();
+        for (ti, &df) in sels.iter().enumerate() {
+            let term = format!("q{qi}t{ti}");
+            doc_cfg = doc_cfg.plant(term.clone(), df);
+            terms.push(term);
+        }
+        queries.push(terms);
+    }
+
+    let doc = generate(&doc_cfg);
+    let index = InvertedIndex::build(&doc);
+    Workload {
+        doc,
+        index,
+        queries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selectivities_are_exact() {
+        let cfg = WorkloadConfig::default();
+        let w = build(&cfg);
+        for (q, sels) in w.queries.iter().zip(&cfg.selectivities) {
+            for (term, &df) in q.iter().zip(sels) {
+                assert_eq!(w.index.df(term), df, "term {term}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = WorkloadConfig::default();
+        let a = build(&cfg);
+        let b = build(&cfg);
+        assert_eq!(a.doc, b.doc);
+        assert_eq!(a.queries, b.queries);
+    }
+
+    #[test]
+    fn query_count_matches_config() {
+        let cfg = WorkloadConfig {
+            selectivities: vec![vec![1], vec![2, 2], vec![3, 3, 3, 3]],
+            ..WorkloadConfig::default()
+        };
+        let w = build(&cfg);
+        assert_eq!(w.queries.len(), 3);
+        assert_eq!(w.queries[2].len(), 4);
+    }
+}

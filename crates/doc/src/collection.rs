@@ -1,0 +1,165 @@
+//! Multi-document collections.
+//!
+//! The paper's closing claim is that the model "can accommodate a very
+//! large collection of XML documents". Fragments never span documents
+//! (Definition 2 is per-tree), so a collection is evaluated document by
+//! document — but indexing, term statistics and result bookkeeping need a
+//! collection-level substrate, which this module provides.
+
+use crate::index::InvertedIndex;
+use crate::tree::Document;
+use std::collections::BTreeMap;
+
+/// Identifier of a document within a [`Collection`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DocId(pub u32);
+
+impl std::fmt::Display for DocId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// A named set of documents with per-document indexes and collection-wide
+/// term statistics.
+#[derive(Debug, Default)]
+pub struct Collection {
+    names: Vec<String>,
+    docs: Vec<Document>,
+    indexes: Vec<InvertedIndex>,
+    /// term → number of documents containing it.
+    doc_freq: BTreeMap<String, u32>,
+}
+
+impl Collection {
+    /// An empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a document under a display name; returns its id.
+    pub fn add(&mut self, name: impl Into<String>, doc: Document) -> DocId {
+        let id = DocId(self.docs.len() as u32);
+        let index = InvertedIndex::build(&doc);
+        for (term, _) in index.terms() {
+            *self.doc_freq.entry(term.to_string()).or_insert(0) += 1;
+        }
+        self.names.push(name.into());
+        self.docs.push(doc);
+        self.indexes.push(index);
+        id
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the collection has no documents.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// The document ids in insertion order.
+    pub fn ids(&self) -> impl ExactSizeIterator<Item = DocId> {
+        (0..self.docs.len() as u32).map(DocId)
+    }
+
+    /// The document behind an id.
+    #[track_caller]
+    pub fn doc(&self, id: DocId) -> &Document {
+        &self.docs[id.0 as usize]
+    }
+
+    /// The per-document index behind an id. (Named for the domain object,
+    /// not `std::ops::Index` — a collection is not indexable by `DocId`
+    /// into one canonical output type.)
+    #[track_caller]
+    #[allow(clippy::should_implement_trait)]
+    pub fn index(&self, id: DocId) -> &InvertedIndex {
+        &self.indexes[id.0 as usize]
+    }
+
+    /// The display name behind an id.
+    #[track_caller]
+    pub fn name(&self, id: DocId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Collection-level document frequency of a (normalized) term.
+    pub fn doc_freq(&self, term: &str) -> u32 {
+        self.doc_freq.get(term).copied().unwrap_or(0)
+    }
+
+    /// Documents containing *all* the given terms — the candidates a
+    /// conjunctive query can possibly answer from.
+    pub fn candidate_docs<'a>(
+        &'a self,
+        terms: &'a [String],
+    ) -> impl Iterator<Item = DocId> + 'a {
+        self.ids().filter(move |&id| {
+            terms
+                .iter()
+                .all(|t| !self.indexes[id.0 as usize].lookup(t).is_empty())
+        })
+    }
+
+    /// Total node count across all documents.
+    pub fn total_nodes(&self) -> usize {
+        self.docs.iter().map(Document::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_str;
+
+    fn collection() -> Collection {
+        let mut c = Collection::new();
+        c.add("a.xml", parse_str("<a><p>alpha beta</p></a>").unwrap());
+        c.add("b.xml", parse_str("<b><p>alpha</p><p>gamma</p></b>").unwrap());
+        c.add("c.xml", parse_str("<c><p>delta</p></c>").unwrap());
+        c
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let c = collection();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.name(DocId(1)), "b.xml");
+        assert_eq!(c.doc(DocId(0)).len(), 2);
+        assert_eq!(c.index(DocId(1)).df("alpha"), 1);
+        assert_eq!(c.total_nodes(), 2 + 3 + 2);
+    }
+
+    #[test]
+    fn collection_doc_freq() {
+        let c = collection();
+        assert_eq!(c.doc_freq("alpha"), 2);
+        assert_eq!(c.doc_freq("delta"), 1);
+        assert_eq!(c.doc_freq("absent"), 0);
+        // Tag names count as terms too.
+        assert_eq!(c.doc_freq("p"), 3);
+    }
+
+    #[test]
+    fn candidate_docs_conjunctive() {
+        let c = collection();
+        let terms = vec!["alpha".to_string(), "beta".to_string()];
+        let hits: Vec<DocId> = c.candidate_docs(&terms).collect();
+        assert_eq!(hits, vec![DocId(0)]);
+        let terms = vec!["alpha".to_string()];
+        assert_eq!(c.candidate_docs(&terms).count(), 2);
+        let terms = vec!["alpha".to_string(), "zzz".to_string()];
+        assert_eq!(c.candidate_docs(&terms).count(), 0);
+    }
+
+    #[test]
+    fn empty_collection() {
+        let c = Collection::new();
+        assert!(c.is_empty());
+        assert_eq!(c.ids().count(), 0);
+        assert_eq!(c.doc_freq("x"), 0);
+    }
+}

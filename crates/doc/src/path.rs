@@ -1,0 +1,294 @@
+//! A small structural path language ("XPath-lite").
+//!
+//! The paper positions keyword search against "complex syntax of
+//! structure-based query languages such as XQuery" (§6). To make that
+//! contrast executable — and because realistic applications mix both —
+//! this module implements the navigational core:
+//!
+//! ```text
+//! path     := step+
+//! step     := "/" test          child axis
+//!           | "//" test         descendant-or-self axis
+//! test     := name | "*"        tag test or wildcard
+//! predicate:= "[" name "=" 'value' "]"   attribute equality (optional,
+//!                                         one per step)
+//! ```
+//!
+//! Examples: `/article/section/par`, `//par`, `//section[id='s1']/title`,
+//! `/article//title`. Evaluation returns matching nodes in document
+//! order, deduplicated.
+
+use crate::tree::{Document, NodeId};
+
+/// One step of a parsed path expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// `//` (descendant-or-self) vs `/` (child).
+    pub descendant: bool,
+    /// Tag test; `None` is the `*` wildcard.
+    pub tag: Option<String>,
+    /// Optional `[attr='value']` predicate.
+    pub attr: Option<(String, String)>,
+}
+
+/// A parsed path expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathExpr {
+    steps: Vec<Step>,
+}
+
+/// Errors from parsing a path expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathError {
+    /// The expression was empty or did not start with `/`.
+    MustStartWithSlash,
+    /// A step had no name test.
+    EmptyStep,
+    /// A malformed `[...]` predicate.
+    BadPredicate(String),
+}
+
+impl std::fmt::Display for PathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PathError::MustStartWithSlash => write!(f, "path must start with '/' or '//'"),
+            PathError::EmptyStep => write!(f, "empty step (missing tag test)"),
+            PathError::BadPredicate(p) => write!(f, "malformed predicate [{p}]"),
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+impl PathExpr {
+    /// Parse a path expression.
+    pub fn parse(input: &str) -> Result<PathExpr, PathError> {
+        let mut rest = input.trim();
+        if !rest.starts_with('/') {
+            return Err(PathError::MustStartWithSlash);
+        }
+        let mut steps = Vec::new();
+        while !rest.is_empty() {
+            let descendant = if let Some(r) = rest.strip_prefix("//") {
+                rest = r;
+                true
+            } else if let Some(r) = rest.strip_prefix('/') {
+                rest = r;
+                false
+            } else {
+                return Err(PathError::MustStartWithSlash);
+            };
+            // Step body runs to the next '/'.
+            let end = rest.find('/').unwrap_or(rest.len());
+            let body = &rest[..end];
+            rest = &rest[end..];
+            if body.is_empty() {
+                return Err(PathError::EmptyStep);
+            }
+            let (name_part, attr) = match body.find('[') {
+                Some(b) => {
+                    let pred = body[b..]
+                        .strip_prefix('[')
+                        .and_then(|p| p.strip_suffix(']'))
+                        .ok_or_else(|| PathError::BadPredicate(body.to_string()))?;
+                    let (k, v) = pred
+                        .split_once('=')
+                        .ok_or_else(|| PathError::BadPredicate(pred.to_string()))?;
+                    let v = v
+                        .trim()
+                        .strip_prefix('\'')
+                        .and_then(|v| v.strip_suffix('\''))
+                        .or_else(|| {
+                            v.trim().strip_prefix('"').and_then(|v| v.strip_suffix('"'))
+                        })
+                        .ok_or_else(|| PathError::BadPredicate(pred.to_string()))?;
+                    (&body[..b], Some((k.trim().to_string(), v.to_string())))
+                }
+                None => (body, None),
+            };
+            if name_part.is_empty() {
+                return Err(PathError::EmptyStep);
+            }
+            let tag = if name_part == "*" {
+                None
+            } else {
+                Some(name_part.to_string())
+            };
+            steps.push(Step {
+                descendant,
+                tag,
+                attr,
+            });
+        }
+        Ok(PathExpr { steps })
+    }
+
+    /// The parsed steps.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Evaluate against a document; matches in document order, unique.
+    pub fn eval(&self, doc: &Document) -> Vec<NodeId> {
+        // Current frontier; the virtual "document node" is represented by
+        // an initial frontier of the root evaluated against step 0 with
+        // child axis meaning "the root itself".
+        let mut frontier: Vec<NodeId> = Vec::new();
+        for (i, step) in self.steps.iter().enumerate() {
+            let candidates: Vec<NodeId> = if i == 0 {
+                if step.descendant {
+                    doc.node_ids().collect()
+                } else {
+                    vec![doc.root()]
+                }
+            } else if step.descendant {
+                let mut v = Vec::new();
+                for &n in &frontier {
+                    // Strict descendants.
+                    v.extend(doc.subtree_ids(n).skip(1));
+                }
+                v
+            } else {
+                let mut v = Vec::new();
+                for &n in &frontier {
+                    v.extend_from_slice(doc.children(n));
+                }
+                v
+            };
+            let mut next: Vec<NodeId> = candidates
+                .into_iter()
+                .filter(|&n| step.matches(doc, n))
+                .collect();
+            next.sort_unstable();
+            next.dedup();
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        frontier
+    }
+}
+
+impl Step {
+    fn matches(&self, doc: &Document, n: NodeId) -> bool {
+        if let Some(tag) = &self.tag {
+            if doc.tag(n) != tag {
+                return false;
+            }
+        }
+        if let Some((k, v)) = &self.attr {
+            return doc
+                .node(n)
+                .attrs
+                .iter()
+                .any(|(ak, av)| ak == k && av == v);
+        }
+        true
+    }
+}
+
+/// Convenience: parse and evaluate in one call.
+pub fn select_path(doc: &Document, path: &str) -> Result<Vec<NodeId>, PathError> {
+    Ok(PathExpr::parse(path)?.eval(doc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_str;
+
+    fn doc() -> Document {
+        parse_str(
+            r#"<article>
+                 <section id="s1"><title>A</title><par>one</par><par>two</par></section>
+                 <section id="s2"><title>B</title>
+                   <subsection><par>three</par></subsection>
+                 </section>
+               </article>"#,
+        )
+        .unwrap()
+    }
+
+    fn ids(v: &[u32]) -> Vec<NodeId> {
+        v.iter().map(|&n| NodeId(n)).collect()
+    }
+
+    #[test]
+    fn absolute_child_paths() {
+        let d = doc();
+        assert_eq!(select_path(&d, "/article").unwrap(), ids(&[0]));
+        assert_eq!(select_path(&d, "/article/section").unwrap(), ids(&[1, 5]));
+        assert_eq!(
+            select_path(&d, "/article/section/par").unwrap(),
+            ids(&[3, 4])
+        );
+        assert_eq!(select_path(&d, "/nosuch").unwrap(), ids(&[]));
+    }
+
+    #[test]
+    fn descendant_axis() {
+        let d = doc();
+        assert_eq!(select_path(&d, "//par").unwrap(), ids(&[3, 4, 8]));
+        assert_eq!(select_path(&d, "//title").unwrap(), ids(&[2, 6]));
+        assert_eq!(
+            select_path(&d, "/article//par").unwrap(),
+            ids(&[3, 4, 8])
+        );
+        assert_eq!(
+            select_path(&d, "//subsection/par").unwrap(),
+            ids(&[8])
+        );
+    }
+
+    #[test]
+    fn wildcard_and_predicates() {
+        let d = doc();
+        assert_eq!(select_path(&d, "/article/*").unwrap(), ids(&[1, 5]));
+        assert_eq!(
+            select_path(&d, "//section[id='s2']").unwrap(),
+            ids(&[5])
+        );
+        assert_eq!(
+            select_path(&d, "//section[id=\"s1\"]/par").unwrap(),
+            ids(&[3, 4])
+        );
+        assert_eq!(select_path(&d, "//section[id='nope']").unwrap(), ids(&[]));
+        assert_eq!(select_path(&d, "//*[id='s1']").unwrap(), ids(&[1]));
+    }
+
+    #[test]
+    fn descendant_first_step_includes_root() {
+        let d = doc();
+        assert_eq!(select_path(&d, "//article").unwrap(), ids(&[0]));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(
+            PathExpr::parse("article").unwrap_err(),
+            PathError::MustStartWithSlash
+        );
+        assert_eq!(PathExpr::parse("").unwrap_err(), PathError::MustStartWithSlash);
+        assert!(matches!(
+            PathExpr::parse("/a[b]").unwrap_err(),
+            PathError::BadPredicate(_)
+        ));
+        assert!(matches!(
+            PathExpr::parse("/a[b=c]").unwrap_err(),
+            PathError::BadPredicate(_)
+        ));
+        assert!(matches!(
+            PathExpr::parse("/a/[x='y']").unwrap_err(),
+            PathError::EmptyStep
+        ));
+    }
+
+    #[test]
+    fn results_in_document_order_unique() {
+        let d = doc();
+        // `//*//par` can reach the same par through several ancestors.
+        let hits = select_path(&d, "//*//par").unwrap();
+        assert_eq!(hits, ids(&[3, 4, 8]));
+    }
+}

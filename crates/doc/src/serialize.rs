@@ -1,0 +1,176 @@
+//! Serialization of a [`Document`] — or any fragment of one — back to XML.
+//!
+//! Fragment answers are ultimately *presented* to a user (the paper's §5
+//! discussion of overlapping answers is about presentation); serialization
+//! of an arbitrary connected node subset is how an answer fragment becomes
+//! a self-contained XML snippet again.
+
+use crate::tree::{Document, NodeId};
+use std::collections::HashSet;
+use std::fmt::Write;
+
+/// Escape text content.
+pub fn escape_text(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Escape an attribute value (double-quote delimited).
+pub fn escape_attr(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Options controlling serialization.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteOptions {
+    /// Indent children by this many spaces per depth level; `None` writes
+    /// everything on one line.
+    pub indent: Option<usize>,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions { indent: Some(2) }
+    }
+}
+
+/// Serialize the whole document.
+pub fn document_to_xml(doc: &Document, opts: WriteOptions) -> String {
+    let all: Vec<NodeId> = doc.node_ids().collect();
+    fragment_to_xml(doc, &all, opts)
+}
+
+/// Serialize the subtree of the document induced by `nodes` (which must be
+/// a connected node set; callers in `xfrag-core` guarantee this — stray
+/// nodes outside the induced tree are silently ignored here, rooted at the
+/// minimum id).
+pub fn fragment_to_xml(doc: &Document, nodes: &[NodeId], opts: WriteOptions) -> String {
+    let mut out = String::new();
+    if nodes.is_empty() {
+        return out;
+    }
+    let set: HashSet<NodeId> = nodes.iter().copied().collect();
+    let root = *nodes.iter().min().expect("non-empty");
+    write_node(doc, root, &set, &mut out, 0, opts);
+    out
+}
+
+fn write_node(
+    doc: &Document,
+    n: NodeId,
+    keep: &HashSet<NodeId>,
+    out: &mut String,
+    level: usize,
+    opts: WriteOptions,
+) {
+    let pad = |out: &mut String, level: usize| {
+        if let Some(w) = opts.indent {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            for _ in 0..level * w {
+                out.push(' ');
+            }
+        }
+    };
+    pad(out, level);
+    let node = doc.node(n);
+    write!(out, "<{}", node.tag).unwrap();
+    for (k, v) in &node.attrs {
+        write!(out, " {k}=\"").unwrap();
+        escape_attr(v, out);
+        out.push('"');
+    }
+    let kids: Vec<NodeId> = doc
+        .children(n)
+        .iter()
+        .copied()
+        .filter(|c| keep.contains(c))
+        .collect();
+    if node.text.is_empty() && kids.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    if !node.text.is_empty() {
+        if opts.indent.is_some() && !kids.is_empty() {
+            pad(out, level + 1);
+        }
+        escape_text(&node.text, out);
+    }
+    for c in &kids {
+        write_node(doc, *c, keep, out, level + 1, opts);
+    }
+    if !kids.is_empty() {
+        pad(out, level);
+    }
+    write!(out, "</{}>", node.tag).unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_str;
+
+    #[test]
+    fn roundtrip_simple() {
+        let src = "<a><b>hi</b><c x=\"1\"/></a>";
+        let d = parse_str(src).unwrap();
+        let out = document_to_xml(&d, WriteOptions { indent: None });
+        let d2 = parse_str(&out).unwrap();
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn escaping() {
+        let mut s = String::new();
+        escape_text("a<b&c>d", &mut s);
+        assert_eq!(s, "a&lt;b&amp;c&gt;d");
+        let mut s = String::new();
+        escape_attr("say \"hi\" & <go>", &mut s);
+        assert_eq!(s, "say &quot;hi&quot; &amp; &lt;go>");
+    }
+
+    #[test]
+    fn fragment_serialization_skips_excluded_nodes() {
+        let d = parse_str("<a><b><c/></b><d/></a>").unwrap();
+        // Keep only <a> and <d>: <b>'s subtree is excluded.
+        let xml = fragment_to_xml(&d, &[NodeId(0), NodeId(3)], WriteOptions { indent: None });
+        assert_eq!(xml, "<a><d/></a>");
+    }
+
+    #[test]
+    fn empty_fragment_is_empty_string() {
+        let d = parse_str("<a/>").unwrap();
+        assert_eq!(fragment_to_xml(&d, &[], WriteOptions::default()), "");
+    }
+
+    #[test]
+    fn pretty_print_indents() {
+        let d = parse_str("<a><b>x</b></a>").unwrap();
+        let xml = document_to_xml(&d, WriteOptions { indent: Some(2) });
+        assert_eq!(xml, "<a>\n  <b>x</b>\n</a>");
+    }
+
+    #[test]
+    fn roundtrip_entities() {
+        let src = "<p>1 &lt; 2 &amp; 3</p>";
+        let d = parse_str(src).unwrap();
+        let out = document_to_xml(&d, WriteOptions { indent: None });
+        let d2 = parse_str(&out).unwrap();
+        assert_eq!(d, d2);
+    }
+}

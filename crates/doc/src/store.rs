@@ -1,0 +1,317 @@
+//! A compact binary on-disk format for documents.
+//!
+//! Parsing XML is the dominant load-time cost for large corpora; systems
+//! persist a pre-parsed form instead. The `XFRG` format stores the node
+//! arena directly — tags, attributes, text, and parent links — so loading
+//! is a single pass with no tokenization. Layout (all integers
+//! little-endian):
+//!
+//! ```text
+//! magic   4 bytes   "XFRG"
+//! version u16       1
+//! nodes   u32       node count (pre-order)
+//! per node:
+//!   parent u32      parent id, or u32::MAX for the root
+//!   tag    lstr     u32 length + UTF-8 bytes
+//!   text   lstr
+//!   nattrs u16      attribute count
+//!   per attribute: name lstr, value lstr
+//! checksum u64      FNV-1a over everything before it
+//! ```
+//!
+//! The reader re-derives depths, children and subtree sizes through the
+//! ordinary [`DocumentBuilder`], so a loaded document satisfies exactly
+//! the same invariants as a parsed one, and a corrupted or truncated file
+//! is rejected with a precise [`StoreError`].
+
+use crate::builder::DocumentBuilder;
+use crate::tree::{Document, NodeId};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"XFRG";
+const VERSION: u16 = 1;
+
+/// Errors from decoding a stored document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The file does not start with the `XFRG` magic.
+    BadMagic,
+    /// Format version this build does not understand.
+    UnsupportedVersion(u16),
+    /// The payload ended early.
+    Truncated,
+    /// A length-prefixed string was not valid UTF-8.
+    InvalidUtf8,
+    /// The trailing checksum does not match the payload.
+    ChecksumMismatch,
+    /// Parent links do not form a pre-order tree.
+    StructuralError(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::BadMagic => write!(f, "not an XFRG file (bad magic)"),
+            StoreError::UnsupportedVersion(v) => write!(f, "unsupported XFRG version {v}"),
+            StoreError::Truncated => write!(f, "file truncated"),
+            StoreError::InvalidUtf8 => write!(f, "corrupted string data (invalid UTF-8)"),
+            StoreError::ChecksumMismatch => write!(f, "checksum mismatch (file corrupted)"),
+            StoreError::StructuralError(e) => write!(f, "structural error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn put_lstr(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Serialize a document into the XFRG binary format.
+pub fn encode(doc: &Document) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + doc.len() * 32);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(doc.len() as u32);
+    for n in doc.node_ids() {
+        let node = doc.node(n);
+        buf.put_u32_le(doc.parent(n).map(|p| p.0).unwrap_or(u32::MAX));
+        put_lstr(&mut buf, &node.tag);
+        put_lstr(&mut buf, &node.text);
+        buf.put_u16_le(node.attrs.len() as u16);
+        for (k, v) in &node.attrs {
+            put_lstr(&mut buf, k);
+            put_lstr(&mut buf, v);
+        }
+    }
+    let checksum = fnv1a(&buf);
+    buf.put_u64_le(checksum);
+    buf.freeze()
+}
+
+fn get_lstr(buf: &mut Bytes) -> Result<String, StoreError> {
+    if buf.remaining() < 4 {
+        return Err(StoreError::Truncated);
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(StoreError::Truncated);
+    }
+    let bytes = buf.copy_to_bytes(len);
+    String::from_utf8(bytes.to_vec()).map_err(|_| StoreError::InvalidUtf8)
+}
+
+/// Deserialize a document from the XFRG binary format.
+pub fn decode(data: &Bytes) -> Result<Document, StoreError> {
+    if data.len() < MAGIC.len() + 2 + 4 + 8 {
+        return Err(StoreError::Truncated);
+    }
+    let (payload, tail) = data.split_at(data.len() - 8);
+    let expect = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+    if fnv1a(payload) != expect {
+        return Err(StoreError::ChecksumMismatch);
+    }
+    let mut buf = Bytes::copy_from_slice(payload);
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(StoreError::UnsupportedVersion(version));
+    }
+    let n = buf.get_u32_le() as usize;
+
+    // Decode node records, then replay them through the builder in
+    // pre-order (the stored order *is* pre-order: parent < child).
+    struct Rec {
+        parent: u32,
+        tag: String,
+        text: String,
+        attrs: Vec<(String, String)>,
+    }
+    let mut recs = Vec::with_capacity(n);
+    for i in 0..n {
+        if buf.remaining() < 4 {
+            return Err(StoreError::Truncated);
+        }
+        let parent = buf.get_u32_le();
+        if i == 0 {
+            if parent != u32::MAX {
+                return Err(StoreError::StructuralError("first node must be the root".into()));
+            }
+        } else if parent as usize >= i {
+            return Err(StoreError::StructuralError(format!(
+                "node {i} has parent {parent}, breaking pre-order"
+            )));
+        }
+        let tag = get_lstr(&mut buf)?;
+        let text = get_lstr(&mut buf)?;
+        if buf.remaining() < 2 {
+            return Err(StoreError::Truncated);
+        }
+        let nattrs = buf.get_u16_le() as usize;
+        let mut attrs = Vec::with_capacity(nattrs);
+        for _ in 0..nattrs {
+            let k = get_lstr(&mut buf)?;
+            let v = get_lstr(&mut buf)?;
+            attrs.push((k, v));
+        }
+        recs.push(Rec {
+            parent,
+            tag,
+            text,
+            attrs,
+        });
+    }
+    if buf.has_remaining() {
+        return Err(StoreError::StructuralError("trailing bytes".into()));
+    }
+    if recs.is_empty() {
+        return Err(StoreError::StructuralError("empty document".into()));
+    }
+
+    // Children in stored order (ascending id keeps document order).
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (i, r) in recs.iter().enumerate().skip(1) {
+        children[r.parent as usize].push(i as u32);
+    }
+    let mut b = DocumentBuilder::new();
+    // Iterative pre-order replay.
+    let mut stack: Vec<(u32, usize)> = vec![(0, 0)];
+    let rec0 = &recs[0];
+    b.begin(rec0.tag.clone());
+    for (k, v) in &rec0.attrs {
+        b.attr(k.clone(), v.clone());
+    }
+    b.text(&rec0.text);
+    while let Some((node, ci)) = stack.pop() {
+        if ci < children[node as usize].len() {
+            stack.push((node, ci + 1));
+            let c = children[node as usize][ci];
+            let rc = &recs[c as usize];
+            b.begin(rc.tag.clone());
+            for (k, v) in &rc.attrs {
+                b.attr(k.clone(), v.clone());
+            }
+            b.text(&rc.text);
+            stack.push((c, 0));
+        } else {
+            b.end();
+        }
+    }
+    let doc = b
+        .finish()
+        .map_err(|e| StoreError::StructuralError(e.to_string()))?;
+    // Ids must round-trip: stored order was pre-order, children ascending.
+    for (i, r) in recs.iter().enumerate().skip(1) {
+        if doc.parent(NodeId(i as u32)) != Some(NodeId(r.parent)) {
+            return Err(StoreError::StructuralError(format!(
+                "node {i} parent mismatch after rebuild"
+            )));
+        }
+    }
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_str;
+
+    fn sample() -> Document {
+        parse_str(
+            r#"<article lang="en"><title>On Fragments</title>
+               <sec id="s1"><par>alpha beta</par><par>gamma</par></sec></article>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let d = sample();
+        let bytes = encode(&d);
+        let d2 = decode(&bytes).unwrap();
+        assert_eq!(d, d2);
+        d2.validate().unwrap();
+    }
+
+    #[test]
+    fn roundtrip_single_node() {
+        let d = parse_str("<x/>").unwrap();
+        assert_eq!(decode(&encode(&d)).unwrap(), d);
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let bytes = encode(&sample());
+        for cut in [3usize, 10, bytes.len() / 2, bytes.len() - 1] {
+            let cut_bytes = Bytes::copy_from_slice(&bytes[..cut]);
+            let e = decode(&cut_bytes).unwrap_err();
+            assert!(
+                matches!(e, StoreError::Truncated | StoreError::ChecksumMismatch),
+                "cut at {cut}: {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn detects_bitflips() {
+        let bytes = encode(&sample());
+        for pos in [0usize, 5, 8, 20, bytes.len() - 9] {
+            let mut corrupted = bytes.to_vec();
+            corrupted[pos] ^= 0x40;
+            let e = decode(&Bytes::from(corrupted)).unwrap_err();
+            assert!(
+                matches!(
+                    e,
+                    StoreError::ChecksumMismatch | StoreError::BadMagic | StoreError::Truncated
+                ),
+                "flip at {pos}: {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let bytes = encode(&sample());
+        let mut v = bytes.to_vec();
+        v[0] = b'Y';
+        // Re-stamp the checksum so the magic check is what fires.
+        let csum = fnv1a(&v[..v.len() - 8]);
+        let len = v.len();
+        v[len - 8..].copy_from_slice(&csum.to_le_bytes());
+        assert_eq!(decode(&Bytes::from(v)).unwrap_err(), StoreError::BadMagic);
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let bytes = encode(&sample());
+        let mut v = bytes.to_vec();
+        v[4] = 9; // version LE low byte
+        let csum = fnv1a(&v[..v.len() - 8]);
+        let len = v.len();
+        v[len - 8..].copy_from_slice(&csum.to_le_bytes());
+        assert_eq!(
+            decode(&Bytes::from(v)).unwrap_err(),
+            StoreError::UnsupportedVersion(9)
+        );
+    }
+
+    #[test]
+    fn encode_is_deterministic() {
+        let d = sample();
+        assert_eq!(encode(&d), encode(&d));
+    }
+}

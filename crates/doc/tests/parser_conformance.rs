@@ -1,0 +1,144 @@
+//! Parser conformance suite: a battery of small well-formedness cases,
+//! positive and negative, in the spirit of the W3C XML conformance
+//! collection (restricted to the non-validating, namespace-verbatim
+//! surface this parser targets).
+
+use xfrag_doc::{parse_str, NodeId};
+
+macro_rules! accepts {
+    ($name:ident, $src:expr) => {
+        #[test]
+        fn $name() {
+            let d = parse_str($src).unwrap_or_else(|e| panic!("{}: {e}", $src));
+            d.validate().unwrap();
+        }
+    };
+}
+
+macro_rules! rejects {
+    ($name:ident, $src:expr) => {
+        #[test]
+        fn $name() {
+            assert!(parse_str($src).is_err(), "should reject: {}", $src);
+        }
+    };
+}
+
+// ---- positive cases -----------------------------------------------------
+
+accepts!(minimal, "<a/>");
+accepts!(minimal_with_space, "<a />");
+accepts!(nested, "<a><b><c><d/></c></b></a>");
+accepts!(mixed_content, "<p>one <b>two</b> three <i>four</i> five</p>");
+accepts!(attributes_both_quotes, r#"<a x="1" y='2'/>"#);
+accepts!(attribute_with_gt, r#"<a x="a>b"/>"#);
+accepts!(empty_attribute, r#"<a x=""/>"#);
+accepts!(whitespace_in_tags, "<a  x=\"1\"\n y=\"2\"\t></a>");
+accepts!(prolog, "<?xml version=\"1.0\" encoding=\"UTF-8\"?><a/>");
+accepts!(comment_before_and_after, "<!-- pre --><a/><!-- post -->");
+accepts!(comment_with_dash, "<a><!-- a - b --></a>");
+accepts!(pi_in_content, "<a><?target data?></a>");
+accepts!(cdata_basic, "<a><![CDATA[<raw>&stuff]]></a>");
+accepts!(cdata_with_brackets, "<a><![CDATA[x ]] y]]></a>");
+accepts!(doctype_simple, "<!DOCTYPE a><a/>");
+accepts!(doctype_system, "<!DOCTYPE a SYSTEM \"a.dtd\"><a/>");
+accepts!(doctype_internal_subset, "<!DOCTYPE a [<!ENTITY x \"y\">]><a/>");
+accepts!(predefined_entities, "<a>&amp;&lt;&gt;&apos;&quot;</a>");
+accepts!(decimal_char_ref, "<a>&#65;&#955;</a>");
+accepts!(hex_char_ref, "<a>&#x41;&#x3BB;&#X41;</a>");
+accepts!(unicode_text, "<a>日本語 текст ελληνικά</a>");
+accepts!(unicode_tag, "<日本語>x</日本語>");
+accepts!(name_with_punct, "<a-b.c_d>x</a-b.c_d>");
+accepts!(namespace_prefix, "<ns:a xmlns:ns=\"urn:x\"><ns:b/></ns:a>");
+accepts!(underscore_name, "<_priv/>");
+accepts!(newlines_everywhere, "<a>\n  <b>\r\n x \n</b>\n</a>");
+accepts!(bom, "\u{feff}<a/>");
+accepts!(deep_nesting_200, &{
+    let mut s = String::new();
+    for i in 0..200 {
+        s.push_str(&format!("<d{i}>"));
+    }
+    for i in (0..200).rev() {
+        s.push_str(&format!("</d{i}>"));
+    }
+    s
+});
+accepts!(wide_fanout_500, &{
+    let mut s = String::from("<r>");
+    for i in 0..500 {
+        s.push_str(&format!("<c{i}/>"));
+    }
+    s.push_str("</r>");
+    s
+});
+
+// ---- negative cases -----------------------------------------------------
+
+rejects!(empty_input, "");
+rejects!(whitespace_only, "   \n\t ");
+rejects!(text_only, "just text");
+rejects!(unclosed_root, "<a>");
+rejects!(unclosed_child, "<a><b></a>");
+rejects!(mismatched_close, "<a></b>");
+rejects!(extra_close, "<a></a></a>");
+rejects!(two_roots, "<a/><b/>");
+rejects!(text_after_root, "<a/>trailing");
+rejects!(text_before_root, "pre<a/>");
+rejects!(bare_ampersand_entity, "<a>&;</a>");
+rejects!(unknown_entity, "<a>&unknown;</a>");
+rejects!(unterminated_entity, "<a>&amp</a>");
+rejects!(surrogate_char_ref, "<a>&#xD800;</a>");
+rejects!(huge_char_ref, "<a>&#x110000;</a>");
+rejects!(duplicate_attr, r#"<a x="1" x="2"/>"#);
+rejects!(attr_missing_quotes, "<a x=1/>");
+rejects!(attr_missing_value, "<a x=/>");
+rejects!(attr_missing_eq, r#"<a x"1"/>"#);
+rejects!(raw_lt_in_attr, r#"<a x="<"/>"#);
+rejects!(tag_starting_with_digit, "<1a/>");
+rejects!(tag_starting_with_dash, "<-a/>");
+rejects!(unterminated_comment, "<a><!-- never closed</a>");
+rejects!(double_dash_in_comment, "<a><!-- x -- y --></a>");
+rejects!(unterminated_cdata, "<a><![CDATA[never closed</a>");
+rejects!(unterminated_pi, "<a><?pi never closed</a>");
+rejects!(unterminated_doctype, "<!DOCTYPE a <a/>");
+rejects!(stray_close_bracket_tag, "<a <b/>></a>");
+
+// ---- behavioural details ------------------------------------------------
+
+#[test]
+fn whitespace_only_text_nodes_dropped() {
+    let d = parse_str("<a>\n   <b/>\n   </a>").unwrap();
+    assert_eq!(d.text(NodeId(0)), "");
+}
+
+#[test]
+fn text_split_by_children_joins_with_space() {
+    let d = parse_str("<p>alpha<b/>beta</p>").unwrap();
+    assert_eq!(d.text(NodeId(0)), "alpha beta");
+}
+
+#[test]
+fn attribute_order_preserved() {
+    let d = parse_str(r#"<a z="1" a="2" m="3"/>"#).unwrap();
+    let names: Vec<&str> = d.node(NodeId(0)).attrs.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(names, ["z", "a", "m"]);
+}
+
+#[test]
+fn cdata_does_not_expand_entities() {
+    let d = parse_str("<a><![CDATA[&amp;]]></a>").unwrap();
+    assert_eq!(d.text(NodeId(0)), "&amp;");
+}
+
+#[test]
+fn self_closing_and_explicit_empty_are_equal() {
+    assert_eq!(parse_str("<a><b/></a>").unwrap(), parse_str("<a><b></b></a>").unwrap());
+}
+
+#[test]
+fn error_positions_point_at_problem() {
+    let e = parse_str("<a>\n<b>\n  &nope;\n</b></a>").unwrap_err();
+    assert_eq!(e.pos.line, 3);
+    let e = parse_str("<a x='1'\n  x='2'/>").unwrap_err();
+    assert_eq!(e.pos.line, 2);
+}

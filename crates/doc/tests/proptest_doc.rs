@@ -1,0 +1,139 @@
+//! Property tests for the document substrate: parser/serializer
+//! round-trips, store round-trips, parser robustness on corrupted input,
+//! and tree-invariant preservation.
+
+use proptest::prelude::*;
+use xfrag_doc::serialize::{document_to_xml, WriteOptions};
+use xfrag_doc::{parse_str, store, Document, DocumentBuilder};
+
+/// Structure: a parent-choice vector; content: tag/text pools.
+fn build_doc(choices: &[usize], texts: &[String], attrs: &[(String, String)]) -> Document {
+    let n = choices.len() + 1;
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, &c) in choices.iter().enumerate() {
+        children[c % (i + 1)].push(i + 1);
+    }
+    fn emit(
+        b: &mut DocumentBuilder,
+        children: &[Vec<usize>],
+        v: usize,
+        texts: &[String],
+        attrs: &[(String, String)],
+    ) {
+        b.begin(format!("e{v}"));
+        if let Some((k, val)) = attrs.get(v % (attrs.len().max(1))) {
+            if !attrs.is_empty() {
+                b.attr(format!("a{k}"), val.clone());
+            }
+        }
+        if let Some(t) = texts.get(v % (texts.len().max(1))) {
+            if !texts.is_empty() && !t.is_empty() {
+                b.text(t);
+            }
+        }
+        for &c in &children[v] {
+            emit(b, children, c, texts, attrs);
+        }
+        b.end();
+    }
+    let mut b = DocumentBuilder::new();
+    emit(&mut b, &children, 0, texts, attrs);
+    b.finish().expect("generated tree is valid")
+}
+
+/// Text content that survives the parser's whitespace normalization:
+/// printable, no leading/trailing space collapse surprises.
+fn arb_text() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9<>&'\"]{0,12}".prop_map(|s| s.trim().to_string())
+}
+
+fn arb_attr() -> impl Strategy<Value = (String, String)> {
+    ("[a-z]{1,4}", "[a-zA-Z0-9 <>&'\"]{0,10}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// serialize → parse is the identity on documents (with trimmed,
+    /// space-joined text, which the builder already canonicalizes).
+    #[test]
+    fn xml_roundtrip(
+        choices in prop::collection::vec(any::<usize>(), 0..24),
+        texts in prop::collection::vec(arb_text(), 1..6),
+        attrs in prop::collection::vec(arb_attr(), 1..4),
+    ) {
+        let doc = build_doc(&choices, &texts, &attrs);
+        for indent in [None, Some(2)] {
+            let xml = document_to_xml(&doc, WriteOptions { indent });
+            let parsed = parse_str(&xml).expect("serialized XML re-parses");
+            prop_assert_eq!(&parsed, &doc, "indent {:?}\n{}", indent, xml);
+        }
+    }
+
+    /// encode → decode is the identity, bit-for-bit document equality.
+    #[test]
+    fn store_roundtrip(
+        choices in prop::collection::vec(any::<usize>(), 0..24),
+        texts in prop::collection::vec(arb_text(), 1..6),
+        attrs in prop::collection::vec(arb_attr(), 1..4),
+    ) {
+        let doc = build_doc(&choices, &texts, &attrs);
+        let bytes = store::encode(&doc);
+        let decoded = store::decode(&bytes).expect("store round-trip");
+        prop_assert_eq!(decoded, doc);
+    }
+
+    /// The parser never panics, whatever bytes it is fed — it returns a
+    /// document or an error.
+    #[test]
+    fn parser_never_panics_on_garbage(input in "\\PC{0,200}") {
+        let _ = parse_str(&input);
+    }
+
+    /// Corrupting a valid serialization never panics the parser, and a
+    /// corrupted store blob never silently decodes to a *different*
+    /// document (the checksum catches byte flips).
+    #[test]
+    fn corruption_is_contained(
+        choices in prop::collection::vec(any::<usize>(), 0..12),
+        texts in prop::collection::vec(arb_text(), 1..3),
+        pos in any::<usize>(),
+        flip in 1u8..255,
+    ) {
+        let doc = build_doc(&choices, &texts, &[]);
+        // XML side: flip a byte, parse must not panic.
+        let xml = document_to_xml(&doc, WriteOptions::default());
+        let mut bytes = xml.into_bytes();
+        let p = pos % bytes.len();
+        bytes[p] ^= flip;
+        if let Ok(s) = String::from_utf8(bytes) {
+            let _ = parse_str(&s);
+        }
+        // Store side: flip a byte, decode must fail or yield the original.
+        let blob = store::encode(&doc);
+        let mut v = blob.to_vec();
+        let p = pos % v.len();
+        v[p] ^= flip;
+        if let Ok(d) = store::decode(&v.into()) {
+            prop_assert_eq!(d, doc, "checksum collision?");
+        }
+    }
+
+    /// Tree invariants hold on every generated structure.
+    #[test]
+    fn invariants_hold(choices in prop::collection::vec(any::<usize>(), 0..40)) {
+        let doc = build_doc(&choices, &[], &[]);
+        doc.validate().expect("invariants");
+        // Ancestor test agrees with the parent chain.
+        for n in doc.node_ids() {
+            let mut x = Some(n);
+            while let Some(v) = x {
+                prop_assert!(doc.is_ancestor_or_self(v, n));
+                x = doc.parent(v);
+            }
+        }
+        // Subtree sizes sum correctly.
+        let total: u32 = doc.children(doc.root()).iter().map(|&c| doc.subtree_size(c)).sum();
+        prop_assert_eq!(total + 1, doc.subtree_size(doc.root()));
+    }
+}

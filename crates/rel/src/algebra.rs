@@ -1,0 +1,444 @@
+//! The tree algebra over relations: fragments as `(fid, node)` rows.
+//!
+//! A fragment set is a relation `frag(fid, node)`; the fragment's root is
+//! `MIN(node)` within its `fid` group (pre-order ids — see `xfrag-doc`).
+//! Every operation of the paper's algebra becomes relational:
+//!
+//! * keyword selection — `σ_{term=k}(keyword)`, each posting a singleton
+//!   fragment;
+//! * fragment join — the two operands' rows unioned with the *path*
+//!   between their roots, computed on the `anc` closure table: the LCA is
+//!   the deepest common ancestor (a self-join on `ancestor` + MAX), and
+//!   the path is every closure ancestor of either root at depth ≥ the
+//!   LCA's;
+//! * size / height / width filters — grouped aggregates over `frag`
+//!   joined with `node`;
+//! * duplicate elimination — fragments are canonicalized by their sorted
+//!   node lists (`fid` is a surrogate; two fids with equal node sets are
+//!   one fragment).
+//!
+//! Orchestration (loops over fids, fixed-point iteration) lives in host
+//! code, exactly as an external driver program would drive a SQL engine —
+//! which is the deployment the paper's \[13\] framework describes.
+
+use crate::database::Database;
+use crate::predicate::Predicate;
+use crate::relation::{Agg, Relation};
+use crate::schema::{ColType, Schema};
+use crate::value::Value;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// Schema of a fragment-set relation.
+pub fn frag_schema() -> Schema {
+    Schema::new(vec![("fid", ColType::Int), ("node", ColType::Int)])
+}
+
+/// A fragment-set relation plus the surrogate-id counter.
+#[derive(Debug, Clone)]
+pub struct FragRel {
+    /// `(fid, node)` rows.
+    pub rel: Relation,
+    next_fid: i64,
+}
+
+impl FragRel {
+    /// The empty fragment set.
+    pub fn empty() -> Self {
+        FragRel {
+            rel: Relation::empty(frag_schema()),
+            next_fid: 0,
+        }
+    }
+
+    /// `σ_{keyword=term}(nodes(D))`: one singleton fragment per posting.
+    pub fn keyword_select(db: &Database, term: &str) -> Self {
+        let postings = db
+            .table("keyword")
+            .select(&Predicate::Eq("term".into(), Value::from(term)))
+            .project(&["node"]);
+        let mut rel = Relation::empty(frag_schema());
+        let mut fid = 0i64;
+        for row in postings.rows() {
+            rel.push(vec![Value::Int(fid), row[0].clone()]);
+            fid += 1;
+        }
+        FragRel { rel, next_fid: fid }
+    }
+
+    /// Number of fragments (distinct fids).
+    pub fn len(&self) -> usize {
+        let mut fids = HashSet::new();
+        for r in self.rel.rows() {
+            fids.insert(r[0].as_int());
+        }
+        fids.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rel.is_empty()
+    }
+
+    /// Materialize `fid → sorted node ids`.
+    pub fn fragments(&self) -> BTreeMap<i64, Vec<u32>> {
+        let mut map: BTreeMap<i64, Vec<u32>> = BTreeMap::new();
+        for r in self.rel.rows() {
+            map.entry(r[0].as_int()).or_default().push(r[1].as_int() as u32);
+        }
+        for v in map.values_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
+        map
+    }
+
+    /// Canonicalize: collapse fids with identical node sets, renumbering
+    /// from zero in first-appearance order.
+    pub fn dedup(&self) -> FragRel {
+        let frags = self.fragments();
+        let mut seen: HashSet<Vec<u32>> = HashSet::new();
+        let mut rel = Relation::empty(frag_schema());
+        let mut fid = 0i64;
+        for (_, nodes) in frags {
+            if seen.insert(nodes.clone()) {
+                for n in &nodes {
+                    rel.push(vec![Value::Int(fid), Value::from(*n)]);
+                }
+                fid += 1;
+            }
+        }
+        FragRel { rel, next_fid: fid }
+    }
+
+    /// Set-equality on the canonical node sets.
+    pub fn set_eq(&self, other: &FragRel) -> bool {
+        let a: BTreeSet<Vec<u32>> = self.fragments().into_values().collect();
+        let b: BTreeSet<Vec<u32>> = other.fragments().into_values().collect();
+        a == b
+    }
+}
+
+/// Fetch the closure rows of one node via the `anc(node)` index — the
+/// access path an RDBMS would choose for `σ_{node=a}(anc)`.
+fn closure_of(db: &Database, node: u32) -> Relation {
+    let anc = db.table("anc");
+    let idx = db.index("anc", "node");
+    let rows: Vec<Vec<Value>> = idx
+        .get(&Value::from(node))
+        .iter()
+        .map(|&i| anc.rows()[i].clone())
+        .collect();
+    Relation::new(anc.schema().clone(), rows)
+}
+
+/// LCA of two nodes via the closure table: join `anc(node=a)` with
+/// `anc(node=b)` on `ancestor`, take the deepest. Both sides come from
+/// index probes, not table scans.
+pub fn lca(db: &Database, a: u32, b: u32) -> u32 {
+    let left = closure_of(db, a);
+    let right = closure_of(db, b);
+    let common = left.equi_join("ancestor", &right, "ancestor");
+    // Deepest common ancestor = MAX(adepth); then pick its ancestor id.
+    let best = common.aggregate(&[], Agg::Max, Some("adepth"), "d");
+    let dmax = best.rows()[0][0].clone();
+    let winner = common.select(&Predicate::Eq("adepth".into(), dmax));
+    winner.rows()[0][common.schema().col_required("ancestor")].as_int() as u32
+}
+
+/// The node ids on the path between `a` and `b` (inclusive), via the
+/// closure table.
+pub fn path_nodes(db: &Database, a: u32, b: u32) -> Vec<u32> {
+    let l = lca(db, a, b);
+    let ldepth = {
+        let row = db.index("node", "id").get(&Value::from(l))[0];
+        db.table("node").rows()[row][2].as_int()
+    };
+    let mut out = BTreeSet::new();
+    for side in [a, b] {
+        let rows = closure_of(db, side)
+            .select(&Predicate::Ge("adepth".into(), Value::Int(ldepth)));
+        for r in rows.rows() {
+            out.insert(r[1].as_int() as u32);
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// `F1 ⋈ F2` — pairwise fragment join of two fragment relations.
+///
+/// For every `(fid_a, fid_b)` pair, the output fragment is
+/// `nodes(fid_a) ∪ nodes(fid_b) ∪ path(root_a, root_b)`; the result is
+/// deduplicated by canonical node set.
+pub fn pairwise_join(db: &Database, f1: &FragRel, f2: &FragRel) -> FragRel {
+    let a = f1.fragments();
+    let b = f2.fragments();
+    // Roots via MIN(node) per fid — the relational form; the host loop
+    // then assembles output rows.
+    let roots = |fr: &FragRel| -> HashMap<i64, u32> {
+        fr.rel
+            .aggregate(&["fid"], Agg::Min, Some("node"), "root")
+            .rows()
+            .iter()
+            .map(|r| (r[0].as_int(), r[1].as_int() as u32))
+            .collect()
+    };
+    let ra = roots(f1);
+    let rb = roots(f2);
+
+    let mut rel = Relation::empty(frag_schema());
+    let mut fid = 0i64;
+    for (fa, na) in &a {
+        for (fb, nb) in &b {
+            let mut nodes: BTreeSet<u32> = na.iter().copied().collect();
+            nodes.extend(nb.iter().copied());
+            for p in path_nodes(db, ra[fa], rb[fb]) {
+                nodes.insert(p);
+            }
+            for n in &nodes {
+                rel.push(vec![Value::Int(fid), Value::from(*n)]);
+            }
+            fid += 1;
+        }
+    }
+    (FragRel { rel, next_fid: fid }).dedup()
+}
+
+/// Fixed point `F⁺` by iteration until the canonical set stabilizes.
+pub fn fixed_point(db: &Database, f: &FragRel) -> FragRel {
+    fixed_point_with(db, f, |fr| fr)
+}
+
+/// Fixed point with a per-round filter applied to the newly joined
+/// fragments — the relational counterpart of the §3.3 expansion
+/// `σ_Pa(σ_Pa(F) ⋈ σ_Pa(F) ⋈ …)`. The filter must be anti-monotonic for
+/// the result to equal `σ_Pa(F⁺)` (Theorem 3); with the identity filter
+/// this is exactly `F⁺`.
+pub fn fixed_point_with(
+    db: &Database,
+    f: &FragRel,
+    mut round_filter: impl FnMut(FragRel) -> FragRel,
+) -> FragRel {
+    if f.is_empty() {
+        return FragRel::empty();
+    }
+    let base = round_filter(f.dedup());
+    if base.is_empty() {
+        return FragRel::empty();
+    }
+    let mut h = base.clone();
+    loop {
+        let joined = round_filter(pairwise_join(db, &h, &base));
+        let next = union(&h, &joined);
+        if next.len() == h.len() {
+            return h;
+        }
+        h = next;
+    }
+}
+
+/// Union of two fragment relations (canonical dedup).
+pub fn union(a: &FragRel, b: &FragRel) -> FragRel {
+    let mut rel = a.rel.clone();
+    let offset = a.next_fid;
+    for r in b.rel.rows() {
+        rel.push(vec![Value::Int(r[0].as_int() + offset), r[1].clone()]);
+    }
+    (FragRel {
+        rel,
+        next_fid: offset + b.next_fid,
+    })
+    .dedup()
+}
+
+/// `σ_{size ≤ β}` — COUNT per fid, keep small groups.
+pub fn filter_max_size(f: &FragRel, beta: u32) -> FragRel {
+    let counts = f.rel.aggregate(&["fid"], Agg::Count, None, "n");
+    let keep: HashSet<i64> = counts
+        .select(&Predicate::Le("n".into(), Value::Int(beta as i64)))
+        .rows()
+        .iter()
+        .map(|r| r[0].as_int())
+        .collect();
+    semi_join(f, &keep)
+}
+
+/// `σ_{height ≤ h}` — (MAX(depth) − depth(root)) per fid.
+pub fn filter_max_height(db: &Database, f: &FragRel, h: u32) -> FragRel {
+    let with_depth = f.rel.equi_join("node", db.table("node"), "id");
+    let maxd = with_depth.aggregate(&["fid"], Agg::Max, Some("depth"), "maxd");
+    let root = f.rel.aggregate(&["fid"], Agg::Min, Some("node"), "root");
+    let root_depth = root.equi_join("root", db.table("node"), "id");
+    let joined = maxd.equi_join("fid", &root_depth, "fid");
+    let mut keep = HashSet::new();
+    let s = joined.schema();
+    let (ci_fid, ci_maxd, ci_depth) = (
+        s.col_required("fid"),
+        s.col_required("maxd"),
+        s.col_required("depth"),
+    );
+    for r in joined.rows() {
+        if r[ci_maxd].as_int() - r[ci_depth].as_int() <= h as i64 {
+            keep.insert(r[ci_fid].as_int());
+        }
+    }
+    semi_join(f, &keep)
+}
+
+/// `σ_{width ≤ w}` — (MAX(node) − MIN(node)) per fid.
+pub fn filter_max_width(f: &FragRel, w: u32) -> FragRel {
+    let lo = f.rel.aggregate(&["fid"], Agg::Min, Some("node"), "lo");
+    let hi = f.rel.aggregate(&["fid"], Agg::Max, Some("node"), "hi");
+    let j = lo.equi_join("fid", &hi, "fid");
+    let s = j.schema();
+    let (ci_fid, ci_lo, ci_hi) = (
+        s.col_required("fid"),
+        s.col_required("lo"),
+        s.col_required("hi"),
+    );
+    let mut keep = HashSet::new();
+    for r in j.rows() {
+        if r[ci_hi].as_int() - r[ci_lo].as_int() <= w as i64 {
+            keep.insert(r[ci_fid].as_int());
+        }
+    }
+    semi_join(f, &keep)
+}
+
+/// Keep only rows whose fid is in `keep`.
+fn semi_join(f: &FragRel, keep: &HashSet<i64>) -> FragRel {
+    let mut rel = Relation::empty(frag_schema());
+    for r in f.rel.rows() {
+        if keep.contains(&r[0].as_int()) {
+            rel.push(r.clone());
+        }
+    }
+    (FragRel {
+        rel,
+        next_fid: f.next_fid,
+    })
+    .dedup()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_document;
+    use xfrag_doc::{Document, DocumentBuilder};
+
+    /// r(0) -> a(1){x} -> b(2){x y}; r -> c(3){y}
+    fn doc() -> Document {
+        let mut b = DocumentBuilder::new();
+        b.begin("r");
+        b.begin("a");
+        b.text("x");
+        b.leaf("b", "x y");
+        b.end();
+        b.leaf("c", "y");
+        b.end();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn keyword_select_builds_singletons() {
+        let db = encode_document(&doc());
+        let fx = FragRel::keyword_select(&db, "x");
+        assert_eq!(fx.len(), 2);
+        let frags: Vec<Vec<u32>> = fx.fragments().into_values().collect();
+        assert_eq!(frags, vec![vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn lca_and_path_via_closure() {
+        let db = encode_document(&doc());
+        assert_eq!(lca(&db, 2, 3), 0);
+        assert_eq!(lca(&db, 1, 2), 1);
+        assert_eq!(lca(&db, 2, 2), 2);
+        assert_eq!(path_nodes(&db, 2, 3), vec![0, 1, 2, 3]);
+        assert_eq!(path_nodes(&db, 1, 2), vec![1, 2]);
+    }
+
+    #[test]
+    fn pairwise_join_produces_minimal_fragments() {
+        let db = encode_document(&doc());
+        let fx = FragRel::keyword_select(&db, "x"); // {1}, {2}
+        let fy = FragRel::keyword_select(&db, "y"); // {2}, {3}
+        let j = pairwise_join(&db, &fx, &fy);
+        let got: BTreeSet<Vec<u32>> = j.fragments().into_values().collect();
+        let expect: BTreeSet<Vec<u32>> = [
+            vec![1, 2],          // {1}⋈{2}
+            vec![0, 1, 3],       // {1}⋈{3}
+            vec![2],             // {2}⋈{2}
+            vec![0, 1, 2, 3],    // {2}⋈{3}
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn dedup_collapses_equal_sets() {
+        let db = encode_document(&doc());
+        let fx = FragRel::keyword_select(&db, "x");
+        let u = union(&fx, &fx);
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn fixed_point_closes() {
+        let db = encode_document(&doc());
+        let fy = FragRel::keyword_select(&db, "y"); // {2}, {3}
+        let fp = fixed_point(&db, &fy);
+        // {2}, {3}, {2}⋈{3} = {0,1,2,3}
+        assert_eq!(fp.len(), 3);
+        let again = union(&fp, &pairwise_join(&db, &fp, &fy));
+        assert!(again.set_eq(&fp));
+    }
+
+    #[test]
+    fn size_filter() {
+        let db = encode_document(&doc());
+        let fx = FragRel::keyword_select(&db, "x");
+        let fy = FragRel::keyword_select(&db, "y");
+        let j = pairwise_join(&db, &fx, &fy);
+        let small = filter_max_size(&j, 2);
+        let got: BTreeSet<Vec<u32>> = small.fragments().into_values().collect();
+        assert_eq!(got, [vec![1, 2], vec![2]].into_iter().collect());
+    }
+
+    #[test]
+    fn height_filter() {
+        let db = encode_document(&doc());
+        let fx = FragRel::keyword_select(&db, "x");
+        let fy = FragRel::keyword_select(&db, "y");
+        let j = pairwise_join(&db, &fx, &fy);
+        let shallow = filter_max_height(&db, &j, 1);
+        let got: BTreeSet<Vec<u32>> = shallow.fragments().into_values().collect();
+        // heights: {1,2}→1, {0,1,3}→1, {2}→0, {0,1,2,3}→2
+        assert_eq!(
+            got,
+            [vec![1, 2], vec![0, 1, 3], vec![2]].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn width_filter() {
+        let db = encode_document(&doc());
+        let fx = FragRel::keyword_select(&db, "x");
+        let fy = FragRel::keyword_select(&db, "y");
+        let j = pairwise_join(&db, &fx, &fy);
+        let narrow = filter_max_width(&j, 1);
+        let got: BTreeSet<Vec<u32>> = narrow.fragments().into_values().collect();
+        assert_eq!(got, [vec![1, 2], vec![2]].into_iter().collect());
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let db = encode_document(&doc());
+        let empty = FragRel::empty();
+        assert!(empty.is_empty());
+        assert!(fixed_point(&db, &empty).is_empty());
+        let fx = FragRel::keyword_select(&db, "x");
+        assert!(pairwise_join(&db, &empty, &fx).is_empty());
+        assert_eq!(FragRel::keyword_select(&db, "absent").len(), 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! A named collection of relations plus its index cache.
+
+use crate::index::{BTreeIndex, IndexCache};
+use crate::relation::Relation;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An in-memory database: tables by name, with lazily-built indexes.
+#[derive(Debug, Default)]
+pub struct Database {
+    tables: HashMap<String, Relation>,
+    indexes: IndexCache,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a table; invalidates cached indexes.
+    pub fn put(&mut self, name: impl Into<String>, rel: Relation) {
+        self.tables.insert(name.into(), rel);
+        self.indexes.invalidate();
+    }
+
+    /// Fetch a table.
+    #[track_caller]
+    pub fn table(&self, name: &str) -> &Relation {
+        self.tables
+            .get(name)
+            .unwrap_or_else(|| panic!("no table {name:?}"))
+    }
+
+    /// Whether a table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Table names, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        v.sort();
+        v
+    }
+
+    /// Index for `table.col`, built on first use.
+    pub fn index(&self, table: &str, col: &str) -> Arc<BTreeIndex> {
+        self.indexes.get_or_build(table, col, self.table(table))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColType, Schema};
+    use crate::value::Value;
+
+    #[test]
+    fn put_get_and_index() {
+        let mut db = Database::new();
+        db.put(
+            "t",
+            Relation::new(
+                Schema::new(vec![("id", ColType::Int)]),
+                vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+            ),
+        );
+        assert!(db.has_table("t"));
+        assert_eq!(db.table("t").len(), 2);
+        assert_eq!(db.table_names(), vec!["t"]);
+        let idx = db.index("t", "id");
+        assert_eq!(idx.get(&Value::Int(2)), &[1]);
+    }
+
+    #[test]
+    fn replace_invalidates_indexes() {
+        let mut db = Database::new();
+        let schema = Schema::new(vec![("id", ColType::Int)]);
+        db.put("t", Relation::new(schema.clone(), vec![vec![Value::Int(1)]]));
+        let _ = db.index("t", "id");
+        db.put("t", Relation::new(schema, vec![vec![Value::Int(9)]]));
+        let idx = db.index("t", "id");
+        assert_eq!(idx.get(&Value::Int(9)), &[0]);
+        assert_eq!(idx.get(&Value::Int(1)), &[] as &[usize]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no table")]
+    fn missing_table_panics() {
+        Database::new().table("ghost");
+    }
+}

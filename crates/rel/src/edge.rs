@@ -1,0 +1,105 @@
+//! Edge-based path/LCA evaluation — the ablation partner of the closure
+//! table.
+//!
+//! [`crate::encode`] materializes the ancestor-or-self closure `anc`
+//! (O(N·h) rows) so paths and LCAs are joins. The classic alternative
+//! stores only parent *edges* (already present in the `node` table) and
+//! walks them with indexed point lookups — O(h) probes per path, no
+//! closure storage. This module implements that variant so the
+//! `relational` ablation bench can price the trade:
+//!
+//! * closure: more space, one join per path computation;
+//! * edges: minimal space, `O(depth)` index probes per path.
+//!
+//! Both must agree exactly — differential-tested here and in the
+//! property suite.
+
+use crate::database::Database;
+use crate::value::Value;
+
+/// Fetch `(parent, depth)` of a node via the `node` table's `id` index.
+fn node_row(db: &Database, id: u32) -> (Option<u32>, i64) {
+    let idx = db.index("node", "id");
+    let rows = idx.get(&Value::from(id));
+    let row = &db.table("node").rows()[rows[0]];
+    let parent = match &row[1] {
+        Value::Null => None,
+        v => Some(v.as_int() as u32),
+    };
+    (parent, row[2].as_int())
+}
+
+/// LCA by depth-aligned parent walking over the edge encoding.
+pub fn lca_edges(db: &Database, a: u32, b: u32) -> u32 {
+    let (mut x, mut y) = (a, b);
+    let (_, mut dx) = node_row(db, x);
+    let (_, mut dy) = node_row(db, y);
+    while dx > dy {
+        x = node_row(db, x).0.expect("non-root has parent");
+        dx -= 1;
+    }
+    while dy > dx {
+        y = node_row(db, y).0.expect("non-root has parent");
+        dy -= 1;
+    }
+    while x != y {
+        x = node_row(db, x).0.expect("non-root has parent");
+        y = node_row(db, y).0.expect("non-root has parent");
+    }
+    x
+}
+
+/// Path between `a` and `b` (inclusive, sorted) over the edge encoding.
+pub fn path_edges(db: &Database, a: u32, b: u32) -> Vec<u32> {
+    let l = lca_edges(db, a, b);
+    let mut out = Vec::new();
+    for side in [a, b] {
+        let mut x = side;
+        while x != l {
+            out.push(x);
+            x = node_row(db, x).0.expect("non-root has parent");
+        }
+    }
+    out.push(l);
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra;
+    use crate::encode::encode_document;
+    use xfrag_doc::parse_str;
+
+    #[test]
+    fn edge_agrees_with_closure() {
+        let d = parse_str("<r><a><b/><c><d/></c></a><e><f/></e></r>").unwrap();
+        let db = encode_document(&d);
+        let n = d.len() as u32;
+        for a in 0..n {
+            for b in 0..n {
+                assert_eq!(
+                    lca_edges(&db, a, b),
+                    algebra::lca(&db, a, b),
+                    "lca({a},{b})"
+                );
+                assert_eq!(
+                    path_edges(&db, a, b),
+                    algebra::path_nodes(&db, a, b),
+                    "path({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn self_path() {
+        let d = parse_str("<r><a/></r>").unwrap();
+        let db = encode_document(&d);
+        assert_eq!(lca_edges(&db, 1, 1), 1);
+        assert_eq!(path_edges(&db, 1, 1), vec![1]);
+        assert_eq!(lca_edges(&db, 0, 1), 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! End-to-end relational query evaluation, mirroring
+//! `xfrag_core::evaluate` over the table encoding.
+//!
+//! This is the differential-testing surface: for any query whose filter is
+//! expressible in the relational encoding (`size`/`height`/`width` bounds
+//! and conjunctions thereof — the paper's §3.3 anti-monotonic family), the
+//! relational pipeline must produce the same fragment set as the native
+//! engine.
+
+use crate::algebra::{
+    filter_max_height, filter_max_size, filter_max_width, pairwise_join, FragRel,
+};
+use crate::database::Database;
+use xfrag_core::{FilterExpr, Fragment, FragmentSet, Query};
+use xfrag_doc::Document;
+
+/// Errors from the relational evaluator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelEvalError {
+    /// The query has no usable terms.
+    NoTerms,
+    /// The filter uses a predicate the relational encoding does not
+    /// express (only size/height/width bounds and their conjunctions are
+    /// supported).
+    UnsupportedFilter(String),
+}
+
+impl std::fmt::Display for RelEvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RelEvalError::NoTerms => write!(f, "query has no terms"),
+            RelEvalError::UnsupportedFilter(s) => {
+                write!(f, "filter {s} is not expressible in the relational encoding")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelEvalError {}
+
+/// Apply a supported filter expression to a fragment relation.
+fn apply_filter(db: &Database, filter: &FilterExpr, f: FragRel) -> Result<FragRel, RelEvalError> {
+    match filter {
+        FilterExpr::True => Ok(f),
+        FilterExpr::MaxSize(b) => Ok(filter_max_size(&f, *b)),
+        FilterExpr::MaxHeight(h) => Ok(filter_max_height(db, &f, *h)),
+        FilterExpr::MaxWidth(w) => Ok(filter_max_width(&f, *w)),
+        FilterExpr::And(fs) => {
+            let mut cur = f;
+            for p in fs {
+                cur = apply_filter(db, p, cur)?;
+            }
+            Ok(cur)
+        }
+        other => Err(RelEvalError::UnsupportedFilter(other.to_string())),
+    }
+}
+
+/// Evaluate a query over the relational encoding; `doc` is needed only to
+/// convert the answer back into [`Fragment`]s (which carry no document
+/// reference but are validated against one).
+pub fn evaluate_relational(
+    db: &Database,
+    doc: &Document,
+    query: &Query,
+) -> Result<FragmentSet, RelEvalError> {
+    if query.terms.is_empty() {
+        return Err(RelEvalError::NoTerms);
+    }
+    let operands: Vec<FragRel> = query
+        .terms
+        .iter()
+        .map(|t| FragRel::keyword_select(db, t))
+        .collect();
+    if operands.iter().any(FragRel::is_empty) {
+        return Ok(FragmentSet::new());
+    }
+
+    // Pre-flight: reject unsupported filters before any heavy work.
+    apply_filter(db, &query.filter, FragRel::empty())?;
+
+    // F1⁺ ⋈ F2⁺ ⋈ … — the Theorem 2 evaluation, with the filter applied
+    // inside every fixed-point round and after every join (sound for the
+    // supported anti-monotonic family — Theorem 3 — and required to keep
+    // frequent-term fixed points from exploding).
+    let mut acc: Option<FragRel> = None;
+    for op in operands {
+        let fp = crate::algebra::fixed_point_with(db, &op, |fr| {
+            apply_filter(db, &query.filter, fr).expect("filter support pre-checked")
+        });
+        acc = Some(match acc {
+            None => fp,
+            Some(prev) => {
+                let j = pairwise_join(db, &prev, &fp);
+                apply_filter(db, &query.filter, j)?
+            }
+        });
+    }
+    let answer = acc.expect("at least one operand");
+
+    let mut out = FragmentSet::new();
+    for (_, nodes) in answer.fragments() {
+        let frag = Fragment::from_nodes(doc, nodes.into_iter().map(xfrag_doc::NodeId))
+            .expect("relational answer fragments are connected");
+        out.insert(frag);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_document;
+    use xfrag_core::{evaluate, Strategy};
+    use xfrag_doc::{DocumentBuilder, InvertedIndex};
+
+    fn doc() -> Document {
+        let mut b = DocumentBuilder::new();
+        b.begin("article");
+        b.begin("sec");
+        b.text("alpha");
+        b.leaf("p", "alpha beta");
+        b.leaf("p", "beta");
+        b.end();
+        b.begin("sec");
+        b.leaf("p", "alpha");
+        b.leaf("p", "gamma");
+        b.end();
+        b.end();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn matches_native_engine() {
+        let d = doc();
+        let db = encode_document(&d);
+        let idx = InvertedIndex::build(&d);
+        for filter in [
+            FilterExpr::True,
+            FilterExpr::MaxSize(3),
+            FilterExpr::MaxHeight(1),
+            FilterExpr::MaxWidth(2),
+            FilterExpr::and([FilterExpr::MaxSize(4), FilterExpr::MaxHeight(2)]),
+        ] {
+            let q = Query::new(["alpha", "beta"], filter.clone());
+            let native = evaluate(&d, &idx, &q, Strategy::FixedPointNaive)
+                .unwrap()
+                .fragments;
+            let relational = evaluate_relational(&db, &d, &q).unwrap();
+            assert_eq!(relational, native, "filter {filter}");
+        }
+    }
+
+    #[test]
+    fn three_terms_match() {
+        let d = doc();
+        let db = encode_document(&d);
+        let idx = InvertedIndex::build(&d);
+        let q = Query::new(["alpha", "beta", "gamma"], FilterExpr::True);
+        let native = evaluate(&d, &idx, &q, Strategy::FixedPointNaive)
+            .unwrap()
+            .fragments;
+        let relational = evaluate_relational(&db, &d, &q).unwrap();
+        assert_eq!(relational, native);
+    }
+
+    #[test]
+    fn missing_term_gives_empty() {
+        let d = doc();
+        let db = encode_document(&d);
+        let q = Query::new(["alpha", "zzz"], FilterExpr::True);
+        assert!(evaluate_relational(&db, &d, &q).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unsupported_filter_reported() {
+        let d = doc();
+        let db = encode_document(&d);
+        let q = Query::new(["alpha"], FilterExpr::MinSize(2));
+        assert!(matches!(
+            evaluate_relational(&db, &d, &q),
+            Err(RelEvalError::UnsupportedFilter(_))
+        ));
+    }
+
+    #[test]
+    fn no_terms_is_error() {
+        let d = doc();
+        let db = encode_document(&d);
+        let q = Query::new(Vec::<&str>::new(), FilterExpr::True);
+        assert_eq!(
+            evaluate_relational(&db, &d, &q).unwrap_err(),
+            RelEvalError::NoTerms
+        );
+    }
+}

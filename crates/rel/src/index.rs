@@ -1,0 +1,144 @@
+//! Column indexes over relations, with a lazy per-table cache.
+//!
+//! The tree-algebra encoding performs many point lookups on the `node`
+//! and `anc` tables (`id = ?`, `node = ?`). A [`BTreeIndex`] maps a
+//! column value to the row numbers carrying it; [`IndexCache`] builds
+//! indexes on first use behind a `parking_lot::RwLock`, the usual
+//! read-mostly pattern for shared catalog state.
+
+use crate::relation::Relation;
+use crate::value::Value;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A sorted index from column value to row offsets.
+#[derive(Debug, Clone, Default)]
+pub struct BTreeIndex {
+    map: BTreeMap<Value, Vec<usize>>,
+}
+
+impl BTreeIndex {
+    /// Build over one column of a relation. NULLs are not indexed
+    /// (matching equi-join semantics).
+    pub fn build(rel: &Relation, col: &str) -> Self {
+        let ci = rel.schema().col_required(col);
+        let mut map: BTreeMap<Value, Vec<usize>> = BTreeMap::new();
+        for (i, row) in rel.rows().iter().enumerate() {
+            if !row[ci].is_null() {
+                map.entry(row[ci].clone()).or_default().push(i);
+            }
+        }
+        BTreeIndex { map }
+    }
+
+    /// Row offsets with exactly this value.
+    pub fn get(&self, v: &Value) -> &[usize] {
+        self.map.get(v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Row offsets within an inclusive value range.
+    pub fn range(&self, lo: &Value, hi: &Value) -> impl Iterator<Item = usize> + '_ {
+        self.map
+            .range(lo.clone()..=hi.clone())
+            .flat_map(|(_, rows)| rows.iter().copied())
+    }
+
+    /// Number of distinct indexed values.
+    pub fn distinct_values(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Lazily-built per-(table, column) index cache.
+#[derive(Debug, Default)]
+pub struct IndexCache {
+    cache: RwLock<HashMap<(String, String), Arc<BTreeIndex>>>,
+}
+
+impl IndexCache {
+    /// A fresh, empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fetch (building on miss) the index for `table.col`. The caller
+    /// supplies the relation because the cache does not own table storage.
+    pub fn get_or_build(&self, table: &str, col: &str, rel: &Relation) -> Arc<BTreeIndex> {
+        let key = (table.to_string(), col.to_string());
+        if let Some(idx) = self.cache.read().get(&key) {
+            return Arc::clone(idx);
+        }
+        let built = Arc::new(BTreeIndex::build(rel, col));
+        let mut w = self.cache.write();
+        Arc::clone(w.entry(key).or_insert(built))
+    }
+
+    /// Drop all cached indexes (call after replacing a table).
+    pub fn invalidate(&self) {
+        self.cache.write().clear();
+    }
+
+    /// Number of cached indexes.
+    pub fn len(&self) -> usize {
+        self.cache.read().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cache.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColType, Schema};
+
+    fn rel() -> Relation {
+        Relation::new(
+            Schema::new(vec![("id", ColType::Int), ("v", ColType::Int)]),
+            vec![
+                vec![1.into(), 10.into()],
+                vec![2.into(), 10.into()],
+                vec![3.into(), Value::Null],
+                vec![4.into(), 20.into()],
+            ],
+        )
+    }
+
+    #[test]
+    fn point_lookup() {
+        let idx = BTreeIndex::build(&rel(), "v");
+        assert_eq!(idx.get(&Value::Int(10)), &[0, 1]);
+        assert_eq!(idx.get(&Value::Int(20)), &[3]);
+        assert_eq!(idx.get(&Value::Int(99)), &[] as &[usize]);
+        assert_eq!(idx.distinct_values(), 2);
+    }
+
+    #[test]
+    fn nulls_not_indexed() {
+        let idx = BTreeIndex::build(&rel(), "v");
+        assert_eq!(idx.get(&Value::Null), &[] as &[usize]);
+    }
+
+    #[test]
+    fn range_scan() {
+        let idx = BTreeIndex::build(&rel(), "v");
+        let hits: Vec<usize> = idx.range(&Value::Int(10), &Value::Int(20)).collect();
+        assert_eq!(hits, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn cache_builds_once() {
+        let cache = IndexCache::new();
+        let r = rel();
+        let a = cache.get_or_build("t", "v", &r);
+        let b = cache.get_or_build("t", "v", &r);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+        cache.invalidate();
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,127 @@
+//! Row predicates for relational selection.
+
+use crate::schema::Schema;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// A boolean expression over one row. Column references are by name and
+/// resolved against the relation's schema at evaluation time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// `column = literal`.
+    Eq(String, Value),
+    /// `column <> literal`.
+    Ne(String, Value),
+    /// `column <= literal`.
+    Le(String, Value),
+    /// `column >= literal`.
+    Ge(String, Value),
+    /// `column < literal`.
+    Lt(String, Value),
+    /// `left_column = right_column`.
+    ColEq(String, String),
+    /// Conjunction.
+    And(Vec<Predicate>),
+    /// Disjunction.
+    Or(Vec<Predicate>),
+    /// Negation (SQL three-valued logic collapsed: unknown → false, so
+    /// `Not` is *not* the complement in the presence of NULLs — same as a
+    /// WHERE clause).
+    Not(Box<Predicate>),
+    /// `column IS NULL`.
+    IsNull(String),
+}
+
+impl Predicate {
+    /// Evaluate against a row. Comparisons involving NULL yield false.
+    pub fn eval(&self, schema: &Schema, row: &[Value]) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            Predicate::Eq(c, v) => row[schema.col_required(c)].sql_cmp(v) == Some(Equal),
+            Predicate::Ne(c, v) => matches!(
+                row[schema.col_required(c)].sql_cmp(v),
+                Some(Less) | Some(Greater)
+            ),
+            Predicate::Le(c, v) => {
+                matches!(row[schema.col_required(c)].sql_cmp(v), Some(Less) | Some(Equal))
+            }
+            Predicate::Ge(c, v) => matches!(
+                row[schema.col_required(c)].sql_cmp(v),
+                Some(Greater) | Some(Equal)
+            ),
+            Predicate::Lt(c, v) => row[schema.col_required(c)].sql_cmp(v) == Some(Less),
+            Predicate::ColEq(a, b) => {
+                row[schema.col_required(a)].sql_cmp(&row[schema.col_required(b)]) == Some(Equal)
+            }
+            Predicate::And(ps) => ps.iter().all(|p| p.eval(schema, row)),
+            Predicate::Or(ps) => ps.iter().any(|p| p.eval(schema, row)),
+            Predicate::Not(p) => !p.eval(schema, row),
+            Predicate::IsNull(c) => row[schema.col_required(c)].is_null(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColType;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ("id", ColType::Int),
+            ("parent", ColType::Int),
+            ("tag", ColType::Text),
+        ])
+    }
+
+    fn row(id: i64, parent: Value, tag: &str) -> Vec<Value> {
+        vec![Value::Int(id), parent, Value::from(tag)]
+    }
+
+    #[test]
+    fn comparisons() {
+        let s = schema();
+        let r = row(5, Value::Int(2), "par");
+        assert!(Predicate::Eq("id".into(), Value::Int(5)).eval(&s, &r));
+        assert!(Predicate::Ne("id".into(), Value::Int(4)).eval(&s, &r));
+        assert!(Predicate::Le("id".into(), Value::Int(5)).eval(&s, &r));
+        assert!(Predicate::Ge("id".into(), Value::Int(5)).eval(&s, &r));
+        assert!(Predicate::Lt("id".into(), Value::Int(6)).eval(&s, &r));
+        assert!(Predicate::Eq("tag".into(), Value::from("par")).eval(&s, &r));
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        let s = schema();
+        let r = row(0, Value::Null, "root");
+        assert!(!Predicate::Eq("parent".into(), Value::Int(0)).eval(&s, &r));
+        assert!(!Predicate::Ne("parent".into(), Value::Int(0)).eval(&s, &r));
+        assert!(!Predicate::Le("parent".into(), Value::Int(0)).eval(&s, &r));
+        assert!(Predicate::IsNull("parent".into()).eval(&s, &r));
+        assert!(!Predicate::IsNull("id".into()).eval(&s, &r));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let s = schema();
+        let r = row(5, Value::Int(2), "par");
+        let p = Predicate::And(vec![
+            Predicate::Eq("tag".into(), Value::from("par")),
+            Predicate::Or(vec![
+                Predicate::Eq("id".into(), Value::Int(9)),
+                Predicate::Ge("id".into(), Value::Int(5)),
+            ]),
+        ]);
+        assert!(p.eval(&s, &r));
+        assert!(!Predicate::Not(Box::new(p)).eval(&s, &r));
+    }
+
+    #[test]
+    fn column_to_column() {
+        let s = Schema::new(vec![("a", ColType::Int), ("b", ColType::Int)]);
+        assert!(Predicate::ColEq("a".into(), "b".into())
+            .eval(&s, &[Value::Int(3), Value::Int(3)]));
+        assert!(!Predicate::ColEq("a".into(), "b".into())
+            .eval(&s, &[Value::Int(3), Value::Null]));
+    }
+}

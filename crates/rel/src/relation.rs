@@ -1,0 +1,433 @@
+//! The relational operators: selection, projection, joins, set ops,
+//! grouped aggregation.
+//!
+//! Relations are immutable row stores; every operator returns a fresh
+//! relation. Equi-joins are hash joins (build on the smaller side);
+//! `distinct` hashes whole rows. This is deliberately a straightforward
+//! engine — the point of the crate is the *encoding* of the tree algebra,
+//! and a simple engine keeps the cost attribution honest when the bench
+//! harness compares the relational and native implementations.
+
+use crate::predicate::Predicate;
+use crate::schema::Schema;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An immutable relation: a schema plus rows.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Relation {
+    schema: Schema,
+    rows: Vec<Vec<Value>>,
+}
+
+/// Aggregate functions for [`Relation::aggregate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Agg {
+    /// COUNT(*) within the group.
+    Count,
+    /// MIN(column).
+    Min,
+    /// MAX(column).
+    Max,
+}
+
+impl Relation {
+    /// An empty relation with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        Relation {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Build from rows, checking arity (type checking is the caller's
+    /// concern — this engine is schema-on-write for arity only).
+    pub fn new(schema: Schema, rows: Vec<Vec<Value>>) -> Self {
+        for r in &rows {
+            assert_eq!(r.len(), schema.arity(), "row arity mismatch");
+        }
+        Relation { schema, rows }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Borrow the rows.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Append a row (used by table loaders).
+    pub fn push(&mut self, row: Vec<Value>) {
+        assert_eq!(row.len(), self.schema.arity(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// `σ_p` — keep rows satisfying the predicate.
+    pub fn select(&self, p: &Predicate) -> Relation {
+        Relation {
+            schema: self.schema.clone(),
+            rows: self
+                .rows
+                .iter()
+                .filter(|r| p.eval(&self.schema, r))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// `π_cols` — project (and reorder) columns by name.
+    pub fn project(&self, cols: &[&str]) -> Relation {
+        let idxs: Vec<usize> = cols.iter().map(|c| self.schema.col_required(c)).collect();
+        Relation {
+            schema: self.schema.project(cols),
+            rows: self
+                .rows
+                .iter()
+                .map(|r| idxs.iter().map(|&i| r[i].clone()).collect())
+                .collect(),
+        }
+    }
+
+    /// Rename a column.
+    pub fn rename(&self, from: &str, to: &str) -> Relation {
+        let mut schema = self.schema.clone();
+        let idx = schema.col_required(from);
+        let cols: Vec<(String, crate::schema::ColType)> = schema
+            .columns()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                (
+                    if i == idx { to.to_string() } else { c.name.clone() },
+                    c.ty,
+                )
+            })
+            .collect();
+        schema = Schema::new(cols.iter().map(|(n, t)| (n.as_str(), *t)).collect());
+        Relation {
+            schema,
+            rows: self.rows.clone(),
+        }
+    }
+
+    /// Hash equi-join on `self.left_col = other.right_col`. Columns of
+    /// `other` that clash with `self` are prefixed with `r_`.
+    pub fn equi_join(&self, left_col: &str, other: &Relation, right_col: &str) -> Relation {
+        let li = self.schema.col_required(left_col);
+        let ri = other.schema.col_required(right_col);
+        let out_schema = self.schema.join(&other.schema, "r_");
+        // Build on the smaller side.
+        let mut rows = Vec::new();
+        if self.len() <= other.len() {
+            let mut table: HashMap<&Value, Vec<&Vec<Value>>> = HashMap::new();
+            for r in &self.rows {
+                if !r[li].is_null() {
+                    table.entry(&r[li]).or_default().push(r);
+                }
+            }
+            for r2 in &other.rows {
+                if r2[ri].is_null() {
+                    continue;
+                }
+                if let Some(matches) = table.get(&r2[ri]) {
+                    for r1 in matches {
+                        let mut row = (*r1).clone();
+                        row.extend(r2.iter().cloned());
+                        rows.push(row);
+                    }
+                }
+            }
+        } else {
+            let mut table: HashMap<&Value, Vec<&Vec<Value>>> = HashMap::new();
+            for r in &other.rows {
+                if !r[ri].is_null() {
+                    table.entry(&r[ri]).or_default().push(r);
+                }
+            }
+            for r1 in &self.rows {
+                if r1[li].is_null() {
+                    continue;
+                }
+                if let Some(matches) = table.get(&r1[li]) {
+                    for r2 in matches {
+                        let mut row = r1.clone();
+                        row.extend(r2.iter().cloned());
+                        rows.push(row);
+                    }
+                }
+            }
+        }
+        Relation {
+            schema: out_schema,
+            rows,
+        }
+    }
+
+    /// Bag union (schemas must match).
+    pub fn union_all(&self, other: &Relation) -> Relation {
+        assert_eq!(self.schema, other.schema, "union schema mismatch");
+        let mut rows = self.rows.clone();
+        rows.extend(other.rows.iter().cloned());
+        Relation {
+            schema: self.schema.clone(),
+            rows,
+        }
+    }
+
+    /// Duplicate elimination.
+    pub fn distinct(&self) -> Relation {
+        let mut seen = std::collections::HashSet::new();
+        let rows: Vec<Vec<Value>> = self
+            .rows
+            .iter()
+            .filter(|r| seen.insert((*r).clone()))
+            .cloned()
+            .collect();
+        Relation {
+            schema: self.schema.clone(),
+            rows,
+        }
+    }
+
+    /// Group by `group_cols` and compute one aggregate. The output schema
+    /// is `group_cols ++ [agg_name]`.
+    pub fn aggregate(
+        &self,
+        group_cols: &[&str],
+        agg: Agg,
+        agg_col: Option<&str>,
+        agg_name: &str,
+    ) -> Relation {
+        let gidx: Vec<usize> = group_cols
+            .iter()
+            .map(|c| self.schema.col_required(c))
+            .collect();
+        let aidx = agg_col.map(|c| self.schema.col_required(c));
+        let mut groups: HashMap<Vec<Value>, Value> = HashMap::new();
+        let mut order: Vec<Vec<Value>> = Vec::new();
+        for r in &self.rows {
+            let key: Vec<Value> = gidx.iter().map(|&i| r[i].clone()).collect();
+            let is_new = !groups.contains_key(&key);
+            let slot = groups.entry(key.clone()).or_insert_with(|| match agg {
+                Agg::Count => Value::Int(0),
+                Agg::Min | Agg::Max => Value::Null,
+            });
+            match agg {
+                Agg::Count => *slot = Value::Int(slot.as_int() + 1),
+                Agg::Min => {
+                    let v = &r[aidx.expect("Min needs a column")];
+                    if slot.is_null() || (!v.is_null() && v < slot) {
+                        *slot = v.clone();
+                    }
+                }
+                Agg::Max => {
+                    let v = &r[aidx.expect("Max needs a column")];
+                    if slot.is_null() || (!v.is_null() && v > slot) {
+                        *slot = v.clone();
+                    }
+                }
+            }
+            if is_new {
+                order.push(key);
+            }
+        }
+        let mut cols: Vec<(&str, crate::schema::ColType)> = group_cols
+            .iter()
+            .map(|c| {
+                let col = &self.schema.columns()[self.schema.col_required(c)];
+                (*c, col.ty)
+            })
+            .collect();
+        let agg_ty = match agg {
+            Agg::Count => crate::schema::ColType::Int,
+            Agg::Min | Agg::Max => {
+                aidx.map(|i| self.schema.columns()[i].ty)
+                    .unwrap_or(crate::schema::ColType::Int)
+            }
+        };
+        cols.push((agg_name, agg_ty));
+        let schema = Schema::new(cols);
+        let rows = order
+            .into_iter()
+            .map(|key| {
+                let v = groups[&key].clone();
+                let mut row = key;
+                row.push(v);
+                row
+            })
+            .collect();
+        Relation { schema, rows }
+    }
+
+    /// Sort rows by the given columns (ascending, NULLs first).
+    pub fn sort_by(&self, cols: &[&str]) -> Relation {
+        let idxs: Vec<usize> = cols.iter().map(|c| self.schema.col_required(c)).collect();
+        let mut rows = self.rows.clone();
+        rows.sort_by(|a, b| {
+            for &i in &idxs {
+                match a[i].cmp(&b[i]) {
+                    std::cmp::Ordering::Equal => continue,
+                    o => return o,
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        Relation {
+            schema: self.schema.clone(),
+            rows,
+        }
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for r in &self.rows {
+            for (i, v) in r.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColType;
+
+    fn people() -> Relation {
+        Relation::new(
+            Schema::new(vec![("id", ColType::Int), ("name", ColType::Text)]),
+            vec![
+                vec![1.into(), "ann".into()],
+                vec![2.into(), "bob".into()],
+                vec![3.into(), "cho".into()],
+            ],
+        )
+    }
+
+    fn edges() -> Relation {
+        Relation::new(
+            Schema::new(vec![("src", ColType::Int), ("dst", ColType::Int)]),
+            vec![
+                vec![1.into(), 2.into()],
+                vec![2.into(), 3.into()],
+                vec![1.into(), 3.into()],
+            ],
+        )
+    }
+
+    #[test]
+    fn select_and_project() {
+        let p = people();
+        let r = p.select(&Predicate::Ge("id".into(), Value::Int(2)));
+        assert_eq!(r.len(), 2);
+        let names = r.project(&["name"]);
+        assert_eq!(names.rows()[0], vec![Value::from("bob")]);
+        assert_eq!(names.schema().arity(), 1);
+    }
+
+    #[test]
+    fn equi_join_matches_pairs() {
+        let j = people().equi_join("id", &edges(), "src");
+        assert_eq!(j.len(), 3);
+        assert!(j.schema().col("name").is_some());
+        assert!(j.schema().col("dst").is_some());
+        // ann appears twice (two outgoing edges).
+        let anns = j.select(&Predicate::Eq("name".into(), Value::from("ann")));
+        assert_eq!(anns.len(), 2);
+    }
+
+    #[test]
+    fn join_prefixes_clashing_columns() {
+        let a = people();
+        let j = a.equi_join("id", &a, "id");
+        assert_eq!(j.len(), 3);
+        assert!(j.schema().col("r_id").is_some());
+        assert!(j.schema().col("r_name").is_some());
+    }
+
+    #[test]
+    fn join_skips_nulls() {
+        let a = Relation::new(
+            Schema::new(vec![("x", ColType::Int)]),
+            vec![vec![Value::Null], vec![Value::Int(1)]],
+        );
+        let j = a.equi_join("x", &a, "x");
+        assert_eq!(j.len(), 1);
+    }
+
+    #[test]
+    fn union_and_distinct() {
+        let p = people();
+        let u = p.union_all(&p);
+        assert_eq!(u.len(), 6);
+        assert_eq!(u.distinct().len(), 3);
+    }
+
+    #[test]
+    fn aggregate_count_min_max() {
+        let e = edges();
+        let counts = e.aggregate(&["src"], Agg::Count, None, "n");
+        let m: HashMap<i64, i64> = counts
+            .rows()
+            .iter()
+            .map(|r| (r[0].as_int(), r[1].as_int()))
+            .collect();
+        assert_eq!(m[&1], 2);
+        assert_eq!(m[&2], 1);
+
+        let mins = e.aggregate(&["src"], Agg::Min, Some("dst"), "min_dst");
+        let m: HashMap<i64, i64> = mins
+            .rows()
+            .iter()
+            .map(|r| (r[0].as_int(), r[1].as_int()))
+            .collect();
+        assert_eq!(m[&1], 2);
+
+        let maxs = e.aggregate(&[], Agg::Max, Some("dst"), "max_dst");
+        assert_eq!(maxs.len(), 1);
+        assert_eq!(maxs.rows()[0][0].as_int(), 3);
+    }
+
+    #[test]
+    fn sort_is_stable_by_columns() {
+        let e = edges().sort_by(&["dst", "src"]);
+        let firsts: Vec<i64> = e.rows().iter().map(|r| r[1].as_int()).collect();
+        assert_eq!(firsts, vec![2, 3, 3]);
+    }
+
+    #[test]
+    fn rename_column() {
+        let p = people().rename("name", "label");
+        assert!(p.schema().col("label").is_some());
+        assert!(p.schema().col("name").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        let mut p = people();
+        p.push(vec![Value::Int(9)]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Relation schemas: named, typed columns.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Column data type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColType {
+    /// 64-bit integer (nullable).
+    Int,
+    /// UTF-8 text (nullable).
+    Text,
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name, unique within a schema.
+    pub name: String,
+    /// Data type.
+    pub ty: ColType,
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Build a schema; panics on duplicate column names (a programming
+    /// error in table definitions, caught in tests).
+    pub fn new(columns: Vec<(&str, ColType)>) -> Self {
+        let columns: Vec<Column> = columns
+            .into_iter()
+            .map(|(name, ty)| Column {
+                name: name.to_string(),
+                ty,
+            })
+            .collect();
+        for (i, c) in columns.iter().enumerate() {
+            assert!(
+                !columns[..i].iter().any(|o| o.name == c.name),
+                "duplicate column {}",
+                c.name
+            );
+        }
+        Schema { columns }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Index of a column by name.
+    pub fn col(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Index of a column, panicking with a useful message if absent.
+    #[track_caller]
+    pub fn col_required(&self, name: &str) -> usize {
+        self.col(name)
+            .unwrap_or_else(|| panic!("no column {name:?} in schema {self}"))
+    }
+
+    /// A new schema with the given columns (projection).
+    pub fn project(&self, names: &[&str]) -> Schema {
+        Schema {
+            columns: names
+                .iter()
+                .map(|n| self.columns[self.col_required(n)].clone())
+                .collect(),
+        }
+    }
+
+    /// Concatenate two schemas, prefixing clashing names from the right
+    /// side with `prefix`.
+    pub fn join(&self, other: &Schema, prefix: &str) -> Schema {
+        let mut columns = self.columns.clone();
+        for c in &other.columns {
+            let name = if self.col(&c.name).is_some() {
+                format!("{prefix}{}", c.name)
+            } else {
+                c.name.clone()
+            };
+            columns.push(Column { name, ty: c.ty });
+        }
+        Schema { columns }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {:?}", c.name, c.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_and_projection() {
+        let s = Schema::new(vec![("id", ColType::Int), ("tag", ColType::Text)]);
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.col("tag"), Some(1));
+        assert_eq!(s.col("nope"), None);
+        let p = s.project(&["tag"]);
+        assert_eq!(p.arity(), 1);
+        assert_eq!(p.col("tag"), Some(0));
+    }
+
+    #[test]
+    fn join_prefixes_clashes() {
+        let a = Schema::new(vec![("id", ColType::Int), ("x", ColType::Int)]);
+        let b = Schema::new(vec![("id", ColType::Int), ("y", ColType::Int)]);
+        let j = a.join(&b, "r_");
+        assert_eq!(j.arity(), 4);
+        assert_eq!(j.col("r_id"), Some(2));
+        assert_eq!(j.col("y"), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_columns_rejected() {
+        Schema::new(vec![("id", ColType::Int), ("id", ColType::Int)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no column")]
+    fn missing_column_panics_with_context() {
+        let s = Schema::new(vec![("id", ColType::Int)]);
+        s.col_required("ghost");
+    }
+}

@@ -1,0 +1,413 @@
+//! A small SQL frontend for the relational engine.
+//!
+//! The paper's deployment story is "on top of an existing relational
+//! database" — which means the operations ultimately arrive as SQL. This
+//! module closes that loop with a deliberately small, fully-tested subset
+//! compiled to [`RelPlan`]s:
+//!
+//! ```text
+//! SELECT <col, ...> | *           projection
+//! FROM   <table>                  one base table
+//! [WHERE <cond> [AND <cond>]*]    conds: col = lit | col <> lit |
+//!                                        col < lit | col <= lit |
+//!                                        col > lit | col >= lit |
+//!                                        col IS NULL
+//! [ORDER BY <col, ...>]           ascending
+//! [DISTINCT]                      via SELECT DISTINCT
+//! ```
+//!
+//! Literals: integers and single-quoted strings. Keywords are
+//! case-insensitive; identifiers are case-sensitive. The compiled plan
+//! goes through [`crate::plan::optimize`], so equality predicates become
+//! index probes.
+
+use crate::plan::{optimize, RelPlan};
+use crate::predicate::Predicate;
+use crate::value::Value;
+
+/// Errors from SQL parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// Expected a keyword/token that was not there.
+    Expected(&'static str, String),
+    /// The statement ended early.
+    UnexpectedEnd(&'static str),
+    /// A malformed literal.
+    BadLiteral(String),
+    /// Trailing tokens after a complete statement.
+    Trailing(String),
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlError::Expected(what, got) => write!(f, "expected {what}, found {got:?}"),
+            SqlError::UnexpectedEnd(what) => write!(f, "unexpected end of statement ({what})"),
+            SqlError::BadLiteral(l) => write!(f, "malformed literal {l:?}"),
+            SqlError::Trailing(t) => write!(f, "unexpected trailing tokens {t:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    Star,
+    Comma,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, SqlError> {
+    let mut toks = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                chars.next();
+            }
+            '*' => {
+                chars.next();
+                toks.push(Tok::Star);
+            }
+            ',' => {
+                chars.next();
+                toks.push(Tok::Comma);
+            }
+            '=' => {
+                chars.next();
+                toks.push(Tok::Eq);
+            }
+            '<' => {
+                chars.next();
+                match chars.peek() {
+                    Some('=') => {
+                        chars.next();
+                        toks.push(Tok::Le);
+                    }
+                    Some('>') => {
+                        chars.next();
+                        toks.push(Tok::Ne);
+                    }
+                    _ => toks.push(Tok::Lt),
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    toks.push(Tok::Ge);
+                } else {
+                    toks.push(Tok::Gt);
+                }
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => break,
+                        Some(ch) => s.push(ch),
+                        None => return Err(SqlError::BadLiteral(format!("'{s}"))),
+                    }
+                }
+                toks.push(Tok::Str(s));
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let mut s = String::new();
+                s.push(c);
+                chars.next();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let v = s.parse::<i64>().map_err(|_| SqlError::BadLiteral(s))?;
+                toks.push(Tok::Int(v));
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok::Ident(s));
+            }
+            other => return Err(SqlError::Expected("token", other.to_string())),
+        }
+    }
+    Ok(toks)
+}
+
+struct P {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+    fn keyword(&mut self, kw: &'static str) -> Result<(), SqlError> {
+        match self.next() {
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            Some(other) => Err(SqlError::Expected(kw, format!("{other:?}"))),
+            None => Err(SqlError::UnexpectedEnd(kw)),
+        }
+    }
+    fn try_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+    fn ident(&mut self, what: &'static str) -> Result<String, SqlError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            Some(other) => Err(SqlError::Expected(what, format!("{other:?}"))),
+            None => Err(SqlError::UnexpectedEnd(what)),
+        }
+    }
+    fn literal(&mut self) -> Result<Value, SqlError> {
+        match self.next() {
+            Some(Tok::Int(i)) => Ok(Value::Int(i)),
+            Some(Tok::Str(s)) => Ok(Value::Text(s)),
+            Some(other) => Err(SqlError::Expected("literal", format!("{other:?}"))),
+            None => Err(SqlError::UnexpectedEnd("literal")),
+        }
+    }
+}
+
+/// Parse a statement and compile it into an optimized [`RelPlan`].
+pub fn compile(sql: &str) -> Result<RelPlan, SqlError> {
+    let mut p = P {
+        toks: lex(sql)?,
+        pos: 0,
+    };
+    p.keyword("SELECT")?;
+    let distinct = p.try_keyword("DISTINCT");
+
+    // Projection list.
+    let mut cols: Vec<String> = Vec::new();
+    let star = if p.peek() == Some(&Tok::Star) {
+        p.next();
+        true
+    } else {
+        loop {
+            cols.push(p.ident("column name")?);
+            if p.peek() == Some(&Tok::Comma) {
+                p.next();
+            } else {
+                break;
+            }
+        }
+        false
+    };
+
+    p.keyword("FROM")?;
+    let table = p.ident("table name")?;
+
+    // WHERE clause.
+    let mut preds: Vec<Predicate> = Vec::new();
+    if p.try_keyword("WHERE") {
+        loop {
+            let col = p.ident("column name")?;
+            let pred = if p.try_keyword("IS") {
+                p.keyword("NULL")?;
+                Predicate::IsNull(col)
+            } else {
+                match p.next() {
+                    Some(Tok::Eq) => Predicate::Eq(col, p.literal()?),
+                    Some(Tok::Ne) => Predicate::Ne(col, p.literal()?),
+                    Some(Tok::Lt) => Predicate::Lt(col, p.literal()?),
+                    Some(Tok::Le) => Predicate::Le(col, p.literal()?),
+                    Some(Tok::Gt) => {
+                        // col > v  ≡  ¬(col <= v) with non-null col; engine
+                        // predicates treat NULL as false either way.
+                        Predicate::Not(Box::new(Predicate::Le(col, p.literal()?)))
+                    }
+                    Some(Tok::Ge) => Predicate::Ge(col, p.literal()?),
+                    Some(other) => {
+                        return Err(SqlError::Expected("comparison operator", format!("{other:?}")))
+                    }
+                    None => return Err(SqlError::UnexpectedEnd("comparison")),
+                }
+            };
+            preds.push(pred);
+            if !p.try_keyword("AND") {
+                break;
+            }
+        }
+    }
+
+    // ORDER BY.
+    let mut order: Vec<String> = Vec::new();
+    if p.try_keyword("ORDER") {
+        p.keyword("BY")?;
+        loop {
+            order.push(p.ident("column name")?);
+            if p.peek() == Some(&Tok::Comma) {
+                p.next();
+            } else {
+                break;
+            }
+        }
+    }
+
+    if let Some(t) = p.peek() {
+        return Err(SqlError::Trailing(format!("{t:?}")));
+    }
+
+    // Assemble: Scan → Select* → Project → Distinct → Sort.
+    let mut plan = RelPlan::scan(table);
+    for pred in preds {
+        plan = RelPlan::Select {
+            pred,
+            input: Box::new(plan),
+        };
+    }
+    if !star {
+        plan = RelPlan::Project {
+            cols,
+            input: Box::new(plan),
+        };
+    }
+    if distinct {
+        plan = RelPlan::Distinct {
+            input: Box::new(plan),
+        };
+    }
+    if !order.is_empty() {
+        plan = RelPlan::Sort {
+            cols: order,
+            input: Box::new(plan),
+        };
+    }
+    Ok(optimize(plan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use crate::encode::encode_document;
+    use crate::plan::RelStats;
+    use xfrag_doc::parse_str;
+
+    fn db() -> Database {
+        encode_document(&parse_str("<a><b>hello world</b><c>world</c></a>").unwrap())
+    }
+
+    fn run(db: &Database, sql: &str) -> crate::relation::Relation {
+        compile(sql).unwrap().execute(db, &mut RelStats::default())
+    }
+
+    #[test]
+    fn select_star() {
+        let db = db();
+        let out = run(&db, "SELECT * FROM node");
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.schema().arity(), 5);
+    }
+
+    #[test]
+    fn projection_where_order() {
+        let db = db();
+        let out = run(
+            &db,
+            "SELECT node FROM keyword WHERE term = 'world' ORDER BY node",
+        );
+        let nodes: Vec<i64> = out.rows().iter().map(|r| r[0].as_int()).collect();
+        assert_eq!(nodes, vec![1, 2]);
+    }
+
+    #[test]
+    fn where_uses_index_probe() {
+        let plan = compile("SELECT node FROM keyword WHERE term = 'world'").unwrap();
+        assert!(plan.render().contains("index term = world"), "{}", plan.render());
+    }
+
+    #[test]
+    fn comparisons_and_conjunction() {
+        let db = db();
+        let out = run(&db, "SELECT id FROM node WHERE depth >= 1 AND id <= 1");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows()[0][0].as_int(), 1);
+        let out = run(&db, "SELECT id FROM node WHERE id > 0 ORDER BY id");
+        assert_eq!(out.len(), 2);
+        let out = run(&db, "SELECT id FROM node WHERE id <> 1");
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn is_null() {
+        let db = db();
+        let out = run(&db, "SELECT id FROM node WHERE parent IS NULL");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows()[0][0].as_int(), 0);
+    }
+
+    #[test]
+    fn distinct() {
+        let db = db();
+        let all = run(&db, "SELECT node FROM anc");
+        let uniq = run(&db, "SELECT DISTINCT node FROM anc");
+        assert!(uniq.len() < all.len());
+        assert_eq!(uniq.len(), 3);
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let db = db();
+        let out = run(&db, "select id from node where depth = 0");
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(compile(""), Err(SqlError::UnexpectedEnd(_))));
+        assert!(matches!(compile("SELEC * FROM t"), Err(SqlError::Expected(..))));
+        assert!(matches!(compile("SELECT FROM t"), Err(SqlError::Expected(..))));
+        assert!(matches!(
+            compile("SELECT * FROM t WHERE x ="),
+            Err(SqlError::UnexpectedEnd(_))
+        ));
+        assert!(matches!(
+            compile("SELECT * FROM t WHERE x = 'unterminated"),
+            Err(SqlError::BadLiteral(_))
+        ));
+        assert!(matches!(
+            compile("SELECT * FROM t extra"),
+            Err(SqlError::Trailing(_))
+        ));
+        assert!(matches!(
+            compile("SELECT * FROM t WHERE x ! 1"),
+            Err(SqlError::Expected(..))
+        ));
+    }
+}

@@ -1,0 +1,124 @@
+//! Scalar values stored in relations.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A typed scalar. Nulls are represented explicitly so the `parent` of
+/// the document root can be stored faithfully.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL. Ordered before every non-null (only for deterministic
+    /// sorting — predicates treat comparisons with NULL as false, as SQL
+    /// does).
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// UTF-8 string.
+    Text(String),
+}
+
+impl Value {
+    /// Extract an integer; panics on type confusion, which is a schema
+    /// bug, not a data error.
+    #[track_caller]
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(i) => *i,
+            other => panic!("expected Int, found {other:?}"),
+        }
+    }
+
+    /// Extract a string slice.
+    #[track_caller]
+    pub fn as_text(&self) -> &str {
+        match self {
+            Value::Text(s) => s,
+            other => panic!("expected Text, found {other:?}"),
+        }
+    }
+
+    /// Whether this is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// SQL-style comparison: NULL compares as unknown (None).
+    pub fn sql_cmp(&self, other: &Value) -> Option<std::cmp::Ordering> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.cmp(other))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(3u32), Value::Int(3));
+        assert_eq!(Value::from("x"), Value::Text("x".into()));
+    }
+
+    #[test]
+    fn accessors_and_nulls() {
+        assert_eq!(Value::Int(7).as_int(), 7);
+        assert_eq!(Value::Text("a".into()).as_text(), "a");
+        assert!(Value::Null.is_null());
+        assert!(!Value::Int(0).is_null());
+    }
+
+    #[test]
+    fn sql_cmp_null_is_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+        assert_eq!(
+            Value::Int(1).sql_cmp(&Value::Int(2)),
+            Some(std::cmp::Ordering::Less)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Int")]
+    fn as_int_panics_on_text() {
+        Value::Text("x".into()).as_int();
+    }
+}

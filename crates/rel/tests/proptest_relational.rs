@@ -1,0 +1,175 @@
+//! Property tests for the relational engine: classic relational-algebra
+//! identities over random relations, and the tree-algebra encoding
+//! against `xfrag-doc`'s native tree operations.
+
+use proptest::prelude::*;
+use xfrag_rel::relation::Agg;
+use xfrag_rel::{ColType, Predicate, Relation, Schema, Value};
+
+fn schema() -> Schema {
+    Schema::new(vec![("k", ColType::Int), ("v", ColType::Int)])
+}
+
+fn rel_from(rows: &[(i64, Option<i64>)]) -> Relation {
+    Relation::new(
+        schema(),
+        rows.iter()
+            .map(|&(k, v)| vec![Value::Int(k), v.map(Value::Int).unwrap_or(Value::Null)])
+            .collect(),
+    )
+}
+
+fn arb_rows() -> impl Strategy<Value = Vec<(i64, Option<i64>)>> {
+    prop::collection::vec((0i64..8, prop::option::of(0i64..8)), 0..12)
+}
+
+fn arb_pred() -> impl Strategy<Value = Predicate> {
+    prop_oneof![
+        (0i64..8).prop_map(|v| Predicate::Eq("k".into(), Value::Int(v))),
+        (0i64..8).prop_map(|v| Predicate::Le("v".into(), Value::Int(v))),
+        (0i64..8).prop_map(|v| Predicate::Ge("k".into(), Value::Int(v))),
+        Just(Predicate::IsNull("v".into())),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// σ_p(σ_q(R)) = σ_q(σ_p(R)) = σ_{p∧q}(R).
+    #[test]
+    fn selection_commutes_and_conjoins(rows in arb_rows(), p in arb_pred(), q in arb_pred()) {
+        let r = rel_from(&rows);
+        let a = r.select(&p).select(&q);
+        let b = r.select(&q).select(&p);
+        let c = r.select(&Predicate::And(vec![p, q]));
+        prop_assert_eq!(a.rows(), b.rows());
+        prop_assert_eq!(b.rows(), c.rows());
+    }
+
+    /// Projection is idempotent and preserves row count.
+    #[test]
+    fn projection_idempotent(rows in arb_rows()) {
+        let r = rel_from(&rows);
+        let p1 = r.project(&["v"]);
+        let p2 = p1.project(&["v"]);
+        prop_assert_eq!(p1.rows(), p2.rows());
+        prop_assert_eq!(p1.len(), r.len());
+    }
+
+    /// distinct is idempotent and never increases cardinality; union_all
+    /// adds cardinalities.
+    #[test]
+    fn distinct_and_union_laws(rows in arb_rows()) {
+        let r = rel_from(&rows);
+        let d = r.distinct();
+        prop_assert!(d.len() <= r.len());
+        let dd = d.distinct();
+        prop_assert_eq!(dd.rows(), d.rows());
+        let u = r.union_all(&r);
+        prop_assert_eq!(u.len(), 2 * r.len());
+        prop_assert_eq!(u.distinct().len(), d.len());
+    }
+
+    /// Hash equi-join equals the nested-loop definition (NULLs never
+    /// match), regardless of which side builds.
+    #[test]
+    fn join_matches_nested_loop(a in arb_rows(), b in arb_rows()) {
+        let ra = rel_from(&a);
+        let rb = rel_from(&b);
+        let joined = ra.equi_join("v", &rb, "k");
+        let mut expected = 0usize;
+        for x in &a {
+            if let Some(v) = x.1 {
+                expected += b.iter().filter(|y| y.0 == v).count();
+            }
+        }
+        prop_assert_eq!(joined.len(), expected);
+        // Every output row satisfies the join predicate.
+        let s = joined.schema();
+        let (ci_v, ci_k2) = (s.col_required("v"), s.col_required("r_k"));
+        for row in joined.rows() {
+            prop_assert_eq!(&row[ci_v], &row[ci_k2]);
+        }
+    }
+
+    /// COUNT per group sums to the relation size; MIN/MAX bound group
+    /// members.
+    #[test]
+    fn aggregate_laws(rows in arb_rows()) {
+        let r = rel_from(&rows);
+        let counts = r.aggregate(&["k"], Agg::Count, None, "n");
+        let total: i64 = counts.rows().iter().map(|row| row[1].as_int()).sum();
+        prop_assert_eq!(total as usize, r.len());
+        let mins = r.aggregate(&["k"], Agg::Min, Some("v"), "lo");
+        let maxs = r.aggregate(&["k"], Agg::Max, Some("v"), "hi");
+        for (lo_row, hi_row) in mins.rows().iter().zip(maxs.rows()) {
+            if !lo_row[1].is_null() && !hi_row[1].is_null() {
+                prop_assert!(lo_row[1] <= hi_row[1]);
+            }
+        }
+    }
+
+    /// Index lookups agree with selection.
+    #[test]
+    fn index_agrees_with_scan(rows in arb_rows(), probe in 0i64..8) {
+        let r = rel_from(&rows);
+        let idx = xfrag_rel::index::BTreeIndex::build(&r, "k");
+        let via_idx: Vec<&Vec<Value>> =
+            idx.get(&Value::Int(probe)).iter().map(|&i| &r.rows()[i]).collect();
+        let via_scan = r.select(&Predicate::Eq("k".into(), Value::Int(probe)));
+        prop_assert_eq!(via_idx.len(), via_scan.len());
+        for (a, b) in via_idx.iter().zip(via_scan.rows()) {
+            prop_assert_eq!(*a, b);
+        }
+    }
+}
+
+mod tree_encoding {
+    use super::*;
+    use xfrag_doc::{Document, DocumentBuilder, NodeId};
+    use xfrag_rel::algebra;
+    use xfrag_rel::encode_document;
+
+    fn build_tree(choices: &[usize]) -> Document {
+        let n = choices.len() + 1;
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, &c) in choices.iter().enumerate() {
+            children[c % (i + 1)].push(i + 1);
+        }
+        fn emit(b: &mut DocumentBuilder, children: &[Vec<usize>], v: usize) {
+            b.begin(format!("t{v}"));
+            for &c in &children[v] {
+                emit(b, children, c);
+            }
+            b.end();
+        }
+        let mut b = DocumentBuilder::new();
+        emit(&mut b, &children, 0);
+        b.finish().unwrap()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Closure-table LCA and path agree with the native tree.
+        #[test]
+        fn lca_and_path_agree(
+            choices in prop::collection::vec(any::<usize>(), 0..14),
+            a in any::<usize>(),
+            b in any::<usize>(),
+        ) {
+            let doc = build_tree(&choices);
+            let db = encode_document(&doc);
+            let n = doc.len() as u32;
+            let (x, y) = ((a as u32) % n, (b as u32) % n);
+            prop_assert_eq!(
+                algebra::lca(&db, x, y),
+                doc.lca(NodeId(x), NodeId(y)).0
+            );
+            let mut native: Vec<u32> =
+                doc.path(NodeId(x), NodeId(y)).iter().map(|p| p.0).collect();
+            native.sort_unstable();
+            prop_assert_eq!(algebra::path_nodes(&db, x, y), native);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Hybrid structural + keyword retrieval: a path expression scopes where
+//! the fragment algebra runs — the integration of keyword and structural
+//! queries the paper's §6 surveys (Florescu et al., Al-Khalifa et al.).
+//!
+//! ```sh
+//! cargo run --example hybrid_query
+//! ```
+
+use xfrag::core::{evaluate, evaluate_scoped};
+use xfrag::doc::select_path;
+use xfrag::prelude::*;
+
+fn main() {
+    let doc = parse_str(
+        r#"<thesis>
+             <abstract><par>We study recovery and replication trade-offs.</par></abstract>
+             <chapter role="background">
+               <title>Background</title>
+               <par>Replication protocols and their recovery paths.</par>
+             </chapter>
+             <chapter role="contribution">
+               <title>Approach</title>
+               <section>
+                 <par>Our recovery protocol piggybacks on replication.</par>
+                 <par>Replication lag bounds recovery time.</par>
+               </section>
+             </chapter>
+           </thesis>"#,
+    )
+    .unwrap();
+    let index = InvertedIndex::build(&doc);
+
+    // Pure structural navigation (XPath-lite).
+    let pars = select_path(&doc, "//chapter//par").unwrap();
+    println!("//chapter//par matches {} nodes: {pars:?}", pars.len());
+    let contrib = select_path(&doc, "//chapter[role='contribution']").unwrap();
+    println!("//chapter[role='contribution'] -> {contrib:?}");
+
+    // Pure keyword search finds answers in every chapter and the abstract.
+    let q = Query::new(["recovery", "replication"], FilterExpr::MaxSize(4));
+    let all = evaluate(&doc, &index, &q, Strategy::PushDown).unwrap();
+    println!("\nunscoped keyword query: {} answers", all.fragments.len());
+
+    // Hybrid: the same keywords, but only inside contribution chapters.
+    let scoped = evaluate_scoped(
+        &doc,
+        &index,
+        &q,
+        "//chapter[role='contribution']",
+        Strategy::PushDown,
+    )
+    .unwrap();
+    for (scope, r) in &scoped {
+        println!(
+            "scope {} ({}): {} answers",
+            scope,
+            doc.tag(*scope),
+            r.fragments.len()
+        );
+        for f in r.fragments.iter() {
+            println!("  {f}");
+        }
+    }
+    assert!(!scoped.is_empty());
+    let scoped_total: usize = scoped.iter().map(|(_, r)| r.fragments.len()).sum();
+    assert!(scoped_total < all.fragments.len());
+    println!(
+        "\nscoping cut the answer set from {} to {scoped_total} without touching the filter.",
+        all.fragments.len()
+    );
+}

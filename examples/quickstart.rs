@@ -1,0 +1,51 @@
+//! Quickstart: parse an XML document, build the keyword index, run a
+//! filtered keyword query, and print the answer fragments as XML.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use xfrag::doc::serialize::{fragment_to_xml, WriteOptions};
+use xfrag::prelude::*;
+
+fn main() {
+    let doc = parse_str(
+        r#"<article>
+             <title>Evaluating XML retrieval</title>
+             <section>
+               <title>Query processing</title>
+               <subsection>
+                 <par>XQuery engines translate queries into algebra.</par>
+                 <par>Optimization of XQuery joins relies on rewrite rules.</par>
+               </subsection>
+               <par>Storage details are an orthogonal concern.</par>
+             </section>
+           </article>"#,
+    )
+    .expect("well-formed XML");
+
+    let index = InvertedIndex::build(&doc);
+
+    // A query is keywords + a selection predicate (Definition 7).
+    // `size ≤ 4` is an anti-monotonic filter the optimizer can push below
+    // the joins (Theorem 3), so we use the push-down strategy.
+    let query = Query::parse("xquery optimization", FilterExpr::MaxSize(4));
+    let result = evaluate(&doc, &index, &query, Strategy::PushDown).expect("query evaluates");
+
+    println!(
+        "{} answer fragment(s); work: {}",
+        result.fragments.len(),
+        result.stats
+    );
+    for fragment in result.fragments.iter() {
+        println!(
+            "\n== fragment rooted at {} ({} nodes) ==",
+            fragment.root(),
+            fragment.size()
+        );
+        println!(
+            "{}",
+            fragment_to_xml(&doc, fragment.nodes(), WriteOptions::default())
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Differential testing: the native engine and the relational engine
+//! (experiment P5 — the paper's §7 claim that the model "can be easily
+//! implemented on top of an existing relational database") must agree
+//! answer-for-answer, across documents, queries and filters.
+
+use xfrag::core::{evaluate, FilterExpr, Query, Strategy};
+use xfrag::corpus::docgen::{generate, DocGenConfig};
+use xfrag::corpus::figure1;
+use xfrag::doc::InvertedIndex;
+use xfrag::rel::{encode_document, evaluate_relational};
+
+#[test]
+fn figure1_agrees() {
+    let fig = figure1();
+    let d = &fig.doc;
+    let db = encode_document(d);
+    let idx = InvertedIndex::build(d);
+    for filter in [
+        FilterExpr::True,
+        FilterExpr::MaxSize(3),
+        FilterExpr::MaxHeight(2),
+        FilterExpr::MaxWidth(4),
+    ] {
+        let q = Query::new(["xquery", "optimization"], filter.clone());
+        let native = evaluate(d, &idx, &q, Strategy::PushDown).unwrap().fragments;
+        let relational = evaluate_relational(&db, d, &q).unwrap();
+        assert_eq!(relational, native, "filter {filter}");
+    }
+}
+
+#[test]
+fn generated_corpora_agree() {
+    for seed in [1, 2, 3] {
+        let cfg = DocGenConfig {
+            seed,
+            ..DocGenConfig::default()
+        }
+        .with_approx_nodes(300)
+        .plant("kwone", 3)
+        .plant("kwtwo", 4);
+        let d = generate(&cfg);
+        let db = encode_document(&d);
+        let idx = InvertedIndex::build(&d);
+        for filter in [
+            FilterExpr::MaxSize(5),
+            FilterExpr::and([FilterExpr::MaxSize(8), FilterExpr::MaxHeight(2)]),
+        ] {
+            let q = Query::new(["kwone", "kwtwo"], filter.clone());
+            let native = evaluate(&d, &idx, &q, Strategy::FixedPointReduced)
+                .unwrap()
+                .fragments;
+            let relational = evaluate_relational(&db, &d, &q).unwrap();
+            assert_eq!(relational, native, "seed {seed}, filter {filter}");
+        }
+    }
+}
+
+/// Common terms (high document frequency) stress the join paths harder.
+#[test]
+fn frequent_terms_agree() {
+    let cfg = DocGenConfig {
+        seed: 77,
+        vocabulary: 30, // tiny vocabulary → frequent collisions
+        ..DocGenConfig::default()
+    };
+    let d = generate(&cfg);
+    let db = encode_document(&d);
+    let idx = InvertedIndex::build(&d);
+    // 'par' (the tag) occurs on every paragraph; 'term1' is the most
+    // frequent Zipf word. Tight size filter keeps this tractable.
+    let q = Query::new(["title", "term1"], FilterExpr::MaxSize(3));
+    let native = evaluate(&d, &idx, &q, Strategy::PushDown).unwrap().fragments;
+    let relational = evaluate_relational(&db, &d, &q).unwrap();
+    assert_eq!(relational, native);
+    assert!(!native.is_empty());
+}

@@ -1,0 +1,62 @@
+//! Whole-pipeline tests: raw XML text in, answer fragments as XML out.
+
+use xfrag::core::{evaluate, FilterExpr, Query, Strategy};
+use xfrag::doc::serialize::{fragment_to_xml, WriteOptions};
+use xfrag::doc::{parse_str, InvertedIndex};
+
+const ARTICLE: &str = r#"<?xml version="1.0"?>
+<article>
+  <title>Fragment retrieval</title>
+  <section>
+    <title>Processing</title>
+    <subsection>
+      <par>XQuery processors apply algebraic optimization.</par>
+      <par>XQuery plans are rewritten for efficiency.</par>
+    </subsection>
+    <par>Unrelated material about storage layouts.</par>
+  </section>
+</article>"#;
+
+#[test]
+fn parse_query_serialize_roundtrip() {
+    let doc = parse_str(ARTICLE).unwrap();
+    let idx = InvertedIndex::build(&doc);
+    let q = Query::parse("XQuery optimization", FilterExpr::MaxSize(4));
+    let r = evaluate(&doc, &idx, &q, Strategy::PushDown).unwrap();
+    assert!(!r.fragments.is_empty());
+
+    // The best (maximal) answer contains the whole subsection.
+    let best = xfrag::core::overlap::maximal_only(&r.fragments);
+    let f = best.iter().next().unwrap();
+    let xml = fragment_to_xml(&doc, f.nodes(), WriteOptions { indent: None });
+    assert!(xml.contains("XQuery processors"));
+    // Re-parse of the fragment is well-formed XML.
+    let frag_doc = parse_str(&xml).unwrap();
+    assert!(frag_doc.len() >= 2);
+}
+
+#[test]
+fn queries_with_unicode_and_case() {
+    let doc = parse_str("<d><p>Größe naïve</p><p>NAÏVE</p></d>").unwrap();
+    let idx = InvertedIndex::build(&doc);
+    let q = Query::parse("naïve größe", FilterExpr::True);
+    let r = evaluate(&doc, &idx, &q, Strategy::FixedPointNaive).unwrap();
+    assert!(!r.fragments.is_empty());
+}
+
+#[test]
+fn malformed_xml_is_rejected_cleanly() {
+    for bad in ["<a><b></a>", "", "<a>&bogus;</a>", "<a x='1' x='2'/>"] {
+        assert!(parse_str(bad).is_err(), "{bad:?} should fail to parse");
+    }
+}
+
+#[test]
+fn single_node_document_query() {
+    let doc = parse_str("<note>meeting agenda</note>").unwrap();
+    let idx = InvertedIndex::build(&doc);
+    let q = Query::parse("meeting agenda", FilterExpr::True);
+    let r = evaluate(&doc, &idx, &q, Strategy::BruteForce).unwrap();
+    assert_eq!(r.fragments.len(), 1);
+    assert_eq!(r.fragments.iter().next().unwrap().size(), 1);
+}

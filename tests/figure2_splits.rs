@@ -1,0 +1,107 @@
+//! Figure 2 of the paper: "there is no prior knowledge of how keywords
+//! would be split across the nodes of a desired XML subtree". The figure
+//! enumerates split patterns of two keywords k1, k2 over a target
+//! subtree; this test builds a document realizing each pattern and checks
+//! the query mechanism retrieves the target fragment in every case —
+//! the property the smallest-subtree semantics lacks.
+
+use xfrag::core::{evaluate, FilterExpr, Fragment, Query, Strategy};
+use xfrag::doc::{Document, DocumentBuilder, InvertedIndex, NodeId};
+
+fn query_finds(doc: &Document, terms: [&str; 2], target: &[u32]) -> bool {
+    let idx = InvertedIndex::build(doc);
+    let q = Query::new(terms, FilterExpr::MaxSize(6));
+    let r = evaluate(doc, &idx, &q, Strategy::PushDown).unwrap();
+    let t = Fragment::from_nodes(doc, target.iter().map(|&n| NodeId(n))).unwrap();
+    r.fragments.contains(&t)
+}
+
+fn target_found(doc: &Document, target: &[u32]) -> bool {
+    query_finds(doc, ["k1", "k2"], target)
+}
+
+/// Pattern (a): both keywords in one leaf.
+#[test]
+fn both_keywords_one_node() {
+    let mut b = DocumentBuilder::new();
+    b.begin("sec"); // 0
+    b.leaf("p", "k1 k2"); // 1
+    b.leaf("p", "filler"); // 2
+    b.end();
+    let d = b.finish().unwrap();
+    assert!(target_found(&d, &[1]));
+}
+
+/// Pattern (b): keywords in two sibling leaves — the target is the
+/// siblings plus their parent.
+#[test]
+fn keywords_in_sibling_leaves() {
+    let mut b = DocumentBuilder::new();
+    b.begin("sec"); // 0
+    b.leaf("p", "k1"); // 1
+    b.leaf("p", "k2"); // 2
+    b.end();
+    let d = b.finish().unwrap();
+    assert!(target_found(&d, &[0, 1, 2]));
+}
+
+/// Pattern (c): one keyword at an internal node (a title), the other in a
+/// leaf below it.
+#[test]
+fn keyword_at_internal_node() {
+    let mut b = DocumentBuilder::new();
+    b.begin("sec"); // 0
+    b.text("k1");
+    b.leaf("p", "k2"); // 1
+    b.leaf("p", "filler"); // 2
+    b.end();
+    let d = b.finish().unwrap();
+    assert!(target_found(&d, &[0, 1]));
+}
+
+/// Pattern (d): keywords in leaves of different subsections — the target
+/// spans both subsections through their common section.
+#[test]
+fn keywords_across_subtrees() {
+    let mut b = DocumentBuilder::new();
+    b.begin("sec"); // 0
+    b.begin("sub"); // 1
+    b.leaf("p", "k1"); // 2
+    b.end();
+    b.begin("sub"); // 3
+    b.leaf("p", "k2"); // 4
+    b.end();
+    b.end();
+    let d = b.finish().unwrap();
+    assert!(target_found(&d, &[0, 1, 2, 3, 4]));
+}
+
+/// Pattern (e): a keyword occurring on *both* sides — every combination
+/// is an answer, including the one-sided small fragments.
+#[test]
+fn repeated_keyword_occurrences() {
+    let mut b = DocumentBuilder::new();
+    b.begin("sec"); // 0
+    b.leaf("p", "k1 k2"); // 1
+    b.leaf("p", "k1"); // 2
+    b.end();
+    let d = b.finish().unwrap();
+    assert!(target_found(&d, &[1]));
+    assert!(target_found(&d, &[0, 1, 2]));
+}
+
+/// The paper's headline contrast (§1): the smallest-subtree answer is n17
+/// alone, but the model also produces the self-contained ⟨n16,n17,n18⟩ —
+/// and the SLCA baseline cannot.
+#[test]
+fn figure1_target_beyond_smallest_subtree() {
+    use xfrag::baseline::slca;
+    use xfrag::corpus::figure1;
+    let fig = figure1();
+    let d = &fig.doc;
+    let idx = InvertedIndex::build(d);
+    let terms = vec!["xquery".to_string(), "optimization".to_string()];
+    let roots = slca(d, &idx, &terms);
+    assert_eq!(roots, vec![NodeId(17)], "SLCA answers n17 only");
+    assert!(query_finds(d, ["xquery", "optimization"], &[16, 17, 18]));
+}

@@ -1,0 +1,56 @@
+//! Ranking over the paper's example: deterministic ordering of the
+//! Table 1 answer set, and the rank/overlap/snippet presentation pipeline
+//! end to end.
+
+use xfrag::core::rank::{rank, top_k, RankConfig};
+use xfrag::core::snippet::{snippet, SnippetConfig};
+use xfrag::core::{evaluate, overlap, FilterExpr, Query, Strategy};
+use xfrag::corpus::figure1;
+use xfrag::doc::{InvertedIndex, NodeId};
+
+#[test]
+fn figure1_answers_rank_deterministically() {
+    let fig = figure1();
+    let d = &fig.doc;
+    let idx = InvertedIndex::build(d);
+    let q = Query::new(["xquery", "optimization"], FilterExpr::MaxSize(3));
+    let r = evaluate(d, &idx, &q, Strategy::PushDown).unwrap();
+    assert_eq!(r.fragments.len(), 4);
+
+    let ranked = rank(d, &r.fragments, &q.terms, &RankConfig::default());
+    assert_eq!(ranked.len(), 4);
+    assert!(ranked.windows(2).all(|w| w[0].score >= w[1].score));
+    // ⟨n17⟩ carries both terms in one node — compactness + coverage put it
+    // first under default weights.
+    assert_eq!(ranked[0].fragment.nodes(), &[NodeId(17)]);
+    // Repeatable.
+    let again = rank(d, &r.fragments, &q.terms, &RankConfig::default());
+    assert_eq!(ranked, again);
+
+    // top_k truncates consistently with rank.
+    let top2 = top_k(d, &r.fragments, &q.terms, &RankConfig::default(), 2);
+    assert_eq!(top2.as_slice(), &ranked[..2]);
+}
+
+#[test]
+fn presentation_pipeline() {
+    let fig = figure1();
+    let d = &fig.doc;
+    let idx = InvertedIndex::build(d);
+    let q = Query::new(["xquery", "optimization"], FilterExpr::MaxSize(3));
+    let r = evaluate(d, &idx, &q, Strategy::PushDown).unwrap();
+
+    // Hide overlaps, rank what remains, snippet the winner.
+    let maximal = overlap::maximal_only(&r.fragments);
+    assert_eq!(maximal.len(), 1);
+    let ranked = rank(d, &maximal, &q.terms, &RankConfig::default());
+    let best = &ranked[0].fragment;
+    assert_eq!(
+        best.nodes(),
+        &[NodeId(16), NodeId(17), NodeId(18)],
+        "the paper's fragment of interest"
+    );
+    let s = snippet(d, best, &q.terms, &SnippetConfig::default());
+    assert!(s.contains("[XQuery]"), "{s}");
+    assert!(s.to_lowercase().contains("[optimization"), "{s}");
+}

@@ -1,0 +1,94 @@
+//! Moderate-scale sanity tests: the engine on documents one to two
+//! orders of magnitude larger than the paper's example. These stay fast
+//! enough for the default test run; the `#[ignore]`d ones push further
+//! and run with `cargo test -- --ignored`.
+
+use xfrag::core::{evaluate, FilterExpr, Query, Strategy};
+use xfrag::corpus::docgen::{generate, DocGenConfig};
+use xfrag::doc::InvertedIndex;
+
+fn fixture(nodes: usize, df: usize, seed: u64) -> (xfrag::doc::Document, InvertedIndex) {
+    let cfg = DocGenConfig { seed, ..DocGenConfig::default() }
+        .with_approx_nodes(nodes)
+        .plant_near("needleone", "needletwo", 1)
+        .plant("needleone", df.saturating_sub(1))
+        .plant("needletwo", df.saturating_sub(1));
+    let doc = generate(&cfg);
+    let idx = InvertedIndex::build(&doc);
+    (doc, idx)
+}
+
+#[test]
+fn ten_thousand_nodes_under_filter() {
+    let (doc, idx) = fixture(10_000, 8, 21);
+    let q = Query::new(["needleone", "needletwo"], FilterExpr::MaxSize(4));
+    let push = evaluate(&doc, &idx, &q, Strategy::PushDown).unwrap();
+    let naive = evaluate(&doc, &idx, &q, Strategy::FixedPointNaive).unwrap();
+    assert_eq!(push.fragments, naive.fragments);
+    assert!(!push.fragments.is_empty());
+    // Push-down's join work stays small even at this scale.
+    assert!(push.stats.joins < naive.stats.joins / 5);
+    // Answers respect the filter.
+    for f in push.fragments.iter() {
+        assert!(f.size() <= 4);
+    }
+}
+
+#[test]
+fn deep_chain_document() {
+    // A pathological 3000-deep chain (recursion-free code paths only).
+    let mut b = xfrag::doc::DocumentBuilder::new();
+    for i in 0..3_000 {
+        b.begin(format!("lvl{i}"));
+    }
+    b.text("needleone needletwo");
+    for _ in 0..3_000 {
+        b.end();
+    }
+    let doc = b.finish().unwrap();
+    let idx = InvertedIndex::build(&doc);
+    let q = Query::new(["needleone", "needletwo"], FilterExpr::MaxSize(2));
+    let r = evaluate(&doc, &idx, &q, Strategy::PushDown).unwrap();
+    assert_eq!(r.fragments.len(), 1);
+    assert_eq!(r.fragments.iter().next().unwrap().size(), 1);
+}
+
+#[test]
+fn wide_star_document() {
+    // 5000 siblings; the two needles in two of them.
+    let mut b = xfrag::doc::DocumentBuilder::new();
+    b.begin("root");
+    for i in 0..5_000 {
+        b.leaf("p", if i == 17 { "needleone" } else if i == 4_200 { "needletwo" } else { "x" });
+    }
+    b.end();
+    let doc = b.finish().unwrap();
+    let idx = InvertedIndex::build(&doc);
+    let q = Query::new(["needleone", "needletwo"], FilterExpr::True);
+    let r = evaluate(&doc, &idx, &q, Strategy::FixedPointReduced).unwrap();
+    // Single answer: the two leaves plus the root.
+    assert_eq!(r.fragments.len(), 1);
+    assert_eq!(r.fragments.iter().next().unwrap().size(), 3);
+}
+
+#[test]
+#[ignore = "heavy: ~100k nodes; run with cargo test -- --ignored"]
+fn hundred_thousand_nodes() {
+    let (doc, idx) = fixture(100_000, 12, 33);
+    assert!(doc.len() > 50_000);
+    let q = Query::new(["needleone", "needletwo"], FilterExpr::MaxSize(4));
+    let r = evaluate(&doc, &idx, &q, Strategy::PushDown).unwrap();
+    assert!(!r.fragments.is_empty());
+}
+
+#[test]
+#[ignore = "heavy: relational engine on 20k nodes; run with cargo test -- --ignored"]
+fn relational_at_scale() {
+    use xfrag::rel::{encode_document, evaluate_relational};
+    let (doc, idx) = fixture(20_000, 4, 55);
+    let db = encode_document(&doc);
+    let q = Query::new(["needleone", "needletwo"], FilterExpr::MaxSize(4));
+    let native = evaluate(&doc, &idx, &q, Strategy::PushDown).unwrap();
+    let rel = evaluate_relational(&db, &doc, &q).unwrap();
+    assert_eq!(rel, native.fragments);
+}

@@ -1,0 +1,162 @@
+//! Exact reproduction of the paper's **Table 1**: the 11 unique candidate
+//! fragment sets of `F1 ⋈* F2` for the query {XQuery, optimization}
+//! against the Figure 1 document, the fragment each candidate joins to,
+//! which results are duplicates, and which are filtered by `size ≤ 3`.
+
+use xfrag::core::{
+    powerset_join_candidates, select, EvalStats, FilterExpr, Fragment, FragmentSet,
+};
+use xfrag::corpus::figure1;
+use xfrag::doc::{InvertedIndex, NodeId};
+
+fn frag(ns: &[u32]) -> Vec<NodeId> {
+    ns.iter().map(|&n| NodeId(n)).collect()
+}
+
+#[test]
+fn table1_exact() {
+    let fig = figure1();
+    let doc = &fig.doc;
+    let idx = InvertedIndex::build(doc);
+
+    // §4: F1 = σ_{keyword=XQuery}(F), F2 = σ_{keyword=optimization}(F).
+    let f1 = FragmentSet::of_nodes(idx.lookup("xquery").iter().copied());
+    let f2 = FragmentSet::of_nodes(idx.lookup("optimization").iter().copied());
+    assert_eq!(f1.len(), 2, "F1 = {{f17, f18}}");
+    assert_eq!(f2.len(), 3, "F2 = {{f16, f17, f81}}");
+
+    let mut stats = EvalStats::new();
+    let candidates = powerset_join_candidates(doc, &f1, &f2, &mut stats).unwrap();
+
+    // Row 1-11: "our example produces 11 unique pairwise unions
+    // (candidate fragment sets)".
+    assert_eq!(candidates.len(), 11, "Table 1 has 11 candidate sets");
+
+    // The expected (candidate input set → output fragment) mapping, rows
+    // in the paper's order. Inputs are sets of single nodes here.
+    let expected: Vec<(&[u32], &[u32])> = vec![
+        (&[17, 18], &[16, 17, 18]),                              // row 1
+        (&[16, 17], &[16, 17]),                                  // row 2
+        (&[16, 18], &[16, 18]),                                  // row 3
+        (&[17], &[17]),                                          // row 4
+        (&[17, 81], &[0, 1, 14, 16, 17, 79, 80, 81]),            // row 5
+        (&[18, 81], &[0, 1, 14, 16, 18, 79, 80, 81]),            // row 6
+        (&[17, 18, 81], &[0, 1, 14, 16, 17, 18, 79, 80, 81]),    // row 7
+        (&[16, 17, 18], &[16, 17, 18]),                          // row 8 (dup of 1)
+        (&[16, 17, 81], &[0, 1, 14, 16, 17, 79, 80, 81]),        // row 9 (dup of 5)
+        (&[16, 18, 81], &[0, 1, 14, 16, 18, 79, 80, 81]),        // row 10 (dup of 6)
+        (&[16, 17, 18, 81], &[0, 1, 14, 16, 17, 18, 79, 80, 81]), // row 11 (dup of 7)
+    ];
+
+    for (input, output) in &expected {
+        let want_input: Vec<Fragment> = input.iter().map(|&n| Fragment::node(NodeId(n))).collect();
+        let got = candidates
+            .iter()
+            .find(|(cand, _)| *cand == want_input)
+            .unwrap_or_else(|| panic!("candidate {input:?} missing from Table 1 reproduction"));
+        assert_eq!(
+            got.1.nodes(),
+            frag(output).as_slice(),
+            "join result for candidate {input:?}"
+        );
+    }
+
+    // "Among these 11 fragments, only the top seven (No.1-7) are unique.
+    // The last four (No.8-11) are duplicates."
+    let unique = FragmentSet::from_iter(candidates.iter().map(|(_, f)| f.clone()));
+    assert_eq!(unique.len(), 7);
+
+    // "Since our filter is size ≤ 3, only the first four fragments will
+    // remain in the final answer set."
+    let mut st = EvalStats::new();
+    let answer = select(doc, &FilterExpr::MaxSize(3), &unique, &mut st);
+    assert_eq!(answer.len(), 4);
+    for expect in [
+        frag(&[16, 17, 18]),
+        frag(&[16, 17]),
+        frag(&[16, 18]),
+        frag(&[17]),
+    ] {
+        let f = Fragment::from_nodes(doc, expect.iter().copied()).unwrap();
+        assert!(answer.contains(&f), "answer must contain {f}");
+    }
+
+    // "the first fragment represented by ⟨n16,n17,n18⟩ is the fragment of
+    // interest, which we have successfully generated".
+    let target = Fragment::from_nodes(doc, frag(&[16, 17, 18])).unwrap();
+    assert!(answer.contains(&target));
+}
+
+/// §4.2: `⊖(F2) = {f17, f81}` while `F1` is already reduced, so the fixed
+/// points need `F1 ⋈ F1` and `F2 ⋈ F2` respectively; `F1⁺` has 3 members,
+/// `F2⁺` has 6.
+#[test]
+fn section42_set_reduction() {
+    let fig = figure1();
+    let doc = &fig.doc;
+    let idx = InvertedIndex::build(doc);
+    let f1 = FragmentSet::of_nodes(idx.lookup("xquery").iter().copied());
+    let f2 = FragmentSet::of_nodes(idx.lookup("optimization").iter().copied());
+
+    let mut st = EvalStats::new();
+    let r1 = xfrag::core::reduce(doc, &f1, &mut st);
+    let r2 = xfrag::core::reduce(doc, &f2, &mut st);
+    assert_eq!(r1.len(), 2, "F1 is already a reduced set");
+    assert_eq!(r2.len(), 2, "⊖(F2) = {{f17, f81}}");
+    assert!(r2.contains(&Fragment::node(NodeId(17))));
+    assert!(r2.contains(&Fragment::node(NodeId(81))));
+    // n16 is eliminated: n16 ⊆ n17 ⋈ n81 (the path passes through it).
+
+    let p1 = xfrag::core::fixed_point_reduced(doc, &f1, &mut st);
+    let p2 = xfrag::core::fixed_point_reduced(doc, &f2, &mut st);
+    // F1⁺ = {f17, f18, f17⋈f18}.
+    assert_eq!(p1.len(), 3);
+    // F2⁺ = {f16, f17, f81, f16⋈f17, f16⋈f81, f17⋈f81} — f16⋈f17 = ⟨16,17⟩
+    // and f16 ⋈ f81 ≠ f17 ⋈ f81, all six distinct.
+    assert_eq!(p2.len(), 6);
+
+    // Theorem 2 on the example: F1⁺ ⋈ F2⁺ equals the brute-force set.
+    let pairwise = xfrag::core::pairwise_join(doc, &p1, &p2, &mut st);
+    let brute = xfrag::core::powerset_join(doc, &f1, &f2, &mut st).unwrap();
+    assert_eq!(pairwise, brute);
+    assert_eq!(pairwise.len(), 7);
+}
+
+/// §4.3: with the anti-monotonic filter pushed down, `f16 ⋈ f81` (size 7)
+/// is pruned immediately and every join involving it is avoided, yet the
+/// final answer is unchanged.
+#[test]
+fn section43_pushdown_prunes_without_changing_answer() {
+    use xfrag::core::{evaluate, Query, Strategy};
+    let fig = figure1();
+    let doc = &fig.doc;
+    let idx = InvertedIndex::build(doc);
+    let q = Query::new(["XQuery", "optimization"], FilterExpr::MaxSize(3));
+
+    let brute = evaluate(doc, &idx, &q, Strategy::BruteForce).unwrap();
+    let naive = evaluate(doc, &idx, &q, Strategy::FixedPointNaive).unwrap();
+    let push = evaluate(doc, &idx, &q, Strategy::PushDown).unwrap();
+    assert_eq!(brute.fragments, push.fragments);
+    assert_eq!(push.fragments.len(), 4);
+    // Push-down never does *more* join work than brute force, and strictly
+    // beats the unfiltered fixed-point evaluation: the pruned f16 ⋈ f81
+    // (size 7 > β) never participates in later joins. (On this 5-node
+    // example brute force happens to tie push-down at 43 joins — the
+    // filtered fixed point spends its savings on a confirmation round; the
+    // scaling benches show the exponential separation.)
+    assert!(push.stats.joins <= brute.stats.joins);
+    assert!(
+        push.stats.joins < naive.stats.joins,
+        "push-down must perform fewer joins than the unfiltered fixed point ({} vs {})",
+        push.stats.joins,
+        naive.stats.joins
+    );
+    // And the filter visibly pruned intermediates on the way.
+    assert!(push.stats.filter_pruned > 0);
+    // The fragment of interest survives every strategy.
+    let target = Fragment::from_nodes(doc, frag(&[16, 17, 18])).unwrap();
+    for s in Strategy::ALL {
+        let r = evaluate(doc, &idx, &q, s).unwrap();
+        assert!(r.fragments.contains(&target), "{} lost the target", s.name());
+    }
+}
