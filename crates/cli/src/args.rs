@@ -1,7 +1,7 @@
 //! Hand-rolled argument parsing (the workspace deliberately keeps its
 //! dependency set minimal; a CLI parser crate is not on the list).
 
-use xfrag_core::{FilterExpr, Strategy};
+use xfrag_core::{Budget, DegradeMode, FilterExpr, Strategy};
 
 /// Usage text shown on parse errors.
 pub const USAGE: &str = "\
@@ -23,6 +23,14 @@ options:
   --maximal       hide overlapping sub-fragments (show maximal answers only)
   --ids           print node-id lists instead of XML
   --stats         print evaluation statistics
+
+resource limits (see README \"Resource limits & degradation\"):
+  --timeout-ms N     wall-clock budget for the whole evaluation
+  --max-fragments N  cap on intermediate fragments materialized
+  --max-joins N      cap on binary join kernels
+  --degrade M        off | ladder   what to do when a budget trips
+                     (default: ladder — answer with a sound subset from
+                     the cheapest plan the remaining budget affords)
 ";
 
 /// A parsed command line.
@@ -69,6 +77,10 @@ pub struct SearchArgs {
     pub ids: bool,
     /// Print stats after results.
     pub stats: bool,
+    /// Resource limits (all unlimited by default).
+    pub budget: Budget,
+    /// What to do when a budget trips.
+    pub degrade: DegradeMode,
 }
 
 fn parse_u32(flag: &str, v: Option<&String>) -> Result<u32, String> {
@@ -120,6 +132,8 @@ fn parse_search(rest: &[String]) -> Result<SearchArgs, String> {
     let mut maximal = false;
     let mut ids = false;
     let mut stats = false;
+    let mut budget = Budget::unlimited();
+    let mut degrade = DegradeMode::Ladder;
 
     let mut i = 0;
     while i < rest.len() {
@@ -144,6 +158,25 @@ fn parse_search(rest: &[String]) -> Result<SearchArgs, String> {
             "--strategy" => {
                 let v = rest.get(i + 1).ok_or("--strategy needs a value")?;
                 strategy = v.parse::<Strategy>()?;
+                i += 1;
+            }
+            "--timeout-ms" => {
+                let ms = parse_u32("--timeout-ms", rest.get(i + 1))?;
+                budget.wall_clock = Some(std::time::Duration::from_millis(ms as u64));
+                i += 1;
+            }
+            "--max-fragments" => {
+                budget.max_fragments =
+                    Some(parse_u32("--max-fragments", rest.get(i + 1))? as u64);
+                i += 1;
+            }
+            "--max-joins" => {
+                budget.max_joins = Some(parse_u32("--max-joins", rest.get(i + 1))? as u64);
+                i += 1;
+            }
+            "--degrade" => {
+                let v = rest.get(i + 1).ok_or("--degrade needs a value")?;
+                degrade = v.parse::<DegradeMode>()?;
                 i += 1;
             }
             "--strict" => strict = true,
@@ -175,6 +208,8 @@ fn parse_search(rest: &[String]) -> Result<SearchArgs, String> {
         maximal,
         ids,
         stats,
+        budget,
+        degrade,
     })
 }
 
@@ -251,6 +286,36 @@ mod tests {
         assert!(parse(&argv("search d.xml k --frobnicate")).is_err());
         assert!(parse(&argv("info")).is_err());
         assert!(parse(&argv("info a.xml extra")).is_err());
+    }
+
+    #[test]
+    fn parse_budget_flags() {
+        let cmd = parse(&argv(
+            "search d.xml k --timeout-ms 250 --max-fragments 1000 --max-joins 5000 --degrade off",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Search(a) => {
+                assert_eq!(
+                    a.budget.wall_clock,
+                    Some(std::time::Duration::from_millis(250))
+                );
+                assert_eq!(a.budget.max_fragments, Some(1000));
+                assert_eq!(a.budget.max_joins, Some(5000));
+                assert_eq!(a.degrade, DegradeMode::Off);
+            }
+            _ => unreachable!(),
+        }
+        // Defaults: unlimited budget, ladder degradation.
+        match parse(&argv("search d.xml k")).unwrap() {
+            Command::Search(a) => {
+                assert!(!a.budget.is_limited());
+                assert_eq!(a.degrade, DegradeMode::Ladder);
+            }
+            _ => unreachable!(),
+        }
+        assert!(parse(&argv("search d.xml k --timeout-ms")).is_err());
+        assert!(parse(&argv("search d.xml k --degrade maybe")).is_err());
     }
 
     #[test]

@@ -4,9 +4,11 @@
 use crate::args::{Command, SearchArgs};
 use std::fmt::Write as _;
 use xfrag_core::cost::CostModel;
-use xfrag_core::plan::execute;
-use xfrag_core::{evaluate, overlap, EvalStats, LogicalPlan, Optimizer, Query};
-use xfrag_core::collection::{evaluate_collection, top_k_collection};
+use xfrag_core::plan::execute_governed;
+use xfrag_core::{
+    evaluate_budgeted, overlap, EvalStats, ExecPolicy, Governor, LogicalPlan, Optimizer, Query,
+};
+use xfrag_core::collection::{evaluate_collection_budgeted, top_k_collection, CollectionResult};
 use xfrag_core::rank::RankConfig;
 use xfrag_core::snippet::{snippet, SnippetConfig};
 use xfrag_doc::serialize::{fragment_to_xml, WriteOptions};
@@ -74,7 +76,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
 fn load(path: &str) -> Result<Document, CliError> {
     if path.ends_with(".xfrg") {
         let bytes = std::fs::read(path).map_err(|e| CliError::Io(path.to_string(), e))?;
-        return store::decode(&bytes.into()).map_err(CliError::Store);
+        return store::decode(&bytes).map_err(CliError::Store);
     }
     let text =
         std::fs::read_to_string(path).map_err(|e| CliError::Io(path.to_string(), e))?;
@@ -104,7 +106,7 @@ fn load_dir(dir: &str) -> Result<Collection, CliError> {
 /// `xfrag msearch`.
 pub fn multi_search(coll: &Collection, a: &SearchArgs) -> Result<String, CliError> {
     let q = build_query(a);
-    let r = evaluate_collection(coll, &q, a.strategy)
+    let r = evaluate_collection_budgeted(coll, &q, a.strategy, &exec_policy(a))
         .map_err(|e| CliError::Query(e.to_string()))?;
     let mut out = String::new();
     writeln!(
@@ -117,7 +119,24 @@ pub fn multi_search(coll: &Collection, a: &SearchArgs) -> Result<String, CliErro
         a.keywords
     )
     .unwrap();
-    let top = top_k_collection(coll, &r, &q, &RankConfig::default(), 10);
+    if r.docs_skipped > 0 {
+        writeln!(
+            out,
+            "note: collection budget exhausted — {} candidate document(s) skipped",
+            r.docs_skipped
+        )
+        .unwrap();
+    }
+    for (id, d) in &r.degraded_docs {
+        writeln!(out, "note: {} {}", coll.name(*id), d).unwrap();
+    }
+    // Ranking operates on the (possibly partial) answers.
+    let ranked = CollectionResult {
+        answers: r.answers.clone(),
+        docs_pruned: r.docs_pruned,
+        stats: r.stats,
+    };
+    let top = top_k_collection(coll, &ranked, &q, &RankConfig::default(), 10);
     for (i, (doc_id, f, score)) in top.iter().enumerate() {
         if a.ids {
             writeln!(
@@ -162,12 +181,16 @@ fn build_query(a: &SearchArgs) -> Query {
     q
 }
 
+fn exec_policy(a: &SearchArgs) -> ExecPolicy {
+    ExecPolicy::with_budget(a.budget).with_degrade(a.degrade)
+}
+
 /// `xfrag search`.
 pub fn search(doc: &Document, a: &SearchArgs) -> Result<String, CliError> {
     let index = InvertedIndex::build(doc);
     let q = build_query(a);
-    let result =
-        evaluate(doc, &index, &q, a.strategy).map_err(|e| CliError::Query(e.to_string()))?;
+    let result = evaluate_budgeted(doc, &index, &q, a.strategy, &exec_policy(a))
+        .map_err(|e| CliError::Query(e.to_string()))?;
     let answers = if a.maximal {
         overlap::maximal_only(&result.fragments)
     } else {
@@ -183,6 +206,9 @@ pub fn search(doc: &Document, a: &SearchArgs) -> Result<String, CliError> {
         a.strategy.name()
     )
     .unwrap();
+    if result.degradation.is_degraded() {
+        writeln!(out, "note: {}", result.degradation).unwrap();
+    }
     for (i, f) in answers.iter().enumerate() {
         if a.ids {
             writeln!(out, "[{}] {}", i + 1, f).unwrap();
@@ -215,9 +241,16 @@ pub fn explain(doc: &Document, a: &SearchArgs) -> Result<String, CliError> {
         writeln!(out, "== {stage} ==").unwrap();
         out.push_str(&p.render());
         let mut st = EvalStats::new();
-        match execute(&p, doc, &index, &mut st) {
+        // Stage executions honor the user's budget too: un-optimized
+        // stages can be the very blow-up the optimizer exists to avoid
+        // (the pre-push-down fixpoint of a wide operand set is as large
+        // as the powerset), and EXPLAIN must never stall on them.
+        let gov = Governor::new(a.budget, None);
+        match execute_governed(&p, doc, &index, &mut st, &gov) {
             Ok(set) => writeln!(out, "-> {} fragment(s), {}\n", set.len(), st).unwrap(),
-            Err(e) => writeln!(out, "-> not executable at this stage: {e}\n").unwrap(),
+            Err(breach) => {
+                writeln!(out, "-> not executable at this stage ({breach})\n").unwrap()
+            }
         }
     }
     for (term, a_len, b_len) in
@@ -230,6 +263,30 @@ pub fn explain(doc: &Document, a: &SearchArgs) -> Result<String, CliError> {
         };
         writeln!(out, "operand {term:?}: |F| = {a_len}, |⊖(F)| = {b_len}, RF = {rf:.2}")
             .unwrap();
+    }
+    // Budget checkpoints: re-run the fully optimized plan under a governor
+    // for the configured budget and report where governance would bite.
+    let plan = LogicalPlan::for_query(&q).map_err(|e| CliError::Query(e.to_string()))?;
+    let optimized = Optimizer::standard(doc, &index, CostModel::default()).optimize(plan);
+    let gov = Governor::new(a.budget, None);
+    let mut st = EvalStats::new();
+    match execute_governed(&optimized, doc, &index, &mut st, &gov) {
+        Ok(set) => writeln!(
+            out,
+            "budget: {} checkpoint(s) passed, {} join(s) charged, {} fragment(s) within budget",
+            gov.checkpoints_passed(),
+            gov.joins_spent(),
+            set.len()
+        )
+        .unwrap(),
+        Err(breach) => writeln!(
+            out,
+            "budget: tripped ({breach}) after {} checkpoint(s), {} join(s) — \
+             `search --degrade ladder` would fall back to a cheaper plan",
+            gov.checkpoints_passed(),
+            gov.joins_spent()
+        )
+        .unwrap(),
     }
     Ok(out)
 }
@@ -266,6 +323,8 @@ pub fn demo() -> String {
         maximal: false,
         ids: true,
         stats: true,
+        budget: xfrag_core::Budget::unlimited(),
+        degrade: xfrag_core::DegradeMode::Ladder,
     };
     let mut out = String::from(
         "Paper §4 example: query {XQuery, optimization}, filter size ≤ 3,\n\
@@ -291,6 +350,8 @@ mod tests {
             maximal: false,
             ids: true,
             stats: false,
+            budget: xfrag_core::Budget::unlimited(),
+            degrade: xfrag_core::DegradeMode::Ladder,
         }
     }
 
@@ -357,6 +418,29 @@ mod tests {
     }
 
     #[test]
+    fn search_degrades_under_tight_budget_instead_of_failing() {
+        let mut a = args(&["xml"], FilterExpr::True);
+        a.budget.max_joins = Some(0);
+        let out = search(&doc(), &a).unwrap();
+        assert!(out.contains("note: degraded to"), "{out}");
+        // With --degrade off the same budget is a hard error.
+        a.degrade = xfrag_core::DegradeMode::Off;
+        let err = search(&doc(), &a).unwrap_err();
+        assert!(err.to_string().contains("budget exceeded"), "{err}");
+    }
+
+    #[test]
+    fn explain_annotates_budget_checkpoints() {
+        let out = explain(&doc(), &args(&["xml", "search"], FilterExpr::MaxSize(2))).unwrap();
+        assert!(out.contains("budget:"), "{out}");
+        assert!(out.contains("checkpoint(s) passed"), "{out}");
+        let mut a = args(&["xml", "search"], FilterExpr::MaxSize(2));
+        a.budget.max_joins = Some(0);
+        let out = explain(&doc(), &a).unwrap();
+        assert!(out.contains("budget: tripped"), "{out}");
+    }
+
+    #[test]
     fn stats_flag_prints_counters() {
         let mut a = args(&["xml"], FilterExpr::True);
         a.stats = true;
@@ -381,6 +465,8 @@ mod multi_tests {
             maximal: false,
             ids: true,
             stats: true,
+            budget: xfrag_core::Budget::unlimited(),
+            degrade: xfrag_core::DegradeMode::Ladder,
         }
     }
 

@@ -7,7 +7,8 @@
 //! per-document groups, and ranking can be applied across the whole
 //! result stream.
 
-use crate::query::{evaluate, Query, QueryError, Strategy};
+use crate::budget::{Breach, DegradeMode, Degradation, ExecPolicy, Governor};
+use crate::query::{evaluate, evaluate_budgeted, Query, QueryError, Strategy};
 use crate::rank::{score, RankConfig};
 use crate::stats::EvalStats;
 use crate::Fragment;
@@ -69,7 +70,7 @@ pub fn evaluate_collection(
 }
 
 /// Evaluate a collection query with document-level parallelism: candidate
-/// documents are sharded across `threads` crossbeam workers (fragments
+/// documents are sharded across `threads` scoped workers (fragments
 /// never span documents, so shards are independent). Results are merged
 /// in document order — output is identical to [`evaluate_collection`],
 /// which a unit test and the bench harness both verify.
@@ -92,11 +93,11 @@ pub fn evaluate_collection_parallel(
     let threads = threads.min(candidates.len());
     let chunk = candidates.len().div_ceil(threads);
     let mut shard_results: Vec<Result<(Vec<DocAnswers>, EvalStats), QueryError>> = Vec::new();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = candidates
             .chunks(chunk)
             .map(|shard| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut answers = Vec::new();
                     let mut stats = EvalStats::new();
                     for &id in shard {
@@ -114,10 +115,15 @@ pub fn evaluate_collection_parallel(
             })
             .collect();
         for h in handles {
-            shard_results.push(h.join().expect("collection worker panicked"));
+            match h.join() {
+                Ok(r) => shard_results.push(r),
+                // invariant: worker closures return all evaluation errors
+                // as values; resume propagates a hypothetical panic
+                // instead of swallowing it.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
-    })
-    .expect("crossbeam scope");
+    });
 
     let mut out = CollectionResult {
         docs_pruned,
@@ -129,6 +135,109 @@ pub fn evaluate_collection_parallel(
         out.answers.extend(answers);
     }
     out.answers.sort_by_key(|a| a.doc);
+    Ok(out)
+}
+
+/// The outcome of a budgeted collection query.
+#[derive(Debug, Clone, Default)]
+pub struct BudgetedCollectionResult {
+    /// Per-document answers, in document-id order; documents with no
+    /// answers are omitted.
+    pub answers: Vec<DocAnswers>,
+    /// Documents skipped because some query term never occurs in them.
+    pub docs_pruned: usize,
+    /// Candidate documents never evaluated because the whole-collection
+    /// budget ran out first.
+    pub docs_skipped: usize,
+    /// Documents whose answers came from a degraded ladder rung, with the
+    /// per-document degradation report.
+    pub degraded_docs: Vec<(DocId, Degradation)>,
+    /// Aggregated operation counters.
+    pub stats: EvalStats,
+}
+
+impl BudgetedCollectionResult {
+    /// Total number of answer fragments across documents.
+    pub fn total_fragments(&self) -> usize {
+        self.answers.iter().map(|a| a.fragments.len()).sum()
+    }
+
+    /// Whether any part of the result is less than exact: a degraded
+    /// per-document answer or candidate documents never reached.
+    pub fn is_degraded(&self) -> bool {
+        self.docs_skipped > 0 || !self.degraded_docs.is_empty()
+    }
+}
+
+/// Evaluate a collection query under an [`ExecPolicy`].
+///
+/// Two budget scopes compose here:
+///
+/// * A **whole-collection** governor enforces the wall-clock deadline and
+///   cancellation across documents: it is checkpointed before each
+///   candidate document, and once it trips, the remaining candidates are
+///   skipped (counted in
+///   [`BudgetedCollectionResult::docs_skipped`]) rather than evaluated —
+///   documents are independent, so the partial result is still a sound
+///   subset of the exact collection answer.
+/// * Each document then runs the full degradation ladder via
+///   [`evaluate_budgeted`], with the policy's per-document resource caps
+///   and whatever wall-clock the collection budget has left.
+///
+/// Cancellation aborts with [`QueryError::Cancelled`]; any other breach
+/// with [`DegradeMode::Off`] aborts with [`QueryError::BudgetExceeded`].
+pub fn evaluate_collection_budgeted(
+    collection: &Collection,
+    query: &Query,
+    strategy: Strategy,
+    policy: &ExecPolicy,
+) -> Result<BudgetedCollectionResult, QueryError> {
+    if query.terms.is_empty() {
+        return Err(QueryError::NoTerms);
+    }
+    let gov = Governor::new(policy.budget, policy.cancel.clone());
+    let candidates: Vec<DocId> = collection.candidate_docs(&query.terms).collect();
+    let mut out = BudgetedCollectionResult {
+        docs_pruned: collection.len() - candidates.len(),
+        ..Default::default()
+    };
+    for (i, &id) in candidates.iter().enumerate() {
+        match gov.checkpoint() {
+            Ok(()) => {}
+            Err(Breach::Cancelled) => return Err(QueryError::Cancelled),
+            Err(breach) => {
+                if policy.degrade == DegradeMode::Off {
+                    return Err(QueryError::BudgetExceeded(breach));
+                }
+                out.docs_skipped = candidates.len() - i;
+                break;
+            }
+        }
+        // Per-document policy: the same resource caps, but only the
+        // wall-clock the collection budget has left.
+        let mut per_doc = policy.clone();
+        if let Some(total) = policy.budget.wall_clock {
+            per_doc.budget.wall_clock = Some(total.saturating_sub(gov.elapsed()));
+        }
+        let r = evaluate_budgeted(
+            collection.doc(id),
+            collection.index(id),
+            query,
+            strategy,
+            &per_doc,
+        )?;
+        out.stats += r.stats;
+        if r.degradation.is_degraded() {
+            out.degraded_docs.push((id, r.degradation.clone()));
+        }
+        if !r.fragments.is_empty() {
+            out.answers.push(DocAnswers {
+                doc: id,
+                fragments: r.fragments.iter().cloned().collect(),
+            });
+        }
+    }
+    out.stats.budget_checkpoints += gov.checkpoints_passed();
     Ok(out)
 }
 

@@ -172,6 +172,7 @@ impl FilterExpr {
         }
         match out.len() {
             0 => FilterExpr::True,
+            // invariant: len() == 1, so pop() yields the sole element.
             1 => out.pop().unwrap(),
             _ => FilterExpr::And(out),
         }
@@ -188,6 +189,7 @@ impl FilterExpr {
         }
         match out.len() {
             0 => FilterExpr::True,
+            // invariant: len() == 1, so pop() yields the sole element.
             1 => out.pop().unwrap(),
             _ => FilterExpr::Or(out),
         }
@@ -250,6 +252,8 @@ pub fn diameter(doc: &Document, f: &Fragment) -> u32 {
         doc.depth(a) + doc.depth(b) - 2 * doc.depth(l)
     };
     let root = f.root();
+    // invariant: Fragment construction rejects empty node sets, so the
+    // iterator always yields a maximum.
     let a = f
         .iter()
         .max_by_key(|&n| dist(root, n))

@@ -16,10 +16,23 @@
 //! finite universe, so the fixed point always exists and the naive loop
 //! terminates.
 
-use crate::join::{fragment_join, pairwise_join};
+use crate::budget::{Breach, Governor};
+use crate::join::{fragment_join, pairwise_join, pairwise_join_governed};
 use crate::set::FragmentSet;
 use crate::stats::EvalStats;
 use xfrag_doc::Document;
+
+// invariant (used by every ungoverned wrapper below): an unlimited
+// governor has no limits, no deadline and no cancel token, so no charge
+// can ever breach.
+macro_rules! ungoverned {
+    ($e:expr) => {
+        match $e {
+            Ok(out) => out,
+            Err(_) => unreachable!("unlimited governor breached"),
+        }
+    };
+}
 
 /// How a fixed point should be computed — the choice §3.1 is about.
 #[derive(
@@ -40,17 +53,34 @@ pub enum FixpointMode {
 /// the chain is increasing (every element of `H` survives via idempotent
 /// self-joins), `|H|` unchanged ⇔ `H` unchanged.
 pub fn fixed_point_naive(doc: &Document, f: &FragmentSet, stats: &mut EvalStats) -> FragmentSet {
+    ungoverned!(fixed_point_naive_governed(
+        doc,
+        f,
+        stats,
+        &Governor::unlimited()
+    ))
+}
+
+/// [`fixed_point_naive`] under a [`Governor`]: a budget checkpoint runs
+/// before every round, and every pairwise join inside a round is charged.
+pub fn fixed_point_naive_governed(
+    doc: &Document,
+    f: &FragmentSet,
+    stats: &mut EvalStats,
+    gov: &Governor,
+) -> Result<FragmentSet, Breach> {
     if f.is_empty() {
-        return FragmentSet::new();
+        return Ok(FragmentSet::new());
     }
     let mut h = f.clone();
     loop {
+        gov.checkpoint()?;
         stats.fixpoint_iterations += 1;
-        let next = pairwise_join(doc, &h, f, stats);
+        let next = pairwise_join_governed(doc, &h, f, stats, gov)?;
         let next = next.union(&h);
         stats.fixpoint_checks += 1;
         if next.len() == h.len() {
-            return h;
+            return Ok(h);
         }
         h = next;
     }
@@ -64,15 +94,27 @@ pub fn fixed_point_naive(doc: &Document, f: &FragmentSet, stats: &mut EvalStats)
 /// quantified. Pairs are enumerated once (f', f'' unordered) since `⋈` is
 /// commutative.
 pub fn reduce(doc: &Document, f: &FragmentSet, stats: &mut EvalStats) -> FragmentSet {
+    ungoverned!(reduce_governed(doc, f, stats, &Governor::unlimited()))
+}
+
+/// [`reduce`] under a [`Governor`]: `⊖` is O(|F|³), so a checkpoint runs
+/// per candidate fragment and every inner join is charged.
+pub fn reduce_governed(
+    doc: &Document,
+    f: &FragmentSet,
+    stats: &mut EvalStats,
+    gov: &Governor,
+) -> Result<FragmentSet, Breach> {
     let frags = f.as_slice();
     let n = frags.len();
     if n <= 2 {
         // "For |F| <= 2 the proof is trivial, since for any fragment set to
         // be reduced, the set should contain at least three elements."
-        return f.clone();
+        return Ok(f.clone());
     }
     let mut keep = FragmentSet::new();
     'cand: for (ci, cand) in frags.iter().enumerate() {
+        gov.checkpoint()?;
         for i in 0..n {
             if i == ci {
                 continue;
@@ -82,6 +124,7 @@ pub fn reduce(doc: &Document, f: &FragmentSet, stats: &mut EvalStats) -> Fragmen
                     continue;
                 }
                 stats.reduce_checks += 1;
+                gov.charge_join((frags[i].size() + frags[j].size()) as u64)?;
                 let joined = fragment_join(doc, &frags[i], &frags[j], stats);
                 if cand.is_subfragment_of(&joined) {
                     continue 'cand; // eliminated
@@ -90,7 +133,7 @@ pub fn reduce(doc: &Document, f: &FragmentSet, stats: &mut EvalStats) -> Fragmen
         }
         keep.insert(cand.clone());
     }
-    keep
+    Ok(keep)
 }
 
 /// The reduction factor `RF = (a − b) / a` of §5, where `a = |F|` and
@@ -133,29 +176,47 @@ pub fn reduction_factor(doc: &Document, f: &FragmentSet, stats: &mut EvalStats) 
 /// saving of per-round checks is preserved exactly where the paper
 /// applies it.
 pub fn fixed_point_reduced(doc: &Document, f: &FragmentSet, stats: &mut EvalStats) -> FragmentSet {
+    ungoverned!(fixed_point_reduced_governed(
+        doc,
+        f,
+        stats,
+        &Governor::unlimited()
+    ))
+}
+
+/// [`fixed_point_reduced`] under a [`Governor`]: the `⊖` precomputation,
+/// every unchecked round and the safety/fallback rounds are all governed.
+pub fn fixed_point_reduced_governed(
+    doc: &Document,
+    f: &FragmentSet,
+    stats: &mut EvalStats,
+    gov: &Governor,
+) -> Result<FragmentSet, Breach> {
     if f.is_empty() {
-        return FragmentSet::new();
+        return Ok(FragmentSet::new());
     }
-    let k = reduce(doc, f, stats).len();
+    let k = reduce_governed(doc, f, stats, gov)?.len();
     let mut h = f.clone();
     for _ in 1..k {
+        gov.checkpoint()?;
         stats.fixpoint_iterations += 1;
-        h = pairwise_join(doc, &h, f, stats).union(&h);
+        h = pairwise_join_governed(doc, &h, f, stats, gov)?.union(&h);
     }
     // Single safety check (see the soundness note above).
     stats.fixpoint_checks += 1;
-    let verify = pairwise_join(doc, &h, f, stats).union(&h);
+    let verify = pairwise_join_governed(doc, &h, f, stats, gov)?.union(&h);
     if verify.len() == h.len() {
-        return h;
+        return Ok(h);
     }
     // General-set fallback: continue with checked iteration.
     h = verify;
     loop {
+        gov.checkpoint()?;
         stats.fixpoint_iterations += 1;
-        let next = pairwise_join(doc, &h, f, stats).union(&h);
+        let next = pairwise_join_governed(doc, &h, f, stats, gov)?.union(&h);
         stats.fixpoint_checks += 1;
         if next.len() == h.len() {
-            return h;
+            return Ok(h);
         }
         h = next;
     }
@@ -171,6 +232,20 @@ pub fn fixed_point(
     match mode {
         FixpointMode::Naive => fixed_point_naive(doc, f, stats),
         FixpointMode::Reduced => fixed_point_reduced(doc, f, stats),
+    }
+}
+
+/// [`fixed_point`] under a [`Governor`].
+pub fn fixed_point_governed(
+    doc: &Document,
+    f: &FragmentSet,
+    mode: FixpointMode,
+    stats: &mut EvalStats,
+    gov: &Governor,
+) -> Result<FragmentSet, Breach> {
+    match mode {
+        FixpointMode::Naive => fixed_point_naive_governed(doc, f, stats, gov),
+        FixpointMode::Reduced => fixed_point_reduced_governed(doc, f, stats, gov),
     }
 }
 

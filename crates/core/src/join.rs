@@ -13,6 +13,7 @@
 //!   against which Theorem 2's fixed-point rewrite is property-tested, and
 //!   the paper's §4.1 "brute force" strategy.
 
+use crate::budget::{Breach, Governor};
 use crate::fragment::Fragment;
 use crate::set::FragmentSet;
 use crate::stats::EvalStats;
@@ -138,6 +139,9 @@ pub fn fragment_join_many<'a>(
         let mut x = f.root();
         while x != lca {
             nodes.push(x);
+            // invariant: x != lca and lca is an ancestor of x (it is the
+            // common LCA of all roots), so x cannot be the document root
+            // and always has a parent.
             x = doc.parent(x).expect("non-root on path to LCA");
         }
     }
@@ -154,17 +158,36 @@ pub fn pairwise_join(
     f2: &FragmentSet,
     stats: &mut EvalStats,
 ) -> FragmentSet {
+    match pairwise_join_governed(doc, f1, f2, stats, &Governor::unlimited()) {
+        Ok(out) => out,
+        // invariant: an unlimited governor has no limits, no deadline and
+        // no cancel token, so no charge can ever breach.
+        Err(_) => unreachable!("unlimited governor breached"),
+    }
+}
+
+/// [`pairwise_join`] under a [`Governor`]: every join kernel is charged,
+/// and the loop aborts with the breach as soon as the budget trips.
+pub fn pairwise_join_governed(
+    doc: &Document,
+    f1: &FragmentSet,
+    f2: &FragmentSet,
+    stats: &mut EvalStats,
+    gov: &Governor,
+) -> Result<FragmentSet, Breach> {
     let mut out = FragmentSet::new();
     for a in f1.iter() {
         for b in f2.iter() {
+            gov.charge_join((a.size() + b.size()) as u64)?;
             let j = fragment_join(doc, a, b, stats);
+            gov.charge_fragments(1)?;
             stats.fragments_emitted += 1;
             if !out.insert(j) {
                 stats.duplicates_collapsed += 1;
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Inputs larger than this are rejected by [`powerset_join`]: the literal
@@ -203,10 +226,34 @@ pub fn powerset_join(
             return Err(PowersetTooLarge { len: s.len() });
         }
     }
+    match powerset_join_governed(doc, f1, f2, stats, &Governor::unlimited()) {
+        Ok(out) => Ok(out),
+        // invariant: operand sizes were checked above and an unlimited
+        // governor cannot breach.
+        Err(_) => unreachable!("unlimited governor breached"),
+    }
+}
+
+/// [`powerset_join`] under a [`Governor`]. Size violations surface as
+/// [`Breach::PowersetLimit`] so the degradation ladder can treat an
+/// over-large literal enumeration like any other exhausted budget.
+pub fn powerset_join_governed(
+    doc: &Document,
+    f1: &FragmentSet,
+    f2: &FragmentSet,
+    stats: &mut EvalStats,
+    gov: &Governor,
+) -> Result<FragmentSet, Breach> {
+    for s in [f1, f2] {
+        if s.len() > POWERSET_LIMIT {
+            return Err(Breach::PowersetLimit);
+        }
+    }
     let mut out = FragmentSet::new();
     let a: Vec<&Fragment> = f1.iter().collect();
     let b: Vec<&Fragment> = f2.iter().collect();
     for ma in 1u32..(1 << a.len()) {
+        gov.checkpoint()?;
         for mb in 1u32..(1 << b.len()) {
             let chosen = a
                 .iter()
@@ -219,7 +266,11 @@ pub fn powerset_join(
                         .filter(|(i, _)| mb & (1 << i) != 0)
                         .map(|(_, f)| *f),
                 );
+            // invariant: both masks are non-zero, so at least one
+            // fragment is always chosen.
             let joined = fragment_join_many(doc, chosen, stats).expect("non-empty selection");
+            gov.charge_join(joined.size() as u64)?;
+            gov.charge_fragments(1)?;
             stats.fragments_emitted += 1;
             if !out.insert(joined) {
                 stats.duplicates_collapsed += 1;
@@ -263,6 +314,8 @@ pub fn powerset_join_candidates(
             }
             union.sort();
             if seen.insert(union.clone()) {
+                // invariant: ma is non-zero, so union holds at least one
+                // fragment from f1.
                 let joined =
                     fragment_join_all(doc, union.iter(), stats).expect("non-empty candidate");
                 out.push((union, joined));

@@ -19,7 +19,9 @@
 //! * [`cost`] — the §5 cost-model sketch made concrete: join-count
 //!   estimation and reduction-factor-driven strategy choice;
 //! * [`overlap`] — grouping of overlapping answers (§5 discussion);
-//! * [`parallel`] — optional multi-threaded pairwise joins for large sets.
+//! * [`parallel`] — optional multi-threaded pairwise joins for large sets;
+//! * [`budget`] — resource budgets, cooperative cancellation, and the
+//!   graceful-degradation ladder ([`evaluate_budgeted`]).
 //!
 //! ## Example
 //!
@@ -45,6 +47,7 @@
 //! assert!(push.fragments.iter().any(|f| f.size() == 3));
 //! ```
 
+pub mod budget;
 pub mod collection;
 pub mod cost;
 pub mod filter;
@@ -60,21 +63,29 @@ pub mod set;
 pub mod snippet;
 pub mod stats;
 
+pub use budget::{
+    Breach, Budget, CancelToken, DegradeMode, Degradation, ExecPolicy, Governor, Rung,
+};
 pub use collection::{
-    evaluate_collection, evaluate_collection_parallel, top_k_collection, CollectionResult,
-    DocAnswers,
+    evaluate_collection, evaluate_collection_budgeted, evaluate_collection_parallel,
+    top_k_collection, BudgetedCollectionResult, CollectionResult, DocAnswers,
 };
 pub use filter::{select, FilterExpr};
 pub use fixpoint::{
-    fixed_point, fixed_point_naive, fixed_point_reduced, powerset_via_fixpoint, reduce,
-    reduction_factor, FixpointMode,
+    fixed_point, fixed_point_governed, fixed_point_naive, fixed_point_naive_governed,
+    fixed_point_reduced, fixed_point_reduced_governed, powerset_via_fixpoint, reduce,
+    reduce_governed, reduction_factor, FixpointMode,
 };
 pub use fragment::{Fragment, FragmentError};
 pub use join::{
-    fragment_join, fragment_join_all, fragment_join_many, pairwise_join, powerset_join,
-    powerset_join_candidates, PowersetTooLarge, POWERSET_LIMIT,
+    fragment_join, fragment_join_all, fragment_join_many, pairwise_join, pairwise_join_governed,
+    powerset_join, powerset_join_candidates, powerset_join_governed, PowersetTooLarge,
+    POWERSET_LIMIT,
 };
-pub use plan::{LogicalPlan, Optimizer, OptimizerRule};
-pub use query::{evaluate, evaluate_scoped, Query, QueryResult, ScopedQueryError, Strategy};
+pub use plan::{execute_governed, LogicalPlan, Optimizer, OptimizerRule};
+pub use query::{
+    evaluate, evaluate_budgeted, evaluate_scoped, Query, QueryError, QueryResult,
+    ScopedQueryError, Strategy,
+};
 pub use set::FragmentSet;
 pub use stats::EvalStats;

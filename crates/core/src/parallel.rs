@@ -2,7 +2,7 @@
 //!
 //! `F1 ⋈ F2` is embarrassingly parallel: every output fragment depends on
 //! exactly one `(f1, f2)` pair. This module shards the left operand across
-//! crossbeam scoped threads and merges the per-shard results into one
+//! std scoped threads and merges the per-shard results into one
 //! deduplicated [`FragmentSet`]. It is used by the benchmark harness on
 //! large synthetic sets; the sequential path in [`crate::join`] remains
 //! the default (deterministic stats, zero thread overhead for the small
@@ -14,6 +14,7 @@
 //! equality deliberately ignores. Shards are merged in shard order, so the
 //! output order is still deterministic for a fixed thread count.
 
+use crate::budget::{Breach, Governor};
 use crate::fragment::Fragment;
 use crate::join::fragment_join;
 use crate::set::FragmentSet;
@@ -39,11 +40,11 @@ pub fn pairwise_join_parallel(
     let chunk = left.len().div_ceil(threads);
 
     let mut shard_results: Vec<(Vec<Fragment>, EvalStats)> = Vec::new();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = left
             .chunks(chunk)
             .map(|shard| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut local_stats = EvalStats::new();
                     let mut out: Vec<Fragment> =
                         Vec::with_capacity(shard.len() * f2.len());
@@ -58,10 +59,15 @@ pub fn pairwise_join_parallel(
             })
             .collect();
         for h in handles {
-            shard_results.push(h.join().expect("join worker panicked"));
+            match h.join() {
+                Ok(r) => shard_results.push(r),
+                // invariant: the worker closure only runs pure join code
+                // that cannot panic; resume propagates a hypothetical
+                // panic instead of swallowing it.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
-    })
-    .expect("crossbeam scope");
+    });
 
     let mut set = FragmentSet::new();
     for (frags, local) in shard_results {
@@ -73,6 +79,73 @@ pub fn pairwise_join_parallel(
         }
     }
     set
+}
+
+/// [`pairwise_join_parallel`] under a shared [`Governor`]: all workers
+/// charge the same governor (its counters are atomic), so the budget is
+/// global across shards, and the first breach any worker observes aborts
+/// the whole join.
+pub fn pairwise_join_parallel_governed(
+    doc: &Document,
+    f1: &FragmentSet,
+    f2: &FragmentSet,
+    threads: usize,
+    stats: &mut EvalStats,
+    gov: &Governor,
+) -> Result<FragmentSet, Breach> {
+    const MIN_PAIRS_PER_THREAD: usize = 256;
+    let pairs = f1.len().saturating_mul(f2.len());
+    if threads <= 1 || pairs < MIN_PAIRS_PER_THREAD * 2 {
+        return crate::join::pairwise_join_governed(doc, f1, f2, stats, gov);
+    }
+    let threads = threads.min(f1.len().max(1));
+    let left: Vec<&Fragment> = f1.iter().collect();
+    let chunk = left.len().div_ceil(threads);
+
+    let mut shard_results: Vec<Result<(Vec<Fragment>, EvalStats), Breach>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = left
+            .chunks(chunk)
+            .map(|shard| {
+                scope.spawn(move || {
+                    let mut local_stats = EvalStats::new();
+                    let mut out: Vec<Fragment> =
+                        Vec::with_capacity(shard.len() * f2.len());
+                    for a in shard {
+                        gov.checkpoint()?;
+                        for b in f2.iter() {
+                            gov.charge_join((a.size() + b.size()) as u64)?;
+                            out.push(fragment_join(doc, a, b, &mut local_stats));
+                            gov.charge_fragments(1)?;
+                            local_stats.fragments_emitted += 1;
+                        }
+                    }
+                    Ok((out, local_stats))
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(r) => shard_results.push(r),
+                // invariant: worker closures return breaches as values;
+                // resume propagates a hypothetical panic instead of
+                // swallowing it.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    let mut set = FragmentSet::new();
+    for r in shard_results {
+        let (frags, local) = r?;
+        *stats += local;
+        for f in frags {
+            if !set.insert(f) {
+                stats.duplicates_collapsed += 1;
+            }
+        }
+    }
+    Ok(set)
 }
 
 #[cfg(test)]

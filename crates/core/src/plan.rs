@@ -17,10 +17,11 @@
 //! * [`LogicalPlan::render`] — the indented evaluation-tree printer
 //!   (compare Figure 5 (a) and (b)).
 
+use crate::budget::{Breach, Governor};
 use crate::cost::CostModel;
 use crate::filter::{select, FilterExpr};
-use crate::fixpoint::{fixed_point, FixpointMode};
-use crate::join::{pairwise_join, powerset_join};
+use crate::fixpoint::{fixed_point, fixed_point_governed, FixpointMode};
+use crate::join::{pairwise_join, pairwise_join_governed, powerset_join, powerset_join_governed};
 use crate::query::{Query, QueryError};
 use crate::set::FragmentSet;
 use crate::stats::EvalStats;
@@ -168,6 +169,8 @@ impl LogicalPlan {
         for _ in 0..level {
             out.push_str("  ");
         }
+        // invariant (every writeln! below): fmt::Write for String never
+        // returns Err.
         match self {
             LogicalPlan::KeywordSelect { term } => {
                 writeln!(out, "σ[keyword={term}](nodes(D))").unwrap();
@@ -629,6 +632,73 @@ pub fn execute(
     }
 }
 
+/// [`execute`] under a [`Governor`]: a budget checkpoint runs at every
+/// operator boundary (so even a deep plan observes deadlines and
+/// cancellation promptly) and every join/fixed-point operator charges the
+/// governor. Powerset operands over [`crate::POWERSET_LIMIT`] surface as
+/// [`Breach::PowersetLimit`] instead of a hard error.
+pub fn execute_governed(
+    plan: &LogicalPlan,
+    doc: &Document,
+    index: &InvertedIndex,
+    stats: &mut EvalStats,
+    gov: &Governor,
+) -> Result<FragmentSet, Breach> {
+    gov.checkpoint()?;
+    match plan {
+        LogicalPlan::KeywordSelect { term } => {
+            Ok(FragmentSet::of_nodes(index.lookup(term).iter().copied()))
+        }
+        LogicalPlan::Select { filter, input } => {
+            let f = execute_governed(input, doc, index, stats, gov)?;
+            Ok(select(doc, filter, &f, stats))
+        }
+        LogicalPlan::PairwiseJoin { left, right } => {
+            let l = execute_governed(left, doc, index, stats, gov)?;
+            let r = execute_governed(right, doc, index, stats, gov)?;
+            if l.is_empty() || r.is_empty() {
+                return Ok(FragmentSet::new());
+            }
+            pairwise_join_governed(doc, &l, &r, stats, gov)
+        }
+        LogicalPlan::PowersetJoin { left, right } => {
+            let l = execute_governed(left, doc, index, stats, gov)?;
+            let r = execute_governed(right, doc, index, stats, gov)?;
+            if l.is_empty() || r.is_empty() {
+                return Ok(FragmentSet::new());
+            }
+            powerset_join_governed(doc, &l, &r, stats, gov)
+        }
+        LogicalPlan::FixedPoint {
+            input,
+            mode,
+            inner_filter,
+        } => {
+            let f = execute_governed(input, doc, index, stats, gov)?;
+            // An unbounded governor cannot stop an unfiltered closure
+            // blow-up, and Theorem 2 says |F⁺| can reach the powerset
+            // size — refuse it like the literal enumeration would.
+            // Filtered fixed points stay admissible: the pushed-down
+            // anti-monotonic filter is what makes them tractable.
+            if inner_filter.is_none()
+                && !gov.is_work_bounded()
+                && f.len() > crate::join::POWERSET_LIMIT
+            {
+                return Err(Breach::PowersetLimit);
+            }
+            match inner_filter {
+                None => fixed_point_governed(doc, &f, *mode, stats, gov),
+                Some(p) => filtered_fixed_point_governed(doc, &f, p, stats, gov),
+            }
+        }
+        LogicalPlan::Union { left, right } => {
+            let l = execute_governed(left, doc, index, stats, gov)?;
+            let r = execute_governed(right, doc, index, stats, gov)?;
+            Ok(l.union(&r))
+        }
+    }
+}
+
 /// Fixed point with per-iteration anti-monotonic filtering (§3.3's
 /// expansion). Mirrors `query::filtered_fixed_point`; duplicated here to
 /// keep the plan interpreter self-contained.
@@ -651,6 +721,34 @@ fn filtered_fixed_point(
         stats.fixpoint_checks += 1;
         if next.len() == h.len() {
             return h;
+        }
+        h = next;
+    }
+}
+
+/// Governed variant of [`filtered_fixed_point`]: checkpoint per round,
+/// joins charged.
+fn filtered_fixed_point_governed(
+    doc: &Document,
+    f: &FragmentSet,
+    anti: &FilterExpr,
+    stats: &mut EvalStats,
+    gov: &Governor,
+) -> Result<FragmentSet, Breach> {
+    let base = select(doc, anti, f, stats);
+    if base.is_empty() {
+        return Ok(FragmentSet::new());
+    }
+    let mut h = base.clone();
+    loop {
+        gov.checkpoint()?;
+        stats.fixpoint_iterations += 1;
+        let joined = pairwise_join_governed(doc, &h, &base, stats, gov)?;
+        let kept = select(doc, anti, &joined, stats);
+        let next = kept.union(&h);
+        stats.fixpoint_checks += 1;
+        if next.len() == h.len() {
+            return Ok(h);
         }
         h = next;
     }

@@ -21,9 +21,15 @@
 //! proptest enforce it. They differ (dramatically) in work performed,
 //! which [`crate::EvalStats`] exposes.
 
+use crate::budget::{
+    Breach, DegradeMode, Degradation, ExecPolicy, Governor, Rung, TOP_CANDIDATES,
+};
 use crate::filter::{select, FilterExpr};
-use crate::fixpoint::{fixed_point_naive, fixed_point_reduced, reduce};
-use crate::join::{fragment_join_many, pairwise_join, PowersetTooLarge};
+use crate::fixpoint::{
+    fixed_point_naive, fixed_point_naive_governed, fixed_point_reduced,
+    fixed_point_reduced_governed, reduce, reduce_governed,
+};
+use crate::join::{fragment_join_many, pairwise_join, pairwise_join_governed, PowersetTooLarge};
 use crate::set::FragmentSet;
 use crate::stats::EvalStats;
 use serde::{Deserialize, Serialize};
@@ -131,6 +137,9 @@ pub struct QueryResult {
     pub fragments: FragmentSet,
     /// Operation counters accumulated during evaluation.
     pub stats: EvalStats,
+    /// How (or whether) the evaluation degraded under a budget. Always
+    /// [`Degradation::none`] for unbudgeted evaluation.
+    pub degradation: Degradation,
 }
 
 /// Errors surfaced by query evaluation.
@@ -140,6 +149,11 @@ pub enum QueryError {
     NoTerms,
     /// Brute force was asked to enumerate an oversized powerset.
     PowersetTooLarge(PowersetTooLarge),
+    /// The evaluation's [`crate::CancelToken`] was triggered. Cancellation
+    /// never degrades: a cancelled caller wants no answer at all.
+    Cancelled,
+    /// A budget tripped and degradation was [`DegradeMode::Off`].
+    BudgetExceeded(Breach),
 }
 
 impl std::fmt::Display for QueryError {
@@ -147,6 +161,10 @@ impl std::fmt::Display for QueryError {
         match self {
             QueryError::NoTerms => write!(f, "query has no terms"),
             QueryError::PowersetTooLarge(e) => write!(f, "{e}"),
+            QueryError::Cancelled => write!(f, "query cancelled"),
+            QueryError::BudgetExceeded(b) => {
+                write!(f, "budget exceeded ({b}) and degradation is off")
+            }
         }
     }
 }
@@ -193,6 +211,7 @@ pub(crate) fn evaluate_operands(
         return Ok(QueryResult {
             fragments: FragmentSet::new(),
             stats,
+            degradation: Degradation::none(),
         });
     }
 
@@ -231,6 +250,8 @@ pub(crate) fn evaluate_operands(
                     }
                 });
             }
+            // invariant: terms (hence operands) are non-empty — checked at
+            // function entry — so the fold assigned Some at least once.
             acc.expect("at least one operand")
         }
     };
@@ -247,7 +268,408 @@ pub(crate) fn evaluate_operands(
         );
         fragments = select(doc, &strict, &fragments, &mut stats);
     }
-    Ok(QueryResult { fragments, stats })
+    Ok(QueryResult {
+        fragments,
+        stats,
+        degradation: Degradation::none(),
+    })
+}
+
+/// Evaluate `query` under an [`ExecPolicy`]: resource budgets, cooperative
+/// cancellation, and — when the budget trips — the graceful-degradation
+/// ladder.
+///
+/// The ladder runs the rungs of [`Rung`] in order, all charging one shared
+/// [`Governor`] (so later rungs only get the budget earlier rungs left
+/// over), and returns the first rung that completes:
+///
+/// 1. **full** — the requested strategy, governed.
+/// 2. **reduced-sets** — fixed points over `⊖(Fi)` (Definition 10).
+///    `⊖(F) ⊆ F` and the fixed point and pairwise join are monotone, so
+///    the fold over reduced operands is a subset of the exact raw set.
+/// 3. **top-candidates** — each operand truncated to its first
+///    [`TOP_CANDIDATES`] fragments, one pairwise fold, no fixed points.
+///    Every output is the join of one fragment per operand — a powerset
+///    join candidate, hence in the exact raw set.
+/// 4. **slca-approx** — one answer per smallest-LCA node, ungoverned and
+///    linear in document size, so the ladder always terminates with an
+///    answer.
+///
+/// All rungs pass their raw set through the query's selection `σ_P`, so
+/// every returned fragment satisfies the predicate: each rung yields a
+/// **sound subset** of the exact answer. [`QueryResult::degradation`]
+/// reports which rung answered and what each abandoned rung spent.
+///
+/// Cancellation ([`Breach::Cancelled`]) never degrades — it surfaces as
+/// [`QueryError::Cancelled`]. With [`DegradeMode::Off`], the first breach
+/// surfaces as [`QueryError::BudgetExceeded`].
+pub fn evaluate_budgeted(
+    doc: &Document,
+    index: &InvertedIndex,
+    query: &Query,
+    strategy: Strategy,
+    policy: &ExecPolicy,
+) -> Result<QueryResult, QueryError> {
+    let operands: Vec<FragmentSet> = query
+        .terms
+        .iter()
+        .map(|t| FragmentSet::of_nodes(index.lookup(t).iter().copied()))
+        .collect();
+    evaluate_operands_budgeted(doc, query, strategy, &operands, policy)
+}
+
+/// Budgeted strategy dispatch over pre-built operand sets.
+pub(crate) fn evaluate_operands_budgeted(
+    doc: &Document,
+    query: &Query,
+    strategy: Strategy,
+    operands: &[FragmentSet],
+    policy: &ExecPolicy,
+) -> Result<QueryResult, QueryError> {
+    if query.terms.is_empty() {
+        return Err(QueryError::NoTerms);
+    }
+    let mut stats = EvalStats::new();
+
+    // Conjunctive semantics: a term with no occurrences empties the answer.
+    if operands.iter().any(FragmentSet::is_empty) {
+        return Ok(QueryResult {
+            fragments: FragmentSet::new(),
+            stats,
+            degradation: Degradation::none(),
+        });
+    }
+
+    let gov = Governor::new(policy.budget, policy.cancel.clone());
+    let mut trips: Vec<(Rung, Breach)> = Vec::new();
+    let mut truncated_fragments = 0u64;
+
+    // Rung 0: the requested strategy, governed.
+    let mut raw = match strategy_raw_governed(doc, query, strategy, operands, &mut stats, &gov) {
+        Ok(raw) => Some(raw),
+        Err(breach) => {
+            handle_breach(Rung::Full, breach, policy, &mut trips)?;
+            None
+        }
+    };
+
+    // Rung 1: fixed points over the reduced operand sets ⊖(Fi).
+    if raw.is_none() {
+        let attempt = (|| {
+            let fps: Vec<FragmentSet> = operands
+                .iter()
+                .map(|f| {
+                    let reduced = reduce_governed(doc, f, &mut stats, &gov)?;
+                    // An unbounded governor (reachable here via a
+                    // PowersetLimit trip with no budget set) cannot stop
+                    // a closure blow-up, and Theorem 2 says |F⁺| can
+                    // reach the powerset size — so apply the literal
+                    // enumeration's own guard.
+                    if !gov.is_work_bounded() && reduced.len() > crate::join::POWERSET_LIMIT {
+                        return Err(Breach::PowersetLimit);
+                    }
+                    fixed_point_naive_governed(doc, &reduced, &mut stats, &gov)
+                })
+                .collect::<Result<_, Breach>>()?;
+            fold_pairwise_governed(doc, fps, &mut stats, &gov)
+        })();
+        match attempt {
+            Ok(r) => raw = Some(r),
+            Err(breach) => handle_breach(Rung::ReducedSets, breach, policy, &mut trips)?,
+        }
+    }
+
+    // Rung 2: truncate operands, single pairwise fold, no fixed points.
+    if raw.is_none() {
+        let attempt = {
+            let mut truncated = 0u64;
+            let tops: Vec<FragmentSet> = operands
+                .iter()
+                .map(|f| {
+                    let keep: Vec<_> = f.iter().take(TOP_CANDIDATES).cloned().collect();
+                    truncated += (f.len().saturating_sub(keep.len())) as u64;
+                    FragmentSet::from_iter(keep)
+                })
+                .collect();
+            fold_pairwise_governed(doc, tops, &mut stats, &gov).map(|r| (r, truncated))
+        };
+        match attempt {
+            Ok((r, truncated)) => {
+                truncated_fragments = truncated;
+                raw = Some(r);
+            }
+            Err(breach) => handle_breach(Rung::TopCandidates, breach, policy, &mut trips)?,
+        }
+    }
+
+    // Rung 3: SLCA approximation — ungoverned, always answers.
+    let raw = match raw {
+        Some(r) => r,
+        None => slca_approximation(doc, operands, &mut stats),
+    };
+    // Each trip abandoned one rung; the answer came from the next one.
+    let rung = match trips.len() {
+        0 => None,
+        1 => Some(Rung::ReducedSets),
+        2 => Some(Rung::TopCandidates),
+        _ => Some(Rung::SlcaApprox),
+    };
+
+    // Shared tail: top-level selection σ_P plus strict leaf semantics.
+    let mut fragments = select(doc, &query.filter, &raw, &mut stats);
+    if query.strict_leaf_semantics {
+        let strict = FilterExpr::and(
+            query
+                .terms
+                .iter()
+                .map(|t| FilterExpr::LeafTerm(t.clone())),
+        );
+        fragments = select(doc, &strict, &fragments, &mut stats);
+    }
+
+    stats.budget_checkpoints = gov.checkpoints_passed();
+    let degradation = match rung {
+        None => Degradation::none(),
+        Some(rung) => Degradation {
+            rung: Some(rung),
+            trips,
+            truncated_fragments,
+            joins_spent: gov.joins_spent(),
+            fragments_spent: gov.fragments_spent(),
+            nodes_spent: gov.nodes_spent(),
+            elapsed: gov.elapsed(),
+        },
+    };
+    Ok(QueryResult {
+        fragments,
+        stats,
+        degradation,
+    })
+}
+
+/// Record a breach and keep walking the ladder — or surface it as an
+/// error when it is a cancellation (never degraded) or degradation is off.
+fn handle_breach(
+    rung: Rung,
+    breach: Breach,
+    policy: &ExecPolicy,
+    trips: &mut Vec<(Rung, Breach)>,
+) -> Result<(), QueryError> {
+    if breach == Breach::Cancelled {
+        return Err(QueryError::Cancelled);
+    }
+    if policy.degrade == DegradeMode::Off {
+        return Err(QueryError::BudgetExceeded(breach));
+    }
+    trips.push((rung, breach));
+    Ok(())
+}
+
+/// The governed equivalent of the strategy dispatch in
+/// [`evaluate_operands`]: compute the raw (pre-selection) set for the
+/// requested strategy, charging `gov` throughout.
+fn strategy_raw_governed(
+    doc: &Document,
+    query: &Query,
+    strategy: Strategy,
+    operands: &[FragmentSet],
+    stats: &mut EvalStats,
+    gov: &Governor,
+) -> Result<FragmentSet, Breach> {
+    match strategy {
+        Strategy::BruteForce => brute_force_governed(doc, operands, stats, gov),
+        Strategy::FixedPointNaive => {
+            let fps: Vec<FragmentSet> = operands
+                .iter()
+                .map(|f| fixed_point_naive_governed(doc, f, stats, gov))
+                .collect::<Result<_, _>>()?;
+            fold_pairwise_governed(doc, fps, stats, gov)
+        }
+        Strategy::FixedPointReduced => {
+            let fps: Vec<FragmentSet> = operands
+                .iter()
+                .map(|f| fixed_point_reduced_governed(doc, f, stats, gov))
+                .collect::<Result<_, _>>()?;
+            fold_pairwise_governed(doc, fps, stats, gov)
+        }
+        Strategy::PushDown => {
+            let (anti, _rest) = query.filter.split_anti_monotonic();
+            let mut acc: Option<FragmentSet> = None;
+            for f in operands {
+                gov.checkpoint()?;
+                let base = select(doc, &anti, f, stats);
+                let fp = filtered_fixed_point_governed(doc, &base, &anti, stats, gov)?;
+                acc = Some(match acc {
+                    None => fp,
+                    Some(prev) => {
+                        let joined = pairwise_join_governed(doc, &prev, &fp, stats, gov)?;
+                        select(doc, &anti, &joined, stats)
+                    }
+                });
+            }
+            // invariant: operands are non-empty (term-less queries are
+            // rejected before dispatch), so the loop assigned Some.
+            Ok(acc.expect("at least one operand"))
+        }
+    }
+}
+
+/// Governed §4.1 brute force. An over-large operand reports
+/// [`Breach::PowersetLimit`] instead of erroring, so the ladder can step
+/// down to a plan that handles large operand sets.
+fn brute_force_governed(
+    doc: &Document,
+    operands: &[FragmentSet],
+    stats: &mut EvalStats,
+    gov: &Governor,
+) -> Result<FragmentSet, Breach> {
+    for s in operands {
+        if s.len() > crate::join::POWERSET_LIMIT {
+            return Err(Breach::PowersetLimit);
+        }
+    }
+    let slices: Vec<Vec<&crate::fragment::Fragment>> =
+        operands.iter().map(|s| s.iter().collect()).collect();
+    let mut out = FragmentSet::new();
+    let mut masks: Vec<u32> = vec![1; slices.len()];
+    loop {
+        let chosen = slices.iter().zip(&masks).flat_map(|(fs, &m)| {
+            fs.iter()
+                .enumerate()
+                .filter(move |(i, _)| m & (1 << i) != 0)
+                .map(|(_, f)| *f)
+        });
+        // invariant: every odometer mask is at least 1, so at least one
+        // fragment is always chosen.
+        let joined = fragment_join_many(doc, chosen, stats).expect("non-empty choice");
+        gov.charge_join(joined.size() as u64)?;
+        gov.charge_fragments(1)?;
+        stats.fragments_emitted += 1;
+        if !out.insert(joined) {
+            stats.duplicates_collapsed += 1;
+        }
+        let mut i = 0;
+        loop {
+            if i == masks.len() {
+                return Ok(out);
+            }
+            masks[i] += 1;
+            if masks[i] < (1u32 << slices[i].len()) {
+                break;
+            }
+            masks[i] = 1;
+            i += 1;
+        }
+    }
+}
+
+/// Governed left-to-right pairwise fold of operand fixed points.
+fn fold_pairwise_governed(
+    doc: &Document,
+    fps: Vec<FragmentSet>,
+    stats: &mut EvalStats,
+    gov: &Governor,
+) -> Result<FragmentSet, Breach> {
+    let mut it = fps.into_iter();
+    // invariant: callers pass one set per query term and reject term-less
+    // queries before reaching this fold.
+    let mut acc = it.next().expect("at least one operand");
+    for fp in it {
+        gov.checkpoint()?;
+        acc = pairwise_join_governed(doc, &acc, &fp, stats, gov)?;
+    }
+    Ok(acc)
+}
+
+/// Governed variant of the §3.3 filtered fixed point used by push-down.
+fn filtered_fixed_point_governed(
+    doc: &Document,
+    f: &FragmentSet,
+    anti: &FilterExpr,
+    stats: &mut EvalStats,
+    gov: &Governor,
+) -> Result<FragmentSet, Breach> {
+    if f.is_empty() {
+        return Ok(FragmentSet::new());
+    }
+    let mut h = f.clone();
+    loop {
+        gov.checkpoint()?;
+        stats.fixpoint_iterations += 1;
+        let joined = pairwise_join_governed(doc, &h, f, stats, gov)?;
+        let kept = select(doc, anti, &joined, stats);
+        let next = kept.union(&h);
+        stats.fixpoint_checks += 1;
+        if next.len() == h.len() {
+            return Ok(h);
+        }
+        h = next;
+    }
+}
+
+/// The ladder's final rung: an SLCA-style approximation computed directly
+/// over the operand sets, linear in document size.
+///
+/// One bottom-up mask pass (operand `i` marks bit `i` at the root of each
+/// of its fragments) finds the smallest-LCA nodes — nodes whose subtree
+/// contains a fragment root from *every* operand while no child's subtree
+/// does. For each such node, the first fragment of each operand rooted in
+/// its subtree is joined with [`fragment_join_many`]. Every output is the
+/// join of exactly one fragment per operand — a powerset-join candidate —
+/// so the result is a subset of the exact raw set.
+///
+/// More than 64 operands exceed the mask width; the approximation then
+/// returns the empty set, which is trivially sound.
+fn slca_approximation(
+    doc: &Document,
+    operands: &[FragmentSet],
+    stats: &mut EvalStats,
+) -> FragmentSet {
+    let m = operands.len();
+    if m == 0 || m > 64 {
+        return FragmentSet::new();
+    }
+    let full: u64 = if m == 64 { u64::MAX } else { (1 << m) - 1 };
+    let n = doc.len();
+    let mut sub = vec![0u64; n];
+    for (bit, set) in operands.iter().enumerate() {
+        for f in set.iter() {
+            sub[f.root().index()] |= 1 << bit;
+        }
+    }
+    // Reverse pre-order: children precede parents when walking ids
+    // backwards, so one pass accumulates subtree masks.
+    for i in (1..n).rev() {
+        // invariant: i > 0, and every non-root node has a parent.
+        let p = doc.parent(xfrag_doc::NodeId(i as u32)).expect("non-root").index();
+        sub[p] |= sub[i];
+    }
+    if sub[doc.root().index()] != full {
+        return FragmentSet::new();
+    }
+    let mut out = FragmentSet::new();
+    for v in doc.node_ids() {
+        if sub[v.index()] != full
+            || doc.children(v).iter().any(|c| sub[c.index()] == full)
+        {
+            continue;
+        }
+        let lo = v.0;
+        let hi = v.0 + doc.subtree_size(v);
+        let picks = operands.iter().filter_map(|set| {
+            set.iter().find(|f| {
+                let r = f.root().0;
+                r >= lo && r < hi
+            })
+        });
+        if let Some(joined) = fragment_join_many(doc, picks, stats) {
+            stats.fragments_emitted += 1;
+            if !out.insert(joined) {
+                stats.duplicates_collapsed += 1;
+            }
+        }
+    }
+    out
 }
 
 /// §4.1 brute force: enumerate every choice of non-empty subsets, one per
@@ -274,6 +696,8 @@ fn brute_force(
                 .filter(move |(i, _)| m & (1 << i) != 0)
                 .map(|(_, f)| *f)
         });
+        // invariant: every odometer mask is at least 1, so at least one
+        // fragment is always chosen.
         let joined = fragment_join_many(doc, chosen, stats).expect("non-empty choice");
         stats.fragments_emitted += 1;
         if !out.insert(joined) {
@@ -302,6 +726,8 @@ fn fold_pairwise(
     stats: &mut EvalStats,
 ) -> FragmentSet {
     let mut it = fps.into_iter();
+    // invariant: callers pass one fixed point per query term and reject
+    // term-less queries before reaching this fold.
     let first = it.next().expect("at least one operand");
     it.fold(first, |acc, fp| pairwise_join(doc, &acc, &fp, stats))
 }

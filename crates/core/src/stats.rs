@@ -34,6 +34,10 @@ pub struct EvalStats {
     pub fixpoint_checks: u64,
     /// Subset tests executed by `⊖` (fragment set reduce).
     pub reduce_checks: u64,
+    /// Budget checkpoints passed by a governed execution (phase
+    /// boundaries where the deadline and cancel flag were consulted).
+    /// Zero for ungoverned runs.
+    pub budget_checkpoints: u64,
 }
 
 impl EvalStats {
@@ -54,6 +58,7 @@ impl AddAssign for EvalStats {
         self.fixpoint_iterations += o.fixpoint_iterations;
         self.fixpoint_checks += o.fixpoint_checks;
         self.reduce_checks += o.reduce_checks;
+        self.budget_checkpoints += o.budget_checkpoints;
     }
 }
 
@@ -61,7 +66,7 @@ impl fmt::Display for EvalStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "joins={} merged_nodes={} emitted={} dups={} filter_evals={} pruned={} fp_iters={} fp_checks={} reduce_checks={}",
+            "joins={} merged_nodes={} emitted={} dups={} filter_evals={} pruned={} fp_iters={} fp_checks={} reduce_checks={} budget_checkpoints={}",
             self.joins,
             self.nodes_merged,
             self.fragments_emitted,
@@ -70,7 +75,8 @@ impl fmt::Display for EvalStats {
             self.filter_pruned,
             self.fixpoint_iterations,
             self.fixpoint_checks,
-            self.reduce_checks
+            self.reduce_checks,
+            self.budget_checkpoints
         )
     }
 }

@@ -1,0 +1,113 @@
+//! Adversarial tree generators for fault-injection tests.
+//!
+//! The algebra's cost is driven by operand-set sizes and tree shape, not
+//! document bytes — so small, deliberately hostile trees are the right
+//! instrument for exercising budget enforcement and the degradation
+//! ladder. Each generator plants keyword occurrences so that a two-term
+//! query produces large operand sets whose joins explode:
+//!
+//! * [`deep_chain`] — a single root-to-leaf path with keywords
+//!   alternating along it. Fragment joins span long paths, so
+//!   `nodes_merged` grows quadratically with depth.
+//! * [`wide_star`] — one root with `n` keyword-bearing leaves. Operand
+//!   fixed points are maximally large (`|F⁺|` grows fast because every
+//!   pair of leaves joins through the root), and `⊖` does its full cubic
+//!   work without eliminating anything until fragments overlap.
+//! * [`comb`] — a spine with a keyword-bearing tooth at every vertebra:
+//!   many operands of medium selectivity, the worst case for the
+//!   pairwise-join fold of a multi-term query.
+//!
+//! All generators are deterministic (no randomness), so failing budgets
+//! reproduce exactly.
+
+use xfrag_doc::{Document, DocumentBuilder};
+
+/// A root-to-leaf chain of `depth` elements. The two keywords alternate:
+/// even-depth nodes contain `k1`, odd-depth nodes contain `k2`.
+pub fn deep_chain(depth: usize, k1: &str, k2: &str) -> Document {
+    let depth = depth.max(1);
+    let mut b = DocumentBuilder::new();
+    for i in 0..depth {
+        b.begin(format!("d{i}"));
+        b.text(if i % 2 == 0 { k1 } else { k2 });
+    }
+    for _ in 0..depth {
+        b.end();
+    }
+    b.finish().expect("balanced begin/end")
+}
+
+/// A root with `leaves` children; the two keywords alternate across the
+/// leaves, so both operand sets have about `leaves / 2` single-node
+/// fragments and every cross pair joins through the root.
+pub fn wide_star(leaves: usize, k1: &str, k2: &str) -> Document {
+    let mut b = DocumentBuilder::new();
+    b.begin("star");
+    for i in 0..leaves.max(2) {
+        b.leaf(format!("l{i}"), if i % 2 == 0 { k1 } else { k2 });
+    }
+    b.end();
+    b.finish().expect("balanced begin/end")
+}
+
+/// A comb: a spine of `teeth` internal nodes, each carrying one leaf
+/// tooth. Every keyword in `terms` occurs once per tooth, so an m-term
+/// query gets m operand sets of `teeth` fragments each.
+pub fn comb(teeth: usize, terms: &[&str]) -> Document {
+    let teeth = teeth.max(1);
+    let mut b = DocumentBuilder::new();
+    b.begin("comb");
+    for i in 0..teeth {
+        b.begin(format!("s{i}"));
+        b.leaf(format!("t{i}"), terms.join(" "));
+        b.end();
+    }
+    b.end();
+    b.finish().expect("balanced begin/end")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xfrag_doc::InvertedIndex;
+
+    #[test]
+    fn deep_chain_shape_and_keywords() {
+        let d = deep_chain(20, "k1", "k2");
+        assert_eq!(d.len(), 20);
+        // Every node has at most one child: a chain.
+        for n in d.node_ids() {
+            assert!(d.children(n).len() <= 1);
+        }
+        let idx = InvertedIndex::build(&d);
+        assert_eq!(idx.lookup("k1").len(), 10);
+        assert_eq!(idx.lookup("k2").len(), 10);
+    }
+
+    #[test]
+    fn wide_star_shape_and_keywords() {
+        let d = wide_star(40, "k1", "k2");
+        assert_eq!(d.len(), 41);
+        assert_eq!(d.children(d.root()).len(), 40);
+        let idx = InvertedIndex::build(&d);
+        assert_eq!(idx.lookup("k1").len(), 20);
+        assert_eq!(idx.lookup("k2").len(), 20);
+    }
+
+    #[test]
+    fn comb_shape_and_keywords() {
+        let d = comb(12, &["k1", "k2", "k3"]);
+        assert_eq!(d.len(), 1 + 2 * 12);
+        let idx = InvertedIndex::build(&d);
+        for t in ["k1", "k2", "k3"] {
+            assert_eq!(idx.lookup(t).len(), 12, "{t}");
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes_clamp() {
+        assert_eq!(deep_chain(0, "a", "b").len(), 1);
+        assert_eq!(wide_star(0, "a", "b").len(), 3);
+        assert_eq!(comb(0, &["a"]).len(), 3);
+    }
+}

@@ -18,8 +18,11 @@
 //! * [`rfset`] — trees and node sets with a *controlled reduction factor*
 //!   for the §5 threshold calibration;
 //! * [`workload`] — deterministic query workloads over generated corpora;
-//! * [`zipf`] — the Zipf sampler behind the vocabulary model.
+//! * [`zipf`] — the Zipf sampler behind the vocabulary model;
+//! * [`adversarial`] — deterministic worst-case trees (deep chains, wide
+//!   stars, combs) for budget/degradation fault-injection tests.
 
+pub mod adversarial;
 pub mod datacentric;
 pub mod docgen;
 pub mod figure1;

@@ -15,7 +15,6 @@
 use crate::builder::DocumentBuilder;
 use crate::error::{ParseError, ParseErrorKind, Pos};
 use crate::tree::Document;
-use bytes::Bytes;
 
 /// Parse an XML document from a string slice.
 pub fn parse_str(input: &str) -> Result<Document, ParseError> {
@@ -24,7 +23,7 @@ pub fn parse_str(input: &str) -> Result<Document, ParseError> {
 
 /// Parse an XML document from raw bytes (must be UTF-8; a UTF-8 BOM is
 /// accepted and skipped).
-pub fn parse_bytes(input: &Bytes) -> Result<Document, ParseError> {
+pub fn parse_bytes(input: &[u8]) -> Result<Document, ParseError> {
     let s = std::str::from_utf8(input).map_err(|e| ParseError {
         pos: Pos {
             line: 1,
@@ -318,6 +317,9 @@ impl<'a> Parser<'a> {
                     out.push(self.entity()?);
                 }
                 _ => {
+                    // invariant: peek() returned Some, and pos always
+                    // rests on a char boundary (bump loops consume whole
+                    // code points), so a next char must exist.
                     let c = self.src[self.pos..].chars().next().unwrap();
                     for _ in 0..c.len_utf8() {
                         self.bump();
@@ -343,6 +345,8 @@ impl<'a> Parser<'a> {
                     out.push(self.entity()?);
                 }
                 Some(_) => {
+                    // invariant: see text_run — peek() returned Some and
+                    // pos is on a char boundary.
                     let c = self.src[self.pos..].chars().next().unwrap();
                     for _ in 0..c.len_utf8() {
                         self.bump();
@@ -580,8 +584,8 @@ mod tests {
 
     #[test]
     fn parse_bytes_rejects_invalid_utf8() {
-        let bytes = Bytes::from_static(&[b'<', b'a', 0xff, b'>']);
-        let e = parse_bytes(&bytes).unwrap_err();
+        let bytes: &[u8] = &[b'<', b'a', 0xff, b'>'];
+        let e = parse_bytes(bytes).unwrap_err();
         assert!(matches!(e.kind, ParseErrorKind::InvalidUtf8));
     }
 

@@ -63,6 +63,7 @@ pub fn fragment_to_xml(doc: &Document, nodes: &[NodeId], opts: WriteOptions) -> 
         return out;
     }
     let set: HashSet<NodeId> = nodes.iter().copied().collect();
+    // invariant: the is_empty() early return above guarantees a minimum.
     let root = *nodes.iter().min().expect("non-empty");
     write_node(doc, root, &set, &mut out, 0, opts);
     out
@@ -88,6 +89,8 @@ fn write_node(
     };
     pad(out, level);
     let node = doc.node(n);
+    // invariant (this and every write! below): fmt::Write for String
+    // never returns Err.
     write!(out, "<{}", node.tag).unwrap();
     for (k, v) in &node.attrs {
         write!(out, " {k}=\"").unwrap();

@@ -23,10 +23,14 @@
 //! ordinary [`DocumentBuilder`], so a loaded document satisfies exactly
 //! the same invariants as a parsed one, and a corrupted or truncated file
 //! is rejected with a precise [`StoreError`].
+//!
+//! Decoding is hardened against adversarial input: every length and count
+//! field is bounds-checked against the bytes actually remaining *before*
+//! any allocation is sized from it, so a flipped length byte can cost at
+//! most one small allocation, never an OOM or a panic.
 
 use crate::builder::DocumentBuilder;
 use crate::tree::{Document, NodeId};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const MAGIC: &[u8; 4] = b"XFRG";
 const VERSION: u16 = 1;
@@ -72,66 +76,115 @@ fn fnv1a(data: &[u8]) -> u64 {
     h
 }
 
-fn put_lstr(buf: &mut BytesMut, s: &str) {
-    buf.put_u32_le(s.len() as u32);
-    buf.put_slice(s.as_bytes());
+fn put_lstr(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
 }
 
 /// Serialize a document into the XFRG binary format.
-pub fn encode(doc: &Document) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64 + doc.len() * 32);
-    buf.put_slice(MAGIC);
-    buf.put_u16_le(VERSION);
-    buf.put_u32_le(doc.len() as u32);
+pub fn encode(doc: &Document) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + doc.len() * 32);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(doc.len() as u32).to_le_bytes());
     for n in doc.node_ids() {
         let node = doc.node(n);
-        buf.put_u32_le(doc.parent(n).map(|p| p.0).unwrap_or(u32::MAX));
+        let parent = doc.parent(n).map(|p| p.0).unwrap_or(u32::MAX);
+        buf.extend_from_slice(&parent.to_le_bytes());
         put_lstr(&mut buf, &node.tag);
         put_lstr(&mut buf, &node.text);
-        buf.put_u16_le(node.attrs.len() as u16);
+        buf.extend_from_slice(&(node.attrs.len() as u16).to_le_bytes());
         for (k, v) in &node.attrs {
             put_lstr(&mut buf, k);
             put_lstr(&mut buf, v);
         }
     }
     let checksum = fnv1a(&buf);
-    buf.put_u64_le(checksum);
-    buf.freeze()
+    buf.extend_from_slice(&checksum.to_le_bytes());
+    buf
 }
 
-fn get_lstr(buf: &mut Bytes) -> Result<String, StoreError> {
-    if buf.remaining() < 4 {
-        return Err(StoreError::Truncated);
-    }
-    let len = buf.get_u32_le() as usize;
-    if buf.remaining() < len {
-        return Err(StoreError::Truncated);
-    }
-    let bytes = buf.copy_to_bytes(len);
-    String::from_utf8(bytes.to_vec()).map_err(|_| StoreError::InvalidUtf8)
+/// A bounds-checked little-endian reader over the payload slice. Every
+/// read validates the remaining length first; no read can panic on any
+/// input.
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
 }
 
-/// Deserialize a document from the XFRG binary format.
-pub fn decode(data: &Bytes) -> Result<Document, StoreError> {
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(StoreError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u16_le(&mut self) -> Result<u16, StoreError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32_le(&mut self) -> Result<u32, StoreError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn lstr(&mut self) -> Result<String, StoreError> {
+        let len = self.u32_le()? as usize;
+        // The length is untrusted: take() rejects it before any
+        // allocation happens, so a corrupted huge length cannot OOM.
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| StoreError::InvalidUtf8)
+    }
+}
+
+/// Smallest possible encoded node record: parent u32 + two empty lstrs
+/// (u32 length each) + nattrs u16.
+const MIN_NODE_BYTES: usize = 4 + 4 + 4 + 2;
+/// Smallest possible encoded attribute: two empty lstrs.
+const MIN_ATTR_BYTES: usize = 4 + 4;
+
+/// Deserialize a document from the XFRG binary format. Never panics,
+/// whatever the input: corrupted, truncated, or adversarial data yields
+/// a typed [`StoreError`].
+pub fn decode(data: &[u8]) -> Result<Document, StoreError> {
     if data.len() < MAGIC.len() + 2 + 4 + 8 {
         return Err(StoreError::Truncated);
     }
     let (payload, tail) = data.split_at(data.len() - 8);
-    let expect = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+    // invariant: split_at(len - 8) leaves exactly 8 bytes in tail.
+    let mut tail8 = [0u8; 8];
+    tail8.copy_from_slice(tail);
+    let expect = u64::from_le_bytes(tail8);
     if fnv1a(payload) != expect {
         return Err(StoreError::ChecksumMismatch);
     }
-    let mut buf = Bytes::copy_from_slice(payload);
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    let mut r = Reader::new(payload);
+    if r.take(4)? != MAGIC {
         return Err(StoreError::BadMagic);
     }
-    let version = buf.get_u16_le();
+    let version = r.u16_le()?;
     if version != VERSION {
         return Err(StoreError::UnsupportedVersion(version));
     }
-    let n = buf.get_u32_le() as usize;
+    let n = r.u32_le()? as usize;
+    // The node count is untrusted: every node needs at least
+    // MIN_NODE_BYTES, so a count the remaining payload cannot possibly
+    // hold is rejected before sizing any allocation from it.
+    if n > r.remaining() / MIN_NODE_BYTES {
+        return Err(StoreError::Truncated);
+    }
 
     // Decode node records, then replay them through the builder in
     // pre-order (the stored order *is* pre-order: parent < child).
@@ -143,10 +196,7 @@ pub fn decode(data: &Bytes) -> Result<Document, StoreError> {
     }
     let mut recs = Vec::with_capacity(n);
     for i in 0..n {
-        if buf.remaining() < 4 {
-            return Err(StoreError::Truncated);
-        }
-        let parent = buf.get_u32_le();
+        let parent = r.u32_le()?;
         if i == 0 {
             if parent != u32::MAX {
                 return Err(StoreError::StructuralError("first node must be the root".into()));
@@ -156,16 +206,17 @@ pub fn decode(data: &Bytes) -> Result<Document, StoreError> {
                 "node {i} has parent {parent}, breaking pre-order"
             )));
         }
-        let tag = get_lstr(&mut buf)?;
-        let text = get_lstr(&mut buf)?;
-        if buf.remaining() < 2 {
+        let tag = r.lstr()?;
+        let text = r.lstr()?;
+        let nattrs = r.u16_le()? as usize;
+        // Untrusted count: same pre-allocation guard as the node count.
+        if nattrs > r.remaining() / MIN_ATTR_BYTES {
             return Err(StoreError::Truncated);
         }
-        let nattrs = buf.get_u16_le() as usize;
         let mut attrs = Vec::with_capacity(nattrs);
         for _ in 0..nattrs {
-            let k = get_lstr(&mut buf)?;
-            let v = get_lstr(&mut buf)?;
+            let k = r.lstr()?;
+            let v = r.lstr()?;
             attrs.push((k, v));
         }
         recs.push(Rec {
@@ -175,7 +226,7 @@ pub fn decode(data: &Bytes) -> Result<Document, StoreError> {
             attrs,
         });
     }
-    if buf.has_remaining() {
+    if r.remaining() > 0 {
         return Err(StoreError::StructuralError("trailing bytes".into()));
     }
     if recs.is_empty() {
@@ -184,8 +235,8 @@ pub fn decode(data: &Bytes) -> Result<Document, StoreError> {
 
     // Children in stored order (ascending id keeps document order).
     let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
-    for (i, r) in recs.iter().enumerate().skip(1) {
-        children[r.parent as usize].push(i as u32);
+    for (i, rec) in recs.iter().enumerate().skip(1) {
+        children[rec.parent as usize].push(i as u32);
     }
     let mut b = DocumentBuilder::new();
     // Iterative pre-order replay.
@@ -215,8 +266,8 @@ pub fn decode(data: &Bytes) -> Result<Document, StoreError> {
         .finish()
         .map_err(|e| StoreError::StructuralError(e.to_string()))?;
     // Ids must round-trip: stored order was pre-order, children ascending.
-    for (i, r) in recs.iter().enumerate().skip(1) {
-        if doc.parent(NodeId(i as u32)) != Some(NodeId(r.parent)) {
+    for (i, rec) in recs.iter().enumerate().skip(1) {
+        if doc.parent(NodeId(i as u32)) != Some(NodeId(rec.parent)) {
             return Err(StoreError::StructuralError(format!(
                 "node {i} parent mismatch after rebuild"
             )));
@@ -257,8 +308,7 @@ mod tests {
     fn detects_truncation() {
         let bytes = encode(&sample());
         for cut in [3usize, 10, bytes.len() / 2, bytes.len() - 1] {
-            let cut_bytes = Bytes::copy_from_slice(&bytes[..cut]);
-            let e = decode(&cut_bytes).unwrap_err();
+            let e = decode(&bytes[..cut]).unwrap_err();
             assert!(
                 matches!(e, StoreError::Truncated | StoreError::ChecksumMismatch),
                 "cut at {cut}: {e:?}"
@@ -267,12 +317,20 @@ mod tests {
     }
 
     #[test]
+    fn every_truncation_point_errors_without_panicking() {
+        let bytes = encode(&sample());
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
     fn detects_bitflips() {
         let bytes = encode(&sample());
         for pos in [0usize, 5, 8, 20, bytes.len() - 9] {
-            let mut corrupted = bytes.to_vec();
+            let mut corrupted = bytes.clone();
             corrupted[pos] ^= 0x40;
-            let e = decode(&Bytes::from(corrupted)).unwrap_err();
+            let e = decode(&corrupted).unwrap_err();
             assert!(
                 matches!(
                     e,
@@ -284,29 +342,93 @@ mod tests {
     }
 
     #[test]
-    fn rejects_wrong_magic() {
+    fn every_single_bitflip_errors_without_panicking() {
+        // Exhaustive single-bit corruption: decode must reject (any error
+        // variant) and never panic. Checksum catches almost all of these;
+        // the point is the "never panic" guarantee.
         let bytes = encode(&sample());
-        let mut v = bytes.to_vec();
-        v[0] = b'Y';
-        // Re-stamp the checksum so the magic check is what fires.
+        for pos in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut corrupted = bytes.clone();
+                corrupted[pos] ^= 1 << bit;
+                assert!(decode(&corrupted).is_err(), "flip bit {bit} at {pos}");
+            }
+        }
+    }
+
+    /// Corrupt a field in the payload and re-stamp the checksum, so the
+    /// field's own validation (not the checksum) is what must fire.
+    fn restamp(mut v: Vec<u8>) -> Vec<u8> {
         let csum = fnv1a(&v[..v.len() - 8]);
         let len = v.len();
         v[len - 8..].copy_from_slice(&csum.to_le_bytes());
-        assert_eq!(decode(&Bytes::from(v)).unwrap_err(), StoreError::BadMagic);
+        v
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let mut v = encode(&sample());
+        v[0] = b'Y';
+        assert_eq!(decode(&restamp(v)).unwrap_err(), StoreError::BadMagic);
     }
 
     #[test]
     fn rejects_future_version() {
-        let bytes = encode(&sample());
-        let mut v = bytes.to_vec();
+        let mut v = encode(&sample());
         v[4] = 9; // version LE low byte
-        let csum = fnv1a(&v[..v.len() - 8]);
-        let len = v.len();
-        v[len - 8..].copy_from_slice(&csum.to_le_bytes());
         assert_eq!(
-            decode(&Bytes::from(v)).unwrap_err(),
+            decode(&restamp(v)).unwrap_err(),
             StoreError::UnsupportedVersion(9)
         );
+    }
+
+    #[test]
+    fn rejects_huge_node_count_before_allocating() {
+        // Node count claims u32::MAX nodes in a tiny payload; the guard
+        // must reject it before Vec::with_capacity sees the count.
+        let mut v = encode(&sample());
+        v[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode(&restamp(v)).unwrap_err(), StoreError::Truncated);
+    }
+
+    #[test]
+    fn rejects_huge_string_length() {
+        // First lstr length (root tag, offset 14) inflated to u32::MAX.
+        let mut v = encode(&sample());
+        v[14..18].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode(&restamp(v)).unwrap_err(), StoreError::Truncated);
+    }
+
+    #[test]
+    fn rejects_invalid_utf8_in_string() {
+        // Root tag is "article" starting at offset 18; stomp a byte with
+        // an invalid UTF-8 sequence start.
+        let mut v = encode(&sample());
+        v[18] = 0xff;
+        assert_eq!(decode(&restamp(v)).unwrap_err(), StoreError::InvalidUtf8);
+    }
+
+    #[test]
+    fn rejects_forward_parent_pointer() {
+        // Second node's parent (right after the root record) pointed at
+        // itself, violating pre-order.
+        let d = parse_str("<a><b/></a>").unwrap();
+        // Layout: 4 magic + 2 version + 4 count + root(4 parent + 4+1 tag
+        // + 4+0 text + 2 nattrs) = 25; node 1's parent is at offset 25.
+        let mut v = encode(&d);
+        v[25..29].copy_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(
+            decode(&restamp(v)).unwrap_err(),
+            StoreError::StructuralError(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_and_garbage_input() {
+        assert_eq!(decode(&[]).unwrap_err(), StoreError::Truncated);
+        assert_eq!(decode(&[0u8; 5]).unwrap_err(), StoreError::Truncated);
+        let garbage: Vec<u8> = (0..64u8).collect();
+        assert!(decode(&garbage).is_err());
     }
 
     #[test]

@@ -187,6 +187,9 @@ impl Document {
         if self.is_ancestor_or_self(b, a) {
             return b;
         }
+        // invariant (all climbs below): a node still strictly deeper than
+        // another, or not yet equal to the LCA, cannot be the root, and
+        // every non-root has a parent entry.
         let (mut x, mut y) = (a, b);
         while self.depth(x) > self.depth(y) {
             x = self.parent[x.index()].expect("non-root has parent");
@@ -205,6 +208,8 @@ impl Document {
     /// of both endpoints and their LCA. Order is unspecified.
     pub fn path(&self, a: NodeId, b: NodeId) -> Vec<NodeId> {
         let l = self.lca(a, b);
+        // invariant: l is an ancestor-or-self of both endpoints, so a
+        // node not yet equal to l is not the root and has a parent.
         let mut out = Vec::new();
         let mut x = a;
         while x != l {

@@ -3,15 +3,14 @@
 //! The tree-algebra encoding performs many point lookups on the `node`
 //! and `anc` tables (`id = ?`, `node = ?`). A [`BTreeIndex`] maps a
 //! column value to the row numbers carrying it; [`IndexCache`] builds
-//! indexes on first use behind a `parking_lot::RwLock`, the usual
-//! read-mostly pattern for shared catalog state.
+//! indexes on first use behind an `RwLock`, the usual read-mostly
+//! pattern for shared catalog state.
 
 use crate::relation::Relation;
 use crate::value::Value;
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// A sorted index from column value to row offsets.
 #[derive(Debug, Clone, Default)]
@@ -67,27 +66,33 @@ impl IndexCache {
     /// supplies the relation because the cache does not own table storage.
     pub fn get_or_build(&self, table: &str, col: &str, rel: &Relation) -> Arc<BTreeIndex> {
         let key = (table.to_string(), col.to_string());
-        if let Some(idx) = self.cache.read().get(&key) {
+        // invariant: no code path panics while holding this lock, so it
+        // can never be poisoned; unwrap documents that rather than hiding
+        // a real failure mode.
+        if let Some(idx) = self.cache.read().unwrap().get(&key) {
             return Arc::clone(idx);
         }
         let built = Arc::new(BTreeIndex::build(rel, col));
-        let mut w = self.cache.write();
+        let mut w = self.cache.write().unwrap();
         Arc::clone(w.entry(key).or_insert(built))
     }
 
     /// Drop all cached indexes (call after replacing a table).
     pub fn invalidate(&self) {
-        self.cache.write().clear();
+        // invariant: see get_or_build — the lock cannot be poisoned.
+        self.cache.write().unwrap().clear();
     }
 
     /// Number of cached indexes.
     pub fn len(&self) -> usize {
-        self.cache.read().len()
+        // invariant: see get_or_build — the lock cannot be poisoned.
+        self.cache.read().unwrap().len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.cache.read().is_empty()
+        // invariant: see get_or_build — the lock cannot be poisoned.
+        self.cache.read().unwrap().is_empty()
     }
 }
 

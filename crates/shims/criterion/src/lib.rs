@@ -1,0 +1,249 @@
+//! Workspace-local stand-in for the subset of `criterion` the benches
+//! use. It actually measures (median of timed batches, wall clock) and
+//! prints one line per benchmark, but performs no statistical analysis,
+//! HTML reporting, or baseline comparison. Good enough for the relative
+//! A/B readings EXPERIMENTS.md records; swap in real criterion when a
+//! registry is reachable.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement budget per benchmark, wall clock.
+const TARGET_TIME: Duration = Duration::from_millis(300);
+const WARMUP_TIME: Duration = Duration::from_millis(50);
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&name.into(), None, &mut f);
+        self
+    }
+
+    pub fn final_summary(self) {}
+}
+
+/// A named benchmark family; `sample_size` is accepted for API
+/// compatibility (the time budget governs the sample count here).
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.label()),
+            self.throughput.as_ref(),
+            &mut f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.label()),
+            self.throughput.as_ref(),
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group: function name + parameter.
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.function.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.function, p),
+            None => self.function.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: s.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: s,
+            parameter: None,
+        }
+    }
+}
+
+/// Units the per-iteration time is normalized against.
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Timing loop handle passed to the closure under test.
+pub struct Bencher {
+    /// Total time and iterations accumulated by `iter` calls.
+    elapsed: Duration,
+    iters: u64,
+    deadline: Instant,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm up until the warmup budget is spent, then measure in
+        // growing batches until the target budget is spent.
+        let warm_end = Instant::now() + WARMUP_TIME;
+        while Instant::now() < warm_end {
+            black_box(f());
+        }
+        let mut batch: u64 = 1;
+        while Instant::now() < self.deadline {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.elapsed += t0.elapsed();
+            self.iters += batch;
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+    }
+
+    fn per_iter(&self) -> Option<Duration> {
+        if self.iters == 0 {
+            None
+        } else {
+            Some(self.elapsed / u32::try_from(self.iters.min(u32::MAX as u64)).unwrap_or(1))
+        }
+    }
+}
+
+fn run_one(label: &str, throughput: Option<&Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+        deadline: Instant::now() + TARGET_TIME,
+    };
+    f(&mut b);
+    match b.per_iter() {
+        Some(per) => {
+            let extra = match throughput {
+                Some(Throughput::Bytes(n)) if per.as_secs_f64() > 0.0 => {
+                    let mbps = *n as f64 / per.as_secs_f64() / 1e6;
+                    format!("  ({mbps:.1} MB/s)")
+                }
+                Some(Throughput::Elements(n)) if per.as_secs_f64() > 0.0 => {
+                    let eps = *n as f64 / per.as_secs_f64();
+                    format!("  ({eps:.0} elem/s)")
+                }
+                _ => String::new(),
+            };
+            println!("bench: {label:<60} {per:>12.3?}/iter{extra}");
+        }
+        None => println!("bench: {label:<60} (no iterations)"),
+    }
+}
+
+/// `criterion_group!(name, target, ...)` — simple form only.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(10);
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function(BenchmarkId::new("sum", 8), |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,653 @@
+//! Workspace-local stand-in for the subset of `proptest` this repository
+//! uses. It keeps the macro surface (`proptest!`, `prop_compose!`,
+//! `prop_oneof!`, `prop_assert*!`) and the combinator surface
+//! (`any::<T>()`, ranges, tuples, `prop::collection::vec`,
+//! `prop::option::of`, regex-literal string strategies, `prop_map`) but
+//! drops shrinking: a failing case panics with its case index and the
+//! generator is deterministic per test name, so failures reproduce
+//! exactly by re-running the test.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// Deterministic generator
+// ---------------------------------------------------------------------------
+
+/// SplitMix64 stream used by all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Seed from a test's module path + name: every test gets its own
+    /// stable stream, so adding a test never perturbs another's cases.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng { state: h }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------------
+
+/// A generator of values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.sample(rng)))
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy backed by a plain sampling closure (used by `prop_compose!`).
+pub struct FnStrategy<F>(F);
+
+impl<F> FnStrategy<F> {
+    pub fn new(f: F) -> Self {
+        FnStrategy(f)
+    }
+}
+
+impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<F> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Type-erased strategy; what `prop_oneof!` arms are unified into.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Uniform choice among boxed alternatives.
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+        let i = rng.below(self.0.len());
+        self.0[i].sample(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>() / Arbitrary
+// ---------------------------------------------------------------------------
+
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty)*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8 u16 u32 u64 usize i8 i16 i32 i64 isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Range strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty)*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (self.start as i128, self.end as i128);
+                assert!(lo < hi, "cannot sample empty range");
+                let span = (hi - lo) as u128;
+                (lo + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u128 + 1;
+                (lo + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8 u16 u32 u64 usize i8 i16 i32 i64 isize);
+
+// ---------------------------------------------------------------------------
+// Tuple strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+// ---------------------------------------------------------------------------
+// Regex-literal string strategies
+// ---------------------------------------------------------------------------
+
+/// A `&str` is a strategy: the string is interpreted as a (tiny) subset
+/// of regex — character classes with ranges, `\PC` (any printable), and
+/// `{m}` / `{m,n}` / `*` / `+` / `?` quantifiers — and sampled.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+#[derive(Clone)]
+enum Atom {
+    Class(Vec<char>),
+    Printable,
+}
+
+fn printable_char(rng: &mut TestRng) -> char {
+    // Mostly ASCII printable, occasionally multi-byte to exercise UTF-8
+    // handling in parsers.
+    const EXOTIC: &[char] = &['é', 'λ', '中', 'ß', '€', '☃'];
+    if rng.below(16) == 0 {
+        EXOTIC[rng.below(EXOTIC.len())]
+    } else {
+        char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap_or(' ')
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut prev: Option<char> = None;
+    for c in chars.by_ref() {
+        match c {
+            ']' => return set,
+            '-' => {
+                // Range if we have a previous char and a next char follows;
+                // resolved when the next char arrives via `prev` handling.
+                prev = Some('\u{0}'); // marker: pending range
+                continue;
+            }
+            '\\' => continue, // next char taken literally by the next arm
+            c => {
+                if prev == Some('\u{0}') {
+                    // Complete a pending range using the last pushed char.
+                    if let Some(&lo) = set.last() {
+                        let (lo, hi) = (lo as u32, c as u32);
+                        for u in lo + 1..=hi {
+                            if let Some(ch) = char::from_u32(u) {
+                                set.push(ch);
+                            }
+                        }
+                    }
+                } else {
+                    set.push(c);
+                }
+                prev = Some(c);
+            }
+        }
+    }
+    set
+}
+
+fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut atoms: Vec<(Atom, usize, usize)> = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => Atom::Class(parse_class(&mut chars)),
+            '\\' => match chars.next() {
+                Some('P') => {
+                    // `\PC` — not-a-control-character.
+                    if chars.peek() == Some(&'C') {
+                        chars.next();
+                    }
+                    Atom::Printable
+                }
+                Some('d') => Atom::Class(('0'..='9').collect()),
+                Some('w') => {
+                    let mut s: Vec<char> = ('a'..='z').collect();
+                    s.extend('A'..='Z');
+                    s.extend('0'..='9');
+                    s.push('_');
+                    Atom::Class(s)
+                }
+                Some(other) => Atom::Class(vec![other]),
+                None => break,
+            },
+            '.' => Atom::Printable,
+            other => Atom::Class(vec![other]),
+        };
+        // Optional quantifier.
+        let (lo, hi) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for q in chars.by_ref() {
+                    if q == '}' {
+                        break;
+                    }
+                    spec.push(q);
+                }
+                if let Some((a, b)) = spec.split_once(',') {
+                    (
+                        a.trim().parse().unwrap_or(0),
+                        b.trim().parse().unwrap_or(8),
+                    )
+                } else {
+                    let n = spec.trim().parse().unwrap_or(1);
+                    (n, n)
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        atoms.push((atom, lo, hi));
+    }
+
+    let mut out = String::new();
+    for (atom, lo, hi) in atoms {
+        let n = lo + rng.below(hi - lo + 1);
+        for _ in 0..n {
+            match &atom {
+                Atom::Class(set) if !set.is_empty() => out.push(set[rng.below(set.len())]),
+                Atom::Class(_) => {}
+                Atom::Printable => out.push(printable_char(rng)),
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+/// Sizes accepted by [`prop::collection::vec`]: an exact count or a
+/// half-open / inclusive range.
+pub trait IntoSizeRange {
+    /// Inclusive bounds.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoSizeRange for RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    lo: usize,
+    hi: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.lo + rng.below(self.hi - self.lo + 1);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+pub struct OptionStrategy<S>(S);
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.0.sample(rng))
+        }
+    }
+}
+
+pub mod prop {
+    pub mod collection {
+        use crate::{IntoSizeRange, Strategy, VecStrategy};
+
+        pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+            let (lo, hi) = size.bounds();
+            VecStrategy { element, lo, hi }
+        }
+    }
+
+    pub mod option {
+        use crate::{OptionStrategy, Strategy};
+
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy(inner)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner configuration + failure reporting
+// ---------------------------------------------------------------------------
+
+/// Runner configuration; only `cases` is meaningful here.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Prints the failing case index if a test body panics (no shrinking;
+/// the deterministic per-test stream makes the failure reproducible).
+pub struct CaseGuard {
+    case: u32,
+    armed: bool,
+}
+
+impl CaseGuard {
+    pub fn new(case: u32) -> Self {
+        CaseGuard { case, armed: true }
+    }
+
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest: case #{} failed (deterministic per-test stream; re-run to reproduce)",
+                self.case
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            #[allow(unused_imports)]
+            use $crate::Strategy as _;
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let __guard = $crate::CaseGuard::new(__case);
+                $(let $pat = ($strat).sample(&mut __rng);)+
+                { $body }
+                __guard.disarm();
+            }
+        }
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($arg:ident: $argty:ty),* $(,)?)($($pat:pat in $strat:expr),+ $(,)?) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($arg: $argty),*) -> impl $crate::Strategy<Value = $ret> {
+            #[allow(unused_imports)]
+            use $crate::Strategy as _;
+            $crate::FnStrategy::new(move |__rng: &mut $crate::TestRng| {
+                $(let $pat = ($strat).sample(__rng);)+
+                $body
+            })
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        #[allow(unused_imports)]
+        use $crate::Strategy as _;
+        $crate::Union(vec![$(($arm).boxed()),+])
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof,
+        proptest, Any, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_vecs_sample_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..200 {
+            let v = prop::collection::vec(0u32..10, 2..5).sample(&mut rng);
+            assert!(v.len() >= 2 && v.len() < 5);
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn regex_subset_samples_match_class() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..200 {
+            let s = "[a-z]{1,4}".sample(&mut rng);
+            assert!((1..=4).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+            let p = "\\PC{0,20}".sample(&mut rng);
+            assert!(p.chars().count() <= 20);
+            assert!(p.chars().all(|c| !c.is_control()), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let mut rng = TestRng::from_seed(3);
+        let strat = prop_oneof![
+            (0i64..4).prop_map(|v| v * 2),
+            Just(100i64),
+        ];
+        let mut saw_just = false;
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng);
+            assert!(v == 100 || (v % 2 == 0 && v < 8));
+            saw_just |= v == 100;
+        }
+        assert!(saw_just);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn the_macro_itself_runs(xs in prop::collection::vec(any::<usize>(), 0..6), b in any::<bool>()) {
+            prop_assert!(b || xs.len() < 6);
+            prop_assert_eq!(xs.len().min(5), xs.len());
+        }
+    }
+}

@@ -1,0 +1,478 @@
+//! Workspace-local stand-in for the subset of `serde` this repository
+//! uses. The build environment has no access to a crate registry, so the
+//! workspace vendors a minimal data model instead: every serializable
+//! value lowers to a [`JsonValue`] tree, and a [`ser::Serializer`] /
+//! [`de::Deserializer`] is simply a sink/source of such trees. This keeps
+//! the public trait shapes that the repo's hand-written impls rely on
+//! (`Serialize::serialize<S: Serializer>`, associated `Ok`/`Error` types)
+//! while staying a few hundred lines of dependency-free code.
+
+use std::fmt::Display;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The universal data model every value serializes into.
+///
+/// Objects preserve insertion order so serialized output is deterministic
+/// (plans are cached by their JSON text).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<JsonValue>),
+    Object(Vec<(String, JsonValue)>),
+}
+
+pub mod ser {
+    use super::JsonValue;
+    use std::fmt::Display;
+
+    /// Error constraint for serializers.
+    pub trait Error: Sized {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A sink for one [`JsonValue`] tree.
+    pub trait Serializer: Sized {
+        type Ok;
+        type Error: Error;
+        fn serialize_value(self, value: JsonValue) -> Result<Self::Ok, Self::Error>;
+    }
+}
+
+pub mod de {
+    use super::JsonValue;
+    use std::fmt::Display;
+
+    /// Error constraint for deserializers.
+    pub trait Error: Sized {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A source of one [`JsonValue`] tree.
+    pub trait Deserializer<'de>: Sized {
+        type Error: Error;
+        fn take_value(self) -> Result<JsonValue, Self::Error>;
+    }
+
+    /// Deserializable without borrowing from the input.
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+    impl<T> DeserializeOwned for T where T: for<'de> super::Deserialize<'de> {}
+}
+
+/// A type that can lower itself into the data model.
+pub trait Serialize {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A type that can rebuild itself from the data model.
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: de::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Value-level plumbing
+// ---------------------------------------------------------------------------
+
+/// Uninhabited error for the infallible [`ValueSerializer`].
+#[derive(Debug)]
+pub enum Impossible {}
+
+impl ser::Error for Impossible {
+    fn custom<T: Display>(msg: T) -> Self {
+        unreachable!("value serialization is infallible: {msg}")
+    }
+}
+
+/// Serializer that just hands the value tree back.
+pub struct ValueSerializer;
+
+impl ser::Serializer for ValueSerializer {
+    type Ok = JsonValue;
+    type Error = Impossible;
+    fn serialize_value(self, value: JsonValue) -> Result<JsonValue, Impossible> {
+        Ok(value)
+    }
+}
+
+/// Lower any serializable value into a [`JsonValue`]. Infallible by
+/// construction: the value serializer has no failure mode.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> JsonValue {
+    match value.serialize(ValueSerializer) {
+        Ok(v) => v,
+        Err(e) => match e {},
+    }
+}
+
+/// Deserializer that yields a pre-built value tree, generic in the error
+/// type so derive-generated code can thread its caller's `D::Error`.
+pub struct ValueDeserializer<E> {
+    value: JsonValue,
+    _marker: std::marker::PhantomData<fn() -> E>,
+}
+
+impl<E> ValueDeserializer<E> {
+    pub fn new(value: JsonValue) -> Self {
+        ValueDeserializer {
+            value,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<'de, E: de::Error> de::Deserializer<'de> for ValueDeserializer<E> {
+    type Error = E;
+    fn take_value(self) -> Result<JsonValue, E> {
+        Ok(self.value)
+    }
+}
+
+/// Rebuild a value from a [`JsonValue`] tree.
+pub fn from_value<'de, T: Deserialize<'de>, E: de::Error>(value: JsonValue) -> Result<T, E> {
+    T::deserialize(ValueDeserializer::new(value))
+}
+
+// ---------------------------------------------------------------------------
+// Impls for primitives and std containers
+// ---------------------------------------------------------------------------
+
+fn type_name(v: &JsonValue) -> &'static str {
+    match v {
+        JsonValue::Null => "null",
+        JsonValue::Bool(_) => "bool",
+        JsonValue::Int(_) | JsonValue::UInt(_) => "integer",
+        JsonValue::Float(_) => "float",
+        JsonValue::Str(_) => "string",
+        JsonValue::Array(_) => "array",
+        JsonValue::Object(_) => "object",
+    }
+}
+
+fn mismatch<E: de::Error>(expected: &str, got: &JsonValue) -> E {
+    E::custom(format!("expected {expected}, found {}", type_name(got)))
+}
+
+fn as_u64<E: de::Error>(v: JsonValue) -> Result<u64, E> {
+    match v {
+        JsonValue::UInt(u) => Ok(u),
+        JsonValue::Int(i) if i >= 0 => Ok(i as u64),
+        other => Err(mismatch("unsigned integer", &other)),
+    }
+}
+
+fn as_i64<E: de::Error>(v: JsonValue) -> Result<i64, E> {
+    match v {
+        JsonValue::Int(i) => Ok(i),
+        JsonValue::UInt(u) if u <= i64::MAX as u64 => Ok(u as i64),
+        other => Err(mismatch("integer", &other)),
+    }
+}
+
+fn as_f64<E: de::Error>(v: JsonValue) -> Result<f64, E> {
+    match v {
+        JsonValue::Float(f) => Ok(f),
+        JsonValue::Int(i) => Ok(i as f64),
+        JsonValue::UInt(u) => Ok(u as f64),
+        other => Err(mismatch("number", &other)),
+    }
+}
+
+macro_rules! impl_ser_uint {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(JsonValue::UInt(*self as u64))
+            }
+        }
+    )*};
+}
+impl_ser_uint!(u8 u16 u32 u64 usize);
+
+macro_rules! impl_ser_int {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(JsonValue::Int(*self as i64))
+            }
+        }
+    )*};
+}
+impl_ser_int!(i8 i16 i32 i64 isize);
+
+macro_rules! impl_de_uint {
+    ($($t:ty)*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let u = as_u64::<D::Error>(d.take_value()?)?;
+                <$t>::try_from(u)
+                    .map_err(|_| de::Error::custom(format!("{u} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_de_uint!(u8 u16 u32 u64 usize);
+
+macro_rules! impl_de_int {
+    ($($t:ty)*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let i = as_i64::<D::Error>(d.take_value()?)?;
+                <$t>::try_from(i)
+                    .map_err(|_| de::Error::custom(format!("{i} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_de_int!(i8 i16 i32 i64 isize);
+
+impl Serialize for f64 {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(JsonValue::Float(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(JsonValue::Float(*self as f64))
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        as_f64::<D::Error>(d.take_value()?)
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(as_f64::<D::Error>(d.take_value()?)? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(JsonValue::Bool(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            JsonValue::Bool(b) => Ok(b),
+            other => Err(mismatch("bool", &other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(JsonValue::Str(self.to_string()))
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            JsonValue::Str(st) => {
+                let mut it = st.chars();
+                match (it.next(), it.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(de::Error::custom("expected single-character string")),
+                }
+            }
+            other => Err(mismatch("string", &other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(JsonValue::Str(self.to_string()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(JsonValue::Str(self.clone()))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            JsonValue::Str(st) => Ok(st),
+            other => Err(mismatch("string", &other)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(Box::new(T::deserialize(d)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => s.serialize_value(JsonValue::Null),
+            Some(v) => s.serialize_value(to_value(v)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            JsonValue::Null => Ok(None),
+            other => Ok(Some(from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(JsonValue::Array(self.iter().map(to_value).collect()))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            JsonValue::Array(items) => items.into_iter().map(from_value).collect(),
+            other => Err(mismatch("array", &other)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(JsonValue::Array(vec![$(to_value(&self.$idx)),+]))
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.take_value()? {
+                    JsonValue::Array(items) => {
+                        let expected = 0usize $(+ { let _ = $idx; 1 })+;
+                        if items.len() != expected {
+                            return Err(de::Error::custom(format!(
+                                "expected tuple of {expected}, found array of {}", items.len()
+                            )));
+                        }
+                        let mut it = items.into_iter();
+                        Ok(($({
+                            let _ = $idx;
+                            let item = match it.next() {
+                                Some(v) => v,
+                                // invariant: length checked above.
+                                None => return Err(de::Error::custom("tuple underflow")),
+                            };
+                            from_value::<$name, D::Error>(item)?
+                        },)+))
+                    }
+                    other => Err(mismatch("array", &other)),
+                }
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, E: 3)
+}
+
+// ---------------------------------------------------------------------------
+// Support for derive-generated code (stable names, not a public API)
+// ---------------------------------------------------------------------------
+
+#[doc(hidden)]
+pub mod __private {
+    pub use super::{from_value, to_value, JsonValue};
+    use super::{de, mismatch};
+
+    /// Remove and return a named field from a decoded object.
+    pub fn take_field<E: de::Error>(
+        obj: &mut Vec<(String, JsonValue)>,
+        name: &str,
+    ) -> Result<JsonValue, E> {
+        match obj.iter().position(|(k, _)| k == name) {
+            Some(i) => Ok(obj.remove(i).1),
+            None => Err(E::custom(format!("missing field `{name}`"))),
+        }
+    }
+
+    pub fn expect_object<E: de::Error>(v: JsonValue) -> Result<Vec<(String, JsonValue)>, E> {
+        match v {
+            JsonValue::Object(o) => Ok(o),
+            other => Err(mismatch("object", &other)),
+        }
+    }
+
+    pub fn expect_array<E: de::Error>(v: JsonValue) -> Result<Vec<JsonValue>, E> {
+        match v {
+            JsonValue::Array(a) => Ok(a),
+            other => Err(mismatch("array", &other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip_through_value() {
+        assert_eq!(to_value(&42u32), JsonValue::UInt(42));
+        assert_eq!(to_value(&-7i64), JsonValue::Int(-7));
+        assert_eq!(to_value(&true), JsonValue::Bool(true));
+        assert_eq!(to_value("hi"), JsonValue::Str("hi".into()));
+        let v: Vec<u32> = from_value::<_, Demo>(to_value(&vec![1u32, 2, 3])).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        let t: (String, u8) = from_value::<_, Demo>(to_value(&("a".to_string(), 9u8))).unwrap();
+        assert_eq!(t, ("a".to_string(), 9));
+        let o: Option<u8> = from_value::<_, Demo>(JsonValue::Null).unwrap();
+        assert_eq!(o, None);
+    }
+
+    #[test]
+    fn range_errors_are_reported() {
+        assert!(from_value::<u8, Demo>(JsonValue::UInt(300)).is_err());
+        assert!(from_value::<bool, Demo>(JsonValue::Int(1)).is_err());
+    }
+
+    #[derive(Debug)]
+    struct Demo(#[allow(dead_code)] String);
+    impl de::Error for Demo {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            Demo(msg.to_string())
+        }
+    }
+}

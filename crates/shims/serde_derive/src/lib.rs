@@ -1,0 +1,434 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the workspace's
+//! offline serde stand-in.
+//!
+//! The macros parse the item declaration directly from the token stream
+//! (no `syn`/`quote` — the registry is unreachable) and emit impls that
+//! lower values to / rebuild values from `serde::JsonValue` trees via the
+//! helpers in `serde::__private`. Supported shapes are exactly what the
+//! workspace declares: structs with named fields, newtype and tuple
+//! structs, and enums whose variants are unit, newtype, tuple, or
+//! struct-like. Generic type parameters are not supported.
+//!
+//! Encoding (mirrors serde's "externally tagged" default):
+//! - named struct      → `{field: value, ...}`
+//! - newtype struct    → inner value
+//! - tuple struct      → `[v0, v1, ...]`
+//! - unit variant      → `"Name"`
+//! - newtype variant   → `{"Name": value}`
+//! - tuple variant     → `{"Name": [v0, ...]}`
+//! - struct variant    → `{"Name": {field: value, ...}}`
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Item model + parser
+// ---------------------------------------------------------------------------
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Skip `#[...]` attributes and a `pub` / `pub(...)` visibility prefix.
+fn skip_attrs_and_vis(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                // invariant: a lone `#` in item position is always followed
+                // by a bracket group (the attribute body).
+                toks.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Split a field-list token group on top-level commas, tracking `<...>`
+/// nesting so `Vec<Option<NodeId>>` stays one piece. Parens/brackets are
+/// opaque sub-groups in the token tree, so only angle brackets need care.
+fn split_top_commas(group: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut pieces: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle: i32 = 0;
+    for t in group {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                pieces.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        pieces.push(cur);
+    }
+    pieces
+}
+
+/// Parse one field declaration piece into its name (named fields) after
+/// stripping attributes and visibility.
+fn field_name(piece: &[TokenTree]) -> Option<String> {
+    let mut it = piece.iter().cloned().peekable();
+    skip_attrs_and_vis(&mut it);
+    match it.next() {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    split_top_commas(group)
+        .iter()
+        .filter_map(|p| field_name(p))
+        .collect()
+}
+
+fn parse_enum_variants(group: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = group.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(_) => continue,
+            None => break,
+        };
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = split_top_commas(g.stream()).len();
+                toks.next();
+                Fields::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(g.stream());
+                toks.next();
+                Fields::Named(named)
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Consume up to and including the variant separator (skips
+        // explicit discriminants, which the workspace does not use).
+        for t in toks.by_ref() {
+            if matches!(&t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut toks);
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("generic type `{name}` is not supported by the offline serde derive"));
+    }
+    match kind.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Struct {
+                name,
+                fields: Fields::Named(parse_named_fields(g.stream())),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::Struct {
+                    name,
+                    fields: Fields::Tuple(split_top_commas(g.stream()).len()),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::Struct {
+                name,
+                fields: Fields::Unit,
+            }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_enum_variants(g.stream()),
+            }),
+            other => Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+const P: &str = "::serde::__private";
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap_or_default()
+}
+
+/// Expression producing the `JsonValue` for a named-field set, given
+/// bindings `{prefix}{field}` in scope.
+fn named_to_object(fields: &[String], prefix: &str) -> String {
+    let pushes: String = fields
+        .iter()
+        .map(|f| format!("({:?}.to_string(), {P}::to_value({prefix}{f})),", f))
+        .collect();
+    format!("{P}::JsonValue::Object(vec![{pushes}])")
+}
+
+/// Statements rebuilding named fields from an object binding `__obj`,
+/// as `field: expr,` initializers.
+fn named_from_object(fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: {P}::from_value({P}::take_field::<__D::Error>(&mut __obj, {f:?})?)?,"
+            )
+        })
+        .collect()
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let expr = match fields {
+                Fields::Named(fs) => {
+                    let refs: Vec<String> = fs.iter().map(|f| format!("&self.{f}")).collect();
+                    let pushes: String = fs
+                        .iter()
+                        .zip(&refs)
+                        .map(|(f, r)| format!("({f:?}.to_string(), {P}::to_value({r})),"))
+                        .collect();
+                    format!("{P}::JsonValue::Object(vec![{pushes}])")
+                }
+                Fields::Tuple(1) => format!("{P}::to_value(&self.0)"),
+                Fields::Tuple(n) => {
+                    let items: String =
+                        (0..*n).map(|i| format!("{P}::to_value(&self.{i}),")).collect();
+                    format!("{P}::JsonValue::Array(vec![{items}])")
+                }
+                Fields::Unit => format!("{P}::JsonValue::Null"),
+            };
+            (name, format!("__serializer.serialize_value({expr})"))
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "Self::{vn} => __serializer.serialize_value({P}::JsonValue::Str({vn:?}.to_string())),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let inner = if *n == 1 {
+                                format!("{P}::to_value(__f0)")
+                            } else {
+                                let items: String =
+                                    binds.iter().map(|b| format!("{P}::to_value({b}),")).collect();
+                                format!("{P}::JsonValue::Array(vec![{items}])")
+                            };
+                            format!(
+                                "Self::{vn}({}) => __serializer.serialize_value({P}::JsonValue::Object(vec![({vn:?}.to_string(), {inner})])),",
+                                binds.join(", ")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let binds: String =
+                                fs.iter().map(|f| format!("{f}: __b_{f},")).collect();
+                            let obj = named_to_object(
+                                fs,
+                                "__b_",
+                            );
+                            format!(
+                                "Self::{vn} {{ {binds} }} => __serializer.serialize_value({P}::JsonValue::Object(vec![({vn:?}.to_string(), {obj})])),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            (name, format!("match self {{ {arms} }}"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let inits = named_from_object(fs);
+                    format!(
+                        "let mut __obj = {P}::expect_object::<__D::Error>(__value)?;\n\
+                         ::core::result::Result::Ok({name} {{ {inits} }})"
+                    )
+                }
+                Fields::Tuple(1) => format!(
+                    "::core::result::Result::Ok({name}({P}::from_value(__value)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let takes: String = (0..*n)
+                        .map(|_| {
+                            format!(
+                                "{P}::from_value(match __it.next() {{\n\
+                                     Some(v) => v,\n\
+                                     None => return Err(::serde::de::Error::custom(\"tuple struct arity mismatch\")),\n\
+                                 }})?,"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let __arr = {P}::expect_array::<__D::Error>(__value)?;\n\
+                         if __arr.len() != {n} {{\n\
+                             return Err(::serde::de::Error::custom(\"tuple struct arity mismatch\"));\n\
+                         }}\n\
+                         let mut __it = __arr.into_iter();\n\
+                         ::core::result::Result::Ok({name}({takes}))"
+                    )
+                }
+                Fields::Unit => format!("::core::result::Result::Ok({name})"),
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("{:?} => ::core::result::Result::Ok(Self::{}),", v.name, v.name))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => String::new(),
+                        Fields::Tuple(1) => format!(
+                            "{vn:?} => ::core::result::Result::Ok(Self::{vn}({P}::from_value(__inner)?)),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let takes: String = (0..*n)
+                                .map(|_| {
+                                    format!(
+                                        "{P}::from_value(match __it.next() {{\n\
+                                             Some(v) => v,\n\
+                                             None => return Err(::serde::de::Error::custom(\"variant arity mismatch\")),\n\
+                                         }})?,"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{vn:?} => {{\n\
+                                     let __arr = {P}::expect_array::<__D::Error>(__inner)?;\n\
+                                     if __arr.len() != {n} {{\n\
+                                         return Err(::serde::de::Error::custom(\"variant arity mismatch\"));\n\
+                                     }}\n\
+                                     let mut __it = __arr.into_iter();\n\
+                                     ::core::result::Result::Ok(Self::{vn}({takes}))\n\
+                                 }}"
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let inits = named_from_object(fs);
+                            format!(
+                                "{vn:?} => {{\n\
+                                     let mut __obj = {P}::expect_object::<__D::Error>(__inner)?;\n\
+                                     ::core::result::Result::Ok(Self::{vn} {{ {inits} }})\n\
+                                 }}"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            let body = format!(
+                "match __value {{\n\
+                     {P}::JsonValue::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => Err(::serde::de::Error::custom(\n\
+                             format!(\"unknown unit variant `{{__other}}` for {name}\"))),\n\
+                     }},\n\
+                     {P}::JsonValue::Object(mut __o) if __o.len() == 1 => {{\n\
+                         let (__tag, __inner) = __o.remove(0);\n\
+                         match __tag.as_str() {{\n\
+                             {data_arms}\n\
+                             __other => Err(::serde::de::Error::custom(\n\
+                                 format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => Err(::serde::de::Error::custom(\n\
+                         format!(\"invalid representation for enum {name}\"))),\n\
+                 }}"
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::de::Deserializer<'de>>(__deserializer: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 #[allow(unused_variables)]\n\
+                 let __value = __deserializer.take_value()?;\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde derive codegen error: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde derive codegen error: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}

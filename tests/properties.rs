@@ -12,12 +12,14 @@
 //! | `σ_Pa(F1 ⋈ F2) = σ_Pa(σ_Pa F1 ⋈ σ_Pa F2)` | Theorem 3 |
 //! | size/height/width filters satisfy Definition 11 | §3.3 |
 //! | all four strategies agree | §4 |
+//! | budgeted answers ⊆ exact; undegraded ⇒ equal | robustness layer |
 
 use proptest::prelude::*;
 use xfrag::core::{
-    evaluate, fixed_point_naive, fixed_point_reduced, fragment_join, fragment_join_all,
-    fragment_join_many, pairwise_join, powerset_join, powerset_via_fixpoint, reduce, select,
-    EvalStats, FilterExpr, FixpointMode, Fragment, FragmentSet, Query, Strategy,
+    evaluate, evaluate_budgeted, fixed_point_naive, fixed_point_reduced, fragment_join,
+    fragment_join_all, fragment_join_many, pairwise_join, powerset_join, powerset_via_fixpoint,
+    reduce, select, Budget, EvalStats, ExecPolicy, FilterExpr, FixpointMode, Fragment,
+    FragmentSet, Query, Strategy,
 };
 use xfrag::doc::{Document, DocumentBuilder, InvertedIndex, NodeId};
 
@@ -309,6 +311,54 @@ proptest! {
         for s in [Strategy::FixedPointNaive, Strategy::FixedPointReduced, Strategy::PushDown] {
             let r = evaluate(&doc, &idx, &q, s).unwrap();
             prop_assert_eq!(&r.fragments, &oracle.fragments, "strategy {}", s.name());
+        }
+    }
+
+    /// Budget soundness: under ANY join/fragment budget, every strategy
+    /// either completes exactly (no degradation report, answer equal to
+    /// the exact one) or degrades to a subset of the exact answer. The
+    /// ladder may drop answers; it must never invent them.
+    #[test]
+    fn budgeted_answers_are_sound_subsets(
+        choices in prop::collection::vec(any::<usize>(), 0..12),
+        t1 in any::<usize>(),
+        t2 in any::<usize>(),
+        max_joins in 0u64..60,
+        max_fragments in 1u64..40,
+    ) {
+        let doc = build_tree(&choices);
+        let n = doc.len();
+        let term1 = format!("t{}", t1 % n);
+        let term2 = format!("t{}", t2 % n);
+        let idx = InvertedIndex::build(&doc);
+        let q = Query::new([term1, term2], FilterExpr::True);
+        let exact = evaluate(&doc, &idx, &q, Strategy::FixedPointNaive).unwrap();
+        let policy = ExecPolicy::with_budget(
+            Budget::unlimited()
+                .with_max_joins(max_joins)
+                .with_max_fragments(max_fragments),
+        );
+        for s in [
+            Strategy::BruteForce,
+            Strategy::FixedPointNaive,
+            Strategy::FixedPointReduced,
+            Strategy::PushDown,
+        ] {
+            let r = evaluate_budgeted(&doc, &idx, &q, s, &policy).unwrap();
+            for f in r.fragments.iter() {
+                prop_assert!(
+                    exact.fragments.contains(f),
+                    "strategy {}: budgeted answer not in exact set", s.name()
+                );
+            }
+            if !r.degradation.is_degraded() {
+                prop_assert_eq!(
+                    &r.fragments, &exact.fragments,
+                    "strategy {}: undegraded but not exact", s.name()
+                );
+            } else {
+                prop_assert!(!r.degradation.trips.is_empty());
+            }
         }
     }
 }
