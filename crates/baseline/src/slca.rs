@@ -13,7 +13,10 @@ pub(crate) fn subtree_masks(
     index: &InvertedIndex,
     terms: &[String],
 ) -> (Vec<u64>, Vec<u64>) {
-    assert!(terms.len() <= 64, "mask algorithms support at most 64 terms");
+    assert!(
+        terms.len() <= 64,
+        "mask algorithms support at most 64 terms"
+    );
     let n = doc.len();
     let mut own = vec![0u64; n];
     for (bit, term) in terms.iter().enumerate() {
@@ -48,11 +51,7 @@ pub fn slca(doc: &Document, index: &InvertedIndex, terms: &[String]) -> Vec<Node
     }
     doc.node_ids()
         .filter(|&v| {
-            sub[v.index()] == full
-                && !doc
-                    .children(v)
-                    .iter()
-                    .any(|c| sub[c.index()] == full)
+            sub[v.index()] == full && !doc.children(v).iter().any(|c| sub[c.index()] == full)
         })
         .collect()
 }
@@ -92,10 +91,7 @@ mod tests {
     fn single_keyword_slcas_are_occurrences() {
         let d = doc();
         let idx = InvertedIndex::build(&d);
-        assert_eq!(
-            slca(&d, &idx, &terms(&["k1"])),
-            vec![NodeId(1), NodeId(3)]
-        );
+        assert_eq!(slca(&d, &idx, &terms(&["k1"])), vec![NodeId(1), NodeId(3)]);
     }
 
     #[test]

@@ -72,10 +72,7 @@ fn bench_filter_placement(c: &mut Criterion) {
     let fx = query_fixture(3_000, 6, 6, 13);
     let mut group = c.benchmark_group("ablation/filter-placement");
     group.sample_size(10);
-    let query = Query::new(
-        [fx.term1.clone(), fx.term2.clone()],
-        FilterExpr::MaxSize(4),
-    );
+    let query = Query::new([fx.term1.clone(), fx.term2.clone()], FilterExpr::MaxSize(4));
     group.bench_function("inside-rounds", |b| {
         b.iter(|| {
             black_box(evaluate(&fx.doc, &fx.index, black_box(&query), Strategy::PushDown).unwrap())
@@ -84,8 +81,13 @@ fn bench_filter_placement(c: &mut Criterion) {
     group.bench_function("compute-then-filter", |b| {
         b.iter(|| {
             black_box(
-                evaluate(&fx.doc, &fx.index, black_box(&query), Strategy::FixedPointNaive)
-                    .unwrap(),
+                evaluate(
+                    &fx.doc,
+                    &fx.index,
+                    black_box(&query),
+                    Strategy::FixedPointNaive,
+                )
+                .unwrap(),
             )
         })
     });

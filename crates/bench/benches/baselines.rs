@@ -26,17 +26,17 @@ fn bench_baselines(c: &mut Criterion) {
             &terms,
             |b, ts| b.iter(|| black_box(smallest_subtree(&fx.doc, &fx.index, black_box(ts)))),
         );
-        let query = Query::new(
-            [fx.term1.clone(), fx.term2.clone()],
-            FilterExpr::MaxSize(6),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("xfrag-pushdown", nodes),
-            &query,
-            |b, q| {
-                b.iter(|| black_box(evaluate(&fx.doc, &fx.index, black_box(q), Strategy::PushDown)))
-            },
-        );
+        let query = Query::new([fx.term1.clone(), fx.term2.clone()], FilterExpr::MaxSize(6));
+        group.bench_with_input(BenchmarkId::new("xfrag-pushdown", nodes), &query, |b, q| {
+            b.iter(|| {
+                black_box(evaluate(
+                    &fx.doc,
+                    &fx.index,
+                    black_box(q),
+                    Strategy::PushDown,
+                ))
+            })
+        });
     }
     group.finish();
 }

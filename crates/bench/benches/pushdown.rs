@@ -19,17 +19,11 @@ fn bench_beta_sweep(c: &mut Criterion) {
             FilterExpr::MaxSize(beta),
         );
         for strategy in [Strategy::FixedPointNaive, Strategy::PushDown] {
-            group.bench_with_input(
-                BenchmarkId::new(strategy.name(), beta),
-                &beta,
-                |b, _| {
-                    b.iter(|| {
-                        black_box(
-                            evaluate(&fx.doc, &fx.index, black_box(&query), strategy).unwrap(),
-                        )
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(strategy.name(), beta), &beta, |b, _| {
+                b.iter(|| {
+                    black_box(evaluate(&fx.doc, &fx.index, black_box(&query), strategy).unwrap())
+                })
+            });
         }
     }
     group.finish();
@@ -42,22 +36,13 @@ fn bench_docsize_sweep(c: &mut Criterion) {
     group.sample_size(10);
     for nodes in [500usize, 2_000, 8_000] {
         let fx = query_fixture(nodes, 6, 6, 11);
-        let query = Query::new(
-            [fx.term1.clone(), fx.term2.clone()],
-            FilterExpr::MaxSize(4),
-        );
+        let query = Query::new([fx.term1.clone(), fx.term2.clone()], FilterExpr::MaxSize(4));
         for strategy in [Strategy::FixedPointNaive, Strategy::PushDown] {
-            group.bench_with_input(
-                BenchmarkId::new(strategy.name(), nodes),
-                &nodes,
-                |b, _| {
-                    b.iter(|| {
-                        black_box(
-                            evaluate(&fx.doc, &fx.index, black_box(&query), strategy).unwrap(),
-                        )
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(strategy.name(), nodes), &nodes, |b, _| {
+                b.iter(|| {
+                    black_box(evaluate(&fx.doc, &fx.index, black_box(&query), strategy).unwrap())
+                })
+            });
         }
     }
     group.finish();

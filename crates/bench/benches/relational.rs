@@ -13,15 +13,10 @@ fn bench_relational(c: &mut Criterion) {
     for nodes in [500usize, 2_000] {
         let fx = query_fixture(nodes, 4, 4, 17);
         let db = encode_document(&fx.doc);
-        let query = Query::new(
-            [fx.term1.clone(), fx.term2.clone()],
-            FilterExpr::MaxSize(6),
-        );
+        let query = Query::new([fx.term1.clone(), fx.term2.clone()], FilterExpr::MaxSize(6));
         group.bench_with_input(BenchmarkId::new("native", nodes), &query, |b, q| {
             b.iter(|| {
-                black_box(
-                    evaluate(&fx.doc, &fx.index, black_box(q), Strategy::PushDown).unwrap(),
-                )
+                black_box(evaluate(&fx.doc, &fx.index, black_box(q), Strategy::PushDown).unwrap())
             })
         });
         group.bench_with_input(BenchmarkId::new("relational", nodes), &query, |b, q| {

@@ -25,17 +25,11 @@ fn bench_strategies(c: &mut Criterion) {
             if strategy == Strategy::BruteForce && df > 6 {
                 continue;
             }
-            group.bench_with_input(
-                BenchmarkId::new(strategy.name(), df),
-                &df,
-                |b, _| {
-                    b.iter(|| {
-                        black_box(
-                            evaluate(&fx.doc, &fx.index, black_box(&query), strategy).unwrap(),
-                        )
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(strategy.name(), df), &df, |b, _| {
+                b.iter(|| {
+                    black_box(evaluate(&fx.doc, &fx.index, black_box(&query), strategy).unwrap())
+                })
+            });
         }
     }
     group.finish();

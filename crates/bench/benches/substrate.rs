@@ -71,23 +71,19 @@ fn bench_collection(c: &mut Criterion) {
         })
     });
     for threads in [2usize, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("parallel", threads),
-            &threads,
-            |b, &t| {
-                b.iter(|| {
-                    black_box(
-                        evaluate_collection_parallel(
-                            &coll,
-                            black_box(&query),
-                            xfrag_core::Strategy::PushDown,
-                            t,
-                        )
-                        .unwrap(),
+        group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &t| {
+            b.iter(|| {
+                black_box(
+                    evaluate_collection_parallel(
+                        &coll,
+                        black_box(&query),
+                        xfrag_core::Strategy::PushDown,
+                        t,
                     )
-                })
-            },
-        );
+                    .unwrap(),
+                )
+            })
+        });
     }
     group.finish();
 }
@@ -109,7 +105,12 @@ fn bench_join_kernel(c: &mut Criterion) {
     group.bench_function("subtrees", |b| {
         b.iter(|| {
             let mut st = EvalStats::new();
-            black_box(fragment_join(&doc, black_box(&big1), black_box(&big2), &mut st))
+            black_box(fragment_join(
+                &doc,
+                black_box(&big1),
+                black_box(&big2),
+                &mut st,
+            ))
         })
     });
     group.finish();
@@ -129,22 +130,18 @@ fn bench_pairwise_parallel(c: &mut Criterion) {
         })
     });
     for threads in [2usize, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("parallel", threads),
-            &threads,
-            |b, &t| {
-                b.iter(|| {
-                    let mut st = EvalStats::new();
-                    black_box(pairwise_join_parallel(
-                        &doc,
-                        black_box(&f1),
-                        black_box(&f2),
-                        t,
-                        &mut st,
-                    ))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &t| {
+            b.iter(|| {
+                let mut st = EvalStats::new();
+                black_box(pairwise_join_parallel(
+                    &doc,
+                    black_box(&f1),
+                    black_box(&f2),
+                    t,
+                    &mut st,
+                ))
+            })
+        });
     }
     group.finish();
 }

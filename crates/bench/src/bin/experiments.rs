@@ -11,8 +11,8 @@ use xfrag_baseline::{elca, slca, smallest_subtree};
 use xfrag_bench::query_fixture;
 use xfrag_bench::table::Table;
 use xfrag_core::{
-    evaluate, fixed_point_naive, fixed_point_reduced, powerset_join_candidates, select,
-    EvalStats, FilterExpr, Fragment, FragmentSet, Query, Strategy,
+    evaluate, fixed_point_naive, fixed_point_reduced, powerset_join_candidates, select, EvalStats,
+    FilterExpr, Fragment, FragmentSet, Query, Strategy,
 };
 use xfrag_corpus::{figure1, rfset};
 use xfrag_doc::{InvertedIndex, NodeId};
@@ -73,7 +73,11 @@ fn table1() {
             (i + 1).to_string(),
             input_str.join(" ⋈ "),
             fmt_frag(output),
-            if output.size() > 3 { "●".into() } else { String::new() },
+            if output.size() > 3 {
+                "●".into()
+            } else {
+                String::new()
+            },
             if dup { "●".into() } else { String::new() },
         ]);
     }
@@ -92,7 +96,14 @@ fn table1() {
 /// P1 — strategy comparison over operand selectivity.
 fn strategies() {
     println!("## P1 — §4.1: strategy cost vs operand selectivity (|F1| = |F2| = df, size ≤ 12, ~2k nodes)\n");
-    let mut t = Table::new(&["df", "strategy", "answers", "joins", "fp checks", "time (µs)"]);
+    let mut t = Table::new(&[
+        "df",
+        "strategy",
+        "answers",
+        "joins",
+        "fp checks",
+        "time (µs)",
+    ]);
     for df in [2usize, 4, 6, 8, 10] {
         let fx = query_fixture(2_000, df, df, 99);
         let query = Query::new(
@@ -134,7 +145,13 @@ fn strategies() {
 fn pushdown() {
     println!("## P2 — §4.3: selection push-down (Theorem 3)\n");
     let mut t = Table::new(&[
-        "nodes", "β", "strategy", "answers", "joins", "pruned", "time (µs)",
+        "nodes",
+        "β",
+        "strategy",
+        "answers",
+        "joins",
+        "pruned",
+        "time (µs)",
     ]);
     for nodes in [500usize, 2_000, 8_000] {
         let fx = query_fixture(nodes, 6, 6, 11);
@@ -166,7 +183,13 @@ fn pushdown() {
 fn rf() {
     println!("## P3 — §5: fragment set reduce vs naive fixed point, by reduction factor\n");
     let mut t = Table::new(&[
-        "n", "RF", "mode", "joins", "checks", "reduce checks", "time (µs)",
+        "n",
+        "RF",
+        "mode",
+        "joins",
+        "checks",
+        "reduce checks",
+        "time (µs)",
     ]);
     // The irreducible core of the construction has k = n·(1−RF) chains and
     // the fixed point holds ~2^k spans — exponential in the *kept* set, an
@@ -221,7 +244,12 @@ fn effectiveness() {
     t.row(vec![
         "xfrag (size ≤ 3)".into(),
         r.fragments.len().to_string(),
-        if r.fragments.contains(&target) { "yes" } else { "no" }.into(),
+        if r.fragments.contains(&target) {
+            "yes"
+        } else {
+            "no"
+        }
+        .into(),
     ]);
     for (name, roots) in [
         ("slca", slca(doc, &idx, &terms)),
@@ -289,7 +317,9 @@ fn ablation() {
     let doc = generate(&DocGenConfig::default().with_approx_nodes(3_000));
     let db = encode_document(&doc);
     let n = doc.len() as u32;
-    let pairs: Vec<(u32, u32)> = (0..64).map(|i| ((i * 97 + 1) % n, (i * 211 + 7) % n)).collect();
+    let pairs: Vec<(u32, u32)> = (0..64)
+        .map(|i| ((i * 97 + 1) % n, (i * 211 + 7) % n))
+        .collect();
     let mut t = Table::new(&["encoding", "storage rows", "time (µs, 64 paths)"]);
     let start = Instant::now();
     for &(a, b) in &pairs {
@@ -321,10 +351,7 @@ fn relational() {
     let mut t = Table::new(&["nodes", "engine", "answers", "time (µs)", "agree"]);
     for nodes in [300usize, 1_000, 3_000] {
         let fx = query_fixture(nodes, 4, 4, 17);
-        let query = Query::new(
-            [fx.term1.clone(), fx.term2.clone()],
-            FilterExpr::MaxSize(6),
-        );
+        let query = Query::new([fx.term1.clone(), fx.term2.clone()], FilterExpr::MaxSize(6));
         let start = Instant::now();
         let native = evaluate(&fx.doc, &fx.index, &query, Strategy::PushDown).unwrap();
         let t_native = start.elapsed().as_micros();
@@ -345,7 +372,11 @@ fn relational() {
             "relational".into(),
             rel.len().to_string(),
             t_rel.to_string(),
-            if agree { "✓".into() } else { "DISAGREE".into() },
+            if agree {
+                "✓".into()
+            } else {
+                "DISAGREE".into()
+            },
         ]);
     }
     println!("{}", t.render());

@@ -24,6 +24,13 @@ options:
   --ids           print node-id lists instead of XML
   --stats         print evaluation statistics
 
+observability (see README \"Observability\"):
+  --profile       print a per-stage execution profile (span tree with
+                  wall-clock and counter deltas) after the results
+  --profile-json  same, as a JSON span tree for tooling
+  --analyze       (explain only) execute each plan stage and print the
+                  cost model's estimate next to actual work done
+
 resource limits (see README \"Resource limits & degradation\"):
   --timeout-ms N     wall-clock budget for the whole evaluation
   --max-fragments N  cap on intermediate fragments materialized
@@ -58,6 +65,25 @@ pub enum Command {
     Demo,
 }
 
+/// How `--profile` output should be rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProfileMode {
+    /// No profiling; evaluation runs with the no-op tracer.
+    #[default]
+    Off,
+    /// Pretty-text span tree.
+    Text,
+    /// JSON span tree with the fixed emitter schema.
+    Json,
+}
+
+impl ProfileMode {
+    /// Whether profiling is on in any form.
+    pub fn is_on(self) -> bool {
+        self != ProfileMode::Off
+    }
+}
+
 /// Arguments shared by `search` and `explain`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SearchArgs {
@@ -81,6 +107,11 @@ pub struct SearchArgs {
     pub budget: Budget,
     /// What to do when a budget trips.
     pub degrade: DegradeMode,
+    /// Per-stage execution profiling (`--profile` / `--profile-json`).
+    pub profile: ProfileMode,
+    /// `explain` only: execute each plan stage and print estimated vs.
+    /// actual cost (`--analyze`).
+    pub analyze: bool,
 }
 
 fn parse_u32(flag: &str, v: Option<&String>) -> Result<u32, String> {
@@ -134,6 +165,8 @@ fn parse_search(rest: &[String]) -> Result<SearchArgs, String> {
     let mut stats = false;
     let mut budget = Budget::unlimited();
     let mut degrade = DegradeMode::Ladder;
+    let mut profile = ProfileMode::Off;
+    let mut analyze = false;
 
     let mut i = 0;
     while i < rest.len() {
@@ -144,7 +177,10 @@ fn parse_search(rest: &[String]) -> Result<SearchArgs, String> {
                 i += 1;
             }
             "--height" => {
-                filters.push(FilterExpr::MaxHeight(parse_u32("--height", rest.get(i + 1))?));
+                filters.push(FilterExpr::MaxHeight(parse_u32(
+                    "--height",
+                    rest.get(i + 1),
+                )?));
                 i += 1;
             }
             "--width" => {
@@ -152,7 +188,10 @@ fn parse_search(rest: &[String]) -> Result<SearchArgs, String> {
                 i += 1;
             }
             "--min-size" => {
-                filters.push(FilterExpr::MinSize(parse_u32("--min-size", rest.get(i + 1))?));
+                filters.push(FilterExpr::MinSize(parse_u32(
+                    "--min-size",
+                    rest.get(i + 1),
+                )?));
                 i += 1;
             }
             "--strategy" => {
@@ -166,8 +205,7 @@ fn parse_search(rest: &[String]) -> Result<SearchArgs, String> {
                 i += 1;
             }
             "--max-fragments" => {
-                budget.max_fragments =
-                    Some(parse_u32("--max-fragments", rest.get(i + 1))? as u64);
+                budget.max_fragments = Some(parse_u32("--max-fragments", rest.get(i + 1))? as u64);
                 i += 1;
             }
             "--max-joins" => {
@@ -183,6 +221,9 @@ fn parse_search(rest: &[String]) -> Result<SearchArgs, String> {
             "--maximal" => maximal = true,
             "--ids" => ids = true,
             "--stats" => stats = true,
+            "--profile" => profile = ProfileMode::Text,
+            "--profile-json" => profile = ProfileMode::Json,
+            "--analyze" => analyze = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
             _ => {
                 if file.is_none() {
@@ -210,6 +251,8 @@ fn parse_search(rest: &[String]) -> Result<SearchArgs, String> {
         stats,
         budget,
         degrade,
+        profile,
+        analyze,
     })
 }
 
@@ -271,7 +314,9 @@ mod tests {
     fn parse_info_and_demo() {
         assert_eq!(
             parse(&argv("info d.xml")).unwrap(),
-            Command::Info { file: "d.xml".into() }
+            Command::Info {
+                file: "d.xml".into()
+            }
         );
         assert_eq!(parse(&argv("demo")).unwrap(), Command::Demo);
     }
@@ -316,6 +361,35 @@ mod tests {
         }
         assert!(parse(&argv("search d.xml k --timeout-ms")).is_err());
         assert!(parse(&argv("search d.xml k --degrade maybe")).is_err());
+    }
+
+    #[test]
+    fn parse_profile_and_analyze_flags() {
+        match parse(&argv("search d.xml k --profile")).unwrap() {
+            Command::Search(a) => {
+                assert_eq!(a.profile, ProfileMode::Text);
+                assert!(a.profile.is_on());
+                assert!(!a.analyze);
+            }
+            _ => unreachable!(),
+        }
+        match parse(&argv("msearch dir k --profile-json")).unwrap() {
+            Command::MultiSearch(a) => assert_eq!(a.profile, ProfileMode::Json),
+            _ => unreachable!(),
+        }
+        match parse(&argv("explain d.xml k --analyze")).unwrap() {
+            Command::Explain(a) => assert!(a.analyze),
+            _ => unreachable!(),
+        }
+        // Defaults: off.
+        match parse(&argv("search d.xml k")).unwrap() {
+            Command::Search(a) => {
+                assert_eq!(a.profile, ProfileMode::Off);
+                assert!(!a.profile.is_on());
+                assert!(!a.analyze);
+            }
+            _ => unreachable!(),
+        }
     }
 
     #[test]

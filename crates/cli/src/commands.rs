@@ -1,16 +1,22 @@
 //! Command implementations. Each returns the full output as a string so
 //! the logic is unit-testable without capturing stdout.
 
-use crate::args::{Command, SearchArgs};
+use crate::args::{Command, ProfileMode, SearchArgs};
 use std::fmt::Write as _;
-use xfrag_core::cost::CostModel;
-use xfrag_core::plan::execute_governed;
-use xfrag_core::{
-    evaluate_budgeted, overlap, EvalStats, ExecPolicy, Governor, LogicalPlan, Optimizer, Query,
+use xfrag_core::collection::{
+    evaluate_collection_budgeted_traced, top_k_collection, CollectionResult,
 };
-use xfrag_core::collection::{evaluate_collection_budgeted, top_k_collection, CollectionResult};
+use xfrag_core::cost::CostModel;
+use xfrag_core::plan::{execute_governed, execute_traced};
 use xfrag_core::rank::RankConfig;
 use xfrag_core::snippet::{snippet, SnippetConfig};
+use xfrag_core::trace::{
+    format_duration, render_spans, spans_to_json, LatencyHistogram, RecordingSink, Span, Tracer,
+};
+use xfrag_core::{
+    evaluate_budgeted_traced, overlap, EvalStats, ExecPolicy, Governor, LogicalPlan, Optimizer,
+    Query,
+};
 use xfrag_doc::serialize::{fragment_to_xml, WriteOptions};
 use xfrag_doc::{parse_str, store, Collection, Document, InvertedIndex};
 
@@ -78,8 +84,7 @@ fn load(path: &str) -> Result<Document, CliError> {
         let bytes = std::fs::read(path).map_err(|e| CliError::Io(path.to_string(), e))?;
         return store::decode(&bytes).map_err(CliError::Store);
     }
-    let text =
-        std::fs::read_to_string(path).map_err(|e| CliError::Io(path.to_string(), e))?;
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(path.to_string(), e))?;
     parse_str(&text).map_err(CliError::Parse)
 }
 
@@ -106,7 +111,13 @@ fn load_dir(dir: &str) -> Result<Collection, CliError> {
 /// `xfrag msearch`.
 pub fn multi_search(coll: &Collection, a: &SearchArgs) -> Result<String, CliError> {
     let q = build_query(a);
-    let r = evaluate_collection_budgeted(coll, &q, a.strategy, &exec_policy(a))
+    let sink = RecordingSink::new();
+    let tracer = if a.profile.is_on() {
+        Tracer::new(&sink)
+    } else {
+        Tracer::disabled()
+    };
+    let r = evaluate_collection_budgeted_traced(coll, &q, a.strategy, &exec_policy(a), &tracer)
         .map_err(|e| CliError::Query(e.to_string()))?;
     let mut out = String::new();
     writeln!(
@@ -139,22 +150,9 @@ pub fn multi_search(coll: &Collection, a: &SearchArgs) -> Result<String, CliErro
     let top = top_k_collection(coll, &ranked, &q, &RankConfig::default(), 10);
     for (i, (doc_id, f, score)) in top.iter().enumerate() {
         if a.ids {
-            writeln!(
-                out,
-                "[{}] {} {:.3} {}",
-                i + 1,
-                coll.name(*doc_id),
-                score,
-                f
-            )
-            .unwrap();
+            writeln!(out, "[{}] {} {:.3} {}", i + 1, coll.name(*doc_id), score, f).unwrap();
         } else {
-            let snip = snippet(
-                coll.doc(*doc_id),
-                f,
-                &q.terms,
-                &SnippetConfig::default(),
-            );
+            let snip = snippet(coll.doc(*doc_id), f, &q.terms, &SnippetConfig::default());
             writeln!(
                 out,
                 "--- answer {} from {} (score {:.3}, {} nodes)\n    {}",
@@ -169,6 +167,23 @@ pub fn multi_search(coll: &Collection, a: &SearchArgs) -> Result<String, CliErro
     }
     if a.stats {
         writeln!(out, "stats: {}", r.stats).unwrap();
+    }
+    if a.profile.is_on() {
+        let spans = sink.take();
+        out.push_str(&profile_block(a.profile, &spans));
+        if a.profile == ProfileMode::Text {
+            // Collection-level latency aggregation over the per-document
+            // spans (one `doc:{name}` top-level span per candidate).
+            let hist =
+                LatencyHistogram::from_spans(spans.iter().filter(|s| s.stage.starts_with("doc:")));
+            if !hist.is_empty() {
+                for line in hist.render().lines() {
+                    out.push_str("  ");
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+        }
     }
     Ok(out)
 }
@@ -185,11 +200,35 @@ fn exec_policy(a: &SearchArgs) -> ExecPolicy {
     ExecPolicy::with_budget(a.budget).with_degrade(a.degrade)
 }
 
+/// Render recorded spans per the `--profile` mode: a `profile:` header
+/// with the indented span tree (text) or one JSON line (json).
+fn profile_block(mode: ProfileMode, spans: &[Span]) -> String {
+    match mode {
+        ProfileMode::Off => String::new(),
+        ProfileMode::Text => {
+            let mut out = String::from("profile:\n");
+            for line in render_spans(spans).lines() {
+                out.push_str("  ");
+                out.push_str(line);
+                out.push('\n');
+            }
+            out
+        }
+        ProfileMode::Json => format!("profile: {}\n", spans_to_json(spans)),
+    }
+}
+
 /// `xfrag search`.
 pub fn search(doc: &Document, a: &SearchArgs) -> Result<String, CliError> {
     let index = InvertedIndex::build(doc);
     let q = build_query(a);
-    let result = evaluate_budgeted(doc, &index, &q, a.strategy, &exec_policy(a))
+    let sink = RecordingSink::new();
+    let tracer = if a.profile.is_on() {
+        Tracer::new(&sink)
+    } else {
+        Tracer::disabled()
+    };
+    let result = evaluate_budgeted_traced(doc, &index, &q, a.strategy, &exec_policy(a), &tracer)
         .map_err(|e| CliError::Query(e.to_string()))?;
     let answers = if a.maximal {
         overlap::maximal_only(&result.fragments)
@@ -213,8 +252,14 @@ pub fn search(doc: &Document, a: &SearchArgs) -> Result<String, CliError> {
         if a.ids {
             writeln!(out, "[{}] {}", i + 1, f).unwrap();
         } else {
-            writeln!(out, "--- answer {} (root {}, {} nodes)", i + 1, f.root(), f.size())
-                .unwrap();
+            writeln!(
+                out,
+                "--- answer {} (root {}, {} nodes)",
+                i + 1,
+                f.root(),
+                f.size()
+            )
+            .unwrap();
             writeln!(
                 out,
                 "{}",
@@ -226,6 +271,7 @@ pub fn search(doc: &Document, a: &SearchArgs) -> Result<String, CliError> {
     if a.stats {
         writeln!(out, "stats: {}", result.stats).unwrap();
     }
+    out.push_str(&profile_block(a.profile, &sink.take()));
     Ok(out)
 }
 
@@ -246,23 +292,52 @@ pub fn explain(doc: &Document, a: &SearchArgs) -> Result<String, CliError> {
         // (the pre-push-down fixpoint of a wide operand set is as large
         // as the powerset), and EXPLAIN must never stall on them.
         let gov = Governor::new(a.budget, None);
-        match execute_governed(&p, doc, &index, &mut st, &gov) {
-            Ok(set) => writeln!(out, "-> {} fragment(s), {}\n", set.len(), st).unwrap(),
-            Err(breach) => {
-                writeln!(out, "-> not executable at this stage ({breach})\n").unwrap()
+        if a.analyze {
+            // EXPLAIN ANALYZE: cost-model estimate next to the measured
+            // execution — wall-clock, counter deltas, per-operator spans.
+            let est = CostModel::default().estimate_plan(&p, doc, &index);
+            let sink = RecordingSink::new();
+            let tracer = Tracer::new(&sink);
+            let start = std::time::Instant::now();
+            let res = execute_traced(&p, doc, &index, &mut st, &gov, &tracer);
+            let wall = start.elapsed();
+            match res {
+                Ok(set) => writeln!(out, "-> {} fragment(s)", set.len()).unwrap(),
+                Err(breach) => writeln!(out, "-> not executable at this stage ({breach})").unwrap(),
+            }
+            writeln!(
+                out,
+                "analyze: estimate joins≈{} fragments≈{} | actual wall {}, {}",
+                est.joins,
+                est.fragments,
+                format_duration(wall),
+                st
+            )
+            .unwrap();
+            for line in render_spans(&sink.take()).lines() {
+                writeln!(out, "  {line}").unwrap();
+            }
+            out.push('\n');
+        } else {
+            match execute_governed(&p, doc, &index, &mut st, &gov) {
+                Ok(set) => writeln!(out, "-> {} fragment(s), {}\n", set.len(), st).unwrap(),
+                Err(breach) => {
+                    writeln!(out, "-> not executable at this stage ({breach})\n").unwrap()
+                }
             }
         }
     }
-    for (term, a_len, b_len) in
-        xfrag_core::query::operand_reduction_factors(doc, &index, &q)
-    {
+    for (term, a_len, b_len) in xfrag_core::query::operand_reduction_factors(doc, &index, &q) {
         let rf = if a_len == 0 {
             0.0
         } else {
             (a_len - b_len) as f64 / a_len as f64
         };
-        writeln!(out, "operand {term:?}: |F| = {a_len}, |⊖(F)| = {b_len}, RF = {rf:.2}")
-            .unwrap();
+        writeln!(
+            out,
+            "operand {term:?}: |F| = {a_len}, |⊖(F)| = {b_len}, RF = {rf:.2}"
+        )
+        .unwrap();
     }
     // Budget checkpoints: re-run the fully optimized plan under a governor
     // for the configured budget and report where governance would bite.
@@ -325,6 +400,8 @@ pub fn demo() -> String {
         stats: true,
         budget: xfrag_core::Budget::unlimited(),
         degrade: xfrag_core::DegradeMode::Ladder,
+        profile: ProfileMode::Off,
+        analyze: false,
     };
     let mut out = String::from(
         "Paper §4 example: query {XQuery, optimization}, filter size ≤ 3,\n\
@@ -352,6 +429,8 @@ mod tests {
             stats: false,
             budget: xfrag_core::Budget::unlimited(),
             degrade: xfrag_core::DegradeMode::Ladder,
+            profile: ProfileMode::Off,
+            analyze: false,
         }
     }
 
@@ -447,6 +526,49 @@ mod tests {
         let out = search(&doc(), &a).unwrap();
         assert!(out.contains("stats: joins="));
     }
+
+    #[test]
+    fn profile_prints_span_tree() {
+        let mut a = args(&["xml", "search"], FilterExpr::MaxSize(3));
+        a.profile = ProfileMode::Text;
+        let out = search(&doc(), &a).unwrap();
+        assert!(out.contains("profile:"), "{out}");
+        assert!(out.contains("term-lookup:xml"), "{out}");
+        assert!(out.contains("rung:full"), "{out}");
+        assert!(out.contains("select-top"), "{out}");
+        // Profiling must not change the answer.
+        let plain = search(&doc(), &args(&["xml", "search"], FilterExpr::MaxSize(3))).unwrap();
+        assert!(out.starts_with(plain.lines().next().unwrap()), "{out}");
+    }
+
+    #[test]
+    fn profile_json_is_machine_readable() {
+        let mut a = args(&["xml"], FilterExpr::True);
+        a.profile = ProfileMode::Json;
+        let out = search(&doc(), &a).unwrap();
+        let json_line = out
+            .lines()
+            .find(|l| l.starts_with("profile: ["))
+            .expect("json profile line");
+        assert!(json_line.contains("\"stage\":\"rung:full\""), "{out}");
+        assert!(json_line.contains("\"wall_ns\":"), "{out}");
+        assert!(json_line.ends_with(']'), "{out}");
+    }
+
+    #[test]
+    fn explain_analyze_prints_estimates_and_actuals_per_stage() {
+        let mut a = args(&["xml", "search"], FilterExpr::MaxSize(2));
+        a.analyze = true;
+        let out = explain(&doc(), &a).unwrap();
+        let stages = out.matches("== ").count();
+        let analyzed = out.matches("analyze: estimate joins≈").count();
+        assert!(stages >= 2, "{out}");
+        assert_eq!(analyzed, stages, "one analyze line per stage:\n{out}");
+        assert!(out.contains("| actual wall "), "{out}");
+        assert!(out.contains("joins="), "{out}");
+        // Per-operator spans appear under each stage.
+        assert!(out.contains("keyword:xml"), "{out}");
+    }
 }
 
 #[cfg(test)]
@@ -467,6 +589,8 @@ mod multi_tests {
             stats: true,
             budget: xfrag_core::Budget::unlimited(),
             degrade: xfrag_core::DegradeMode::Ladder,
+            profile: ProfileMode::Off,
+            analyze: false,
         }
     }
 
@@ -485,6 +609,23 @@ mod multi_tests {
         assert!(out.contains("b.xml"), "{out}");
         assert!(!out.contains("c.xml"), "{out}");
         assert!(out.contains("(1 pruned)"), "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn msearch_profile_includes_per_document_spans_and_histogram() {
+        let dir = std::env::temp_dir().join(format!("xfrag-mprof-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("a.xml"), "<a><p>xml search engines</p></a>").unwrap();
+        std::fs::write(dir.join("b.xml"), "<b><p>xml</p><p>search</p></b>").unwrap();
+        let coll = load_dir(&dir.to_string_lossy()).unwrap();
+        let mut a = margs(&dir.to_string_lossy());
+        a.profile = ProfileMode::Text;
+        let out = multi_search(&coll, &a).unwrap();
+        assert!(out.contains("profile:"), "{out}");
+        assert!(out.contains("doc:a.xml"), "{out}");
+        assert!(out.contains("doc:b.xml"), "{out}");
+        assert!(out.contains("latency histogram: 2 sample(s)"), "{out}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

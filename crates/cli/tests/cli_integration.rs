@@ -32,7 +32,15 @@ fn search_explain_info_flow() {
     .unwrap();
 
     let out = xfrag()
-        .args(["search", file.to_str().unwrap(), "xml", "retrieval", "--size", "3", "--ids"])
+        .args([
+            "search",
+            file.to_str().unwrap(),
+            "xml",
+            "retrieval",
+            "--size",
+            "3",
+            "--ids",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -40,7 +48,14 @@ fn search_explain_info_flow() {
     assert!(stdout.contains("fragment(s)"), "{stdout}");
 
     let out = xfrag()
-        .args(["explain", file.to_str().unwrap(), "xml", "retrieval", "--size", "3"])
+        .args([
+            "explain",
+            file.to_str().unwrap(),
+            "xml",
+            "retrieval",
+            "--size",
+            "3",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -48,7 +63,10 @@ fn search_explain_info_flow() {
     assert!(stdout.contains("Theorem 2"), "{stdout}");
     assert!(stdout.contains("RF ="), "{stdout}");
 
-    let out = xfrag().args(["info", file.to_str().unwrap()]).output().unwrap();
+    let out = xfrag()
+        .args(["info", file.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     assert!(String::from_utf8(out.stdout).unwrap().contains("nodes:"));
 
@@ -72,10 +90,22 @@ fn compile_and_msearch() {
     std::fs::remove_file(&cxml).unwrap(); // msearch must read the .xfrg
 
     let out = xfrag()
-        .args(["msearch", dir.to_str().unwrap(), "rust", "engines", "--size", "3", "--ids"])
+        .args([
+            "msearch",
+            dir.to_str().unwrap(),
+            "rust",
+            "engines",
+            "--size",
+            "3",
+            "--ids",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("a.xml"), "{stdout}");
     assert!(stdout.contains("c.xfrg"), "{stdout}");

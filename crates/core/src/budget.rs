@@ -299,7 +299,9 @@ impl std::str::FromStr for DegradeMode {
         match s {
             "off" => Ok(DegradeMode::Off),
             "ladder" => Ok(DegradeMode::Ladder),
-            other => Err(format!("unknown degrade mode {other:?} (expected off or ladder)")),
+            other => Err(format!(
+                "unknown degrade mode {other:?} (expected off or ladder)"
+            )),
         }
     }
 }
@@ -329,6 +331,16 @@ pub enum Rung {
 }
 
 impl Rung {
+    /// All rungs in ladder order (cheapest last). The ladder walks this
+    /// array top to bottom; `ALL[n]` is the rung that answers after `n`
+    /// budget trips.
+    pub const ALL: [Rung; 4] = [
+        Rung::Full,
+        Rung::ReducedSets,
+        Rung::TopCandidates,
+        Rung::SlcaApprox,
+    ];
+
     /// Short stable name for reports and CLI output.
     pub fn name(self) -> &'static str {
         match self {
@@ -395,7 +407,11 @@ impl std::fmt::Display for Degradation {
                     write!(f, "; {rung} stopped by {breach}")?;
                 }
                 if self.truncated_fragments > 0 {
-                    write!(f, "; {} operand fragments truncated", self.truncated_fragments)?;
+                    write!(
+                        f,
+                        "; {} operand fragments truncated",
+                        self.truncated_fragments
+                    )?;
                 }
                 write!(
                     f,
@@ -488,19 +504,13 @@ mod tests {
 
     #[test]
     fn deadline_trips_at_checkpoint() {
-        let g = Governor::new(
-            Budget::unlimited().with_wall_clock(Duration::ZERO),
-            None,
-        );
+        let g = Governor::new(Budget::unlimited().with_wall_clock(Duration::ZERO), None);
         assert_eq!(g.checkpoint(), Err(Breach::Deadline));
     }
 
     #[test]
     fn deadline_observed_by_sampled_join_charges() {
-        let g = Governor::new(
-            Budget::unlimited().with_wall_clock(Duration::ZERO),
-            None,
-        );
+        let g = Governor::new(Budget::unlimited().with_wall_clock(Duration::ZERO), None);
         let mut tripped = false;
         for _ in 0..(2 * CHECK_INTERVAL) {
             if g.charge_join(1).is_err() {
@@ -541,7 +551,10 @@ mod tests {
         assert_eq!(Degradation::none().to_string(), "exact (no degradation)");
         let d = Degradation {
             rung: Some(Rung::TopCandidates),
-            trips: vec![(Rung::Full, Breach::Joins), (Rung::ReducedSets, Breach::Joins)],
+            trips: vec![
+                (Rung::Full, Breach::Joins),
+                (Rung::ReducedSets, Breach::Joins),
+            ],
             truncated_fragments: 12,
             joins_spent: 64,
             fragments_spent: 32,
@@ -557,7 +570,10 @@ mod tests {
     #[test]
     fn parse_degrade_mode() {
         assert_eq!("off".parse::<DegradeMode>().unwrap(), DegradeMode::Off);
-        assert_eq!("ladder".parse::<DegradeMode>().unwrap(), DegradeMode::Ladder);
+        assert_eq!(
+            "ladder".parse::<DegradeMode>().unwrap(),
+            DegradeMode::Ladder
+        );
         assert!("maybe".parse::<DegradeMode>().is_err());
     }
 }

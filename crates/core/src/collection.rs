@@ -7,10 +7,11 @@
 //! per-document groups, and ranking can be applied across the whole
 //! result stream.
 
-use crate::budget::{Breach, DegradeMode, Degradation, ExecPolicy, Governor};
-use crate::query::{evaluate, evaluate_budgeted, Query, QueryError, Strategy};
+use crate::budget::{Breach, Degradation, DegradeMode, ExecPolicy, Governor};
+use crate::query::{evaluate, evaluate_budgeted_traced, Query, QueryError, Strategy};
 use crate::rank::{score, RankConfig};
 use crate::stats::EvalStats;
+use crate::trace::Tracer;
 use crate::Fragment;
 use xfrag_doc::{Collection, DocId};
 
@@ -101,7 +102,8 @@ pub fn evaluate_collection_parallel(
                     let mut answers = Vec::new();
                     let mut stats = EvalStats::new();
                     for &id in shard {
-                        let r = evaluate(collection.doc(id), collection.index(id), query, strategy)?;
+                        let r =
+                            evaluate(collection.doc(id), collection.index(id), query, strategy)?;
                         stats += r.stats;
                         if !r.fragments.is_empty() {
                             answers.push(DocAnswers {
@@ -192,6 +194,22 @@ pub fn evaluate_collection_budgeted(
     strategy: Strategy,
     policy: &ExecPolicy,
 ) -> Result<BudgetedCollectionResult, QueryError> {
+    evaluate_collection_budgeted_traced(collection, query, strategy, policy, &Tracer::disabled())
+}
+
+/// [`evaluate_collection_budgeted`] with span recording: each candidate
+/// document runs under a `doc:{name}` span, so the per-document ladder
+/// rungs nest underneath it and the top-level `doc:` spans carry exactly
+/// one document's wall-clock and counter deltas — the input to
+/// [`crate::trace::LatencyHistogram::from_spans`] for collection-level
+/// latency aggregation.
+pub fn evaluate_collection_budgeted_traced(
+    collection: &Collection,
+    query: &Query,
+    strategy: Strategy,
+    policy: &ExecPolicy,
+    tracer: &Tracer<'_>,
+) -> Result<BudgetedCollectionResult, QueryError> {
     if query.terms.is_empty() {
         return Err(QueryError::NoTerms);
     }
@@ -219,14 +237,22 @@ pub fn evaluate_collection_budgeted(
         if let Some(total) = policy.budget.wall_clock {
             per_doc.budget.wall_clock = Some(total.saturating_sub(gov.elapsed()));
         }
-        let r = evaluate_budgeted(
-            collection.doc(id),
-            collection.index(id),
-            query,
-            strategy,
-            &per_doc,
+        let r = tracer.scoped_lazy(
+            || format!("doc:{}", collection.name(id)),
+            &mut out.stats,
+            |stats| -> Result<_, QueryError> {
+                let r = evaluate_budgeted_traced(
+                    collection.doc(id),
+                    collection.index(id),
+                    query,
+                    strategy,
+                    &per_doc,
+                    tracer,
+                )?;
+                *stats += r.stats;
+                Ok(r)
+            },
         )?;
-        out.stats += r.stats;
         if r.degradation.is_degraded() {
             out.degraded_docs.push((id, r.degradation.clone()));
         }
@@ -283,7 +309,10 @@ mod tests {
             "one.xml",
             parse_str("<a><p>alpha beta</p><p>noise</p></a>").unwrap(),
         );
-        c.add("two.xml", parse_str("<b><p>alpha</p><p>beta</p></b>").unwrap());
+        c.add(
+            "two.xml",
+            parse_str("<b><p>alpha</p><p>beta</p></b>").unwrap(),
+        );
         c.add("three.xml", parse_str("<c><p>alpha only</p></c>").unwrap());
         c
     }
@@ -337,7 +366,10 @@ mod tests {
         // Deterministic, and k truncates.
         let again = top_k_collection(&c, &r, &q, &RankConfig::default(), 3);
         assert_eq!(top, again);
-        assert_eq!(top_k_collection(&c, &r, &q, &RankConfig::default(), 1).len(), 1);
+        assert_eq!(
+            top_k_collection(&c, &r, &q, &RankConfig::default(), 1).len(),
+            1
+        );
     }
 
     #[test]
@@ -346,17 +378,13 @@ mod tests {
         for i in 0..12 {
             c.add(
                 format!("d{i}.xml"),
-                parse_str(&format!(
-                    "<r><p>alpha item{i}</p><p>beta item{i}</p></r>"
-                ))
-                .unwrap(),
+                parse_str(&format!("<r><p>alpha item{i}</p><p>beta item{i}</p></r>")).unwrap(),
             );
         }
         let q = Query::new(["alpha", "beta"], FilterExpr::MaxSize(3));
         let seq = evaluate_collection(&c, &q, Strategy::PushDown).unwrap();
         for threads in [1, 2, 4, 5] {
-            let par =
-                evaluate_collection_parallel(&c, &q, Strategy::PushDown, threads).unwrap();
+            let par = evaluate_collection_parallel(&c, &q, Strategy::PushDown, threads).unwrap();
             assert_eq!(par.answers.len(), seq.answers.len(), "threads={threads}");
             for (a, b) in par.answers.iter().zip(&seq.answers) {
                 assert_eq!(a.doc, b.doc);
@@ -365,6 +393,44 @@ mod tests {
             assert_eq!(par.stats.joins, seq.stats.joins);
             assert_eq!(par.docs_pruned, seq.docs_pruned);
         }
+    }
+
+    #[test]
+    fn budgeted_tracing_groups_spans_per_document() {
+        use crate::trace::{LatencyHistogram, RecordingSink, Tracer};
+        let c = collection();
+        let q = Query::new(["alpha", "beta"], FilterExpr::MaxSize(3));
+        let plain =
+            evaluate_collection_budgeted(&c, &q, Strategy::PushDown, &ExecPolicy::unlimited())
+                .unwrap();
+
+        let sink = RecordingSink::new();
+        let tracer = Tracer::new(&sink);
+        let traced = evaluate_collection_budgeted_traced(
+            &c,
+            &q,
+            Strategy::PushDown,
+            &ExecPolicy::unlimited(),
+            &tracer,
+        )
+        .unwrap();
+        assert_eq!(traced.answers.len(), plain.answers.len());
+        assert_eq!(traced.stats.joins, plain.stats.joins);
+
+        let spans = sink.take();
+        // One top-level span per candidate document (three.xml is pruned),
+        // each with the per-document ladder nested underneath.
+        let doc_spans: Vec<_> = spans
+            .iter()
+            .filter(|s| s.stage.starts_with("doc:"))
+            .collect();
+        assert_eq!(doc_spans.len(), 2);
+        assert!(doc_spans.iter().any(|s| s.stage == "doc:one.xml"));
+        assert!(doc_spans
+            .iter()
+            .all(|s| s.children.iter().any(|c| c.stage.starts_with("rung:"))));
+        let hist = LatencyHistogram::from_spans(doc_spans.iter().copied());
+        assert_eq!(hist.count(), 2);
     }
 
     #[test]

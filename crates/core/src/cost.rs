@@ -17,10 +17,11 @@
 
 use crate::fixpoint::FixpointMode;
 use crate::join::fragment_join;
+use crate::plan::LogicalPlan;
 use crate::set::FragmentSet;
 use crate::stats::EvalStats;
 use serde::{Deserialize, Serialize};
-use xfrag_doc::Document;
+use xfrag_doc::{Document, InvertedIndex};
 
 /// Estimate the reduction factor of `f` by testing up to `sample`
 /// candidate fragments against joins of up to `sample` pairs.
@@ -96,7 +97,10 @@ impl CostModel {
     /// pass itself costs ~`n·C(n−1,2) ≈ n³/2` joins in the worst case, then
     /// `(k−1) · m · n` iteration joins.
     pub fn reduced_fixpoint_joins(&self, n: u64, m: u64, k: u64) -> u64 {
-        let reduce_cost = n.saturating_mul(n.saturating_sub(1)).saturating_mul(n.saturating_sub(2)) / 2;
+        let reduce_cost = n
+            .saturating_mul(n.saturating_sub(1))
+            .saturating_mul(n.saturating_sub(2))
+            / 2;
         reduce_cost.saturating_add(k.saturating_sub(1).saturating_mul(m).saturating_mul(n))
     }
 
@@ -116,6 +120,110 @@ impl CostModel {
             FixpointMode::Naive
         }
     }
+
+    /// Estimate the cost of executing `plan` bottom-up, using index
+    /// cardinalities at the leaves and the §5 join-count formulas at
+    /// fixed points.
+    ///
+    /// These are deliberately crude *upper-bound* estimates (selections
+    /// are assumed to pass everything through, joined cardinalities
+    /// multiply, closures are capped at `2^k − 1`): the point of
+    /// `explain --analyze` is to print them **next to** the measured
+    /// counters, making the model's error visible rather than hiding it.
+    pub fn estimate_plan(
+        &self,
+        plan: &LogicalPlan,
+        doc: &Document,
+        index: &InvertedIndex,
+    ) -> CostEstimate {
+        // Closure cardinality cap: Theorem 2 bounds |F⁺| by the number of
+        // non-empty subsets of F.
+        fn pow2cap(k: u64) -> u64 {
+            if k >= 63 {
+                u64::MAX
+            } else {
+                (1u64 << k).saturating_sub(1)
+            }
+        }
+        match plan {
+            LogicalPlan::KeywordSelect { term } => CostEstimate {
+                joins: 0,
+                fragments: index.lookup(term).len() as u64,
+            },
+            // Upper bound: assume the selection passes everything through.
+            LogicalPlan::Select { input, .. } => self.estimate_plan(input, doc, index),
+            LogicalPlan::PairwiseJoin { left, right } => {
+                let l = self.estimate_plan(left, doc, index);
+                let r = self.estimate_plan(right, doc, index);
+                let pairs = l.fragments.saturating_mul(r.fragments);
+                CostEstimate {
+                    joins: l.joins.saturating_add(r.joins).saturating_add(pairs),
+                    fragments: pairs,
+                }
+            }
+            LogicalPlan::PowersetJoin { left, right } => {
+                let l = self.estimate_plan(left, doc, index);
+                let r = self.estimate_plan(right, doc, index);
+                let candidates = pow2cap(l.fragments).saturating_mul(pow2cap(r.fragments));
+                CostEstimate {
+                    joins: l.joins.saturating_add(r.joins).saturating_add(candidates),
+                    fragments: candidates,
+                }
+            }
+            LogicalPlan::FixedPoint { input, mode, .. } => {
+                let inner = self.estimate_plan(input, doc, index);
+                let n = inner.fragments;
+                // Recover the operand set when the input is a (possibly
+                // selected) keyword leaf, so RF can be sampled; otherwise
+                // assume nothing reduces.
+                let rf = match leaf_term(input) {
+                    Some(term) => {
+                        let f = FragmentSet::of_nodes(index.lookup(term).iter().copied());
+                        let mut st = EvalStats::new();
+                        estimate_rf(doc, &f, self.rf_sample, &mut st)
+                    }
+                    None => 0.0,
+                };
+                let k = n.saturating_sub((rf * n as f64).round() as u64).max(1);
+                let m = pow2cap(k);
+                let joins = match mode {
+                    FixpointMode::Naive => self.naive_fixpoint_joins(n, m, k.saturating_add(1)),
+                    FixpointMode::Reduced => self.reduced_fixpoint_joins(n, m, k),
+                };
+                CostEstimate {
+                    joins: inner.joins.saturating_add(joins),
+                    fragments: m,
+                }
+            }
+            LogicalPlan::Union { left, right } => {
+                let l = self.estimate_plan(left, doc, index);
+                let r = self.estimate_plan(right, doc, index);
+                CostEstimate {
+                    joins: l.joins.saturating_add(r.joins),
+                    fragments: l.fragments.saturating_add(r.fragments),
+                }
+            }
+        }
+    }
+}
+
+/// The keyword term at the bottom of a (possibly selected) leaf chain.
+fn leaf_term(plan: &LogicalPlan) -> Option<&str> {
+    match plan {
+        LogicalPlan::KeywordSelect { term } => Some(term),
+        LogicalPlan::Select { input, .. } => leaf_term(input),
+        _ => None,
+    }
+}
+
+/// A plan-stage cost estimate: the two quantities the paper's efficiency
+/// arguments count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostEstimate {
+    /// Estimated join kernels executed.
+    pub joins: u64,
+    /// Estimated output cardinality (fragments).
+    pub fragments: u64,
 }
 
 #[cfg(test)]
@@ -173,7 +281,10 @@ mod tests {
         let mut st = EvalStats::new();
         let reducible = FragmentSet::from_iter((1..=5).map(|i| Fragment::node(NodeId(i))));
         let cm = CostModel::default();
-        assert_eq!(cm.choose_mode(&d, &reducible, &mut st), FixpointMode::Reduced);
+        assert_eq!(
+            cm.choose_mode(&d, &reducible, &mut st),
+            FixpointMode::Reduced
+        );
         // Two disjoint leaves: nothing to reduce.
         let irreducible =
             FragmentSet::from_iter([Fragment::node(NodeId(5)), Fragment::node(NodeId(6))]);
@@ -186,7 +297,76 @@ mod tests {
             rf_threshold: 1.1,
             ..CostModel::default()
         };
-        assert_eq!(strict.choose_mode(&d, &reducible, &mut st), FixpointMode::Naive);
+        assert_eq!(
+            strict.choose_mode(&d, &reducible, &mut st),
+            FixpointMode::Naive
+        );
+    }
+
+    #[test]
+    fn estimate_plan_shapes() {
+        let mut b = DocumentBuilder::new();
+        b.begin("r");
+        b.leaf("p", "x y");
+        b.leaf("p", "x");
+        b.end();
+        let d = b.finish().unwrap();
+        let idx = InvertedIndex::build(&d);
+        let cm = CostModel::default();
+        let leaf = |t: &str| LogicalPlan::KeywordSelect {
+            term: t.to_string(),
+        };
+
+        // Leaves: cardinality straight from the index, no joins.
+        let est = cm.estimate_plan(&leaf("x"), &d, &idx);
+        assert_eq!(
+            est,
+            CostEstimate {
+                joins: 0,
+                fragments: 2
+            }
+        );
+
+        // Pairwise join: |L|·|R| pairs.
+        let join = LogicalPlan::PairwiseJoin {
+            left: Box::new(leaf("x")),
+            right: Box::new(leaf("y")),
+        };
+        assert_eq!(
+            cm.estimate_plan(&join, &d, &idx),
+            CostEstimate {
+                joins: 2,
+                fragments: 2
+            }
+        );
+
+        // Union: sums of both branches; a wrapping selection is a
+        // pass-through upper bound.
+        let union = LogicalPlan::Select {
+            filter: crate::filter::FilterExpr::MaxSize(1),
+            input: Box::new(LogicalPlan::Union {
+                left: Box::new(leaf("x")),
+                right: Box::new(leaf("y")),
+            }),
+        };
+        assert_eq!(
+            cm.estimate_plan(&union, &d, &idx),
+            CostEstimate {
+                joins: 0,
+                fragments: 3
+            }
+        );
+
+        // Fixed point over a 2-fragment leaf: RF samples to 0 (sets of
+        // ≤ 2 never reduce), so k = n = 2, closure cap m = 2^2 − 1 = 3.
+        let fp = LogicalPlan::FixedPoint {
+            input: Box::new(leaf("x")),
+            mode: FixpointMode::Naive,
+            inner_filter: None,
+        };
+        let est = cm.estimate_plan(&fp, &d, &idx);
+        assert_eq!(est.fragments, 3);
+        assert_eq!(est.joins, cm.naive_fixpoint_joins(2, 3, 3));
     }
 
     #[test]

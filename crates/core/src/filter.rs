@@ -102,9 +102,7 @@ impl FilterExpr {
                     .filter(|&n| node_contains(doc, n, t2))
                     .map(|n| doc.depth(n) - base)
                     .collect();
-                !d1.is_empty()
-                    && !d2.is_empty()
-                    && d1.iter().all(|a| d2.iter().all(|b| a == b))
+                !d1.is_empty() && !d2.is_empty() && d1.iter().all(|a| d2.iter().all(|b| a == b))
             }
             FilterExpr::RootTag(t) => doc.tag(f.root()) == t,
             FilterExpr::And(fs) => fs.iter().all(|p| p.eval_uncounted(doc, f)),

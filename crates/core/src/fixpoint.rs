@@ -20,6 +20,7 @@ use crate::budget::{Breach, Governor};
 use crate::join::{fragment_join, pairwise_join, pairwise_join_governed};
 use crate::set::FragmentSet;
 use crate::stats::EvalStats;
+use crate::trace::Tracer;
 use xfrag_doc::Document;
 
 // invariant (used by every ungoverned wrapper below): an unlimited
@@ -69,21 +70,36 @@ pub fn fixed_point_naive_governed(
     stats: &mut EvalStats,
     gov: &Governor,
 ) -> Result<FragmentSet, Breach> {
-    if f.is_empty() {
-        return Ok(FragmentSet::new());
-    }
-    let mut h = f.clone();
-    loop {
-        gov.checkpoint()?;
-        stats.fixpoint_iterations += 1;
-        let next = pairwise_join_governed(doc, &h, f, stats, gov)?;
-        let next = next.union(&h);
-        stats.fixpoint_checks += 1;
-        if next.len() == h.len() {
-            return Ok(h);
+    fixed_point_naive_traced(doc, f, stats, gov, &Tracer::disabled())
+}
+
+/// [`fixed_point_naive_governed`] recorded as a `fixpoint-naive` span
+/// with one `round` child per iteration.
+pub fn fixed_point_naive_traced(
+    doc: &Document,
+    f: &FragmentSet,
+    stats: &mut EvalStats,
+    gov: &Governor,
+    tracer: &Tracer<'_>,
+) -> Result<FragmentSet, Breach> {
+    tracer.scoped("fixpoint-naive", stats, |stats| {
+        if f.is_empty() {
+            return Ok(FragmentSet::new());
         }
-        h = next;
-    }
+        let mut h = f.clone();
+        loop {
+            gov.checkpoint()?;
+            let next = tracer.scoped("round", stats, |stats| -> Result<FragmentSet, Breach> {
+                stats.fixpoint_iterations += 1;
+                Ok(pairwise_join_governed(doc, &h, f, stats, gov)?.union(&h))
+            })?;
+            stats.fixpoint_checks += 1;
+            if next.len() == h.len() {
+                return Ok(h);
+            }
+            h = next;
+        }
+    })
 }
 
 /// `⊖(F)` — Definition 10. Keeps exactly the fragments *not* contained in
@@ -95,6 +111,17 @@ pub fn fixed_point_naive_governed(
 /// commutative.
 pub fn reduce(doc: &Document, f: &FragmentSet, stats: &mut EvalStats) -> FragmentSet {
     ungoverned!(reduce_governed(doc, f, stats, &Governor::unlimited()))
+}
+
+/// [`reduce_governed`] recorded as one `reduce` span.
+pub fn reduce_traced(
+    doc: &Document,
+    f: &FragmentSet,
+    stats: &mut EvalStats,
+    gov: &Governor,
+    tracer: &Tracer<'_>,
+) -> Result<FragmentSet, Breach> {
+    tracer.scoped("reduce", stats, |stats| reduce_governed(doc, f, stats, gov))
 }
 
 /// [`reduce`] under a [`Governor`]: `⊖` is O(|F|³), so a checkpoint runs
@@ -192,34 +219,57 @@ pub fn fixed_point_reduced_governed(
     stats: &mut EvalStats,
     gov: &Governor,
 ) -> Result<FragmentSet, Breach> {
-    if f.is_empty() {
-        return Ok(FragmentSet::new());
-    }
-    let k = reduce_governed(doc, f, stats, gov)?.len();
-    let mut h = f.clone();
-    for _ in 1..k {
-        gov.checkpoint()?;
-        stats.fixpoint_iterations += 1;
-        h = pairwise_join_governed(doc, &h, f, stats, gov)?.union(&h);
-    }
-    // Single safety check (see the soundness note above).
-    stats.fixpoint_checks += 1;
-    let verify = pairwise_join_governed(doc, &h, f, stats, gov)?.union(&h);
-    if verify.len() == h.len() {
-        return Ok(h);
-    }
-    // General-set fallback: continue with checked iteration.
-    h = verify;
-    loop {
-        gov.checkpoint()?;
-        stats.fixpoint_iterations += 1;
-        let next = pairwise_join_governed(doc, &h, f, stats, gov)?.union(&h);
+    fixed_point_reduced_traced(doc, f, stats, gov, &Tracer::disabled())
+}
+
+/// [`fixed_point_reduced_governed`] recorded as a `fixpoint-reduced` span
+/// with a `reduce` child for the `⊖` precomputation, one `round` child
+/// per iteration, and a `safety-check` child for the final verification.
+pub fn fixed_point_reduced_traced(
+    doc: &Document,
+    f: &FragmentSet,
+    stats: &mut EvalStats,
+    gov: &Governor,
+    tracer: &Tracer<'_>,
+) -> Result<FragmentSet, Breach> {
+    tracer.scoped("fixpoint-reduced", stats, |stats| {
+        if f.is_empty() {
+            return Ok(FragmentSet::new());
+        }
+        let k = reduce_traced(doc, f, stats, gov, tracer)?.len();
+        let mut h = f.clone();
+        for _ in 1..k {
+            gov.checkpoint()?;
+            h = tracer.scoped("round", stats, |stats| -> Result<FragmentSet, Breach> {
+                stats.fixpoint_iterations += 1;
+                Ok(pairwise_join_governed(doc, &h, f, stats, gov)?.union(&h))
+            })?;
+        }
+        // Single safety check (see the soundness note above).
         stats.fixpoint_checks += 1;
-        if next.len() == h.len() {
+        let verify = tracer
+            .scoped("safety-check", stats, |stats| {
+                pairwise_join_governed(doc, &h, f, stats, gov)
+            })?
+            .union(&h);
+        if verify.len() == h.len() {
             return Ok(h);
         }
-        h = next;
-    }
+        // General-set fallback: continue with checked iteration.
+        h = verify;
+        loop {
+            gov.checkpoint()?;
+            let next = tracer.scoped("round", stats, |stats| -> Result<FragmentSet, Breach> {
+                stats.fixpoint_iterations += 1;
+                Ok(pairwise_join_governed(doc, &h, f, stats, gov)?.union(&h))
+            })?;
+            stats.fixpoint_checks += 1;
+            if next.len() == h.len() {
+                return Ok(h);
+            }
+            h = next;
+        }
+    })
 }
 
 /// `F⁺` with the mode chosen by the caller.
@@ -246,6 +296,22 @@ pub fn fixed_point_governed(
     match mode {
         FixpointMode::Naive => fixed_point_naive_governed(doc, f, stats, gov),
         FixpointMode::Reduced => fixed_point_reduced_governed(doc, f, stats, gov),
+    }
+}
+
+/// [`fixed_point_governed`] with span recording, dispatching to the
+/// traced variant of the chosen mode.
+pub fn fixed_point_traced(
+    doc: &Document,
+    f: &FragmentSet,
+    mode: FixpointMode,
+    stats: &mut EvalStats,
+    gov: &Governor,
+    tracer: &Tracer<'_>,
+) -> Result<FragmentSet, Breach> {
+    match mode {
+        FixpointMode::Naive => fixed_point_naive_traced(doc, f, stats, gov, tracer),
+        FixpointMode::Reduced => fixed_point_reduced_traced(doc, f, stats, gov, tracer),
     }
 }
 

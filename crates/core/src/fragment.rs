@@ -83,7 +83,9 @@ impl Fragment {
             }
         }
         for &n in &v[1..] {
-            let p = doc.parent(n).ok_or(FragmentError::Disconnected { node: n })?;
+            let p = doc
+                .parent(n)
+                .ok_or(FragmentError::Disconnected { node: n })?;
             if v.binary_search(&p).is_err() {
                 return Err(FragmentError::Disconnected { node: n });
             }

@@ -17,6 +17,7 @@ use crate::budget::{Breach, Governor};
 use crate::fragment::Fragment;
 use crate::set::FragmentSet;
 use crate::stats::EvalStats;
+use crate::trace::Tracer;
 use xfrag_doc::{Document, NodeId};
 
 /// `f1 ⋈ f2` (Definition 4).
@@ -190,6 +191,20 @@ pub fn pairwise_join_governed(
     Ok(out)
 }
 
+/// [`pairwise_join_governed`] recorded as one `pairwise-join` span.
+pub fn pairwise_join_traced(
+    doc: &Document,
+    f1: &FragmentSet,
+    f2: &FragmentSet,
+    stats: &mut EvalStats,
+    gov: &Governor,
+    tracer: &Tracer<'_>,
+) -> Result<FragmentSet, Breach> {
+    tracer.scoped("pairwise-join", stats, |stats| {
+        pairwise_join_governed(doc, f1, f2, stats, gov)
+    })
+}
+
 /// Inputs larger than this are rejected by [`powerset_join`]: the literal
 /// operator enumerates `2^|F|` subsets and exists as a correctness oracle,
 /// not a production path.
@@ -278,6 +293,20 @@ pub fn powerset_join_governed(
         }
     }
     Ok(out)
+}
+
+/// [`powerset_join_governed`] recorded as one `powerset-join` span.
+pub fn powerset_join_traced(
+    doc: &Document,
+    f1: &FragmentSet,
+    f2: &FragmentSet,
+    stats: &mut EvalStats,
+    gov: &Governor,
+    tracer: &Tracer<'_>,
+) -> Result<FragmentSet, Breach> {
+    tracer.scoped("powerset-join", stats, |stats| {
+        powerset_join_governed(doc, f1, f2, stats, gov)
+    })
 }
 
 /// The unique *candidate fragment sets* of a powerset join — the second
@@ -504,8 +533,7 @@ mod tests {
         }
         // Distributivity over union
         let l = pairwise_join(&d, &s1, &s2.union(&s3), &mut st);
-        let r = pairwise_join(&d, &s1, &s2, &mut st)
-            .union(&pairwise_join(&d, &s1, &s3, &mut st));
+        let r = pairwise_join(&d, &s1, &s2, &mut st).union(&pairwise_join(&d, &s1, &s3, &mut st));
         assert_eq!(l, r);
     }
 

@@ -21,7 +21,9 @@
 //! * [`overlap`] — grouping of overlapping answers (§5 discussion);
 //! * [`parallel`] — optional multi-threaded pairwise joins for large sets;
 //! * [`budget`] — resource budgets, cooperative cancellation, and the
-//!   graceful-degradation ladder ([`evaluate_budgeted`]).
+//!   graceful-degradation ladder ([`evaluate_budgeted`]);
+//! * [`trace`] — span-based stage tracing under every `*_traced` entry
+//!   point, powering `--profile` and `explain --analyze`.
 //!
 //! ## Example
 //!
@@ -62,30 +64,38 @@ pub mod rank;
 pub mod set;
 pub mod snippet;
 pub mod stats;
+pub mod trace;
 
 pub use budget::{
-    Breach, Budget, CancelToken, DegradeMode, Degradation, ExecPolicy, Governor, Rung,
+    Breach, Budget, CancelToken, Degradation, DegradeMode, ExecPolicy, Governor, Rung,
 };
 pub use collection::{
-    evaluate_collection, evaluate_collection_budgeted, evaluate_collection_parallel,
-    top_k_collection, BudgetedCollectionResult, CollectionResult, DocAnswers,
+    evaluate_collection, evaluate_collection_budgeted, evaluate_collection_budgeted_traced,
+    evaluate_collection_parallel, top_k_collection, BudgetedCollectionResult, CollectionResult,
+    DocAnswers,
 };
+pub use cost::{CostEstimate, CostModel};
 pub use filter::{select, FilterExpr};
 pub use fixpoint::{
     fixed_point, fixed_point_governed, fixed_point_naive, fixed_point_naive_governed,
-    fixed_point_reduced, fixed_point_reduced_governed, powerset_via_fixpoint, reduce,
-    reduce_governed, reduction_factor, FixpointMode,
+    fixed_point_naive_traced, fixed_point_reduced, fixed_point_reduced_governed,
+    fixed_point_reduced_traced, fixed_point_traced, powerset_via_fixpoint, reduce, reduce_governed,
+    reduce_traced, reduction_factor, FixpointMode,
 };
 pub use fragment::{Fragment, FragmentError};
 pub use join::{
     fragment_join, fragment_join_all, fragment_join_many, pairwise_join, pairwise_join_governed,
-    powerset_join, powerset_join_candidates, powerset_join_governed, PowersetTooLarge,
-    POWERSET_LIMIT,
+    pairwise_join_traced, powerset_join, powerset_join_candidates, powerset_join_governed,
+    powerset_join_traced, PowersetTooLarge, POWERSET_LIMIT,
 };
-pub use plan::{execute_governed, LogicalPlan, Optimizer, OptimizerRule};
+pub use plan::{execute_governed, execute_traced, LogicalPlan, Optimizer, OptimizerRule};
 pub use query::{
-    evaluate, evaluate_budgeted, evaluate_scoped, Query, QueryError, QueryResult,
-    ScopedQueryError, Strategy,
+    evaluate, evaluate_budgeted, evaluate_budgeted_traced, evaluate_scoped, evaluate_traced, Query,
+    QueryError, QueryResult, ScopedQueryError, Strategy,
 };
 pub use set::FragmentSet;
 pub use stats::EvalStats;
+pub use trace::{
+    format_duration, render_spans, spans_to_json, LatencyHistogram, NoopSink, RecordingSink, Span,
+    TraceSink, Tracer,
+};

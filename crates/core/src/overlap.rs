@@ -31,9 +31,7 @@ pub struct OverlapGroup {
 pub fn maximal_only(answers: &FragmentSet) -> FragmentSet {
     let mut out = FragmentSet::new();
     for f in answers.iter() {
-        let dominated = answers
-            .iter()
-            .any(|g| g != f && f.is_subfragment_of(g));
+        let dominated = answers.iter().any(|g| g != f && f.is_subfragment_of(g));
         if !dominated {
             out.insert(f.clone());
         }

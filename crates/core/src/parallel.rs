@@ -19,6 +19,8 @@ use crate::fragment::Fragment;
 use crate::join::fragment_join;
 use crate::set::FragmentSet;
 use crate::stats::EvalStats;
+use crate::trace::{Span, Tracer};
+use std::time::Instant;
 use xfrag_doc::Document;
 
 /// Parallel `F1 ⋈ F2` over `threads` workers. Falls back to the
@@ -46,8 +48,7 @@ pub fn pairwise_join_parallel(
             .map(|shard| {
                 scope.spawn(move || {
                     let mut local_stats = EvalStats::new();
-                    let mut out: Vec<Fragment> =
-                        Vec::with_capacity(shard.len() * f2.len());
+                    let mut out: Vec<Fragment> = Vec::with_capacity(shard.len() * f2.len());
                     for a in shard {
                         for b in f2.iter() {
                             out.push(fragment_join(doc, a, b, &mut local_stats));
@@ -93,59 +94,94 @@ pub fn pairwise_join_parallel_governed(
     stats: &mut EvalStats,
     gov: &Governor,
 ) -> Result<FragmentSet, Breach> {
+    pairwise_join_parallel_traced(doc, f1, f2, threads, stats, gov, &Tracer::disabled())
+}
+
+/// [`pairwise_join_parallel_governed`] with tracing: the whole join runs
+/// under a `parallel-join` span, and each worker records its own
+/// wall-clock time and local [`EvalStats`], attached afterwards as
+/// `worker-{i}` leaf spans by the coordinating thread ([`Tracer`] is
+/// single-threaded, so workers never touch it directly).
+pub fn pairwise_join_parallel_traced(
+    doc: &Document,
+    f1: &FragmentSet,
+    f2: &FragmentSet,
+    threads: usize,
+    stats: &mut EvalStats,
+    gov: &Governor,
+    tracer: &Tracer<'_>,
+) -> Result<FragmentSet, Breach> {
     const MIN_PAIRS_PER_THREAD: usize = 256;
     let pairs = f1.len().saturating_mul(f2.len());
     if threads <= 1 || pairs < MIN_PAIRS_PER_THREAD * 2 {
-        return crate::join::pairwise_join_governed(doc, f1, f2, stats, gov);
+        return crate::join::pairwise_join_traced(doc, f1, f2, stats, gov, tracer);
     }
-    let threads = threads.min(f1.len().max(1));
-    let left: Vec<&Fragment> = f1.iter().collect();
-    let chunk = left.len().div_ceil(threads);
+    tracer.scoped("parallel-join", stats, |stats| {
+        let threads = threads.min(f1.len().max(1));
+        let left: Vec<&Fragment> = f1.iter().collect();
+        let chunk = left.len().div_ceil(threads);
+        let timed = tracer.is_enabled();
 
-    let mut shard_results: Vec<Result<(Vec<Fragment>, EvalStats), Breach>> = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = left
-            .chunks(chunk)
-            .map(|shard| {
-                scope.spawn(move || {
-                    let mut local_stats = EvalStats::new();
-                    let mut out: Vec<Fragment> =
-                        Vec::with_capacity(shard.len() * f2.len());
-                    for a in shard {
-                        gov.checkpoint()?;
-                        for b in f2.iter() {
-                            gov.charge_join((a.size() + b.size()) as u64)?;
-                            out.push(fragment_join(doc, a, b, &mut local_stats));
-                            gov.charge_fragments(1)?;
-                            local_stats.fragments_emitted += 1;
+        let mut shard_results: Vec<Result<WorkerResult, Breach>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = left
+                .chunks(chunk)
+                .map(|shard| {
+                    scope.spawn(move || {
+                        let start = timed.then(Instant::now);
+                        let mut local_stats = EvalStats::new();
+                        let mut out: Vec<Fragment> = Vec::with_capacity(shard.len() * f2.len());
+                        for a in shard {
+                            gov.checkpoint()?;
+                            for b in f2.iter() {
+                                gov.charge_join((a.size() + b.size()) as u64)?;
+                                out.push(fragment_join(doc, a, b, &mut local_stats));
+                                gov.charge_fragments(1)?;
+                                local_stats.fragments_emitted += 1;
+                            }
                         }
-                    }
-                    Ok((out, local_stats))
+                        Ok(WorkerResult {
+                            frags: out,
+                            stats: local_stats,
+                            wall: start.map(|s| s.elapsed()),
+                        })
+                    })
                 })
-            })
-            .collect();
-        for h in handles {
-            match h.join() {
-                Ok(r) => shard_results.push(r),
-                // invariant: worker closures return breaches as values;
-                // resume propagates a hypothetical panic instead of
-                // swallowing it.
-                Err(payload) => std::panic::resume_unwind(payload),
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok(r) => shard_results.push(r),
+                    // invariant: worker closures return breaches as values;
+                    // resume propagates a hypothetical panic instead of
+                    // swallowing it.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
             }
-        }
-    });
+        });
 
-    let mut set = FragmentSet::new();
-    for r in shard_results {
-        let (frags, local) = r?;
-        *stats += local;
-        for f in frags {
-            if !set.insert(f) {
-                stats.duplicates_collapsed += 1;
+        let mut set = FragmentSet::new();
+        for (i, r) in shard_results.into_iter().enumerate() {
+            let w = r?;
+            if let Some(wall) = w.wall {
+                tracer.attach(Span::leaf(format!("worker-{i}"), wall, w.stats));
+            }
+            *stats += w.stats;
+            for f in w.frags {
+                if !set.insert(f) {
+                    stats.duplicates_collapsed += 1;
+                }
             }
         }
-    }
-    Ok(set)
+        Ok(set)
+    })
+}
+
+/// What one parallel shard hands back to the coordinator.
+struct WorkerResult {
+    frags: Vec<Fragment>,
+    stats: EvalStats,
+    /// Worker wall-clock, measured only when the join is traced.
+    wall: Option<std::time::Duration>,
 }
 
 #[cfg(test)]
@@ -189,6 +225,36 @@ mod tests {
         let out = pairwise_join_parallel(&d, &f1, &f2, 8, &mut st);
         assert_eq!(out.len(), 2);
         assert_eq!(st.joins, 2);
+    }
+
+    #[test]
+    fn traced_parallel_records_worker_spans() {
+        use crate::trace::{RecordingSink, Tracer};
+        let d = wide_doc(64);
+        let f1 = FragmentSet::of_nodes((1..40).map(NodeId));
+        let f2 = FragmentSet::of_nodes((20..64).map(NodeId));
+        let mut st_plain = EvalStats::new();
+        let plain = pairwise_join_parallel(&d, &f1, &f2, 4, &mut st_plain);
+
+        let sink = RecordingSink::new();
+        let tracer = Tracer::new(&sink);
+        let gov = Governor::unlimited();
+        let mut st = EvalStats::new();
+        let out = pairwise_join_parallel_traced(&d, &f1, &f2, 4, &mut st, &gov, &tracer).unwrap();
+        assert_eq!(out, plain);
+        assert_eq!(st.joins, st_plain.joins);
+
+        let spans = sink.take();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].stage, "parallel-join");
+        assert!(!spans[0].children.is_empty());
+        assert!(spans[0]
+            .children
+            .iter()
+            .all(|c| c.stage.starts_with("worker-")));
+        // Worker deltas account for every join the coordinator summed.
+        let worker_joins: u64 = spans[0].children.iter().map(|c| c.stats_delta.joins).sum();
+        assert_eq!(worker_joins, st.joins);
     }
 
     #[test]

@@ -20,11 +20,15 @@
 use crate::budget::{Breach, Governor};
 use crate::cost::CostModel;
 use crate::filter::{select, FilterExpr};
-use crate::fixpoint::{fixed_point, fixed_point_governed, FixpointMode};
-use crate::join::{pairwise_join, pairwise_join_governed, powerset_join, powerset_join_governed};
+use crate::fixpoint::{fixed_point, fixed_point_traced, FixpointMode};
+use crate::join::{
+    pairwise_join, pairwise_join_governed, pairwise_join_traced, powerset_join,
+    powerset_join_traced,
+};
 use crate::query::{Query, QueryError};
 use crate::set::FragmentSet;
 use crate::stats::EvalStats;
+use crate::trace::Tracer;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use xfrag_doc::{Document, InvertedIndex};
@@ -124,7 +128,9 @@ impl LogicalPlan {
         fn group_plan(group: &[String]) -> Result<LogicalPlan, QueryError> {
             let mut it = group.iter();
             let first = it.next().ok_or(QueryError::NoTerms)?;
-            let mut plan = LogicalPlan::KeywordSelect { term: first.clone() };
+            let mut plan = LogicalPlan::KeywordSelect {
+                term: first.clone(),
+            };
             for t in it {
                 plan = LogicalPlan::Union {
                     left: Box::new(plan),
@@ -155,6 +161,20 @@ impl LogicalPlan {
             filter,
             input: Box::new(plan),
         })
+    }
+
+    /// Short one-line label for this operator (no children) — used as the
+    /// trace span stage for plan execution and in `explain --analyze`
+    /// stage tables.
+    pub fn label(&self) -> String {
+        match self {
+            LogicalPlan::KeywordSelect { term } => format!("keyword:{term}"),
+            LogicalPlan::Select { filter, .. } => format!("σ[{filter}]"),
+            LogicalPlan::PairwiseJoin { .. } => "⋈ pairwise".to_string(),
+            LogicalPlan::PowersetJoin { .. } => "⋈* powerset".to_string(),
+            LogicalPlan::FixedPoint { mode, .. } => format!("fixpoint[{mode:?}]"),
+            LogicalPlan::Union { .. } => "∪ union".to_string(),
+        }
     }
 
     /// Render the evaluation tree, one operator per line, children
@@ -306,30 +326,26 @@ impl DistributeJoinOverUnion {
                 let l = Self::rewrite(*left);
                 let r = Self::rewrite(*right);
                 match (l, r) {
-                    (l, LogicalPlan::Union { left: b, right: c }) => {
-                        LogicalPlan::Union {
-                            left: Box::new(Self::rewrite(LogicalPlan::PairwiseJoin {
-                                left: Box::new(l.clone()),
-                                right: b,
-                            })),
-                            right: Box::new(Self::rewrite(LogicalPlan::PairwiseJoin {
-                                left: Box::new(l),
-                                right: c,
-                            })),
-                        }
-                    }
-                    (LogicalPlan::Union { left: a, right: b }, r) => {
-                        LogicalPlan::Union {
-                            left: Box::new(Self::rewrite(LogicalPlan::PairwiseJoin {
-                                left: a,
-                                right: Box::new(r.clone()),
-                            })),
-                            right: Box::new(Self::rewrite(LogicalPlan::PairwiseJoin {
-                                left: b,
-                                right: Box::new(r),
-                            })),
-                        }
-                    }
+                    (l, LogicalPlan::Union { left: b, right: c }) => LogicalPlan::Union {
+                        left: Box::new(Self::rewrite(LogicalPlan::PairwiseJoin {
+                            left: Box::new(l.clone()),
+                            right: b,
+                        })),
+                        right: Box::new(Self::rewrite(LogicalPlan::PairwiseJoin {
+                            left: Box::new(l),
+                            right: c,
+                        })),
+                    },
+                    (LogicalPlan::Union { left: a, right: b }, r) => LogicalPlan::Union {
+                        left: Box::new(Self::rewrite(LogicalPlan::PairwiseJoin {
+                            left: a,
+                            right: Box::new(r.clone()),
+                        })),
+                        right: Box::new(Self::rewrite(LogicalPlan::PairwiseJoin {
+                            left: b,
+                            right: Box::new(r),
+                        })),
+                    },
                     (l, r) => LogicalPlan::PairwiseJoin {
                         left: Box::new(l),
                         right: Box::new(r),
@@ -644,59 +660,80 @@ pub fn execute_governed(
     stats: &mut EvalStats,
     gov: &Governor,
 ) -> Result<FragmentSet, Breach> {
-    gov.checkpoint()?;
-    match plan {
-        LogicalPlan::KeywordSelect { term } => {
-            Ok(FragmentSet::of_nodes(index.lookup(term).iter().copied()))
-        }
-        LogicalPlan::Select { filter, input } => {
-            let f = execute_governed(input, doc, index, stats, gov)?;
-            Ok(select(doc, filter, &f, stats))
-        }
-        LogicalPlan::PairwiseJoin { left, right } => {
-            let l = execute_governed(left, doc, index, stats, gov)?;
-            let r = execute_governed(right, doc, index, stats, gov)?;
-            if l.is_empty() || r.is_empty() {
-                return Ok(FragmentSet::new());
+    execute_traced(plan, doc, index, stats, gov, &Tracer::disabled())
+}
+
+/// [`execute_governed`] with span recording: every plan operator opens a
+/// span labeled by [`LogicalPlan::label`], nested to mirror the plan
+/// tree, with fixed-point operators contributing their per-round child
+/// spans — the execution side of `explain --analyze`.
+pub fn execute_traced(
+    plan: &LogicalPlan,
+    doc: &Document,
+    index: &InvertedIndex,
+    stats: &mut EvalStats,
+    gov: &Governor,
+    tracer: &Tracer<'_>,
+) -> Result<FragmentSet, Breach> {
+    tracer.scoped_lazy(
+        || plan.label(),
+        stats,
+        |stats| {
+            gov.checkpoint()?;
+            match plan {
+                LogicalPlan::KeywordSelect { term } => {
+                    Ok(FragmentSet::of_nodes(index.lookup(term).iter().copied()))
+                }
+                LogicalPlan::Select { filter, input } => {
+                    let f = execute_traced(input, doc, index, stats, gov, tracer)?;
+                    Ok(select(doc, filter, &f, stats))
+                }
+                LogicalPlan::PairwiseJoin { left, right } => {
+                    let l = execute_traced(left, doc, index, stats, gov, tracer)?;
+                    let r = execute_traced(right, doc, index, stats, gov, tracer)?;
+                    if l.is_empty() || r.is_empty() {
+                        return Ok(FragmentSet::new());
+                    }
+                    pairwise_join_traced(doc, &l, &r, stats, gov, tracer)
+                }
+                LogicalPlan::PowersetJoin { left, right } => {
+                    let l = execute_traced(left, doc, index, stats, gov, tracer)?;
+                    let r = execute_traced(right, doc, index, stats, gov, tracer)?;
+                    if l.is_empty() || r.is_empty() {
+                        return Ok(FragmentSet::new());
+                    }
+                    powerset_join_traced(doc, &l, &r, stats, gov, tracer)
+                }
+                LogicalPlan::FixedPoint {
+                    input,
+                    mode,
+                    inner_filter,
+                } => {
+                    let f = execute_traced(input, doc, index, stats, gov, tracer)?;
+                    // An unbounded governor cannot stop an unfiltered closure
+                    // blow-up, and Theorem 2 says |F⁺| can reach the powerset
+                    // size — refuse it like the literal enumeration would.
+                    // Filtered fixed points stay admissible: the pushed-down
+                    // anti-monotonic filter is what makes them tractable.
+                    if inner_filter.is_none()
+                        && !gov.is_work_bounded()
+                        && f.len() > crate::join::POWERSET_LIMIT
+                    {
+                        return Err(Breach::PowersetLimit);
+                    }
+                    match inner_filter {
+                        None => fixed_point_traced(doc, &f, *mode, stats, gov, tracer),
+                        Some(p) => filtered_fixed_point_governed(doc, &f, p, stats, gov, tracer),
+                    }
+                }
+                LogicalPlan::Union { left, right } => {
+                    let l = execute_traced(left, doc, index, stats, gov, tracer)?;
+                    let r = execute_traced(right, doc, index, stats, gov, tracer)?;
+                    Ok(l.union(&r))
+                }
             }
-            pairwise_join_governed(doc, &l, &r, stats, gov)
-        }
-        LogicalPlan::PowersetJoin { left, right } => {
-            let l = execute_governed(left, doc, index, stats, gov)?;
-            let r = execute_governed(right, doc, index, stats, gov)?;
-            if l.is_empty() || r.is_empty() {
-                return Ok(FragmentSet::new());
-            }
-            powerset_join_governed(doc, &l, &r, stats, gov)
-        }
-        LogicalPlan::FixedPoint {
-            input,
-            mode,
-            inner_filter,
-        } => {
-            let f = execute_governed(input, doc, index, stats, gov)?;
-            // An unbounded governor cannot stop an unfiltered closure
-            // blow-up, and Theorem 2 says |F⁺| can reach the powerset
-            // size — refuse it like the literal enumeration would.
-            // Filtered fixed points stay admissible: the pushed-down
-            // anti-monotonic filter is what makes them tractable.
-            if inner_filter.is_none()
-                && !gov.is_work_bounded()
-                && f.len() > crate::join::POWERSET_LIMIT
-            {
-                return Err(Breach::PowersetLimit);
-            }
-            match inner_filter {
-                None => fixed_point_governed(doc, &f, *mode, stats, gov),
-                Some(p) => filtered_fixed_point_governed(doc, &f, p, stats, gov),
-            }
-        }
-        LogicalPlan::Union { left, right } => {
-            let l = execute_governed(left, doc, index, stats, gov)?;
-            let r = execute_governed(right, doc, index, stats, gov)?;
-            Ok(l.union(&r))
-        }
-    }
+        },
+    )
 }
 
 /// Fixed point with per-iteration anti-monotonic filtering (§3.3's
@@ -726,32 +763,36 @@ fn filtered_fixed_point(
     }
 }
 
-/// Governed variant of [`filtered_fixed_point`]: checkpoint per round,
-/// joins charged.
+/// Governed + traced variant of [`filtered_fixed_point`]: checkpoint per
+/// round, joins charged, a `filtered-fixpoint` span with `round` children.
 fn filtered_fixed_point_governed(
     doc: &Document,
     f: &FragmentSet,
     anti: &FilterExpr,
     stats: &mut EvalStats,
     gov: &Governor,
+    tracer: &Tracer<'_>,
 ) -> Result<FragmentSet, Breach> {
-    let base = select(doc, anti, f, stats);
-    if base.is_empty() {
-        return Ok(FragmentSet::new());
-    }
-    let mut h = base.clone();
-    loop {
-        gov.checkpoint()?;
-        stats.fixpoint_iterations += 1;
-        let joined = pairwise_join_governed(doc, &h, &base, stats, gov)?;
-        let kept = select(doc, anti, &joined, stats);
-        let next = kept.union(&h);
-        stats.fixpoint_checks += 1;
-        if next.len() == h.len() {
-            return Ok(h);
+    tracer.scoped("filtered-fixpoint", stats, |stats| {
+        let base = select(doc, anti, f, stats);
+        if base.is_empty() {
+            return Ok(FragmentSet::new());
         }
-        h = next;
-    }
+        let mut h = base.clone();
+        loop {
+            gov.checkpoint()?;
+            let next = tracer.scoped("round", stats, |stats| -> Result<FragmentSet, Breach> {
+                stats.fixpoint_iterations += 1;
+                let joined = pairwise_join_governed(doc, &h, &base, stats, gov)?;
+                Ok(select(doc, anti, &joined, stats).union(&h))
+            })?;
+            stats.fixpoint_checks += 1;
+            if next.len() == h.len() {
+                return Ok(h);
+            }
+            h = next;
+        }
+    })
 }
 
 #[cfg(test)]
@@ -844,8 +885,7 @@ mod tests {
                 .unwrap()
                 .fragments;
             let optimizer = Optimizer::standard(&d, &idx, CostModel::default());
-            for (stage, plan) in optimizer.optimize_traced(LogicalPlan::for_query(&q).unwrap())
-            {
+            for (stage, plan) in optimizer.optimize_traced(LogicalPlan::for_query(&q).unwrap()) {
                 let mut st = EvalStats::new();
                 let got = execute(&plan, &d, &idx, &mut st).unwrap();
                 assert_eq!(got, oracle, "stage {stage} for {:?}", q.filter);
@@ -881,7 +921,11 @@ mod tests {
             index: &idx,
         };
         let rewritten = rule.apply(plan);
-        assert!(rewritten.render().contains("Reduced"), "{}", rewritten.render());
+        assert!(
+            rewritten.render().contains("Reduced"),
+            "{}",
+            rewritten.render()
+        );
     }
 
     #[test]
@@ -940,7 +984,9 @@ mod tests {
         // Definition 5 law rewrites. (After the Theorem 2 rewrite a
         // group-union sits *inside* a fixed point, where distribution
         // does not apply: (A ∪ B)⁺ ≠ A⁺ ∪ B⁺.)
-        let ks = |t: &str| LogicalPlan::KeywordSelect { term: t.to_string() };
+        let ks = |t: &str| LogicalPlan::KeywordSelect {
+            term: t.to_string(),
+        };
         let base = LogicalPlan::Select {
             filter: FilterExpr::MaxSize(5),
             input: Box::new(LogicalPlan::PairwiseJoin {
@@ -964,9 +1010,7 @@ mod tests {
                 }
                 LogicalPlan::Select { input, .. } => join_on_union(input),
                 LogicalPlan::FixedPoint { input, .. } => join_on_union(input),
-                LogicalPlan::Union { left, right } => {
-                    join_on_union(left) || join_on_union(right)
-                }
+                LogicalPlan::Union { left, right } => join_on_union(left) || join_on_union(right),
                 _ => false,
             }
         }
@@ -985,8 +1029,8 @@ mod tests {
     fn single_group_single_term_matches_for_query() {
         let q = query(&["alpha"], FilterExpr::True);
         let a = LogicalPlan::for_query(&q).unwrap();
-        let b = LogicalPlan::for_query_groups(&[vec!["alpha".to_string()]], FilterExpr::True)
-            .unwrap();
+        let b =
+            LogicalPlan::for_query_groups(&[vec!["alpha".to_string()]], FilterExpr::True).unwrap();
         assert_eq!(a, b);
         assert!(LogicalPlan::for_query_groups(&[], FilterExpr::True).is_err());
         assert!(LogicalPlan::for_query_groups(&[vec![]], FilterExpr::True).is_err());

@@ -21,17 +21,17 @@
 //! proptest enforce it. They differ (dramatically) in work performed,
 //! which [`crate::EvalStats`] exposes.
 
-use crate::budget::{
-    Breach, DegradeMode, Degradation, ExecPolicy, Governor, Rung, TOP_CANDIDATES,
-};
+use crate::budget::{Breach, Degradation, DegradeMode, ExecPolicy, Governor, Rung, TOP_CANDIDATES};
 use crate::filter::{select, FilterExpr};
 use crate::fixpoint::{
-    fixed_point_naive, fixed_point_naive_governed, fixed_point_reduced,
-    fixed_point_reduced_governed, reduce, reduce_governed,
+    fixed_point_naive_traced, fixed_point_reduced_traced, reduce, reduce_traced,
 };
-use crate::join::{fragment_join_many, pairwise_join, pairwise_join_governed, PowersetTooLarge};
+use crate::join::{
+    fragment_join_many, pairwise_join_governed, pairwise_join_traced, PowersetTooLarge,
+};
 use crate::set::FragmentSet;
 use crate::stats::EvalStats;
+use crate::trace::Tracer;
 use serde::{Deserialize, Serialize};
 use xfrag_doc::text::normalize_term;
 use xfrag_doc::{Document, InvertedIndex};
@@ -53,13 +53,21 @@ pub struct Query {
 
 impl Query {
     /// Build a query from raw terms; terms are normalized like document
-    /// text and empty ones dropped.
+    /// text, empty ones dropped, and duplicates removed (first occurrence
+    /// wins). `Q{k, k} = Q{k}` — the powerset join of a set with itself
+    /// adds no answers, only work — so deduplication preserves semantics
+    /// while avoiding a redundant join over identical operands.
     pub fn new(terms: impl IntoIterator<Item = impl AsRef<str>>, filter: FilterExpr) -> Self {
+        let mut deduped: Vec<String> = Vec::new();
+        for t in terms {
+            if let Some(norm) = normalize_term(t.as_ref()) {
+                if !deduped.contains(&norm) {
+                    deduped.push(norm);
+                }
+            }
+        }
         Query {
-            terms: terms
-                .into_iter()
-                .filter_map(|t| normalize_term(t.as_ref()))
-                .collect(),
+            terms: deduped,
             filter,
             strict_leaf_semantics: false,
         }
@@ -177,6 +185,16 @@ impl From<PowersetTooLarge> for QueryError {
     }
 }
 
+// invariant (used wherever an unlimited governor drives a governed
+// kernel): an unlimited governor has no limits, no deadline and no cancel
+// token, so no charge can ever breach.
+fn unbreachable<T>(r: Result<T, Breach>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(_) => unreachable!("unlimited governor breached"),
+    }
+}
+
 /// Evaluate `query` over `doc` using `index` for the keyword selections.
 pub fn evaluate(
     doc: &Document,
@@ -184,13 +202,33 @@ pub fn evaluate(
     query: &Query,
     strategy: Strategy,
 ) -> Result<QueryResult, QueryError> {
+    evaluate_traced(doc, index, query, strategy, &Tracer::disabled())
+}
+
+/// [`evaluate`] with span recording: one `term-lookup:{term}` span per
+/// keyword selection, then the strategy's own span tree (fixpoints with
+/// per-round children, joins, the final `select-top`).
+pub fn evaluate_traced(
+    doc: &Document,
+    index: &InvertedIndex,
+    query: &Query,
+    strategy: Strategy,
+    tracer: &Tracer<'_>,
+) -> Result<QueryResult, QueryError> {
     // Fi = σ_{keyword=ki}(nodes(D)) — single-node fragments.
+    let mut lookup_stats = EvalStats::new();
     let operands: Vec<FragmentSet> = query
         .terms
         .iter()
-        .map(|t| FragmentSet::of_nodes(index.lookup(t).iter().copied()))
+        .map(|t| {
+            tracer.scoped_lazy(
+                || format!("term-lookup:{t}"),
+                &mut lookup_stats,
+                |_| FragmentSet::of_nodes(index.lookup(t).iter().copied()),
+            )
+        })
         .collect();
-    evaluate_operands(doc, query, strategy, &operands)
+    evaluate_operands_traced(doc, query, strategy, &operands, tracer)
 }
 
 /// Strategy dispatch over pre-built operand sets (shared by [`evaluate`]
@@ -200,6 +238,17 @@ pub(crate) fn evaluate_operands(
     query: &Query,
     strategy: Strategy,
     operands: &[FragmentSet],
+) -> Result<QueryResult, QueryError> {
+    evaluate_operands_traced(doc, query, strategy, operands, &Tracer::disabled())
+}
+
+/// Traced strategy dispatch over pre-built operand sets.
+pub(crate) fn evaluate_operands_traced(
+    doc: &Document,
+    query: &Query,
+    strategy: Strategy,
+    operands: &[FragmentSet],
+    tracer: &Tracer<'_>,
 ) -> Result<QueryResult, QueryError> {
     if query.terms.is_empty() {
         return Err(QueryError::NoTerms);
@@ -215,29 +264,36 @@ pub(crate) fn evaluate_operands(
         });
     }
 
+    let gov = Governor::unlimited();
     let raw = match strategy {
-        Strategy::BruteForce => brute_force(doc, operands, &mut stats)?,
+        Strategy::BruteForce => tracer.scoped("brute-force", &mut stats, |stats| {
+            brute_force(doc, operands, stats)
+        })?,
         Strategy::FixedPointNaive => {
             let fps: Vec<FragmentSet> = operands
                 .iter()
-                .map(|f| fixed_point_naive(doc, f, &mut stats))
+                .map(|f| unbreachable(fixed_point_naive_traced(doc, f, &mut stats, &gov, tracer)))
                 .collect();
-            fold_pairwise(doc, fps, &mut stats)
+            unbreachable(fold_pairwise_traced(doc, fps, &mut stats, &gov, tracer))
         }
         Strategy::FixedPointReduced => {
             let fps: Vec<FragmentSet> = operands
                 .iter()
-                .map(|f| fixed_point_reduced(doc, f, &mut stats))
+                .map(|f| unbreachable(fixed_point_reduced_traced(doc, f, &mut stats, &gov, tracer)))
                 .collect();
-            fold_pairwise(doc, fps, &mut stats)
+            unbreachable(fold_pairwise_traced(doc, fps, &mut stats, &gov, tracer))
         }
         Strategy::PushDown => {
             let (anti, _rest) = query.filter.split_anti_monotonic();
             let fps: Vec<FragmentSet> = operands
                 .iter()
                 .map(|f| {
-                    let base = select(doc, &anti, f, &mut stats);
-                    filtered_fixed_point(doc, &base, &anti, &mut stats)
+                    tracer.scoped("push-down-operand", &mut stats, |stats| {
+                        let base = select(doc, &anti, f, stats);
+                        unbreachable(filtered_fixed_point_traced(
+                            doc, &base, &anti, stats, &gov, tracer,
+                        ))
+                    })
                 })
                 .collect();
             let mut acc: Option<FragmentSet> = None;
@@ -245,7 +301,9 @@ pub(crate) fn evaluate_operands(
                 acc = Some(match acc {
                     None => fp,
                     Some(prev) => {
-                        let joined = pairwise_join(doc, &prev, &fp, &mut stats);
+                        let joined = unbreachable(pairwise_join_traced(
+                            doc, &prev, &fp, &mut stats, &gov, tracer,
+                        ));
                         select(doc, &anti, &joined, &mut stats)
                     }
                 });
@@ -258,16 +316,15 @@ pub(crate) fn evaluate_operands(
 
     // Top-level selection σ_P — for PushDown this re-checks the
     // anti-monotonic part (already guaranteed) and applies the residual.
-    let mut fragments = select(doc, &query.filter, &raw, &mut stats);
-    if query.strict_leaf_semantics {
-        let strict = FilterExpr::and(
-            query
-                .terms
-                .iter()
-                .map(|t| FilterExpr::LeafTerm(t.clone())),
-        );
-        fragments = select(doc, &strict, &fragments, &mut stats);
-    }
+    let fragments = tracer.scoped("select-top", &mut stats, |stats| {
+        let mut fragments = select(doc, &query.filter, &raw, stats);
+        if query.strict_leaf_semantics {
+            let strict =
+                FilterExpr::and(query.terms.iter().map(|t| FilterExpr::LeafTerm(t.clone())));
+            fragments = select(doc, &strict, &fragments, stats);
+        }
+        fragments
+    });
     Ok(QueryResult {
         fragments,
         stats,
@@ -310,21 +367,44 @@ pub fn evaluate_budgeted(
     strategy: Strategy,
     policy: &ExecPolicy,
 ) -> Result<QueryResult, QueryError> {
+    evaluate_budgeted_traced(doc, index, query, strategy, policy, &Tracer::disabled())
+}
+
+/// [`evaluate_budgeted`] with span recording: every ladder rung that runs
+/// opens a `rung:{name}` span (named after [`Rung::name`]), so a profile
+/// shows exactly where the budget went before the answering rung — an
+/// abandoned rung's span ends at the moment its budget tripped.
+pub fn evaluate_budgeted_traced(
+    doc: &Document,
+    index: &InvertedIndex,
+    query: &Query,
+    strategy: Strategy,
+    policy: &ExecPolicy,
+    tracer: &Tracer<'_>,
+) -> Result<QueryResult, QueryError> {
+    let mut lookup_stats = EvalStats::new();
     let operands: Vec<FragmentSet> = query
         .terms
         .iter()
-        .map(|t| FragmentSet::of_nodes(index.lookup(t).iter().copied()))
+        .map(|t| {
+            tracer.scoped_lazy(
+                || format!("term-lookup:{t}"),
+                &mut lookup_stats,
+                |_| FragmentSet::of_nodes(index.lookup(t).iter().copied()),
+            )
+        })
         .collect();
-    evaluate_operands_budgeted(doc, query, strategy, &operands, policy)
+    evaluate_operands_budgeted_traced(doc, query, strategy, &operands, policy, tracer)
 }
 
-/// Budgeted strategy dispatch over pre-built operand sets.
-pub(crate) fn evaluate_operands_budgeted(
+/// Traced budgeted strategy dispatch over pre-built operand sets.
+pub(crate) fn evaluate_operands_budgeted_traced(
     doc: &Document,
     query: &Query,
     strategy: Strategy,
     operands: &[FragmentSet],
     policy: &ExecPolicy,
+    tracer: &Tracer<'_>,
 ) -> Result<QueryResult, QueryError> {
     if query.terms.is_empty() {
         return Err(QueryError::NoTerms);
@@ -345,7 +425,12 @@ pub(crate) fn evaluate_operands_budgeted(
     let mut truncated_fragments = 0u64;
 
     // Rung 0: the requested strategy, governed.
-    let mut raw = match strategy_raw_governed(doc, query, strategy, operands, &mut stats, &gov) {
+    let attempt = tracer.scoped_lazy(
+        || format!("rung:{}", Rung::Full.name()),
+        &mut stats,
+        |stats| strategy_raw_traced(doc, query, strategy, operands, stats, &gov, tracer),
+    );
+    let mut raw = match attempt {
         Ok(raw) => Some(raw),
         Err(breach) => {
             handle_breach(Rung::Full, breach, policy, &mut trips)?;
@@ -355,24 +440,28 @@ pub(crate) fn evaluate_operands_budgeted(
 
     // Rung 1: fixed points over the reduced operand sets ⊖(Fi).
     if raw.is_none() {
-        let attempt = (|| {
-            let fps: Vec<FragmentSet> = operands
-                .iter()
-                .map(|f| {
-                    let reduced = reduce_governed(doc, f, &mut stats, &gov)?;
-                    // An unbounded governor (reachable here via a
-                    // PowersetLimit trip with no budget set) cannot stop
-                    // a closure blow-up, and Theorem 2 says |F⁺| can
-                    // reach the powerset size — so apply the literal
-                    // enumeration's own guard.
-                    if !gov.is_work_bounded() && reduced.len() > crate::join::POWERSET_LIMIT {
-                        return Err(Breach::PowersetLimit);
-                    }
-                    fixed_point_naive_governed(doc, &reduced, &mut stats, &gov)
-                })
-                .collect::<Result<_, Breach>>()?;
-            fold_pairwise_governed(doc, fps, &mut stats, &gov)
-        })();
+        let attempt = tracer.scoped_lazy(
+            || format!("rung:{}", Rung::ReducedSets.name()),
+            &mut stats,
+            |stats| {
+                let fps: Vec<FragmentSet> = operands
+                    .iter()
+                    .map(|f| {
+                        let reduced = reduce_traced(doc, f, stats, &gov, tracer)?;
+                        // An unbounded governor (reachable here via a
+                        // PowersetLimit trip with no budget set) cannot stop
+                        // a closure blow-up, and Theorem 2 says |F⁺| can
+                        // reach the powerset size — so apply the literal
+                        // enumeration's own guard.
+                        if !gov.is_work_bounded() && reduced.len() > crate::join::POWERSET_LIMIT {
+                            return Err(Breach::PowersetLimit);
+                        }
+                        fixed_point_naive_traced(doc, &reduced, stats, &gov, tracer)
+                    })
+                    .collect::<Result<_, Breach>>()?;
+                fold_pairwise_traced(doc, fps, stats, &gov, tracer)
+            },
+        );
         match attempt {
             Ok(r) => raw = Some(r),
             Err(breach) => handle_breach(Rung::ReducedSets, breach, policy, &mut trips)?,
@@ -381,18 +470,22 @@ pub(crate) fn evaluate_operands_budgeted(
 
     // Rung 2: truncate operands, single pairwise fold, no fixed points.
     if raw.is_none() {
-        let attempt = {
-            let mut truncated = 0u64;
-            let tops: Vec<FragmentSet> = operands
-                .iter()
-                .map(|f| {
-                    let keep: Vec<_> = f.iter().take(TOP_CANDIDATES).cloned().collect();
-                    truncated += (f.len().saturating_sub(keep.len())) as u64;
-                    FragmentSet::from_iter(keep)
-                })
-                .collect();
-            fold_pairwise_governed(doc, tops, &mut stats, &gov).map(|r| (r, truncated))
-        };
+        let attempt = tracer.scoped_lazy(
+            || format!("rung:{}", Rung::TopCandidates.name()),
+            &mut stats,
+            |stats| {
+                let mut truncated = 0u64;
+                let tops: Vec<FragmentSet> = operands
+                    .iter()
+                    .map(|f| {
+                        let keep: Vec<_> = f.iter().take(TOP_CANDIDATES).cloned().collect();
+                        truncated += (f.len().saturating_sub(keep.len())) as u64;
+                        FragmentSet::from_iter(keep)
+                    })
+                    .collect();
+                fold_pairwise_traced(doc, tops, stats, &gov, tracer).map(|r| (r, truncated))
+            },
+        );
         match attempt {
             Ok((r, truncated)) => {
                 truncated_fragments = truncated;
@@ -405,27 +498,28 @@ pub(crate) fn evaluate_operands_budgeted(
     // Rung 3: SLCA approximation — ungoverned, always answers.
     let raw = match raw {
         Some(r) => r,
-        None => slca_approximation(doc, operands, &mut stats),
+        None => tracer.scoped_lazy(
+            || format!("rung:{}", Rung::SlcaApprox.name()),
+            &mut stats,
+            |stats| slca_approximation(doc, operands, stats),
+        ),
     };
     // Each trip abandoned one rung; the answer came from the next one.
     let rung = match trips.len() {
         0 => None,
-        1 => Some(Rung::ReducedSets),
-        2 => Some(Rung::TopCandidates),
-        _ => Some(Rung::SlcaApprox),
+        n => Some(Rung::ALL[n.min(Rung::ALL.len() - 1)]),
     };
 
     // Shared tail: top-level selection σ_P plus strict leaf semantics.
-    let mut fragments = select(doc, &query.filter, &raw, &mut stats);
-    if query.strict_leaf_semantics {
-        let strict = FilterExpr::and(
-            query
-                .terms
-                .iter()
-                .map(|t| FilterExpr::LeafTerm(t.clone())),
-        );
-        fragments = select(doc, &strict, &fragments, &mut stats);
-    }
+    let fragments = tracer.scoped("select-top", &mut stats, |stats| {
+        let mut fragments = select(doc, &query.filter, &raw, stats);
+        if query.strict_leaf_semantics {
+            let strict =
+                FilterExpr::and(query.terms.iter().map(|t| FilterExpr::LeafTerm(t.clone())));
+            fragments = select(doc, &strict, &fragments, stats);
+        }
+        fragments
+    });
 
     stats.budget_checkpoints = gov.checkpoints_passed();
     let degradation = match rung {
@@ -467,42 +561,47 @@ fn handle_breach(
 
 /// The governed equivalent of the strategy dispatch in
 /// [`evaluate_operands`]: compute the raw (pre-selection) set for the
-/// requested strategy, charging `gov` throughout.
-fn strategy_raw_governed(
+/// requested strategy, charging `gov` and recording spans throughout.
+fn strategy_raw_traced(
     doc: &Document,
     query: &Query,
     strategy: Strategy,
     operands: &[FragmentSet],
     stats: &mut EvalStats,
     gov: &Governor,
+    tracer: &Tracer<'_>,
 ) -> Result<FragmentSet, Breach> {
     match strategy {
-        Strategy::BruteForce => brute_force_governed(doc, operands, stats, gov),
+        Strategy::BruteForce => tracer.scoped("brute-force", stats, |stats| {
+            brute_force_governed(doc, operands, stats, gov)
+        }),
         Strategy::FixedPointNaive => {
             let fps: Vec<FragmentSet> = operands
                 .iter()
-                .map(|f| fixed_point_naive_governed(doc, f, stats, gov))
+                .map(|f| fixed_point_naive_traced(doc, f, stats, gov, tracer))
                 .collect::<Result<_, _>>()?;
-            fold_pairwise_governed(doc, fps, stats, gov)
+            fold_pairwise_traced(doc, fps, stats, gov, tracer)
         }
         Strategy::FixedPointReduced => {
             let fps: Vec<FragmentSet> = operands
                 .iter()
-                .map(|f| fixed_point_reduced_governed(doc, f, stats, gov))
+                .map(|f| fixed_point_reduced_traced(doc, f, stats, gov, tracer))
                 .collect::<Result<_, _>>()?;
-            fold_pairwise_governed(doc, fps, stats, gov)
+            fold_pairwise_traced(doc, fps, stats, gov, tracer)
         }
         Strategy::PushDown => {
             let (anti, _rest) = query.filter.split_anti_monotonic();
             let mut acc: Option<FragmentSet> = None;
             for f in operands {
                 gov.checkpoint()?;
-                let base = select(doc, &anti, f, stats);
-                let fp = filtered_fixed_point_governed(doc, &base, &anti, stats, gov)?;
+                let fp = tracer.scoped("push-down-operand", stats, |stats| {
+                    let base = select(doc, &anti, f, stats);
+                    filtered_fixed_point_traced(doc, &base, &anti, stats, gov, tracer)
+                })?;
                 acc = Some(match acc {
                     None => fp,
                     Some(prev) => {
-                        let joined = pairwise_join_governed(doc, &prev, &fp, stats, gov)?;
+                        let joined = pairwise_join_traced(doc, &prev, &fp, stats, gov, tracer)?;
                         select(doc, &anti, &joined, stats)
                     }
                 });
@@ -563,48 +662,58 @@ fn brute_force_governed(
     }
 }
 
-/// Governed left-to-right pairwise fold of operand fixed points.
-fn fold_pairwise_governed(
+/// Governed left-to-right pairwise fold of operand fixed points, recorded
+/// as one `join-fold` span with a `pairwise-join` child per step.
+fn fold_pairwise_traced(
     doc: &Document,
     fps: Vec<FragmentSet>,
     stats: &mut EvalStats,
     gov: &Governor,
+    tracer: &Tracer<'_>,
 ) -> Result<FragmentSet, Breach> {
-    let mut it = fps.into_iter();
-    // invariant: callers pass one set per query term and reject term-less
-    // queries before reaching this fold.
-    let mut acc = it.next().expect("at least one operand");
-    for fp in it {
-        gov.checkpoint()?;
-        acc = pairwise_join_governed(doc, &acc, &fp, stats, gov)?;
-    }
-    Ok(acc)
+    tracer.scoped("join-fold", stats, |stats| {
+        let mut it = fps.into_iter();
+        // invariant: callers pass one set per query term and reject
+        // term-less queries before reaching this fold.
+        let mut acc = it.next().expect("at least one operand");
+        for fp in it {
+            gov.checkpoint()?;
+            acc = pairwise_join_traced(doc, &acc, &fp, stats, gov, tracer)?;
+        }
+        Ok(acc)
+    })
 }
 
-/// Governed variant of the §3.3 filtered fixed point used by push-down.
-fn filtered_fixed_point_governed(
+/// Governed and traced variant of the §3.3 filtered fixed point used by
+/// push-down: a `filtered-fixpoint` span with one `round` child per
+/// iteration.
+fn filtered_fixed_point_traced(
     doc: &Document,
     f: &FragmentSet,
     anti: &FilterExpr,
     stats: &mut EvalStats,
     gov: &Governor,
+    tracer: &Tracer<'_>,
 ) -> Result<FragmentSet, Breach> {
-    if f.is_empty() {
-        return Ok(FragmentSet::new());
-    }
-    let mut h = f.clone();
-    loop {
-        gov.checkpoint()?;
-        stats.fixpoint_iterations += 1;
-        let joined = pairwise_join_governed(doc, &h, f, stats, gov)?;
-        let kept = select(doc, anti, &joined, stats);
-        let next = kept.union(&h);
-        stats.fixpoint_checks += 1;
-        if next.len() == h.len() {
-            return Ok(h);
+    tracer.scoped("filtered-fixpoint", stats, |stats| {
+        if f.is_empty() {
+            return Ok(FragmentSet::new());
         }
-        h = next;
-    }
+        let mut h = f.clone();
+        loop {
+            gov.checkpoint()?;
+            let next = tracer.scoped("round", stats, |stats| -> Result<FragmentSet, Breach> {
+                stats.fixpoint_iterations += 1;
+                let joined = pairwise_join_governed(doc, &h, f, stats, gov)?;
+                Ok(select(doc, anti, &joined, stats).union(&h))
+            })?;
+            stats.fixpoint_checks += 1;
+            if next.len() == h.len() {
+                return Ok(h);
+            }
+            h = next;
+        }
+    })
 }
 
 /// The ladder's final rung: an SLCA-style approximation computed directly
@@ -641,7 +750,10 @@ fn slca_approximation(
     // backwards, so one pass accumulates subtree masks.
     for i in (1..n).rev() {
         // invariant: i > 0, and every non-root node has a parent.
-        let p = doc.parent(xfrag_doc::NodeId(i as u32)).expect("non-root").index();
+        let p = doc
+            .parent(xfrag_doc::NodeId(i as u32))
+            .expect("non-root")
+            .index();
         sub[p] |= sub[i];
     }
     if sub[doc.root().index()] != full {
@@ -649,9 +761,7 @@ fn slca_approximation(
     }
     let mut out = FragmentSet::new();
     for v in doc.node_ids() {
-        if sub[v.index()] != full
-            || doc.children(v).iter().any(|c| sub[c.index()] == full)
-        {
+        if sub[v.index()] != full || doc.children(v).iter().any(|c| sub[c.index()] == full) {
             continue;
         }
         let lo = v.0;
@@ -716,46 +826,6 @@ fn brute_force(
             masks[i] = 1;
             i += 1;
         }
-    }
-}
-
-/// Fold `F1⁺ ⋈ F2⁺ ⋈ … ⋈ Fm⁺` left to right.
-fn fold_pairwise(
-    doc: &Document,
-    fps: Vec<FragmentSet>,
-    stats: &mut EvalStats,
-) -> FragmentSet {
-    let mut it = fps.into_iter();
-    // invariant: callers pass one fixed point per query term and reject
-    // term-less queries before reaching this fold.
-    let first = it.next().expect("at least one operand");
-    it.fold(first, |acc, fp| pairwise_join(doc, &acc, &fp, stats))
-}
-
-/// Fixed point with an anti-monotonic filter applied after every round —
-/// the §3.3 expansion `σ_Pa(σ_Pa(F) ⋈ σ_Pa(F) ⋈ …)`. Fragments the filter
-/// rejects can never grow back into accepted ones (anti-monotonicity), so
-/// pruning inside the loop preserves the filtered fixed point.
-fn filtered_fixed_point(
-    doc: &Document,
-    f: &FragmentSet,
-    anti: &FilterExpr,
-    stats: &mut EvalStats,
-) -> FragmentSet {
-    if f.is_empty() {
-        return FragmentSet::new();
-    }
-    let mut h = f.clone();
-    loop {
-        stats.fixpoint_iterations += 1;
-        let joined = pairwise_join(doc, &h, f, stats);
-        let kept = select(doc, anti, &joined, stats);
-        let next = kept.union(&h);
-        stats.fixpoint_checks += 1;
-        if next.len() == h.len() {
-            return h;
-        }
-        h = next;
     }
 }
 
@@ -929,6 +999,22 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_terms_are_deduplicated() {
+        // "alpha alpha beta" must behave exactly like "alpha beta": same
+        // answer set AND same join work — before deduplication the repeat
+        // operand multiplied every downstream join.
+        let deduped = Query::new(["alpha", "beta"], FilterExpr::MaxSize(3));
+        let dupes = Query::new(["alpha", "Alpha", "beta", "alpha"], FilterExpr::MaxSize(3));
+        assert_eq!(dupes.terms, vec!["alpha".to_string(), "beta".to_string()]);
+        for &s in &Strategy::ALL {
+            let a = eval(&deduped, s);
+            let b = eval(&dupes, s);
+            assert_eq!(a.fragments, b.fragments, "{s:?}");
+            assert_eq!(a.stats.joins, b.stats.joins, "{s:?}");
+        }
+    }
+
+    #[test]
     fn conjunctive_semantics_unknown_term_empties() {
         let q = Query::new(["alpha", "zzz"], FilterExpr::True);
         for s in Strategy::ALL {
@@ -1028,8 +1114,7 @@ mod tests {
         let q = Query::new(["alpha", "beta"], FilterExpr::MaxSize(3));
         // Scoped to each <sec>: only the first section answers, and no
         // fragment escapes its scope subtree.
-        let scoped =
-            evaluate_scoped(&d, &idx, &q, "/article/sec", Strategy::PushDown).unwrap();
+        let scoped = evaluate_scoped(&d, &idx, &q, "/article/sec", Strategy::PushDown).unwrap();
         assert_eq!(scoped.len(), 1);
         let (scope, r) = &scoped[0];
         assert_eq!(*scope, xfrag_doc::NodeId(1));
@@ -1045,7 +1130,10 @@ mod tests {
         assert!(!unscoped.fragments.is_empty());
         let scoped =
             evaluate_scoped(&d, &idx, &q_cross, "/article/sec", Strategy::PushDown).unwrap();
-        assert!(scoped.is_empty(), "beta and gamma live in different sections");
+        assert!(
+            scoped.is_empty(),
+            "beta and gamma live in different sections"
+        );
     }
 
     #[test]

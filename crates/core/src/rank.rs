@@ -10,9 +10,10 @@
 //! * **coverage** — distinct query terms hit more nodes of the fragment;
 //! * **leaf proximity** — terms occurring at fragment leaves (the
 //!   Definition 8 position) count more than internal occurrences;
-//! * **depth decay** — deeper, more specific components are preferred
-//!   over near-root spans (`decay^depth(root)` with decay > 1 favouring
-//!   depth).
+//! * **depth preference** — deeper, more specific components are
+//!   preferred over near-root spans: an additive bonus of
+//!   `depth_preference · (1 − 1/(depth + 1))`, which grows from `0` at
+//!   the document root towards the full `depth_preference` weight.
 //!
 //! Scores are deterministic; ties break by the fragment's canonical node
 //! list so ranked output is stable across runs.
@@ -34,8 +35,10 @@ pub struct RankConfig {
     pub coverage: f64,
     /// Bonus per query term that occurs at a fragment leaf.
     pub leaf_bonus: f64,
-    /// Multiplicative preference for deeper fragment roots: the score is
-    /// multiplied by `1 - decay^-(depth+1)`-style factor; `0.0` disables.
+    /// Additive preference for deeper fragment roots: the score gains
+    /// `depth_preference · (1 − 1/(depth + 1))`, a bonus that is `0` for
+    /// a root-anchored fragment and approaches `depth_preference` as the
+    /// fragment root gets deeper; `0.0` disables.
     pub depth_preference: f64,
 }
 
@@ -70,9 +73,12 @@ pub fn score(doc: &Document, f: &Fragment, terms: &[String], cfg: &RankConfig) -
         .count() as f64;
     let coverage = cfg.coverage * hit_nodes / size;
 
+    // Materialize the leaf set once — `Fragment::leaves` walks the
+    // fragment per call, and the term loop would recompute it per term.
+    let leaf_nodes: Vec<_> = f.leaves(doc).collect();
     let leaf_terms = terms
         .iter()
-        .filter(|t| f.leaves(doc).any(|n| node_contains(doc, n, t)))
+        .filter(|t| leaf_nodes.iter().any(|&n| node_contains(doc, n, t)))
         .count() as f64;
     let leaves = cfg.leaf_bonus * leaf_terms / (terms.len().max(1) as f64);
 
@@ -184,11 +190,8 @@ mod tests {
     #[test]
     fn rank_is_sorted_and_stable() {
         let d = doc();
-        let answers = FragmentSet::from_iter([
-            frag(&d, &[0, 1, 2, 3]),
-            frag(&d, &[1]),
-            frag(&d, &[0, 1]),
-        ]);
+        let answers =
+            FragmentSet::from_iter([frag(&d, &[0, 1, 2, 3]), frag(&d, &[1]), frag(&d, &[0, 1])]);
         let ranked = rank(&d, &answers, &terms(), &RankConfig::default());
         assert_eq!(ranked.len(), 3);
         assert!(ranked.windows(2).all(|w| w[0].score >= w[1].score));
@@ -196,6 +199,33 @@ mod tests {
         // Deterministic across calls.
         let again = rank(&d, &answers, &terms(), &RankConfig::default());
         assert_eq!(ranked, again);
+    }
+
+    #[test]
+    fn ties_break_by_canonical_fragment_order() {
+        let d = doc();
+        // All weights zero → every fragment scores exactly 0.0, so the
+        // ordering is purely the canonical-node-list tie-break.
+        let cfg = RankConfig {
+            compactness: 0.0,
+            coverage: 0.0,
+            leaf_bonus: 0.0,
+            depth_preference: 0.0,
+        };
+        let answers = FragmentSet::from_iter([
+            frag(&d, &[2]),
+            frag(&d, &[0, 1]),
+            frag(&d, &[1]),
+            frag(&d, &[3]),
+        ]);
+        let ranked = rank(&d, &answers, &terms(), &cfg);
+        assert!(ranked.iter().all(|r| r.score == 0.0));
+        let order: Vec<Fragment> = ranked.iter().map(|r| r.fragment.clone()).collect();
+        let mut canonical = order.clone();
+        canonical.sort();
+        assert_eq!(order, canonical, "ties must follow Fragment::cmp");
+        // And the ordering is identical across repeated calls.
+        assert_eq!(ranked, rank(&d, &answers, &terms(), &cfg));
     }
 
     #[test]

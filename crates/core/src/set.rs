@@ -28,7 +28,9 @@ impl Serialize for FragmentSet {
 
 impl<'de> Deserialize<'de> for FragmentSet {
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        Ok(FragmentSet::from_iter(Vec::<Fragment>::deserialize(deserializer)?))
+        Ok(FragmentSet::from_iter(Vec::<Fragment>::deserialize(
+            deserializer,
+        )?))
     }
 }
 

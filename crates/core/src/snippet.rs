@@ -99,7 +99,13 @@ pub fn snippet(
             out.push_str(w);
         }
         if out.len() >= cfg.max_chars {
-            out.truncate(cfg.max_chars);
+            // Truncate at the nearest char boundary at or below the cap —
+            // `String::truncate` panics mid-code-point on multi-byte text.
+            let mut cut = cfg.max_chars.min(out.len());
+            while !out.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            out.truncate(cut);
             out.push('…');
             break;
         }
@@ -181,7 +187,10 @@ mod tests {
     fn empty_fragment_text() {
         let d = parse_str("<p><q/></p>").unwrap();
         let f = Fragment::from_nodes(&d, [NodeId(0), NodeId(1)]).unwrap();
-        assert_eq!(snippet(&d, &f, &["x".to_string()], &SnippetConfig::default()), "");
+        assert_eq!(
+            snippet(&d, &f, &["x".to_string()], &SnippetConfig::default()),
+            ""
+        );
     }
 
     #[test]
@@ -193,5 +202,27 @@ mod tests {
         };
         let s = snippet(&d, &f, &terms, &cfg);
         assert!(s.len() <= 24, "{s}"); // cap + ellipsis bytes
+    }
+
+    #[test]
+    fn max_chars_respects_utf8_boundaries() {
+        // Multi-byte words (2- and 3-byte chars) with a matching term, so
+        // the cap lands mid-code-point for some `max_chars` value.
+        let d = parse_str("<p>naïve café résumé XQuery Füße schön</p>").unwrap();
+        let f = Fragment::node(NodeId(0));
+        let terms = vec!["xquery".to_string()];
+        for max_chars in 1..40 {
+            let cfg = SnippetConfig {
+                max_chars,
+                ..SnippetConfig::default()
+            };
+            // Must not panic, must stay valid UTF-8, and must still cap.
+            let s = snippet(&d, &f, &terms, &cfg);
+            assert!(
+                s.len() <= max_chars + '…'.len_utf8(),
+                "max_chars={max_chars}: {s}"
+            );
+            assert!(s.chars().count() > 0 || max_chars == 0);
+        }
     }
 }

@@ -45,6 +45,32 @@ impl EvalStats {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Per-field difference `self − base`, saturating at zero. The tracing
+    /// layer snapshots a counter at stage entry and uses this to compute
+    /// the stage's contribution.
+    pub fn delta_since(&self, base: &EvalStats) -> EvalStats {
+        EvalStats {
+            joins: self.joins.saturating_sub(base.joins),
+            nodes_merged: self.nodes_merged.saturating_sub(base.nodes_merged),
+            fragments_emitted: self
+                .fragments_emitted
+                .saturating_sub(base.fragments_emitted),
+            duplicates_collapsed: self
+                .duplicates_collapsed
+                .saturating_sub(base.duplicates_collapsed),
+            filter_evals: self.filter_evals.saturating_sub(base.filter_evals),
+            filter_pruned: self.filter_pruned.saturating_sub(base.filter_pruned),
+            fixpoint_iterations: self
+                .fixpoint_iterations
+                .saturating_sub(base.fixpoint_iterations),
+            fixpoint_checks: self.fixpoint_checks.saturating_sub(base.fixpoint_checks),
+            reduce_checks: self.reduce_checks.saturating_sub(base.reduce_checks),
+            budget_checkpoints: self
+                .budget_checkpoints
+                .saturating_sub(base.budget_checkpoints),
+        }
+    }
 }
 
 impl AddAssign for EvalStats {
@@ -108,5 +134,75 @@ mod tests {
         let s = EvalStats::new().to_string();
         assert!(s.contains("joins=0"));
         assert!(!s.contains('\n'));
+    }
+
+    /// A struct literal with every field spelled out (no `..`): each
+    /// counter gets a distinct value so wiring mistakes can't cancel out.
+    fn distinct() -> EvalStats {
+        EvalStats {
+            joins: 1,
+            nodes_merged: 2,
+            fragments_emitted: 3,
+            duplicates_collapsed: 4,
+            filter_evals: 5,
+            filter_pruned: 6,
+            fixpoint_iterations: 7,
+            fixpoint_checks: 8,
+            reduce_checks: 9,
+            budget_checkpoints: 10,
+        }
+    }
+
+    /// Exhaustive destructuring (no `..`): adding a counter to
+    /// [`EvalStats`] without updating this test — and, by the assertions
+    /// below, `AddAssign`, `Display`, and `delta_since` — fails to
+    /// compile or fails here.
+    #[test]
+    fn every_field_is_wired_into_add_assign_display_and_delta() {
+        let mut sum = distinct();
+        sum += distinct();
+        let EvalStats {
+            joins,
+            nodes_merged,
+            fragments_emitted,
+            duplicates_collapsed,
+            filter_evals,
+            filter_pruned,
+            fixpoint_iterations,
+            fixpoint_checks,
+            reduce_checks,
+            budget_checkpoints,
+        } = sum;
+        assert_eq!(joins, 2);
+        assert_eq!(nodes_merged, 4);
+        assert_eq!(fragments_emitted, 6);
+        assert_eq!(duplicates_collapsed, 8);
+        assert_eq!(filter_evals, 10);
+        assert_eq!(filter_pruned, 12);
+        assert_eq!(fixpoint_iterations, 14);
+        assert_eq!(fixpoint_checks, 16);
+        assert_eq!(reduce_checks, 18);
+        assert_eq!(budget_checkpoints, 20);
+
+        // Display must render each doubled value exactly once.
+        let shown = sum.to_string();
+        for expect in [
+            "joins=2",
+            "merged_nodes=4",
+            "emitted=6",
+            "dups=8",
+            "filter_evals=10",
+            "pruned=12",
+            "fp_iters=14",
+            "fp_checks=16",
+            "reduce_checks=18",
+            "budget_checkpoints=20",
+        ] {
+            assert!(shown.contains(expect), "missing `{expect}` in `{shown}`");
+        }
+
+        // delta_since inverts add_assign field-by-field, and saturates.
+        assert_eq!(sum.delta_since(&distinct()), distinct());
+        assert_eq!(EvalStats::new().delta_since(&sum), EvalStats::new());
     }
 }

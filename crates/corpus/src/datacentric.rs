@@ -15,8 +15,16 @@ const SURNAMES: &[&str] = &[
     "tanaka", "smith", "garcia", "kumar", "chen", "novak", "okafor", "ivanov", "silva", "larsen",
 ];
 const TOPICS: &[&str] = &[
-    "indexing", "joins", "ranking", "streams", "caching", "recovery", "views", "privacy",
-    "compression", "sampling",
+    "indexing",
+    "joins",
+    "ranking",
+    "streams",
+    "caching",
+    "recovery",
+    "views",
+    "privacy",
+    "compression",
+    "sampling",
 ];
 const JOURNALS: &[&str] = &["tods", "vldbj", "sigmod", "icde", "edbt"];
 
@@ -51,13 +59,19 @@ pub fn generate_bib(cfg: &BibConfig) -> Document {
         b.attr("key", format!("rec{i}"));
         let nauth = rng.random_range(1..=cfg.max_authors.max(1));
         for _ in 0..nauth {
-            b.leaf("author", *SURNAMES.get(rng.random_range(0..SURNAMES.len())).unwrap());
+            b.leaf(
+                "author",
+                *SURNAMES.get(rng.random_range(0..SURNAMES.len())).unwrap(),
+            );
         }
         let t1 = TOPICS[rng.random_range(0..TOPICS.len())];
         let t2 = TOPICS[rng.random_range(0..TOPICS.len())];
         b.leaf("title", format!("on {t1} and {t2} in database systems"));
         b.leaf("year", format!("{}", 1990 + rng.random_range(0..30)));
-        b.leaf("journal", *JOURNALS.get(rng.random_range(0..JOURNALS.len())).unwrap());
+        b.leaf(
+            "journal",
+            *JOURNALS.get(rng.random_range(0..JOURNALS.len())).unwrap(),
+        );
         b.end();
     }
     b.end();

@@ -285,8 +285,7 @@ mod tests {
     fn structure_is_document_centric() {
         let d = generate(&DocGenConfig::default());
         assert_eq!(d.tag(d.root()), "article");
-        let tags: std::collections::HashSet<&str> =
-            d.node_ids().map(|n| d.tag(n)).collect();
+        let tags: std::collections::HashSet<&str> = d.node_ids().map(|n| d.tag(n)).collect();
         for t in ["section", "subsection", "par", "title"] {
             assert!(tags.contains(t), "missing {t}");
         }

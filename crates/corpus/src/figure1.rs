@@ -199,10 +199,8 @@ mod tests {
     fn filler_avoids_keywords() {
         let d = figure1().doc;
         for n in d.node_ids() {
-            let has_kw =
-                node_contains(&d, n, "xquery") || node_contains(&d, n, "optimization");
-            let anchored = [Figure1::N16, Figure1::N17, Figure1::N18, Figure1::N81]
-                .contains(&n);
+            let has_kw = node_contains(&d, n, "xquery") || node_contains(&d, n, "optimization");
+            let anchored = [Figure1::N16, Figure1::N17, Figure1::N18, Figure1::N81].contains(&n);
             assert_eq!(has_kw, anchored, "unexpected keyword placement at {n}");
         }
     }

@@ -76,7 +76,9 @@ impl DocumentBuilder {
     /// Append an attribute to the currently open element.
     pub fn attr(&mut self, name: impl Into<String>, value: impl Into<String>) -> &mut Self {
         match self.open.last() {
-            Some(&n) => self.nodes[n.index()].attrs.push((name.into(), value.into())),
+            Some(&n) => self.nodes[n.index()]
+                .attrs
+                .push((name.into(), value.into())),
             None => {
                 self.err.get_or_insert(DocError::ContentOutsideRoot);
             }
@@ -143,7 +145,13 @@ impl DocumentBuilder {
         if self.nodes.is_empty() {
             return Err(DocError::EmptyDocument);
         }
-        let doc = Document::from_parts(self.nodes, self.parent, self.children, self.depth, self.subtree);
+        let doc = Document::from_parts(
+            self.nodes,
+            self.parent,
+            self.children,
+            self.depth,
+            self.subtree,
+        );
         debug_assert!(doc.validate().is_ok(), "builder produced invalid tree");
         Ok(doc)
     }

@@ -93,10 +93,7 @@ impl Collection {
 
     /// Documents containing *all* the given terms — the candidates a
     /// conjunctive query can possibly answer from.
-    pub fn candidate_docs<'a>(
-        &'a self,
-        terms: &'a [String],
-    ) -> impl Iterator<Item = DocId> + 'a {
+    pub fn candidate_docs<'a>(&'a self, terms: &'a [String]) -> impl Iterator<Item = DocId> + 'a {
         self.ids().filter(move |&id| {
             terms
                 .iter()
@@ -118,7 +115,10 @@ mod tests {
     fn collection() -> Collection {
         let mut c = Collection::new();
         c.add("a.xml", parse_str("<a><p>alpha beta</p></a>").unwrap());
-        c.add("b.xml", parse_str("<b><p>alpha</p><p>gamma</p></b>").unwrap());
+        c.add(
+            "b.xml",
+            parse_str("<b><p>alpha</p><p>gamma</p></b>").unwrap(),
+        );
         c.add("c.xml", parse_str("<c><p>delta</p></c>").unwrap());
         c
     }

@@ -69,7 +69,9 @@ impl InvertedIndex {
 
     /// Iterate all `(term, postings)` pairs in lexicographic term order.
     pub fn terms(&self) -> impl Iterator<Item = (&str, &[NodeId])> {
-        self.postings.iter().map(|(t, p)| (t.as_str(), p.as_slice()))
+        self.postings
+            .iter()
+            .map(|(t, p)| (t.as_str(), p.as_slice()))
     }
 
     /// Evaluate `σ_{keyword=k}(nodes(D))` by scanning the document instead

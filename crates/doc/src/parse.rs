@@ -187,10 +187,9 @@ impl<'a> Parser<'a> {
                                 depth -= 1;
                             }
                             Some(open) => {
-                                return Err(self.err(ParseErrorKind::MismatchedTag {
-                                    open,
-                                    close: name,
-                                }))
+                                return Err(
+                                    self.err(ParseErrorKind::MismatchedTag { open, close: name })
+                                )
                             }
                             None => return Err(self.err(ParseErrorKind::UnbalancedClose(name))),
                         }
@@ -215,7 +214,9 @@ impl<'a> Parser<'a> {
         if !seen_root {
             return Err(self.err(ParseErrorKind::NoRootElement));
         }
-        builder.finish().map_err(|_| self.err(ParseErrorKind::TrailingContent))
+        builder
+            .finish()
+            .map_err(|_| self.err(ParseErrorKind::TrailingContent))
     }
 
     /// `<name attr="v" ...>` or `<name .../>`; consumes the leading `<`.
@@ -440,7 +441,8 @@ fn expand_entity(body: &str) -> Option<char> {
         "quot" => Some('"'),
         _ => {
             let rest = body.strip_prefix('#')?;
-            let code = if let Some(hex) = rest.strip_prefix('x').or_else(|| rest.strip_prefix('X')) {
+            let code = if let Some(hex) = rest.strip_prefix('x').or_else(|| rest.strip_prefix('X'))
+            {
                 u32::from_str_radix(hex, 16).ok()?
             } else {
                 rest.parse::<u32>().ok()?

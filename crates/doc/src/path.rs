@@ -98,9 +98,7 @@ impl PathExpr {
                         .trim()
                         .strip_prefix('\'')
                         .and_then(|v| v.strip_suffix('\''))
-                        .or_else(|| {
-                            v.trim().strip_prefix('"').and_then(|v| v.strip_suffix('"'))
-                        })
+                        .or_else(|| v.trim().strip_prefix('"').and_then(|v| v.strip_suffix('"')))
                         .ok_or_else(|| PathError::BadPredicate(pred.to_string()))?;
                     (&body[..b], Some((k.trim().to_string(), v.to_string())))
                 }
@@ -178,11 +176,7 @@ impl Step {
             }
         }
         if let Some((k, v)) = &self.attr {
-            return doc
-                .node(n)
-                .attrs
-                .iter()
-                .any(|(ak, av)| ak == k && av == v);
+            return doc.node(n).attrs.iter().any(|(ak, av)| ak == k && av == v);
         }
         true
     }
@@ -231,24 +225,15 @@ mod tests {
         let d = doc();
         assert_eq!(select_path(&d, "//par").unwrap(), ids(&[3, 4, 8]));
         assert_eq!(select_path(&d, "//title").unwrap(), ids(&[2, 6]));
-        assert_eq!(
-            select_path(&d, "/article//par").unwrap(),
-            ids(&[3, 4, 8])
-        );
-        assert_eq!(
-            select_path(&d, "//subsection/par").unwrap(),
-            ids(&[8])
-        );
+        assert_eq!(select_path(&d, "/article//par").unwrap(), ids(&[3, 4, 8]));
+        assert_eq!(select_path(&d, "//subsection/par").unwrap(), ids(&[8]));
     }
 
     #[test]
     fn wildcard_and_predicates() {
         let d = doc();
         assert_eq!(select_path(&d, "/article/*").unwrap(), ids(&[1, 5]));
-        assert_eq!(
-            select_path(&d, "//section[id='s2']").unwrap(),
-            ids(&[5])
-        );
+        assert_eq!(select_path(&d, "//section[id='s2']").unwrap(), ids(&[5]));
         assert_eq!(
             select_path(&d, "//section[id=\"s1\"]/par").unwrap(),
             ids(&[3, 4])
@@ -269,7 +254,10 @@ mod tests {
             PathExpr::parse("article").unwrap_err(),
             PathError::MustStartWithSlash
         );
-        assert_eq!(PathExpr::parse("").unwrap_err(), PathError::MustStartWithSlash);
+        assert_eq!(
+            PathExpr::parse("").unwrap_err(),
+            PathError::MustStartWithSlash
+        );
         assert!(matches!(
             PathExpr::parse("/a[b]").unwrap_err(),
             PathError::BadPredicate(_)

@@ -199,7 +199,9 @@ pub fn decode(data: &[u8]) -> Result<Document, StoreError> {
         let parent = r.u32_le()?;
         if i == 0 {
             if parent != u32::MAX {
-                return Err(StoreError::StructuralError("first node must be the root".into()));
+                return Err(StoreError::StructuralError(
+                    "first node must be the root".into(),
+                ));
             }
         } else if parent as usize >= i {
             return Err(StoreError::StructuralError(format!(

@@ -95,7 +95,15 @@ mod tests {
     fn keywords_merge_tag_attrs_text() {
         let d = doc();
         let kw = keywords(&d, NodeId(0));
-        for expect in ["section", "title", "query", "optimization", "xquery", "cost", "models"] {
+        for expect in [
+            "section",
+            "title",
+            "query",
+            "optimization",
+            "xquery",
+            "cost",
+            "models",
+        ] {
             assert!(kw.contains(expect), "missing {expect}");
         }
     }

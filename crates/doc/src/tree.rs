@@ -289,10 +289,14 @@ impl Document {
                 stack.push((n, ci + 1));
                 let c = self.children[n.index()][ci];
                 if c.0 != next {
-                    return Err(format!("child {c} of {n} breaks pre-order (expected n{next})"));
+                    return Err(format!(
+                        "child {c} of {n} breaks pre-order (expected n{next})"
+                    ));
                 }
                 if self.parent[c.index()] != Some(n) {
-                    return Err(format!("parent pointer of {c} disagrees with child list of {n}"));
+                    return Err(format!(
+                        "parent pointer of {c} disagrees with child list of {n}"
+                    ));
                 }
                 if self.depth[c.index()] != self.depth[n.index()] + 1 {
                     return Err(format!("depth of {c} is not parent depth + 1"));
@@ -305,11 +309,16 @@ impl Document {
             }
         }
         if next != self.len() as u32 {
-            return Err(format!("tree reaches {next} nodes, document stores {}", self.len()));
+            return Err(format!(
+                "tree reaches {next} nodes, document stores {}",
+                self.len()
+            ));
         }
         for (i, (&stored, &comp)) in self.subtree.iter().zip(&computed_size).enumerate() {
             if stored != comp {
-                return Err(format!("subtree size of n{i}: stored {stored}, computed {comp}"));
+                return Err(format!(
+                    "subtree size of n{i}: stored {stored}, computed {comp}"
+                ));
             }
         }
         Ok(())
@@ -388,7 +397,10 @@ mod tests {
         assert_eq!(d.lca(NodeId(9), NodeId(9)), NodeId(9));
         let mut p = d.path(NodeId(4), NodeId(6));
         p.sort();
-        assert_eq!(p, vec![NodeId(2), NodeId(3), NodeId(4), NodeId(5), NodeId(6)]);
+        assert_eq!(
+            p,
+            vec![NodeId(2), NodeId(3), NodeId(4), NodeId(5), NodeId(6)]
+        );
         let mut p = d.path(NodeId(4), NodeId(4));
         p.sort();
         assert_eq!(p, vec![NodeId(4)]);

@@ -29,7 +29,10 @@ macro_rules! rejects {
 accepts!(minimal, "<a/>");
 accepts!(minimal_with_space, "<a />");
 accepts!(nested, "<a><b><c><d/></c></b></a>");
-accepts!(mixed_content, "<p>one <b>two</b> three <i>four</i> five</p>");
+accepts!(
+    mixed_content,
+    "<p>one <b>two</b> three <i>four</i> five</p>"
+);
 accepts!(attributes_both_quotes, r#"<a x="1" y='2'/>"#);
 accepts!(attribute_with_gt, r#"<a x="a>b"/>"#);
 accepts!(empty_attribute, r#"<a x=""/>"#);
@@ -42,7 +45,10 @@ accepts!(cdata_basic, "<a><![CDATA[<raw>&stuff]]></a>");
 accepts!(cdata_with_brackets, "<a><![CDATA[x ]] y]]></a>");
 accepts!(doctype_simple, "<!DOCTYPE a><a/>");
 accepts!(doctype_system, "<!DOCTYPE a SYSTEM \"a.dtd\"><a/>");
-accepts!(doctype_internal_subset, "<!DOCTYPE a [<!ENTITY x \"y\">]><a/>");
+accepts!(
+    doctype_internal_subset,
+    "<!DOCTYPE a [<!ENTITY x \"y\">]><a/>"
+);
 accepts!(predefined_entities, "<a>&amp;&lt;&gt;&apos;&quot;</a>");
 accepts!(decimal_char_ref, "<a>&#65;&#955;</a>");
 accepts!(hex_char_ref, "<a>&#x41;&#x3BB;&#X41;</a>");
@@ -120,7 +126,12 @@ fn text_split_by_children_joins_with_space() {
 #[test]
 fn attribute_order_preserved() {
     let d = parse_str(r#"<a z="1" a="2" m="3"/>"#).unwrap();
-    let names: Vec<&str> = d.node(NodeId(0)).attrs.iter().map(|(k, _)| k.as_str()).collect();
+    let names: Vec<&str> = d
+        .node(NodeId(0))
+        .attrs
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect();
     assert_eq!(names, ["z", "a", "m"]);
 }
 
@@ -132,7 +143,10 @@ fn cdata_does_not_expand_entities() {
 
 #[test]
 fn self_closing_and_explicit_empty_are_equal() {
-    assert_eq!(parse_str("<a><b/></a>").unwrap(), parse_str("<a><b></b></a>").unwrap());
+    assert_eq!(
+        parse_str("<a><b/></a>").unwrap(),
+        parse_str("<a><b></b></a>").unwrap()
+    );
 }
 
 #[test]

@@ -83,7 +83,9 @@ impl FragRel {
     pub fn fragments(&self) -> BTreeMap<i64, Vec<u32>> {
         let mut map: BTreeMap<i64, Vec<u32>> = BTreeMap::new();
         for r in self.rel.rows() {
-            map.entry(r[0].as_int()).or_default().push(r[1].as_int() as u32);
+            map.entry(r[0].as_int())
+                .or_default()
+                .push(r[1].as_int() as u32);
         }
         for v in map.values_mut() {
             v.sort_unstable();
@@ -155,8 +157,7 @@ pub fn path_nodes(db: &Database, a: u32, b: u32) -> Vec<u32> {
     };
     let mut out = BTreeSet::new();
     for side in [a, b] {
-        let rows = closure_of(db, side)
-            .select(&Predicate::Ge("adepth".into(), Value::Int(ldepth)));
+        let rows = closure_of(db, side).select(&Predicate::Ge("adepth".into(), Value::Int(ldepth)));
         for r in rows.rows() {
             out.insert(r[1].as_int() as u32);
         }
@@ -365,10 +366,10 @@ mod tests {
         let j = pairwise_join(&db, &fx, &fy);
         let got: BTreeSet<Vec<u32>> = j.fragments().into_values().collect();
         let expect: BTreeSet<Vec<u32>> = [
-            vec![1, 2],          // {1}⋈{2}
-            vec![0, 1, 3],       // {1}⋈{3}
-            vec![2],             // {2}⋈{2}
-            vec![0, 1, 2, 3],    // {2}⋈{3}
+            vec![1, 2],       // {1}⋈{2}
+            vec![0, 1, 3],    // {1}⋈{3}
+            vec![2],          // {2}⋈{2}
+            vec![0, 1, 2, 3], // {2}⋈{3}
         ]
         .into_iter()
         .collect();

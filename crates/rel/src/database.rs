@@ -77,7 +77,10 @@ mod tests {
     fn replace_invalidates_indexes() {
         let mut db = Database::new();
         let schema = Schema::new(vec![("id", ColType::Int)]);
-        db.put("t", Relation::new(schema.clone(), vec![vec![Value::Int(1)]]));
+        db.put(
+            "t",
+            Relation::new(schema.clone(), vec![vec![Value::Int(1)]]),
+        );
         let _ = db.index("t", "id");
         db.put("t", Relation::new(schema, vec![vec![Value::Int(9)]]));
         let idx = db.index("t", "id");

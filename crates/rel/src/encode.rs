@@ -55,7 +55,9 @@ pub fn encode_document(doc: &Document) -> Database {
     for n in doc.node_ids() {
         node.push(vec![
             Value::from(n.0),
-            doc.parent(n).map(|p| Value::from(p.0)).unwrap_or(Value::Null),
+            doc.parent(n)
+                .map(|p| Value::from(p.0))
+                .unwrap_or(Value::Null),
             Value::from(doc.depth(n)),
             Value::from(doc.subtree_size(n)),
             Value::from(doc.tag(n)),

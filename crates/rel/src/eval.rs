@@ -30,7 +30,10 @@ impl std::fmt::Display for RelEvalError {
         match self {
             RelEvalError::NoTerms => write!(f, "query has no terms"),
             RelEvalError::UnsupportedFilter(s) => {
-                write!(f, "filter {s} is not expressible in the relational encoding")
+                write!(
+                    f,
+                    "filter {s} is not expressible in the relational encoding"
+                )
             }
         }
     }

@@ -42,6 +42,6 @@ pub use eval::evaluate_relational;
 pub use plan::{optimize as optimize_rel_plan, RelPlan, RelStats};
 pub use predicate::Predicate;
 pub use relation::Relation;
-pub use sql::compile as compile_sql;
 pub use schema::{ColType, Column, Schema};
+pub use sql::compile as compile_sql;
 pub use value::Value;

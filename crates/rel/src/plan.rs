@@ -118,11 +118,8 @@ impl RelPlan {
                     Some((col, v)) => {
                         stats.index_probes += 1;
                         let idx = db.index(table, col);
-                        let rows: Vec<Vec<Value>> = idx
-                            .get(v)
-                            .iter()
-                            .map(|&i| rel.rows()[i].clone())
-                            .collect();
+                        let rows: Vec<Vec<Value>> =
+                            idx.get(v).iter().map(|&i| rel.rows()[i].clone()).collect();
                         stats.rows_scanned += rows.len() as u64;
                         Relation::new(rel.schema().clone(), rows)
                     }
@@ -228,7 +225,11 @@ impl RelPlan {
                 name,
                 input,
             } => {
-                writeln!(out, "Aggregate {agg:?}({col:?}) as {name} group by {group:?}").unwrap();
+                writeln!(
+                    out,
+                    "Aggregate {agg:?}({col:?}) as {name} group by {group:?}"
+                )
+                .unwrap();
                 input.render_into(out, level + 1);
             }
             RelPlan::Sort { cols, input } => {
@@ -337,9 +338,7 @@ mod tests {
     use xfrag_doc::parse_str;
 
     fn db() -> Database {
-        encode_document(
-            &parse_str("<a><b>hello world</b><c>world</c><d>quiet</d></a>").unwrap(),
-        )
+        encode_document(&parse_str("<a><b>hello world</b><c>world</c><d>quiet</d></a>").unwrap())
     }
 
     #[test]

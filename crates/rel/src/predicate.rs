@@ -43,7 +43,10 @@ impl Predicate {
                 Some(Less) | Some(Greater)
             ),
             Predicate::Le(c, v) => {
-                matches!(row[schema.col_required(c)].sql_cmp(v), Some(Less) | Some(Equal))
+                matches!(
+                    row[schema.col_required(c)].sql_cmp(v),
+                    Some(Less) | Some(Equal)
+                )
             }
             Predicate::Ge(c, v) => matches!(
                 row[schema.col_required(c)].sql_cmp(v),
@@ -119,9 +122,7 @@ mod tests {
     #[test]
     fn column_to_column() {
         let s = Schema::new(vec![("a", ColType::Int), ("b", ColType::Int)]);
-        assert!(Predicate::ColEq("a".into(), "b".into())
-            .eval(&s, &[Value::Int(3), Value::Int(3)]));
-        assert!(!Predicate::ColEq("a".into(), "b".into())
-            .eval(&s, &[Value::Int(3), Value::Null]));
+        assert!(Predicate::ColEq("a".into(), "b".into()).eval(&s, &[Value::Int(3), Value::Int(3)]));
+        assert!(!Predicate::ColEq("a".into(), "b".into()).eval(&s, &[Value::Int(3), Value::Null]));
     }
 }

@@ -113,7 +113,11 @@ impl Relation {
             .enumerate()
             .map(|(i, c)| {
                 (
-                    if i == idx { to.to_string() } else { c.name.clone() },
+                    if i == idx {
+                        to.to_string()
+                    } else {
+                        c.name.clone()
+                    },
                     c.ty,
                 )
             })
@@ -255,10 +259,9 @@ impl Relation {
             .collect();
         let agg_ty = match agg {
             Agg::Count => crate::schema::ColType::Int,
-            Agg::Min | Agg::Max => {
-                aidx.map(|i| self.schema.columns()[i].ty)
-                    .unwrap_or(crate::schema::ColType::Int)
-            }
+            Agg::Min | Agg::Max => aidx
+                .map(|i| self.schema.columns()[i].ty)
+                .unwrap_or(crate::schema::ColType::Int),
         };
         cols.push((agg_name, agg_ty));
         let schema = Schema::new(cols);

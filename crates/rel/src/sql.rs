@@ -253,7 +253,10 @@ pub fn compile(sql: &str) -> Result<RelPlan, SqlError> {
                     }
                     Some(Tok::Ge) => Predicate::Ge(col, p.literal()?),
                     Some(other) => {
-                        return Err(SqlError::Expected("comparison operator", format!("{other:?}")))
+                        return Err(SqlError::Expected(
+                            "comparison operator",
+                            format!("{other:?}"),
+                        ))
                     }
                     None => return Err(SqlError::UnexpectedEnd("comparison")),
                 }
@@ -349,7 +352,11 @@ mod tests {
     #[test]
     fn where_uses_index_probe() {
         let plan = compile("SELECT node FROM keyword WHERE term = 'world'").unwrap();
-        assert!(plan.render().contains("index term = world"), "{}", plan.render());
+        assert!(
+            plan.render().contains("index term = world"),
+            "{}",
+            plan.render()
+        );
     }
 
     #[test]
@@ -391,8 +398,14 @@ mod tests {
     #[test]
     fn errors() {
         assert!(matches!(compile(""), Err(SqlError::UnexpectedEnd(_))));
-        assert!(matches!(compile("SELEC * FROM t"), Err(SqlError::Expected(..))));
-        assert!(matches!(compile("SELECT FROM t"), Err(SqlError::Expected(..))));
+        assert!(matches!(
+            compile("SELEC * FROM t"),
+            Err(SqlError::Expected(..))
+        ));
+        assert!(matches!(
+            compile("SELECT FROM t"),
+            Err(SqlError::Expected(..))
+        ));
         assert!(matches!(
             compile("SELECT * FROM t WHERE x ="),
             Err(SqlError::UnexpectedEnd(_))

@@ -347,10 +347,7 @@ fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
                     spec.push(q);
                 }
                 if let Some((a, b)) = spec.split_once(',') {
-                    (
-                        a.trim().parse().unwrap_or(0),
-                        b.trim().parse().unwrap_or(8),
-                    )
+                    (a.trim().parse().unwrap_or(0), b.trim().parse().unwrap_or(8))
                 } else {
                     let n = spec.trim().parse().unwrap_or(1);
                     (n, n)
@@ -594,8 +591,8 @@ macro_rules! prop_assert_ne {
 
 pub mod prelude {
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof,
-        proptest, Any, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+        Any, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
     };
 }
 
@@ -629,10 +626,7 @@ mod tests {
     #[test]
     fn oneof_and_map_compose() {
         let mut rng = TestRng::from_seed(3);
-        let strat = prop_oneof![
-            (0i64..4).prop_map(|v| v * 2),
-            Just(100i64),
-        ];
+        let strat = prop_oneof![(0i64..4).prop_map(|v| v * 2), Just(100i64),];
         let mut saw_just = false;
         for _ in 0..100 {
             let v = strat.sample(&mut rng);

@@ -415,8 +415,8 @@ impl_tuple! {
 
 #[doc(hidden)]
 pub mod __private {
-    pub use super::{from_value, to_value, JsonValue};
     use super::{de, mismatch};
+    pub use super::{from_value, to_value, JsonValue};
 
     /// Remove and return a named field from a decoded object.
     pub fn take_field<E: de::Error>(

@@ -36,8 +36,14 @@ struct Variant {
 }
 
 enum Item {
-    Struct { name: String, fields: Fields },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// Skip `#[...]` attributes and a `pub` / `pub(...)` visibility prefix.
@@ -153,7 +159,9 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
         other => return Err(format!("expected item name, found {other:?}")),
     };
     if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
-        return Err(format!("generic type `{name}` is not supported by the offline serde derive"));
+        return Err(format!(
+            "generic type `{name}` is not supported by the offline serde derive"
+        ));
     }
     match kind.as_str() {
         "struct" => match toks.next() {
@@ -191,7 +199,9 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
 const P: &str = "::serde::__private";
 
 fn compile_error(msg: &str) -> TokenStream {
-    format!("compile_error!({msg:?});").parse().unwrap_or_default()
+    format!("compile_error!({msg:?});")
+        .parse()
+        .unwrap_or_default()
 }
 
 /// Expression producing the `JsonValue` for a named-field set, given
@@ -210,9 +220,7 @@ fn named_from_object(fields: &[String]) -> String {
     fields
         .iter()
         .map(|f| {
-            format!(
-                "{f}: {P}::from_value({P}::take_field::<__D::Error>(&mut __obj, {f:?})?)?,"
-            )
+            format!("{f}: {P}::from_value({P}::take_field::<__D::Error>(&mut __obj, {f:?})?)?,")
         })
         .collect()
 }
@@ -232,8 +240,9 @@ fn gen_serialize(item: &Item) -> String {
                 }
                 Fields::Tuple(1) => format!("{P}::to_value(&self.0)"),
                 Fields::Tuple(n) => {
-                    let items: String =
-                        (0..*n).map(|i| format!("{P}::to_value(&self.{i}),")).collect();
+                    let items: String = (0..*n)
+                        .map(|i| format!("{P}::to_value(&self.{i}),"))
+                        .collect();
                     format!("{P}::JsonValue::Array(vec![{items}])")
                 }
                 Fields::Unit => format!("{P}::JsonValue::Null"),
@@ -302,9 +311,9 @@ fn gen_deserialize(item: &Item) -> String {
                          ::core::result::Result::Ok({name} {{ {inits} }})"
                     )
                 }
-                Fields::Tuple(1) => format!(
-                    "::core::result::Result::Ok({name}({P}::from_value(__value)?))"
-                ),
+                Fields::Tuple(1) => {
+                    format!("::core::result::Result::Ok({name}({P}::from_value(__value)?))")
+                }
                 Fields::Tuple(n) => {
                     let takes: String = (0..*n)
                         .map(|_| {
@@ -333,7 +342,12 @@ fn gen_deserialize(item: &Item) -> String {
             let unit_arms: String = variants
                 .iter()
                 .filter(|v| matches!(v.fields, Fields::Unit))
-                .map(|v| format!("{:?} => ::core::result::Result::Ok(Self::{}),", v.name, v.name))
+                .map(|v| {
+                    format!(
+                        "{:?} => ::core::result::Result::Ok(Self::{}),",
+                        v.name, v.name
+                    )
+                })
                 .collect();
             let data_arms: String = variants
                 .iter()

@@ -300,11 +300,8 @@ impl<'a> Parser<'a> {
                     // original &str, so from_utf8 on a 4-byte prefix and
                     // chars().next() always yields a char.
                     let len = utf8_len(rest[0]);
-                    let chunk = rest
-                        .get(..len)
-                        .ok_or_else(|| self.err("truncated UTF-8"))?;
-                    let s = std::str::from_utf8(chunk)
-                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let chunk = rest.get(..len).ok_or_else(|| self.err("truncated UTF-8"))?;
+                    let s = std::str::from_utf8(chunk).map_err(|_| self.err("invalid UTF-8"))?;
                     out.push_str(s);
                     self.pos += len;
                 }
@@ -379,7 +376,10 @@ mod tests {
         assert_eq!(to_string("a\"b\\c\nd").unwrap(), "\"a\\\"b\\\\c\\nd\"");
         assert_eq!(from_str::<u32>("7").unwrap(), 7);
         assert_eq!(from_str::<i64>("-3").unwrap(), -3);
-        assert_eq!(from_str::<String>("\"a\\\"b\\\\c\\nd\"").unwrap(), "a\"b\\c\nd");
+        assert_eq!(
+            from_str::<String>("\"a\\\"b\\\\c\\nd\"").unwrap(),
+            "a\"b\\c\nd"
+        );
         assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
         assert_eq!(from_str::<f64>("3").unwrap(), 3.0);
     }

@@ -32,10 +32,10 @@ fn main() {
     for (label, filter) in [
         ("no filter", FilterExpr::True),
         ("size ≤ 8", FilterExpr::MaxSize(8)),
-        ("size ≤ 8 ∧ height ≤ 2", FilterExpr::and([
-            FilterExpr::MaxSize(8),
-            FilterExpr::MaxHeight(2),
-        ])),
+        (
+            "size ≤ 8 ∧ height ≤ 2",
+            FilterExpr::and([FilterExpr::MaxSize(8), FilterExpr::MaxHeight(2)]),
+        ),
     ] {
         let q = Query::new(["federation", "provenance"], filter);
         let r = evaluate(&doc, &index, &q, Strategy::PushDown).unwrap();

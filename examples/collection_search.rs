@@ -55,7 +55,10 @@ fn main() {
 
     let par = evaluate_collection_parallel(&coll, &query, Strategy::PushDown, 4).unwrap();
     assert_eq!(par.total_fragments(), seq.total_fragments());
-    println!("parallel (4 workers): identical answers, {} joins", par.stats.joins);
+    println!(
+        "parallel (4 workers): identical answers, {} joins",
+        par.stats.joins
+    );
 
     println!("\ntop answers across the collection:");
     for (doc, frag, score) in top_k_collection(&coll, &seq, &query, &RankConfig::default(), 5) {

@@ -16,7 +16,11 @@ fn main() {
     let doc = &fig.doc;
     let index = InvertedIndex::build(doc);
 
-    println!("Figure 1 document: {} nodes, height {}", doc.len(), doc.height());
+    println!(
+        "Figure 1 document: {} nodes, height {}",
+        doc.len(),
+        doc.height()
+    );
 
     // §2.3: F1 = σ_keyword=XQuery(F), F2 = σ_keyword=optimization(F).
     let f1 = FragmentSet::of_nodes(index.lookup("xquery").iter().copied());
@@ -30,8 +34,16 @@ fn main() {
     println!("\nTable 1 — {} candidate fragment sets:", candidates.len());
     let mut seen = FragmentSet::new();
     for (i, (input, output)) in candidates.iter().enumerate() {
-        let dup = if seen.insert(output.clone()) { "" } else { "  (duplicate)" };
-        let filtered = if output.size() > 3 { "  [filtered: size > 3]" } else { "" };
+        let dup = if seen.insert(output.clone()) {
+            ""
+        } else {
+            "  (duplicate)"
+        };
+        let filtered = if output.size() > 3 {
+            "  [filtered: size > 3]"
+        } else {
+            ""
+        };
         let input_str: Vec<String> = input.iter().map(|f| format!("f{}", f.root().0)).collect();
         println!(
             "  {:2}. {:24} -> {}{}{}",
@@ -45,8 +57,14 @@ fn main() {
 
     // §4.2: the reduced sets drive the fixed-point iteration counts.
     let mut st = EvalStats::new();
-    println!("\n⊖(F1) = {:?}  (|⊖| = 2 → F1⁺ = F1 ⋈ F1)", reduce(doc, &f1, &mut st));
-    println!("⊖(F2) = {:?}  (|⊖| = 2 → F2⁺ = F2 ⋈ F2)", reduce(doc, &f2, &mut st));
+    println!(
+        "\n⊖(F1) = {:?}  (|⊖| = 2 → F1⁺ = F1 ⋈ F1)",
+        reduce(doc, &f1, &mut st)
+    );
+    println!(
+        "⊖(F2) = {:?}  (|⊖| = 2 → F2⁺ = F2 ⋈ F2)",
+        reduce(doc, &f2, &mut st)
+    );
 
     // §4.1–4.3: the strategies, their answers and their work.
     let query = Query::new(["XQuery", "optimization"], FilterExpr::MaxSize(3));

@@ -53,9 +53,15 @@ fn hostile_budgets() -> Vec<(&'static str, Budget)> {
         ("max_joins=3", Budget::unlimited().with_max_joins(3)),
         ("max_joins=40", Budget::unlimited().with_max_joins(40)),
         ("max_fragments=1", Budget::unlimited().with_max_fragments(1)),
-        ("max_fragments=10", Budget::unlimited().with_max_fragments(10)),
+        (
+            "max_fragments=10",
+            Budget::unlimited().with_max_fragments(10),
+        ),
         ("max_nodes=5", Budget::unlimited().with_max_nodes_merged(5)),
-        ("deadline=0", Budget::unlimited().with_wall_clock(Duration::ZERO)),
+        (
+            "deadline=0",
+            Budget::unlimited().with_wall_clock(Duration::ZERO),
+        ),
         (
             "joins=2+fragments=4",
             Budget::unlimited().with_max_joins(2).with_max_fragments(4),
@@ -134,7 +140,10 @@ fn unlimited_policy_is_exact_everywhere() {
                 !budgeted.degradation.is_degraded(),
                 "{doc_name}/{strategy:?}: degraded with no limits set"
             );
-            assert_eq!(budgeted.fragments, plain.fragments, "{doc_name}/{strategy:?}");
+            assert_eq!(
+                budgeted.fragments, plain.fragments,
+                "{doc_name}/{strategy:?}"
+            );
         }
     }
 }
@@ -171,8 +180,14 @@ fn powerset_abort_becomes_degraded_answer() {
     let rung = r.degradation.rung.expect("must report the rung used");
     // The report names the rung and the breach that forced it.
     let report = r.degradation.to_string();
-    assert!(report.contains(rung.name()), "report {report:?} must name {rung}");
-    assert!(report.contains("powerset-limit"), "report {report:?} must name the breach");
+    assert!(
+        report.contains(rung.name()),
+        "report {report:?} must name {rung}"
+    );
+    assert!(
+        report.contains("powerset-limit"),
+        "report {report:?} must name the breach"
+    );
     // Soundness against the exact answer (push-down keeps it feasible).
     let full = evaluate(&doc, &index, &query, Strategy::PushDown).expect("exact via push-down");
     assert_subset(&r, &full, "wide_star(40)/brute/unlimited");
@@ -234,7 +249,11 @@ fn degraded_answers_respect_the_filter() {
         )
         .unwrap_or_else(|e| panic!("{budget_name}: {e}"));
         for f in r.fragments.iter() {
-            assert!(f.size() <= 3, "{budget_name}: fragment of size {} passed MaxSize(3)", f.size());
+            assert!(
+                f.size() <= 3,
+                "{budget_name}: fragment of size {} passed MaxSize(3)",
+                f.size()
+            );
         }
     }
 }
@@ -265,13 +284,9 @@ fn collection_budget_skips_documents() {
     // Unlimited budget: same answers as the unbudgeted scan, nothing
     // skipped, nothing degraded.
     let exact = evaluate_collection(&coll, &query, Strategy::PushDown).expect("exact scan");
-    let free = evaluate_collection_budgeted(
-        &coll,
-        &query,
-        Strategy::PushDown,
-        &ExecPolicy::unlimited(),
-    )
-    .expect("unlimited scan");
+    let free =
+        evaluate_collection_budgeted(&coll, &query, Strategy::PushDown, &ExecPolicy::unlimited())
+            .expect("unlimited scan");
     assert_eq!(free.docs_skipped, 0);
     assert!(!free.is_degraded());
     assert_eq!(free.answers.len(), exact.answers.len());
@@ -289,7 +304,10 @@ fn collection_budget_skips_documents() {
         &ExecPolicy::with_budget(Budget::unlimited().with_max_joins(0)),
     )
     .expect("tight scan");
-    assert!(tight.is_degraded(), "per-document budgets must surface in the report");
+    assert!(
+        tight.is_degraded(),
+        "per-document budgets must surface in the report"
+    );
     for (_, d) in &tight.degraded_docs {
         assert!(d.is_degraded());
     }

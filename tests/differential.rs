@@ -69,7 +69,9 @@ fn frequent_terms_agree() {
     // 'par' (the tag) occurs on every paragraph; 'term1' is the most
     // frequent Zipf word. Tight size filter keeps this tractable.
     let q = Query::new(["title", "term1"], FilterExpr::MaxSize(3));
-    let native = evaluate(&d, &idx, &q, Strategy::PushDown).unwrap().fragments;
+    let native = evaluate(&d, &idx, &q, Strategy::PushDown)
+        .unwrap()
+        .fragments;
     let relational = evaluate_relational(&db, &d, &q).unwrap();
     assert_eq!(relational, native);
     assert!(!native.is_empty());

@@ -37,7 +37,9 @@ fn optimizer_pipeline_equivalent_on_figure1() {
     let idx = InvertedIndex::build(d);
     let q = Query::new(["xquery", "optimization"], FilterExpr::MaxSize(3));
 
-    let oracle = evaluate(d, &idx, &q, Strategy::BruteForce).unwrap().fragments;
+    let oracle = evaluate(d, &idx, &q, Strategy::BruteForce)
+        .unwrap()
+        .fragments;
     let optimizer = Optimizer::standard(d, &idx, CostModel::default());
     let trace = optimizer.optimize_traced(LogicalPlan::for_query(&q).unwrap());
     assert_eq!(trace.len(), 4);
@@ -66,7 +68,8 @@ fn mixed_filter_split_in_plan() {
         ["xquery", "optimization"],
         FilterExpr::and([FilterExpr::MaxSize(4), FilterExpr::MinSize(2)]),
     );
-    let plan = PushDownSelection.apply(PowersetToFixpoint.apply(LogicalPlan::for_query(&q).unwrap()));
+    let plan =
+        PushDownSelection.apply(PowersetToFixpoint.apply(LogicalPlan::for_query(&q).unwrap()));
     let r = plan.render();
     assert_eq!(r.matches("size≥2").count(), 1, "{r}");
     assert!(r.matches("size≤4").count() >= 3, "{r}");

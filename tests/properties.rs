@@ -18,8 +18,8 @@ use proptest::prelude::*;
 use xfrag::core::{
     evaluate, evaluate_budgeted, fixed_point_naive, fixed_point_reduced, fragment_join,
     fragment_join_all, fragment_join_many, pairwise_join, powerset_join, powerset_via_fixpoint,
-    reduce, select, Budget, EvalStats, ExecPolicy, FilterExpr, FixpointMode, Fragment,
-    FragmentSet, Query, Strategy,
+    reduce, select, Budget, EvalStats, ExecPolicy, FilterExpr, FixpointMode, Fragment, FragmentSet,
+    Query, Strategy,
 };
 use xfrag::doc::{Document, DocumentBuilder, InvertedIndex, NodeId};
 

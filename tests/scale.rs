@@ -8,11 +8,14 @@ use xfrag::corpus::docgen::{generate, DocGenConfig};
 use xfrag::doc::InvertedIndex;
 
 fn fixture(nodes: usize, df: usize, seed: u64) -> (xfrag::doc::Document, InvertedIndex) {
-    let cfg = DocGenConfig { seed, ..DocGenConfig::default() }
-        .with_approx_nodes(nodes)
-        .plant_near("needleone", "needletwo", 1)
-        .plant("needleone", df.saturating_sub(1))
-        .plant("needletwo", df.saturating_sub(1));
+    let cfg = DocGenConfig {
+        seed,
+        ..DocGenConfig::default()
+    }
+    .with_approx_nodes(nodes)
+    .plant_near("needleone", "needletwo", 1)
+    .plant("needleone", df.saturating_sub(1))
+    .plant("needletwo", df.saturating_sub(1));
     let doc = generate(&cfg);
     let idx = InvertedIndex::build(&doc);
     (doc, idx)
@@ -59,7 +62,16 @@ fn wide_star_document() {
     let mut b = xfrag::doc::DocumentBuilder::new();
     b.begin("root");
     for i in 0..5_000 {
-        b.leaf("p", if i == 17 { "needleone" } else if i == 4_200 { "needletwo" } else { "x" });
+        b.leaf(
+            "p",
+            if i == 17 {
+                "needleone"
+            } else if i == 4_200 {
+                "needletwo"
+            } else {
+                "x"
+            },
+        );
     }
     b.end();
     let doc = b.finish().unwrap();

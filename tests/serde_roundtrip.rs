@@ -46,7 +46,10 @@ fn query_and_plan_roundtrip() {
     assert_eq!(back, plan);
     assert_eq!(back.render(), plan.render());
 
-    let groups = vec![vec!["a".to_string(), "b".to_string()], vec!["c".to_string()]];
+    let groups = vec![
+        vec!["a".to_string(), "b".to_string()],
+        vec!["c".to_string()],
+    ];
     let gplan = LogicalPlan::for_query_groups(&groups, FilterExpr::MaxHeight(2)).unwrap();
     assert_eq!(roundtrip(&gplan), gplan);
 }

@@ -3,9 +3,7 @@
 //! against the Figure 1 document, the fragment each candidate joins to,
 //! which results are duplicates, and which are filtered by `size ≤ 3`.
 
-use xfrag::core::{
-    powerset_join_candidates, select, EvalStats, FilterExpr, Fragment, FragmentSet,
-};
+use xfrag::core::{powerset_join_candidates, select, EvalStats, FilterExpr, Fragment, FragmentSet};
 use xfrag::corpus::figure1;
 use xfrag::doc::{InvertedIndex, NodeId};
 
@@ -35,16 +33,16 @@ fn table1_exact() {
     // The expected (candidate input set → output fragment) mapping, rows
     // in the paper's order. Inputs are sets of single nodes here.
     let expected: Vec<(&[u32], &[u32])> = vec![
-        (&[17, 18], &[16, 17, 18]),                              // row 1
-        (&[16, 17], &[16, 17]),                                  // row 2
-        (&[16, 18], &[16, 18]),                                  // row 3
-        (&[17], &[17]),                                          // row 4
-        (&[17, 81], &[0, 1, 14, 16, 17, 79, 80, 81]),            // row 5
-        (&[18, 81], &[0, 1, 14, 16, 18, 79, 80, 81]),            // row 6
-        (&[17, 18, 81], &[0, 1, 14, 16, 17, 18, 79, 80, 81]),    // row 7
-        (&[16, 17, 18], &[16, 17, 18]),                          // row 8 (dup of 1)
-        (&[16, 17, 81], &[0, 1, 14, 16, 17, 79, 80, 81]),        // row 9 (dup of 5)
-        (&[16, 18, 81], &[0, 1, 14, 16, 18, 79, 80, 81]),        // row 10 (dup of 6)
+        (&[17, 18], &[16, 17, 18]),                               // row 1
+        (&[16, 17], &[16, 17]),                                   // row 2
+        (&[16, 18], &[16, 18]),                                   // row 3
+        (&[17], &[17]),                                           // row 4
+        (&[17, 81], &[0, 1, 14, 16, 17, 79, 80, 81]),             // row 5
+        (&[18, 81], &[0, 1, 14, 16, 18, 79, 80, 81]),             // row 6
+        (&[17, 18, 81], &[0, 1, 14, 16, 17, 18, 79, 80, 81]),     // row 7
+        (&[16, 17, 18], &[16, 17, 18]),                           // row 8 (dup of 1)
+        (&[16, 17, 81], &[0, 1, 14, 16, 17, 79, 80, 81]),         // row 9 (dup of 5)
+        (&[16, 18, 81], &[0, 1, 14, 16, 18, 79, 80, 81]),         // row 10 (dup of 6)
         (&[16, 17, 18, 81], &[0, 1, 14, 16, 17, 18, 79, 80, 81]), // row 11 (dup of 7)
     ];
 
@@ -157,6 +155,10 @@ fn section43_pushdown_prunes_without_changing_answer() {
     let target = Fragment::from_nodes(doc, frag(&[16, 17, 18])).unwrap();
     for s in Strategy::ALL {
         let r = evaluate(doc, &idx, &q, s).unwrap();
-        assert!(r.fragments.contains(&target), "{} lost the target", s.name());
+        assert!(
+            r.fragments.contains(&target),
+            "{} lost the target",
+            s.name()
+        );
     }
 }
