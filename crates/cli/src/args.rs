@@ -1,6 +1,7 @@
 //! Hand-rolled argument parsing (the workspace deliberately keeps its
 //! dependency set minimal; a CLI parser crate is not on the list).
 
+use crate::serve::ServeArgs;
 use xfrag_core::{Budget, DegradeMode, FilterExpr, Strategy};
 
 /// Usage text shown on parse errors.
@@ -11,6 +12,8 @@ usage:
   xfrag explain <file.xml|file.xfrg> <keyword>... [options]
   xfrag compile <in.xml> <out.xfrg>              (pre-parse to binary form)
   xfrag info <file.xml|file.xfrg>
+  xfrag serve <corpus-dir> [serve options]       (TCP query server, see README)
+  xfrag request <host:port> <json>               (send one serve request line)
   xfrag demo
 
 options:
@@ -38,6 +41,18 @@ resource limits (see README \"Resource limits & degradation\"):
   --degrade M        off | ladder   what to do when a budget trips
                      (default: ladder — answer with a sound subset from
                      the cheapest plan the remaining budget affords)
+
+serve options (see README \"Serving queries over TCP\"):
+  --port N           TCP port; 0 picks an ephemeral port (default: 7878)
+  --workers N        worker pool size (default: 4)
+  --queue-depth N    admission queue bound; excess requests are shed
+                     with a `shed` response (default: 64)
+  --timeout-ms N     server-wide per-request deadline, measured from
+                     admission (default: none)
+  --inject SPEC      deterministic fault plan `site@hit=action,...`
+                     (actions: panic | cancel | read-error | delay:<ms>)
+  --fault-seed N     derive a fault plan over the runtime sites from a
+                     seed (composes with --inject)
 ";
 
 /// A parsed command line.
@@ -60,6 +75,15 @@ pub enum Command {
     Info {
         /// Path to the XML file.
         file: String,
+    },
+    /// Run the newline-delimited-JSON TCP query server.
+    Serve(ServeArgs),
+    /// Send one request line to a running server and print the reply.
+    Request {
+        /// `host:port` of the server.
+        addr: String,
+        /// The raw JSON request line.
+        json: String,
     },
     /// Run the paper's §4 example on the built-in Figure 1 document.
     Demo,
@@ -149,6 +173,22 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 return Err(format!("unexpected argument {extra:?}"));
             }
             Ok(Command::Compile { input, output })
+        }
+        "serve" => {
+            let rest: Vec<String> = it.cloned().collect();
+            Ok(Command::Serve(parse_serve(&rest)?))
+        }
+        "request" => {
+            let addr = it.next().ok_or("request needs a host:port")?.clone();
+            let parts: Vec<String> = it.cloned().collect();
+            if parts.is_empty() {
+                return Err("request needs a JSON request line".into());
+            }
+            // Join so unquoted JSON split by the shell still works.
+            Ok(Command::Request {
+                addr,
+                json: parts.join(" "),
+            })
         }
         other => Err(format!("unknown subcommand {other:?}")),
     }
@@ -254,6 +294,57 @@ fn parse_search(rest: &[String]) -> Result<SearchArgs, String> {
         profile,
         analyze,
     })
+}
+
+fn parse_serve(rest: &[String]) -> Result<ServeArgs, String> {
+    let mut dir: Option<String> = None;
+    let mut args = ServeArgs::new("");
+    let mut i = 0;
+    while i < rest.len() {
+        let arg = &rest[i];
+        match arg.as_str() {
+            "--port" => {
+                let v = parse_u32("--port", rest.get(i + 1))?;
+                args.port =
+                    u16::try_from(v).map_err(|_| format!("--port must be <= 65535, got {v}"))?;
+                i += 1;
+            }
+            "--workers" => {
+                args.workers = parse_u32("--workers", rest.get(i + 1))? as usize;
+                i += 1;
+            }
+            "--queue-depth" => {
+                args.queue_depth = parse_u32("--queue-depth", rest.get(i + 1))? as usize;
+                i += 1;
+            }
+            "--timeout-ms" => {
+                args.timeout_ms = Some(parse_u32("--timeout-ms", rest.get(i + 1))? as u64);
+                i += 1;
+            }
+            "--inject" => {
+                let v = rest.get(i + 1).ok_or("--inject needs a spec")?;
+                args.inject = Some(v.clone());
+                i += 1;
+            }
+            "--fault-seed" => {
+                let v = rest.get(i + 1).ok_or("--fault-seed needs a value")?;
+                args.fault_seed = Some(v.parse::<u64>().map_err(|_| {
+                    format!("--fault-seed needs a non-negative integer, got {v:?}")
+                })?);
+                i += 1;
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
+            _ => {
+                if dir.is_some() {
+                    return Err(format!("unexpected argument {arg:?}"));
+                }
+                dir = Some(arg.clone());
+            }
+        }
+        i += 1;
+    }
+    args.dir = dir.ok_or("serve needs a corpus directory")?;
+    Ok(args)
 }
 
 #[cfg(test)]
@@ -390,6 +481,61 @@ mod tests {
             }
             _ => unreachable!(),
         }
+    }
+
+    #[test]
+    fn parse_serve_defaults_and_flags() {
+        match parse(&argv("serve corpus")).unwrap() {
+            Command::Serve(a) => {
+                assert_eq!(a.dir, "corpus");
+                assert_eq!(a.port, 7878);
+                assert_eq!(a.workers, 4);
+                assert_eq!(a.queue_depth, 64);
+                assert_eq!(a.timeout_ms, None);
+                assert_eq!(a.inject, None);
+                assert_eq!(a.fault_seed, None);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&argv(
+            "serve corpus --port 0 --workers 2 --queue-depth 8 --timeout-ms 250 \
+             --inject serve:worker@1=panic --fault-seed 42",
+        ))
+        .unwrap()
+        {
+            Command::Serve(a) => {
+                assert_eq!(a.port, 0);
+                assert_eq!(a.workers, 2);
+                assert_eq!(a.queue_depth, 8);
+                assert_eq!(a.timeout_ms, Some(250));
+                assert_eq!(a.inject.as_deref(), Some("serve:worker@1=panic"));
+                assert_eq!(a.fault_seed, Some(42));
+            }
+            _ => unreachable!(),
+        }
+        assert!(parse(&argv("serve")).is_err());
+        assert!(parse(&argv("serve corpus extra")).is_err());
+        assert!(parse(&argv("serve corpus --port")).is_err());
+        assert!(parse(&argv("serve corpus --port 70000")).is_err());
+        assert!(parse(&argv("serve corpus --frobnicate")).is_err());
+    }
+
+    #[test]
+    fn parse_request_joins_json_words() {
+        match parse(&argv("request 127.0.0.1:7878 {\"kind\":\"health\"}")).unwrap() {
+            Command::Request { addr, json } => {
+                assert_eq!(addr, "127.0.0.1:7878");
+                assert_eq!(json, "{\"kind\":\"health\"}");
+            }
+            _ => unreachable!(),
+        }
+        // Shell-split JSON is re-joined with single spaces.
+        match parse(&argv("request h:1 {\"kind\": \"health\"}")).unwrap() {
+            Command::Request { json, .. } => assert_eq!(json, "{\"kind\": \"health\"}"),
+            _ => unreachable!(),
+        }
+        assert!(parse(&argv("request")).is_err());
+        assert!(parse(&argv("request h:1")).is_err());
     }
 
     #[test]

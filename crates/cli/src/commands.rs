@@ -23,7 +23,8 @@ use xfrag_doc::{parse_str, store, Collection, Document, InvertedIndex};
 /// Top-level error type for command execution.
 #[derive(Debug)]
 pub enum CliError {
-    /// Could not read the input file.
+    /// An I/O operation on the named path/address failed (read, write,
+    /// or connect — the io::Error says which way it went).
     Io(String, std::io::Error),
     /// The input was not well-formed XML.
     Parse(xfrag_doc::ParseError),
@@ -36,7 +37,7 @@ pub enum CliError {
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CliError::Io(path, e) => write!(f, "cannot read {path}: {e}"),
+            CliError::Io(path, e) => write!(f, "cannot access {path}: {e}"),
             CliError::Parse(e) => write!(f, "{e}"),
             CliError::Store(e) => write!(f, "{e}"),
             CliError::Query(e) => write!(f, "{e}"),
@@ -75,11 +76,13 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             let doc = load(&file)?;
             Ok(info(&doc))
         }
+        Command::Serve(a) => crate::serve::serve(&a),
+        Command::Request { addr, json } => crate::serve::request(&addr, &json),
         Command::Demo => Ok(demo()),
     }
 }
 
-fn load(path: &str) -> Result<Document, CliError> {
+pub(crate) fn load(path: &str) -> Result<Document, CliError> {
     if path.ends_with(".xfrg") {
         let bytes = std::fs::read(path).map_err(|e| CliError::Io(path.to_string(), e))?;
         return store::decode(&bytes).map_err(CliError::Store);
@@ -141,10 +144,20 @@ pub fn multi_search(coll: &Collection, a: &SearchArgs) -> Result<String, CliErro
     for (id, d) in &r.degraded_docs {
         writeln!(out, "note: {} {}", coll.name(*id), d).unwrap();
     }
+    for (id, msg) in &r.docs_failed {
+        writeln!(
+            out,
+            "note: {} failed (panic isolated): {}",
+            coll.name(*id),
+            msg.lines().next().unwrap_or("")
+        )
+        .unwrap();
+    }
     // Ranking operates on the (possibly partial) answers.
     let ranked = CollectionResult {
         answers: r.answers.clone(),
         docs_pruned: r.docs_pruned,
+        docs_failed: r.docs_failed.clone(),
         stats: r.stats,
     };
     let top = top_k_collection(coll, &ranked, &q, &RankConfig::default(), 10);

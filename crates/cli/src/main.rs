@@ -12,6 +12,8 @@
 
 mod args;
 mod commands;
+mod protocol;
+mod serve;
 
 use std::process::ExitCode;
 
@@ -20,7 +22,13 @@ fn main() -> ExitCode {
     match args::parse(&argv) {
         Ok(cmd) => match commands::run(cmd) {
             Ok(output) => {
-                print!("{output}");
+                // `print!` would panic on a broken pipe (`xfrag ... |
+                // head`); the reader hanging up early is its choice, not
+                // an error of ours, so write directly and exit quietly.
+                use std::io::Write;
+                let mut out = std::io::stdout().lock();
+                let _ = out.write_all(output.as_bytes());
+                let _ = out.flush();
                 ExitCode::SUCCESS
             }
             Err(e) => {

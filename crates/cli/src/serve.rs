@@ -1,0 +1,783 @@
+//! `xfrag serve` — a std-only TCP query server over a corpus directory.
+//!
+//! Architecture (one paragraph): the accept loop spawns one handler
+//! thread per connection; handlers decode newline-delimited JSON
+//! requests and either answer inline (`health`, `stats`, `shutdown`,
+//! admission rejections) or enqueue a job on a bounded queue served by
+//! a fixed pool of worker threads. Each worker wraps request handling
+//! in `catch_unwind`: a panic (organic or injected via `--inject`)
+//! becomes a structured `error` response, the worker spawns its own
+//! replacement, and the process lives on. Deadlines are measured from
+//! *admission* and wired into the existing [`Budget`] wall-clock and a
+//! per-request [`CancelToken`] armed by a watchdog thread, so the
+//! degradation ladder answers with a sound subset when time runs out.
+//! `shutdown` drains gracefully: admission closes, queued work
+//! finishes, workers exit, and the final summary asserts zero
+//! in-flight requests.
+//!
+//! There is no SIGTERM hook — signal handling needs a crate or unsafe
+//! libc bindings, both off-limits here — so graceful drain is exposed
+//! as the `shutdown` request kind instead (see DESIGN.md).
+
+use crate::commands::CliError;
+use crate::protocol::{status, Answer, Request, RequestKind, Response};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use xfrag_core::collection::{
+    evaluate_collection_budgeted_traced, top_k_collection, CollectionResult,
+};
+use xfrag_core::fault::{panic_message, site};
+use xfrag_core::rank::RankConfig;
+use xfrag_core::snippet::{snippet, SnippetConfig};
+use xfrag_core::trace::{LatencyHistogram, Tracer};
+use xfrag_core::{
+    Breach, Budget, CancelToken, EvalStats, ExecPolicy, FaultInjector, FaultPlan, Query, QueryError,
+};
+use xfrag_doc::{Collection, Document};
+
+/// Parsed `xfrag serve` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Corpus directory (`.xml` / `.xfrg` files).
+    pub dir: String,
+    /// TCP port (0 picks an ephemeral port, printed on startup).
+    pub port: u16,
+    /// Worker pool size.
+    pub workers: usize,
+    /// Admission queue bound; requests beyond it are shed.
+    pub queue_depth: usize,
+    /// Server-wide per-request deadline (clamps request deadlines).
+    pub timeout_ms: Option<u64>,
+    /// Fault-injection spec `site@hit=action,...` (see `core::fault`).
+    pub inject: Option<String>,
+    /// Seed for a generated fault plan over the runtime sites.
+    pub fault_seed: Option<u64>,
+}
+
+impl ServeArgs {
+    /// Defaults for everything but the corpus directory.
+    pub fn new(dir: impl Into<String>) -> Self {
+        ServeArgs {
+            dir: dir.into(),
+            port: 7878,
+            workers: 4,
+            queue_depth: 64,
+            timeout_ms: None,
+            inject: None,
+            fault_seed: None,
+        }
+    }
+
+    /// Build the fault injector from `--inject` and/or `--fault-seed`.
+    fn injector(&self) -> Result<Option<Arc<FaultInjector>>, CliError> {
+        let mut plan = match &self.inject {
+            None => FaultPlan::new(),
+            Some(spec) => FaultPlan::parse(spec).map_err(CliError::Query)?,
+        };
+        if let Some(seed) = self.fault_seed {
+            let seeded = FaultPlan::from_seed(
+                seed,
+                &[
+                    site::SERVE_WORKER,
+                    site::COLLECTION_DOC,
+                    site::QUERY_EVAL,
+                    site::PARALLEL_WORKER,
+                ],
+                4,
+                8,
+            );
+            for (s, hit, action) in seeded.arms() {
+                plan = plan.arm(s.clone(), *hit, *action);
+            }
+        }
+        Ok(if plan.is_empty() {
+            None
+        } else {
+            Some(plan.build())
+        })
+    }
+}
+
+/// Serve counters; exposed verbatim by the `stats` request kind.
+struct ServeStats {
+    total: u64,
+    ok: u64,
+    degraded: u64,
+    shed: u64,
+    timeout: u64,
+    error: u64,
+    shutting_down: u64,
+    /// Request lines that did not decode (also counted under `error`).
+    invalid: u64,
+    worker_panics: u64,
+    /// Summed evaluation counters across all query requests.
+    eval: EvalStats,
+    /// Worker-side handling latency.
+    latency: LatencyHistogram,
+}
+
+impl ServeStats {
+    fn new() -> Self {
+        ServeStats {
+            total: 0,
+            ok: 0,
+            degraded: 0,
+            shed: 0,
+            timeout: 0,
+            error: 0,
+            shutting_down: 0,
+            invalid: 0,
+            worker_panics: 0,
+            eval: EvalStats::new(),
+            latency: LatencyHistogram::new(),
+        }
+    }
+
+    fn bump(&mut self, status: &str) {
+        self.total += 1;
+        match status {
+            status::OK => self.ok += 1,
+            status::DEGRADED => self.degraded += 1,
+            status::SHED => self.shed += 1,
+            status::TIMEOUT => self.timeout += 1,
+            status::ERROR => self.error += 1,
+            status::SHUTTING_DOWN => self.shutting_down += 1,
+            _ => {}
+        }
+    }
+}
+
+/// One admitted query waiting for (or being processed by) a worker.
+struct Job {
+    req: Request,
+    /// Admission time; deadlines are measured from here, so time spent
+    /// queued counts against the request.
+    enqueued: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+/// State guarded by the queue mutex.
+struct Inner {
+    queue: VecDeque<Job>,
+    /// Admitted but not yet responded-to queries.
+    in_flight: usize,
+    workers_alive: usize,
+    /// Open connection handlers. Part of the drain condition so the
+    /// process never exits while a handler still owes a reply (the
+    /// shutdown acknowledgement itself, or a drain rejection).
+    conns: usize,
+}
+
+/// Everything the accept loop, handlers, and workers share.
+struct Shared {
+    coll: Collection,
+    quarantined: Vec<(String, String)>,
+    queue_depth: usize,
+    timeout_ms: Option<u64>,
+    fault: Option<Arc<FaultInjector>>,
+    addr: std::net::SocketAddr,
+    shutdown: AtomicBool,
+    inner: Mutex<Inner>,
+    /// Workers wait here for jobs (or the shutdown signal).
+    work_cv: Condvar,
+    /// The drain loop waits here for workers to exit and jobs to finish.
+    drain_cv: Condvar,
+    stats: Mutex<ServeStats>,
+}
+
+impl Shared {
+    fn bump(&self, status: &str) {
+        self.stats.lock().unwrap().bump(status);
+    }
+}
+
+/// Run the server until a `shutdown` request drains it. Prints
+/// `listening on <addr>` to stdout before accepting (clients and tests
+/// key off that line, notably with `--port 0`).
+pub fn serve(args: &ServeArgs) -> Result<String, CliError> {
+    let fault = args.injector()?;
+    let (coll, quarantined) = load_corpus(&args.dir, fault.as_ref())?;
+    for (name, why) in &quarantined {
+        eprintln!("warning: quarantined {name}: {why}");
+    }
+    if coll.is_empty() {
+        return Err(CliError::Query(format!(
+            "no loadable documents in {} ({} quarantined)",
+            args.dir,
+            quarantined.len()
+        )));
+    }
+    let listener = TcpListener::bind(("127.0.0.1", args.port))
+        .map_err(|e| CliError::Io(format!("127.0.0.1:{}", args.port), e))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| CliError::Io("local addr".into(), e))?;
+    {
+        // Not `println!`: a closed stdout must not panic the server.
+        let mut out = std::io::stdout().lock();
+        let _ = writeln!(out, "listening on {addr}");
+        let _ = out.flush();
+    }
+
+    let workers = args.workers.max(1);
+    let shared = Arc::new(Shared {
+        coll,
+        quarantined,
+        queue_depth: args.queue_depth.max(1),
+        timeout_ms: args.timeout_ms,
+        fault,
+        addr,
+        shutdown: AtomicBool::new(false),
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            in_flight: 0,
+            workers_alive: workers,
+            conns: 0,
+        }),
+        work_cv: Condvar::new(),
+        drain_cv: Condvar::new(),
+        stats: Mutex::new(ServeStats::new()),
+    });
+    for _ in 0..workers {
+        let s = Arc::clone(&shared);
+        std::thread::spawn(move || worker_loop(s));
+    }
+
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(x) => x,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        // Every accepted connection gets a handler — even during the
+        // drain race. `shutdown` pokes us with a loopback connection so
+        // the flag check below runs promptly, but the poked-out accept
+        // may return a *real* client queued ahead of the poke in the
+        // backlog; its handler answers it with a drain rejection instead
+        // of a silent hangup (the poke itself just reads EOF and exits).
+        shared.inner.lock().unwrap().conns += 1;
+        let s = Arc::clone(&shared);
+        std::thread::spawn(move || handle_conn(s, stream));
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    drop(listener);
+
+    // Drain: workers exit only once the queue is empty, each job's
+    // response is sent before its in-flight slot is released, and every
+    // connection handler has flushed its last reply and closed.
+    {
+        let mut g = shared.inner.lock().unwrap();
+        while g.workers_alive > 0 || g.in_flight > 0 || g.conns > 0 {
+            g = shared.drain_cv.wait(g).unwrap();
+        }
+        debug_assert!(g.queue.is_empty());
+    }
+    let st = shared.stats.lock().unwrap();
+    let g = shared.inner.lock().unwrap();
+    Ok(format!(
+        "drained: {} request(s) ({} ok, {} degraded, {} shed, {} timeout, {} error), \
+         {} worker panic(s), {} file(s) quarantined, {} in flight\n",
+        st.total,
+        st.ok,
+        st.degraded,
+        st.shed,
+        st.timeout,
+        st.error,
+        st.worker_panics,
+        shared.quarantined.len(),
+        g.in_flight
+    ))
+}
+
+/// Load every `.xml`/`.xfrg` in `dir` (sorted), quarantining files that
+/// fail to read, decode, or parse — including injected `serve:load`
+/// read errors and even a panicking loader — instead of refusing to
+/// start.
+fn load_corpus(
+    dir: &str,
+    fault: Option<&Arc<FaultInjector>>,
+) -> Result<(Collection, Vec<(String, String)>), CliError> {
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| CliError::Io(dir.to_string(), e))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.extension()
+                .and_then(|e| e.to_str())
+                .is_some_and(|e| e == "xml" || e == "xfrg")
+        })
+        .collect();
+    paths.sort();
+    let mut coll = Collection::new();
+    let mut quarantined = Vec::new();
+    for p in paths {
+        let name = p
+            .file_name()
+            .unwrap_or_default()
+            .to_string_lossy()
+            .into_owned();
+        let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<Document, CliError> {
+            if let Some(inj) = fault {
+                inj.fire(site::SERVE_LOAD).map_err(|_| {
+                    CliError::Io(name.clone(), std::io::Error::other("injected read error"))
+                })?;
+            }
+            crate::commands::load(&p.to_string_lossy())
+        }));
+        match attempt {
+            Ok(Ok(doc)) => {
+                coll.add(&name, doc);
+            }
+            Ok(Err(e)) => quarantined.push((name, e.to_string())),
+            Err(payload) => quarantined.push((
+                name,
+                format!("loader panicked: {}", panic_message(payload.as_ref())),
+            )),
+        }
+    }
+    Ok((coll, quarantined))
+}
+
+/// How often an idle connection's blocked read wakes up to check the
+/// drain flag. Bounds how long an idle connection can stall a drain,
+/// while leaving a wide window for a request already on the wire to be
+/// answered with a structured rejection rather than a hangup.
+const DRAIN_POLL: Duration = Duration::from_millis(500);
+
+/// Decrements the shared connection count (and wakes the drain loop)
+/// when a handler exits, on every exit path.
+struct ConnGuard(Arc<Shared>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        let mut g = self.0.inner.lock().unwrap();
+        g.conns -= 1;
+        drop(g);
+        self.0.drain_cv.notify_all();
+    }
+}
+
+/// One connection: read request lines, write exactly one response line
+/// per request, until EOF, a write error, or the drain. During a drain
+/// the handler answers at most one final request (typically a
+/// `shutting-down` rejection) and then closes, so a chatty client
+/// cannot hold the drain open forever.
+fn handle_conn(s: Arc<Shared>, stream: TcpStream) {
+    let _guard = ConnGuard(Arc::clone(&s));
+    stream.set_read_timeout(Some(DRAIN_POLL)).ok();
+    let mut reader = match stream.try_clone() {
+        Ok(c) => BufReader::new(c),
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // Assemble one line, riding out poll timeouts (which preserve
+        // any partial bytes already appended to `line`).
+        let n = loop {
+            match reader.read_line(&mut line) {
+                Ok(n) => break n,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if s.shutdown.load(Ordering::SeqCst) && line.is_empty() {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        };
+        if n == 0 {
+            return; // EOF: client closed.
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let line = line.trim_end_matches(['\r', '\n']);
+        let out = match serde_json::from_str::<Request>(line) {
+            Err(e) => {
+                {
+                    let mut st = s.stats.lock().unwrap();
+                    st.invalid += 1;
+                }
+                s.bump(status::ERROR);
+                Response::error(0, format!("bad request: {e}")).to_line()
+            }
+            Ok(req) => match req.kind {
+                RequestKind::Health => {
+                    s.bump(status::OK);
+                    health_line(&s, req.id)
+                }
+                RequestKind::Stats => {
+                    s.bump(status::OK);
+                    stats_line(&s, req.id)
+                }
+                RequestKind::Shutdown => begin_shutdown(&s, req.id),
+                RequestKind::Query => {
+                    let id = req.id;
+                    match admit(&s, req) {
+                        Err(rejection) => {
+                            s.bump(&rejection.status);
+                            rejection.to_line()
+                        }
+                        Ok(rx) => match rx.recv() {
+                            Ok(resp) => resp.to_line(),
+                            // Unreachable by construction (workers always
+                            // reply, even on panic), kept as a no-lost-
+                            // responses backstop.
+                            Err(_) => {
+                                s.bump(status::ERROR);
+                                Response::error(id, "internal: reply channel closed").to_line()
+                            }
+                        },
+                    }
+                }
+            },
+        };
+        let wrote = writer
+            .write_all(out.as_bytes())
+            .and_then(|_| writer.write_all(b"\n"))
+            .and_then(|_| writer.flush());
+        if wrote.is_err() {
+            return;
+        }
+        // One reply per connection once the drain has begun.
+        if s.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Admission control: reject when draining or when the bounded queue is
+/// full; otherwise enqueue and hand back the reply channel. Rejections
+/// are boxed: they're the cold path, and `Response` is wide.
+fn admit(s: &Arc<Shared>, req: Request) -> Result<mpsc::Receiver<Response>, Box<Response>> {
+    let id = req.id;
+    let (tx, rx) = mpsc::channel();
+    let mut g = s.inner.lock().unwrap();
+    // Checked under the queue lock: workers only exit when `shutdown`
+    // is already visible, so nothing can be enqueued past the drain.
+    if s.shutdown.load(Ordering::SeqCst) {
+        return Err(Box::new(Response::bare(id, status::SHUTTING_DOWN)));
+    }
+    if g.queue.len() >= s.queue_depth {
+        let mut r = Response::bare(id, status::SHED);
+        r.note = Some(format!("queue full (depth {})", s.queue_depth));
+        return Err(Box::new(r));
+    }
+    g.in_flight += 1;
+    g.queue.push_back(Job {
+        req,
+        enqueued: Instant::now(),
+        reply: tx,
+    });
+    drop(g);
+    s.work_cv.notify_one();
+    Ok(rx)
+}
+
+/// Close admission, wake idle workers, and poke the accept loop so the
+/// main thread proceeds to the drain phase.
+fn begin_shutdown(s: &Arc<Shared>, id: u64) -> String {
+    s.shutdown.store(true, Ordering::SeqCst);
+    s.work_cv.notify_all();
+    let _ = TcpStream::connect(s.addr);
+    s.bump(status::OK);
+    let mut r = Response::bare(id, status::OK);
+    r.note = Some("draining".into());
+    r.to_line()
+}
+
+fn health_line(s: &Shared, id: u64) -> String {
+    let g = s.inner.lock().unwrap();
+    let quarantined: Vec<&str> = s.quarantined.iter().map(|(n, _)| n.as_str()).collect();
+    format!(
+        "{{\"id\":{},\"status\":\"ok\",\"workers\":{},\"queued\":{},\"in_flight\":{},\"docs\":{},\"quarantined\":{}}}",
+        id,
+        g.workers_alive,
+        g.queue.len(),
+        g.in_flight,
+        s.coll.len(),
+        serde_json::to_string(&quarantined).expect("names serialize"),
+    )
+}
+
+fn stats_line(s: &Shared, id: u64) -> String {
+    let st = s.stats.lock().unwrap();
+    format!(
+        "{{\"id\":{},\"status\":\"ok\",\"serve\":{{\"total\":{},\"ok\":{},\"degraded\":{},\"shed\":{},\"timeout\":{},\"error\":{},\"shutting_down\":{},\"invalid\":{},\"worker_panics\":{}}},\"eval\":{},\"latency\":{}}}",
+        id,
+        st.total,
+        st.ok,
+        st.degraded,
+        st.shed,
+        st.timeout,
+        st.error,
+        st.shutting_down,
+        st.invalid,
+        st.worker_panics,
+        serde_json::to_string(&st.eval).expect("stats serialize"),
+        st.latency.to_json(),
+    )
+}
+
+/// Worker thread body: pop jobs until the queue is empty *and* the
+/// server is draining. A panicking request is isolated: the payload
+/// becomes a structured `error` response, a replacement worker is
+/// spawned, and only then does the poisoned thread exit.
+fn worker_loop(s: Arc<Shared>) {
+    loop {
+        let job = {
+            let mut g = s.inner.lock().unwrap();
+            loop {
+                if let Some(j) = g.queue.pop_front() {
+                    break j;
+                }
+                if s.shutdown.load(Ordering::SeqCst) {
+                    g.workers_alive -= 1;
+                    drop(g);
+                    s.drain_cv.notify_all();
+                    return;
+                }
+                g = s.work_cv.wait(g).unwrap();
+            }
+        };
+        let start = Instant::now();
+        match catch_unwind(AssertUnwindSafe(|| handle_query(&s, &job))) {
+            Ok(resp) => finish(&s, &job, resp, start),
+            Err(payload) => {
+                {
+                    let mut st = s.stats.lock().unwrap();
+                    st.worker_panics += 1;
+                }
+                let msg = panic_message(payload.as_ref());
+                let resp = Response::error(
+                    job.req.id,
+                    format!(
+                        "worker panicked (isolated): {}",
+                        msg.lines().next().unwrap_or("")
+                    ),
+                );
+                // Respawn first so the pool never shrinks.
+                {
+                    let mut g = s.inner.lock().unwrap();
+                    g.workers_alive += 1;
+                }
+                let replacement = Arc::clone(&s);
+                std::thread::spawn(move || worker_loop(replacement));
+                finish(&s, &job, resp, start);
+                let mut g = s.inner.lock().unwrap();
+                g.workers_alive -= 1;
+                drop(g);
+                s.drain_cv.notify_all();
+                return;
+            }
+        }
+    }
+}
+
+/// Record the outcome, send the reply, release the in-flight slot.
+fn finish(s: &Shared, job: &Job, resp: Response, start: Instant) {
+    {
+        let mut st = s.stats.lock().unwrap();
+        st.bump(&resp.status);
+        st.latency.record(start.elapsed());
+        if let Some(es) = &resp.stats {
+            st.eval += *es;
+        }
+    }
+    // A client that hung up just discards its reply; not an error.
+    let _ = job.reply.send(resp);
+    let mut g = s.inner.lock().unwrap();
+    g.in_flight -= 1;
+    drop(g);
+    s.drain_cv.notify_all();
+}
+
+/// Evaluate one admitted query. Runs inside the worker's
+/// `catch_unwind`, so a panic anywhere below is isolated per request.
+fn handle_query(s: &Shared, job: &Job) -> Response {
+    let req = &job.req;
+    // Fault-injection point for the worker itself: `panic` unwinds into
+    // the worker's catch_unwind, `delay:<ms>` stalls, `cancel`
+    // short-circuits here. Fired before the deadline is measured so an
+    // injected stall longer than the deadline surfaces as a `timeout`
+    // response, exactly like a real slow worker.
+    if let Some(inj) = &s.fault {
+        if inj.fire(site::SERVE_WORKER).is_err() {
+            return Response::error(req.id, "cancelled by injected fault at serve:worker");
+        }
+    }
+    // Effective deadline: the tighter of the request's and the server's,
+    // measured from admission (queue time counts against the request).
+    let deadline = match (s.timeout_ms, req.timeout_ms) {
+        (None, None) => None,
+        (a, b) => Some(Duration::from_millis(
+            a.unwrap_or(u64::MAX).min(b.unwrap_or(u64::MAX)),
+        )),
+    };
+    let waited = job.enqueued.elapsed();
+    let remaining = match deadline {
+        Some(d) if waited >= d => {
+            let mut r = Response::bare(req.id, status::TIMEOUT);
+            r.error = Some(format!(
+                "deadline of {} ms passed before evaluation started",
+                d.as_millis()
+            ));
+            return r;
+        }
+        Some(d) => Some(d - waited),
+        None => None,
+    };
+    if req.keywords.is_empty() {
+        return Response::error(req.id, "query needs keywords");
+    }
+    let strategy = match req.strategy() {
+        Ok(v) => v,
+        Err(e) => return Response::error(req.id, e),
+    };
+    let degrade = match req.degrade() {
+        Ok(v) => v,
+        Err(e) => return Response::error(req.id, e),
+    };
+    let q = Query::new(req.keywords.iter(), req.filter());
+    let mut budget: Budget = req.budget();
+    budget.wall_clock = remaining;
+    let token = CancelToken::new();
+    let mut policy = ExecPolicy::with_budget(budget)
+        .with_degrade(degrade)
+        .with_cancel(token.clone());
+    if let Some(f) = &s.fault {
+        policy = policy.with_fault(Arc::clone(f));
+    }
+    // Watchdog: cancels the token when the deadline passes, covering
+    // stretches where the governor's own wall-clock checks are sparse.
+    let done = Arc::new(AtomicBool::new(false));
+    let watchdog = remaining.map(|rem| {
+        let t = token.clone();
+        let d = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let start = Instant::now();
+            while start.elapsed() < rem && !d.load(Ordering::SeqCst) {
+                std::thread::park_timeout(rem.saturating_sub(start.elapsed()));
+            }
+            if !d.load(Ordering::SeqCst) {
+                t.cancel();
+            }
+        })
+    });
+    let result =
+        evaluate_collection_budgeted_traced(&s.coll, &q, strategy, &policy, &Tracer::disabled());
+    done.store(true, Ordering::SeqCst);
+    if let Some(w) = &watchdog {
+        w.thread().unpark(); // let it exit promptly; no need to join
+    }
+    match result {
+        Ok(r) => {
+            let ranked = CollectionResult {
+                answers: r.answers.clone(),
+                docs_pruned: r.docs_pruned,
+                docs_failed: r.docs_failed.clone(),
+                stats: r.stats,
+            };
+            let k = req.top_k.unwrap_or(10);
+            let top = top_k_collection(&s.coll, &ranked, &q, &RankConfig::default(), k);
+            let mut resp = Response::bare(
+                req.id,
+                if r.is_degraded() {
+                    status::DEGRADED
+                } else {
+                    status::OK
+                },
+            );
+            resp.answers = top
+                .iter()
+                .map(|(doc_id, f, score)| Answer {
+                    doc: s.coll.name(*doc_id).to_string(),
+                    score: *score,
+                    nodes: f.nodes().iter().map(|n| n.0).collect(),
+                    snippet: snippet(s.coll.doc(*doc_id), f, &q.terms, &SnippetConfig::default()),
+                })
+                .collect();
+            if r.is_degraded() {
+                // Assembled from counters and rung names only — never
+                // elapsed times — to keep response bytes deterministic.
+                let mut notes = Vec::new();
+                if r.docs_skipped > 0 {
+                    notes.push(format!("{} doc(s) skipped", r.docs_skipped));
+                }
+                for (doc_id, d) in &r.degraded_docs {
+                    notes.push(format!(
+                        "{} degraded to {}",
+                        s.coll.name(*doc_id),
+                        d.rung.map(|rg| rg.name()).unwrap_or("none")
+                    ));
+                }
+                for (doc_id, msg) in &r.docs_failed {
+                    notes.push(format!(
+                        "{} failed: {}",
+                        s.coll.name(*doc_id),
+                        msg.lines().next().unwrap_or("")
+                    ));
+                }
+                resp.note = Some(notes.join("; "));
+            }
+            resp.stats = Some(r.stats);
+            resp
+        }
+        Err(QueryError::Cancelled) if token.is_cancelled() => {
+            let mut r = Response::bare(req.id, status::TIMEOUT);
+            r.error = Some("deadline exceeded during evaluation".into());
+            r
+        }
+        Err(QueryError::BudgetExceeded(Breach::Deadline)) => {
+            let mut r = Response::bare(req.id, status::TIMEOUT);
+            r.error = Some("deadline exceeded during evaluation".into());
+            r
+        }
+        Err(e) => Response::error(req.id, e.to_string()),
+    }
+}
+
+/// `xfrag request <addr> <json>` — one-shot client: send one request
+/// line, print the one response line. Used by CI smoke scripts and the
+/// soak test so no external netcat-style tool is needed.
+pub fn request(addr: &str, json: &str) -> Result<String, CliError> {
+    let stream = TcpStream::connect(addr).map_err(|e| CliError::Io(addr.to_string(), e))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| CliError::Io(addr.to_string(), e))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| CliError::Io(addr.to_string(), e))?;
+    writer
+        .write_all(json.as_bytes())
+        .and_then(|_| writer.write_all(b"\n"))
+        .and_then(|_| writer.flush())
+        .map_err(|e| CliError::Io(addr.to_string(), e))?;
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| CliError::Io(addr.to_string(), e))?;
+    if line.is_empty() {
+        return Err(CliError::Query(
+            "server closed the connection without replying".into(),
+        ));
+    }
+    if !line.ends_with('\n') {
+        line.push('\n');
+    }
+    Ok(line)
+}

@@ -141,3 +141,127 @@ fn errors_exit_nonzero() {
         .contains("XML parse error"));
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+/// Run `xfrag` with `args` and assert the full failure contract: the
+/// expected exit code, an `error:`-prefixed diagnostic containing
+/// `needle` on stderr, and *nothing* on stdout.
+fn expect_failure(args: &[&str], code: i32, needle: &str) {
+    let out = xfrag().args(args).output().unwrap();
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert_eq!(
+        out.status.code(),
+        Some(code),
+        "args {args:?}: stderr {err:?}"
+    );
+    assert!(err.contains("error:"), "args {args:?}: stderr {err:?}");
+    assert!(err.contains(needle), "args {args:?}: stderr {err:?}");
+    assert!(
+        out.stdout.is_empty(),
+        "args {args:?}: diagnostics leaked to stdout: {:?}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+/// Audit of every CLI failure path: usage errors exit 2 with the usage
+/// text, runtime errors exit 1, and diagnostics go to stderr only.
+#[test]
+fn error_paths_audit() {
+    let dir = tmpdir("audit");
+
+    // Usage errors: exit 2, usage text on stderr.
+    expect_failure(&["search"], 2, "usage:");
+    expect_failure(&["serve"], 2, "serve needs a corpus directory");
+    expect_failure(
+        &["serve", dir.to_str().unwrap(), "--port", "99999"],
+        2,
+        "--port",
+    );
+    expect_failure(&["request"], 2, "request needs a host:port");
+    expect_failure(&["request", "h:1"], 2, "request needs a JSON request line");
+
+    // A corrupted .xfrg surfaces the typed store error.
+    let bad_bin = dir.join("bad.xfrg");
+    std::fs::write(&bad_bin, b"definitely not an XFRG file").unwrap();
+    expect_failure(&["search", bad_bin.to_str().unwrap(), "kw"], 1, "corrupted");
+
+    // Directory-level failures.
+    expect_failure(
+        &["msearch", "/nonexistent-xfrag-dir", "kw"],
+        1,
+        "cannot access",
+    );
+    expect_failure(&["serve", "/nonexistent-xfrag-dir"], 1, "cannot access");
+
+    // A corpus where every file is quarantined refuses to serve.
+    let quarantine_only = tmpdir("audit-quar");
+    std::fs::write(quarantine_only.join("a.xml"), "<a><oops>").unwrap();
+    expect_failure(
+        &["serve", quarantine_only.to_str().unwrap()],
+        1,
+        "no loadable documents",
+    );
+
+    // A malformed --inject spec fails before binding the port.
+    std::fs::write(dir.join("ok.xml"), "<a><p>kw</p></a>").unwrap();
+    expect_failure(
+        &["serve", dir.to_str().unwrap(), "--inject", "gibberish"],
+        1,
+        "fault clause",
+    );
+
+    // Writing compiled output onto a directory is an I/O error, not a
+    // panic, and says which path failed.
+    expect_failure(
+        &[
+            "compile",
+            dir.join("ok.xml").to_str().unwrap(),
+            dir.to_str().unwrap(),
+        ],
+        1,
+        "cannot access",
+    );
+
+    // A one-shot request to a dead address fails cleanly.
+    expect_failure(
+        &["request", "127.0.0.1:1", r#"{"kind":"health"}"#],
+        1,
+        "cannot access 127.0.0.1:1",
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&quarantine_only).unwrap();
+}
+
+/// A reader hanging up early (`xfrag ... | head`) must not turn into a
+/// panic or a failing exit code.
+#[test]
+fn broken_pipe_is_not_an_error() {
+    let dir = tmpdir("pipe");
+    let file = dir.join("wide.xml");
+    let mut xml = String::from("<doc>");
+    for _ in 0..300 {
+        xml.push_str("<sec><par>needle</par></sec>");
+    }
+    xml.push_str("</doc>");
+    std::fs::write(&file, xml).unwrap();
+
+    let mut child = xfrag()
+        .args([
+            "search",
+            file.to_str().unwrap(),
+            "needle",
+            "--size",
+            "1",
+            "--ids",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    // Close the read end before the child finishes evaluating, so its
+    // (single, buffered) output write hits EPIPE.
+    drop(child.stdout.take());
+    let status = child.wait().unwrap();
+    assert!(status.success(), "broken pipe became exit {status:?}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,398 @@
+//! End-to-end tests for `xfrag serve`: the deterministic fault suite
+//! and a concurrent soak test (ISSUE 3 tentpole + satellite d).
+//!
+//! Each test boots the real binary with `--port 0`, reads the
+//! `listening on <addr>` line, and drives it over raw TCP with
+//! newline-delimited JSON. The fault suite leans on two server
+//! guarantees: fault injection is deterministic by spec (serial
+//! requests hit per-site counters in order), and responses carry no
+//! wall-clock values — so a request unaffected by a fault must be
+//! *byte-identical* to the same request against a fault-free server.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdout, Command, ExitStatus, Stdio};
+use std::time::Duration;
+
+fn corpus(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xfrag-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("a.xml"),
+        "<doc><title>xml search alpha</title><p>ranked xml search over fragments</p></doc>",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("b.xml"),
+        "<doc><title>beta</title><sec><p>xml algebra</p><p>search trees</p></sec></doc>",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("c.xml"),
+        "<doc><p>gamma xml</p><p>keyword search</p><p>gamma filler</p></doc>",
+    )
+    .unwrap();
+    dir
+}
+
+/// One NDJSON client connection.
+struct Conn {
+    w: TcpStream,
+    r: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn open(addr: &str) -> Conn {
+        let s = TcpStream::connect(addr).expect("connect to server");
+        s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        Conn {
+            r: BufReader::new(s.try_clone().unwrap()),
+            w: s,
+        }
+    }
+
+    fn rpc(&mut self, json: &str) -> String {
+        self.w.write_all(json.as_bytes()).unwrap();
+        self.w.write_all(b"\n").unwrap();
+        self.w.flush().unwrap();
+        let mut line = String::new();
+        self.r.read_line(&mut line).expect("read response line");
+        assert!(!line.is_empty(), "server hung up instead of replying");
+        line.trim_end().to_string()
+    }
+}
+
+/// A running `xfrag serve` child. Killed on drop so a failing assertion
+/// never leaks a listener into later tests.
+struct Server {
+    child: Child,
+    addr: String,
+    out: BufReader<ChildStdout>,
+}
+
+impl Server {
+    fn start(dir: &Path, extra: &[&str]) -> Server {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_xfrag"))
+            .arg("serve")
+            .arg(dir)
+            .args(["--port", "0"])
+            .args(extra)
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn server");
+        let mut out = BufReader::new(child.stdout.take().unwrap());
+        let mut line = String::new();
+        out.read_line(&mut line).expect("read startup line");
+        let addr = line
+            .trim()
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected startup line: {line:?}"))
+            .to_string();
+        Server { child, addr, out }
+    }
+
+    fn connect(&self) -> Conn {
+        Conn::open(&self.addr)
+    }
+
+    fn rpc(&self, json: &str) -> String {
+        self.connect().rpc(json)
+    }
+
+    /// Send `shutdown`, wait for exit, return (status, drain summary).
+    fn shutdown_and_wait(mut self) -> (ExitStatus, String) {
+        let reply = self.rpc(r#"{"kind":"shutdown","id":999}"#);
+        assert!(reply.contains(r#""note":"draining""#), "{reply}");
+        let status = self.child.wait().expect("wait for server exit");
+        let mut rest = String::new();
+        self.out.read_to_string(&mut rest).unwrap();
+        (status, rest)
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+    }
+}
+
+/// Pull a string field's value out of a response line (no escapes in
+/// the fields we probe).
+fn field_str<'a>(line: &'a str, name: &str) -> &'a str {
+    let pat = format!("\"{name}\":\"");
+    let start = line
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no {name} in {line}"))
+        + pat.len();
+    let end = line[start..].find('"').unwrap() + start;
+    &line[start..end]
+}
+
+/// The fixed serial request sequence used by the determinism suite.
+/// Every query matches all three corpus docs, so per-request fault-site
+/// hits are: `serve:worker` 1, `collection:doc` 3, `query:eval` 3.
+const QUERIES: [&str; 4] = [
+    r#"{"kind":"query","id":1,"keywords":["xml","search"]}"#,
+    r#"{"kind":"query","id":2,"keywords":["xml","search"],"top_k":2}"#,
+    r#"{"kind":"query","id":3,"keywords":["xml","search"],"size":6}"#,
+    r#"{"kind":"query","id":4,"keywords":["xml"]}"#,
+];
+
+fn run_serial(dir: &Path, extra: &[&str]) -> (Vec<String>, ExitStatus, String) {
+    let srv = Server::start(dir, extra);
+    let mut conn = srv.connect();
+    let replies = QUERIES.iter().map(|q| conn.rpc(q)).collect();
+    drop(conn);
+    let (status, summary) = srv.shutdown_and_wait();
+    (replies, status, summary)
+}
+
+#[test]
+fn fault_injection_is_deterministic_and_isolated() {
+    let dir = corpus("det");
+    let (base, st, sum) = run_serial(&dir, &[]);
+    assert!(st.success(), "fault-free server exited {st:?}");
+    assert!(sum.contains("0 in flight"), "{sum}");
+    // 4 queries + the shutdown request itself, nothing degraded or worse.
+    assert!(
+        sum.contains("(5 ok, 0 degraded, 0 shed, 0 timeout, 0 error)"),
+        "{sum}"
+    );
+    for (i, r) in base.iter().enumerate() {
+        assert_eq!(field_str(r, "status"), "ok", "baseline[{i}]: {r}");
+    }
+    // The whole suite is vacuous unless a clean replay is byte-identical.
+    let (again, ..) = run_serial(&dir, &[]);
+    assert_eq!(base, again, "fault-free replay is not deterministic");
+
+    // (affected request index, expected status, expected detail).
+    // Hit arithmetic: serve:worker fires once per request, so hit 2 is
+    // request 2; collection:doc / query:eval fire once per candidate
+    // doc (3 per request), so hit 4 lands on request 1's second doc.
+    struct Case {
+        inject: &'static str,
+        affected: usize,
+        status: &'static str,
+        detail: &'static str,
+    }
+    let cases = [
+        Case {
+            inject: "serve:worker@2=panic",
+            affected: 2,
+            status: "error",
+            detail: "worker panicked (isolated): xfrag-injected-fault",
+        },
+        Case {
+            inject: "collection:doc@4=cancel",
+            affected: 1,
+            status: "error",
+            detail: "query cancelled",
+        },
+        Case {
+            inject: "query:eval@4=panic",
+            affected: 1,
+            status: "degraded",
+            detail: "b.xml failed: xfrag-injected-fault",
+        },
+    ];
+    for c in &cases {
+        let (replies, st, sum) = run_serial(&dir, &["--inject", c.inject]);
+        assert!(st.success(), "{}: server died: {st:?}", c.inject);
+        assert!(sum.contains("0 in flight"), "{}: {sum}", c.inject);
+        for (i, r) in replies.iter().enumerate() {
+            if i == c.affected {
+                assert_eq!(field_str(r, "status"), c.status, "{}: {r}", c.inject);
+                assert!(r.contains(c.detail), "{}: {r}", c.inject);
+            } else {
+                // The core guarantee: a concurrent-in-spirit request the
+                // fault did not touch is byte-for-byte what a fault-free
+                // server would have said.
+                assert_eq!(r, &base[i], "{}: unaffected reply {i} drifted", c.inject);
+            }
+        }
+    }
+
+    // An injected delay (no deadline configured) perturbs timing only:
+    // every response byte must match the fault-free run.
+    let (delayed, st, _) = run_serial(&dir, &["--inject", "serve:worker@1=delay:30"]);
+    assert!(st.success());
+    assert_eq!(delayed, base, "a pure delay changed response bytes");
+}
+
+#[test]
+fn quarantine_keeps_the_server_up() {
+    let dir = corpus("quar");
+    // One organically corrupt file, plus an injected read error on the
+    // second file in sorted load order (b.xml).
+    std::fs::write(dir.join("zz_broken.xml"), "<doc><unclosed>").unwrap();
+    let srv = Server::start(&dir, &["--inject", "serve:load@1=read-error"]);
+    let mut conn = srv.connect();
+
+    let health = conn.rpc(r#"{"kind":"health","id":1}"#);
+    assert!(health.contains("\"docs\":2"), "{health}");
+    assert!(
+        health.contains("b.xml") && health.contains("zz_broken.xml"),
+        "quarantine list wrong: {health}"
+    );
+
+    // Queries keep working over the surviving docs.
+    let q = conn.rpc(r#"{"kind":"query","id":2,"keywords":["xml","search"]}"#);
+    assert_eq!(field_str(&q, "status"), "ok", "{q}");
+    assert!(q.contains("a.xml") && q.contains("c.xml"), "{q}");
+    assert!(!q.contains("b.xml"), "quarantined doc answered: {q}");
+
+    drop(conn);
+    let (st, sum) = srv.shutdown_and_wait();
+    assert!(st.success());
+    assert!(sum.contains("2 file(s) quarantined"), "{sum}");
+}
+
+#[test]
+fn shed_timeout_and_drain_rejection_paths() {
+    let dir = corpus("shed");
+    // One worker stalled 600 ms on each of the first two jobs makes the
+    // depth-1 queue's state deterministic under generous sleeps.
+    let srv = Server::start(
+        &dir,
+        &[
+            "--workers",
+            "1",
+            "--queue-depth",
+            "1",
+            "--inject",
+            "serve:worker@0=delay:600,serve:worker@1=delay:600",
+        ],
+    );
+    let addr = srv.addr.clone();
+    let occupy = std::thread::spawn({
+        let a = addr.clone();
+        move || Conn::open(&a).rpc(r#"{"kind":"query","id":11,"keywords":["xml"]}"#)
+    });
+    std::thread::sleep(Duration::from_millis(150));
+    let queued = std::thread::spawn({
+        let a = addr.clone();
+        move || Conn::open(&a).rpc(r#"{"kind":"query","id":12,"keywords":["xml"]}"#)
+    });
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Worker busy + queue full => immediate shed with a shed reply.
+    let shed = srv.rpc(r#"{"kind":"query","id":13,"keywords":["xml"]}"#);
+    assert_eq!(field_str(&shed, "status"), "shed", "{shed}");
+    assert!(shed.starts_with("{\"id\":13,"), "{shed}");
+    assert!(shed.contains("queue full (depth 1)"), "{shed}");
+
+    // The shed didn't cost the admitted requests anything.
+    assert_eq!(field_str(&occupy.join().unwrap(), "status"), "ok");
+    assert_eq!(field_str(&queued.join().unwrap(), "status"), "ok");
+
+    // An already-expired deadline surfaces as `timeout`, not an error.
+    let to = srv.rpc(r#"{"kind":"query","id":14,"keywords":["xml"],"timeout_ms":0}"#);
+    assert_eq!(field_str(&to, "status"), "timeout", "{to}");
+    assert!(to.contains("deadline of 0 ms"), "{to}");
+
+    // A connection opened before shutdown still gets answered — with a
+    // structured drain rejection, not a hangup.
+    let mut pre = srv.connect();
+    let mut sc = srv.connect();
+    let r = sc.rpc(r#"{"kind":"shutdown","id":90}"#);
+    assert!(r.contains("draining"), "{r}");
+    let rejected = pre.rpc(r#"{"kind":"query","id":15,"keywords":["xml"]}"#);
+    assert_eq!(
+        field_str(&rejected, "status"),
+        "shutting-down",
+        "{rejected}"
+    );
+    drop(pre);
+    drop(sc);
+    let mut srv = srv;
+    let st = srv.child.wait().expect("server exit");
+    let mut sum = String::new();
+    srv.out.read_to_string(&mut sum).unwrap();
+    assert!(st.success(), "server exited {st:?}");
+    assert!(sum.contains("1 shed"), "{sum}");
+    assert!(sum.contains("1 timeout"), "{sum}");
+    assert!(sum.contains("0 in flight"), "{sum}");
+}
+
+#[test]
+fn soak_concurrent_clients_lose_no_responses() {
+    let dir = corpus("soak");
+    // Two workers, a tight queue, two injected panics and two stalls:
+    // the storm below must still produce exactly one well-formed reply
+    // per request, and the drain must end with zero in flight.
+    let srv = Server::start(
+        &dir,
+        &[
+            "--workers",
+            "2",
+            "--queue-depth",
+            "2",
+            "--inject",
+            "serve:worker@0=delay:300,serve:worker@3=panic,serve:worker@6=panic,serve:worker@10=delay:300",
+        ],
+    );
+
+    const THREADS: u64 = 6;
+    const PER_THREAD: u64 = 5;
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let addr = srv.addr.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut conn = Conn::open(&addr);
+            let mut replies = Vec::new();
+            for i in 0..PER_THREAD {
+                let id = t * 100 + i;
+                let req = format!(
+                    r#"{{"kind":"query","id":{id},"keywords":["xml","search"],"top_k":2}}"#
+                );
+                replies.push((id, conn.rpc(&req)));
+            }
+            replies
+        }));
+    }
+
+    let mut total = 0usize;
+    let mut by_status: std::collections::BTreeMap<String, usize> = Default::default();
+    for h in handles {
+        for (id, reply) in h.join().expect("client thread") {
+            total += 1;
+            // Exactly this request's reply, on this request's connection.
+            assert!(reply.starts_with(&format!("{{\"id\":{id},")), "{reply}");
+            let status = field_str(&reply, "status").to_string();
+            match status.as_str() {
+                "ok" | "degraded" => {}
+                "shed" => assert!(reply.contains("queue full"), "{reply}"),
+                // Keywords are always present and valid here, so the only
+                // organic error path is an isolated worker panic.
+                "error" => assert!(reply.contains("worker panicked (isolated)"), "{reply}"),
+                other => panic!("unexpected status {other:?}: {reply}"),
+            }
+            *by_status.entry(status).or_default() += 1;
+        }
+    }
+    assert_eq!(
+        total,
+        (THREADS * PER_THREAD) as usize,
+        "lost responses: {by_status:?}"
+    );
+
+    // Post-storm: the pool healed (both panicked workers respawned) and
+    // nothing is stuck in the queue.
+    let health = srv.rpc(r#"{"kind":"health","id":900}"#);
+    assert!(health.contains("\"workers\":2"), "{health}");
+    assert!(
+        health.contains("\"queued\":0,\"in_flight\":0"),
+        "work stuck after storm: {health}"
+    );
+    let stats = srv.rpc(r#"{"kind":"stats","id":901}"#);
+    assert!(stats.contains("\"worker_panics\":2"), "{stats}");
+
+    let (st, sum) = srv.shutdown_and_wait();
+    assert!(st.success(), "server exited {st:?}");
+    assert!(sum.contains("2 worker panic(s)"), "{sum}");
+    assert!(sum.contains("0 in flight"), "{sum}");
+}

@@ -22,6 +22,7 @@
 //! charges, so governance costs a few percent even on join-kernel-bound
 //! workloads.
 
+use crate::fault::FaultInjector;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -161,6 +162,7 @@ pub struct Governor {
     max_fragments: u64,
     max_nodes: u64,
     cancel: Option<CancelToken>,
+    fault: Option<Arc<FaultInjector>>,
     joins: AtomicU64,
     fragments: AtomicU64,
     nodes: AtomicU64,
@@ -179,6 +181,7 @@ impl Governor {
             max_fragments: budget.max_fragments.unwrap_or(u64::MAX),
             max_nodes: budget.max_nodes_merged.unwrap_or(u64::MAX),
             cancel,
+            fault: None,
             joins: AtomicU64::new(0),
             fragments: AtomicU64::new(0),
             nodes: AtomicU64::new(0),
@@ -189,6 +192,28 @@ impl Governor {
     /// A governor that never breaches and never reads the clock.
     pub fn unlimited() -> Self {
         Governor::new(Budget::unlimited(), None)
+    }
+
+    /// Attach a fault injector so [`Governor::fault_point`] can misbehave
+    /// on demand. `None` (the default) keeps fault points free.
+    pub fn with_fault(mut self, fault: Option<Arc<FaultInjector>>) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// A named fault-injection point. With no injector attached (the
+    /// production configuration) this is a single `Option` branch.
+    /// Armed actions behave as documented on
+    /// [`crate::fault::FaultAction`]: panics unwind from here,
+    /// delays sleep then succeed, cancellations (and read errors, which
+    /// governor sites cannot express as typed store errors) surface as
+    /// [`Breach::Cancelled`].
+    #[inline]
+    pub fn fault_point(&self, site: &str) -> Result<(), Breach> {
+        match &self.fault {
+            None => Ok(()),
+            Some(inj) => inj.fire(site),
+        }
     }
 
     /// Charge one binary join kernel that merged `merged_nodes` operand
@@ -433,6 +458,9 @@ pub struct ExecPolicy {
     pub cancel: Option<CancelToken>,
     /// Breach handling.
     pub degrade: DegradeMode,
+    /// Deterministic fault injection (tests and chaos drills); `None`
+    /// keeps every fault point free.
+    pub fault: Option<Arc<FaultInjector>>,
 }
 
 impl ExecPolicy {
@@ -459,6 +487,12 @@ impl ExecPolicy {
     /// Set the breach behaviour.
     pub fn with_degrade(mut self, mode: DegradeMode) -> Self {
         self.degrade = mode;
+        self
+    }
+
+    /// Attach a fault injector.
+    pub fn with_fault(mut self, fault: Arc<FaultInjector>) -> Self {
+        self.fault = Some(fault);
         self
     }
 }
@@ -565,6 +599,21 @@ mod tests {
         assert!(s.contains("top-candidates"));
         assert!(s.contains("stopped by joins"));
         assert!(s.contains("12 operand fragments truncated"));
+    }
+
+    #[test]
+    fn fault_point_is_free_without_injector_and_fires_with_one() {
+        use crate::fault::{FaultAction, FaultPlan};
+        let g = Governor::unlimited();
+        g.fault_point("anywhere").unwrap();
+
+        let inj = FaultPlan::new()
+            .arm("gov:site", 1, FaultAction::Cancel)
+            .build();
+        let g = Governor::unlimited().with_fault(Some(inj));
+        g.fault_point("gov:site").unwrap();
+        assert_eq!(g.fault_point("gov:site"), Err(Breach::Cancelled));
+        g.fault_point("other:site").unwrap();
     }
 
     #[test]

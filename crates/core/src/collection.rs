@@ -8,11 +8,13 @@
 //! result stream.
 
 use crate::budget::{Breach, Degradation, DegradeMode, ExecPolicy, Governor};
+use crate::fault::{panic_message, site, FaultInjector};
 use crate::query::{evaluate, evaluate_budgeted_traced, Query, QueryError, Strategy};
 use crate::rank::{score, RankConfig};
 use crate::stats::EvalStats;
 use crate::trace::Tracer;
 use crate::Fragment;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use xfrag_doc::{Collection, DocId};
 
 /// One document's answers within a collection result.
@@ -32,6 +34,10 @@ pub struct CollectionResult {
     pub answers: Vec<DocAnswers>,
     /// Documents skipped because some query term never occurs in them.
     pub docs_pruned: usize,
+    /// Documents whose evaluation panicked, with the panic message.
+    /// Panics are isolated per document: one poisoned document costs its
+    /// own answers, never the collection result or the process.
+    pub docs_failed: Vec<(DocId, String)>,
     /// Aggregated operation counters.
     pub stats: EvalStats,
 }
@@ -81,19 +87,40 @@ pub fn evaluate_collection_parallel(
     strategy: Strategy,
     threads: usize,
 ) -> Result<CollectionResult, QueryError> {
+    evaluate_collection_parallel_with_fault(collection, query, strategy, threads, None)
+}
+
+/// [`evaluate_collection_parallel`] with an optional [`FaultInjector`]
+/// consulted at the [`site::COLLECTION_DOC`] site before each document.
+///
+/// Per-document evaluations run under `catch_unwind`: a panic while
+/// evaluating one document (injected or genuine) becomes a
+/// [`CollectionResult::docs_failed`] entry instead of unwinding through
+/// `std::thread::scope` and aborting the caller. All other documents
+/// still answer exactly.
+pub fn evaluate_collection_parallel_with_fault(
+    collection: &Collection,
+    query: &Query,
+    strategy: Strategy,
+    threads: usize,
+    fault: Option<&FaultInjector>,
+) -> Result<CollectionResult, QueryError> {
     if query.terms.is_empty() {
         return Err(QueryError::NoTerms);
     }
     let candidates: Vec<DocId> = collection.candidate_docs(&query.terms).collect();
     let docs_pruned = collection.len() - candidates.len();
-    if threads <= 1 || candidates.len() <= 1 {
+    // The sequential fast path has no isolation boundary, so it is only
+    // taken when nothing can be injected.
+    if (threads <= 1 || candidates.len() <= 1) && fault.is_none() {
         let mut r = evaluate_collection(collection, query, strategy)?;
         r.docs_pruned = docs_pruned;
         return Ok(r);
     }
-    let threads = threads.min(candidates.len());
-    let chunk = candidates.len().div_ceil(threads);
-    let mut shard_results: Vec<Result<(Vec<DocAnswers>, EvalStats), QueryError>> = Vec::new();
+    let threads = threads.min(candidates.len()).max(1);
+    let chunk = candidates.len().div_ceil(threads).max(1);
+    type ShardOut = (Vec<DocAnswers>, EvalStats, Vec<(DocId, String)>);
+    let mut shard_results: Vec<Result<ShardOut, QueryError>> = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = candidates
             .chunks(chunk)
@@ -101,27 +128,48 @@ pub fn evaluate_collection_parallel(
                 scope.spawn(move || {
                     let mut answers = Vec::new();
                     let mut stats = EvalStats::new();
+                    let mut failed: Vec<(DocId, String)> = Vec::new();
                     for &id in shard {
-                        let r =
-                            evaluate(collection.doc(id), collection.index(id), query, strategy)?;
-                        stats += r.stats;
-                        if !r.fragments.is_empty() {
-                            answers.push(DocAnswers {
-                                doc: id,
-                                fragments: r.fragments.iter().cloned().collect(),
-                            });
+                        // Isolation boundary: one document's panic must
+                        // not take down the shard. The closure only
+                        // borrows immutable state, so unwinding cannot
+                        // leave broken invariants behind (AssertUnwindSafe
+                        // is sound here).
+                        let attempt = catch_unwind(AssertUnwindSafe(
+                            || -> Result<crate::query::QueryResult, QueryError> {
+                                if let Some(inj) = fault {
+                                    inj.fire(site::COLLECTION_DOC)
+                                        .map_err(|_| QueryError::Cancelled)?;
+                                }
+                                evaluate(collection.doc(id), collection.index(id), query, strategy)
+                            },
+                        ));
+                        match attempt {
+                            Ok(Ok(r)) => {
+                                stats += r.stats;
+                                if !r.fragments.is_empty() {
+                                    answers.push(DocAnswers {
+                                        doc: id,
+                                        fragments: r.fragments.iter().cloned().collect(),
+                                    });
+                                }
+                            }
+                            Ok(Err(e)) => return Err(e),
+                            Err(payload) => {
+                                failed.push((id, panic_message(payload.as_ref())));
+                            }
                         }
                     }
-                    Ok((answers, stats))
+                    Ok((answers, stats, failed))
                 })
             })
             .collect();
         for h in handles {
             match h.join() {
                 Ok(r) => shard_results.push(r),
-                // invariant: worker closures return all evaluation errors
-                // as values; resume propagates a hypothetical panic
-                // instead of swallowing it.
+                // invariant: worker closures catch per-document panics;
+                // resume propagates a panic outside that boundary (a bug
+                // in the shard loop itself) instead of swallowing it.
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
@@ -132,11 +180,13 @@ pub fn evaluate_collection_parallel(
         ..Default::default()
     };
     for r in shard_results {
-        let (answers, stats) = r?;
+        let (answers, stats, failed) = r?;
         out.stats += stats;
         out.answers.extend(answers);
+        out.docs_failed.extend(failed);
     }
     out.answers.sort_by_key(|a| a.doc);
+    out.docs_failed.sort_by_key(|f| f.0);
     Ok(out)
 }
 
@@ -151,6 +201,10 @@ pub struct BudgetedCollectionResult {
     /// Candidate documents never evaluated because the whole-collection
     /// budget ran out first.
     pub docs_skipped: usize,
+    /// Documents whose evaluation panicked, with the panic message.
+    /// Panic isolation is per document: the rest of the collection still
+    /// answers, and the caller's process survives.
+    pub docs_failed: Vec<(DocId, String)>,
     /// Documents whose answers came from a degraded ladder rung, with the
     /// per-document degradation report.
     pub degraded_docs: Vec<(DocId, Degradation)>,
@@ -165,9 +219,10 @@ impl BudgetedCollectionResult {
     }
 
     /// Whether any part of the result is less than exact: a degraded
-    /// per-document answer or candidate documents never reached.
+    /// per-document answer, candidate documents never reached, or
+    /// documents lost to an isolated panic.
     pub fn is_degraded(&self) -> bool {
-        self.docs_skipped > 0 || !self.degraded_docs.is_empty()
+        self.docs_skipped > 0 || !self.degraded_docs.is_empty() || !self.docs_failed.is_empty()
     }
 }
 
@@ -213,7 +268,7 @@ pub fn evaluate_collection_budgeted_traced(
     if query.terms.is_empty() {
         return Err(QueryError::NoTerms);
     }
-    let gov = Governor::new(policy.budget, policy.cancel.clone());
+    let gov = Governor::new(policy.budget, policy.cancel.clone()).with_fault(policy.fault.clone());
     let candidates: Vec<DocId> = collection.candidate_docs(&query.terms).collect();
     let mut out = BudgetedCollectionResult {
         docs_pruned: collection.len() - candidates.len(),
@@ -237,22 +292,39 @@ pub fn evaluate_collection_budgeted_traced(
         if let Some(total) = policy.budget.wall_clock {
             per_doc.budget.wall_clock = Some(total.saturating_sub(gov.elapsed()));
         }
-        let r = tracer.scoped_lazy(
-            || format!("doc:{}", collection.name(id)),
-            &mut out.stats,
-            |stats| -> Result<_, QueryError> {
-                let r = evaluate_budgeted_traced(
-                    collection.doc(id),
-                    collection.index(id),
-                    query,
-                    strategy,
-                    &per_doc,
-                    tracer,
-                )?;
-                *stats += r.stats;
-                Ok(r)
-            },
-        )?;
+        // Isolation boundary: a panic while evaluating one document
+        // (injected via [`site::COLLECTION_DOC`] / [`site::QUERY_EVAL`],
+        // or genuine) becomes a `docs_failed` entry; the remaining
+        // candidates still answer. A panic mid-span can leave the tracer
+        // with an unbalanced open frame — later spans nest under it but
+        // nothing breaks; untraced (serve) paths are unaffected.
+        let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<_, QueryError> {
+            gov.fault_point(site::COLLECTION_DOC)
+                .map_err(|_| QueryError::Cancelled)?;
+            tracer.scoped_lazy(
+                || format!("doc:{}", collection.name(id)),
+                &mut out.stats,
+                |stats| -> Result<_, QueryError> {
+                    let r = evaluate_budgeted_traced(
+                        collection.doc(id),
+                        collection.index(id),
+                        query,
+                        strategy,
+                        &per_doc,
+                        tracer,
+                    )?;
+                    *stats += r.stats;
+                    Ok(r)
+                },
+            )
+        }));
+        let r = match attempt {
+            Ok(r) => r?,
+            Err(payload) => {
+                out.docs_failed.push((id, panic_message(payload.as_ref())));
+                continue;
+            }
+        };
         if r.degradation.is_degraded() {
             out.degraded_docs.push((id, r.degradation.clone()));
         }
@@ -431,6 +503,131 @@ mod tests {
             .all(|s| s.children.iter().any(|c| c.stage.starts_with("rung:"))));
         let hist = LatencyHistogram::from_spans(doc_spans.iter().copied());
         assert_eq!(hist.count(), 2);
+    }
+
+    #[test]
+    fn parallel_isolates_injected_panic_to_one_document() {
+        use crate::fault::{FaultAction, FaultPlan};
+        let mut c = Collection::new();
+        for i in 0..6 {
+            c.add(
+                format!("d{i}.xml"),
+                parse_str(&format!("<r><p>alpha item{i}</p><p>beta item{i}</p></r>")).unwrap(),
+            );
+        }
+        let q = Query::new(["alpha", "beta"], FilterExpr::MaxSize(3));
+        let clean = evaluate_collection_parallel(&c, &q, Strategy::PushDown, 3).unwrap();
+        assert!(clean.docs_failed.is_empty());
+
+        // Panic while evaluating the third candidate document: the
+        // process (and the evaluation) must survive with exactly one
+        // failure entry and every other document's exact answers.
+        let inj = FaultPlan::new()
+            .arm(site::COLLECTION_DOC, 2, FaultAction::Panic)
+            .build();
+        let r = evaluate_collection_parallel_with_fault(
+            &c,
+            &q,
+            Strategy::PushDown,
+            3,
+            Some(inj.as_ref()),
+        )
+        .unwrap();
+        assert_eq!(r.docs_failed.len(), 1, "{:?}", r.docs_failed);
+        assert!(r.docs_failed[0].1.contains(crate::fault::PANIC_MARKER));
+        assert_eq!(r.answers.len(), clean.answers.len() - 1);
+        let failed = r.docs_failed[0].0;
+        for a in &r.answers {
+            assert_ne!(a.doc, failed);
+            let exact = clean.answers.iter().find(|b| b.doc == a.doc).unwrap();
+            assert_eq!(a.fragments, exact.fragments);
+        }
+    }
+
+    #[test]
+    fn parallel_with_fault_isolates_even_single_threaded() {
+        use crate::fault::{FaultAction, FaultPlan};
+        let mut c = Collection::new();
+        for i in 0..3 {
+            c.add(
+                format!("d{i}.xml"),
+                parse_str(&format!("<r><p>alpha beta {i}</p></r>")).unwrap(),
+            );
+        }
+        let q = Query::new(["alpha", "beta"], FilterExpr::MaxSize(2));
+        let inj = FaultPlan::new()
+            .arm(site::COLLECTION_DOC, 0, FaultAction::Panic)
+            .build();
+        let r = evaluate_collection_parallel_with_fault(
+            &c,
+            &q,
+            Strategy::PushDown,
+            1,
+            Some(inj.as_ref()),
+        )
+        .unwrap();
+        assert_eq!(r.docs_failed.len(), 1);
+        assert_eq!(r.answers.len(), 2);
+    }
+
+    #[test]
+    fn budgeted_isolates_injected_panic_and_reports_failure() {
+        use crate::fault::{FaultAction, FaultPlan};
+        let c = collection();
+        let q = Query::new(["alpha", "beta"], FilterExpr::MaxSize(3));
+        let clean =
+            evaluate_collection_budgeted(&c, &q, Strategy::PushDown, &ExecPolicy::unlimited())
+                .unwrap();
+        assert_eq!(clean.answers.len(), 2);
+        assert!(!clean.is_degraded());
+
+        let inj = FaultPlan::new()
+            .arm(site::COLLECTION_DOC, 0, FaultAction::Panic)
+            .build();
+        let policy = ExecPolicy::unlimited().with_fault(inj);
+        let r = evaluate_collection_budgeted(&c, &q, Strategy::PushDown, &policy).unwrap();
+        assert_eq!(r.docs_failed.len(), 1);
+        assert!(r.docs_failed[0].1.contains(crate::fault::PANIC_MARKER));
+        assert!(r.is_degraded());
+        // The surviving document answers exactly as in the clean run.
+        assert_eq!(r.answers.len(), 1);
+        let exact = clean
+            .answers
+            .iter()
+            .find(|a| a.doc == r.answers[0].doc)
+            .unwrap();
+        assert_eq!(r.answers[0].fragments, exact.fragments);
+    }
+
+    #[test]
+    fn budgeted_fault_cancel_aborts_like_a_cancel_token() {
+        use crate::fault::{FaultAction, FaultPlan};
+        let c = collection();
+        let q = Query::new(["alpha", "beta"], FilterExpr::MaxSize(3));
+        let inj = FaultPlan::new()
+            .arm(site::COLLECTION_DOC, 1, FaultAction::Cancel)
+            .build();
+        let policy = ExecPolicy::unlimited().with_fault(inj);
+        assert!(matches!(
+            evaluate_collection_budgeted(&c, &q, Strategy::PushDown, &policy),
+            Err(QueryError::Cancelled)
+        ));
+    }
+
+    #[test]
+    fn budgeted_query_eval_fault_panics_are_isolated_per_document() {
+        use crate::fault::{FaultAction, FaultPlan};
+        let c = collection();
+        let q = Query::new(["alpha", "beta"], FilterExpr::MaxSize(3));
+        // The panic fires inside evaluate_budgeted (query:eval site), a
+        // layer below the per-document boundary — still isolated.
+        let inj = FaultPlan::new()
+            .arm(crate::fault::site::QUERY_EVAL, 1, FaultAction::Panic)
+            .build();
+        let policy = ExecPolicy::unlimited().with_fault(inj);
+        let r = evaluate_collection_budgeted(&c, &q, Strategy::PushDown, &policy).unwrap();
+        assert_eq!(r.docs_failed.len(), 1);
+        assert_eq!(r.answers.len(), 1);
     }
 
     #[test]

@@ -23,7 +23,9 @@
 //! * [`budget`] — resource budgets, cooperative cancellation, and the
 //!   graceful-degradation ladder ([`evaluate_budgeted`]);
 //! * [`trace`] — span-based stage tracing under every `*_traced` entry
-//!   point, powering `--profile` and `explain --analyze`.
+//!   point, powering `--profile` and `explain --analyze`;
+//! * [`fault`] — deterministic, seeded fault injection at named sites,
+//!   so panic/delay/cancel/read-error handling is testable on demand.
 //!
 //! ## Example
 //!
@@ -52,6 +54,7 @@
 pub mod budget;
 pub mod collection;
 pub mod cost;
+pub mod fault;
 pub mod filter;
 pub mod fixpoint;
 pub mod fragment;
@@ -75,6 +78,7 @@ pub use collection::{
     DocAnswers,
 };
 pub use cost::{CostEstimate, CostModel};
+pub use fault::{FaultAction, FaultInjector, FaultPlan};
 pub use filter::{select, FilterExpr};
 pub use fixpoint::{
     fixed_point, fixed_point_governed, fixed_point_naive, fixed_point_naive_governed,

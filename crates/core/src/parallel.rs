@@ -128,6 +128,11 @@ pub fn pairwise_join_parallel_traced(
                 .chunks(chunk)
                 .map(|shard| {
                     scope.spawn(move || {
+                        // Fault-injection point: an armed `parallel:worker`
+                        // site can stall or cancel this shard; a panic
+                        // unwinds to the coordinator's join below and
+                        // propagates to the caller's isolation boundary.
+                        gov.fault_point(crate::fault::site::PARALLEL_WORKER)?;
                         let start = timed.then(Instant::now);
                         let mut local_stats = EvalStats::new();
                         let mut out: Vec<Fragment> = Vec::with_capacity(shard.len() * f2.len());

@@ -420,7 +420,12 @@ pub(crate) fn evaluate_operands_budgeted_traced(
         });
     }
 
-    let gov = Governor::new(policy.budget, policy.cancel.clone());
+    let gov = Governor::new(policy.budget, policy.cancel.clone()).with_fault(policy.fault.clone());
+    // Fault-injection point: an armed `query:eval` site can panic, stall,
+    // or cancel this evaluation before any rung runs.
+    if gov.fault_point(crate::fault::site::QUERY_EVAL).is_err() {
+        return Err(QueryError::Cancelled);
+    }
     let mut trips: Vec<(Rung, Breach)> = Vec::new();
     let mut truncated_fragments = 0u64;
 

@@ -446,6 +446,60 @@ impl LatencyHistogram {
         }
     }
 
+    /// Merge another histogram into this one (bucket-wise sum).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+    }
+
+    /// The non-empty buckets as `(upper bound in µs, count)` pairs; the
+    /// open-ended final bucket reports `u64::MAX` as its bound.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let le_us = if i == 0 {
+                    1
+                } else if i == HIST_BUCKETS - 1 {
+                    u64::MAX
+                } else {
+                    1u64 << i
+                };
+                (le_us, n)
+            })
+            .collect()
+    }
+
+    /// JSON object with a fixed schema:
+    /// `{"count","total_ns","max_ns","buckets":[{"le_us","n"},…]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        // invariant (every write! below): fmt::Write for String never
+        // fails.
+        write!(
+            out,
+            "{{\"count\":{},\"total_ns\":{},\"max_ns\":{},\"buckets\":[",
+            self.count,
+            u64::try_from(self.total.as_nanos()).unwrap_or(u64::MAX),
+            u64::try_from(self.max.as_nanos()).unwrap_or(u64::MAX)
+        )
+        .unwrap();
+        for (i, (le_us, n)) in self.nonzero_buckets().into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write!(out, "{{\"le_us\":{le_us},\"n\":{n}}}").unwrap();
+        }
+        out.push_str("]}");
+        out
+    }
+
     /// Pretty-text rendering: one bar per non-empty bucket.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -617,6 +671,32 @@ mod tests {
         ]);
         assert_eq!(from.count(), 2);
         assert!(LatencyHistogram::new().is_empty());
+    }
+
+    #[test]
+    fn histogram_merge_and_json() {
+        let mut a = LatencyHistogram::new();
+        a.record(Duration::from_micros(1));
+        a.record(Duration::from_micros(3));
+        let mut b = LatencyHistogram::new();
+        b.record(Duration::from_micros(3));
+        b.record(Duration::from_millis(5));
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.max(), Duration::from_millis(5));
+        let buckets = a.nonzero_buckets();
+        assert!(
+            buckets.iter().any(|&(le, n)| le == 4 && n == 2),
+            "{buckets:?}"
+        );
+        let json = a.to_json();
+        assert!(json.starts_with("{\"count\":4,"), "{json}");
+        assert!(json.contains("\"buckets\":["), "{json}");
+        assert!(json.contains("\"le_us\":4,\"n\":2"), "{json}");
+        assert_eq!(
+            LatencyHistogram::new().to_json(),
+            "{\"count\":0,\"total_ns\":0,\"max_ns\":0,\"buckets\":[]}"
+        );
     }
 
     #[test]
