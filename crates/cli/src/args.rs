@@ -11,6 +11,7 @@ usage:
   xfrag msearch <dir> <keyword>... [options]     (searches every .xml/.xfrg in dir)
   xfrag explain <file.xml|file.xfrg> <keyword>... [options]
   xfrag compile <in.xml> <out.xfrg>              (pre-parse to binary form)
+  xfrag index <src-dir> <corpus-dir>             (commit a new corpus generation)
   xfrag info <file.xml|file.xfrg>
   xfrag serve <corpus-dir> [serve options]       (TCP query server, see README)
   xfrag request <host:port> <json>               (send one serve request line)
@@ -42,6 +43,15 @@ resource limits (see README \"Resource limits & degradation\"):
                      (default: ladder — answer with a sound subset from
                      the cheapest plan the remaining budget affords)
 
+corpus updates (see README \"Corpus updates & recovery\"):
+  index compiles every .xml in <src-dir> into <corpus-dir> as a new
+  checksummed, manifest-committed generation; writes are atomic (temp +
+  fsync + rename + dir fsync), so a crash at any point leaves the
+  previous generation loadable and byte-identical.
+  --inject SPEC      (compile/index) write-path fault plan; sites
+                     store:write | store:fsync | store:rename, actions
+                     also include abort (kill -9 model) and torn:<bytes>
+
 serve options (see README \"Serving queries over TCP\"):
   --port N           TCP port; 0 picks an ephemeral port (default: 7878)
   --workers N        worker pool size (default: 4)
@@ -49,10 +59,20 @@ serve options (see README \"Serving queries over TCP\"):
                      with a `shed` response (default: 64)
   --timeout-ms N     server-wide per-request deadline, measured from
                      admission (default: none)
+  --watch-ms N       poll the corpus dir every N ms and hot-reload when
+                     a newer committed generation appears (default: off)
   --inject SPEC      deterministic fault plan `site@hit=action,...`
                      (actions: panic | cancel | read-error | delay:<ms>)
   --fault-seed N     derive a fault plan over the runtime sites from a
                      seed (composes with --inject)
+
+request options:
+  --retries N        retry retryable outcomes (shed, timeout,
+                     shutting-down replies; refused/reset connections)
+                     up to N times (default: 0)
+  --backoff-ms N     base of the exponential backoff between retries,
+                     with jitter (default: 100)
+  exit codes: 0 reply received, 1 permanent failure, 3 retries exhausted
 ";
 
 /// A parsed command line.
@@ -68,6 +88,18 @@ pub enum Command {
         input: String,
         /// Destination .xfrg path.
         output: String,
+        /// Write-path fault plan (`--inject`), for crash testing.
+        inject: Option<String>,
+    },
+    /// Compile every `.xml` in a source directory into a corpus
+    /// directory as a new manifest-committed generation.
+    Index {
+        /// Directory of source `.xml` files.
+        src: String,
+        /// Corpus directory receiving the generation.
+        out: String,
+        /// Write-path fault plan (`--inject`), for crash testing.
+        inject: Option<String>,
     },
     /// Print the optimizer trace (Figure 5-style evaluation trees).
     Explain(SearchArgs),
@@ -84,6 +116,10 @@ pub enum Command {
         addr: String,
         /// The raw JSON request line.
         json: String,
+        /// How many times to retry retryable outcomes (`--retries`).
+        retries: u32,
+        /// Base backoff between retries in milliseconds (`--backoff-ms`).
+        backoff_ms: u64,
     },
     /// Run the paper's §4 example on the built-in Figure 1 document.
     Demo,
@@ -144,6 +180,29 @@ fn parse_u32(flag: &str, v: Option<&String>) -> Result<u32, String> {
         .map_err(|_| format!("{flag} needs a non-negative integer, got {v:?}"))
 }
 
+/// Parse the positional paths and optional `--inject` of a write-path
+/// command (`compile` / `index`).
+fn parse_write_cmd(sub: &str, rest: &[String]) -> Result<(Vec<String>, Option<String>), String> {
+    let mut pos = Vec::new();
+    let mut inject = None;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--inject" => {
+                inject = Some(rest.get(i + 1).ok_or("--inject needs a spec")?.clone());
+                i += 1;
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
+            _ => pos.push(rest[i].clone()),
+        }
+        i += 1;
+    }
+    if pos.len() != 2 {
+        return Err(format!("{sub} needs exactly two paths, got {}", pos.len()));
+    }
+    Ok((pos, inject))
+}
+
 /// Parse argv (without the program name).
 pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut it = argv.iter();
@@ -167,27 +226,59 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             }
         }
         "compile" => {
-            let input = it.next().ok_or("compile needs an input file")?.clone();
-            let output = it.next().ok_or("compile needs an output file")?.clone();
-            if let Some(extra) = it.next() {
-                return Err(format!("unexpected argument {extra:?}"));
-            }
-            Ok(Command::Compile { input, output })
+            let rest: Vec<String> = it.cloned().collect();
+            let (mut pos, inject) = parse_write_cmd("compile", &rest)?;
+            let output = pos.pop().unwrap();
+            let input = pos.pop().unwrap();
+            Ok(Command::Compile {
+                input,
+                output,
+                inject,
+            })
+        }
+        "index" => {
+            let rest: Vec<String> = it.cloned().collect();
+            let (mut pos, inject) = parse_write_cmd("index", &rest)?;
+            let out = pos.pop().unwrap();
+            let src = pos.pop().unwrap();
+            Ok(Command::Index { src, out, inject })
         }
         "serve" => {
             let rest: Vec<String> = it.cloned().collect();
             Ok(Command::Serve(parse_serve(&rest)?))
         }
         "request" => {
-            let addr = it.next().ok_or("request needs a host:port")?.clone();
-            let parts: Vec<String> = it.cloned().collect();
-            if parts.is_empty() {
+            let rest: Vec<String> = it.cloned().collect();
+            let mut retries = 0u32;
+            let mut backoff_ms = 100u64;
+            let mut parts = Vec::new();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--retries" => {
+                        retries = parse_u32("--retries", rest.get(i + 1))?;
+                        i += 1;
+                    }
+                    "--backoff-ms" => {
+                        backoff_ms = parse_u32("--backoff-ms", rest.get(i + 1))? as u64;
+                        i += 1;
+                    }
+                    _ => parts.push(rest[i].clone()),
+                }
+                i += 1;
+            }
+            let mut parts = parts.into_iter();
+            let addr = parts.next().ok_or("request needs a host:port")?;
+            // Join so unquoted JSON split by the shell still works.
+            let json: Vec<String> = parts.collect();
+            if json.is_empty() {
                 return Err("request needs a JSON request line".into());
             }
-            // Join so unquoted JSON split by the shell still works.
             Ok(Command::Request {
                 addr,
-                json: parts.join(" "),
+                json: json.join(" "),
+                retries,
+                backoff_ms,
             })
         }
         other => Err(format!("unknown subcommand {other:?}")),
@@ -319,6 +410,10 @@ fn parse_serve(rest: &[String]) -> Result<ServeArgs, String> {
             }
             "--timeout-ms" => {
                 args.timeout_ms = Some(parse_u32("--timeout-ms", rest.get(i + 1))? as u64);
+                i += 1;
+            }
+            "--watch-ms" => {
+                args.watch_ms = Some(parse_u32("--watch-ms", rest.get(i + 1))? as u64);
                 i += 1;
             }
             "--inject" => {
@@ -492,6 +587,7 @@ mod tests {
                 assert_eq!(a.workers, 4);
                 assert_eq!(a.queue_depth, 64);
                 assert_eq!(a.timeout_ms, None);
+                assert_eq!(a.watch_ms, None);
                 assert_eq!(a.inject, None);
                 assert_eq!(a.fault_seed, None);
             }
@@ -499,7 +595,7 @@ mod tests {
         }
         match parse(&argv(
             "serve corpus --port 0 --workers 2 --queue-depth 8 --timeout-ms 250 \
-             --inject serve:worker@1=panic --fault-seed 42",
+             --watch-ms 500 --inject serve:worker@1=panic --fault-seed 42",
         ))
         .unwrap()
         {
@@ -508,6 +604,7 @@ mod tests {
                 assert_eq!(a.workers, 2);
                 assert_eq!(a.queue_depth, 8);
                 assert_eq!(a.timeout_ms, Some(250));
+                assert_eq!(a.watch_ms, Some(500));
                 assert_eq!(a.inject.as_deref(), Some("serve:worker@1=panic"));
                 assert_eq!(a.fault_seed, Some(42));
             }
@@ -523,9 +620,16 @@ mod tests {
     #[test]
     fn parse_request_joins_json_words() {
         match parse(&argv("request 127.0.0.1:7878 {\"kind\":\"health\"}")).unwrap() {
-            Command::Request { addr, json } => {
+            Command::Request {
+                addr,
+                json,
+                retries,
+                backoff_ms,
+            } => {
                 assert_eq!(addr, "127.0.0.1:7878");
                 assert_eq!(json, "{\"kind\":\"health\"}");
+                assert_eq!(retries, 0);
+                assert_eq!(backoff_ms, 100);
             }
             _ => unreachable!(),
         }
@@ -536,6 +640,66 @@ mod tests {
         }
         assert!(parse(&argv("request")).is_err());
         assert!(parse(&argv("request h:1")).is_err());
+    }
+
+    #[test]
+    fn parse_request_retry_flags() {
+        // Flags may appear anywhere, including after the JSON words.
+        match parse(&argv(
+            "request h:1 --retries 3 {\"kind\":\"health\"} --backoff-ms 50",
+        ))
+        .unwrap()
+        {
+            Command::Request {
+                json,
+                retries,
+                backoff_ms,
+                ..
+            } => {
+                assert_eq!(json, "{\"kind\":\"health\"}");
+                assert_eq!(retries, 3);
+                assert_eq!(backoff_ms, 50);
+            }
+            _ => unreachable!(),
+        }
+        assert!(parse(&argv("request h:1 {} --retries")).is_err());
+        assert!(parse(&argv("request h:1 {} --retries x")).is_err());
+    }
+
+    #[test]
+    fn parse_compile_and_index() {
+        assert_eq!(
+            parse(&argv("compile in.xml out.xfrg")).unwrap(),
+            Command::Compile {
+                input: "in.xml".into(),
+                output: "out.xfrg".into(),
+                inject: None,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "compile in.xml out.xfrg --inject store:write@1=abort"
+            ))
+            .unwrap(),
+            Command::Compile {
+                input: "in.xml".into(),
+                output: "out.xfrg".into(),
+                inject: Some("store:write@1=abort".into()),
+            }
+        );
+        assert_eq!(
+            parse(&argv("index src corpus --inject store:rename@1=panic")).unwrap(),
+            Command::Index {
+                src: "src".into(),
+                out: "corpus".into(),
+                inject: Some("store:rename@1=panic".into()),
+            }
+        );
+        assert!(parse(&argv("compile in.xml")).is_err());
+        assert!(parse(&argv("compile a b c")).is_err());
+        assert!(parse(&argv("index src")).is_err());
+        assert!(parse(&argv("index src corpus --inject")).is_err());
+        assert!(parse(&argv("index src corpus --frobnicate")).is_err());
     }
 
     #[test]

@@ -3,6 +3,8 @@
 
 use crate::args::{Command, ProfileMode, SearchArgs};
 use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::Arc;
 use xfrag_core::collection::{
     evaluate_collection_budgeted_traced, top_k_collection, CollectionResult,
 };
@@ -17,6 +19,9 @@ use xfrag_core::{
     evaluate_budgeted_traced, overlap, EvalStats, ExecPolicy, Governor, LogicalPlan, Optimizer,
     Query,
 };
+use xfrag_core::{FaultInjector, FaultPlan};
+use xfrag_doc::atomic::{write_atomic, WriteFault, WriteFaultHook};
+use xfrag_doc::manifest;
 use xfrag_doc::serialize::{fragment_to_xml, WriteOptions};
 use xfrag_doc::{parse_str, store, Collection, Document, InvertedIndex};
 
@@ -32,6 +37,11 @@ pub enum CliError {
     Store(store::StoreError),
     /// Query evaluation failed.
     Query(String),
+    /// `xfrag request` exhausted its retry budget on retryable outcomes
+    /// (shed/timeout replies, refused connections). Distinguished from
+    /// permanent failures by exit code 3 so scripts can tell "try again
+    /// later" from "this will never work".
+    RetriesExhausted(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -41,6 +51,7 @@ impl std::fmt::Display for CliError {
             CliError::Parse(e) => write!(f, "{e}"),
             CliError::Store(e) => write!(f, "{e}"),
             CliError::Query(e) => write!(f, "{e}"),
+            CliError::RetriesExhausted(e) => write!(f, "retries exhausted: {e}"),
         }
     }
 }
@@ -58,16 +69,23 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             let coll = load_dir(&a.file)?;
             multi_search(&coll, &a)
         }
-        Command::Compile { input, output } => {
+        Command::Compile {
+            input,
+            output,
+            inject,
+        } => {
             let doc = load(&input)?;
             let bytes = store::encode(&doc);
-            std::fs::write(&output, &bytes).map_err(|e| CliError::Io(output.clone(), e))?;
+            let hook = write_hook(inject.as_deref())?;
+            write_atomic(Path::new(&output), &bytes, hook_ref(&hook))
+                .map_err(|e| CliError::Io(output.clone(), e))?;
             Ok(format!(
                 "compiled {input} ({} nodes) -> {output} ({} bytes)\n",
                 doc.len(),
                 bytes.len()
             ))
         }
+        Command::Index { src, out, inject } => index_corpus(&src, &out, inject.as_deref()),
         Command::Explain(a) => {
             let doc = load(&a.file)?;
             explain(&doc, &a)
@@ -77,9 +95,110 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             Ok(info(&doc))
         }
         Command::Serve(a) => crate::serve::serve(&a),
-        Command::Request { addr, json } => crate::serve::request(&addr, &json),
+        Command::Request {
+            addr,
+            json,
+            retries,
+            backoff_ms,
+        } => crate::serve::request_with_retry(&addr, &json, retries, backoff_ms),
         Command::Demo => Ok(demo()),
     }
+}
+
+/// Adapts the CLI's [`FaultInjector`] onto the `doc` crate's minimal
+/// write-path hook. A newtype because the orphan rule forbids
+/// implementing `doc`'s trait on `core`'s foreign type directly; it also
+/// keeps `doc` free of any dependency on the fault machinery.
+struct InjectorWriteHook(Arc<FaultInjector>);
+
+impl WriteFaultHook for InjectorWriteHook {
+    fn check(&self, at: &str) -> Option<WriteFault> {
+        use xfrag_core::fault::{FaultAction, PANIC_MARKER};
+        match self.0.check(at)? {
+            FaultAction::Panic => panic!("{PANIC_MARKER}: injected panic at {at}"),
+            FaultAction::Abort => std::process::abort(),
+            FaultAction::Delay(d) => {
+                std::thread::sleep(d);
+                None
+            }
+            FaultAction::Cancel | FaultAction::ReadError => Some(WriteFault::Error),
+            FaultAction::Torn(n) => Some(WriteFault::Torn(n)),
+        }
+    }
+}
+
+/// Build the write-path fault hook from a `--inject` spec.
+fn write_hook(spec: Option<&str>) -> Result<Option<InjectorWriteHook>, CliError> {
+    match spec {
+        None => Ok(None),
+        Some(s) => {
+            let plan = FaultPlan::parse(s).map_err(CliError::Query)?;
+            Ok(Some(InjectorWriteHook(plan.build())))
+        }
+    }
+}
+
+/// The trait-object view `write_atomic` wants.
+fn hook_ref(hook: &Option<InjectorWriteHook>) -> Option<&dyn WriteFaultHook> {
+    hook.as_ref().map(|h| h as &dyn WriteFaultHook)
+}
+
+/// `xfrag index <src-dir> <corpus-dir>`: compile every `.xml` in the
+/// source directory into the corpus directory as one new
+/// manifest-committed generation. Ordering is the crash-safety story:
+/// every data file is written atomically under its generation-unique
+/// name first, and the manifest — the commit point — last, so a crash
+/// anywhere leaves the previous generation untouched and loadable.
+/// Generations older than the previous one are pruned after the commit.
+fn index_corpus(src: &str, out: &str, inject: Option<&str>) -> Result<String, CliError> {
+    let hook = write_hook(inject)?;
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(src)
+        .map_err(|e| CliError::Io(src.to_string(), e))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("xml"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(CliError::Query(format!("no .xml files in {src}")));
+    }
+    std::fs::create_dir_all(out).map_err(|e| CliError::Io(out.to_string(), e))?;
+    let outp = Path::new(out);
+    let generation =
+        manifest::latest_generation_number(outp).map_err(|e| CliError::Io(out.to_string(), e))? + 1;
+    let mut files = Vec::new();
+    for p in &paths {
+        let doc = load(&p.to_string_lossy())?;
+        let stem = p
+            .file_stem()
+            .unwrap_or_default()
+            .to_string_lossy()
+            .into_owned();
+        let name = manifest::generation_file_name(&stem, generation);
+        let bytes = store::encode(&doc);
+        write_atomic(&outp.join(&name), &bytes, hook_ref(&hook))
+            .map_err(|e| CliError::Io(name.clone(), e))?;
+        files.push(manifest::ManifestEntry {
+            name,
+            len: bytes.len() as u64,
+            checksum: manifest::checksum(&bytes),
+        });
+    }
+    let m = manifest::Manifest { generation, files };
+    manifest::write_manifest(outp, &m, hook_ref(&hook))
+        .map_err(|e| CliError::Io(out.to_string(), e))?;
+    // Keep the current and previous generations (the previous is the
+    // rollback target); everything older is garbage.
+    let pruned = if generation >= 2 {
+        manifest::prune_generations(outp, generation - 1)
+            .map_err(|e| CliError::Io(out.to_string(), e))?
+    } else {
+        Vec::new()
+    };
+    Ok(format!(
+        "committed generation {generation}: {} document(s) -> {out} ({} old file(s) pruned)\n",
+        paths.len(),
+        pruned.len()
+    ))
 }
 
 pub(crate) fn load(path: &str) -> Result<Document, CliError> {
@@ -652,6 +771,7 @@ mod multi_tests {
         let out = run(Command::Compile {
             input: xml.to_string_lossy().into_owned(),
             output: bin.to_string_lossy().into_owned(),
+            inject: None,
         })
         .unwrap();
         assert!(out.contains("compiled"), "{out}");
@@ -659,6 +779,87 @@ mod multi_tests {
         let d_xml = load(&xml.to_string_lossy()).unwrap();
         let d_bin = load(&bin.to_string_lossy()).unwrap();
         assert_eq!(d_xml, d_bin);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compile_write_fault_leaves_existing_output_byte_identical() {
+        // Satellite (a): with a fault injected anywhere on the write
+        // path, a pre-existing destination file survives unchanged —
+        // the failure happens on the temp file, never in place.
+        let dir = std::env::temp_dir().join(format!("xfrag-atomic-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let xml = dir.join("d.xml");
+        let bin = dir.join("d.xfrg");
+        std::fs::write(&xml, "<d><p>xml search</p></d>").unwrap();
+        let original = b"pre-existing bytes that must survive".to_vec();
+        for spec in [
+            "store:write@0=read-error",
+            "store:fsync@0=read-error",
+            "store:rename@0=cancel",
+            "store:write@0=torn:4",
+        ] {
+            std::fs::write(&bin, &original).unwrap();
+            let err = run(Command::Compile {
+                input: xml.to_string_lossy().into_owned(),
+                output: bin.to_string_lossy().into_owned(),
+                inject: Some(spec.into()),
+            })
+            .unwrap_err();
+            assert!(matches!(err, CliError::Io(..)), "{spec}: {err}");
+            assert_eq!(
+                std::fs::read(&bin).unwrap(),
+                original,
+                "{spec}: destination modified"
+            );
+        }
+        // Without a fault the same compile replaces the file.
+        run(Command::Compile {
+            input: xml.to_string_lossy().into_owned(),
+            output: bin.to_string_lossy().into_owned(),
+            inject: None,
+        })
+        .unwrap();
+        assert_ne!(std::fs::read(&bin).unwrap(), original);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn index_commits_generations_and_prunes_old_ones() {
+        let dir = std::env::temp_dir().join(format!("xfrag-index-{}", std::process::id()));
+        let src = dir.join("src");
+        let out = dir.join("corpus");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(src.join("a.xml"), "<a><p>xml search</p></a>").unwrap();
+        std::fs::write(src.join("b.xml"), "<b><p>xml ranking</p></b>").unwrap();
+        let outs = out.to_string_lossy().into_owned();
+        let srcs = src.to_string_lossy().into_owned();
+
+        let msg = index_corpus(&srcs, &outs, None).unwrap();
+        assert!(
+            msg.contains("committed generation 1: 2 document(s)"),
+            "{msg}"
+        );
+        assert!(out.join("a.g000001.xfrg").exists());
+        assert!(out.join("manifest-000001.xfm").exists());
+
+        let msg = index_corpus(&srcs, &outs, None).unwrap();
+        assert!(msg.contains("committed generation 2"), "{msg}");
+        // Generation 1 is kept as the rollback target...
+        assert!(out.join("manifest-000001.xfm").exists());
+        let msg = index_corpus(&srcs, &outs, None).unwrap();
+        assert!(msg.contains("committed generation 3"), "{msg}");
+        // ...but after generation 3 commits, generation 1 is pruned.
+        assert!(!out.join("manifest-000001.xfm").exists());
+        assert!(!out.join("a.g000001.xfrg").exists());
+        assert!(out.join("manifest-000002.xfm").exists());
+
+        // A failed index attempt leaves the committed generation intact.
+        let before = std::fs::read(out.join("a.g000003.xfrg")).unwrap();
+        let err = index_corpus(&srcs, &outs, Some("store:rename@0=cancel")).unwrap_err();
+        assert!(matches!(err, CliError::Io(..)), "{err}");
+        assert_eq!(std::fs::read(out.join("a.g000003.xfrg")).unwrap(), before);
+        assert!(!out.join("manifest-000004.xfm").exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -31,6 +31,12 @@ fn main() -> ExitCode {
                 let _ = out.flush();
                 ExitCode::SUCCESS
             }
+            Err(e @ commands::CliError::RetriesExhausted(_)) => {
+                eprintln!("error: {e}");
+                // Distinct from permanent failures (1): the caller may
+                // reasonably try again later.
+                ExitCode::from(3)
+            }
             Err(e) => {
                 eprintln!("error: {e}");
                 ExitCode::FAILURE

@@ -22,6 +22,9 @@ pub enum RequestKind {
     Health,
     /// Cumulative serve counters, summed [`EvalStats`], latency histogram.
     Stats,
+    /// Load the next corpus generation and swap it in without dropping
+    /// in-flight requests; a failed load keeps the serving generation.
+    Reload,
     /// Begin graceful drain: stop admitting, finish queued work, exit.
     Shutdown,
 }
@@ -145,10 +148,11 @@ impl<'de> Deserialize<'de> for Request {
                 "query" => RequestKind::Query,
                 "health" => RequestKind::Health,
                 "stats" => RequestKind::Stats,
+                "reload" => RequestKind::Reload,
                 "shutdown" => RequestKind::Shutdown,
                 other => {
                     return Err(D::Error::custom(format!(
-                        "unknown kind {other:?} (expected query|health|stats|shutdown)"
+                        "unknown kind {other:?} (expected query|health|stats|reload|shutdown)"
                     )))
                 }
             },
@@ -279,6 +283,13 @@ mod tests {
         assert_eq!(r.budget().max_joins, Some(1000));
         assert_eq!(r.degrade().unwrap(), DegradeMode::Off);
         assert_eq!(r.top_k, Some(5));
+    }
+
+    #[test]
+    fn reload_request_decodes() {
+        let r: Request = serde_json::from_str(r#"{"kind":"reload","id":5}"#).unwrap();
+        assert_eq!(r.kind, RequestKind::Reload);
+        assert_eq!(r.id, 5);
     }
 
     #[test]

@@ -25,7 +25,8 @@ use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use xfrag_core::collection::{
@@ -38,6 +39,7 @@ use xfrag_core::trace::{LatencyHistogram, Tracer};
 use xfrag_core::{
     Breach, Budget, CancelToken, EvalStats, ExecPolicy, FaultInjector, FaultPlan, Query, QueryError,
 };
+use xfrag_doc::manifest;
 use xfrag_doc::{Collection, Document};
 
 /// Parsed `xfrag serve` arguments.
@@ -53,6 +55,8 @@ pub struct ServeArgs {
     pub queue_depth: usize,
     /// Server-wide per-request deadline (clamps request deadlines).
     pub timeout_ms: Option<u64>,
+    /// Poll the corpus dir every N ms and hot-reload newer generations.
+    pub watch_ms: Option<u64>,
     /// Fault-injection spec `site@hit=action,...` (see `core::fault`).
     pub inject: Option<String>,
     /// Seed for a generated fault plan over the runtime sites.
@@ -68,6 +72,7 @@ impl ServeArgs {
             workers: 4,
             queue_depth: 64,
             timeout_ms: None,
+            watch_ms: None,
             inject: None,
             fault_seed: None,
         }
@@ -173,10 +178,34 @@ struct Inner {
     conns: usize,
 }
 
+/// One immutable corpus snapshot. Requests grab an `Arc<Generation>` at
+/// admission and keep answering from it even if a reload swaps the
+/// shared pointer mid-evaluation — that is the whole zero-downtime
+/// story: readers never block writers and vice versa.
+pub(crate) struct Generation {
+    /// The loaded corpus.
+    coll: Collection,
+    /// Files that failed to load, with reasons.
+    quarantined: Vec<(String, String)>,
+    /// Manifest generation number; 0 for an unversioned (legacy) corpus.
+    number: u64,
+    /// Rollback messages from [`manifest::load_generation`]: newer
+    /// generations that existed on disk but failed verification.
+    rollbacks: Vec<String>,
+}
+
 /// Everything the accept loop, handlers, and workers share.
 struct Shared {
-    coll: Collection,
-    quarantined: Vec<(String, String)>,
+    /// Corpus directory, re-scanned on `reload`.
+    dir: String,
+    /// Current serving snapshot; swapped atomically by a successful
+    /// reload. Lock held only to clone or replace the `Arc`.
+    gen: Mutex<Arc<Generation>>,
+    /// Serializes reload attempts so two concurrent `reload` requests
+    /// cannot interleave their load/validate/swap sequences.
+    reload_lock: Mutex<()>,
+    reloads_ok: AtomicU64,
+    reloads_failed: AtomicU64,
     queue_depth: usize,
     timeout_ms: Option<u64>,
     fault: Option<Arc<FaultInjector>>,
@@ -194,6 +223,11 @@ impl Shared {
     fn bump(&self, status: &str) {
         self.stats.lock().unwrap().bump(status);
     }
+
+    /// The current corpus snapshot. Cheap: one mutex-guarded Arc clone.
+    fn snapshot(&self) -> Arc<Generation> {
+        Arc::clone(&self.gen.lock().unwrap())
+    }
 }
 
 /// Run the server until a `shutdown` request drains it. Prints
@@ -201,15 +235,18 @@ impl Shared {
 /// key off that line, notably with `--port 0`).
 pub fn serve(args: &ServeArgs) -> Result<String, CliError> {
     let fault = args.injector()?;
-    let (coll, quarantined) = load_corpus(&args.dir, fault.as_ref())?;
-    for (name, why) in &quarantined {
+    let generation = load_corpus(&args.dir, fault.as_ref())?;
+    for r in &generation.rollbacks {
+        eprintln!("warning: {r}");
+    }
+    for (name, why) in &generation.quarantined {
         eprintln!("warning: quarantined {name}: {why}");
     }
-    if coll.is_empty() {
+    if generation.coll.is_empty() {
         return Err(CliError::Query(format!(
             "no loadable documents in {} ({} quarantined)",
             args.dir,
-            quarantined.len()
+            generation.quarantined.len()
         )));
     }
     let listener = TcpListener::bind(("127.0.0.1", args.port))
@@ -226,8 +263,11 @@ pub fn serve(args: &ServeArgs) -> Result<String, CliError> {
 
     let workers = args.workers.max(1);
     let shared = Arc::new(Shared {
-        coll,
-        quarantined,
+        dir: args.dir.clone(),
+        gen: Mutex::new(Arc::new(generation)),
+        reload_lock: Mutex::new(()),
+        reloads_ok: AtomicU64::new(0),
+        reloads_failed: AtomicU64::new(0),
         queue_depth: args.queue_depth.max(1),
         timeout_ms: args.timeout_ms,
         fault,
@@ -246,6 +286,27 @@ pub fn serve(args: &ServeArgs) -> Result<String, CliError> {
     for _ in 0..workers {
         let s = Arc::clone(&shared);
         std::thread::spawn(move || worker_loop(s));
+    }
+    if let Some(ms) = args.watch_ms {
+        let s = Arc::clone(&shared);
+        let period = Duration::from_millis(ms.max(1));
+        std::thread::spawn(move || {
+            while !s.shutdown.load(Ordering::SeqCst) {
+                std::thread::sleep(period);
+                // Only attempt a swap when a strictly newer generation
+                // *claims* commitment (its manifest exists); data-file
+                // remnants of an in-progress index are not a signal, and
+                // a failed probe is not a failed reload.
+                let current = s.snapshot().number;
+                let newest = manifest::latest_manifest_number(Path::new(&s.dir)).unwrap_or(current);
+                if newest > current {
+                    match try_reload(&s) {
+                        Ok(gen) => eprintln!("watch: reloaded generation {}", gen.number),
+                        Err(why) => eprintln!("warning: watch reload failed: {why}"),
+                    }
+                }
+            }
+        });
     }
 
     loop {
@@ -285,6 +346,7 @@ pub fn serve(args: &ServeArgs) -> Result<String, CliError> {
     }
     let st = shared.stats.lock().unwrap();
     let g = shared.inner.lock().unwrap();
+    let quarantined = shared.snapshot().quarantined.len();
     Ok(format!(
         "drained: {} request(s) ({} ok, {} degraded, {} shed, {} timeout, {} error), \
          {} worker panic(s), {} file(s) quarantined, {} in flight\n",
@@ -295,44 +357,89 @@ pub fn serve(args: &ServeArgs) -> Result<String, CliError> {
         st.timeout,
         st.error,
         st.worker_panics,
-        shared.quarantined.len(),
+        quarantined,
         g.in_flight
     ))
 }
 
-/// Load every `.xml`/`.xfrg` in `dir` (sorted), quarantining files that
-/// fail to read, decode, or parse — including injected `serve:load`
-/// read errors and even a panicking loader — instead of refusing to
-/// start.
-fn load_corpus(
-    dir: &str,
-    fault: Option<&Arc<FaultInjector>>,
-) -> Result<(Collection, Vec<(String, String)>), CliError> {
-    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
-        .map_err(|e| CliError::Io(dir.to_string(), e))?
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .filter(|p| {
-            p.extension()
-                .and_then(|e| e.to_str())
-                .is_some_and(|e| e == "xml" || e == "xfrg")
-        })
-        .collect();
-    paths.sort();
+/// Load the corpus in `dir` as a [`Generation`].
+///
+/// A manifest-committed corpus loads exactly the newest fully-verified
+/// generation's files ([`manifest::load_generation`] handles rollback);
+/// a legacy directory (no manifests) scans every `.xml`/`.xfrg` as
+/// before. Either way, files that fail to read, decode, or parse —
+/// including injected `serve:load` read errors and even a panicking
+/// loader — are quarantined instead of refusing to start. Only a
+/// directory where manifests exist but *none* verifies is a hard error:
+/// anything served from it would be a partial generation.
+fn load_corpus(dir: &str, fault: Option<&Arc<FaultInjector>>) -> Result<Generation, CliError> {
+    let dirp = Path::new(dir);
+    let (files, number, rollbacks): (Vec<(std::path::PathBuf, String)>, u64, Vec<String>) =
+        match manifest::load_generation(dirp).map_err(|e| CliError::Io(dir.to_string(), e))? {
+            manifest::GenerationLoad::Unversioned => {
+                // Legacy corpus: scan the directory. Generation-named
+                // files and temp remnants are skipped — without a
+                // manifest nothing vouches for them.
+                let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+                    .map_err(|e| CliError::Io(dir.to_string(), e))?
+                    .filter_map(|e| e.ok().map(|e| e.path()))
+                    .filter(|p| {
+                        p.extension()
+                            .and_then(|e| e.to_str())
+                            .is_some_and(|e| e == "xml" || e == "xfrg")
+                    })
+                    .collect();
+                paths.sort();
+                let files = paths
+                    .into_iter()
+                    .filter_map(|p| {
+                        let name = p.file_name()?.to_string_lossy().into_owned();
+                        if manifest::split_generation_file(&name).is_some()
+                            || xfrag_doc::atomic::is_temp_remnant(&name)
+                        {
+                            return None;
+                        }
+                        Some((p, name))
+                    })
+                    .collect();
+                (files, 0, Vec::new())
+            }
+            manifest::GenerationLoad::Committed {
+                manifest: m,
+                rollbacks,
+            } => {
+                let mut files: Vec<(std::path::PathBuf, String)> = m
+                    .files
+                    .iter()
+                    .map(|e| {
+                        // Display names drop the `.g<gen>` infix so a
+                        // document keeps its identity across reloads.
+                        let display = manifest::split_generation_file(&e.name)
+                            .map(|(logical, _)| logical)
+                            .unwrap_or_else(|| e.name.clone());
+                        (dirp.join(&e.name), display)
+                    })
+                    .collect();
+                files.sort_by(|a, b| a.1.cmp(&b.1));
+                (files, m.generation, rollbacks)
+            }
+            manifest::GenerationLoad::NoneCommitted { rollbacks } => {
+                return Err(CliError::Query(format!(
+                    "no fully-committed generation in {dir}: {}",
+                    rollbacks.join("; ")
+                )));
+            }
+        };
     let mut coll = Collection::new();
     let mut quarantined = Vec::new();
-    for p in paths {
-        let name = p
-            .file_name()
-            .unwrap_or_default()
-            .to_string_lossy()
-            .into_owned();
+    for (path, name) in files {
         let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<Document, CliError> {
             if let Some(inj) = fault {
                 inj.fire(site::SERVE_LOAD).map_err(|_| {
                     CliError::Io(name.clone(), std::io::Error::other("injected read error"))
                 })?;
             }
-            crate::commands::load(&p.to_string_lossy())
+            crate::commands::load(&path.to_string_lossy())
         }));
         match attempt {
             Ok(Ok(doc)) => {
@@ -345,7 +452,60 @@ fn load_corpus(
             )),
         }
     }
-    Ok((coll, quarantined))
+    Ok(Generation {
+        coll,
+        quarantined,
+        number,
+        rollbacks,
+    })
+}
+
+/// Build the next generation off the serving path and swap it in.
+/// Runs on the calling connection-handler thread — never on a worker —
+/// so the pool keeps answering queries from the old snapshot throughout.
+/// On any failure the serving generation is untouched and
+/// `reloads_failed` is bumped; the error is also logged to stderr.
+fn try_reload(s: &Arc<Shared>) -> Result<Arc<Generation>, String> {
+    let _serialize = s.reload_lock.lock().unwrap();
+    let current = s.snapshot();
+    let fail = |why: String| -> Result<Arc<Generation>, String> {
+        s.reloads_failed.fetch_add(1, Ordering::SeqCst);
+        eprintln!(
+            "warning: reload failed, still serving generation {}: {why}",
+            current.number
+        );
+        Err(why)
+    };
+    let next = match load_corpus(&s.dir, s.fault.as_ref()) {
+        Ok(g) => g,
+        Err(e) => return fail(e.to_string()),
+    };
+    if next.coll.is_empty() {
+        return fail(format!(
+            "no loadable documents in {} ({} quarantined)",
+            s.dir,
+            next.quarantined.len()
+        ));
+    }
+    if next.number < current.number {
+        return fail(format!(
+            "newest committed generation is {} but generation {} is already serving",
+            next.number, current.number
+        ));
+    }
+    if next.number == current.number && !next.rollbacks.is_empty() {
+        // A newer generation exists on disk but failed verification:
+        // re-loading what we already serve is not the reload that was
+        // asked for.
+        return fail(next.rollbacks.join("; "));
+    }
+    for r in &next.rollbacks {
+        eprintln!("warning: {r}");
+    }
+    let next = Arc::new(next);
+    *s.gen.lock().unwrap() = Arc::clone(&next);
+    s.reloads_ok.fetch_add(1, Ordering::SeqCst);
+    Ok(next)
 }
 
 /// How often an idle connection's blocked read wakes up to check the
@@ -424,6 +584,28 @@ fn handle_conn(s: Arc<Shared>, stream: TcpStream) {
                     s.bump(status::OK);
                     stats_line(&s, req.id)
                 }
+                RequestKind::Reload => {
+                    // Handled here on the connection thread, not a
+                    // worker: a slow rebuild must never occupy a pool
+                    // slot that queries are waiting on.
+                    match try_reload(&s) {
+                        Ok(gen) => {
+                            s.bump(status::OK);
+                            let mut r = Response::bare(req.id, status::OK);
+                            r.note = Some(format!(
+                                "serving generation {} ({} doc(s), {} quarantined)",
+                                gen.number,
+                                gen.coll.len(),
+                                gen.quarantined.len()
+                            ));
+                            r.to_line()
+                        }
+                        Err(why) => {
+                            s.bump(status::ERROR);
+                            Response::error(req.id, format!("reload failed: {why}")).to_line()
+                        }
+                    }
+                }
                 RequestKind::Shutdown => begin_shutdown(&s, req.id),
                 RequestKind::Query => {
                     let id = req.id;
@@ -501,24 +683,46 @@ fn begin_shutdown(s: &Arc<Shared>, id: u64) -> String {
 }
 
 fn health_line(s: &Shared, id: u64) -> String {
+    let gen = s.snapshot();
     let g = s.inner.lock().unwrap();
-    let quarantined: Vec<&str> = s.quarantined.iter().map(|(n, _)| n.as_str()).collect();
+    let quarantined: Vec<&str> = gen.quarantined.iter().map(|(n, _)| n.as_str()).collect();
     format!(
-        "{{\"id\":{},\"status\":\"ok\",\"workers\":{},\"queued\":{},\"in_flight\":{},\"docs\":{},\"quarantined\":{}}}",
+        "{{\"id\":{},\"status\":\"ok\",\"workers\":{},\"queued\":{},\"in_flight\":{},\"docs\":{},\"generation\":{},\"quarantined\":{}}}",
         id,
         g.workers_alive,
         g.queue.len(),
         g.in_flight,
-        s.coll.len(),
+        gen.coll.len(),
+        gen.number,
         serde_json::to_string(&quarantined).expect("names serialize"),
     )
 }
 
 fn stats_line(s: &Shared, id: u64) -> String {
+    let gen = s.snapshot();
+    // Quarantine detail (file + reason) so operators can see *why* a
+    // document is missing from the serving set, not just that it is.
+    let quarantined: Vec<String> = gen
+        .quarantined
+        .iter()
+        .map(|(file, reason)| {
+            format!(
+                "{{\"file\":{},\"reason\":{}}}",
+                serde_json::to_string(file).expect("name serializes"),
+                serde_json::to_string(reason.lines().next().unwrap_or(""))
+                    .expect("reason serializes"),
+            )
+        })
+        .collect();
+    let quarantined = format!("[{}]", quarantined.join(","));
     let st = s.stats.lock().unwrap();
     format!(
-        "{{\"id\":{},\"status\":\"ok\",\"serve\":{{\"total\":{},\"ok\":{},\"degraded\":{},\"shed\":{},\"timeout\":{},\"error\":{},\"shutting_down\":{},\"invalid\":{},\"worker_panics\":{}}},\"eval\":{},\"latency\":{}}}",
+        "{{\"id\":{},\"status\":\"ok\",\"generation\":{},\"reloads\":{{\"ok\":{},\"failed\":{}}},\"quarantined\":{},\"serve\":{{\"total\":{},\"ok\":{},\"degraded\":{},\"shed\":{},\"timeout\":{},\"error\":{},\"shutting_down\":{},\"invalid\":{},\"worker_panics\":{}}},\"eval\":{},\"latency\":{}}}",
         id,
+        gen.number,
+        s.reloads_ok.load(Ordering::SeqCst),
+        s.reloads_failed.load(Ordering::SeqCst),
+        quarantined,
         st.total,
         st.ok,
         st.degraded,
@@ -610,6 +814,11 @@ fn finish(s: &Shared, job: &Job, resp: Response, start: Instant) {
 /// `catch_unwind`, so a panic anywhere below is isolated per request.
 fn handle_query(s: &Shared, job: &Job) -> Response {
     let req = &job.req;
+    // Pin the corpus snapshot for the whole evaluation: a reload that
+    // lands mid-query swaps the shared pointer, but this request keeps
+    // its `Arc` and finishes on the generation it started with.
+    let gen = s.snapshot();
+    let coll = &gen.coll;
     // Fault-injection point for the worker itself: `panic` unwinds into
     // the worker's catch_unwind, `delay:<ms>` stalls, `cancel`
     // short-circuits here. Fired before the deadline is measured so an
@@ -679,7 +888,7 @@ fn handle_query(s: &Shared, job: &Job) -> Response {
         })
     });
     let result =
-        evaluate_collection_budgeted_traced(&s.coll, &q, strategy, &policy, &Tracer::disabled());
+        evaluate_collection_budgeted_traced(coll, &q, strategy, &policy, &Tracer::disabled());
     done.store(true, Ordering::SeqCst);
     if let Some(w) = &watchdog {
         w.thread().unpark(); // let it exit promptly; no need to join
@@ -693,7 +902,7 @@ fn handle_query(s: &Shared, job: &Job) -> Response {
                 stats: r.stats,
             };
             let k = req.top_k.unwrap_or(10);
-            let top = top_k_collection(&s.coll, &ranked, &q, &RankConfig::default(), k);
+            let top = top_k_collection(coll, &ranked, &q, &RankConfig::default(), k);
             let mut resp = Response::bare(
                 req.id,
                 if r.is_degraded() {
@@ -705,10 +914,10 @@ fn handle_query(s: &Shared, job: &Job) -> Response {
             resp.answers = top
                 .iter()
                 .map(|(doc_id, f, score)| Answer {
-                    doc: s.coll.name(*doc_id).to_string(),
+                    doc: coll.name(*doc_id).to_string(),
                     score: *score,
                     nodes: f.nodes().iter().map(|n| n.0).collect(),
-                    snippet: snippet(s.coll.doc(*doc_id), f, &q.terms, &SnippetConfig::default()),
+                    snippet: snippet(coll.doc(*doc_id), f, &q.terms, &SnippetConfig::default()),
                 })
                 .collect();
             if r.is_degraded() {
@@ -721,14 +930,14 @@ fn handle_query(s: &Shared, job: &Job) -> Response {
                 for (doc_id, d) in &r.degraded_docs {
                     notes.push(format!(
                         "{} degraded to {}",
-                        s.coll.name(*doc_id),
+                        coll.name(*doc_id),
                         d.rung.map(|rg| rg.name()).unwrap_or("none")
                     ));
                 }
                 for (doc_id, msg) in &r.docs_failed {
                     notes.push(format!(
                         "{} failed: {}",
-                        s.coll.name(*doc_id),
+                        coll.name(*doc_id),
                         msg.lines().next().unwrap_or("")
                     ));
                 }
@@ -780,4 +989,84 @@ pub fn request(addr: &str, json: &str) -> Result<String, CliError> {
         line.push('\n');
     }
     Ok(line)
+}
+
+/// Reply statuses worth retrying: the server said "not now", not "no".
+fn is_retryable_reply(line: &str) -> bool {
+    [status::SHED, status::TIMEOUT, status::SHUTTING_DOWN]
+        .iter()
+        .any(|s| line.contains(&format!("\"status\":\"{s}\"")))
+}
+
+/// Transport failures worth retrying: the server may be booting,
+/// restarting, or mid-drain.
+fn is_retryable_error(e: &CliError) -> bool {
+    use std::io::ErrorKind;
+    match e {
+        CliError::Io(_, io) => matches!(
+            io.kind(),
+            ErrorKind::ConnectionRefused
+                | ErrorKind::ConnectionReset
+                | ErrorKind::ConnectionAborted
+                | ErrorKind::TimedOut
+                | ErrorKind::WouldBlock
+        ),
+        CliError::Query(m) => m.contains("without replying"),
+        _ => false,
+    }
+}
+
+/// `xfrag request` with a bounded retry budget. With `retries == 0`
+/// this is exactly [`request`]: whatever reply arrives is printed and
+/// exits 0, so scripts that grep for `shed`/`timeout` replies keep
+/// working. With retries, retryable outcomes (shed, timeout, or
+/// shutting-down replies; refused/reset/timed-out connections) are
+/// retried with exponential backoff plus deterministic jitter, up to
+/// `retries` extra attempts; exhaustion is [`CliError::RetriesExhausted`]
+/// (exit code 3). Non-retryable failures surface immediately (exit 1).
+pub fn request_with_retry(
+    addr: &str,
+    json: &str,
+    retries: u32,
+    backoff_ms: u64,
+) -> Result<String, CliError> {
+    if retries == 0 {
+        return request(addr, json);
+    }
+    // SplitMix64 jitter, seeded per process so concurrent clients that
+    // all got shed don't re-stampede the server in lockstep.
+    let mut z = 0x9e3779b97f4a7c15u64 ^ (std::process::id() as u64);
+    let mut jitter = move || {
+        z = z.wrapping_add(0x9e3779b97f4a7c15);
+        let mut x = z;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+        x ^ (x >> 31)
+    };
+    let mut last = String::new();
+    for attempt in 0..=retries {
+        if attempt > 0 {
+            let base = backoff_ms.saturating_mul(1u64 << (attempt - 1).min(16));
+            let sleep = base.saturating_add(jitter() % base.max(1));
+            eprintln!(
+                "retry {attempt}/{retries} in {sleep} ms: {}",
+                last.lines().next().unwrap_or("")
+            );
+            std::thread::sleep(Duration::from_millis(sleep));
+        }
+        match request(addr, json) {
+            Ok(line) if is_retryable_reply(&line) => {
+                last = line.trim_end().to_string();
+            }
+            Ok(line) => return Ok(line),
+            Err(e) if is_retryable_error(&e) => {
+                last = e.to_string();
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(CliError::RetriesExhausted(format!(
+        "{} attempt(s) to {addr} all failed; last outcome: {last}",
+        retries as u64 + 1,
+    )))
 }

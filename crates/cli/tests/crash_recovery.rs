@@ -1,0 +1,148 @@
+//! Crash-point harness (ISSUE 4 tentpole): run the real `xfrag index`
+//! binary with `abort` armed at every write-path fault site — the
+//! kill -9 model, no destructors, no unwinding — and assert that the
+//! previously-committed generation survives byte-identical and loadable.
+//!
+//! Hit arithmetic: the source corpus has three documents, so one index
+//! run traverses each of `store:write` / `store:fsync` / `store:rename`
+//! four times — hits 0..=2 for the data files, hit 3 for the manifest
+//! (the commit point, written last).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use xfrag_doc::manifest::{load_generation, GenerationLoad};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xfrag-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn source_corpus(tag: &str) -> PathBuf {
+    let src = scratch(tag);
+    std::fs::write(src.join("a.xml"), "<doc><p>xml search alpha</p></doc>").unwrap();
+    std::fs::write(src.join("b.xml"), "<doc><p>xml algebra beta</p></doc>").unwrap();
+    std::fs::write(src.join("c.xml"), "<doc><p>keyword gamma</p></doc>").unwrap();
+    src
+}
+
+fn run_index(src: &Path, out: &Path, inject: Option<&str>) -> std::process::ExitStatus {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_xfrag"));
+    cmd.arg("index").arg(src).arg(out);
+    if let Some(spec) = inject {
+        cmd.args(["--inject", spec]);
+    }
+    let o = cmd.output().expect("run xfrag index");
+    o.status
+}
+
+/// Every file in `dir` with its exact bytes.
+fn snapshot(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| {
+            let e = e.unwrap();
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                std::fs::read(e.path()).unwrap(),
+            )
+        })
+        .collect()
+}
+
+/// Assert the corpus still loads generation 1 and that every file the
+/// pre-crash snapshot contained is still byte-identical.
+fn assert_generation_1_intact(out: &Path, before: &BTreeMap<String, Vec<u8>>, context: &str) {
+    let after = snapshot(out);
+    for (name, bytes) in before {
+        assert_eq!(
+            after.get(name),
+            Some(bytes),
+            "{context}: {name} changed or disappeared"
+        );
+    }
+    match load_generation(out).unwrap() {
+        GenerationLoad::Committed { manifest, .. } => {
+            assert_eq!(manifest.generation, 1, "{context}");
+        }
+        other => panic!("{context}: expected committed generation 1, got {other:?}"),
+    }
+}
+
+#[test]
+fn kill9_at_every_injected_crash_point_preserves_previous_generation() {
+    let src = source_corpus("k9-src");
+    let out = scratch("k9-out");
+    assert!(run_index(&src, &out, None).success(), "seed index failed");
+    let before = snapshot(&out);
+
+    for site in ["store:write", "store:fsync", "store:rename"] {
+        // Hit 0: crash on the first data file. Hit 3: crash on the
+        // manifest write — every data file of the doomed generation is
+        // already on disk, and the commit still never happens.
+        for hit in [0, 3] {
+            let spec = format!("{site}@{hit}=abort");
+            let status = run_index(&src, &out, Some(&spec));
+            assert!(!status.success(), "{spec}: child should have died");
+            // SIGABRT, not a clean error exit: this models kill -9 (no
+            // destructors ran), which is the point of the harness.
+            assert_eq!(status.code(), None, "{spec}: exited {status:?}");
+            assert_generation_1_intact(&out, &before, &spec);
+            // Clear crash remnants so each case starts from the same
+            // directory state (a real operator's cleanup, or the next
+            // successful commit's prune, does the same).
+            for name in snapshot(&out).keys() {
+                if !before.contains_key(name) {
+                    std::fs::remove_file(out.join(name)).unwrap();
+                }
+            }
+        }
+    }
+
+    // Torn-write crash: a prefix of the payload reaches disk. The
+    // remnant is invisible to the loader and the old generation stands.
+    let spec = "store:write@1=torn:5";
+    assert!(!run_index(&src, &out, Some(spec)).success());
+    assert_generation_1_intact(&out, &before, spec);
+
+    // After all those crashes, a clean index still commits the next
+    // generation on top (remnants never block recovery).
+    assert!(
+        run_index(&src, &out, None).success(),
+        "recovery index failed"
+    );
+    match load_generation(&out).unwrap() {
+        GenerationLoad::Committed { manifest, .. } => {
+            assert!(manifest.generation >= 2, "{}", manifest.generation)
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn error_faults_fail_cleanly_and_preserve_previous_generation() {
+    // Same sweep with clean-failure actions: the process survives to
+    // report the error (exit 1), and the guarantees are identical.
+    let src = source_corpus("err-src");
+    let out = scratch("err-out");
+    assert!(run_index(&src, &out, None).success());
+    let before = snapshot(&out);
+
+    for spec in [
+        "store:write@0=read-error",
+        "store:fsync@1=cancel",
+        "store:rename@2=read-error",
+        "store:rename@3=cancel",
+    ] {
+        let status = run_index(&src, &out, Some(spec));
+        assert_eq!(status.code(), Some(1), "{spec}: {status:?}");
+        assert_generation_1_intact(&out, &before, spec);
+        for name in snapshot(&out).keys() {
+            if !before.contains_key(name) {
+                std::fs::remove_file(out.join(name)).unwrap();
+            }
+        }
+    }
+}

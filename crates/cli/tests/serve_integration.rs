@@ -13,7 +13,7 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::path::{Path, PathBuf};
 use std::process::{Child, ChildStdout, Command, ExitStatus, Stdio};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn corpus(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("xfrag-serve-{tag}-{}", std::process::id()));
@@ -118,6 +118,30 @@ impl Drop for Server {
     fn drop(&mut self) {
         let _ = self.child.kill();
     }
+}
+
+/// Commit a new corpus generation with the real `xfrag index` binary.
+fn run_index(src: &Path, out: &Path) -> String {
+    let o = Command::new(env!("CARGO_BIN_EXE_xfrag"))
+        .arg("index")
+        .arg(src)
+        .arg(out)
+        .output()
+        .expect("run xfrag index");
+    assert!(
+        o.status.success(),
+        "index failed: {}",
+        String::from_utf8_lossy(&o.stderr)
+    );
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+/// An empty scratch directory for a generation-committed corpus.
+fn gen_corpus(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xfrag-gen-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
 }
 
 /// Pull a string field's value out of a response line (no escapes in
@@ -395,4 +419,261 @@ fn soak_concurrent_clients_lose_no_responses() {
     assert!(st.success(), "server exited {st:?}");
     assert!(sum.contains("2 worker panic(s)"), "{sum}");
     assert!(sum.contains("0 in flight"), "{sum}");
+}
+
+#[test]
+fn hot_reload_swaps_generations_under_concurrent_load() {
+    let src = corpus("reload-src");
+    let out = gen_corpus("reload");
+    run_index(&src, &out);
+    let srv = Server::start(&out, &[]);
+    let health = srv.rpc(r#"{"kind":"health","id":1}"#);
+    assert!(health.contains("\"generation\":1"), "{health}");
+
+    // The next generation, with a changed document.
+    std::fs::write(
+        src.join("a.xml"),
+        "<doc><title>xml search alpha two</title><p>ranked xml search regenerated</p></doc>",
+    )
+    .unwrap();
+    run_index(&src, &out);
+
+    // The ISSUE's acceptance bar: a reload landing in the middle of the
+    // 6×5 concurrent soak drops zero in-flight requests.
+    const THREADS: u64 = 6;
+    const PER_THREAD: u64 = 5;
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let addr = srv.addr.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut conn = Conn::open(&addr);
+            let mut replies = Vec::new();
+            for i in 0..PER_THREAD {
+                let id = t * 100 + i;
+                let req = format!(
+                    r#"{{"kind":"query","id":{id},"keywords":["xml","search"],"top_k":2}}"#
+                );
+                replies.push((id, conn.rpc(&req)));
+            }
+            replies
+        }));
+    }
+    std::thread::sleep(Duration::from_millis(30));
+    let reload = srv.rpc(r#"{"kind":"reload","id":50}"#);
+    assert_eq!(field_str(&reload, "status"), "ok", "{reload}");
+    assert!(reload.contains("serving generation 2"), "{reload}");
+
+    let mut total = 0usize;
+    for h in handles {
+        for (id, reply) in h.join().expect("client thread") {
+            total += 1;
+            assert!(reply.starts_with(&format!("{{\"id\":{id},")), "{reply}");
+            assert_eq!(field_str(&reply, "status"), "ok", "{reply}");
+            // Display names stay stable across generations.
+            assert!(reply.contains("a.xfrg"), "{reply}");
+        }
+    }
+    assert_eq!(total, (THREADS * PER_THREAD) as usize, "lost responses");
+
+    let stats = srv.rpc(r#"{"kind":"stats","id":60}"#);
+    assert!(stats.contains("\"generation\":2"), "{stats}");
+    assert!(
+        stats.contains("\"reloads\":{\"ok\":1,\"failed\":0}"),
+        "{stats}"
+    );
+    // Post-reload queries answer from the new generation's content.
+    let q = srv.rpc(r#"{"kind":"query","id":61,"keywords":["regenerated"]}"#);
+    assert_eq!(field_str(&q, "status"), "ok", "{q}");
+    assert!(q.contains("a.xfrg"), "{q}");
+
+    let (st, sum) = srv.shutdown_and_wait();
+    assert!(st.success(), "server exited {st:?}");
+    assert!(sum.contains("0 in flight"), "{sum}");
+}
+
+#[test]
+fn corrupt_next_generation_never_replaces_the_serving_one() {
+    let src = corpus("corrupt-src");
+    let out = gen_corpus("corrupt");
+    run_index(&src, &out);
+    let srv = Server::start(&out, &[]);
+
+    // Commit generation 2, then tear one of its data files.
+    run_index(&src, &out);
+    let victim = out.join("a.g000002.xfrg");
+    let bytes = std::fs::read(&victim).unwrap();
+    std::fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+
+    let reload = srv.rpc(r#"{"kind":"reload","id":1}"#);
+    assert_eq!(field_str(&reload, "status"), "error", "{reload}");
+    assert!(reload.contains("reload failed"), "{reload}");
+    assert!(reload.contains("generation 2 rejected"), "{reload}");
+
+    // Still serving generation 1, and still answering.
+    let stats = srv.rpc(r#"{"kind":"stats","id":2}"#);
+    assert!(stats.contains("\"generation\":1"), "{stats}");
+    assert!(
+        stats.contains("\"reloads\":{\"ok\":0,\"failed\":1}"),
+        "{stats}"
+    );
+    let q = srv.rpc(r#"{"kind":"query","id":3,"keywords":["xml","search"]}"#);
+    assert_eq!(field_str(&q, "status"), "ok", "{q}");
+
+    // Repairing the generation makes the same reload succeed.
+    std::fs::write(&victim, &bytes).unwrap();
+    let reload = srv.rpc(r#"{"kind":"reload","id":4}"#);
+    assert_eq!(field_str(&reload, "status"), "ok", "{reload}");
+    assert!(reload.contains("serving generation 2"), "{reload}");
+
+    let (st, _) = srv.shutdown_and_wait();
+    assert!(st.success());
+}
+
+#[test]
+fn stats_surfaces_quarantine_detail_and_generation() {
+    let dir = corpus("statsq");
+    std::fs::write(dir.join("zz_broken.xml"), "<doc><unclosed>").unwrap();
+    let srv = Server::start(&dir, &[]);
+
+    let stats = srv.rpc(r#"{"kind":"stats","id":1}"#);
+    // Legacy (unversioned) corpora serve as generation 0.
+    assert!(stats.contains("\"generation\":0"), "{stats}");
+    assert!(
+        stats.contains("\"reloads\":{\"ok\":0,\"failed\":0}"),
+        "{stats}"
+    );
+    // Quarantine entries carry the file name AND the reason.
+    assert!(stats.contains("\"file\":\"zz_broken.xml\""), "{stats}");
+    assert!(stats.contains("\"reason\":\""), "{stats}");
+
+    let (st, sum) = srv.shutdown_and_wait();
+    assert!(st.success());
+    assert!(sum.contains("1 file(s) quarantined"), "{sum}");
+}
+
+#[test]
+fn watch_mode_hot_reloads_without_a_reload_request() {
+    let src = corpus("watch-src");
+    let out = gen_corpus("watch");
+    run_index(&src, &out);
+    let srv = Server::start(&out, &["--watch-ms", "50"]);
+    assert!(srv
+        .rpc(r#"{"kind":"health","id":1}"#)
+        .contains("\"generation\":1"));
+
+    run_index(&src, &out);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = srv.rpc(r#"{"kind":"stats","id":2}"#);
+        if stats.contains("\"generation\":2") {
+            assert!(
+                stats.contains("\"reloads\":{\"ok\":1,\"failed\":0}"),
+                "{stats}"
+            );
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "watcher never picked up generation 2: {stats}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let (st, _) = srv.shutdown_and_wait();
+    assert!(st.success());
+}
+
+/// Satellite (f): `xfrag request --retries` rides out a shed and
+/// succeeds once the queue clears; exhausted retries exit 3.
+#[test]
+fn request_retries_shed_then_succeeds() {
+    let dir = corpus("retry");
+    // One worker stalled 600 ms with a single-slot queue: the first
+    // attempt below is deterministically shed, later attempts land.
+    let srv = Server::start(
+        &dir,
+        &[
+            "--workers",
+            "1",
+            "--queue-depth",
+            "1",
+            "--inject",
+            "serve:worker@0=delay:600",
+        ],
+    );
+    let addr = srv.addr.clone();
+    let occupy = std::thread::spawn({
+        let a = addr.clone();
+        move || Conn::open(&a).rpc(r#"{"kind":"query","id":1,"keywords":["xml"]}"#)
+    });
+    std::thread::sleep(Duration::from_millis(150));
+    let queued = std::thread::spawn({
+        let a = addr.clone();
+        move || Conn::open(&a).rpc(r#"{"kind":"query","id":2,"keywords":["xml"]}"#)
+    });
+    std::thread::sleep(Duration::from_millis(150));
+
+    let o = Command::new(env!("CARGO_BIN_EXE_xfrag"))
+        .args([
+            "request",
+            &addr,
+            r#"{"kind":"query","id":3,"keywords":["xml"]}"#,
+            "--retries",
+            "6",
+            "--backoff-ms",
+            "200",
+        ])
+        .output()
+        .expect("run xfrag request");
+    let stdout = String::from_utf8_lossy(&o.stdout);
+    let stderr = String::from_utf8_lossy(&o.stderr);
+    assert!(
+        o.status.success(),
+        "request exited {:?}: {stderr}",
+        o.status
+    );
+    assert!(stdout.contains("\"status\":\"ok\""), "{stdout}");
+    // It really was shed first: the retry log names the shed reply.
+    assert!(stderr.contains("retry 1/6"), "{stderr}");
+    assert!(stderr.contains("shed"), "{stderr}");
+
+    occupy.join().unwrap();
+    queued.join().unwrap();
+    let (st, _) = srv.shutdown_and_wait();
+    assert!(st.success());
+}
+
+#[test]
+fn request_retry_exit_codes_distinguish_retryable_from_permanent() {
+    // A port with no listener: connection refused is retryable, so with
+    // retries armed the client exhausts them and exits 3.
+    let dead = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let a = l.local_addr().unwrap().to_string();
+        drop(l);
+        a
+    };
+    let o = Command::new(env!("CARGO_BIN_EXE_xfrag"))
+        .args([
+            "request",
+            &dead,
+            r#"{"kind":"health","id":1}"#,
+            "--retries",
+            "2",
+            "--backoff-ms",
+            "10",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(o.status.code(), Some(3), "{o:?}");
+    let stderr = String::from_utf8_lossy(&o.stderr);
+    assert!(stderr.contains("retries exhausted"), "{stderr}");
+    assert!(stderr.contains("3 attempt(s)"), "{stderr}");
+
+    // Without --retries the same failure is permanent: exit 1, exactly
+    // the pre-retry behavior scripts already rely on.
+    let o = Command::new(env!("CARGO_BIN_EXE_xfrag"))
+        .args(["request", &dead, r#"{"kind":"health","id":1}"#])
+        .output()
+        .unwrap();
+    assert_eq!(o.status.code(), Some(1), "{o:?}");
 }

@@ -43,6 +43,12 @@ pub mod site {
     pub const SERVE_WORKER: &str = "serve:worker";
     /// A corpus file read during `serve` startup (CLI layer).
     pub const SERVE_LOAD: &str = "serve:load";
+    /// The payload write of an atomic store write (CLI/store layer).
+    pub const STORE_WRITE: &str = "store:write";
+    /// The fsync before an atomic store write's rename (CLI/store layer).
+    pub const STORE_FSYNC: &str = "store:fsync";
+    /// The commit rename of an atomic store write (CLI/store layer).
+    pub const STORE_RENAME: &str = "store:rename";
 }
 
 /// What an armed site does when its hit comes up.
@@ -59,6 +65,15 @@ pub enum FaultAction {
     /// can express this as a typed store error; governor fault points
     /// treat it like [`FaultAction::Cancel`].
     ReadError,
+    /// Write only the first `n` bytes of the payload, then fail — a torn
+    /// write. Only the atomic write path can express partiality; governor
+    /// fault points treat it like [`FaultAction::Cancel`].
+    Torn(u64),
+    /// Abort the process immediately, running no destructors — the
+    /// `kill -9` model for crash-point testing. A child armed with
+    /// `abort` dies on the spot so the survivor's recovery can be
+    /// asserted from outside.
+    Abort,
 }
 
 impl FaultAction {
@@ -69,28 +84,39 @@ impl FaultAction {
             FaultAction::Delay(_) => "delay",
             FaultAction::Cancel => "cancel",
             FaultAction::ReadError => "read-error",
+            FaultAction::Torn(_) => "torn",
+            FaultAction::Abort => "abort",
         }
     }
 }
 
 impl std::str::FromStr for FaultAction {
     type Err = String;
-    /// `panic`, `cancel`, `read-error`, or `delay:<ms>`.
+    /// `panic`, `cancel`, `read-error`, `abort`, `delay:<ms>`, or
+    /// `torn:<bytes>`.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
             "panic" => Ok(FaultAction::Panic),
             "cancel" => Ok(FaultAction::Cancel),
             "read-error" => Ok(FaultAction::ReadError),
-            other => match other.strip_prefix("delay:") {
-                Some(ms) => ms
-                    .parse::<u64>()
-                    .map(|ms| FaultAction::Delay(Duration::from_millis(ms)))
-                    .map_err(|_| format!("bad delay milliseconds in {other:?}")),
-                None => Err(format!(
-                    "unknown fault action {other:?} \
-                     (expected panic, cancel, read-error, or delay:<ms>)"
-                )),
-            },
+            "abort" => Ok(FaultAction::Abort),
+            other => {
+                if let Some(ms) = other.strip_prefix("delay:") {
+                    ms.parse::<u64>()
+                        .map(|ms| FaultAction::Delay(Duration::from_millis(ms)))
+                        .map_err(|_| format!("bad delay milliseconds in {other:?}"))
+                } else if let Some(n) = other.strip_prefix("torn:") {
+                    n.parse::<u64>()
+                        .map(FaultAction::Torn)
+                        .map_err(|_| format!("bad torn byte count in {other:?}"))
+                } else {
+                    Err(format!(
+                        "unknown fault action {other:?} \
+                         (expected panic, cancel, read-error, abort, \
+                          delay:<ms>, or torn:<bytes>)"
+                    ))
+                }
+            }
         }
     }
 }
@@ -205,6 +231,7 @@ impl std::fmt::Display for FaultPlan {
                 FaultAction::Delay(d) => {
                     write!(f, "{site}@{hit}=delay:{}", d.as_millis())?;
                 }
+                FaultAction::Torn(n) => write!(f, "{site}@{hit}=torn:{n}")?,
                 a => write!(f, "{site}@{hit}={}", a.name())?,
             }
         }
@@ -252,18 +279,24 @@ impl FaultInjector {
     }
 
     /// Traverse `site` and *perform* whatever is armed: panic (with a
-    /// [`PANIC_MARKER`] payload), sleep, or fail with
+    /// [`PANIC_MARKER`] payload), sleep, abort the process, or fail with
     /// [`Breach::Cancelled`]. The common case — site unarmed — is a map
-    /// lookup and `Ok(())`.
+    /// lookup and `Ok(())`. Governor-style sites cannot express a partial
+    /// write, so [`FaultAction::Torn`] degrades to a cancellation here;
+    /// the atomic write path consults [`FaultInjector::check`] directly
+    /// and honors the byte count.
     pub fn fire(&self, site: &str) -> Result<(), Breach> {
         match self.check(site) {
             None => Ok(()),
             Some(FaultAction::Panic) => panic!("{PANIC_MARKER}: injected panic at {site}"),
+            Some(FaultAction::Abort) => std::process::abort(),
             Some(FaultAction::Delay(d)) => {
                 std::thread::sleep(d);
                 Ok(())
             }
-            Some(FaultAction::Cancel) | Some(FaultAction::ReadError) => Err(Breach::Cancelled),
+            Some(FaultAction::Cancel)
+            | Some(FaultAction::ReadError)
+            | Some(FaultAction::Torn(_)) => Err(Breach::Cancelled),
         }
     }
 }
@@ -353,6 +386,25 @@ mod tests {
         for bad in ["x", "x=panic", "x@z=panic", "x@1=explode", "@1=panic"] {
             assert!(FaultPlan::parse(bad).is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn write_path_actions_parse_and_roundtrip() {
+        let plan = FaultPlan::parse("store:write@1=torn:7,store:rename@0=abort").unwrap();
+        assert_eq!(
+            plan.arms()[0],
+            ("store:write".into(), 1, FaultAction::Torn(7))
+        );
+        assert_eq!(
+            plan.arms()[1],
+            ("store:rename".into(), 0, FaultAction::Abort)
+        );
+        assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap(), plan);
+        assert!(FaultPlan::parse("store:write@0=torn:").is_err());
+        assert!(FaultPlan::parse("store:write@0=torn:x").is_err());
+        // A torn arm degrades to a cancellation at governor-style sites.
+        let inj = FaultPlan::new().arm("g", 0, FaultAction::Torn(3)).build();
+        assert_eq!(inj.fire("g"), Err(Breach::Cancelled));
     }
 
     #[test]

@@ -1,0 +1,231 @@
+//! Crash-safe file writes: temp file + fsync + atomic rename + directory
+//! fsync.
+//!
+//! A bare `std::fs::write` truncates the destination before the new bytes
+//! are durable, so a crash mid-write leaves a torn file where a good one
+//! used to be. [`write_atomic`] never exposes an intermediate state: the
+//! payload goes to a hidden temp file in the same directory, is fsynced,
+//! and only then renamed over the destination (rename within a directory
+//! is atomic on POSIX); finally the directory itself is fsynced so the
+//! rename survives a power cut. At every point before the rename the old
+//! file — if any — is byte-identical on disk, and after it the new one
+//! is complete.
+//!
+//! Fault injection: this crate sits below the fault injector (which lives
+//! in `xfrag-core`, a dependent), so the write path exposes a minimal
+//! [`WriteFaultHook`] trait consulted at the three named [`wsite`]s. The
+//! CLI adapts its `FaultInjector` onto this trait; library users pass
+//! `None` and pay a single `Option` check per site.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The named write-path fault sites [`write_atomic`] traverses, in
+/// order. The strings match the `xfrag-core` fault-site registry so one
+/// `--inject` spec drives both layers.
+pub mod wsite {
+    /// Before the payload bytes are written to the temp file.
+    pub const WRITE: &str = "store:write";
+    /// Before the temp file is fsynced.
+    pub const FSYNC: &str = "store:fsync";
+    /// Before the temp file is renamed over the destination.
+    pub const RENAME: &str = "store:rename";
+}
+
+/// What an injected fault does to the write operation at a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Fail the operation with a synthetic I/O error.
+    Error,
+    /// Write only the first `n` payload bytes, then fail, leaving the
+    /// torn temp file on disk — the on-disk state a crash mid-write
+    /// produces. Only meaningful at [`wsite::WRITE`]; other sites treat
+    /// it as [`WriteFault::Error`].
+    Torn(u64),
+}
+
+/// A fault source consulted at each [`wsite`]. Implementations may also
+/// panic or abort the process from `check` (the crash-point harness
+/// does); [`write_atomic`] guarantees the destination file is intact in
+/// every such case because nothing touches it before the rename.
+pub trait WriteFaultHook {
+    /// Called once per site traversal; `None` means proceed normally.
+    fn check(&self, site: &str) -> Option<WriteFault>;
+}
+
+fn injected(site: &str) -> io::Error {
+    io::Error::other(format!("injected write fault at {site}"))
+}
+
+/// Distinguishes concurrent writers' temp files within one process.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// The hidden temp path used for `path`'s in-flight bytes. Starts with a
+/// dot and carries a `.tmp` marker so corpus scans (`.xml`/`.xfrg` by
+/// extension, `manifest-*.xfm` by name) never pick up a crash remnant.
+fn temp_path(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let unique = format!(
+        ".{name}.tmp-{}-{}",
+        std::process::id(),
+        TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+    );
+    path.with_file_name(unique)
+}
+
+/// Whether a directory entry is a leftover temp file from a crashed
+/// atomic write (safe to delete at any time).
+pub fn is_temp_remnant(name: &str) -> bool {
+    name.starts_with('.') && name.contains(".tmp-")
+}
+
+/// Write `bytes` to `path` crash-safely: any interruption — process
+/// crash, power cut, injected fault — leaves either the previous file
+/// byte-identical or the new file complete, never a torn mixture.
+///
+/// Ordering argument: (1) payload bytes reach a temp file the readers
+/// ignore; (2) `fsync(temp)` makes them durable *before* (3) the atomic
+/// `rename(temp, path)` makes them visible; (4) `fsync(dir)` makes the
+/// visibility itself durable. A crash between (3) and (4) can lose the
+/// rename but never mixes old and new bytes.
+pub fn write_atomic(
+    path: &Path,
+    bytes: &[u8],
+    hook: Option<&dyn WriteFaultHook>,
+) -> io::Result<()> {
+    let tmp = temp_path(path);
+    let fire = |site: &str| hook.and_then(|h| h.check(site));
+
+    // Scope the handle so it is closed before the rename.
+    {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        match fire(wsite::WRITE) {
+            None => f.write_all(bytes)?,
+            Some(WriteFault::Torn(n)) => {
+                // A torn write: some prefix hit the disk, the rest never
+                // will. The remnant stays behind (exactly what a crash
+                // leaves) and must be invisible to every loader.
+                let n = (n as usize).min(bytes.len());
+                f.write_all(&bytes[..n])?;
+                let _ = f.sync_all();
+                return Err(injected(wsite::WRITE));
+            }
+            Some(WriteFault::Error) => {
+                let _ = fs::remove_file(&tmp);
+                return Err(injected(wsite::WRITE));
+            }
+        }
+        if fire(wsite::FSYNC).is_some() {
+            let _ = fs::remove_file(&tmp);
+            return Err(injected(wsite::FSYNC));
+        }
+        f.sync_all()?;
+    }
+    if fire(wsite::RENAME).is_some() {
+        let _ = fs::remove_file(&tmp);
+        return Err(injected(wsite::RENAME));
+    }
+    fs::rename(&tmp, path)?;
+    // Durability of the rename itself. Directories open read-only; on
+    // platforms where fsync-on-directory is unsupported the rename is
+    // still atomic, so degrade silently rather than fail the write.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(if dir.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            dir
+        }) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct OneShot(&'static str, WriteFault);
+    impl WriteFaultHook for OneShot {
+        fn check(&self, site: &str) -> Option<WriteFault> {
+            (site == self.0).then_some(self.1)
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("xfrag-atomic-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let d = tmpdir("basic");
+        let p = d.join("f.xfrg");
+        write_atomic(&p, b"one", None).unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"one");
+        write_atomic(&p, b"two!", None).unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"two!");
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn injected_faults_leave_existing_file_byte_identical() {
+        let d = tmpdir("faults");
+        let p = d.join("f.xfrg");
+        write_atomic(&p, b"precious original", None).unwrap();
+        for (site, fault) in [
+            (wsite::WRITE, WriteFault::Error),
+            (wsite::WRITE, WriteFault::Torn(3)),
+            (wsite::FSYNC, WriteFault::Error),
+            (wsite::RENAME, WriteFault::Error),
+        ] {
+            let hook = OneShot(site, fault);
+            let err = write_atomic(&p, b"replacement", Some(&hook)).unwrap_err();
+            assert!(err.to_string().contains(site), "{err}");
+            assert_eq!(
+                fs::read(&p).unwrap(),
+                b"precious original",
+                "fault at {site} corrupted the destination"
+            );
+        }
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn torn_write_leaves_an_ignorable_remnant() {
+        let d = tmpdir("torn");
+        let p = d.join("f.xfrg");
+        let hook = OneShot(wsite::WRITE, WriteFault::Torn(4));
+        write_atomic(&p, b"0123456789", Some(&hook)).unwrap_err();
+        assert!(!p.exists(), "torn write must not create the destination");
+        let remnants: Vec<String> = fs::read_dir(&d)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(remnants.len(), 1, "{remnants:?}");
+        assert!(is_temp_remnant(&remnants[0]), "{remnants:?}");
+        assert_eq!(fs::read(d.join(&remnants[0])).unwrap(), b"0123");
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn temp_names_never_collide_with_corpus_scans() {
+        for name in ["a.xfrg", "manifest-000001.xfm", "b.xml"] {
+            let t = temp_path(Path::new(name));
+            let tn = t.file_name().unwrap().to_string_lossy().into_owned();
+            assert!(is_temp_remnant(&tn), "{tn}");
+            assert!(!tn.ends_with(".xfrg") && !tn.ends_with(".xml") && !tn.ends_with(".xfm"));
+        }
+    }
+}

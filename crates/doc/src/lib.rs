@@ -19,12 +19,18 @@
 //!   `keywords(n)` function ("we do not distinguish between tag/attribute
 //!   names and text contents");
 //! * [`InvertedIndex`] — term → node postings used to evaluate the
-//!   `σ_{keyword=k}` selections that seed every query.
+//!   `σ_{keyword=k}` selections that seed every query;
+//! * [`atomic`](atomic) — crash-safe file writes (temp + fsync + rename
+//!   + directory fsync) with injectable write-path faults;
+//! * [`manifest`](manifest) — checksummed, generation-numbered corpus
+//!   manifests with rollback to the last fully-committed generation.
 
+pub mod atomic;
 pub mod builder;
 pub mod collection;
 pub mod error;
 pub mod index;
+pub mod manifest;
 pub mod parse;
 pub mod path;
 pub mod serialize;
