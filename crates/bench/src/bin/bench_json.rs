@@ -1,0 +1,271 @@
+//! `bench_json` — the cache-trajectory benchmark (ISSUE 5 satellite):
+//! a seeded, Zipf-skewed repeated-query workload evaluated twice — cold
+//! (no cache) and warm (through a shared [`QueryCache`]) — emitting a
+//! machine-readable `BENCH_5.json` with p50/p95 latency, QPS, and the
+//! result-tier hit rate.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_json [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks the workload for CI (seconds, not minutes) and
+//! skips the p50 regression gate, which is noise-prone at smoke sizes;
+//! the full run *fails* unless warm p50 is strictly below cold p50.
+//! Everything is seeded: the same invocation produces the same request
+//! stream, so latency differences come from the cache, not the workload.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xfrag_bench::fixtures::{query_fixture, QueryFixture};
+use xfrag_core::{
+    evaluate_budgeted_cached_traced, CacheRef, ExecPolicy, FilterExpr, GenerationTag, Query,
+    QueryCache, Strategy, Tracer,
+};
+use xfrag_corpus::zipf::Zipf;
+
+const SEED: u64 = 42;
+const ZIPF_S: f64 = 1.1;
+const CACHE_MB: u64 = 64;
+
+/// One distinct query shape in the workload pool.
+struct PoolEntry {
+    query: Query,
+    strategy: Strategy,
+}
+
+/// The pool of distinct queries: term subsets × filters × strategies.
+/// Brute force is excluded — it exists as a correctness oracle, and its
+/// powerset enumeration would dominate the timings of the other three.
+fn build_pool() -> Vec<PoolEntry> {
+    let term_sets: [&[&str]; 3] = [&["kwalpha", "kwbeta"], &["kwalpha"], &["kwbeta"]];
+    let filters = [
+        FilterExpr::True,
+        FilterExpr::MaxSize(8),
+        FilterExpr::MaxSize(14),
+        FilterExpr::MaxHeight(3),
+    ];
+    let strategies = [
+        Strategy::FixedPointNaive,
+        Strategy::FixedPointReduced,
+        Strategy::PushDown,
+    ];
+    let mut pool = Vec::new();
+    for terms in term_sets {
+        for filter in &filters {
+            for &strategy in &strategies {
+                pool.push(PoolEntry {
+                    query: Query::new(terms.iter().map(|t| t.to_string()), filter.clone()),
+                    strategy,
+                });
+            }
+        }
+    }
+    pool
+}
+
+/// Evaluate the whole request stream, returning per-request latencies.
+fn run_stream(
+    fx: &QueryFixture,
+    pool: &[PoolEntry],
+    stream: &[usize],
+    cache: Option<CacheRef<'_>>,
+) -> Vec<Duration> {
+    let policy = ExecPolicy::unlimited();
+    let tracer = Tracer::disabled();
+    let mut latencies = Vec::with_capacity(stream.len());
+    for &i in stream {
+        let e = &pool[i];
+        let t0 = Instant::now();
+        let r = evaluate_budgeted_cached_traced(
+            &fx.doc, &fx.index, &e.query, e.strategy, &policy, &tracer, cache,
+        )
+        .expect("unlimited workload evaluation cannot fail");
+        latencies.push(t0.elapsed());
+        std::hint::black_box(r.fragments.len());
+    }
+    latencies
+}
+
+/// The `p`-th percentile (nearest-rank on the sorted copy), in
+/// microseconds.
+fn percentile_us(latencies: &[Duration], p: f64) -> f64 {
+    let mut sorted: Vec<Duration> = latencies.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank].as_secs_f64() * 1e6
+}
+
+fn qps(latencies: &[Duration], wall: Duration) -> f64 {
+    latencies.len() as f64 / wall.as_secs_f64().max(1e-9)
+}
+
+struct PassReport {
+    p50_us: f64,
+    p95_us: f64,
+    qps: f64,
+}
+
+fn measure(latencies: &[Duration], wall: Duration) -> PassReport {
+    PassReport {
+        p50_us: percentile_us(latencies, 50.0),
+        p95_us: percentile_us(latencies, 95.0),
+        qps: qps(latencies, wall),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| args.get(i + 1).expect("--out needs a path").clone())
+        .unwrap_or_else(|| "BENCH_5.json".to_string());
+    if let Some(bad) = args
+        .iter()
+        .enumerate()
+        .find(|(i, a)| {
+            a.as_str() != "--smoke" && a.as_str() != "--out" && !(*i > 0 && args[i - 1] == "--out")
+        })
+        .map(|(_, a)| a)
+    {
+        eprintln!("bench_json: unknown argument {bad:?} (expected --smoke, --out PATH)");
+        std::process::exit(2);
+    }
+
+    let (nodes, requests, repeats, df) = if smoke {
+        (400usize, 72usize, 1usize, 5usize)
+    } else {
+        (1_200usize, 400usize, 2usize, 8usize)
+    };
+
+    let fx = query_fixture(nodes, df, df, SEED);
+    let pool = build_pool();
+    let zipf = Zipf::new(pool.len(), ZIPF_S);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let stream: Vec<usize> = (0..requests).map(|_| zipf.sample(&mut rng) - 1).collect();
+    let distinct = {
+        let mut seen = vec![false; pool.len()];
+        stream.iter().for_each(|&i| seen[i] = true);
+        seen.iter().filter(|&&s| s).count()
+    };
+
+    // Cold: every request computed from scratch. Warm: the same stream
+    // through one shared cache, so Zipf repeats become replays. The full
+    // run repeats both passes and keeps the fastest wall time per pass
+    // (standard min-of-N to shed scheduler noise); latency percentiles
+    // come from the corresponding pass's samples.
+    // (cold wall, cold latencies, warm wall, warm latencies, cache JSON).
+    type BestPass = (Duration, Vec<Duration>, Duration, Vec<Duration>, String);
+    let mut best: Option<BestPass> = None;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        let cold_lat = run_stream(&fx, &pool, &stream, None);
+        let cold_wall = t0.elapsed();
+
+        let cache = QueryCache::with_capacity_mb(CACHE_MB);
+        let cref = CacheRef {
+            cache: &cache,
+            gen: GenerationTag::fresh(),
+            doc: 0,
+        };
+        let t1 = Instant::now();
+        let warm_lat = run_stream(&fx, &pool, &stream, Some(cref));
+        let warm_wall = t1.elapsed();
+        let cache_json = cache.stats().to_json();
+
+        let better = match &best {
+            None => true,
+            Some((cw, _, ww, _, _)) => cold_wall + warm_wall < *cw + *ww,
+        };
+        if better {
+            best = Some((cold_wall, cold_lat, warm_wall, warm_lat, cache_json));
+        }
+    }
+    let (cold_wall, cold_lat, warm_wall, warm_lat, cache_json) =
+        best.expect("at least one repeat ran");
+
+    // Hit rate of the warm pass, recomputed from the kept pass's cache
+    // counters so the JSON is self-consistent.
+    let tier = |name: &str| -> (u64, u64) {
+        let seg = &cache_json[cache_json.find(&format!("\"{name}\":{{")).unwrap()..];
+        let grab = |field: &str| -> u64 {
+            let pat = format!("\"{field}\":");
+            let s = seg.find(&pat).unwrap() + pat.len();
+            seg[s..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+                .parse()
+                .unwrap()
+        };
+        (grab("hits"), grab("misses"))
+    };
+    let (rh, rm) = tier("result");
+    let hit_rate = rh as f64 / ((rh + rm) as f64).max(1.0);
+
+    let cold = measure(&cold_lat, cold_wall);
+    let warm = measure(&warm_lat, warm_wall);
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"zipf-repeated-query-cache\",\n",
+            "  \"mode\": \"{mode}\",\n",
+            "  \"seed\": {seed},\n",
+            "  \"zipf_s\": {zipf_s},\n",
+            "  \"doc_nodes\": {doc_nodes},\n",
+            "  \"requests\": {requests},\n",
+            "  \"pool_size\": {pool_size},\n",
+            "  \"distinct_queries_hit\": {distinct},\n",
+            "  \"cache_mb\": {cache_mb},\n",
+            "  \"cold\": {{\"p50_us\": {cp50:.2}, \"p95_us\": {cp95:.2}, \"qps\": {cqps:.1}}},\n",
+            "  \"warm\": {{\"p50_us\": {wp50:.2}, \"p95_us\": {wp95:.2}, \"qps\": {wqps:.1}, \"hit_rate\": {hr:.4}}},\n",
+            "  \"warm_speedup_p50\": {speedup:.2},\n",
+            "  \"cache\": {cache}\n",
+            "}}\n"
+        ),
+        mode = if smoke { "smoke" } else { "full" },
+        seed = SEED,
+        zipf_s = ZIPF_S,
+        doc_nodes = fx.doc.len(),
+        requests = stream.len(),
+        pool_size = pool.len(),
+        distinct = distinct,
+        cache_mb = CACHE_MB,
+        cp50 = cold.p50_us,
+        cp95 = cold.p95_us,
+        cqps = cold.qps,
+        wp50 = warm.p50_us,
+        wp95 = warm.p95_us,
+        wqps = warm.qps,
+        hr = hit_rate,
+        speedup = cold.p50_us / warm.p50_us.max(1e-9),
+        cache = cache_json,
+    );
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("bench_json: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "bench_json [{}]: cold p50 {:.1} us / warm p50 {:.1} us, warm hit rate {:.1}%, wrote {}",
+        if smoke { "smoke" } else { "full" },
+        cold.p50_us,
+        warm.p50_us,
+        hit_rate * 100.0,
+        out_path
+    );
+
+    if !smoke && warm.p50_us >= cold.p50_us {
+        eprintln!(
+            "bench_json: FAIL: warm p50 ({:.2} us) is not strictly below cold p50 ({:.2} us)",
+            warm.p50_us, cold.p50_us
+        );
+        std::process::exit(1);
+    }
+}

@@ -34,6 +34,9 @@ observability (see README \"Observability\"):
   --profile-json  same, as a JSON span tree for tooling
   --analyze       (explain only) execute each plan stage and print the
                   cost model's estimate next to actual work done
+  --cache-mb N    (search/msearch/explain) evaluate through an N-MB
+                  query cache; with --profile or --analyze the warm
+                  pass shows per-stage cache hits (default: off)
 
 resource limits (see README \"Resource limits & degradation\"):
   --timeout-ms N     wall-clock budget for the whole evaluation
@@ -65,6 +68,9 @@ serve options (see README \"Serving queries over TCP\"):
                      (actions: panic | cancel | read-error | delay:<ms>)
   --fault-seed N     derive a fault plan over the runtime sites from a
                      seed (composes with --inject)
+  --cache-mb N       query-cache capacity in MB, shared across the
+                     worker pool (default: 64)
+  --no-cache         disable the query cache entirely
 
 request options:
   --retries N        retry retryable outcomes (shed, timeout,
@@ -172,6 +178,10 @@ pub struct SearchArgs {
     /// `explain` only: execute each plan stage and print estimated vs.
     /// actual cost (`--analyze`).
     pub analyze: bool,
+    /// Evaluate through a query cache of this many MB (`--cache-mb`).
+    /// `None` (the default) keeps the cache out of the picture, so
+    /// plain invocations stay byte-for-byte reproducible.
+    pub cache_mb: Option<u64>,
 }
 
 fn parse_u32(flag: &str, v: Option<&String>) -> Result<u32, String> {
@@ -298,6 +308,7 @@ fn parse_search(rest: &[String]) -> Result<SearchArgs, String> {
     let mut degrade = DegradeMode::Ladder;
     let mut profile = ProfileMode::Off;
     let mut analyze = false;
+    let mut cache_mb = None;
 
     let mut i = 0;
     while i < rest.len() {
@@ -355,6 +366,10 @@ fn parse_search(rest: &[String]) -> Result<SearchArgs, String> {
             "--profile" => profile = ProfileMode::Text,
             "--profile-json" => profile = ProfileMode::Json,
             "--analyze" => analyze = true,
+            "--cache-mb" => {
+                cache_mb = Some(parse_u32("--cache-mb", rest.get(i + 1))? as u64);
+                i += 1;
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
             _ => {
                 if file.is_none() {
@@ -384,6 +399,7 @@ fn parse_search(rest: &[String]) -> Result<SearchArgs, String> {
         degrade,
         profile,
         analyze,
+        cache_mb,
     })
 }
 
@@ -428,6 +444,11 @@ fn parse_serve(rest: &[String]) -> Result<ServeArgs, String> {
                 })?);
                 i += 1;
             }
+            "--cache-mb" => {
+                args.cache_mb = parse_u32("--cache-mb", rest.get(i + 1))? as u64;
+                i += 1;
+            }
+            "--no-cache" => args.no_cache = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
             _ => {
                 if dir.is_some() {
@@ -573,9 +594,20 @@ mod tests {
                 assert_eq!(a.profile, ProfileMode::Off);
                 assert!(!a.profile.is_on());
                 assert!(!a.analyze);
+                assert_eq!(a.cache_mb, None);
             }
             _ => unreachable!(),
         }
+    }
+
+    #[test]
+    fn parse_search_cache_flag() {
+        match parse(&argv("search d.xml k --cache-mb 8")).unwrap() {
+            Command::Search(a) => assert_eq!(a.cache_mb, Some(8)),
+            _ => unreachable!(),
+        }
+        assert!(parse(&argv("search d.xml k --cache-mb")).is_err());
+        assert!(parse(&argv("search d.xml k --cache-mb lots")).is_err());
     }
 
     #[test]
@@ -590,12 +622,15 @@ mod tests {
                 assert_eq!(a.watch_ms, None);
                 assert_eq!(a.inject, None);
                 assert_eq!(a.fault_seed, None);
+                assert_eq!(a.cache_mb, 64);
+                assert!(!a.no_cache);
             }
             other => panic!("wrong command {other:?}"),
         }
         match parse(&argv(
             "serve corpus --port 0 --workers 2 --queue-depth 8 --timeout-ms 250 \
-             --watch-ms 500 --inject serve:worker@1=panic --fault-seed 42",
+             --watch-ms 500 --inject serve:worker@1=panic --fault-seed 42 \
+             --cache-mb 16 --no-cache",
         ))
         .unwrap()
         {
@@ -607,10 +642,13 @@ mod tests {
                 assert_eq!(a.watch_ms, Some(500));
                 assert_eq!(a.inject.as_deref(), Some("serve:worker@1=panic"));
                 assert_eq!(a.fault_seed, Some(42));
+                assert_eq!(a.cache_mb, 16);
+                assert!(a.no_cache);
             }
             _ => unreachable!(),
         }
         assert!(parse(&argv("serve")).is_err());
+        assert!(parse(&argv("serve corpus --cache-mb")).is_err());
         assert!(parse(&argv("serve corpus extra")).is_err());
         assert!(parse(&argv("serve corpus --port")).is_err());
         assert!(parse(&argv("serve corpus --port 70000")).is_err());

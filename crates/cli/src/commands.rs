@@ -6,7 +6,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 use std::sync::Arc;
 use xfrag_core::collection::{
-    evaluate_collection_budgeted_traced, top_k_collection, CollectionResult,
+    evaluate_collection_budgeted_cached_traced, top_k_collection, CollectionResult,
 };
 use xfrag_core::cost::CostModel;
 use xfrag_core::plan::{execute_governed, execute_traced};
@@ -16,8 +16,8 @@ use xfrag_core::trace::{
     format_duration, render_spans, spans_to_json, LatencyHistogram, RecordingSink, Span, Tracer,
 };
 use xfrag_core::{
-    evaluate_budgeted_traced, overlap, EvalStats, ExecPolicy, Governor, LogicalPlan, Optimizer,
-    Query,
+    evaluate_budgeted_cached_traced, overlap, CacheRef, EvalStats, ExecPolicy, GenerationTag,
+    Governor, LogicalPlan, Optimizer, Query, QueryCache,
 };
 use xfrag_core::{FaultInjector, FaultPlan};
 use xfrag_doc::atomic::{write_atomic, WriteFault, WriteFaultHook};
@@ -230,6 +230,15 @@ fn load_dir(dir: &str) -> Result<Collection, CliError> {
     Ok(coll)
 }
 
+/// A one-shot CLI cache: `--cache-mb N` builds the cache and a fresh
+/// generation tag, runs one untraced cold pass to fill it, and lets the
+/// reported (warm) pass hit — so `--profile` spans and `--stats` show
+/// real hit counters from a single invocation.
+fn cli_cache(a: &SearchArgs) -> Option<(QueryCache, GenerationTag)> {
+    a.cache_mb
+        .map(|mb| (QueryCache::with_capacity_mb(mb), GenerationTag::fresh()))
+}
+
 /// `xfrag msearch`.
 pub fn multi_search(coll: &Collection, a: &SearchArgs) -> Result<String, CliError> {
     let q = build_query(a);
@@ -239,8 +248,29 @@ pub fn multi_search(coll: &Collection, a: &SearchArgs) -> Result<String, CliErro
     } else {
         Tracer::disabled()
     };
-    let r = evaluate_collection_budgeted_traced(coll, &q, a.strategy, &exec_policy(a), &tracer)
+    let cache = cli_cache(a);
+    let cache_arg = cache.as_ref().map(|(c, g)| (c, *g));
+    if cache_arg.is_some() {
+        // Cold fill pass; the reported pass below runs warm.
+        evaluate_collection_budgeted_cached_traced(
+            coll,
+            &q,
+            a.strategy,
+            &exec_policy(a),
+            &Tracer::disabled(),
+            cache_arg,
+        )
         .map_err(|e| CliError::Query(e.to_string()))?;
+    }
+    let r = evaluate_collection_budgeted_cached_traced(
+        coll,
+        &q,
+        a.strategy,
+        &exec_policy(a),
+        &tracer,
+        cache_arg,
+    )
+    .map_err(|e| CliError::Query(e.to_string()))?;
     let mut out = String::new();
     writeln!(
         out,
@@ -299,6 +329,9 @@ pub fn multi_search(coll: &Collection, a: &SearchArgs) -> Result<String, CliErro
     }
     if a.stats {
         writeln!(out, "stats: {}", r.stats).unwrap();
+        if let Some((c, _)) = &cache {
+            writeln!(out, "cache: {}", c.stats().to_json()).unwrap();
+        }
     }
     if a.profile.is_on() {
         let spans = sink.take();
@@ -360,8 +393,35 @@ pub fn search(doc: &Document, a: &SearchArgs) -> Result<String, CliError> {
     } else {
         Tracer::disabled()
     };
-    let result = evaluate_budgeted_traced(doc, &index, &q, a.strategy, &exec_policy(a), &tracer)
+    let cache = cli_cache(a);
+    let cache_ref = cache.as_ref().map(|(c, g)| CacheRef {
+        cache: c,
+        gen: *g,
+        doc: 0,
+    });
+    if let Some(cref) = cache_ref {
+        // Cold fill pass; the reported pass below runs warm.
+        evaluate_budgeted_cached_traced(
+            doc,
+            &index,
+            &q,
+            a.strategy,
+            &exec_policy(a),
+            &Tracer::disabled(),
+            Some(cref),
+        )
         .map_err(|e| CliError::Query(e.to_string()))?;
+    }
+    let result = evaluate_budgeted_cached_traced(
+        doc,
+        &index,
+        &q,
+        a.strategy,
+        &exec_policy(a),
+        &tracer,
+        cache_ref,
+    )
+    .map_err(|e| CliError::Query(e.to_string()))?;
     let answers = if a.maximal {
         overlap::maximal_only(&result.fragments)
     } else {
@@ -402,6 +462,9 @@ pub fn search(doc: &Document, a: &SearchArgs) -> Result<String, CliError> {
     }
     if a.stats {
         writeln!(out, "stats: {}", result.stats).unwrap();
+        if let Some((c, _)) = &cache {
+            writeln!(out, "cache: {}", c.stats().to_json()).unwrap();
+        }
     }
     out.push_str(&profile_block(a.profile, &sink.take()));
     Ok(out)
@@ -495,6 +558,52 @@ pub fn explain(doc: &Document, a: &SearchArgs) -> Result<String, CliError> {
         )
         .unwrap(),
     }
+    // `--cache-mb`: run the query cold (filling a fresh cache), then run
+    // it again warm under the tracer — the warm span tree carries
+    // cache_hits/cache_misses per stage, the EXPLAIN ANALYZE view of the
+    // cache.
+    if let Some((cache, gen)) = cli_cache(a) {
+        let cref = CacheRef {
+            cache: &cache,
+            gen,
+            doc: 0,
+        };
+        let policy = exec_policy(a);
+        writeln!(out, "== cache (cold fill, then warm re-run) ==").unwrap();
+        evaluate_budgeted_cached_traced(
+            doc,
+            &index,
+            &q,
+            a.strategy,
+            &policy,
+            &Tracer::disabled(),
+            Some(cref),
+        )
+        .map_err(|e| CliError::Query(e.to_string()))?;
+        let sink = RecordingSink::new();
+        let tracer = Tracer::new(&sink);
+        let warm = evaluate_budgeted_cached_traced(
+            doc,
+            &index,
+            &q,
+            a.strategy,
+            &policy,
+            &tracer,
+            Some(cref),
+        )
+        .map_err(|e| CliError::Query(e.to_string()))?;
+        writeln!(
+            out,
+            "-> {} fragment(s) warm, {}",
+            warm.fragments.len(),
+            warm.stats
+        )
+        .unwrap();
+        for line in render_spans(&sink.take()).lines() {
+            writeln!(out, "  {line}").unwrap();
+        }
+        writeln!(out, "cache: {}", cache.stats().to_json()).unwrap();
+    }
     Ok(out)
 }
 
@@ -534,6 +643,7 @@ pub fn demo() -> String {
         degrade: xfrag_core::DegradeMode::Ladder,
         profile: ProfileMode::Off,
         analyze: false,
+        cache_mb: None,
     };
     let mut out = String::from(
         "Paper §4 example: query {XQuery, optimization}, filter size ≤ 3,\n\
@@ -563,6 +673,7 @@ mod tests {
             degrade: xfrag_core::DegradeMode::Ladder,
             profile: ProfileMode::Off,
             analyze: false,
+            cache_mb: None,
         }
     }
 
@@ -688,6 +799,47 @@ mod tests {
     }
 
     #[test]
+    fn cached_search_is_byte_identical_and_reports_hits() {
+        let base = args(&["xml", "search"], FilterExpr::MaxSize(3));
+        let plain = search(&doc(), &base).unwrap();
+        let mut cached = base.clone();
+        cached.cache_mb = Some(4);
+        let warm = search(&doc(), &cached).unwrap();
+        assert_eq!(plain, warm, "cache must not change any output byte");
+
+        // With --stats the cache counter line appears and shows hits.
+        let mut st = cached.clone();
+        st.stats = true;
+        let out = search(&doc(), &st).unwrap();
+        assert!(out.contains("cache: {\"postings\":"), "{out}");
+        assert!(out.contains("cache_hits="), "{out}");
+        // Warm pass answered from the result tier: at least one hit.
+        assert!(!out.contains("\"result\":{\"hits\":0,"), "{out}");
+    }
+
+    #[test]
+    fn cached_profile_shows_result_hit_span() {
+        let mut a = args(&["xml", "search"], FilterExpr::MaxSize(3));
+        a.cache_mb = Some(4);
+        a.profile = ProfileMode::Text;
+        let out = search(&doc(), &a).unwrap();
+        assert!(out.contains("cache:result-hit"), "{out}");
+    }
+
+    #[test]
+    fn explain_with_cache_renders_warm_pass() {
+        let mut a = args(&["xml", "search"], FilterExpr::MaxSize(2));
+        a.cache_mb = Some(4);
+        let out = explain(&doc(), &a).unwrap();
+        assert!(
+            out.contains("== cache (cold fill, then warm re-run) =="),
+            "{out}"
+        );
+        assert!(out.contains("cache:result-hit"), "{out}");
+        assert!(out.contains("cache: {\"postings\":"), "{out}");
+    }
+
+    #[test]
     fn explain_analyze_prints_estimates_and_actuals_per_stage() {
         let mut a = args(&["xml", "search"], FilterExpr::MaxSize(2));
         a.analyze = true;
@@ -723,6 +875,7 @@ mod multi_tests {
             degrade: xfrag_core::DegradeMode::Ladder,
             profile: ProfileMode::Off,
             analyze: false,
+            cache_mb: None,
         }
     }
 

@@ -30,14 +30,15 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use xfrag_core::collection::{
-    evaluate_collection_budgeted_traced, top_k_collection, CollectionResult,
+    evaluate_collection_budgeted_cached_traced, top_k_collection, CollectionResult,
 };
 use xfrag_core::fault::{panic_message, site};
 use xfrag_core::rank::RankConfig;
 use xfrag_core::snippet::{snippet, SnippetConfig};
 use xfrag_core::trace::{LatencyHistogram, Tracer};
 use xfrag_core::{
-    Breach, Budget, CancelToken, EvalStats, ExecPolicy, FaultInjector, FaultPlan, Query, QueryError,
+    Breach, Budget, CancelToken, EvalStats, ExecPolicy, FaultInjector, FaultPlan, GenerationTag,
+    Query, QueryCache, QueryError,
 };
 use xfrag_doc::manifest;
 use xfrag_doc::{Collection, Document};
@@ -61,6 +62,10 @@ pub struct ServeArgs {
     pub inject: Option<String>,
     /// Seed for a generated fault plan over the runtime sites.
     pub fault_seed: Option<u64>,
+    /// Query-cache capacity in megabytes (shared across the pool).
+    pub cache_mb: u64,
+    /// Disable the query cache entirely.
+    pub no_cache: bool,
 }
 
 impl ServeArgs {
@@ -75,6 +80,8 @@ impl ServeArgs {
             watch_ms: None,
             inject: None,
             fault_seed: None,
+            cache_mb: 64,
+            no_cache: false,
         }
     }
 
@@ -192,6 +199,11 @@ pub(crate) struct Generation {
     /// Rollback messages from [`manifest::load_generation`]: newer
     /// generations that existed on disk but failed verification.
     rollbacks: Vec<String>,
+    /// Process-unique cache identity of this snapshot. A reload mints a
+    /// fresh tag, so cache entries keyed by the old one become
+    /// unreachable (implicit invalidation) while in-flight requests that
+    /// pinned the old `Arc` keep hitting their own coherent entries.
+    tag: GenerationTag,
 }
 
 /// Everything the accept loop, handlers, and workers share.
@@ -209,6 +221,9 @@ struct Shared {
     queue_depth: usize,
     timeout_ms: Option<u64>,
     fault: Option<Arc<FaultInjector>>,
+    /// Shared query cache (`None` under `--no-cache`). One cache for the
+    /// whole pool: workers contend only on its internal lock shards.
+    cache: Option<Arc<QueryCache>>,
     addr: std::net::SocketAddr,
     shutdown: AtomicBool,
     inner: Mutex<Inner>,
@@ -271,6 +286,7 @@ pub fn serve(args: &ServeArgs) -> Result<String, CliError> {
         queue_depth: args.queue_depth.max(1),
         timeout_ms: args.timeout_ms,
         fault,
+        cache: (!args.no_cache).then(|| Arc::new(QueryCache::with_capacity_mb(args.cache_mb))),
         addr,
         shutdown: AtomicBool::new(false),
         inner: Mutex::new(Inner {
@@ -457,6 +473,7 @@ fn load_corpus(dir: &str, fault: Option<&Arc<FaultInjector>>) -> Result<Generati
         quarantined,
         number,
         rollbacks,
+        tag: GenerationTag::fresh(),
     })
 }
 
@@ -716,8 +733,14 @@ fn stats_line(s: &Shared, id: u64) -> String {
         .collect();
     let quarantined = format!("[{}]", quarantined.join(","));
     let st = s.stats.lock().unwrap();
+    // `"cache":null` under `--no-cache`, the per-tier/per-shard counter
+    // object otherwise.
+    let cache = match &s.cache {
+        None => "null".to_string(),
+        Some(c) => c.stats().to_json(),
+    };
     format!(
-        "{{\"id\":{},\"status\":\"ok\",\"generation\":{},\"reloads\":{{\"ok\":{},\"failed\":{}}},\"quarantined\":{},\"serve\":{{\"total\":{},\"ok\":{},\"degraded\":{},\"shed\":{},\"timeout\":{},\"error\":{},\"shutting_down\":{},\"invalid\":{},\"worker_panics\":{}}},\"eval\":{},\"latency\":{}}}",
+        "{{\"id\":{},\"status\":\"ok\",\"generation\":{},\"reloads\":{{\"ok\":{},\"failed\":{}}},\"quarantined\":{},\"serve\":{{\"total\":{},\"ok\":{},\"degraded\":{},\"shed\":{},\"timeout\":{},\"error\":{},\"shutting_down\":{},\"invalid\":{},\"worker_panics\":{}}},\"eval\":{},\"latency\":{},\"cache\":{}}}",
         id,
         gen.number,
         s.reloads_ok.load(Ordering::SeqCst),
@@ -734,6 +757,7 @@ fn stats_line(s: &Shared, id: u64) -> String {
         st.worker_panics,
         serde_json::to_string(&st.eval).expect("stats serialize"),
         st.latency.to_json(),
+        cache,
     )
 }
 
@@ -887,8 +911,14 @@ fn handle_query(s: &Shared, job: &Job) -> Response {
             }
         })
     });
-    let result =
-        evaluate_collection_budgeted_traced(coll, &q, strategy, &policy, &Tracer::disabled());
+    let result = evaluate_collection_budgeted_cached_traced(
+        coll,
+        &q,
+        strategy,
+        &policy,
+        &Tracer::disabled(),
+        s.cache.as_deref().map(|c| (c, gen.tag)),
+    );
     done.store(true, Ordering::SeqCst);
     if let Some(w) = &watchdog {
         w.thread().unpark(); // let it exit promptly; no need to join

@@ -491,6 +491,171 @@ fn hot_reload_swaps_generations_under_concurrent_load() {
     assert!(sum.contains("0 in flight"), "{sum}");
 }
 
+/// Pull a numeric field's value out of a response line.
+fn field_u64(hay: &str, name: &str) -> u64 {
+    let pat = format!("\"{name}\":");
+    let start = hay
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no {name} in {hay}"))
+        + pat.len();
+    hay[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+/// Result-tier `(hits, misses)` from a `stats` reply's cache section.
+fn result_tier(stats: &str) -> (u64, u64) {
+    let c = &stats[stats
+        .find("\"cache\":{")
+        .expect("stats line has a cache section")..];
+    let r = &c[c
+        .find("\"result\":{")
+        .expect("cache section has a result tier")..];
+    (field_u64(r, "hits"), field_u64(r, "misses"))
+}
+
+/// The `"answers":[...]`-to-end tail of a query reply — the part that must
+/// not change between a computed answer and a cache replay (the `stats`
+/// field legitimately differs: that's where the hit counters live).
+fn answers_of(reply: &str) -> &str {
+    let start = reply.find("\"answers\":").expect("query reply has answers");
+    let end = reply.find(",\"stats\":").unwrap_or(reply.len());
+    &reply[start..end]
+}
+
+/// ISSUE 5 satellite: hot reload invalidates the query cache implicitly
+/// (generation-keyed entries from the old snapshot are never served
+/// again), under the same 6×5 concurrent soak as the reload test, and
+/// the per-tier counters reconcile across the swap.
+#[test]
+fn hot_reload_invalidates_cache_under_concurrent_load() {
+    let src = corpus("cache-reload-src");
+    let out = gen_corpus("cache-reload");
+    run_index(&src, &out);
+    let srv = Server::start(&out, &["--cache-mb", "16"]);
+
+    // Warm the result tier: the second identical request replays the
+    // first's answer bytes and says so in its stats.
+    let q_alpha = r#"{"kind":"query","id":7,"keywords":["alpha"]}"#;
+    let cold = srv.rpc(q_alpha);
+    assert_eq!(field_str(&cold, "status"), "ok", "{cold}");
+    assert_eq!(field_u64(&cold, "cache_hits"), 0, "{cold}");
+    let warm = srv.rpc(q_alpha);
+    assert_eq!(
+        answers_of(&warm),
+        answers_of(&cold),
+        "cache replay changed the answer"
+    );
+    assert!(field_u64(&warm, "cache_hits") >= 1, "{warm}");
+    let stats = srv.rpc(r#"{"kind":"stats","id":8}"#);
+    let (h0, m0) = result_tier(&stats);
+    assert!(h0 >= 1 && m0 >= 1, "warm-up not visible in stats: {stats}");
+
+    // Commit generation 2 with changed content for the cached query.
+    std::fs::write(
+        src.join("a.xml"),
+        "<doc><title>alpha regenerated</title><p>ranked xml search regenerated</p></doc>",
+    )
+    .unwrap();
+    run_index(&src, &out);
+
+    // Reload lands in the middle of the 6×5 soak, every query of which
+    // is cache-eligible and most of which are cache hits.
+    const THREADS: u64 = 6;
+    const PER_THREAD: u64 = 5;
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let addr = srv.addr.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut conn = Conn::open(&addr);
+            let mut replies = Vec::new();
+            for i in 0..PER_THREAD {
+                let id = t * 100 + i;
+                let req = format!(
+                    r#"{{"kind":"query","id":{id},"keywords":["xml","search"],"top_k":2}}"#
+                );
+                replies.push((id, conn.rpc(&req)));
+            }
+            replies
+        }));
+    }
+    std::thread::sleep(Duration::from_millis(30));
+    let reload = srv.rpc(r#"{"kind":"reload","id":50}"#);
+    assert_eq!(field_str(&reload, "status"), "ok", "{reload}");
+    assert!(reload.contains("serving generation 2"), "{reload}");
+
+    let mut total = 0usize;
+    for h in handles {
+        for (id, reply) in h.join().expect("client thread") {
+            total += 1;
+            assert!(reply.starts_with(&format!("{{\"id\":{id},")), "{reply}");
+            assert_eq!(field_str(&reply, "status"), "ok", "{reply}");
+        }
+    }
+    assert_eq!(total, (THREADS * PER_THREAD) as usize, "lost responses");
+
+    // The acceptance bar: the old generation's cached answer is never
+    // served again. The first post-reload run of the warmed query must
+    // be a clean miss that computes the *new* content...
+    let stats = srv.rpc(r#"{"kind":"stats","id":51}"#);
+    let (h1, m1) = result_tier(&stats);
+    let post = srv.rpc(q_alpha);
+    assert_eq!(field_str(&post, "status"), "ok", "{post}");
+    assert_eq!(
+        field_u64(&post, "cache_hits"),
+        0,
+        "stale hit after reload: {post}"
+    );
+    assert!(
+        post.contains("regenerated"),
+        "stale content after reload: {post}"
+    );
+    assert_ne!(
+        answers_of(&post),
+        answers_of(&cold),
+        "old-generation answer served"
+    );
+    let stats = srv.rpc(r#"{"kind":"stats","id":52}"#);
+    let (h2, m2) = result_tier(&stats);
+    assert_eq!(h2, h1, "result-tier hits moved on a post-reload miss");
+    assert!(m2 > m1, "post-reload probe not counted as a miss: {stats}");
+
+    // ...and the new generation caches normally from then on.
+    let post2 = srv.rpc(q_alpha);
+    assert!(field_u64(&post2, "cache_hits") >= 1, "{post2}");
+    assert_eq!(answers_of(&post2), answers_of(&post));
+    let stats = srv.rpc(r#"{"kind":"stats","id":53}"#);
+    let (h3, _) = result_tier(&stats);
+    assert!(h3 > h2, "new-generation hit not counted: {stats}");
+    assert!(field_u64(&stats, "insertions") >= 1, "{stats}");
+    assert!(field_u64(&stats, "entries") >= 1, "{stats}");
+
+    let (st, sum) = srv.shutdown_and_wait();
+    assert!(st.success(), "server exited {st:?}");
+    assert!(sum.contains("0 in flight"), "{sum}");
+}
+
+/// `--no-cache` keeps the cache section of `stats` null and serves every
+/// request computed fresh — the escape hatch the runbook documents.
+#[test]
+fn no_cache_flag_disables_caching_entirely() {
+    let dir = corpus("nocache");
+    let srv = Server::start(&dir, &["--no-cache"]);
+    let q = r#"{"kind":"query","id":1,"keywords":["xml","search"]}"#;
+    let a = srv.rpc(q);
+    let b = srv.rpc(q);
+    assert_eq!(a, b, "uncached replies must be byte-identical");
+    assert_eq!(field_u64(&a, "cache_hits"), 0, "{a}");
+    assert_eq!(field_u64(&b, "cache_hits"), 0, "{b}");
+    let stats = srv.rpc(r#"{"kind":"stats","id":2}"#);
+    assert!(stats.contains("\"cache\":null"), "{stats}");
+    let (st, _) = srv.shutdown_and_wait();
+    assert!(st.success());
+}
+
 #[test]
 fn corrupt_next_generation_never_replaces_the_serving_one() {
     let src = corpus("corrupt-src");

@@ -8,8 +8,9 @@
 //! result stream.
 
 use crate::budget::{Breach, Degradation, DegradeMode, ExecPolicy, Governor};
+use crate::cache::{CacheRef, GenerationTag, QueryCache};
 use crate::fault::{panic_message, site, FaultInjector};
-use crate::query::{evaluate, evaluate_budgeted_traced, Query, QueryError, Strategy};
+use crate::query::{evaluate, evaluate_budgeted_cached_traced, Query, QueryError, Strategy};
 use crate::rank::{score, RankConfig};
 use crate::stats::EvalStats;
 use crate::trace::Tracer;
@@ -265,6 +266,25 @@ pub fn evaluate_collection_budgeted_traced(
     policy: &ExecPolicy,
     tracer: &Tracer<'_>,
 ) -> Result<BudgetedCollectionResult, QueryError> {
+    evaluate_collection_budgeted_cached_traced(collection, query, strategy, policy, tracer, None)
+}
+
+/// [`evaluate_collection_budgeted_traced`] through a [`QueryCache`].
+///
+/// `cache` pairs the shared cache with the [`GenerationTag`] of *this*
+/// collection snapshot; each candidate document probes and fills under a
+/// per-document [`CacheRef`] (cache keys carry the document id, so two
+/// documents never alias). Pass `None` for the uncached path — the two
+/// produce byte-identical answers, which `tests/cache_differential.rs`
+/// verifies across strategies, policies, and fault plans.
+pub fn evaluate_collection_budgeted_cached_traced(
+    collection: &Collection,
+    query: &Query,
+    strategy: Strategy,
+    policy: &ExecPolicy,
+    tracer: &Tracer<'_>,
+    cache: Option<(&QueryCache, GenerationTag)>,
+) -> Result<BudgetedCollectionResult, QueryError> {
     if query.terms.is_empty() {
         return Err(QueryError::NoTerms);
     }
@@ -305,13 +325,18 @@ pub fn evaluate_collection_budgeted_traced(
                 || format!("doc:{}", collection.name(id)),
                 &mut out.stats,
                 |stats| -> Result<_, QueryError> {
-                    let r = evaluate_budgeted_traced(
+                    let r = evaluate_budgeted_cached_traced(
                         collection.doc(id),
                         collection.index(id),
                         query,
                         strategy,
                         &per_doc,
                         tracer,
+                        cache.map(|(cache, gen)| CacheRef {
+                            cache,
+                            gen,
+                            doc: id.0,
+                        }),
                     )?;
                     *stats += r.stats;
                     Ok(r)

@@ -299,6 +299,58 @@ pub fn fixed_point_governed(
     }
 }
 
+/// [`fixed_point_traced`] through the tier (b) cache: probe
+/// `(generation, doc, term, mode)` first, replaying the stored
+/// [`EvalStats`] delta on a hit so cached and uncached runs report
+/// identical compute counters; on a miss, compute, then store the set
+/// together with the delta it cost.
+///
+/// The stored delta's `budget_checkpoints` field carries the number of
+/// *governor* checkpoints the computation consumed (the compute itself
+/// never writes that stats field mid-run); replaying it lets the
+/// budgeted evaluator report the same checkpoint total whether or not
+/// the fixpoint work was skipped.
+///
+/// Callers must only pass a cache under governors that cannot trip on
+/// work limits (the budgeted evaluator gates tier (b) on an unlimited,
+/// cancel-free policy): a hit skips the governor charges the compute
+/// would have made, which under a work-limited governor would change
+/// where — and whether — the budget trips.
+#[allow(clippy::too_many_arguments)]
+pub fn fixed_point_memo_traced(
+    doc: &Document,
+    f: &FragmentSet,
+    term: &str,
+    mode: FixpointMode,
+    stats: &mut EvalStats,
+    gov: &Governor,
+    tracer: &Tracer<'_>,
+    cache: Option<crate::cache::CacheRef<'_>>,
+) -> Result<FragmentSet, Breach> {
+    let Some(c) = cache else {
+        return fixed_point_traced(doc, f, mode, stats, gov, tracer);
+    };
+    if let Some((set, delta)) = c.cache.get_fixpoint(c.gen, c.doc, term, mode) {
+        tracer.scoped_lazy(
+            || format!("fixpoint-cache:{term}"),
+            stats,
+            |stats| {
+                stats.cache_hits += 1;
+                *stats += delta;
+            },
+        );
+        return Ok(set);
+    }
+    stats.cache_misses += 1;
+    let before = *stats;
+    let checkpoints_before = gov.checkpoints_passed();
+    let out = fixed_point_traced(doc, f, mode, stats, gov, tracer)?;
+    let mut delta = stats.delta_since(&before);
+    delta.budget_checkpoints = gov.checkpoints_passed() - checkpoints_before;
+    c.cache.put_fixpoint(c.gen, c.doc, term, mode, &out, delta);
+    Ok(out)
+}
+
 /// [`fixed_point_governed`] with span recording, dispatching to the
 /// traced variant of the chosen mode.
 pub fn fixed_point_traced(

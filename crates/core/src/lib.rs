@@ -22,6 +22,8 @@
 //! * [`parallel`] — optional multi-threaded pairwise joins for large sets;
 //! * [`budget`] — resource budgets, cooperative cancellation, and the
 //!   graceful-degradation ladder ([`evaluate_budgeted`]);
+//! * [`cache`] — generation-keyed, sharded LRU memoization of postings,
+//!   fixed points and full results for repeated query traffic;
 //! * [`trace`] — span-based stage tracing under every `*_traced` entry
 //!   point, powering `--profile` and `explain --analyze`;
 //! * [`fault`] — deterministic, seeded fault injection at named sites,
@@ -52,6 +54,7 @@
 //! ```
 
 pub mod budget;
+pub mod cache;
 pub mod collection;
 pub mod cost;
 pub mod fault;
@@ -72,19 +75,23 @@ pub mod trace;
 pub use budget::{
     Breach, Budget, CancelToken, Degradation, DegradeMode, ExecPolicy, Governor, Rung,
 };
+pub use cache::{
+    CacheRef, CacheStats, CachedResult, GenerationTag, PolicyFp, QueryCache, ResultKey,
+    ShardCounters, TierCounters,
+};
 pub use collection::{
-    evaluate_collection, evaluate_collection_budgeted, evaluate_collection_budgeted_traced,
-    evaluate_collection_parallel, top_k_collection, BudgetedCollectionResult, CollectionResult,
-    DocAnswers,
+    evaluate_collection, evaluate_collection_budgeted, evaluate_collection_budgeted_cached_traced,
+    evaluate_collection_budgeted_traced, evaluate_collection_parallel, top_k_collection,
+    BudgetedCollectionResult, CollectionResult, DocAnswers,
 };
 pub use cost::{CostEstimate, CostModel};
 pub use fault::{FaultAction, FaultInjector, FaultPlan};
 pub use filter::{select, FilterExpr};
 pub use fixpoint::{
-    fixed_point, fixed_point_governed, fixed_point_naive, fixed_point_naive_governed,
-    fixed_point_naive_traced, fixed_point_reduced, fixed_point_reduced_governed,
-    fixed_point_reduced_traced, fixed_point_traced, powerset_via_fixpoint, reduce, reduce_governed,
-    reduce_traced, reduction_factor, FixpointMode,
+    fixed_point, fixed_point_governed, fixed_point_memo_traced, fixed_point_naive,
+    fixed_point_naive_governed, fixed_point_naive_traced, fixed_point_reduced,
+    fixed_point_reduced_governed, fixed_point_reduced_traced, fixed_point_traced,
+    powerset_via_fixpoint, reduce, reduce_governed, reduce_traced, reduction_factor, FixpointMode,
 };
 pub use fragment::{Fragment, FragmentError};
 pub use join::{
@@ -94,8 +101,8 @@ pub use join::{
 };
 pub use plan::{execute_governed, execute_traced, LogicalPlan, Optimizer, OptimizerRule};
 pub use query::{
-    evaluate, evaluate_budgeted, evaluate_budgeted_traced, evaluate_scoped, evaluate_traced, Query,
-    QueryError, QueryResult, ScopedQueryError, Strategy,
+    evaluate, evaluate_budgeted, evaluate_budgeted_cached_traced, evaluate_budgeted_traced,
+    evaluate_scoped, evaluate_traced, Query, QueryError, QueryResult, ScopedQueryError, Strategy,
 };
 pub use set::FragmentSet;
 pub use stats::EvalStats;

@@ -181,6 +181,94 @@ pub fn pairwise_join_parallel_traced(
     })
 }
 
+/// Warm the tier (b) fixpoint cache for `terms` across `threads`
+/// workers: for each `(term, mode)` pair not yet cached, compute the
+/// term's posting set and its fixed point ungoverned, then fill the
+/// cache. Returns the number of entries computed (pairs already cached
+/// are skipped).
+///
+/// This is the serve-side "pre-heat after reload" hook: fixpoints are
+/// the dominant repeated cost, and warming them off the request path
+/// means the first query against a fresh generation pays only the join
+/// fold. Warming is best-effort — the cache's LRU may age entries out
+/// again under pressure.
+pub fn warm_fixpoints_parallel(
+    doc: &Document,
+    index: &xfrag_doc::InvertedIndex,
+    terms: &[String],
+    modes: &[crate::fixpoint::FixpointMode],
+    threads: usize,
+    cache: crate::cache::CacheRef<'_>,
+) -> usize {
+    use crate::fixpoint::fixed_point_traced;
+    let work: Vec<(&String, crate::fixpoint::FixpointMode)> = terms
+        .iter()
+        .flat_map(|t| modes.iter().map(move |&m| (t, m)))
+        .filter(|(t, m)| {
+            cache
+                .cache
+                .get_fixpoint(cache.gen, cache.doc, t, *m)
+                .is_none()
+        })
+        .collect();
+    if work.is_empty() {
+        return 0;
+    }
+    let threads = threads.clamp(1, work.len());
+    let chunk = work.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = work
+            .chunks(chunk)
+            .map(|shard| {
+                scope.spawn(move || {
+                    let mut warmed = 0usize;
+                    for (term, mode) in shard {
+                        let base = cache
+                            .cache
+                            .get_postings(cache.gen, cache.doc, term)
+                            .unwrap_or_else(|| {
+                                let set = FragmentSet::of_nodes(index.lookup(term).iter().copied());
+                                cache.cache.put_postings(cache.gen, cache.doc, term, &set);
+                                set
+                            });
+                        let mut delta = EvalStats::new();
+                        // Per-entry governor so the stored delta carries
+                        // exactly the checkpoints this computation passed
+                        // (the replay contract of `fixed_point_memo_traced`).
+                        let gov = Governor::unlimited();
+                        // invariant: an unlimited governor never breaches.
+                        let fp = fixed_point_traced(
+                            doc,
+                            &base,
+                            *mode,
+                            &mut delta,
+                            &gov,
+                            &Tracer::disabled(),
+                        )
+                        .expect("unlimited governor");
+                        delta.budget_checkpoints = gov.checkpoints_passed();
+                        cache
+                            .cache
+                            .put_fixpoint(cache.gen, cache.doc, term, *mode, &fp, delta);
+                        warmed += 1;
+                    }
+                    warmed
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(n) => n,
+                // invariant: worker closures only run pure fixpoint code;
+                // resume propagates a hypothetical panic instead of
+                // swallowing it.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .sum()
+    })
+}
+
 /// What one parallel shard hands back to the coordinator.
 struct WorkerResult {
     frags: Vec<Fragment>,

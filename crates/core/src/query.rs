@@ -22,9 +22,11 @@
 //! which [`crate::EvalStats`] exposes.
 
 use crate::budget::{Breach, Degradation, DegradeMode, ExecPolicy, Governor, Rung, TOP_CANDIDATES};
+use crate::cache::{CacheRef, ResultKey};
 use crate::filter::{select, FilterExpr};
 use crate::fixpoint::{
-    fixed_point_naive_traced, fixed_point_reduced_traced, reduce, reduce_traced,
+    fixed_point_memo_traced, fixed_point_naive_traced, fixed_point_reduced_traced, reduce,
+    reduce_traced, FixpointMode,
 };
 use crate::join::{
     fragment_join_many, pairwise_join_governed, pairwise_join_traced, PowersetTooLarge,
@@ -382,6 +384,73 @@ pub fn evaluate_budgeted_traced(
     policy: &ExecPolicy,
     tracer: &Tracer<'_>,
 ) -> Result<QueryResult, QueryError> {
+    evaluate_budgeted_cached_traced(doc, index, query, strategy, policy, tracer, None)
+}
+
+/// [`evaluate_budgeted_traced`] through a [`crate::QueryCache`].
+///
+/// With `cache: None` this is exactly the uncached path. With a cache:
+///
+/// 1. **Tier (c)** — probe the full-result cache under the normalized
+///    [`ResultKey`] (sorted terms, filter fingerprint, strategy, policy
+///    fingerprint, achieved rung). A hit is charged to a governor
+///    built from the policy — a cancelled token still aborts, an armed
+///    `query:eval` fault still fires, and a pre-expired deadline makes
+///    the hit unservable (falls through to normal evaluation, which
+///    degrades or times out exactly as an uncached run would). Served
+///    hits replay the stored compute [`EvalStats`], so cached and
+///    uncached evaluation report identical non-cache counters.
+/// 2. **Tier (a)** — operand sets come from the postings cache; misses
+///    compute and fill. Postings construction is ungoverned, so this
+///    tier is sound under every policy.
+/// 3. **Tier (b)** — fixed points are memoized only when the policy has
+///    no work limits, wall clock, or cancel token: a fixpoint hit skips
+///    governor charges, which under a limited budget would change where
+///    the budget trips.
+pub fn evaluate_budgeted_cached_traced(
+    doc: &Document,
+    index: &InvertedIndex,
+    query: &Query,
+    strategy: Strategy,
+    policy: &ExecPolicy,
+    tracer: &Tracer<'_>,
+    cache: Option<CacheRef<'_>>,
+) -> Result<QueryResult, QueryError> {
+    if query.terms.is_empty() {
+        return Err(QueryError::NoTerms);
+    }
+    let key = cache
+        .as_ref()
+        .map(|c| ResultKey::new(c.gen, c.doc, query, strategy, policy));
+    if let (Some(c), Some(key)) = (&cache, &key) {
+        if let Some(entry) = c.cache.get_result(key) {
+            let gov = Governor::new(policy.budget, policy.cancel.clone())
+                .with_fault(policy.fault.clone());
+            match gov.checkpoint() {
+                Ok(()) => {
+                    // Mirror the single fault point a computed run fires.
+                    if gov.fault_point(crate::fault::site::QUERY_EVAL).is_err() {
+                        return Err(QueryError::Cancelled);
+                    }
+                    let mut stats = EvalStats::new();
+                    tracer.scoped("cache:result-hit", &mut stats, |stats| {
+                        *stats += entry.stats;
+                        stats.cache_hits += 1;
+                    });
+                    return Ok(QueryResult {
+                        fragments: entry.fragments,
+                        stats,
+                        degradation: entry.degradation,
+                    });
+                }
+                Err(Breach::Cancelled) => return Err(QueryError::Cancelled),
+                // Deadline already gone: the entry is not servable under
+                // this request's budget charge — recompute below.
+                Err(_) => {}
+            }
+        }
+    }
+
     let mut lookup_stats = EvalStats::new();
     let operands: Vec<FragmentSet> = query
         .terms
@@ -390,14 +459,49 @@ pub fn evaluate_budgeted_traced(
             tracer.scoped_lazy(
                 || format!("term-lookup:{t}"),
                 &mut lookup_stats,
-                |_| FragmentSet::of_nodes(index.lookup(t).iter().copied()),
+                |stats| match &cache {
+                    Some(c) => match c.cache.get_postings(c.gen, c.doc, t) {
+                        Some(set) => {
+                            stats.cache_hits += 1;
+                            set
+                        }
+                        None => {
+                            stats.cache_misses += 1;
+                            let set = FragmentSet::of_nodes(index.lookup(t).iter().copied());
+                            c.cache.put_postings(c.gen, c.doc, t, &set);
+                            set
+                        }
+                    },
+                    None => FragmentSet::of_nodes(index.lookup(t).iter().copied()),
+                },
             )
         })
         .collect();
-    evaluate_operands_budgeted_traced(doc, query, strategy, &operands, policy, tracer)
+
+    // Tier (b) gate — see the doc comment above.
+    let tier_b = cache.filter(|_| !policy.budget.is_limited() && policy.cancel.is_none());
+    let mut result =
+        evaluate_operands_budgeted_traced(doc, query, strategy, &operands, policy, tracer, tier_b)?;
+    result.stats.cache_hits += lookup_stats.cache_hits;
+    result.stats.cache_misses += lookup_stats.cache_misses;
+    if let (Some(c), Some(key)) = (&cache, &key) {
+        result.stats.cache_misses += 1; // this evaluation did not reuse a result
+                                        // Empty-operand short-circuits are not cached: recomputing them
+                                        // costs one postings lookup, and keeping them out preserves
+                                        // exact fault-injection parity (the short-circuit path fires no
+                                        // `query:eval` fault point; the hit path does).
+        if !operands.iter().any(FragmentSet::is_empty) {
+            c.cache.put_result(key, &result);
+        }
+    }
+    Ok(result)
 }
 
 /// Traced budgeted strategy dispatch over pre-built operand sets.
+///
+/// `cache` (when present) memoizes per-term fixed points — callers are
+/// responsible for the tier (b) gate: pass `Some` only under unlimited,
+/// non-cancellable policies (see [`evaluate_budgeted_cached_traced`]).
 pub(crate) fn evaluate_operands_budgeted_traced(
     doc: &Document,
     query: &Query,
@@ -405,6 +509,7 @@ pub(crate) fn evaluate_operands_budgeted_traced(
     operands: &[FragmentSet],
     policy: &ExecPolicy,
     tracer: &Tracer<'_>,
+    cache: Option<CacheRef<'_>>,
 ) -> Result<QueryResult, QueryError> {
     if query.terms.is_empty() {
         return Err(QueryError::NoTerms);
@@ -433,7 +538,7 @@ pub(crate) fn evaluate_operands_budgeted_traced(
     let attempt = tracer.scoped_lazy(
         || format!("rung:{}", Rung::Full.name()),
         &mut stats,
-        |stats| strategy_raw_traced(doc, query, strategy, operands, stats, &gov, tracer),
+        |stats| strategy_raw_traced(doc, query, strategy, operands, stats, &gov, tracer, cache),
     );
     let mut raw = match attempt {
         Ok(raw) => Some(raw),
@@ -526,7 +631,10 @@ pub(crate) fn evaluate_operands_budgeted_traced(
         fragments
     });
 
-    stats.budget_checkpoints = gov.checkpoints_passed();
+    // `+=`, not `=`: fixpoint-cache hits replay the checkpoints their
+    // original computation passed (see `fixed_point_memo_traced`), and
+    // those replays land in `stats` before this line.
+    stats.budget_checkpoints += gov.checkpoints_passed();
     let degradation = match rung {
         None => Degradation::none(),
         Some(rung) => Degradation {
@@ -567,6 +675,7 @@ fn handle_breach(
 /// The governed equivalent of the strategy dispatch in
 /// [`evaluate_operands`]: compute the raw (pre-selection) set for the
 /// requested strategy, charging `gov` and recording spans throughout.
+#[allow(clippy::too_many_arguments)]
 fn strategy_raw_traced(
     doc: &Document,
     query: &Query,
@@ -575,6 +684,7 @@ fn strategy_raw_traced(
     stats: &mut EvalStats,
     gov: &Governor,
     tracer: &Tracer<'_>,
+    cache: Option<CacheRef<'_>>,
 ) -> Result<FragmentSet, Breach> {
     match strategy {
         Strategy::BruteForce => tracer.scoped("brute-force", stats, |stats| {
@@ -583,14 +693,38 @@ fn strategy_raw_traced(
         Strategy::FixedPointNaive => {
             let fps: Vec<FragmentSet> = operands
                 .iter()
-                .map(|f| fixed_point_naive_traced(doc, f, stats, gov, tracer))
+                .zip(&query.terms)
+                .map(|(f, t)| {
+                    fixed_point_memo_traced(
+                        doc,
+                        f,
+                        t,
+                        FixpointMode::Naive,
+                        stats,
+                        gov,
+                        tracer,
+                        cache,
+                    )
+                })
                 .collect::<Result<_, _>>()?;
             fold_pairwise_traced(doc, fps, stats, gov, tracer)
         }
         Strategy::FixedPointReduced => {
             let fps: Vec<FragmentSet> = operands
                 .iter()
-                .map(|f| fixed_point_reduced_traced(doc, f, stats, gov, tracer))
+                .zip(&query.terms)
+                .map(|(f, t)| {
+                    fixed_point_memo_traced(
+                        doc,
+                        f,
+                        t,
+                        FixpointMode::Reduced,
+                        stats,
+                        gov,
+                        tracer,
+                        cache,
+                    )
+                })
                 .collect::<Result<_, _>>()?;
             fold_pairwise_traced(doc, fps, stats, gov, tracer)
         }

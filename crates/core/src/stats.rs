@@ -38,6 +38,13 @@ pub struct EvalStats {
     /// boundaries where the deadline and cancel flag were consulted).
     /// Zero for ungoverned runs.
     pub budget_checkpoints: u64,
+    /// Query-cache lookups that found a reusable entry (any tier).
+    /// Cache counters are *observability* fields: the differential suite
+    /// asserts that all non-cache counters are identical between cached
+    /// and uncached evaluation, while these two may legitimately differ.
+    pub cache_hits: u64,
+    /// Query-cache lookups that missed and fell through to computation.
+    pub cache_misses: u64,
 }
 
 impl EvalStats {
@@ -69,6 +76,19 @@ impl EvalStats {
             budget_checkpoints: self
                 .budget_checkpoints
                 .saturating_sub(base.budget_checkpoints),
+            cache_hits: self.cache_hits.saturating_sub(base.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(base.cache_misses),
+        }
+    }
+
+    /// A copy with the cache observability counters zeroed — the
+    /// "pure compute" view. Cached entries store this form so a replay
+    /// reproduces exactly the counters an uncached run would report.
+    pub fn without_cache_counters(&self) -> EvalStats {
+        EvalStats {
+            cache_hits: 0,
+            cache_misses: 0,
+            ..*self
         }
     }
 }
@@ -85,6 +105,8 @@ impl AddAssign for EvalStats {
         self.fixpoint_checks += o.fixpoint_checks;
         self.reduce_checks += o.reduce_checks;
         self.budget_checkpoints += o.budget_checkpoints;
+        self.cache_hits += o.cache_hits;
+        self.cache_misses += o.cache_misses;
     }
 }
 
@@ -92,7 +114,7 @@ impl fmt::Display for EvalStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "joins={} merged_nodes={} emitted={} dups={} filter_evals={} pruned={} fp_iters={} fp_checks={} reduce_checks={} budget_checkpoints={}",
+            "joins={} merged_nodes={} emitted={} dups={} filter_evals={} pruned={} fp_iters={} fp_checks={} reduce_checks={} budget_checkpoints={} cache_hits={} cache_misses={}",
             self.joins,
             self.nodes_merged,
             self.fragments_emitted,
@@ -102,7 +124,9 @@ impl fmt::Display for EvalStats {
             self.fixpoint_iterations,
             self.fixpoint_checks,
             self.reduce_checks,
-            self.budget_checkpoints
+            self.budget_checkpoints,
+            self.cache_hits,
+            self.cache_misses
         )
     }
 }
@@ -150,6 +174,8 @@ mod tests {
             fixpoint_checks: 8,
             reduce_checks: 9,
             budget_checkpoints: 10,
+            cache_hits: 11,
+            cache_misses: 12,
         }
     }
 
@@ -172,6 +198,8 @@ mod tests {
             fixpoint_checks,
             reduce_checks,
             budget_checkpoints,
+            cache_hits,
+            cache_misses,
         } = sum;
         assert_eq!(joins, 2);
         assert_eq!(nodes_merged, 4);
@@ -183,6 +211,8 @@ mod tests {
         assert_eq!(fixpoint_checks, 16);
         assert_eq!(reduce_checks, 18);
         assert_eq!(budget_checkpoints, 20);
+        assert_eq!(cache_hits, 22);
+        assert_eq!(cache_misses, 24);
 
         // Display must render each doubled value exactly once.
         let shown = sum.to_string();
@@ -197,6 +227,8 @@ mod tests {
             "fp_checks=16",
             "reduce_checks=18",
             "budget_checkpoints=20",
+            "cache_hits=22",
+            "cache_misses=24",
         ] {
             assert!(shown.contains(expect), "missing `{expect}` in `{shown}`");
         }
@@ -204,5 +236,16 @@ mod tests {
         // delta_since inverts add_assign field-by-field, and saturates.
         assert_eq!(sum.delta_since(&distinct()), distinct());
         assert_eq!(EvalStats::new().delta_since(&sum), EvalStats::new());
+    }
+
+    #[test]
+    fn without_cache_counters_zeroes_only_cache_fields() {
+        let pure = distinct().without_cache_counters();
+        assert_eq!(pure.cache_hits, 0);
+        assert_eq!(pure.cache_misses, 0);
+        let mut expect = distinct();
+        expect.cache_hits = 0;
+        expect.cache_misses = 0;
+        assert_eq!(pure, expect);
     }
 }
