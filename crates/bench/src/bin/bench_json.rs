@@ -7,7 +7,7 @@
 //! Usage:
 //!
 //! ```text
-//! bench_json [--smoke] [--out PATH]
+//! bench_json [--smoke] [--out PATH] [--out6 PATH]
 //! ```
 //!
 //! `--smoke` shrinks the workload for CI (seconds, not minutes) and
@@ -15,7 +15,17 @@
 //! the full run *fails* unless warm p50 is strictly below cold p50.
 //! Everything is seeded: the same invocation produces the same request
 //! stream, so latency differences come from the cache, not the workload.
+//!
+//! A second scenario (ISSUE 6 satellite) spreads the same stream over
+//! `DELTA_DOCS` simulated documents and measures the result-tier hit
+//! rate across four phases — cold fill, warm replay, full reload (fresh
+//! generation, nothing carried), and delta reload (fresh generation,
+//! [`QueryCache::carry_over`] maps every unchanged document) — emitting
+//! `BENCH_6.json`. Its gate is counter-exact and runs in both modes:
+//! the delta-reload hit rate must not dip below the warm rate scaled by
+//! the unchanged fraction.
 
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
@@ -30,6 +40,10 @@ use xfrag_corpus::zipf::Zipf;
 const SEED: u64 = 42;
 const ZIPF_S: f64 = 1.1;
 const CACHE_MB: u64 = 64;
+/// Simulated corpus size for the delta-reload scenario; requests are
+/// assigned round-robin, so changing one document invalidates exactly
+/// `1/DELTA_DOCS` of the request stream.
+const DELTA_DOCS: u32 = 12;
 
 /// One distinct query shape in the workload pool.
 struct PoolEntry {
@@ -117,6 +131,141 @@ fn measure(latencies: &[Duration], wall: Duration) -> PassReport {
     }
 }
 
+/// Result-tier `(hits, misses, hit_rate)` accumulated by one pass over
+/// the stream with requests spread round-robin across `DELTA_DOCS`
+/// simulated documents, keyed under `gen`.
+fn delta_pass(
+    fx: &QueryFixture,
+    pool: &[PoolEntry],
+    stream: &[usize],
+    cache: &QueryCache,
+    gen: GenerationTag,
+) -> (u64, u64, f64) {
+    let policy = ExecPolicy::unlimited();
+    let tracer = Tracer::disabled();
+    let before = cache.stats().result;
+    for (req, &i) in stream.iter().enumerate() {
+        let e = &pool[i];
+        let cref = CacheRef {
+            cache,
+            gen,
+            doc: req as u32 % DELTA_DOCS,
+        };
+        let r = evaluate_budgeted_cached_traced(
+            &fx.doc,
+            &fx.index,
+            &e.query,
+            e.strategy,
+            &policy,
+            &tracer,
+            Some(cref),
+        )
+        .expect("unlimited workload evaluation cannot fail");
+        std::hint::black_box(r.fragments.len());
+    }
+    let after = cache.stats().result;
+    let (h, m) = (after.hits - before.hits, after.misses - before.misses);
+    (h, m, h as f64 / ((h + m) as f64).max(1.0))
+}
+
+/// The delta-reload scenario: returns the BENCH_6 JSON and whether the
+/// hit-rate dip bound held.
+///
+/// Uses its own fixture and stream, sized so every entry of every phase
+/// fits in the cache: the gate reasons counter-exactly about carry-over,
+/// which LRU evictions (the BENCH_5 full workload overflows 64 MB by
+/// design) would turn into noise.
+fn delta_scenario(pool: &[PoolEntry], smoke: bool) -> (String, bool) {
+    let requests = if smoke { 72usize } else { 240usize };
+    let fx = query_fixture(400, 5, 5, SEED);
+    let zipf = Zipf::new(pool.len(), ZIPF_S);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let stream: Vec<usize> = (0..requests).map(|_| zipf.sample(&mut rng) - 1).collect();
+    let (fx, stream) = (&fx, &stream[..]);
+    let cache = QueryCache::with_capacity_mb(CACHE_MB);
+    let gen_a = GenerationTag::fresh();
+    // Phase 1: cold fill (misses dominate; Zipf repeats already hit).
+    let cold = delta_pass(fx, pool, stream, &cache, gen_a);
+    // Phase 2: warm replay of the identical stream — the steady state.
+    let warm = delta_pass(fx, pool, stream, &cache, gen_a);
+    // Phase 3: full reload. A fresh tag with no carry-over: every entry
+    // is implicitly invalidated, so the replay starts from zero.
+    let gen_b = GenerationTag::fresh();
+    let full = delta_pass(fx, pool, stream, &cache, gen_b);
+    // Phase 4: delta reload. Document 0 changed; every other document's
+    // entries are carried (identity ids — nothing was renumbered).
+    let gen_c = GenerationTag::fresh();
+    let map: HashMap<u32, u32> = (1..DELTA_DOCS).map(|d| (d, d)).collect();
+    let co = cache.carry_over(gen_b, gen_c, &map);
+    let delta = delta_pass(fx, pool, stream, &cache, gen_c);
+
+    let changed_requests = stream.len().div_ceil(DELTA_DOCS as usize);
+    let changed_fraction = changed_requests as f64 / stream.len() as f64;
+    // The acceptance bar: carrying over must preserve the warm hit rate
+    // scaled by the unchanged fraction of the stream (counter-exact, so
+    // the epsilon only absorbs float formatting). A full reload, by
+    // contrast, starts from nothing: its counters must replay the cold
+    // fill exactly (in-pass Zipf repeats hit either way).
+    let bound = warm.2 * (1.0 - changed_fraction) - 1e-9;
+    let ok = delta.2 >= bound && (full.0, full.1) == (cold.0, cold.1);
+
+    let phase = |name: &str, p: (u64, u64, f64)| {
+        format!(
+            "\"{name}\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}}",
+            p.0, p.1, p.2
+        )
+    };
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"delta-reload-cache-carryover\",\n",
+            "  \"mode\": \"{mode}\",\n",
+            "  \"seed\": {seed},\n",
+            "  \"zipf_s\": {zipf_s},\n",
+            "  \"doc_nodes\": {doc_nodes},\n",
+            "  \"requests\": {requests},\n",
+            "  \"docs\": {docs},\n",
+            "  \"changed_docs\": 1,\n",
+            "  \"changed_requests\": {changed_requests},\n",
+            "  \"changed_fraction\": {cf:.4},\n",
+            "  \"phases\": {{\n",
+            "    {cold},\n",
+            "    {warm},\n",
+            "    {full},\n",
+            "    {delta}\n",
+            "  }},\n",
+            "  \"carry_over\": {{\"kept\": {kept}, \"rekeyed\": {rekeyed}, \"evicted\": {evicted}}},\n",
+            "  \"delta_hit_rate_bound\": {bound:.4}\n",
+            "}}\n"
+        ),
+        mode = if smoke { "smoke" } else { "full" },
+        seed = SEED,
+        zipf_s = ZIPF_S,
+        doc_nodes = fx.doc.len(),
+        requests = stream.len(),
+        docs = DELTA_DOCS,
+        changed_requests = changed_requests,
+        cf = changed_fraction,
+        cold = phase("cold_fill", cold),
+        warm = phase("warm_replay", warm),
+        full = phase("full_reload", full),
+        delta = phase("delta_reload", delta),
+        kept = co.kept,
+        rekeyed = co.rekeyed,
+        evicted = co.evicted,
+        bound = warm.2 * (1.0 - changed_fraction),
+    );
+    if !ok {
+        eprintln!(
+            "bench_json: FAIL: delta-reload hit rate {:.4} dipped below {:.4} \
+             (warm {:.4} x unchanged fraction), or full reload ({}/{}) \
+             did not replay the cold fill ({}/{})",
+            delta.2, bound, warm.2, full.0, full.1, cold.0, cold.1
+        );
+    }
+    (json, ok)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -125,15 +274,23 @@ fn main() {
         .position(|a| a == "--out")
         .map(|i| args.get(i + 1).expect("--out needs a path").clone())
         .unwrap_or_else(|| "BENCH_5.json".to_string());
+    let out6_path = args
+        .iter()
+        .position(|a| a == "--out6")
+        .map(|i| args.get(i + 1).expect("--out6 needs a path").clone())
+        .unwrap_or_else(|| "BENCH_6.json".to_string());
     if let Some(bad) = args
         .iter()
         .enumerate()
         .find(|(i, a)| {
-            a.as_str() != "--smoke" && a.as_str() != "--out" && !(*i > 0 && args[i - 1] == "--out")
+            !matches!(a.as_str(), "--smoke" | "--out" | "--out6")
+                && !(*i > 0 && (args[i - 1] == "--out" || args[i - 1] == "--out6"))
         })
         .map(|(_, a)| a)
     {
-        eprintln!("bench_json: unknown argument {bad:?} (expected --smoke, --out PATH)");
+        eprintln!(
+            "bench_json: unknown argument {bad:?} (expected --smoke, --out PATH, --out6 PATH)"
+        );
         std::process::exit(2);
     }
 
@@ -261,11 +418,26 @@ fn main() {
         out_path
     );
 
+    // The delta-reload scenario runs its own right-sized workload.
+    let (json6, delta_ok) = delta_scenario(&pool, smoke);
+    std::fs::write(&out6_path, &json6).unwrap_or_else(|e| {
+        eprintln!("bench_json: cannot write {out6_path}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "bench_json [{}]: delta-reload scenario wrote {}",
+        if smoke { "smoke" } else { "full" },
+        out6_path
+    );
+
     if !smoke && warm.p50_us >= cold.p50_us {
         eprintln!(
             "bench_json: FAIL: warm p50 ({:.2} us) is not strictly below cold p50 ({:.2} us)",
             warm.p50_us, cold.p50_us
         );
+        std::process::exit(1);
+    }
+    if !delta_ok {
         std::process::exit(1);
     }
 }

@@ -11,7 +11,8 @@ usage:
   xfrag msearch <dir> <keyword>... [options]     (searches every .xml/.xfrg in dir)
   xfrag explain <file.xml|file.xfrg> <keyword>... [options]
   xfrag compile <in.xml> <out.xfrg>              (pre-parse to binary form)
-  xfrag index <src-dir> <corpus-dir>             (commit a new corpus generation)
+  xfrag index [--delta] <src-dir> <corpus-dir>   (commit a new corpus generation)
+  xfrag compact <corpus-dir>                     (materialize a delta chain)
   xfrag info <file.xml|file.xfrg>
   xfrag serve <corpus-dir> [serve options]       (TCP query server, see README)
   xfrag request <host:port> <json>               (send one serve request line)
@@ -51,9 +52,15 @@ corpus updates (see README \"Corpus updates & recovery\"):
   checksummed, manifest-committed generation; writes are atomic (temp +
   fsync + rename + dir fsync), so a crash at any point leaves the
   previous generation loadable and byte-identical.
-  --inject SPEC      (compile/index) write-path fault plan; sites
-                     store:write | store:fsync | store:rename, actions
-                     also include abort (kill -9 model) and torn:<bytes>
+  --delta            diff <src-dir> against the latest verified
+                     generation and rewrite only added/changed
+                     documents; unchanged files are referenced from the
+                     parent generation (requires a committed generation)
+  compact rewrites the latest verified generation — typically the top
+  of a delta chain — as a new full generation, bounding chain depth.
+  --inject SPEC      (compile/index/compact) write-path fault plan;
+                     sites store:write | store:fsync | store:rename,
+                     actions include abort (kill -9 model) and torn:<n>
 
 serve options (see README \"Serving queries over TCP\"):
   --port N           TCP port; 0 picks an ephemeral port (default: 7878)
@@ -104,6 +111,17 @@ pub enum Command {
         src: String,
         /// Corpus directory receiving the generation.
         out: String,
+        /// Commit a delta generation: rewrite only documents that
+        /// changed against the latest verified generation (`--delta`).
+        delta: bool,
+        /// Write-path fault plan (`--inject`), for crash testing.
+        inject: Option<String>,
+    },
+    /// Materialize the latest verified generation — typically the top of
+    /// a delta chain — as a new full generation.
+    Compact {
+        /// Corpus directory to compact.
+        dir: String,
         /// Write-path fault plan (`--inject`), for crash testing.
         inject: Option<String>,
     },
@@ -190,11 +208,17 @@ fn parse_u32(flag: &str, v: Option<&String>) -> Result<u32, String> {
         .map_err(|_| format!("{flag} needs a non-negative integer, got {v:?}"))
 }
 
-/// Parse the positional paths and optional `--inject` of a write-path
-/// command (`compile` / `index`).
-fn parse_write_cmd(sub: &str, rest: &[String]) -> Result<(Vec<String>, Option<String>), String> {
+/// Parse the positional paths, optional `--inject`, and (for `index`)
+/// optional `--delta` of a write-path command (`compile` / `index` /
+/// `compact`).
+fn parse_write_cmd(
+    sub: &str,
+    rest: &[String],
+    n_paths: usize,
+) -> Result<(Vec<String>, Option<String>, bool), String> {
     let mut pos = Vec::new();
     let mut inject = None;
+    let mut delta = false;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
@@ -202,15 +226,19 @@ fn parse_write_cmd(sub: &str, rest: &[String]) -> Result<(Vec<String>, Option<St
                 inject = Some(rest.get(i + 1).ok_or("--inject needs a spec")?.clone());
                 i += 1;
             }
+            "--delta" if sub == "index" => delta = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
             _ => pos.push(rest[i].clone()),
         }
         i += 1;
     }
-    if pos.len() != 2 {
-        return Err(format!("{sub} needs exactly two paths, got {}", pos.len()));
+    if pos.len() != n_paths {
+        return Err(format!(
+            "{sub} needs exactly {n_paths} path(s), got {}",
+            pos.len()
+        ));
     }
-    Ok((pos, inject))
+    Ok((pos, inject, delta))
 }
 
 /// Parse argv (without the program name).
@@ -237,7 +265,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         }
         "compile" => {
             let rest: Vec<String> = it.cloned().collect();
-            let (mut pos, inject) = parse_write_cmd("compile", &rest)?;
+            let (mut pos, inject, _) = parse_write_cmd("compile", &rest, 2)?;
             let output = pos.pop().unwrap();
             let input = pos.pop().unwrap();
             Ok(Command::Compile {
@@ -248,10 +276,21 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         }
         "index" => {
             let rest: Vec<String> = it.cloned().collect();
-            let (mut pos, inject) = parse_write_cmd("index", &rest)?;
+            let (mut pos, inject, delta) = parse_write_cmd("index", &rest, 2)?;
             let out = pos.pop().unwrap();
             let src = pos.pop().unwrap();
-            Ok(Command::Index { src, out, inject })
+            Ok(Command::Index {
+                src,
+                out,
+                delta,
+                inject,
+            })
+        }
+        "compact" => {
+            let rest: Vec<String> = it.cloned().collect();
+            let (mut pos, inject, _) = parse_write_cmd("compact", &rest, 1)?;
+            let dir = pos.pop().unwrap();
+            Ok(Command::Compact { dir, inject })
         }
         "serve" => {
             let rest: Vec<String> = it.cloned().collect();
@@ -730,6 +769,7 @@ mod tests {
             Command::Index {
                 src: "src".into(),
                 out: "corpus".into(),
+                delta: false,
                 inject: Some("store:rename@1=panic".into()),
             }
         );
@@ -738,6 +778,31 @@ mod tests {
         assert!(parse(&argv("index src")).is_err());
         assert!(parse(&argv("index src corpus --inject")).is_err());
         assert!(parse(&argv("index src corpus --frobnicate")).is_err());
+    }
+
+    #[test]
+    fn parse_delta_and_compact() {
+        assert_eq!(
+            parse(&argv("index --delta src corpus")).unwrap(),
+            Command::Index {
+                src: "src".into(),
+                out: "corpus".into(),
+                delta: true,
+                inject: None,
+            }
+        );
+        assert_eq!(
+            parse(&argv("compact corpus --inject store:write@0=torn:3")).unwrap(),
+            Command::Compact {
+                dir: "corpus".into(),
+                inject: Some("store:write@0=torn:3".into()),
+            }
+        );
+        // --delta belongs to index only; compact takes exactly one path.
+        assert!(parse(&argv("compile --delta in.xml out.xfrg")).is_err());
+        assert!(parse(&argv("compact --delta corpus")).is_err());
+        assert!(parse(&argv("compact")).is_err());
+        assert!(parse(&argv("compact a b")).is_err());
     }
 
     #[test]

@@ -85,7 +85,19 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 bytes.len()
             ))
         }
-        Command::Index { src, out, inject } => index_corpus(&src, &out, inject.as_deref()),
+        Command::Index {
+            src,
+            out,
+            delta,
+            inject,
+        } => {
+            if delta {
+                delta_index(&src, &out, inject.as_deref())
+            } else {
+                index_corpus(&src, &out, inject.as_deref())
+            }
+        }
+        Command::Compact { dir, inject } => compact_corpus(&dir, inject.as_deref()),
         Command::Explain(a) => {
             let doc = load(&a.file)?;
             explain(&doc, &a)
@@ -152,15 +164,7 @@ fn hook_ref(hook: &Option<InjectorWriteHook>) -> Option<&dyn WriteFaultHook> {
 /// Generations older than the previous one are pruned after the commit.
 fn index_corpus(src: &str, out: &str, inject: Option<&str>) -> Result<String, CliError> {
     let hook = write_hook(inject)?;
-    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(src)
-        .map_err(|e| CliError::Io(src.to_string(), e))?
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("xml"))
-        .collect();
-    paths.sort();
-    if paths.is_empty() {
-        return Err(CliError::Query(format!("no .xml files in {src}")));
-    }
+    let paths = xml_sources(src)?;
     std::fs::create_dir_all(out).map_err(|e| CliError::Io(out.to_string(), e))?;
     let outp = Path::new(out);
     let generation =
@@ -183,7 +187,11 @@ fn index_corpus(src: &str, out: &str, inject: Option<&str>) -> Result<String, Cl
             checksum: manifest::checksum(&bytes),
         });
     }
-    let m = manifest::Manifest { generation, files };
+    let m = manifest::Manifest {
+        generation,
+        parent: None,
+        files,
+    };
     manifest::write_manifest(outp, &m, hook_ref(&hook))
         .map_err(|e| CliError::Io(out.to_string(), e))?;
     // Keep the current and previous generations (the previous is the
@@ -197,6 +205,167 @@ fn index_corpus(src: &str, out: &str, inject: Option<&str>) -> Result<String, Cl
     Ok(format!(
         "committed generation {generation}: {} document(s) -> {out} ({} old file(s) pruned)\n",
         paths.len(),
+        pruned.len()
+    ))
+}
+
+/// The sorted `.xml` paths of a source directory.
+fn xml_sources(src: &str) -> Result<Vec<std::path::PathBuf>, CliError> {
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(src)
+        .map_err(|e| CliError::Io(src.to_string(), e))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("xml"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(CliError::Query(format!("no .xml files in {src}")));
+    }
+    Ok(paths)
+}
+
+/// The logical display name a manifest entry serves under:
+/// `a.g000002.xfrg` → `a.xfrg`.
+fn logical_name(entry_name: &str) -> String {
+    manifest::split_generation_file(entry_name)
+        .map(|(logical, _)| logical)
+        .unwrap_or_else(|| entry_name.to_string())
+}
+
+/// `xfrag index --delta <src-dir> <corpus-dir>`: diff the source tree
+/// against the latest verified generation (by encoded length + checksum
+/// from its manifest) and commit a *delta* generation — only added or
+/// changed documents are rewritten; unchanged ones are referenced under
+/// their parent generation's file names. Same commit discipline as a
+/// full index: data files first (atomic), manifest last.
+fn delta_index(src: &str, out: &str, inject: Option<&str>) -> Result<String, CliError> {
+    let hook = write_hook(inject)?;
+    let paths = xml_sources(src)?;
+    let outp = Path::new(out);
+    let parent = match manifest::load_generation(outp) {
+        Ok(manifest::GenerationLoad::Committed { manifest, .. }) => manifest,
+        Ok(_) => {
+            return Err(CliError::Query(format!(
+                "no committed generation in {out} to delta against; run a full index first"
+            )))
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(CliError::Query(format!(
+                "no committed generation in {out} to delta against; run a full index first"
+            )))
+        }
+        Err(e) => return Err(CliError::Io(out.to_string(), e)),
+    };
+    let parent_by_logical: std::collections::HashMap<String, &manifest::ManifestEntry> = parent
+        .files
+        .iter()
+        .map(|e| (logical_name(&e.name), e))
+        .collect();
+    let generation =
+        manifest::latest_generation_number(outp).map_err(|e| CliError::Io(out.to_string(), e))? + 1;
+    let mut files = Vec::new();
+    let mut src_logicals = std::collections::HashSet::new();
+    let (mut carried, mut rewritten) = (0usize, 0usize);
+    for p in &paths {
+        let doc = load(&p.to_string_lossy())?;
+        let stem = p
+            .file_stem()
+            .unwrap_or_default()
+            .to_string_lossy()
+            .into_owned();
+        src_logicals.insert(format!("{stem}.xfrg"));
+        let bytes = store::encode(&doc);
+        match parent_by_logical.get(&format!("{stem}.xfrg")) {
+            Some(e) if e.len == bytes.len() as u64 && e.checksum == manifest::checksum(&bytes) => {
+                // Unchanged: reference the parent generation's file.
+                files.push((*e).clone());
+                carried += 1;
+            }
+            _ => {
+                let name = manifest::generation_file_name(&stem, generation);
+                write_atomic(&outp.join(&name), &bytes, hook_ref(&hook))
+                    .map_err(|e| CliError::Io(name.clone(), e))?;
+                files.push(manifest::ManifestEntry {
+                    name,
+                    len: bytes.len() as u64,
+                    checksum: manifest::checksum(&bytes),
+                });
+                rewritten += 1;
+            }
+        }
+    }
+    let removed = parent
+        .files
+        .iter()
+        .filter(|e| !src_logicals.contains(&logical_name(&e.name)))
+        .count();
+    let m = manifest::Manifest {
+        generation,
+        parent: Some(parent.generation),
+        files,
+    };
+    manifest::write_manifest(outp, &m, hook_ref(&hook))
+        .map_err(|e| CliError::Io(out.to_string(), e))?;
+    // Keep the parent (the rollback target); parent-chain retention in
+    // prune_generations keeps everything the delta still references.
+    let pruned = manifest::prune_generations(outp, parent.generation)
+        .map_err(|e| CliError::Io(out.to_string(), e))?;
+    Ok(format!(
+        "committed delta generation {generation} (parent {}): {carried} carried, \
+         {rewritten} rewritten, {removed} removed -> {out} ({} old file(s) pruned)\n",
+        parent.generation,
+        pruned.len()
+    ))
+}
+
+/// `xfrag compact <corpus-dir>`: materialize the latest verified
+/// generation — typically the top of a delta chain — as a new *full*
+/// generation (every document rewritten under the new generation's
+/// names, `parent: None`), bounding chain depth. The old chain survives
+/// as the rollback target until the next commit prunes it.
+fn compact_corpus(dir: &str, inject: Option<&str>) -> Result<String, CliError> {
+    let hook = write_hook(inject)?;
+    let dirp = Path::new(dir);
+    let current =
+        match manifest::load_generation(dirp).map_err(|e| CliError::Io(dir.to_string(), e))? {
+            manifest::GenerationLoad::Committed { manifest, .. } => manifest,
+            _ => {
+                return Err(CliError::Query(format!(
+                    "no committed generation in {dir} to compact"
+                )))
+            }
+        };
+    let generation =
+        manifest::latest_generation_number(dirp).map_err(|e| CliError::Io(dir.to_string(), e))? + 1;
+    let mut entries = current.files.clone();
+    entries.sort_by_key(|e| logical_name(&e.name));
+    let mut files = Vec::new();
+    for e in &entries {
+        let bytes =
+            std::fs::read(dirp.join(&e.name)).map_err(|err| CliError::Io(e.name.clone(), err))?;
+        let logical = logical_name(&e.name);
+        let stem = logical.strip_suffix(".xfrg").unwrap_or(&logical);
+        let name = manifest::generation_file_name(stem, generation);
+        write_atomic(&dirp.join(&name), &bytes, hook_ref(&hook))
+            .map_err(|err| CliError::Io(name.clone(), err))?;
+        files.push(manifest::ManifestEntry {
+            name,
+            len: bytes.len() as u64,
+            checksum: manifest::checksum(&bytes),
+        });
+    }
+    let count = files.len();
+    let m = manifest::Manifest {
+        generation,
+        parent: None,
+        files,
+    };
+    manifest::write_manifest(dirp, &m, hook_ref(&hook))
+        .map_err(|e| CliError::Io(dir.to_string(), e))?;
+    let pruned = manifest::prune_generations(dirp, current.generation)
+        .map_err(|e| CliError::Io(dir.to_string(), e))?;
+    Ok(format!(
+        "compacted generation {} -> {generation}: {count} document(s) ({} old file(s) pruned)\n",
+        current.generation,
         pruned.len()
     ))
 }
@@ -1013,6 +1182,69 @@ mod multi_tests {
         assert!(matches!(err, CliError::Io(..)), "{err}");
         assert_eq!(std::fs::read(out.join("a.g000003.xfrg")).unwrap(), before);
         assert!(!out.join("manifest-000004.xfm").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn delta_index_carries_unchanged_documents_and_compact_materializes() {
+        let dir = std::env::temp_dir().join(format!("xfrag-delta-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let src = dir.join("src");
+        let out = dir.join("corpus");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(src.join("a.xml"), "<a><p>xml search</p></a>").unwrap();
+        std::fs::write(src.join("b.xml"), "<b><p>xml ranking</p></b>").unwrap();
+        std::fs::write(src.join("c.xml"), "<c><p>xml storage</p></c>").unwrap();
+        let outs = out.to_string_lossy().into_owned();
+        let srcs = src.to_string_lossy().into_owned();
+
+        // Delta without a committed generation is refused.
+        let err = delta_index(&srcs, &outs, None).unwrap_err();
+        assert!(err.to_string().contains("full index first"), "{err}");
+
+        index_corpus(&srcs, &outs, None).unwrap();
+        // 1-doc change + 1-doc removal.
+        std::fs::write(src.join("a.xml"), "<a><p>xml search updated</p></a>").unwrap();
+        std::fs::remove_file(src.join("c.xml")).unwrap();
+        let msg = delta_index(&srcs, &outs, None).unwrap();
+        assert!(
+            msg.contains(
+                "committed delta generation 2 (parent 1): 1 carried, 1 rewritten, 1 removed"
+            ),
+            "{msg}"
+        );
+        // Only the changed document got a gen-2 file; the carried one is
+        // still served from gen 1, which the prune retained.
+        assert!(out.join("a.g000002.xfrg").exists());
+        assert!(!out.join("b.g000002.xfrg").exists());
+        assert!(out.join("b.g000001.xfrg").exists());
+        assert!(out.join("manifest-000001.xfm").exists());
+        let m = match manifest::load_generation(Path::new(&outs)).unwrap() {
+            manifest::GenerationLoad::Committed { manifest, .. } => manifest,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(m.generation, 2);
+        assert_eq!(m.parent, Some(1));
+        assert_eq!(m.files.len(), 2);
+
+        // Compaction rewrites everything as a full generation 3.
+        let msg = compact_corpus(&outs, None).unwrap();
+        assert!(
+            msg.contains("compacted generation 2 -> 3: 2 document(s)"),
+            "{msg}"
+        );
+        let m = match manifest::load_generation(Path::new(&outs)).unwrap() {
+            manifest::GenerationLoad::Committed { manifest, .. } => manifest,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(m.generation, 3);
+        assert_eq!(m.parent, None);
+        assert!(m.files.iter().all(|e| e.name.contains(".g000003.")));
+        // Compacted bytes are identical to what the delta served.
+        assert_eq!(
+            std::fs::read(out.join("a.g000003.xfrg")).unwrap(),
+            std::fs::read(out.join("a.g000002.xfrg")).unwrap()
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -21,7 +21,7 @@
 
 use crate::commands::CliError;
 use crate::protocol::{status, Answer, Request, RequestKind, Response};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -196,6 +196,18 @@ pub(crate) struct Generation {
     quarantined: Vec<(String, String)>,
     /// Manifest generation number; 0 for an unversioned (legacy) corpus.
     number: u64,
+    /// Verified parent chain of the serving manifest, nearest ancestor
+    /// first; empty for a full generation or an unversioned corpus.
+    parent_chain: Vec<u64>,
+    /// Documents whose data files are referenced from an ancestor
+    /// generation (delta carry) vs written by this generation itself.
+    docs_carried: u64,
+    docs_rewritten: u64,
+    /// Display name → manifest checksum. Equal sums across a reload
+    /// prove the file bytes are identical, which is what licenses cache
+    /// carry-over. Empty for an unversioned corpus: nothing vouches for
+    /// byte identity there, so nothing is carried.
+    doc_sums: HashMap<String, u64>,
     /// Rollback messages from [`manifest::load_generation`]: newer
     /// generations that existed on disk but failed verification.
     rollbacks: Vec<String>,
@@ -218,6 +230,12 @@ struct Shared {
     reload_lock: Mutex<()>,
     reloads_ok: AtomicU64,
     reloads_failed: AtomicU64,
+    /// Cache carry-over totals across all reloads (see
+    /// [`xfrag_core::QueryCache::carry_over`]): entries kept under the
+    /// same doc id, rekeyed to a new id, and evicted as changed/removed.
+    carry_kept: AtomicU64,
+    carry_rekeyed: AtomicU64,
+    carry_evicted: AtomicU64,
     queue_depth: usize,
     timeout_ms: Option<u64>,
     fault: Option<Arc<FaultInjector>>,
@@ -283,6 +301,9 @@ pub fn serve(args: &ServeArgs) -> Result<String, CliError> {
         reload_lock: Mutex::new(()),
         reloads_ok: AtomicU64::new(0),
         reloads_failed: AtomicU64::new(0),
+        carry_kept: AtomicU64::new(0),
+        carry_rekeyed: AtomicU64::new(0),
+        carry_evicted: AtomicU64::new(0),
         queue_depth: args.queue_depth.max(1),
         timeout_ms: args.timeout_ms,
         fault,
@@ -390,6 +411,10 @@ pub fn serve(args: &ServeArgs) -> Result<String, CliError> {
 /// anything served from it would be a partial generation.
 fn load_corpus(dir: &str, fault: Option<&Arc<FaultInjector>>) -> Result<Generation, CliError> {
     let dirp = Path::new(dir);
+    let mut parent_chain: Vec<u64> = Vec::new();
+    let mut docs_carried = 0u64;
+    let mut docs_rewritten = 0u64;
+    let mut doc_sums: HashMap<String, u64> = HashMap::new();
     let (files, number, rollbacks): (Vec<(std::path::PathBuf, String)>, u64, Vec<String>) =
         match manifest::load_generation(dirp).map_err(|e| CliError::Io(dir.to_string(), e))? {
             manifest::GenerationLoad::Unversioned => {
@@ -424,15 +449,24 @@ fn load_corpus(dir: &str, fault: Option<&Arc<FaultInjector>>) -> Result<Generati
                 manifest: m,
                 rollbacks,
             } => {
+                // `load_generation` already verified the chain; a walk
+                // failure here would be a concurrent prune, in which
+                // case lineage is cosmetic and empty is fine.
+                parent_chain = manifest::parent_chain(dirp, &m).unwrap_or_default();
                 let mut files: Vec<(std::path::PathBuf, String)> = m
                     .files
                     .iter()
                     .map(|e| {
                         // Display names drop the `.g<gen>` infix so a
                         // document keeps its identity across reloads.
-                        let display = manifest::split_generation_file(&e.name)
-                            .map(|(logical, _)| logical)
-                            .unwrap_or_else(|| e.name.clone());
+                        let (display, file_gen) = manifest::split_generation_file(&e.name)
+                            .unwrap_or_else(|| (e.name.clone(), m.generation));
+                        if file_gen == m.generation {
+                            docs_rewritten += 1;
+                        } else {
+                            docs_carried += 1;
+                        }
+                        doc_sums.insert(display.clone(), e.checksum);
                         (dirp.join(&e.name), display)
                     })
                     .collect();
@@ -472,6 +506,10 @@ fn load_corpus(dir: &str, fault: Option<&Arc<FaultInjector>>) -> Result<Generati
         coll,
         quarantined,
         number,
+        parent_chain,
+        docs_carried,
+        docs_rewritten,
+        doc_sums,
         rollbacks,
         tag: GenerationTag::fresh(),
     })
@@ -518,6 +556,36 @@ fn try_reload(s: &Arc<Shared>) -> Result<Arc<Generation>, String> {
     }
     for r in &next.rollbacks {
         eprintln!("warning: {r}");
+    }
+    // Carry cache entries for byte-identical documents across the
+    // generation bump. Manifest checksums vouch for byte identity:
+    // equal sums on both sides mean the same file bytes, hence the same
+    // parse tree and `NodeId`s, hence entry-for-entry identical cache
+    // contents — so postings/fixpoint/result entries for untouched
+    // documents are rekeyed to the new tag instead of dropped. Changed,
+    // removed, quarantined, or unverifiable (unversioned) documents get
+    // no mapping and their entries are evicted. Requests already
+    // in flight keep their pinned old `Arc` and tag; their entries were
+    // just moved, so they take benign misses, never stale hits.
+    if let Some(cache) = &s.cache {
+        let old_ids: HashMap<&str, u32> = current
+            .coll
+            .ids()
+            .map(|id| (current.coll.name(id), id.0))
+            .collect();
+        let mut doc_map = HashMap::new();
+        for id in next.coll.ids() {
+            let name = next.coll.name(id);
+            if let (Some(old), Some(sum)) = (old_ids.get(name), next.doc_sums.get(name)) {
+                if current.doc_sums.get(name) == Some(sum) {
+                    doc_map.insert(*old, id.0);
+                }
+            }
+        }
+        let co = cache.carry_over(current.tag, next.tag, &doc_map);
+        s.carry_kept.fetch_add(co.kept, Ordering::SeqCst);
+        s.carry_rekeyed.fetch_add(co.rekeyed, Ordering::SeqCst);
+        s.carry_evicted.fetch_add(co.evicted, Ordering::SeqCst);
     }
     let next = Arc::new(next);
     *s.gen.lock().unwrap() = Arc::clone(&next);
@@ -739,8 +807,27 @@ fn stats_line(s: &Shared, id: u64) -> String {
         None => "null".to_string(),
         Some(c) => c.stats().to_json(),
     };
+    // Delta lineage: the serving manifest's parent chain (nearest
+    // ancestor first), how many documents it carries vs rewrote, and
+    // the lifetime cache carry-over counters.
+    let chain = gen
+        .parent_chain
+        .iter()
+        .map(|g| g.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let delta = format!(
+        "{{\"parent_chain\":[{}],\"chain_depth\":{},\"docs_carried\":{},\"docs_rewritten\":{},\"carry_over\":{{\"kept\":{},\"rekeyed\":{},\"evicted\":{}}}}}",
+        chain,
+        gen.parent_chain.len(),
+        gen.docs_carried,
+        gen.docs_rewritten,
+        s.carry_kept.load(Ordering::SeqCst),
+        s.carry_rekeyed.load(Ordering::SeqCst),
+        s.carry_evicted.load(Ordering::SeqCst),
+    );
     format!(
-        "{{\"id\":{},\"status\":\"ok\",\"generation\":{},\"reloads\":{{\"ok\":{},\"failed\":{}}},\"quarantined\":{},\"serve\":{{\"total\":{},\"ok\":{},\"degraded\":{},\"shed\":{},\"timeout\":{},\"error\":{},\"shutting_down\":{},\"invalid\":{},\"worker_panics\":{}}},\"eval\":{},\"latency\":{},\"cache\":{}}}",
+        "{{\"id\":{},\"status\":\"ok\",\"generation\":{},\"reloads\":{{\"ok\":{},\"failed\":{}}},\"quarantined\":{},\"serve\":{{\"total\":{},\"ok\":{},\"degraded\":{},\"shed\":{},\"timeout\":{},\"error\":{},\"shutting_down\":{},\"invalid\":{},\"worker_panics\":{}}},\"eval\":{},\"latency\":{},\"cache\":{},\"delta\":{}}}",
         id,
         gen.number,
         s.reloads_ok.load(Ordering::SeqCst),
@@ -758,6 +845,7 @@ fn stats_line(s: &Shared, id: u64) -> String {
         serde_json::to_string(&st.eval).expect("stats serialize"),
         st.latency.to_json(),
         cache,
+        delta,
     )
 }
 

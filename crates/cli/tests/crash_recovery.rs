@@ -121,6 +121,144 @@ fn kill9_at_every_injected_crash_point_preserves_previous_generation() {
     }
 }
 
+fn run_delta(src: &Path, out: &Path, inject: Option<&str>) -> std::process::ExitStatus {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_xfrag"));
+    cmd.arg("index").arg("--delta").arg(src).arg(out);
+    if let Some(spec) = inject {
+        cmd.args(["--inject", spec]);
+    }
+    cmd.output().expect("run xfrag index --delta").status
+}
+
+fn run_compact(out: &Path, inject: Option<&str>) -> std::process::ExitStatus {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_xfrag"));
+    cmd.arg("compact").arg(out);
+    if let Some(spec) = inject {
+        cmd.args(["--inject", spec]);
+    }
+    cmd.output().expect("run xfrag compact").status
+}
+
+/// Remove any file the pre-crash snapshot did not contain.
+fn clear_remnants(out: &Path, before: &BTreeMap<String, Vec<u8>>) {
+    for name in snapshot(out).keys() {
+        if !before.contains_key(name) {
+            std::fs::remove_file(out.join(name)).unwrap();
+        }
+    }
+}
+
+#[test]
+fn kill9_during_delta_commit_recovers_to_parent_never_a_hybrid() {
+    // A 1-document delta writes exactly one data file then one
+    // manifest, so each write-path site is traversed twice: hit 0 is
+    // the rewritten document, hit 1 the delta manifest (commit point).
+    let src = source_corpus("delta-k9-src");
+    let out = scratch("delta-k9-out");
+    assert!(run_index(&src, &out, None).success(), "seed index failed");
+    std::fs::write(src.join("a.xml"), "<doc><p>xml search alpha two</p></doc>").unwrap();
+    let before = snapshot(&out);
+
+    for site in ["store:write", "store:fsync", "store:rename"] {
+        for hit in [0, 1] {
+            let spec = format!("{site}@{hit}=abort");
+            let status = run_delta(&src, &out, Some(&spec));
+            assert!(!status.success(), "{spec}: child should have died");
+            assert_eq!(status.code(), None, "{spec}: exited {status:?}");
+            // The delta never committed, so recovery lands on the
+            // parent — byte-identical, never a carried/rewritten mix.
+            assert_generation_1_intact(&out, &before, &spec);
+            clear_remnants(&out, &before);
+        }
+    }
+
+    // Torn delta data file: remnant is invisible, parent stands.
+    let spec = "store:write@0=torn:5";
+    assert!(!run_delta(&src, &out, Some(spec)).success());
+    assert_generation_1_intact(&out, &before, spec);
+
+    // A clean delta on the crash-scarred directory commits generation 2
+    // referencing the parent's unchanged files.
+    assert!(
+        run_delta(&src, &out, None).success(),
+        "recovery delta failed"
+    );
+    match load_generation(&out).unwrap() {
+        GenerationLoad::Committed { manifest, .. } => {
+            assert_eq!(manifest.generation, 2);
+            assert_eq!(manifest.parent, Some(1));
+            // Exactly one rewritten file; b and c carried from gen 1.
+            let gen2: Vec<&str> = manifest
+                .files
+                .iter()
+                .filter(|e| e.name.contains(".g000002."))
+                .map(|e| e.name.as_str())
+                .collect();
+            assert_eq!(gen2, ["a.g000002.xfrg"]);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn kill9_during_compaction_keeps_serving_the_delta_chain() {
+    // Seed: gen 1 full, gen 2 delta rewriting `a`. Compacting the chain
+    // writes all three documents under gen-3 names (hits 0..=2) and the
+    // full manifest last (hit 3).
+    let src = source_corpus("compact-k9-src");
+    let out = scratch("compact-k9-out");
+    assert!(run_index(&src, &out, None).success(), "seed index failed");
+    std::fs::write(src.join("a.xml"), "<doc><p>xml search alpha two</p></doc>").unwrap();
+    assert!(run_delta(&src, &out, None).success(), "seed delta failed");
+    let before = snapshot(&out);
+    let assert_delta_intact = |context: &str| {
+        let after = snapshot(&out);
+        for (name, bytes) in &before {
+            assert_eq!(
+                after.get(name),
+                Some(bytes),
+                "{context}: {name} changed or disappeared"
+            );
+        }
+        match load_generation(&out).unwrap() {
+            GenerationLoad::Committed { manifest, .. } => {
+                assert_eq!(manifest.generation, 2, "{context}");
+                assert_eq!(manifest.parent, Some(1), "{context}");
+            }
+            other => panic!("{context}: expected delta generation 2, got {other:?}"),
+        }
+    };
+
+    for site in ["store:write", "store:fsync", "store:rename"] {
+        for hit in [0, 3] {
+            let spec = format!("{site}@{hit}=abort");
+            let status = run_compact(&out, Some(&spec));
+            assert!(!status.success(), "{spec}: child should have died");
+            assert_eq!(status.code(), None, "{spec}: exited {status:?}");
+            assert_delta_intact(&spec);
+            clear_remnants(&out, &before);
+        }
+    }
+
+    // A clean compaction materializes the chain into a full gen 3 whose
+    // bytes match what the delta chain served.
+    assert!(run_compact(&out, None).success(), "recovery compact failed");
+    match load_generation(&out).unwrap() {
+        GenerationLoad::Committed { manifest, .. } => {
+            assert_eq!(manifest.generation, 3);
+            assert_eq!(manifest.parent, None);
+            for e in &manifest.files {
+                assert!(e.name.contains(".g000003."), "{}", e.name);
+            }
+            let read = |n: &str| std::fs::read(out.join(n)).unwrap();
+            assert_eq!(read("a.g000003.xfrg"), before["a.g000002.xfrg"]);
+            assert_eq!(read("b.g000003.xfrg"), before["b.g000001.xfrg"]);
+            assert_eq!(read("c.g000003.xfrg"), before["c.g000001.xfrg"]);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
 #[test]
 fn error_faults_fail_cleanly_and_preserve_previous_generation() {
     // Same sweep with clean-failure actions: the process survives to

@@ -638,6 +638,136 @@ fn hot_reload_invalidates_cache_under_concurrent_load() {
     assert!(sum.contains("0 in flight"), "{sum}");
 }
 
+/// Commit a delta generation with the real `xfrag index --delta` binary.
+fn run_delta(src: &Path, out: &Path) -> String {
+    let o = Command::new(env!("CARGO_BIN_EXE_xfrag"))
+        .args(["index", "--delta"])
+        .arg(src)
+        .arg(out)
+        .output()
+        .expect("run xfrag index --delta");
+    assert!(
+        o.status.success(),
+        "delta index failed: {}",
+        String::from_utf8_lossy(&o.stderr)
+    );
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+/// ISSUE 6 satellite: a 1-document delta reload under the 6×5 soak
+/// carries cache entries for the two untouched documents across the
+/// generation bump. The warmed query's hit rate dips by exactly the
+/// changed fraction (1 of 3 per-doc result entries evicted), not to
+/// zero, and in-flight soak requests all finish on their snapshot.
+#[test]
+fn delta_reload_carries_cache_for_unchanged_documents() {
+    let src = corpus("delta-reload-src");
+    let out = gen_corpus("delta-reload");
+    run_index(&src, &out);
+    let srv = Server::start(&out, &["--cache-mb", "16"]);
+
+    // Warm a measurement query the soak never issues: `xml` matches all
+    // three documents, so its result tier holds one entry per doc.
+    let q_xml = r#"{"kind":"query","id":7,"keywords":["xml"]}"#;
+    let cold = srv.rpc(q_xml);
+    assert_eq!(field_str(&cold, "status"), "ok", "{cold}");
+    let warm = srv.rpc(q_xml);
+    assert_eq!(answers_of(&warm), answers_of(&cold));
+    assert!(field_u64(&warm, "cache_hits") >= 3, "{warm}");
+
+    // A 1-document delta: only a.xml changes; b and c are carried.
+    std::fs::write(
+        src.join("a.xml"),
+        "<doc><title>xml search alpha two</title><p>ranked xml search regenerated</p></doc>",
+    )
+    .unwrap();
+    let msg = run_delta(&src, &out);
+    assert!(
+        msg.contains("committed delta generation 2 (parent 1): 2 carried, 1 rewritten"),
+        "{msg}"
+    );
+
+    // Reload lands in the middle of the 6×5 concurrent soak.
+    const THREADS: u64 = 6;
+    const PER_THREAD: u64 = 5;
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let addr = srv.addr.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut conn = Conn::open(&addr);
+            let mut replies = Vec::new();
+            for i in 0..PER_THREAD {
+                let id = t * 100 + i;
+                let req = format!(
+                    r#"{{"kind":"query","id":{id},"keywords":["xml","search"],"top_k":2}}"#
+                );
+                replies.push((id, conn.rpc(&req)));
+            }
+            replies
+        }));
+    }
+    std::thread::sleep(Duration::from_millis(30));
+    let reload = srv.rpc(r#"{"kind":"reload","id":50}"#);
+    assert_eq!(field_str(&reload, "status"), "ok", "{reload}");
+    assert!(reload.contains("serving generation 2"), "{reload}");
+
+    let mut total = 0usize;
+    for h in handles {
+        for (id, reply) in h.join().expect("client thread") {
+            total += 1;
+            // In-flight requests finish on whichever snapshot they
+            // pinned — never dropped, never torn across generations.
+            assert!(reply.starts_with(&format!("{{\"id\":{id},")), "{reply}");
+            assert_eq!(field_str(&reply, "status"), "ok", "{reply}");
+        }
+    }
+    assert_eq!(total, (THREADS * PER_THREAD) as usize, "lost responses");
+
+    // Delta lineage is visible, and carry-over really moved entries.
+    let stats = srv.rpc(r#"{"kind":"stats","id":51}"#);
+    assert!(stats.contains("\"generation\":2"), "{stats}");
+    assert!(
+        stats.contains(
+            "\"parent_chain\":[1],\"chain_depth\":1,\"docs_carried\":2,\"docs_rewritten\":1"
+        ),
+        "{stats}"
+    );
+    assert!(field_u64(&stats, "kept") >= 3, "nothing carried: {stats}");
+    assert!(
+        field_u64(&stats, "evicted") >= 1,
+        "changed doc kept: {stats}"
+    );
+
+    // The dip bar: re-running the warmed query misses only the changed
+    // document — exactly the changed fraction, not a cold start.
+    let (h1, m1) = result_tier(&stats);
+    let post = srv.rpc(q_xml);
+    assert_eq!(field_str(&post, "status"), "ok", "{post}");
+    // At least the two carried result entries hit (the per-request
+    // counter aggregates all tiers, so soak-warmed postings for the
+    // changed doc may add to it).
+    assert!(
+        field_u64(&post, "cache_hits") >= 2,
+        "carried entries not hit: {post}"
+    );
+    assert!(post.contains("regenerated"), "stale content: {post}");
+    let stats = srv.rpc(r#"{"kind":"stats","id":52}"#);
+    let (h2, m2) = result_tier(&stats);
+    assert_eq!(h2 - h1, 2, "hit rate dipped below 2/3: {stats}");
+    assert_eq!(m2 - m1, 1, "more than the changed fraction missed: {stats}");
+
+    // Carried hits splice in byte-identically: once the changed doc is
+    // re-cached, a full-hit replay matches the mixed computed/carried
+    // answer byte for byte.
+    let post2 = srv.rpc(q_xml);
+    assert!(field_u64(&post2, "cache_hits") >= 3, "{post2}");
+    assert_eq!(answers_of(&post2), answers_of(&post));
+
+    let (st, sum) = srv.shutdown_and_wait();
+    assert!(st.success(), "server exited {st:?}");
+    assert!(sum.contains("0 in flight"), "{sum}");
+}
+
 /// `--no-cache` keeps the cache section of `stats` null and serves every
 /// request computed fresh — the escape hatch the runbook documents.
 #[test]

@@ -231,6 +231,40 @@ enum Key {
     },
 }
 
+impl Key {
+    fn generation(&self) -> GenerationTag {
+        match self {
+            Key::Postings { gen, .. } | Key::Fixpoint { gen, .. } => *gen,
+            Key::Result { base, .. } => base.gen,
+        }
+    }
+
+    fn doc(&self) -> u32 {
+        match self {
+            Key::Postings { doc, .. } | Key::Fixpoint { doc, .. } => *doc,
+            Key::Result { base, .. } => base.doc,
+        }
+    }
+
+    /// The same logical key under a new snapshot identity and document
+    /// id — how carry-over migrates an entry across a delta reload.
+    fn rekey(self, gen: GenerationTag, doc: u32) -> Key {
+        match self {
+            Key::Postings { term, .. } => Key::Postings { gen, doc, term },
+            Key::Fixpoint { term, reduced, .. } => Key::Fixpoint {
+                gen,
+                doc,
+                term,
+                reduced,
+            },
+            Key::Result { base, rung } => Key::Result {
+                base: ResultKey { gen, doc, ..base },
+                rung,
+            },
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 enum Value {
     Postings(FragmentSet),
@@ -527,6 +561,68 @@ impl QueryCache {
         );
     }
 
+    /// Migrate entries across a delta reload: every entry keyed to the
+    /// `old` snapshot whose document appears in `doc_map` (old `DocId`
+    /// value → new `DocId` value, *unchanged documents only*) is rekeyed
+    /// to the `new` snapshot; entries for changed or removed documents
+    /// are dropped.
+    ///
+    /// Soundness: all three tiers are per-document. A document whose
+    /// file bytes are identical across generations decodes to the
+    /// identical tree with the identical `NodeId`s, so its postings,
+    /// fixed points, and full per-document answers — including the
+    /// policy fingerprint and achieved degradation rung baked into
+    /// result keys — are byte-identical to what a cold evaluation
+    /// against the new snapshot would compute. The caller is
+    /// responsible for mapping only such documents.
+    ///
+    /// In-flight requests still pinned to the old snapshot simply miss
+    /// on their moved entries and recompute — a performance effect, not
+    /// a correctness one.
+    pub fn carry_over(
+        &self,
+        old: GenerationTag,
+        new: GenerationTag,
+        doc_map: &HashMap<u32, u32>,
+    ) -> CarryOver {
+        let mut out = CarryOver::default();
+        let mut moved: Vec<(Key, Value)> = Vec::new();
+        for shard in &self.shards {
+            let mut s = shard.lock().unwrap();
+            let old_keys: Vec<Key> = s
+                .map
+                .keys()
+                .filter(|k| k.generation() == old)
+                .cloned()
+                .collect();
+            for k in old_keys {
+                // invariant: key came from the map under this lock.
+                let e = s.map.remove(&k).unwrap();
+                s.bytes -= e.bytes;
+                match doc_map.get(&k.doc()) {
+                    Some(&new_doc) => {
+                        if new_doc == k.doc() {
+                            out.kept += 1;
+                        } else {
+                            out.rekeyed += 1;
+                        }
+                        moved.push((k.rekey(new, new_doc), e.value));
+                    }
+                    None => out.evicted += 1,
+                }
+            }
+            // Stale queue stamps for the removed keys are skipped by
+            // evict_to; no queue surgery needed.
+        }
+        // Reinsert outside the per-shard drain: a rekeyed entry may hash
+        // to a different shard, and `store` handles sharding, byte
+        // accounting, and LRU pressure uniformly.
+        for (k, v) in moved {
+            self.store(k, v);
+        }
+        out
+    }
+
     /// Snapshot every counter.
     pub fn stats(&self) -> CacheStats {
         let tier = |i: usize| TierCounters {
@@ -554,6 +650,29 @@ impl QueryCache {
             });
         }
         out
+    }
+}
+
+/// Counters from one [`QueryCache::carry_over`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CarryOver {
+    /// Entries migrated to the new snapshot under an unchanged
+    /// document id.
+    pub kept: u64,
+    /// Entries migrated under a remapped document id (documents shift
+    /// ids when a delta adds or removes neighbors in sort order).
+    pub rekeyed: u64,
+    /// Entries dropped because their document changed or was removed.
+    pub evicted: u64,
+}
+
+impl CarryOver {
+    /// Fold another pass's counters into this one (serve accumulates
+    /// across reloads).
+    pub fn absorb(&mut self, other: CarryOver) {
+        self.kept += other.kept;
+        self.rekeyed += other.rekeyed;
+        self.evicted += other.evicted;
     }
 }
 
@@ -855,6 +974,76 @@ mod tests {
             1 + SHARDS,
             "one global plus one per shard"
         );
+    }
+
+    #[test]
+    fn carry_over_rekeys_mapped_docs_and_drops_the_rest() {
+        let cache = QueryCache::with_capacity_mb(4);
+        let g1 = GenerationTag::fresh();
+        let g2 = GenerationTag::fresh();
+        let policy = ExecPolicy::unlimited();
+        let q = Query::new(["alpha"], FilterExpr::True);
+
+        // Doc 0: unchanged (same id). Doc 1: shifts to id 5. Doc 2: changed.
+        cache.put_postings(g1, 0, "alpha", &nodes([1]));
+        cache.put_fixpoint(
+            g1,
+            0,
+            "alpha",
+            FixpointMode::Reduced,
+            &nodes([1, 2]),
+            EvalStats::default(),
+        );
+        let k0 = ResultKey::new(g1, 0, &q, Strategy::PushDown, &policy);
+        cache.put_result(&k0, &result(nodes([1]), Degradation::none()));
+        cache.put_postings(g1, 1, "alpha", &nodes([7]));
+        cache.put_postings(g1, 2, "alpha", &nodes([9]));
+
+        let map: HashMap<u32, u32> = [(0, 0), (1, 5)].into();
+        let co = cache.carry_over(g1, g2, &map);
+        assert_eq!(co.kept, 3, "{co:?}");
+        assert_eq!(co.rekeyed, 1, "{co:?}");
+        assert_eq!(co.evicted, 1, "{co:?}");
+
+        // Carried entries answer under the new tag and mapped ids…
+        assert_eq!(cache.get_postings(g2, 0, "alpha"), Some(nodes([1])));
+        assert!(cache
+            .get_fixpoint(g2, 0, "alpha", FixpointMode::Reduced)
+            .is_some());
+        let k0_new = ResultKey::new(g2, 0, &q, Strategy::PushDown, &policy);
+        assert_eq!(
+            cache.get_result(&k0_new).unwrap().fragments,
+            nodes([1]),
+            "result tier survives with identical fragments"
+        );
+        assert_eq!(cache.get_postings(g2, 5, "alpha"), Some(nodes([7])));
+        // …the changed doc and every old-tag key miss.
+        assert_eq!(cache.get_postings(g2, 2, "alpha"), None);
+        assert_eq!(cache.get_postings(g2, 1, "alpha"), None);
+        assert_eq!(cache.get_postings(g1, 0, "alpha"), None);
+        assert!(cache.get_result(&k0).is_none());
+    }
+
+    #[test]
+    fn carry_over_preserves_byte_accounting() {
+        let cache = QueryCache::with_capacity_mb(4);
+        let g1 = GenerationTag::fresh();
+        let g2 = GenerationTag::fresh();
+        for doc in 0..8 {
+            cache.put_postings(g1, doc, "term", &nodes([doc, doc + 1]));
+        }
+        let before = cache.stats();
+        // Map only even docs; odd ones drop.
+        let map: HashMap<u32, u32> = (0..8).step_by(2).map(|d| (d, d)).collect();
+        let co = cache.carry_over(g1, g2, &map);
+        assert_eq!(co.kept, 4);
+        assert_eq!(co.evicted, 4);
+        let after = cache.stats();
+        assert_eq!(after.entries, 4);
+        assert!(after.bytes < before.bytes);
+        assert!(after.bytes > 0);
+        // A second carry-over of the (now empty) old tag is a no-op.
+        assert_eq!(cache.carry_over(g1, g2, &map), CarryOver::default());
     }
 
     #[test]

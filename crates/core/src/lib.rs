@@ -76,7 +76,7 @@ pub use budget::{
     Breach, Budget, CancelToken, Degradation, DegradeMode, ExecPolicy, Governor, Rung,
 };
 pub use cache::{
-    CacheRef, CacheStats, CachedResult, GenerationTag, PolicyFp, QueryCache, ResultKey,
+    CacheRef, CacheStats, CachedResult, CarryOver, GenerationTag, PolicyFp, QueryCache, ResultKey,
     ShardCounters, TierCounters,
 };
 pub use collection::{

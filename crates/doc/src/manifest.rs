@@ -19,9 +19,19 @@
 //! rather than quarantined forever — the previous generation keeps
 //! serving. A directory with no manifest at all loads in legacy mode
 //! (the caller scans `.xml`/`.xfrg` itself).
+//!
+//! **Delta generations.** A manifest may carry a `parent <gen>` line,
+//! marking it a *delta*: it still lists **every** file of its generation
+//! (so verification stays self-contained), but unchanged entries keep
+//! their parent generation's file names instead of being rewritten. The
+//! loader additionally walks the parent chain — every ancestor manifest
+//! must exist and decode — and refuses a delta whose chain is broken,
+//! falling back to the newest fully-verified ancestor. Pruning retains
+//! any generation still referenced by a live delta's chain.
 
 use crate::atomic::{is_temp_remnant, write_atomic, WriteFaultHook};
 use crate::store::fnv1a;
+use std::collections::HashSet;
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
@@ -64,7 +74,11 @@ impl ManifestEntry {
 pub struct Manifest {
     /// Generation number; strictly increasing across commits.
     pub generation: u64,
-    /// Every data file of the generation.
+    /// For a delta generation, the generation it diffed against. Must be
+    /// strictly older than `generation`; `None` for a full generation.
+    pub parent: Option<u64>,
+    /// Every data file of the generation. A delta lists unchanged files
+    /// under their parent generation's names.
     pub files: Vec<ManifestEntry>,
 }
 
@@ -117,6 +131,9 @@ impl Manifest {
         let mut s = String::new();
         writeln!(s, "{HEADER}").unwrap();
         writeln!(s, "generation {}", self.generation).unwrap();
+        if let Some(p) = self.parent {
+            writeln!(s, "parent {p}").unwrap();
+        }
         for e in &self.files {
             writeln!(s, "file {} {:016x} {}", e.len, e.checksum, e.name).unwrap();
         }
@@ -165,6 +182,22 @@ impl Manifest {
             .and_then(|l| l.strip_prefix("generation "))
             .and_then(|g| g.parse::<u64>().ok())
             .ok_or_else(|| ManifestError::Malformed("bad generation line".into()))?;
+        let mut lines = lines.peekable();
+        let parent = match lines.peek().and_then(|l| l.strip_prefix("parent ")) {
+            Some(p) => {
+                let p = p
+                    .parse::<u64>()
+                    .map_err(|_| ManifestError::Malformed("bad parent line".into()))?;
+                if p >= generation {
+                    return Err(ManifestError::Malformed(format!(
+                        "parent {p} not older than generation {generation}"
+                    )));
+                }
+                lines.next();
+                Some(p)
+            }
+            None => None,
+        };
         let mut files = Vec::new();
         for line in lines {
             let rest = line
@@ -190,7 +223,11 @@ impl Manifest {
                 checksum: sum,
             });
         }
-        Ok(Manifest { generation, files })
+        Ok(Manifest {
+            generation,
+            parent,
+            files,
+        })
     }
 }
 
@@ -274,6 +311,16 @@ pub fn write_manifest(
             ));
         }
     }
+    if m.parent.is_some_and(|p| p >= m.generation) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "parent {} not older than generation {}",
+                m.parent.unwrap(),
+                m.generation
+            ),
+        ));
+    }
     let path = manifest_path(dir, m.generation);
     write_atomic(&path, &m.encode(), hook)?;
     Ok(path)
@@ -343,7 +390,10 @@ pub fn load_generation(dir: &Path) -> io::Result<GenerationLoad> {
             ));
             continue;
         }
-        match verify_entries(dir, &m) {
+        let verdict = parent_chain(dir, &m)
+            .map(|_| ())
+            .and_then(|()| verify_entries(dir, &m));
+        match verdict {
             Ok(()) => {
                 return Ok(GenerationLoad::Committed {
                     manifest: m,
@@ -356,6 +406,32 @@ pub fn load_generation(dir: &Path) -> io::Result<GenerationLoad> {
         }
     }
     Ok(GenerationLoad::NoneCommitted { rollbacks })
+}
+
+/// Walk `m`'s parent chain: each ancestor manifest must exist, decode
+/// (its trailing checksum verifies it end-to-end), and name its own
+/// generation. Returns the ancestor generation numbers, nearest first
+/// (empty for a full generation). Decode enforces `parent < generation`,
+/// so the chain strictly decreases and always terminates.
+pub fn parent_chain(dir: &Path, m: &Manifest) -> Result<Vec<u64>, String> {
+    let mut chain = Vec::new();
+    let mut cur = m.parent;
+    while let Some(p) = cur {
+        let mname = format!("manifest-{p:06}.xfm");
+        let bytes = fs::read(manifest_path(dir, p))
+            .map_err(|e| format!("parent chain broken: {mname}: {e}"))?;
+        let pm =
+            Manifest::decode(&bytes).map_err(|e| format!("parent chain broken: {mname}: {e}"))?;
+        if pm.generation != p {
+            return Err(format!(
+                "parent chain broken: {mname}: names generation {} inside",
+                pm.generation
+            ));
+        }
+        chain.push(p);
+        cur = pm.parent;
+    }
+    Ok(chain)
 }
 
 /// Check every entry of `m` against the directory contents.
@@ -384,14 +460,63 @@ fn verify_entries(dir: &Path, m: &Manifest) -> Result<(), String> {
 /// (manifests and generation-suffixed data files), plus any atomic-write
 /// temp remnants. Returns the deleted names, sorted. Never touches
 /// un-suffixed legacy files.
+///
+/// Two retention guards make this safe around deltas:
+/// * `keep_from` is clamped to the newest *verified* generation, so a
+///   caller passing a too-large cutoff can never delete the only
+///   generation that serves (the satellite-1 guard);
+/// * every manifest at or above the (clamped) cutoff keeps its whole
+///   parent chain alive — the chain's manifests and every file any kept
+///   manifest references — so a live delta's ancestors stay fully
+///   verifiable for rollback.
 pub fn prune_generations(dir: &Path, keep_from: u64) -> io::Result<Vec<String>> {
+    // Never delete the newest verified generation, even when keep_from
+    // exceeds it.
+    let keep_from = match load_generation(dir)? {
+        GenerationLoad::Committed { manifest, .. } => keep_from.min(manifest.generation),
+        _ => keep_from,
+    };
+
+    // Live set: manifests at or above the cutoff, their parent chains,
+    // and every file those manifests reference. An undecodable manifest
+    // contributes nothing (its files are unreferenced), but is itself
+    // kept if at or above the cutoff — it may be a commit in flight.
+    let mut live_manifests: HashSet<u64> = HashSet::new();
+    let mut live_files: HashSet<String> = HashSet::new();
+    let mut pending: Vec<u64> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let name = entry?.file_name().to_string_lossy().into_owned();
+        if let Some(g) = manifest_generation(&name) {
+            if g >= keep_from {
+                pending.push(g);
+            }
+        }
+    }
+    while let Some(g) = pending.pop() {
+        if !live_manifests.insert(g) {
+            continue;
+        }
+        let Ok(bytes) = fs::read(manifest_path(dir, g)) else {
+            continue;
+        };
+        let Ok(m) = Manifest::decode(&bytes) else {
+            continue;
+        };
+        for e in &m.files {
+            live_files.insert(e.name.clone());
+        }
+        if let Some(p) = m.parent {
+            pending.push(p);
+        }
+    }
+
     let mut deleted = Vec::new();
     for entry in fs::read_dir(dir)? {
         let name = entry?.file_name().to_string_lossy().into_owned();
         let stale = match manifest_generation(&name) {
-            Some(g) => g < keep_from,
+            Some(g) => g < keep_from && !live_manifests.contains(&g),
             None => match split_generation_file(&name) {
-                Some((_, g)) => g < keep_from,
+                Some((_, g)) => g < keep_from && !live_files.contains(&name),
                 None => is_temp_remnant(&name),
             },
         };
@@ -423,6 +548,30 @@ mod tests {
         }
         let m = Manifest {
             generation: gen,
+            parent: None,
+            files: entries,
+        };
+        write_manifest(dir, &m, None).unwrap();
+        m
+    }
+
+    /// Commit a delta generation: write the given new files, carry the
+    /// given entries verbatim, and record `parent`.
+    fn commit_delta(
+        dir: &Path,
+        gen: u64,
+        parent: u64,
+        new_files: &[(&str, &[u8])],
+        carried: &[ManifestEntry],
+    ) -> Manifest {
+        let mut entries = carried.to_vec();
+        for (name, bytes) in new_files {
+            write_atomic(&dir.join(name), bytes, None).unwrap();
+            entries.push(ManifestEntry::for_file(dir, name).unwrap());
+        }
+        let m = Manifest {
+            generation: gen,
+            parent: Some(parent),
             files: entries,
         };
         write_manifest(dir, &m, None).unwrap();
@@ -433,6 +582,7 @@ mod tests {
     fn encode_decode_roundtrip() {
         let m = Manifest {
             generation: 7,
+            parent: None,
             files: vec![
                 ManifestEntry {
                     name: "a.g000007.xfrg".into(),
@@ -447,43 +597,82 @@ mod tests {
             ],
         };
         assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
+        // A delta round-trips its parent line too.
+        let delta = Manifest {
+            parent: Some(6),
+            ..m.clone()
+        };
+        assert_eq!(Manifest::decode(&delta.encode()).unwrap(), delta);
+    }
+
+    #[test]
+    fn parent_must_be_older_than_generation() {
+        for parent in [7u64, 8] {
+            let m = Manifest {
+                generation: 7,
+                parent: Some(parent),
+                files: vec![],
+            };
+            assert!(matches!(
+                Manifest::decode(&m.encode()),
+                Err(ManifestError::Malformed(_))
+            ));
+            let d = tmpdir(&format!("badparent-{parent}"));
+            assert_eq!(
+                write_manifest(&d, &m, None).unwrap_err().kind(),
+                io::ErrorKind::InvalidInput
+            );
+            fs::remove_dir_all(&d).unwrap();
+        }
     }
 
     #[test]
     fn every_truncation_of_a_manifest_is_rejected() {
-        let m = Manifest {
-            generation: 3,
-            files: vec![ManifestEntry {
-                name: "a.xfrg".into(),
-                len: 9,
-                checksum: 123,
-            }],
-        };
-        let bytes = m.encode();
-        for cut in 0..bytes.len() {
-            assert!(Manifest::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        for parent in [None, Some(2)] {
+            let m = Manifest {
+                generation: 3,
+                parent,
+                files: vec![ManifestEntry {
+                    name: "a.xfrg".into(),
+                    len: 9,
+                    checksum: 123,
+                }],
+            };
+            let bytes = m.encode();
+            for cut in 0..bytes.len() {
+                assert!(
+                    Manifest::decode(&bytes[..cut]).is_err(),
+                    "parent {parent:?} cut at {cut}"
+                );
+            }
         }
     }
 
     #[test]
     fn every_single_bitflip_of_a_manifest_is_rejected() {
-        let m = Manifest {
-            generation: 1,
-            files: vec![ManifestEntry {
-                name: "a.xfrg".into(),
-                len: 1,
-                checksum: 2,
-            }],
-        };
-        let bytes = m.encode();
-        for pos in 0..bytes.len() {
-            for bit in 0..8 {
-                let mut c = bytes.clone();
-                c[pos] ^= 1 << bit;
-                if c == bytes {
-                    continue;
+        for parent in [None, Some(0)] {
+            let m = Manifest {
+                generation: 1,
+                parent,
+                files: vec![ManifestEntry {
+                    name: "a.xfrg".into(),
+                    len: 1,
+                    checksum: 2,
+                }],
+            };
+            let bytes = m.encode();
+            for pos in 0..bytes.len() {
+                for bit in 0..8 {
+                    let mut c = bytes.clone();
+                    c[pos] ^= 1 << bit;
+                    if c == bytes {
+                        continue;
+                    }
+                    assert!(
+                        Manifest::decode(&c).is_err(),
+                        "parent {parent:?} flip bit {bit} at {pos}"
+                    );
                 }
-                assert!(Manifest::decode(&c).is_err(), "flip bit {bit} at {pos}");
             }
         }
     }
@@ -532,6 +721,7 @@ mod tests {
         fs::write(d.join("a.g000002.xfrg"), b"new").unwrap();
         let m2 = Manifest {
             generation: 2,
+            parent: None,
             files: vec![ManifestEntry {
                 name: "a.g000002.xfrg".into(),
                 len: 100,
@@ -587,6 +777,132 @@ mod tests {
         assert!(d.join("a.g000002.xfrg").exists());
         assert!(d.join("manifest-000003.xfm").exists());
         assert_eq!(latest_generation_number(&d).unwrap(), 3);
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn delta_generation_loads_and_reports_its_chain() {
+        let d = tmpdir("delta-load");
+        let m1 = commit(
+            &d,
+            1,
+            &[("a.g000001.xfrg", b"alpha"), ("b.g000001.xfrg", b"beta")],
+        );
+        // Gen 2 rewrites b, carries a from gen 1.
+        let m2 = commit_delta(&d, 2, 1, &[("b.g000002.xfrg", b"beta two")], &m1.files[..1]);
+        match load_generation(&d).unwrap() {
+            GenerationLoad::Committed {
+                manifest,
+                rollbacks,
+            } => {
+                assert_eq!(manifest, m2);
+                assert!(rollbacks.is_empty(), "{rollbacks:?}");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(parent_chain(&d, &m2).unwrap(), vec![1]);
+        // A delta on the delta chains through both ancestors.
+        let m3 = commit_delta(&d, 3, 2, &[("c.g000003.xfrg", b"gamma")], &m2.files);
+        assert_eq!(parent_chain(&d, &m3).unwrap(), vec![2, 1]);
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn delta_with_missing_or_corrupt_parent_manifest_is_rejected() {
+        for corrupt in [false, true] {
+            let d = tmpdir(&format!("delta-chain-{corrupt}"));
+            let m1 = commit(&d, 1, &[("a.g000001.xfrg", b"alpha")]);
+            commit_delta(&d, 2, 1, &[("b.g000002.xfrg", b"beta")], &m1.files);
+            if corrupt {
+                fs::write(manifest_path(&d, 1), b"garbage\n").unwrap();
+            } else {
+                fs::remove_file(manifest_path(&d, 1)).unwrap();
+            }
+            // The delta itself verifies (all its files are intact), but
+            // its parent chain is broken — it must not be served.
+            match load_generation(&d).unwrap() {
+                GenerationLoad::NoneCommitted { rollbacks } => {
+                    assert!(
+                        rollbacks.iter().any(|r| r.contains("generation 2 rejected")
+                            && r.contains("parent chain broken")),
+                        "{rollbacks:?}"
+                    );
+                }
+                other => panic!("corrupt={corrupt}: {other:?}"),
+            }
+            fs::remove_dir_all(&d).unwrap();
+        }
+    }
+
+    #[test]
+    fn delta_falls_back_to_newest_verified_ancestor() {
+        let d = tmpdir("delta-fallback");
+        let m1 = commit(&d, 1, &[("a.g000001.xfrg", b"alpha")]);
+        commit_delta(&d, 2, 1, &[("b.g000002.xfrg", b"beta")], &m1.files);
+        // Tear the delta's own new file: gen 2 fails entry verification,
+        // the loader falls back to fully-verified gen 1.
+        fs::write(d.join("b.g000002.xfrg"), b"b").unwrap();
+        match load_generation(&d).unwrap() {
+            GenerationLoad::Committed {
+                manifest,
+                rollbacks,
+            } => {
+                assert_eq!(manifest, m1);
+                assert!(
+                    rollbacks
+                        .iter()
+                        .any(|r| r.contains("generation 2 rejected")),
+                    "{rollbacks:?}"
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn prune_never_deletes_the_newest_verified_generation() {
+        let d = tmpdir("prune-guard");
+        commit(&d, 1, &[("a.g000001.xfrg", b"1")]);
+        commit(&d, 2, &[("a.g000002.xfrg", b"2")]);
+        commit(&d, 3, &[("a.g000003.xfrg", b"3")]);
+        // keep_from far beyond the newest generation: the guard clamps it.
+        let deleted = prune_generations(&d, 99).unwrap();
+        assert_eq!(
+            deleted,
+            vec![
+                "a.g000001.xfrg",
+                "a.g000002.xfrg",
+                "manifest-000001.xfm",
+                "manifest-000002.xfm"
+            ]
+        );
+        assert!(d.join("a.g000003.xfrg").exists());
+        assert!(d.join("manifest-000003.xfm").exists());
+        match load_generation(&d).unwrap() {
+            GenerationLoad::Committed { manifest, .. } => assert_eq!(manifest.generation, 3),
+            other => panic!("{other:?}"),
+        }
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn prune_keeps_generations_referenced_by_a_live_delta() {
+        let d = tmpdir("prune-chain");
+        commit(&d, 1, &[("a.g000001.xfrg", b"old")]);
+        let m2 = commit(&d, 2, &[("a.g000002.xfrg", b"two")]);
+        commit_delta(&d, 3, 2, &[("b.g000003.xfrg", b"new")], &m2.files);
+        let deleted = prune_generations(&d, 3).unwrap();
+        // Gen 1 is unreferenced and goes; gen 2 is the delta's parent and
+        // must survive in full — manifest and data — so rollback to it
+        // stays possible.
+        assert_eq!(deleted, vec!["a.g000001.xfrg", "manifest-000001.xfm"]);
+        assert!(d.join("manifest-000002.xfm").exists());
+        assert!(d.join("a.g000002.xfrg").exists());
+        match load_generation(&d).unwrap() {
+            GenerationLoad::Committed { manifest, .. } => assert_eq!(manifest.generation, 3),
+            other => panic!("{other:?}"),
+        }
         fs::remove_dir_all(&d).unwrap();
     }
 }

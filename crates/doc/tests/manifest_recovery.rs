@@ -13,7 +13,8 @@ use proptest::prelude::*;
 use std::path::{Path, PathBuf};
 use xfrag_doc::atomic::write_atomic;
 use xfrag_doc::manifest::{
-    generation_file_name, load_generation, write_manifest, GenerationLoad, Manifest, ManifestEntry,
+    generation_file_name, load_generation, manifest_path, parent_chain, write_manifest,
+    GenerationLoad, Manifest, ManifestEntry,
 };
 use xfrag_doc::{parse_str, store};
 
@@ -35,6 +36,7 @@ fn commit(dir: &Path, gen: u64, docs: &[(&str, &str)]) -> Manifest {
     }
     let m = Manifest {
         generation: gen,
+        parent: None,
         files,
     };
     write_manifest(dir, &m, None).unwrap();
@@ -81,6 +83,7 @@ fn every_torn_data_file_cut_rolls_back_to_generation_1() {
     std::fs::write(dir.join(&g2_name), &g2_bytes).unwrap();
     let m2 = Manifest {
         generation: 2,
+        parent: None,
         files: vec![ManifestEntry::for_file(&dir, &g2_name).unwrap()],
     };
     write_manifest(&dir, &m2, None).unwrap();
@@ -132,6 +135,120 @@ fn crash_before_manifest_write_is_invisible() {
         other => panic!("{other:?}"),
     }
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Commit a delta generation 2 on top of an existing generation 1:
+/// carries every gen-1 file except `rewrite`, which gets fresh bytes
+/// under a gen-2 name.
+fn commit_delta2(dir: &Path, m1: &Manifest, rewrite: &str, xml: &str) -> Manifest {
+    let rewritten = generation_file_name(rewrite, 2);
+    write_atomic(
+        &dir.join(&rewritten),
+        &store::encode(&parse_str(xml).unwrap()),
+        None,
+    )
+    .unwrap();
+    let mut files: Vec<ManifestEntry> = m1
+        .files
+        .iter()
+        .filter(|e| e.name != generation_file_name(rewrite, 1))
+        .cloned()
+        .collect();
+    files.push(ManifestEntry::for_file(dir, &rewritten).unwrap());
+    let m2 = Manifest {
+        generation: 2,
+        parent: Some(1),
+        files,
+    };
+    write_manifest(dir, &m2, None).unwrap();
+    m2
+}
+
+proptest! {
+    /// Torn-parent-chain sweep: generation 2 is a *delta* carrying two of
+    /// generation 1's files. Any artifact of either generation — parent
+    /// manifest, parent data files, delta manifest, delta data file —
+    /// gets truncated or bit-flipped. The loader must never panic and
+    /// never serve a hybrid: whatever generation it picks verifies
+    /// end-to-end (every listed file whole and decodable) and has an
+    /// intact parent chain; if nothing qualifies it reports NoneCommitted.
+    #[test]
+    fn torn_parent_chain_never_yields_a_hybrid(
+        which in 0usize..6,
+        frac in any::<f64>(),
+        flip in any::<u8>(),
+        flip_instead in any::<bool>(),
+    ) {
+        let dir = tmpdir(&format!("chain-{which}-{flip}"));
+        let m1 = commit(
+            &dir,
+            1,
+            &[
+                ("a", "<doc><p>alpha</p></doc>"),
+                ("b", "<doc><p>beta</p></doc>"),
+                ("c", "<doc><p>gamma</p></doc>"),
+            ],
+        );
+        commit_delta2(&dir, &m1, "c", "<doc><p>gamma two</p></doc>");
+        let victim = match which {
+            0 => dir.join(generation_file_name("a", 1)),
+            1 => dir.join(generation_file_name("b", 1)),
+            2 => dir.join(generation_file_name("c", 1)),
+            3 => dir.join(generation_file_name("c", 2)),
+            4 => manifest_path(&dir, 1),
+            _ => manifest_path(&dir, 2),
+        };
+        let bytes = std::fs::read(&victim).unwrap();
+        let damaged = if flip_instead && !bytes.is_empty() {
+            let mut c = bytes.clone();
+            let pos = (frac * (c.len() - 1) as f64) as usize;
+            c[pos] ^= if flip == 0 { 1 } else { flip };
+            if c == bytes { c[pos] ^= 1; }
+            c
+        } else {
+            let cut = (frac * bytes.len() as f64) as usize;
+            bytes[..cut.min(bytes.len().saturating_sub(1))].to_vec()
+        };
+        std::fs::write(&victim, damaged).unwrap();
+
+        match load_generation(&dir).unwrap() {
+            GenerationLoad::Committed { manifest, .. } => {
+                // No hybrid: the winner verifies end-to-end, decodes, and
+                // its parent chain is intact.
+                for e in &manifest.files {
+                    let bytes = std::fs::read(dir.join(&e.name)).unwrap();
+                    prop_assert_eq!(bytes.len() as u64, e.len, "{}", e.name);
+                    store::decode(&bytes).unwrap_or_else(
+                        |err| panic!("which={which}: {} undecodable: {err}", e.name));
+                }
+                parent_chain(&dir, &manifest).unwrap();
+                // Who can legitimately win: damaging the orphaned c.g1
+                // leaves the delta serving; damaging the delta's own
+                // artifacts rolls back to generation 1; damaging a
+                // carried file or the parent manifest dooms both.
+                let expect = match which {
+                    2 => 2,
+                    3 | 5 => 1,
+                    _ => {
+                        prop_assert!(false, "which={} must be NoneCommitted", which);
+                        unreachable!()
+                    }
+                };
+                prop_assert_eq!(manifest.generation, expect, "which={}", which);
+            }
+            GenerationLoad::NoneCommitted { rollbacks } => {
+                prop_assert!(!rollbacks.is_empty());
+                prop_assert!(
+                    matches!(which, 0 | 1 | 4),
+                    "which={} should have recovered, got {:?}", which, rollbacks
+                );
+            }
+            GenerationLoad::Unversioned => {
+                prop_assert!(false, "manifests exist; Unversioned impossible");
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 }
 
 proptest! {
