@@ -23,7 +23,10 @@ use xfrag_core::{FaultInjector, FaultPlan};
 use xfrag_doc::atomic::{write_atomic, WriteFault, WriteFaultHook};
 use xfrag_doc::manifest;
 use xfrag_doc::serialize::{fragment_to_xml, WriteOptions};
-use xfrag_doc::{parse_str, store, Collection, Document, InvertedIndex};
+use xfrag_doc::{
+    encode_segment, parse_str, segment_file_name, store, Collection, Document, InvertedIndex,
+    PostingsSource, SegmentIndex,
+};
 
 /// Top-level error type for command execution.
 #[derive(Debug)]
@@ -63,7 +66,8 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
     match cmd {
         Command::Search(a) => {
             let doc = load(&a.file)?;
-            search(&doc, &a)
+            let seg = file_segment(&a.file, &doc);
+            search_with(&doc, seg.as_ref(), &a)
         }
         Command::MultiSearch(a) => {
             let coll = load_dir(&a.file)?;
@@ -100,7 +104,8 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
         Command::Compact { dir, inject } => compact_corpus(&dir, inject.as_deref()),
         Command::Explain(a) => {
             let doc = load(&a.file)?;
-            explain(&doc, &a)
+            let seg = file_segment(&a.file, &doc);
+            explain_with(&doc, seg.as_ref(), &a)
         }
         Command::Info { file } => {
             let doc = load(&file)?;
@@ -157,11 +162,15 @@ fn hook_ref(hook: &Option<InjectorWriteHook>) -> Option<&dyn WriteFaultHook> {
 
 /// `xfrag index <src-dir> <corpus-dir>`: compile every `.xml` in the
 /// source directory into the corpus directory as one new
-/// manifest-committed generation. Ordering is the crash-safety story:
-/// every data file is written atomically under its generation-unique
-/// name first, and the manifest — the commit point — last, so a crash
-/// anywhere leaves the previous generation untouched and loadable.
-/// Generations older than the previous one are pruned after the commit.
+/// manifest-committed generation. Each document commits as a pair: the
+/// `.xfrg` tree and a `.xidx` structural-label inverted-index segment
+/// (postings + prefix labels), both checksummed in the manifest so the
+/// cold query path runs off persistent postings. Ordering is the
+/// crash-safety story: every data file is written atomically under its
+/// generation-unique name first, and the manifest — the commit point —
+/// last, so a crash anywhere leaves the previous generation untouched
+/// and loadable. Generations older than the previous one are pruned
+/// after the commit.
 fn index_corpus(src: &str, out: &str, inject: Option<&str>) -> Result<String, CliError> {
     let hook = write_hook(inject)?;
     let paths = xml_sources(src)?;
@@ -170,6 +179,7 @@ fn index_corpus(src: &str, out: &str, inject: Option<&str>) -> Result<String, Cl
     let generation =
         manifest::latest_generation_number(outp).map_err(|e| CliError::Io(out.to_string(), e))? + 1;
     let mut files = Vec::new();
+    let mut segments = 0usize;
     for p in &paths {
         let doc = load(&p.to_string_lossy())?;
         let stem = p
@@ -186,6 +196,16 @@ fn index_corpus(src: &str, out: &str, inject: Option<&str>) -> Result<String, Cl
             len: bytes.len() as u64,
             checksum: manifest::checksum(&bytes),
         });
+        let seg_name = segment_file_name(&stem, generation);
+        let seg_bytes = encode_segment(&doc);
+        write_atomic(&outp.join(&seg_name), &seg_bytes, hook_ref(&hook))
+            .map_err(|e| CliError::Io(seg_name.clone(), e))?;
+        files.push(manifest::ManifestEntry {
+            name: seg_name,
+            len: seg_bytes.len() as u64,
+            checksum: manifest::checksum(&seg_bytes),
+        });
+        segments += 1;
     }
     let m = manifest::Manifest {
         generation,
@@ -203,7 +223,8 @@ fn index_corpus(src: &str, out: &str, inject: Option<&str>) -> Result<String, Cl
         Vec::new()
     };
     Ok(format!(
-        "committed generation {generation}: {} document(s) -> {out} ({} old file(s) pruned)\n",
+        "committed generation {generation}: {} document(s) + {segments} index segment(s) \
+         -> {out} ({} old file(s) pruned)\n",
         paths.len(),
         pruned.len()
     ))
@@ -273,11 +294,33 @@ fn delta_index(src: &str, out: &str, inject: Option<&str>) -> Result<String, Cli
             .to_string_lossy()
             .into_owned();
         src_logicals.insert(format!("{stem}.xfrg"));
+        src_logicals.insert(format!("{stem}.xidx"));
+        // A fresh `.xidx` segment for this document, written only when
+        // the parent's can't be carried (doc changed, or a legacy parent
+        // generation never had one).
+        let write_segment = |files: &mut Vec<manifest::ManifestEntry>| -> Result<(), CliError> {
+            let seg_name = segment_file_name(&stem, generation);
+            let seg_bytes = encode_segment(&doc);
+            write_atomic(&outp.join(&seg_name), &seg_bytes, hook_ref(&hook))
+                .map_err(|e| CliError::Io(seg_name.clone(), e))?;
+            files.push(manifest::ManifestEntry {
+                name: seg_name,
+                len: seg_bytes.len() as u64,
+                checksum: manifest::checksum(&seg_bytes),
+            });
+            Ok(())
+        };
         let bytes = store::encode(&doc);
         match parent_by_logical.get(&format!("{stem}.xfrg")) {
             Some(e) if e.len == bytes.len() as u64 && e.checksum == manifest::checksum(&bytes) => {
-                // Unchanged: reference the parent generation's file.
+                // Unchanged: reference the parent generation's files —
+                // the document *and* its index segment (byte-identical
+                // document bytes imply an identical segment).
                 files.push((*e).clone());
+                match parent_by_logical.get(&format!("{stem}.xidx")) {
+                    Some(seg) => files.push((*seg).clone()),
+                    None => write_segment(&mut files)?,
+                }
                 carried += 1;
             }
             _ => {
@@ -289,14 +332,20 @@ fn delta_index(src: &str, out: &str, inject: Option<&str>) -> Result<String, Cli
                     len: bytes.len() as u64,
                     checksum: manifest::checksum(&bytes),
                 });
+                write_segment(&mut files)?;
                 rewritten += 1;
             }
         }
     }
+    // Removed *documents* only — a parent `.xidx` entry disappears with
+    // its document and is not a removal of its own.
     let removed = parent
         .files
         .iter()
-        .filter(|e| !src_logicals.contains(&logical_name(&e.name)))
+        .filter(|e| {
+            let logical = logical_name(&e.name);
+            logical.ends_with(".xfrg") && !src_logicals.contains(&logical)
+        })
         .count();
     let m = manifest::Manifest {
         generation,
@@ -339,12 +388,24 @@ fn compact_corpus(dir: &str, inject: Option<&str>) -> Result<String, CliError> {
     let mut entries = current.files.clone();
     entries.sort_by_key(|e| logical_name(&e.name));
     let mut files = Vec::new();
+    let (mut count, mut segments) = (0usize, 0usize);
     for e in &entries {
         let bytes =
             std::fs::read(dirp.join(&e.name)).map_err(|err| CliError::Io(e.name.clone(), err))?;
         let logical = logical_name(&e.name);
-        let stem = logical.strip_suffix(".xfrg").unwrap_or(&logical);
-        let name = manifest::generation_file_name(stem, generation);
+        // `.xidx` index segments keep their kind across compaction; both
+        // kinds are renamed under the new generation's infix.
+        let name = match logical.strip_suffix(".xidx") {
+            Some(stem) => {
+                segments += 1;
+                segment_file_name(stem, generation)
+            }
+            None => {
+                count += 1;
+                let stem = logical.strip_suffix(".xfrg").unwrap_or(&logical);
+                manifest::generation_file_name(stem, generation)
+            }
+        };
         write_atomic(&dirp.join(&name), &bytes, hook_ref(&hook))
             .map_err(|err| CliError::Io(name.clone(), err))?;
         files.push(manifest::ManifestEntry {
@@ -353,7 +414,6 @@ fn compact_corpus(dir: &str, inject: Option<&str>) -> Result<String, CliError> {
             checksum: manifest::checksum(&bytes),
         });
     }
-    let count = files.len();
     let m = manifest::Manifest {
         generation,
         parent: None,
@@ -364,7 +424,8 @@ fn compact_corpus(dir: &str, inject: Option<&str>) -> Result<String, CliError> {
     let pruned = manifest::prune_generations(dirp, current.generation)
         .map_err(|e| CliError::Io(dir.to_string(), e))?;
     Ok(format!(
-        "compacted generation {} -> {generation}: {count} document(s) ({} old file(s) pruned)\n",
+        "compacted generation {} -> {generation}: {count} document(s) + {segments} \
+         index segment(s) ({} old file(s) pruned)\n",
         current.generation,
         pruned.len()
     ))
@@ -379,7 +440,41 @@ pub(crate) fn load(path: &str) -> Result<Document, CliError> {
     parse_str(&text).map_err(CliError::Parse)
 }
 
-/// Load every `.xml`/`.xfrg` file in a directory (sorted for determinism).
+/// Probe for a persistent index segment next to a `.xfrg` file: the
+/// same path with an `.xidx` extension. `Ok(None)` when there is no
+/// sibling; `Err(why)` when one exists but is unusable (corrupt, or
+/// built for a different document) — callers warn and fall back to the
+/// in-memory tree-walk index, never fail the load.
+pub(crate) fn sibling_segment(path: &Path, doc: &Document) -> Result<Option<SegmentIndex>, String> {
+    if path.extension().and_then(|e| e.to_str()) != Some("xfrg") {
+        return Ok(None);
+    }
+    let seg_path = path.with_extension("xidx");
+    if !seg_path.exists() {
+        return Ok(None);
+    }
+    load_segment(&seg_path, doc).map(Some)
+}
+
+/// Read, decode, and validate one `.xidx` segment against the document
+/// it claims to index.
+pub(crate) fn load_segment(path: &Path, doc: &Document) -> Result<SegmentIndex, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let seg = SegmentIndex::from_bytes(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+    if seg.doc_len() != doc.len() {
+        return Err(format!(
+            "{}: segment covers {} node(s) but the document has {}",
+            path.display(),
+            seg.doc_len(),
+            doc.len()
+        ));
+    }
+    Ok(seg)
+}
+
+/// Load every `.xml`/`.xfrg` file in a directory (sorted for
+/// determinism). An `.xfrg` with a valid `.xidx` sibling loads
+/// segment-backed: lazy postings and label arithmetic on the query path.
 fn load_dir(dir: &str) -> Result<Collection, CliError> {
     let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
         .map_err(|e| CliError::Io(dir.to_string(), e))?
@@ -394,7 +489,19 @@ fn load_dir(dir: &str) -> Result<Collection, CliError> {
     let mut coll = Collection::new();
     for p in paths {
         let doc = load(&p.to_string_lossy())?;
-        coll.add(p.file_name().unwrap_or_default().to_string_lossy(), doc);
+        let name = p.file_name().unwrap_or_default().to_string_lossy();
+        match sibling_segment(&p, &doc) {
+            Ok(Some(seg)) => {
+                coll.add_with_segment(name, doc, seg);
+            }
+            Ok(None) => {
+                coll.add(name, doc);
+            }
+            Err(why) => {
+                eprintln!("warning: ignoring index segment ({why}); using tree walks");
+                coll.add(name, doc);
+            }
+        }
     }
     Ok(coll)
 }
@@ -498,6 +605,16 @@ pub fn multi_search(coll: &Collection, a: &SearchArgs) -> Result<String, CliErro
     }
     if a.stats {
         writeln!(out, "stats: {}", r.stats).unwrap();
+        if coll.segment_count() > 0 {
+            writeln!(
+                out,
+                "index: segments={} bytes={} terms_loaded={}",
+                coll.segment_count(),
+                coll.index_bytes(),
+                coll.index_terms_loaded()
+            )
+            .unwrap();
+        }
         if let Some((c, _)) = &cache {
             writeln!(out, "cache: {}", c.stats().to_json()).unwrap();
         }
@@ -552,9 +669,53 @@ fn profile_block(mode: ProfileMode, spans: &[Span]) -> String {
     }
 }
 
+/// Probe the single-file commands' `.xidx` sibling; an unusable
+/// segment warns and falls back to tree walks, never fails the command.
+fn file_segment(file: &str, doc: &Document) -> Option<SegmentIndex> {
+    match sibling_segment(Path::new(file), doc) {
+        Ok(seg) => seg,
+        Err(why) => {
+            eprintln!("warning: ignoring index segment ({why}); using tree walks");
+            None
+        }
+    }
+}
+
+/// One-line provenance for `--stats`: how big the persistent segment
+/// is and how much of its vocabulary the query actually materialized.
+fn segment_stats_line(seg: &SegmentIndex) -> String {
+    format!(
+        "index: segment bytes={} terms={} terms_loaded={}",
+        seg.bytes_len(),
+        seg.term_count(),
+        seg.terms_loaded()
+    )
+}
+
 /// `xfrag search`.
 pub fn search(doc: &Document, a: &SearchArgs) -> Result<String, CliError> {
-    let index = InvertedIndex::build(doc);
+    search_with(doc, None, a)
+}
+
+/// `xfrag search`, segment-backed when a usable `.xidx` sibling was
+/// found: postings stream lazily and structure runs on label arithmetic.
+pub fn search_with(
+    doc: &Document,
+    seg: Option<&SegmentIndex>,
+    a: &SearchArgs,
+) -> Result<String, CliError> {
+    match seg {
+        Some(seg) => search_impl(doc, seg, Some(seg), a),
+        None => search_impl(doc, &InvertedIndex::build(doc), None, a),
+    }
+}
+
+fn search_impl<I: PostingsSource + ?Sized>(
+    doc: &Document,
+    index: &I,
+    seg: Option<&SegmentIndex>,
+    a: &SearchArgs,
+) -> Result<String, CliError> {
     let q = build_query(a);
     let sink = RecordingSink::new();
     let tracer = if a.profile.is_on() {
@@ -572,7 +733,7 @@ pub fn search(doc: &Document, a: &SearchArgs) -> Result<String, CliError> {
         // Cold fill pass; the reported pass below runs warm.
         evaluate_budgeted_cached_traced(
             doc,
-            &index,
+            index,
             &q,
             a.strategy,
             &exec_policy(a),
@@ -583,7 +744,7 @@ pub fn search(doc: &Document, a: &SearchArgs) -> Result<String, CliError> {
     }
     let result = evaluate_budgeted_cached_traced(
         doc,
-        &index,
+        index,
         &q,
         a.strategy,
         &exec_policy(a),
@@ -631,6 +792,9 @@ pub fn search(doc: &Document, a: &SearchArgs) -> Result<String, CliError> {
     }
     if a.stats {
         writeln!(out, "stats: {}", result.stats).unwrap();
+        if let Some(seg) = seg {
+            writeln!(out, "{}", segment_stats_line(seg)).unwrap();
+        }
         if let Some((c, _)) = &cache {
             writeln!(out, "cache: {}", c.stats().to_json()).unwrap();
         }
@@ -639,12 +803,38 @@ pub fn search(doc: &Document, a: &SearchArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `xfrag explain`.
+/// `xfrag explain` without a persistent segment; `run` dispatches
+/// through [`explain_with`], so outside the unit tests this shorthand
+/// has no binary caller.
+#[cfg_attr(not(test), allow(dead_code))]
 pub fn explain(doc: &Document, a: &SearchArgs) -> Result<String, CliError> {
-    let index = InvertedIndex::build(doc);
+    explain_with(doc, None, a)
+}
+
+/// `xfrag explain`, segment-backed when a usable `.xidx` sibling was
+/// found — the rendered stages then cost and execute off the persistent
+/// postings, and `label_ops`/`tree_ops` in the per-stage stats show
+/// which structural backend answered.
+pub fn explain_with(
+    doc: &Document,
+    seg: Option<&SegmentIndex>,
+    a: &SearchArgs,
+) -> Result<String, CliError> {
+    match seg {
+        Some(seg) => explain_impl(doc, seg, Some(seg), a),
+        None => explain_impl(doc, &InvertedIndex::build(doc), None, a),
+    }
+}
+
+fn explain_impl<I: PostingsSource + ?Sized>(
+    doc: &Document,
+    index: &I,
+    seg: Option<&SegmentIndex>,
+    a: &SearchArgs,
+) -> Result<String, CliError> {
     let q = build_query(a);
     let plan = LogicalPlan::for_query(&q).map_err(|e| CliError::Query(e.to_string()))?;
-    let optimizer = Optimizer::standard(doc, &index, CostModel::default());
+    let optimizer = Optimizer::standard(doc, index, CostModel::default());
 
     let mut out = String::new();
     for (stage, p) in optimizer.optimize_traced(plan) {
@@ -659,11 +849,11 @@ pub fn explain(doc: &Document, a: &SearchArgs) -> Result<String, CliError> {
         if a.analyze {
             // EXPLAIN ANALYZE: cost-model estimate next to the measured
             // execution — wall-clock, counter deltas, per-operator spans.
-            let est = CostModel::default().estimate_plan(&p, doc, &index);
+            let est = CostModel::default().estimate_plan(&p, doc, index);
             let sink = RecordingSink::new();
             let tracer = Tracer::new(&sink);
             let start = std::time::Instant::now();
-            let res = execute_traced(&p, doc, &index, &mut st, &gov, &tracer);
+            let res = execute_traced(&p, doc, index, &mut st, &gov, &tracer);
             let wall = start.elapsed();
             match res {
                 Ok(set) => writeln!(out, "-> {} fragment(s)", set.len()).unwrap(),
@@ -683,7 +873,7 @@ pub fn explain(doc: &Document, a: &SearchArgs) -> Result<String, CliError> {
             }
             out.push('\n');
         } else {
-            match execute_governed(&p, doc, &index, &mut st, &gov) {
+            match execute_governed(&p, doc, index, &mut st, &gov) {
                 Ok(set) => writeln!(out, "-> {} fragment(s), {}\n", set.len(), st).unwrap(),
                 Err(breach) => {
                     writeln!(out, "-> not executable at this stage ({breach})\n").unwrap()
@@ -691,7 +881,7 @@ pub fn explain(doc: &Document, a: &SearchArgs) -> Result<String, CliError> {
             }
         }
     }
-    for (term, a_len, b_len) in xfrag_core::query::operand_reduction_factors(doc, &index, &q) {
+    for (term, a_len, b_len) in xfrag_core::query::operand_reduction_factors(doc, index, &q) {
         let rf = if a_len == 0 {
             0.0
         } else {
@@ -706,10 +896,10 @@ pub fn explain(doc: &Document, a: &SearchArgs) -> Result<String, CliError> {
     // Budget checkpoints: re-run the fully optimized plan under a governor
     // for the configured budget and report where governance would bite.
     let plan = LogicalPlan::for_query(&q).map_err(|e| CliError::Query(e.to_string()))?;
-    let optimized = Optimizer::standard(doc, &index, CostModel::default()).optimize(plan);
+    let optimized = Optimizer::standard(doc, index, CostModel::default()).optimize(plan);
     let gov = Governor::new(a.budget, None);
     let mut st = EvalStats::new();
-    match execute_governed(&optimized, doc, &index, &mut st, &gov) {
+    match execute_governed(&optimized, doc, index, &mut st, &gov) {
         Ok(set) => writeln!(
             out,
             "budget: {} checkpoint(s) passed, {} join(s) charged, {} fragment(s) within budget",
@@ -741,7 +931,7 @@ pub fn explain(doc: &Document, a: &SearchArgs) -> Result<String, CliError> {
         writeln!(out, "== cache (cold fill, then warm re-run) ==").unwrap();
         evaluate_budgeted_cached_traced(
             doc,
-            &index,
+            index,
             &q,
             a.strategy,
             &policy,
@@ -753,7 +943,7 @@ pub fn explain(doc: &Document, a: &SearchArgs) -> Result<String, CliError> {
         let tracer = Tracer::new(&sink);
         let warm = evaluate_budgeted_cached_traced(
             doc,
-            &index,
+            index,
             &q,
             a.strategy,
             &policy,
@@ -772,6 +962,11 @@ pub fn explain(doc: &Document, a: &SearchArgs) -> Result<String, CliError> {
             writeln!(out, "  {line}").unwrap();
         }
         writeln!(out, "cache: {}", cache.stats().to_json()).unwrap();
+    }
+    // Last so `terms_loaded` reflects everything the stages above
+    // actually materialized from the persistent segment.
+    if let Some(seg) = seg {
+        writeln!(out, "{}", segment_stats_line(seg)).unwrap();
     }
     Ok(out)
 }
@@ -1213,11 +1408,15 @@ mod multi_tests {
             ),
             "{msg}"
         );
-        // Only the changed document got a gen-2 file; the carried one is
-        // still served from gen 1, which the prune retained.
+        // Only the changed document got gen-2 files (tree + index
+        // segment); the carried one is still served from gen 1, which
+        // the prune retained — its segment rides along.
         assert!(out.join("a.g000002.xfrg").exists());
+        assert!(out.join("a.g000002.xidx").exists());
         assert!(!out.join("b.g000002.xfrg").exists());
+        assert!(!out.join("b.g000002.xidx").exists());
         assert!(out.join("b.g000001.xfrg").exists());
+        assert!(out.join("b.g000001.xidx").exists());
         assert!(out.join("manifest-000001.xfm").exists());
         let m = match manifest::load_generation(Path::new(&outs)).unwrap() {
             manifest::GenerationLoad::Committed { manifest, .. } => manifest,
@@ -1225,7 +1424,12 @@ mod multi_tests {
         };
         assert_eq!(m.generation, 2);
         assert_eq!(m.parent, Some(1));
-        assert_eq!(m.files.len(), 2);
+        // One tree + one segment entry per document.
+        assert_eq!(m.files.len(), 4);
+        assert_eq!(
+            m.files.iter().filter(|e| e.name.ends_with(".xidx")).count(),
+            2
+        );
 
         // Compaction rewrites everything as a full generation 3.
         let msg = compact_corpus(&outs, None).unwrap();

@@ -415,12 +415,14 @@ fn load_corpus(dir: &str, fault: Option<&Arc<FaultInjector>>) -> Result<Generati
     let mut docs_carried = 0u64;
     let mut docs_rewritten = 0u64;
     let mut doc_sums: HashMap<String, u64> = HashMap::new();
-    let (files, number, rollbacks): (Vec<(std::path::PathBuf, String)>, u64, Vec<String>) =
+    type LoadFile = (std::path::PathBuf, String, Option<std::path::PathBuf>);
+    let (files, number, rollbacks): (Vec<LoadFile>, u64, Vec<String>) =
         match manifest::load_generation(dirp).map_err(|e| CliError::Io(dir.to_string(), e))? {
             manifest::GenerationLoad::Unversioned => {
                 // Legacy corpus: scan the directory. Generation-named
                 // files and temp remnants are skipped — without a
-                // manifest nothing vouches for them.
+                // manifest nothing vouches for them. A plain `.xfrg`
+                // with an `.xidx` sibling serves segment-backed.
                 let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
                     .map_err(|e| CliError::Io(dir.to_string(), e))?
                     .filter_map(|e| e.ok().map(|e| e.path()))
@@ -440,7 +442,10 @@ fn load_corpus(dir: &str, fault: Option<&Arc<FaultInjector>>) -> Result<Generati
                         {
                             return None;
                         }
-                        Some((p, name))
+                        let seg = (name.ends_with(".xfrg"))
+                            .then(|| p.with_extension("xidx"))
+                            .filter(|sp| sp.exists());
+                        Some((p, name, seg))
                     })
                     .collect();
                 (files, 0, Vec::new())
@@ -453,24 +458,38 @@ fn load_corpus(dir: &str, fault: Option<&Arc<FaultInjector>>) -> Result<Generati
                 // failure here would be a concurrent prune, in which
                 // case lineage is cosmetic and empty is fine.
                 parent_chain = manifest::parent_chain(dirp, &m).unwrap_or_default();
-                let mut files: Vec<(std::path::PathBuf, String)> = m
-                    .files
-                    .iter()
-                    .map(|e| {
-                        // Display names drop the `.g<gen>` infix so a
-                        // document keeps its identity across reloads.
-                        let (display, file_gen) = manifest::split_generation_file(&e.name)
-                            .unwrap_or_else(|| (e.name.clone(), m.generation));
-                        if file_gen == m.generation {
-                            docs_rewritten += 1;
-                        } else {
-                            docs_carried += 1;
-                        }
-                        doc_sums.insert(display.clone(), e.checksum);
-                        (dirp.join(&e.name), display)
+                // Partition the manifest: `.xidx` index segments pair
+                // with their document by stem; documents drive the
+                // carried/rewritten accounting and cache carry-over.
+                let mut seg_paths: HashMap<String, std::path::PathBuf> = HashMap::new();
+                let mut docs: Vec<(std::path::PathBuf, String)> = Vec::new();
+                for e in &m.files {
+                    // Display names drop the `.g<gen>` infix so a
+                    // document keeps its identity across reloads.
+                    let (display, file_gen) = manifest::split_generation_file(&e.name)
+                        .unwrap_or_else(|| (e.name.clone(), m.generation));
+                    if let Some(stem) = display.strip_suffix(".xidx") {
+                        seg_paths.insert(stem.to_string(), dirp.join(&e.name));
+                        continue;
+                    }
+                    if file_gen == m.generation {
+                        docs_rewritten += 1;
+                    } else {
+                        docs_carried += 1;
+                    }
+                    doc_sums.insert(display.clone(), e.checksum);
+                    docs.push((dirp.join(&e.name), display));
+                }
+                docs.sort_by(|a, b| a.1.cmp(&b.1));
+                let files = docs
+                    .into_iter()
+                    .map(|(p, display)| {
+                        let seg = display
+                            .strip_suffix(".xfrg")
+                            .and_then(|stem| seg_paths.get(stem).cloned());
+                        (p, display, seg)
                     })
                     .collect();
-                files.sort_by(|a, b| a.1.cmp(&b.1));
                 (files, m.generation, rollbacks)
             }
             manifest::GenerationLoad::NoneCommitted { rollbacks } => {
@@ -482,7 +501,7 @@ fn load_corpus(dir: &str, fault: Option<&Arc<FaultInjector>>) -> Result<Generati
         };
     let mut coll = Collection::new();
     let mut quarantined = Vec::new();
-    for (path, name) in files {
+    for (path, name, seg_path) in files {
         let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<Document, CliError> {
             if let Some(inj) = fault {
                 inj.fire(site::SERVE_LOAD).map_err(|_| {
@@ -493,7 +512,22 @@ fn load_corpus(dir: &str, fault: Option<&Arc<FaultInjector>>) -> Result<Generati
         }));
         match attempt {
             Ok(Ok(doc)) => {
-                coll.add(&name, doc);
+                // A bad segment never takes the document down: warn and
+                // fall back to the in-memory tree-walk index.
+                let seg = seg_path.and_then(|sp| {
+                    crate::commands::load_segment(&sp, &doc)
+                        .map_err(|why| {
+                            eprintln!(
+                                "warning: {name}: index segment unusable ({why}); \
+                                 serving with tree walks"
+                            );
+                        })
+                        .ok()
+                });
+                match seg {
+                    Some(seg) => coll.add_with_segment(&name, doc, seg),
+                    None => coll.add(&name, doc),
+                };
             }
             Ok(Err(e)) => quarantined.push((name, e.to_string())),
             Err(payload) => quarantined.push((
@@ -826,8 +860,17 @@ fn stats_line(s: &Shared, id: u64) -> String {
         s.carry_rekeyed.load(Ordering::SeqCst),
         s.carry_evicted.load(Ordering::SeqCst),
     );
+    // Persistent-index observability: how many documents serve off
+    // `.xidx` segments, their total encoded bytes, and how many posting
+    // lists have been lazily materialized so far.
+    let index = format!(
+        "{{\"segments\":{},\"bytes\":{},\"terms_loaded\":{}}}",
+        gen.coll.segment_count(),
+        gen.coll.index_bytes(),
+        gen.coll.index_terms_loaded(),
+    );
     format!(
-        "{{\"id\":{},\"status\":\"ok\",\"generation\":{},\"reloads\":{{\"ok\":{},\"failed\":{}}},\"quarantined\":{},\"serve\":{{\"total\":{},\"ok\":{},\"degraded\":{},\"shed\":{},\"timeout\":{},\"error\":{},\"shutting_down\":{},\"invalid\":{},\"worker_panics\":{}}},\"eval\":{},\"latency\":{},\"cache\":{},\"delta\":{}}}",
+        "{{\"id\":{},\"status\":\"ok\",\"generation\":{},\"reloads\":{{\"ok\":{},\"failed\":{}}},\"quarantined\":{},\"serve\":{{\"total\":{},\"ok\":{},\"degraded\":{},\"shed\":{},\"timeout\":{},\"error\":{},\"shutting_down\":{},\"invalid\":{},\"worker_panics\":{}}},\"eval\":{},\"latency\":{},\"cache\":{},\"delta\":{},\"index\":{}}}",
         id,
         gen.number,
         s.reloads_ok.load(Ordering::SeqCst),
@@ -846,6 +889,7 @@ fn stats_line(s: &Shared, id: u64) -> String {
         st.latency.to_json(),
         cache,
         delta,
+        index,
     )
 }
 

@@ -3,9 +3,10 @@
 //! kill -9 model, no destructors, no unwinding — and assert that the
 //! previously-committed generation survives byte-identical and loadable.
 //!
-//! Hit arithmetic: the source corpus has three documents, so one index
-//! run traverses each of `store:write` / `store:fsync` / `store:rename`
-//! four times — hits 0..=2 for the data files, hit 3 for the manifest
+//! Hit arithmetic: the source corpus has three documents, and each one
+//! writes a `.xfrg` tree plus a `.xidx` index segment, so one index run
+//! traverses each of `store:write` / `store:fsync` / `store:rename`
+//! seven times — hits 0..=5 for the data files, hit 6 for the manifest
 //! (the commit point, written last).
 
 use std::collections::BTreeMap;
@@ -79,10 +80,10 @@ fn kill9_at_every_injected_crash_point_preserves_previous_generation() {
     let before = snapshot(&out);
 
     for site in ["store:write", "store:fsync", "store:rename"] {
-        // Hit 0: crash on the first data file. Hit 3: crash on the
+        // Hit 0: crash on the first data file. Hit 6: crash on the
         // manifest write — every data file of the doomed generation is
         // already on disk, and the commit still never happens.
-        for hit in [0, 3] {
+        for hit in [0, 6] {
             let spec = format!("{site}@{hit}=abort");
             let status = run_index(&src, &out, Some(&spec));
             assert!(!status.success(), "{spec}: child should have died");
@@ -150,9 +151,10 @@ fn clear_remnants(out: &Path, before: &BTreeMap<String, Vec<u8>>) {
 
 #[test]
 fn kill9_during_delta_commit_recovers_to_parent_never_a_hybrid() {
-    // A 1-document delta writes exactly one data file then one
-    // manifest, so each write-path site is traversed twice: hit 0 is
-    // the rewritten document, hit 1 the delta manifest (commit point).
+    // A 1-document delta writes the rewritten tree, its index segment,
+    // then one manifest, so each write-path site is traversed three
+    // times: hits 0 and 1 are the rewritten document's data files,
+    // hit 2 the delta manifest (commit point).
     let src = source_corpus("delta-k9-src");
     let out = scratch("delta-k9-out");
     assert!(run_index(&src, &out, None).success(), "seed index failed");
@@ -160,7 +162,7 @@ fn kill9_during_delta_commit_recovers_to_parent_never_a_hybrid() {
     let before = snapshot(&out);
 
     for site in ["store:write", "store:fsync", "store:rename"] {
-        for hit in [0, 1] {
+        for hit in [0, 1, 2] {
             let spec = format!("{site}@{hit}=abort");
             let status = run_delta(&src, &out, Some(&spec));
             assert!(!status.success(), "{spec}: child should have died");
@@ -187,14 +189,15 @@ fn kill9_during_delta_commit_recovers_to_parent_never_a_hybrid() {
         GenerationLoad::Committed { manifest, .. } => {
             assert_eq!(manifest.generation, 2);
             assert_eq!(manifest.parent, Some(1));
-            // Exactly one rewritten file; b and c carried from gen 1.
+            // Exactly one rewritten document (tree + index segment);
+            // b and c carried from gen 1.
             let gen2: Vec<&str> = manifest
                 .files
                 .iter()
                 .filter(|e| e.name.contains(".g000002."))
                 .map(|e| e.name.as_str())
                 .collect();
-            assert_eq!(gen2, ["a.g000002.xfrg"]);
+            assert_eq!(gen2, ["a.g000002.xfrg", "a.g000002.xidx"]);
         }
         other => panic!("{other:?}"),
     }
@@ -203,8 +206,8 @@ fn kill9_during_delta_commit_recovers_to_parent_never_a_hybrid() {
 #[test]
 fn kill9_during_compaction_keeps_serving_the_delta_chain() {
     // Seed: gen 1 full, gen 2 delta rewriting `a`. Compacting the chain
-    // writes all three documents under gen-3 names (hits 0..=2) and the
-    // full manifest last (hit 3).
+    // writes all three documents and their index segments under gen-3
+    // names (hits 0..=5) and the full manifest last (hit 6).
     let src = source_corpus("compact-k9-src");
     let out = scratch("compact-k9-out");
     assert!(run_index(&src, &out, None).success(), "seed index failed");
@@ -230,7 +233,7 @@ fn kill9_during_compaction_keeps_serving_the_delta_chain() {
     };
 
     for site in ["store:write", "store:fsync", "store:rename"] {
-        for hit in [0, 3] {
+        for hit in [0, 6] {
             let spec = format!("{site}@{hit}=abort");
             let status = run_compact(&out, Some(&spec));
             assert!(!status.success(), "{spec}: child should have died");
@@ -254,6 +257,9 @@ fn kill9_during_compaction_keeps_serving_the_delta_chain() {
             assert_eq!(read("a.g000003.xfrg"), before["a.g000002.xfrg"]);
             assert_eq!(read("b.g000003.xfrg"), before["b.g000001.xfrg"]);
             assert_eq!(read("c.g000003.xfrg"), before["c.g000001.xfrg"]);
+            // Index segments ride along byte-identical, too.
+            assert_eq!(read("a.g000003.xidx"), before["a.g000002.xidx"]);
+            assert_eq!(read("b.g000003.xidx"), before["b.g000001.xidx"]);
         }
         other => panic!("{other:?}"),
     }

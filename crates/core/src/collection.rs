@@ -65,7 +65,7 @@ pub fn evaluate_collection(
     for id in candidates {
         let doc = collection.doc(id);
         let index = collection.index(id);
-        let r = evaluate(doc, index, query, strategy)?;
+        let r = evaluate(doc, &index, query, strategy)?;
         out.stats += r.stats;
         if !r.fragments.is_empty() {
             out.answers.push(DocAnswers {
@@ -142,7 +142,7 @@ pub fn evaluate_collection_parallel_with_fault(
                                     inj.fire(site::COLLECTION_DOC)
                                         .map_err(|_| QueryError::Cancelled)?;
                                 }
-                                evaluate(collection.doc(id), collection.index(id), query, strategy)
+                                evaluate(collection.doc(id), &collection.index(id), query, strategy)
                             },
                         ));
                         match attempt {
@@ -327,7 +327,7 @@ pub fn evaluate_collection_budgeted_cached_traced(
                 |stats| -> Result<_, QueryError> {
                     let r = evaluate_budgeted_cached_traced(
                         collection.doc(id),
-                        collection.index(id),
+                        &collection.index(id),
                         query,
                         strategy,
                         &per_doc,

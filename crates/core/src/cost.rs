@@ -21,7 +21,7 @@ use crate::plan::LogicalPlan;
 use crate::set::FragmentSet;
 use crate::stats::EvalStats;
 use serde::{Deserialize, Serialize};
-use xfrag_doc::{Document, InvertedIndex};
+use xfrag_doc::{Document, PostingsSource};
 
 /// Estimate the reduction factor of `f` by testing up to `sample`
 /// candidate fragments against joins of up to `sample` pairs.
@@ -130,11 +130,11 @@ impl CostModel {
     /// multiply, closures are capped at `2^k − 1`): the point of
     /// `explain --analyze` is to print them **next to** the measured
     /// counters, making the model's error visible rather than hiding it.
-    pub fn estimate_plan(
+    pub fn estimate_plan<I: PostingsSource + ?Sized>(
         &self,
         plan: &LogicalPlan,
         doc: &Document,
-        index: &InvertedIndex,
+        index: &I,
     ) -> CostEstimate {
         // Closure cardinality cap: Theorem 2 bounds |F⁺| by the number of
         // non-empty subsets of F.
@@ -147,8 +147,10 @@ impl CostModel {
         }
         match plan {
             LogicalPlan::KeywordSelect { term } => CostEstimate {
+                // Directory-only df: never materializes a lazy posting
+                // list just to cost the plan.
                 joins: 0,
-                fragments: index.lookup(term).len() as u64,
+                fragments: index.df(term) as u64,
             },
             // Upper bound: assume the selection passes everything through.
             LogicalPlan::Select { input, .. } => self.estimate_plan(input, doc, index),
@@ -178,7 +180,7 @@ impl CostModel {
                 // assume nothing reduces.
                 let rf = match leaf_term(input) {
                     Some(term) => {
-                        let f = FragmentSet::of_nodes(index.lookup(term).iter().copied());
+                        let f = FragmentSet::of_nodes(index.postings(term).iter().copied());
                         let mut st = EvalStats::new();
                         estimate_rf(doc, &f, self.rf_sample, &mut st)
                     }
@@ -231,7 +233,7 @@ mod tests {
     use super::*;
     use crate::fixpoint::reduction_factor;
     use crate::fragment::Fragment;
-    use xfrag_doc::{DocumentBuilder, NodeId};
+    use xfrag_doc::{DocumentBuilder, InvertedIndex, NodeId};
 
     /// Chain r -> c1 -> c2 -> ... -> c9 (ids 0..9) plus a sibling leaf.
     fn chain_doc() -> Document {

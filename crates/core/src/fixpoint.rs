@@ -18,10 +18,10 @@
 
 use crate::budget::{Breach, Governor};
 use crate::join::{fragment_join, pairwise_join, pairwise_join_governed};
+use crate::nav::Nav;
 use crate::set::FragmentSet;
 use crate::stats::EvalStats;
 use crate::trace::Tracer;
-use xfrag_doc::Document;
 
 // invariant (used by every ungoverned wrapper below): an unlimited
 // governor has no limits, no deadline and no cancel token, so no charge
@@ -53,9 +53,13 @@ pub enum FixpointMode {
 /// Each round computes `H := H ⋈ F` and compares cardinalities; because
 /// the chain is increasing (every element of `H` survives via idempotent
 /// self-joins), `|H|` unchanged ⇔ `H` unchanged.
-pub fn fixed_point_naive(doc: &Document, f: &FragmentSet, stats: &mut EvalStats) -> FragmentSet {
+pub fn fixed_point_naive<'n>(
+    nav: impl Into<Nav<'n>>,
+    f: &FragmentSet,
+    stats: &mut EvalStats,
+) -> FragmentSet {
     ungoverned!(fixed_point_naive_governed(
-        doc,
+        nav,
         f,
         stats,
         &Governor::unlimited()
@@ -64,24 +68,25 @@ pub fn fixed_point_naive(doc: &Document, f: &FragmentSet, stats: &mut EvalStats)
 
 /// [`fixed_point_naive`] under a [`Governor`]: a budget checkpoint runs
 /// before every round, and every pairwise join inside a round is charged.
-pub fn fixed_point_naive_governed(
-    doc: &Document,
+pub fn fixed_point_naive_governed<'n>(
+    nav: impl Into<Nav<'n>>,
     f: &FragmentSet,
     stats: &mut EvalStats,
     gov: &Governor,
 ) -> Result<FragmentSet, Breach> {
-    fixed_point_naive_traced(doc, f, stats, gov, &Tracer::disabled())
+    fixed_point_naive_traced(nav, f, stats, gov, &Tracer::disabled())
 }
 
 /// [`fixed_point_naive_governed`] recorded as a `fixpoint-naive` span
 /// with one `round` child per iteration.
-pub fn fixed_point_naive_traced(
-    doc: &Document,
+pub fn fixed_point_naive_traced<'n>(
+    nav: impl Into<Nav<'n>>,
     f: &FragmentSet,
     stats: &mut EvalStats,
     gov: &Governor,
     tracer: &Tracer<'_>,
 ) -> Result<FragmentSet, Breach> {
+    let nav = nav.into();
     tracer.scoped("fixpoint-naive", stats, |stats| {
         if f.is_empty() {
             return Ok(FragmentSet::new());
@@ -91,7 +96,7 @@ pub fn fixed_point_naive_traced(
             gov.checkpoint()?;
             let next = tracer.scoped("round", stats, |stats| -> Result<FragmentSet, Breach> {
                 stats.fixpoint_iterations += 1;
-                Ok(pairwise_join_governed(doc, &h, f, stats, gov)?.union(&h))
+                Ok(pairwise_join_governed(nav, &h, f, stats, gov)?.union(&h))
             })?;
             stats.fixpoint_checks += 1;
             if next.len() == h.len() {
@@ -109,29 +114,31 @@ pub fn fixed_point_naive_traced(
 /// accumulates `reduce_checks` so the §5 cost-model discussion can be
 /// quantified. Pairs are enumerated once (f', f'' unordered) since `⋈` is
 /// commutative.
-pub fn reduce(doc: &Document, f: &FragmentSet, stats: &mut EvalStats) -> FragmentSet {
-    ungoverned!(reduce_governed(doc, f, stats, &Governor::unlimited()))
+pub fn reduce<'n>(nav: impl Into<Nav<'n>>, f: &FragmentSet, stats: &mut EvalStats) -> FragmentSet {
+    ungoverned!(reduce_governed(nav, f, stats, &Governor::unlimited()))
 }
 
 /// [`reduce_governed`] recorded as one `reduce` span.
-pub fn reduce_traced(
-    doc: &Document,
+pub fn reduce_traced<'n>(
+    nav: impl Into<Nav<'n>>,
     f: &FragmentSet,
     stats: &mut EvalStats,
     gov: &Governor,
     tracer: &Tracer<'_>,
 ) -> Result<FragmentSet, Breach> {
-    tracer.scoped("reduce", stats, |stats| reduce_governed(doc, f, stats, gov))
+    let nav = nav.into();
+    tracer.scoped("reduce", stats, |stats| reduce_governed(nav, f, stats, gov))
 }
 
 /// [`reduce`] under a [`Governor`]: `⊖` is O(|F|³), so a checkpoint runs
 /// per candidate fragment and every inner join is charged.
-pub fn reduce_governed(
-    doc: &Document,
+pub fn reduce_governed<'n>(
+    nav: impl Into<Nav<'n>>,
     f: &FragmentSet,
     stats: &mut EvalStats,
     gov: &Governor,
 ) -> Result<FragmentSet, Breach> {
+    let nav = nav.into();
     let frags = f.as_slice();
     let n = frags.len();
     if n <= 2 {
@@ -152,7 +159,7 @@ pub fn reduce_governed(
                 }
                 stats.reduce_checks += 1;
                 gov.charge_join((frags[i].size() + frags[j].size()) as u64)?;
-                let joined = fragment_join(doc, &frags[i], &frags[j], stats);
+                let joined = fragment_join(nav, &frags[i], &frags[j], stats);
                 if cand.is_subfragment_of(&joined) {
                     continue 'cand; // eliminated
                 }
@@ -166,12 +173,16 @@ pub fn reduce_governed(
 /// The reduction factor `RF = (a − b) / a` of §5, where `a = |F|` and
 /// `b = |⊖(F)|`. `RF = 0` means no reduction; values near 1 mean the set
 /// collapses almost entirely.
-pub fn reduction_factor(doc: &Document, f: &FragmentSet, stats: &mut EvalStats) -> f64 {
+pub fn reduction_factor<'n>(
+    nav: impl Into<Nav<'n>>,
+    f: &FragmentSet,
+    stats: &mut EvalStats,
+) -> f64 {
     if f.is_empty() {
         return 0.0;
     }
     let a = f.len() as f64;
-    let b = reduce(doc, f, stats).len() as f64;
+    let b = reduce(nav, f, stats).len() as f64;
     (a - b) / a
 }
 
@@ -202,9 +213,13 @@ pub fn reduction_factor(doc: &Document, f: &FragmentSet, stats: &mut EvalStats) 
 /// for singleton-node inputs (property-tested), so the paper's claimed
 /// saving of per-round checks is preserved exactly where the paper
 /// applies it.
-pub fn fixed_point_reduced(doc: &Document, f: &FragmentSet, stats: &mut EvalStats) -> FragmentSet {
+pub fn fixed_point_reduced<'n>(
+    nav: impl Into<Nav<'n>>,
+    f: &FragmentSet,
+    stats: &mut EvalStats,
+) -> FragmentSet {
     ungoverned!(fixed_point_reduced_governed(
-        doc,
+        nav,
         f,
         stats,
         &Governor::unlimited()
@@ -213,43 +228,44 @@ pub fn fixed_point_reduced(doc: &Document, f: &FragmentSet, stats: &mut EvalStat
 
 /// [`fixed_point_reduced`] under a [`Governor`]: the `⊖` precomputation,
 /// every unchecked round and the safety/fallback rounds are all governed.
-pub fn fixed_point_reduced_governed(
-    doc: &Document,
+pub fn fixed_point_reduced_governed<'n>(
+    nav: impl Into<Nav<'n>>,
     f: &FragmentSet,
     stats: &mut EvalStats,
     gov: &Governor,
 ) -> Result<FragmentSet, Breach> {
-    fixed_point_reduced_traced(doc, f, stats, gov, &Tracer::disabled())
+    fixed_point_reduced_traced(nav, f, stats, gov, &Tracer::disabled())
 }
 
 /// [`fixed_point_reduced_governed`] recorded as a `fixpoint-reduced` span
 /// with a `reduce` child for the `⊖` precomputation, one `round` child
 /// per iteration, and a `safety-check` child for the final verification.
-pub fn fixed_point_reduced_traced(
-    doc: &Document,
+pub fn fixed_point_reduced_traced<'n>(
+    nav: impl Into<Nav<'n>>,
     f: &FragmentSet,
     stats: &mut EvalStats,
     gov: &Governor,
     tracer: &Tracer<'_>,
 ) -> Result<FragmentSet, Breach> {
+    let nav = nav.into();
     tracer.scoped("fixpoint-reduced", stats, |stats| {
         if f.is_empty() {
             return Ok(FragmentSet::new());
         }
-        let k = reduce_traced(doc, f, stats, gov, tracer)?.len();
+        let k = reduce_traced(nav, f, stats, gov, tracer)?.len();
         let mut h = f.clone();
         for _ in 1..k {
             gov.checkpoint()?;
             h = tracer.scoped("round", stats, |stats| -> Result<FragmentSet, Breach> {
                 stats.fixpoint_iterations += 1;
-                Ok(pairwise_join_governed(doc, &h, f, stats, gov)?.union(&h))
+                Ok(pairwise_join_governed(nav, &h, f, stats, gov)?.union(&h))
             })?;
         }
         // Single safety check (see the soundness note above).
         stats.fixpoint_checks += 1;
         let verify = tracer
             .scoped("safety-check", stats, |stats| {
-                pairwise_join_governed(doc, &h, f, stats, gov)
+                pairwise_join_governed(nav, &h, f, stats, gov)
             })?
             .union(&h);
         if verify.len() == h.len() {
@@ -261,7 +277,7 @@ pub fn fixed_point_reduced_traced(
             gov.checkpoint()?;
             let next = tracer.scoped("round", stats, |stats| -> Result<FragmentSet, Breach> {
                 stats.fixpoint_iterations += 1;
-                Ok(pairwise_join_governed(doc, &h, f, stats, gov)?.union(&h))
+                Ok(pairwise_join_governed(nav, &h, f, stats, gov)?.union(&h))
             })?;
             stats.fixpoint_checks += 1;
             if next.len() == h.len() {
@@ -273,29 +289,29 @@ pub fn fixed_point_reduced_traced(
 }
 
 /// `F⁺` with the mode chosen by the caller.
-pub fn fixed_point(
-    doc: &Document,
+pub fn fixed_point<'n>(
+    nav: impl Into<Nav<'n>>,
     f: &FragmentSet,
     mode: FixpointMode,
     stats: &mut EvalStats,
 ) -> FragmentSet {
     match mode {
-        FixpointMode::Naive => fixed_point_naive(doc, f, stats),
-        FixpointMode::Reduced => fixed_point_reduced(doc, f, stats),
+        FixpointMode::Naive => fixed_point_naive(nav, f, stats),
+        FixpointMode::Reduced => fixed_point_reduced(nav, f, stats),
     }
 }
 
 /// [`fixed_point`] under a [`Governor`].
-pub fn fixed_point_governed(
-    doc: &Document,
+pub fn fixed_point_governed<'n>(
+    nav: impl Into<Nav<'n>>,
     f: &FragmentSet,
     mode: FixpointMode,
     stats: &mut EvalStats,
     gov: &Governor,
 ) -> Result<FragmentSet, Breach> {
     match mode {
-        FixpointMode::Naive => fixed_point_naive_governed(doc, f, stats, gov),
-        FixpointMode::Reduced => fixed_point_reduced_governed(doc, f, stats, gov),
+        FixpointMode::Naive => fixed_point_naive_governed(nav, f, stats, gov),
+        FixpointMode::Reduced => fixed_point_reduced_governed(nav, f, stats, gov),
     }
 }
 
@@ -317,8 +333,8 @@ pub fn fixed_point_governed(
 /// would have made, which under a work-limited governor would change
 /// where — and whether — the budget trips.
 #[allow(clippy::too_many_arguments)]
-pub fn fixed_point_memo_traced(
-    doc: &Document,
+pub fn fixed_point_memo_traced<'n>(
+    nav: impl Into<Nav<'n>>,
     f: &FragmentSet,
     term: &str,
     mode: FixpointMode,
@@ -327,8 +343,9 @@ pub fn fixed_point_memo_traced(
     tracer: &Tracer<'_>,
     cache: Option<crate::cache::CacheRef<'_>>,
 ) -> Result<FragmentSet, Breach> {
+    let nav = nav.into();
     let Some(c) = cache else {
-        return fixed_point_traced(doc, f, mode, stats, gov, tracer);
+        return fixed_point_traced(nav, f, mode, stats, gov, tracer);
     };
     if let Some((set, delta)) = c.cache.get_fixpoint(c.gen, c.doc, term, mode) {
         tracer.scoped_lazy(
@@ -344,7 +361,7 @@ pub fn fixed_point_memo_traced(
     stats.cache_misses += 1;
     let before = *stats;
     let checkpoints_before = gov.checkpoints_passed();
-    let out = fixed_point_traced(doc, f, mode, stats, gov, tracer)?;
+    let out = fixed_point_traced(nav, f, mode, stats, gov, tracer)?;
     let mut delta = stats.delta_since(&before);
     delta.budget_checkpoints = gov.checkpoints_passed() - checkpoints_before;
     c.cache.put_fixpoint(c.gen, c.doc, term, mode, &out, delta);
@@ -353,8 +370,8 @@ pub fn fixed_point_memo_traced(
 
 /// [`fixed_point_governed`] with span recording, dispatching to the
 /// traced variant of the chosen mode.
-pub fn fixed_point_traced(
-    doc: &Document,
+pub fn fixed_point_traced<'n>(
+    nav: impl Into<Nav<'n>>,
     f: &FragmentSet,
     mode: FixpointMode,
     stats: &mut EvalStats,
@@ -362,26 +379,27 @@ pub fn fixed_point_traced(
     tracer: &Tracer<'_>,
 ) -> Result<FragmentSet, Breach> {
     match mode {
-        FixpointMode::Naive => fixed_point_naive_traced(doc, f, stats, gov, tracer),
-        FixpointMode::Reduced => fixed_point_reduced_traced(doc, f, stats, gov, tracer),
+        FixpointMode::Naive => fixed_point_naive_traced(nav, f, stats, gov, tracer),
+        FixpointMode::Reduced => fixed_point_reduced_traced(nav, f, stats, gov, tracer),
     }
 }
 
 /// Theorem 2: `F1 ⋈* F2 = F1⁺ ⋈ F2⁺` — the rewrite that makes powerset
 /// join implementable.
-pub fn powerset_via_fixpoint(
-    doc: &Document,
+pub fn powerset_via_fixpoint<'n>(
+    nav: impl Into<Nav<'n>>,
     f1: &FragmentSet,
     f2: &FragmentSet,
     mode: FixpointMode,
     stats: &mut EvalStats,
 ) -> FragmentSet {
+    let nav = nav.into();
     if f1.is_empty() || f2.is_empty() {
         return FragmentSet::new();
     }
-    let p1 = fixed_point(doc, f1, mode, stats);
-    let p2 = fixed_point(doc, f2, mode, stats);
-    pairwise_join(doc, &p1, &p2, stats)
+    let p1 = fixed_point(nav, f1, mode, stats);
+    let p2 = fixed_point(nav, f2, mode, stats);
+    pairwise_join(nav, &p1, &p2, stats)
 }
 
 #[cfg(test)]

@@ -15,10 +15,11 @@
 
 use crate::budget::{Breach, Governor};
 use crate::fragment::Fragment;
+use crate::nav::Nav;
 use crate::set::FragmentSet;
 use crate::stats::EvalStats;
 use crate::trace::Tracer;
-use xfrag_doc::{Document, NodeId};
+use xfrag_doc::NodeId;
 
 /// `f1 ⋈ f2` (Definition 4).
 ///
@@ -39,12 +40,13 @@ use xfrag_doc::{Document, NodeId};
 /// assert_eq!(j.nodes(), &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
 /// assert_eq!(j.root(), NodeId(0));
 /// ```
-pub fn fragment_join(
-    doc: &Document,
+pub fn fragment_join<'n>(
+    nav: impl Into<Nav<'n>>,
     f1: &Fragment,
     f2: &Fragment,
     stats: &mut EvalStats,
 ) -> Fragment {
+    let nav = nav.into();
     stats.joins += 1;
     stats.nodes_merged += (f1.size() + f2.size()) as u64;
 
@@ -56,7 +58,7 @@ pub fn fragment_join(
         return f2.clone();
     }
 
-    let path = doc.path(f1.root(), f2.root());
+    let path = nav.path(f1.root(), f2.root(), stats);
     // Merge the two sorted operand node lists, then splice in path nodes.
     let mut merged: Vec<NodeId> = Vec::with_capacity(f1.size() + f2.size() + path.len());
     let (a, b) = (f1.nodes(), f2.nodes());
@@ -91,14 +93,15 @@ pub fn fragment_join(
 
 /// N-ary fragment join `⋈{f1, …, fn}` — well-defined by associativity and
 /// commutativity (Definition 6 uses it to fold subset unions).
-pub fn fragment_join_all<'a>(
-    doc: &Document,
+pub fn fragment_join_all<'a, 'n>(
+    nav: impl Into<Nav<'n>>,
     frags: impl IntoIterator<Item = &'a Fragment>,
     stats: &mut EvalStats,
 ) -> Option<Fragment> {
+    let nav = nav.into();
     let mut it = frags.into_iter();
     let first = it.next()?.clone();
-    Some(it.fold(first, |acc, f| fragment_join(doc, &acc, f, stats)))
+    Some(it.fold(first, |acc, f| fragment_join(nav, &acc, f, stats)))
 }
 
 /// Optimized n-ary join: computes `⋈{f1, …, fn}` in one pass instead of
@@ -113,11 +116,12 @@ pub fn fragment_join_all<'a>(
 ///
 /// Cost: O(Σ|fi| + n · depth) versus the fold's O(n · result size).
 /// Counts as `n − 1` joins in `stats` to stay comparable with the fold.
-pub fn fragment_join_many<'a>(
-    doc: &Document,
+pub fn fragment_join_many<'a, 'n>(
+    nav: impl Into<Nav<'n>>,
     frags: impl IntoIterator<Item = &'a Fragment>,
     stats: &mut EvalStats,
 ) -> Option<Fragment> {
+    let nav = nav.into();
     let frags: Vec<&Fragment> = frags.into_iter().collect();
     match frags.len() {
         0 => return None,
@@ -133,7 +137,7 @@ pub fn fragment_join_many<'a>(
     // Common LCA of all roots.
     let mut lca = frags[0].root();
     for f in &frags[1..] {
-        lca = doc.lca(lca, f.root());
+        lca = nav.lca(lca, f.root(), stats);
     }
     // Paths from every root up to the common LCA.
     for f in &frags {
@@ -143,7 +147,7 @@ pub fn fragment_join_many<'a>(
             // invariant: x != lca and lca is an ancestor of x (it is the
             // common LCA of all roots), so x cannot be the document root
             // and always has a parent.
-            x = doc.parent(x).expect("non-root on path to LCA");
+            x = nav.parent(x, stats).expect("non-root on path to LCA");
         }
     }
     nodes.push(lca);
@@ -153,13 +157,13 @@ pub fn fragment_join_many<'a>(
 }
 
 /// `F1 ⋈ F2` (Definition 5): pairwise fragment join.
-pub fn pairwise_join(
-    doc: &Document,
+pub fn pairwise_join<'n>(
+    nav: impl Into<Nav<'n>>,
     f1: &FragmentSet,
     f2: &FragmentSet,
     stats: &mut EvalStats,
 ) -> FragmentSet {
-    match pairwise_join_governed(doc, f1, f2, stats, &Governor::unlimited()) {
+    match pairwise_join_governed(nav, f1, f2, stats, &Governor::unlimited()) {
         Ok(out) => out,
         // invariant: an unlimited governor has no limits, no deadline and
         // no cancel token, so no charge can ever breach.
@@ -169,18 +173,19 @@ pub fn pairwise_join(
 
 /// [`pairwise_join`] under a [`Governor`]: every join kernel is charged,
 /// and the loop aborts with the breach as soon as the budget trips.
-pub fn pairwise_join_governed(
-    doc: &Document,
+pub fn pairwise_join_governed<'n>(
+    nav: impl Into<Nav<'n>>,
     f1: &FragmentSet,
     f2: &FragmentSet,
     stats: &mut EvalStats,
     gov: &Governor,
 ) -> Result<FragmentSet, Breach> {
+    let nav = nav.into();
     let mut out = FragmentSet::new();
     for a in f1.iter() {
         for b in f2.iter() {
             gov.charge_join((a.size() + b.size()) as u64)?;
-            let j = fragment_join(doc, a, b, stats);
+            let j = fragment_join(nav, a, b, stats);
             gov.charge_fragments(1)?;
             stats.fragments_emitted += 1;
             if !out.insert(j) {
@@ -192,16 +197,17 @@ pub fn pairwise_join_governed(
 }
 
 /// [`pairwise_join_governed`] recorded as one `pairwise-join` span.
-pub fn pairwise_join_traced(
-    doc: &Document,
+pub fn pairwise_join_traced<'n>(
+    nav: impl Into<Nav<'n>>,
     f1: &FragmentSet,
     f2: &FragmentSet,
     stats: &mut EvalStats,
     gov: &Governor,
     tracer: &Tracer<'_>,
 ) -> Result<FragmentSet, Breach> {
+    let nav = nav.into();
     tracer.scoped("pairwise-join", stats, |stats| {
-        pairwise_join_governed(doc, f1, f2, stats, gov)
+        pairwise_join_governed(nav, f1, f2, stats, gov)
     })
 }
 
@@ -230,8 +236,8 @@ impl std::fmt::Display for PowersetTooLarge {
 impl std::error::Error for PowersetTooLarge {}
 
 /// `F1 ⋈* F2` (Definition 6), by literal subset enumeration.
-pub fn powerset_join(
-    doc: &Document,
+pub fn powerset_join<'n>(
+    nav: impl Into<Nav<'n>>,
     f1: &FragmentSet,
     f2: &FragmentSet,
     stats: &mut EvalStats,
@@ -241,7 +247,7 @@ pub fn powerset_join(
             return Err(PowersetTooLarge { len: s.len() });
         }
     }
-    match powerset_join_governed(doc, f1, f2, stats, &Governor::unlimited()) {
+    match powerset_join_governed(nav, f1, f2, stats, &Governor::unlimited()) {
         Ok(out) => Ok(out),
         // invariant: operand sizes were checked above and an unlimited
         // governor cannot breach.
@@ -252,13 +258,14 @@ pub fn powerset_join(
 /// [`powerset_join`] under a [`Governor`]. Size violations surface as
 /// [`Breach::PowersetLimit`] so the degradation ladder can treat an
 /// over-large literal enumeration like any other exhausted budget.
-pub fn powerset_join_governed(
-    doc: &Document,
+pub fn powerset_join_governed<'n>(
+    nav: impl Into<Nav<'n>>,
     f1: &FragmentSet,
     f2: &FragmentSet,
     stats: &mut EvalStats,
     gov: &Governor,
 ) -> Result<FragmentSet, Breach> {
+    let nav = nav.into();
     for s in [f1, f2] {
         if s.len() > POWERSET_LIMIT {
             return Err(Breach::PowersetLimit);
@@ -283,7 +290,7 @@ pub fn powerset_join_governed(
                 );
             // invariant: both masks are non-zero, so at least one
             // fragment is always chosen.
-            let joined = fragment_join_many(doc, chosen, stats).expect("non-empty selection");
+            let joined = fragment_join_many(nav, chosen, stats).expect("non-empty selection");
             gov.charge_join(joined.size() as u64)?;
             gov.charge_fragments(1)?;
             stats.fragments_emitted += 1;
@@ -296,16 +303,17 @@ pub fn powerset_join_governed(
 }
 
 /// [`powerset_join_governed`] recorded as one `powerset-join` span.
-pub fn powerset_join_traced(
-    doc: &Document,
+pub fn powerset_join_traced<'n>(
+    nav: impl Into<Nav<'n>>,
     f1: &FragmentSet,
     f2: &FragmentSet,
     stats: &mut EvalStats,
     gov: &Governor,
     tracer: &Tracer<'_>,
 ) -> Result<FragmentSet, Breach> {
+    let nav = nav.into();
     tracer.scoped("powerset-join", stats, |stats| {
-        powerset_join_governed(doc, f1, f2, stats, gov)
+        powerset_join_governed(nav, f1, f2, stats, gov)
     })
 }
 
@@ -313,12 +321,13 @@ pub fn powerset_join_traced(
 /// column of the paper's Table 1: each distinct union `F1' ∪ F2'` of
 /// non-empty subsets, paired with the fragment its n-ary join produces.
 /// Returned in first-encountered order (enumeration by ascending masks).
-pub fn powerset_join_candidates(
-    doc: &Document,
+pub fn powerset_join_candidates<'n>(
+    nav: impl Into<Nav<'n>>,
     f1: &FragmentSet,
     f2: &FragmentSet,
     stats: &mut EvalStats,
 ) -> Result<Vec<(Vec<Fragment>, Fragment)>, PowersetTooLarge> {
+    let nav = nav.into();
     for s in [f1, f2] {
         if s.len() > POWERSET_LIMIT {
             return Err(PowersetTooLarge { len: s.len() });
@@ -346,7 +355,7 @@ pub fn powerset_join_candidates(
                 // invariant: ma is non-zero, so union holds at least one
                 // fragment from f1.
                 let joined =
-                    fragment_join_all(doc, union.iter(), stats).expect("non-empty candidate");
+                    fragment_join_all(nav, union.iter(), stats).expect("non-empty candidate");
                 out.push((union, joined));
             }
         }
@@ -357,7 +366,7 @@ pub fn powerset_join_candidates(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xfrag_doc::DocumentBuilder;
+    use xfrag_doc::{Document, DocumentBuilder};
 
     /// The tree of the paper's Figure 3(a), renumbered to pre-order from 0:
     ///

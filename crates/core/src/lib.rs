@@ -62,6 +62,7 @@ pub mod filter;
 pub mod fixpoint;
 pub mod fragment;
 pub mod join;
+pub mod nav;
 pub mod overlap;
 pub mod parallel;
 pub mod plan;
@@ -99,6 +100,7 @@ pub use join::{
     pairwise_join_traced, powerset_join, powerset_join_candidates, powerset_join_governed,
     powerset_join_traced, PowersetTooLarge, POWERSET_LIMIT,
 };
+pub use nav::Nav;
 pub use plan::{execute_governed, execute_traced, LogicalPlan, Optimizer, OptimizerRule};
 pub use query::{
     evaluate, evaluate_budgeted, evaluate_budgeted_cached_traced, evaluate_budgeted_traced,

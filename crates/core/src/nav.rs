@@ -1,0 +1,163 @@
+//! Structural navigation dispatch: tree walks or label arithmetic.
+//!
+//! Every join kernel needs `lca`, `path` and `parent` over the document
+//! tree. The legacy path answers them by walking [`Document`]'s parent
+//! pointers; segment-backed documents carry persistent
+//! [`StructLabels`] (root-path prefix labels) that answer the same
+//! questions by pure integer arithmetic on the label arrays, without
+//! touching the tree. [`Nav`] bundles a document with its optional
+//! labels and dispatches each operation, counting the choice in
+//! [`EvalStats::label_ops`] / [`EvalStats::tree_ops`] so EXPLAIN ANALYZE
+//! and the differential suites can prove which engine answered.
+//!
+//! `Nav` is `Copy` and converts from `&Document` (tree-walk navigation,
+//! no labels), so every pre-existing `fragment_join(&doc, …)` call site
+//! keeps compiling unchanged.
+
+use crate::stats::EvalStats;
+use xfrag_doc::{Document, NodeId, StructLabels};
+
+/// A document plus (optionally) its persistent structural labels.
+///
+/// A label-equipped `Nav` answers `lca`/`path`/`parent` by label
+/// arithmetic; a bare one falls back to [`Document`] tree walks. Both
+/// produce identical results — `tests/label_differential.rs` proves it
+/// on random trees — so the engine's answers never depend on which
+/// navigation backend served them.
+#[derive(Debug, Clone, Copy)]
+pub struct Nav<'a> {
+    doc: &'a Document,
+    labels: Option<&'a StructLabels>,
+}
+
+impl<'a> From<&'a Document> for Nav<'a> {
+    fn from(doc: &'a Document) -> Self {
+        Nav { doc, labels: None }
+    }
+}
+
+impl<'a> Nav<'a> {
+    /// Pair a document with optional structural labels.
+    ///
+    /// Labels whose node count disagrees with the document are ignored
+    /// (defensive: a mismatched segment must never corrupt answers).
+    pub fn new(doc: &'a Document, labels: Option<&'a StructLabels>) -> Self {
+        let labels = labels.filter(|l| l.len() == doc.len());
+        Nav { doc, labels }
+    }
+
+    /// The underlying document.
+    pub fn doc(&self) -> &'a Document {
+        self.doc
+    }
+
+    /// Whether label arithmetic is active.
+    pub fn has_labels(&self) -> bool {
+        self.labels.is_some()
+    }
+
+    /// Lowest common ancestor of two nodes.
+    pub fn lca(&self, a: NodeId, b: NodeId, stats: &mut EvalStats) -> NodeId {
+        match self.labels {
+            Some(l) => {
+                stats.label_ops += 1;
+                l.lca(a, b)
+            }
+            None => {
+                stats.tree_ops += 1;
+                self.doc.lca(a, b)
+            }
+        }
+    }
+
+    /// The unique tree path between two nodes, in the [`Document::path`]
+    /// order: `a`-side bottom-up (excluding the LCA), then `b`-side
+    /// bottom-up (excluding the LCA), LCA last.
+    pub fn path(&self, a: NodeId, b: NodeId, stats: &mut EvalStats) -> Vec<NodeId> {
+        match self.labels {
+            Some(l) => {
+                stats.label_ops += 1;
+                l.path(a, b)
+            }
+            None => {
+                stats.tree_ops += 1;
+                self.doc.path(a, b)
+            }
+        }
+    }
+
+    /// Parent of a node (`None` for the root).
+    pub fn parent(&self, n: NodeId, stats: &mut EvalStats) -> Option<NodeId> {
+        match self.labels {
+            Some(l) => {
+                stats.label_ops += 1;
+                l.parent(n)
+            }
+            None => {
+                stats.tree_ops += 1;
+                self.doc.parent(n)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xfrag_doc::parse_str;
+
+    fn doc() -> Document {
+        parse_str("<r><a><b/><c/></a><d><e/></d></r>").unwrap()
+    }
+
+    #[test]
+    fn from_document_walks_the_tree() {
+        let d = doc();
+        let nav = Nav::from(&d);
+        assert!(!nav.has_labels());
+        let mut st = EvalStats::new();
+        assert_eq!(nav.lca(NodeId(2), NodeId(3), &mut st), NodeId(1));
+        assert_eq!(nav.parent(NodeId(5), &mut st), Some(NodeId(4)));
+        assert_eq!(nav.parent(NodeId(0), &mut st), None);
+        assert_eq!(
+            nav.path(NodeId(2), NodeId(3), &mut st),
+            d.path(NodeId(2), NodeId(3))
+        );
+        assert_eq!(st.tree_ops, 4);
+        assert_eq!(st.label_ops, 0);
+    }
+
+    #[test]
+    fn labels_answer_identically_and_count_label_ops() {
+        let d = doc();
+        let labels = StructLabels::build(&d);
+        let nav = Nav::new(&d, Some(&labels));
+        assert!(nav.has_labels());
+        let tree = Nav::from(&d);
+        let mut st_l = EvalStats::new();
+        let mut st_t = EvalStats::new();
+        for a in d.node_ids() {
+            for b in d.node_ids() {
+                assert_eq!(nav.lca(a, b, &mut st_l), tree.lca(a, b, &mut st_t));
+                assert_eq!(nav.path(a, b, &mut st_l), tree.path(a, b, &mut st_t));
+            }
+            assert_eq!(nav.parent(a, &mut st_l), tree.parent(a, &mut st_t));
+        }
+        assert!(st_l.label_ops > 0);
+        assert_eq!(st_l.tree_ops, 0);
+        assert_eq!(st_t.label_ops, 0);
+        assert_eq!(st_t.tree_ops, st_l.label_ops);
+    }
+
+    #[test]
+    fn mismatched_labels_are_rejected() {
+        let d = doc();
+        let other = parse_str("<x><y/></x>").unwrap();
+        let labels = StructLabels::build(&other);
+        let nav = Nav::new(&d, Some(&labels));
+        assert!(!nav.has_labels());
+        let mut st = EvalStats::new();
+        assert_eq!(nav.lca(NodeId(2), NodeId(5), &mut st), NodeId(0));
+        assert_eq!(st.tree_ops, 1);
+    }
+}

@@ -25,13 +25,14 @@ use crate::join::{
     pairwise_join, pairwise_join_governed, pairwise_join_traced, powerset_join,
     powerset_join_traced,
 };
+use crate::nav::Nav;
 use crate::query::{Query, QueryError};
 use crate::set::FragmentSet;
 use crate::stats::EvalStats;
 use crate::trace::Tracer;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
-use xfrag_doc::{Document, InvertedIndex};
+use xfrag_doc::{Document, PostingsSource};
 
 /// An algebraic expression over fragment sets.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -478,16 +479,16 @@ impl OptimizerRule for PushDownSelection {
 /// whose operand's *estimated* reduction factor clears the cost-model
 /// threshold. This rule needs data statistics, so it holds the document
 /// and index.
-pub struct ChooseFixpointMode<'a> {
+pub struct ChooseFixpointMode<'a, I: PostingsSource + ?Sized> {
     /// The cost model carrying the threshold `v` and sample size.
     pub model: CostModel,
     /// Document being queried.
     pub doc: &'a Document,
     /// Its keyword index (to materialize leaf cardinalities).
-    pub index: &'a InvertedIndex,
+    pub index: &'a I,
 }
 
-impl ChooseFixpointMode<'_> {
+impl<I: PostingsSource + ?Sized> ChooseFixpointMode<'_, I> {
     fn rewrite(&self, plan: LogicalPlan) -> LogicalPlan {
         match plan {
             LogicalPlan::FixedPoint {
@@ -500,7 +501,7 @@ impl ChooseFixpointMode<'_> {
                 let mode = match Self::leaf_term(&input) {
                     Some(term) => {
                         let mut st = EvalStats::new();
-                        let f = FragmentSet::of_nodes(self.index.lookup(term).iter().copied());
+                        let f = FragmentSet::of_nodes(self.index.postings(term).iter().copied());
                         self.model.choose_mode(self.doc, &f, &mut st)
                     }
                     None => FixpointMode::Naive,
@@ -540,7 +541,7 @@ impl ChooseFixpointMode<'_> {
     }
 }
 
-impl OptimizerRule for ChooseFixpointMode<'_> {
+impl<I: PostingsSource + ?Sized> OptimizerRule for ChooseFixpointMode<'_, I> {
     fn name(&self) -> &'static str {
         "choose-fixpoint-mode (§5 RF rule)"
     }
@@ -557,7 +558,11 @@ pub struct Optimizer<'a> {
 impl<'a> Optimizer<'a> {
     /// The paper's full pipeline: Theorem 2, then Theorem 3, then the §5
     /// RF decision.
-    pub fn standard(doc: &'a Document, index: &'a InvertedIndex, model: CostModel) -> Self {
+    pub fn standard<I: PostingsSource + ?Sized>(
+        doc: &'a Document,
+        index: &'a I,
+        model: CostModel,
+    ) -> Self {
         Optimizer {
             rules: vec![
                 Box::new(PowersetToFixpoint),
@@ -598,16 +603,20 @@ impl<'a> Optimizer<'a> {
     }
 }
 
-/// Evaluate a logical plan against a document.
-pub fn execute(
+/// Evaluate a logical plan against a document. Structural questions go
+/// through a [`Nav`] built from the source's labels, so a persistent
+/// segment executes plans by label arithmetic, an in-memory index by
+/// tree walks.
+pub fn execute<I: PostingsSource + ?Sized>(
     plan: &LogicalPlan,
     doc: &Document,
-    index: &InvertedIndex,
+    index: &I,
     stats: &mut EvalStats,
 ) -> Result<FragmentSet, QueryError> {
+    let nav = Nav::new(doc, index.labels());
     match plan {
         LogicalPlan::KeywordSelect { term } => {
-            Ok(FragmentSet::of_nodes(index.lookup(term).iter().copied()))
+            Ok(FragmentSet::of_nodes(index.postings(term).iter().copied()))
         }
         LogicalPlan::Select { filter, input } => {
             let f = execute(input, doc, index, stats)?;
@@ -619,7 +628,7 @@ pub fn execute(
             if l.is_empty() || r.is_empty() {
                 return Ok(FragmentSet::new());
             }
-            Ok(pairwise_join(doc, &l, &r, stats))
+            Ok(pairwise_join(nav, &l, &r, stats))
         }
         LogicalPlan::PowersetJoin { left, right } => {
             let l = execute(left, doc, index, stats)?;
@@ -627,7 +636,7 @@ pub fn execute(
             if l.is_empty() || r.is_empty() {
                 return Ok(FragmentSet::new());
             }
-            Ok(powerset_join(doc, &l, &r, stats)?)
+            Ok(powerset_join(nav, &l, &r, stats)?)
         }
         LogicalPlan::FixedPoint {
             input,
@@ -636,8 +645,8 @@ pub fn execute(
         } => {
             let f = execute(input, doc, index, stats)?;
             match inner_filter {
-                None => Ok(fixed_point(doc, &f, *mode, stats)),
-                Some(p) => Ok(filtered_fixed_point(doc, &f, p, stats)),
+                None => Ok(fixed_point(nav, &f, *mode, stats)),
+                Some(p) => Ok(filtered_fixed_point(nav, &f, p, stats)),
             }
         }
         LogicalPlan::Union { left, right } => {
@@ -653,10 +662,10 @@ pub fn execute(
 /// cancellation promptly) and every join/fixed-point operator charges the
 /// governor. Powerset operands over [`crate::POWERSET_LIMIT`] surface as
 /// [`Breach::PowersetLimit`] instead of a hard error.
-pub fn execute_governed(
+pub fn execute_governed<I: PostingsSource + ?Sized>(
     plan: &LogicalPlan,
     doc: &Document,
-    index: &InvertedIndex,
+    index: &I,
     stats: &mut EvalStats,
     gov: &Governor,
 ) -> Result<FragmentSet, Breach> {
@@ -667,14 +676,15 @@ pub fn execute_governed(
 /// span labeled by [`LogicalPlan::label`], nested to mirror the plan
 /// tree, with fixed-point operators contributing their per-round child
 /// spans — the execution side of `explain --analyze`.
-pub fn execute_traced(
+pub fn execute_traced<I: PostingsSource + ?Sized>(
     plan: &LogicalPlan,
     doc: &Document,
-    index: &InvertedIndex,
+    index: &I,
     stats: &mut EvalStats,
     gov: &Governor,
     tracer: &Tracer<'_>,
 ) -> Result<FragmentSet, Breach> {
+    let nav = Nav::new(doc, index.labels());
     tracer.scoped_lazy(
         || plan.label(),
         stats,
@@ -682,7 +692,7 @@ pub fn execute_traced(
             gov.checkpoint()?;
             match plan {
                 LogicalPlan::KeywordSelect { term } => {
-                    Ok(FragmentSet::of_nodes(index.lookup(term).iter().copied()))
+                    Ok(crate::query::term_operand(index, term, tracer, stats))
                 }
                 LogicalPlan::Select { filter, input } => {
                     let f = execute_traced(input, doc, index, stats, gov, tracer)?;
@@ -694,7 +704,7 @@ pub fn execute_traced(
                     if l.is_empty() || r.is_empty() {
                         return Ok(FragmentSet::new());
                     }
-                    pairwise_join_traced(doc, &l, &r, stats, gov, tracer)
+                    pairwise_join_traced(nav, &l, &r, stats, gov, tracer)
                 }
                 LogicalPlan::PowersetJoin { left, right } => {
                     let l = execute_traced(left, doc, index, stats, gov, tracer)?;
@@ -702,7 +712,7 @@ pub fn execute_traced(
                     if l.is_empty() || r.is_empty() {
                         return Ok(FragmentSet::new());
                     }
-                    powerset_join_traced(doc, &l, &r, stats, gov, tracer)
+                    powerset_join_traced(nav, &l, &r, stats, gov, tracer)
                 }
                 LogicalPlan::FixedPoint {
                     input,
@@ -722,8 +732,8 @@ pub fn execute_traced(
                         return Err(Breach::PowersetLimit);
                     }
                     match inner_filter {
-                        None => fixed_point_traced(doc, &f, *mode, stats, gov, tracer),
-                        Some(p) => filtered_fixed_point_governed(doc, &f, p, stats, gov, tracer),
+                        None => fixed_point_traced(nav, &f, *mode, stats, gov, tracer),
+                        Some(p) => filtered_fixed_point_governed(nav, &f, p, stats, gov, tracer),
                     }
                 }
                 LogicalPlan::Union { left, right } => {
@@ -740,11 +750,12 @@ pub fn execute_traced(
 /// expansion). Mirrors `query::filtered_fixed_point`; duplicated here to
 /// keep the plan interpreter self-contained.
 fn filtered_fixed_point(
-    doc: &Document,
+    nav: Nav<'_>,
     f: &FragmentSet,
     anti: &FilterExpr,
     stats: &mut EvalStats,
 ) -> FragmentSet {
+    let doc = nav.doc();
     let base = select(doc, anti, f, stats);
     if base.is_empty() {
         return FragmentSet::new();
@@ -752,7 +763,7 @@ fn filtered_fixed_point(
     let mut h = base.clone();
     loop {
         stats.fixpoint_iterations += 1;
-        let joined = pairwise_join(doc, &h, &base, stats);
+        let joined = pairwise_join(nav, &h, &base, stats);
         let kept = select(doc, anti, &joined, stats);
         let next = kept.union(&h);
         stats.fixpoint_checks += 1;
@@ -766,13 +777,14 @@ fn filtered_fixed_point(
 /// Governed + traced variant of [`filtered_fixed_point`]: checkpoint per
 /// round, joins charged, a `filtered-fixpoint` span with `round` children.
 fn filtered_fixed_point_governed(
-    doc: &Document,
+    nav: Nav<'_>,
     f: &FragmentSet,
     anti: &FilterExpr,
     stats: &mut EvalStats,
     gov: &Governor,
     tracer: &Tracer<'_>,
 ) -> Result<FragmentSet, Breach> {
+    let doc = nav.doc();
     tracer.scoped("filtered-fixpoint", stats, |stats| {
         let base = select(doc, anti, f, stats);
         if base.is_empty() {
@@ -783,7 +795,7 @@ fn filtered_fixed_point_governed(
             gov.checkpoint()?;
             let next = tracer.scoped("round", stats, |stats| -> Result<FragmentSet, Breach> {
                 stats.fixpoint_iterations += 1;
-                let joined = pairwise_join_governed(doc, &h, &base, stats, gov)?;
+                let joined = pairwise_join_governed(nav, &h, &base, stats, gov)?;
                 Ok(select(doc, anti, &joined, stats).union(&h))
             })?;
             stats.fixpoint_checks += 1;
@@ -799,7 +811,7 @@ fn filtered_fixed_point_governed(
 mod tests {
     use super::*;
     use crate::query::{evaluate, Strategy};
-    use xfrag_doc::DocumentBuilder;
+    use xfrag_doc::{DocumentBuilder, InvertedIndex};
 
     fn doc() -> Document {
         let mut b = DocumentBuilder::new();

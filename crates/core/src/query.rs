@@ -31,12 +31,13 @@ use crate::fixpoint::{
 use crate::join::{
     fragment_join_many, pairwise_join_governed, pairwise_join_traced, PowersetTooLarge,
 };
+use crate::nav::Nav;
 use crate::set::FragmentSet;
 use crate::stats::EvalStats;
 use crate::trace::Tracer;
 use serde::{Deserialize, Serialize};
 use xfrag_doc::text::normalize_term;
-use xfrag_doc::{Document, InvertedIndex};
+use xfrag_doc::{Document, PostingsSource};
 
 /// A keyword query with a selection predicate (Definition 7).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -198,25 +199,54 @@ fn unbreachable<T>(r: Result<T, Breach>) -> T {
 }
 
 /// Evaluate `query` over `doc` using `index` for the keyword selections.
-pub fn evaluate(
+///
+/// Generic over [`PostingsSource`]: the same engine runs off an
+/// in-memory [`xfrag_doc::InvertedIndex`] (tree-walk navigation) or a
+/// persistent [`xfrag_doc::SegmentIndex`] / collection handle, in which
+/// case postings are lazily materialized and structural arithmetic uses
+/// the segment's prefix labels. Both paths return identical fragments —
+/// the indexed differential suite proves it across every strategy.
+pub fn evaluate<I: PostingsSource + ?Sized>(
     doc: &Document,
-    index: &InvertedIndex,
+    index: &I,
     query: &Query,
     strategy: Strategy,
 ) -> Result<QueryResult, QueryError> {
     evaluate_traced(doc, index, query, strategy, &Tracer::disabled())
 }
 
+/// Build one operand set `Fi = σ_{keyword=ki}(nodes(D))` from a postings
+/// source, recording an `index:load:{term}` span when the lookup lazily
+/// materializes a posting list out of a persistent segment.
+pub(crate) fn term_operand<I: PostingsSource + ?Sized>(
+    index: &I,
+    term: &str,
+    tracer: &Tracer<'_>,
+    stats: &mut EvalStats,
+) -> FragmentSet {
+    if index.needs_load(term) {
+        tracer.scoped_lazy(
+            || format!("index:load:{term}"),
+            stats,
+            |_| FragmentSet::of_nodes(index.postings(term).iter().copied()),
+        )
+    } else {
+        FragmentSet::of_nodes(index.postings(term).iter().copied())
+    }
+}
+
 /// [`evaluate`] with span recording: one `term-lookup:{term}` span per
-/// keyword selection, then the strategy's own span tree (fixpoints with
-/// per-round children, joins, the final `select-top`).
-pub fn evaluate_traced(
+/// keyword selection (with an `index:load:{term}` child when the posting
+/// list is decoded from a segment), then the strategy's own span tree
+/// (fixpoints with per-round children, joins, the final `select-top`).
+pub fn evaluate_traced<I: PostingsSource + ?Sized>(
     doc: &Document,
-    index: &InvertedIndex,
+    index: &I,
     query: &Query,
     strategy: Strategy,
     tracer: &Tracer<'_>,
 ) -> Result<QueryResult, QueryError> {
+    let nav = Nav::new(doc, index.labels());
     // Fi = σ_{keyword=ki}(nodes(D)) — single-node fragments.
     let mut lookup_stats = EvalStats::new();
     let operands: Vec<FragmentSet> = query
@@ -226,27 +256,27 @@ pub fn evaluate_traced(
             tracer.scoped_lazy(
                 || format!("term-lookup:{t}"),
                 &mut lookup_stats,
-                |_| FragmentSet::of_nodes(index.lookup(t).iter().copied()),
+                |stats| term_operand(index, t, tracer, stats),
             )
         })
         .collect();
-    evaluate_operands_traced(doc, query, strategy, &operands, tracer)
+    evaluate_operands_traced(nav, query, strategy, &operands, tracer)
 }
 
 /// Strategy dispatch over pre-built operand sets (shared by [`evaluate`]
 /// and the scoped/hybrid entry point).
 pub(crate) fn evaluate_operands(
-    doc: &Document,
+    nav: Nav<'_>,
     query: &Query,
     strategy: Strategy,
     operands: &[FragmentSet],
 ) -> Result<QueryResult, QueryError> {
-    evaluate_operands_traced(doc, query, strategy, operands, &Tracer::disabled())
+    evaluate_operands_traced(nav, query, strategy, operands, &Tracer::disabled())
 }
 
 /// Traced strategy dispatch over pre-built operand sets.
 pub(crate) fn evaluate_operands_traced(
-    doc: &Document,
+    nav: Nav<'_>,
     query: &Query,
     strategy: Strategy,
     operands: &[FragmentSet],
@@ -255,6 +285,7 @@ pub(crate) fn evaluate_operands_traced(
     if query.terms.is_empty() {
         return Err(QueryError::NoTerms);
     }
+    let doc = nav.doc();
     let mut stats = EvalStats::new();
 
     // Conjunctive semantics: a term with no occurrences empties the answer.
@@ -269,21 +300,21 @@ pub(crate) fn evaluate_operands_traced(
     let gov = Governor::unlimited();
     let raw = match strategy {
         Strategy::BruteForce => tracer.scoped("brute-force", &mut stats, |stats| {
-            brute_force(doc, operands, stats)
+            brute_force(nav, operands, stats)
         })?,
         Strategy::FixedPointNaive => {
             let fps: Vec<FragmentSet> = operands
                 .iter()
-                .map(|f| unbreachable(fixed_point_naive_traced(doc, f, &mut stats, &gov, tracer)))
+                .map(|f| unbreachable(fixed_point_naive_traced(nav, f, &mut stats, &gov, tracer)))
                 .collect();
-            unbreachable(fold_pairwise_traced(doc, fps, &mut stats, &gov, tracer))
+            unbreachable(fold_pairwise_traced(nav, fps, &mut stats, &gov, tracer))
         }
         Strategy::FixedPointReduced => {
             let fps: Vec<FragmentSet> = operands
                 .iter()
-                .map(|f| unbreachable(fixed_point_reduced_traced(doc, f, &mut stats, &gov, tracer)))
+                .map(|f| unbreachable(fixed_point_reduced_traced(nav, f, &mut stats, &gov, tracer)))
                 .collect();
-            unbreachable(fold_pairwise_traced(doc, fps, &mut stats, &gov, tracer))
+            unbreachable(fold_pairwise_traced(nav, fps, &mut stats, &gov, tracer))
         }
         Strategy::PushDown => {
             let (anti, _rest) = query.filter.split_anti_monotonic();
@@ -293,7 +324,7 @@ pub(crate) fn evaluate_operands_traced(
                     tracer.scoped("push-down-operand", &mut stats, |stats| {
                         let base = select(doc, &anti, f, stats);
                         unbreachable(filtered_fixed_point_traced(
-                            doc, &base, &anti, stats, &gov, tracer,
+                            nav, &base, &anti, stats, &gov, tracer,
                         ))
                     })
                 })
@@ -304,7 +335,7 @@ pub(crate) fn evaluate_operands_traced(
                     None => fp,
                     Some(prev) => {
                         let joined = unbreachable(pairwise_join_traced(
-                            doc, &prev, &fp, &mut stats, &gov, tracer,
+                            nav, &prev, &fp, &mut stats, &gov, tracer,
                         ));
                         select(doc, &anti, &joined, &mut stats)
                     }
@@ -362,9 +393,9 @@ pub(crate) fn evaluate_operands_traced(
 /// Cancellation ([`Breach::Cancelled`]) never degrades — it surfaces as
 /// [`QueryError::Cancelled`]. With [`DegradeMode::Off`], the first breach
 /// surfaces as [`QueryError::BudgetExceeded`].
-pub fn evaluate_budgeted(
+pub fn evaluate_budgeted<I: PostingsSource + ?Sized>(
     doc: &Document,
-    index: &InvertedIndex,
+    index: &I,
     query: &Query,
     strategy: Strategy,
     policy: &ExecPolicy,
@@ -376,9 +407,9 @@ pub fn evaluate_budgeted(
 /// opens a `rung:{name}` span (named after [`Rung::name`]), so a profile
 /// shows exactly where the budget went before the answering rung — an
 /// abandoned rung's span ends at the moment its budget tripped.
-pub fn evaluate_budgeted_traced(
+pub fn evaluate_budgeted_traced<I: PostingsSource + ?Sized>(
     doc: &Document,
-    index: &InvertedIndex,
+    index: &I,
     query: &Query,
     strategy: Strategy,
     policy: &ExecPolicy,
@@ -407,9 +438,9 @@ pub fn evaluate_budgeted_traced(
 ///    no work limits, wall clock, or cancel token: a fixpoint hit skips
 ///    governor charges, which under a limited budget would change where
 ///    the budget trips.
-pub fn evaluate_budgeted_cached_traced(
+pub fn evaluate_budgeted_cached_traced<I: PostingsSource + ?Sized>(
     doc: &Document,
-    index: &InvertedIndex,
+    index: &I,
     query: &Query,
     strategy: Strategy,
     policy: &ExecPolicy,
@@ -419,6 +450,7 @@ pub fn evaluate_budgeted_cached_traced(
     if query.terms.is_empty() {
         return Err(QueryError::NoTerms);
     }
+    let nav = Nav::new(doc, index.labels());
     let key = cache
         .as_ref()
         .map(|c| ResultKey::new(c.gen, c.doc, query, strategy, policy));
@@ -467,12 +499,12 @@ pub fn evaluate_budgeted_cached_traced(
                         }
                         None => {
                             stats.cache_misses += 1;
-                            let set = FragmentSet::of_nodes(index.lookup(t).iter().copied());
+                            let set = term_operand(index, t, tracer, stats);
                             c.cache.put_postings(c.gen, c.doc, t, &set);
                             set
                         }
                     },
-                    None => FragmentSet::of_nodes(index.lookup(t).iter().copied()),
+                    None => term_operand(index, t, tracer, stats),
                 },
             )
         })
@@ -481,7 +513,7 @@ pub fn evaluate_budgeted_cached_traced(
     // Tier (b) gate — see the doc comment above.
     let tier_b = cache.filter(|_| !policy.budget.is_limited() && policy.cancel.is_none());
     let mut result =
-        evaluate_operands_budgeted_traced(doc, query, strategy, &operands, policy, tracer, tier_b)?;
+        evaluate_operands_budgeted_traced(nav, query, strategy, &operands, policy, tracer, tier_b)?;
     result.stats.cache_hits += lookup_stats.cache_hits;
     result.stats.cache_misses += lookup_stats.cache_misses;
     if let (Some(c), Some(key)) = (&cache, &key) {
@@ -503,7 +535,7 @@ pub fn evaluate_budgeted_cached_traced(
 /// responsible for the tier (b) gate: pass `Some` only under unlimited,
 /// non-cancellable policies (see [`evaluate_budgeted_cached_traced`]).
 pub(crate) fn evaluate_operands_budgeted_traced(
-    doc: &Document,
+    nav: Nav<'_>,
     query: &Query,
     strategy: Strategy,
     operands: &[FragmentSet],
@@ -514,6 +546,7 @@ pub(crate) fn evaluate_operands_budgeted_traced(
     if query.terms.is_empty() {
         return Err(QueryError::NoTerms);
     }
+    let doc = nav.doc();
     let mut stats = EvalStats::new();
 
     // Conjunctive semantics: a term with no occurrences empties the answer.
@@ -538,7 +571,7 @@ pub(crate) fn evaluate_operands_budgeted_traced(
     let attempt = tracer.scoped_lazy(
         || format!("rung:{}", Rung::Full.name()),
         &mut stats,
-        |stats| strategy_raw_traced(doc, query, strategy, operands, stats, &gov, tracer, cache),
+        |stats| strategy_raw_traced(nav, query, strategy, operands, stats, &gov, tracer, cache),
     );
     let mut raw = match attempt {
         Ok(raw) => Some(raw),
@@ -557,7 +590,7 @@ pub(crate) fn evaluate_operands_budgeted_traced(
                 let fps: Vec<FragmentSet> = operands
                     .iter()
                     .map(|f| {
-                        let reduced = reduce_traced(doc, f, stats, &gov, tracer)?;
+                        let reduced = reduce_traced(nav, f, stats, &gov, tracer)?;
                         // An unbounded governor (reachable here via a
                         // PowersetLimit trip with no budget set) cannot stop
                         // a closure blow-up, and Theorem 2 says |F⁺| can
@@ -566,10 +599,10 @@ pub(crate) fn evaluate_operands_budgeted_traced(
                         if !gov.is_work_bounded() && reduced.len() > crate::join::POWERSET_LIMIT {
                             return Err(Breach::PowersetLimit);
                         }
-                        fixed_point_naive_traced(doc, &reduced, stats, &gov, tracer)
+                        fixed_point_naive_traced(nav, &reduced, stats, &gov, tracer)
                     })
                     .collect::<Result<_, Breach>>()?;
-                fold_pairwise_traced(doc, fps, stats, &gov, tracer)
+                fold_pairwise_traced(nav, fps, stats, &gov, tracer)
             },
         );
         match attempt {
@@ -593,7 +626,7 @@ pub(crate) fn evaluate_operands_budgeted_traced(
                         FragmentSet::from_iter(keep)
                     })
                     .collect();
-                fold_pairwise_traced(doc, tops, stats, &gov, tracer).map(|r| (r, truncated))
+                fold_pairwise_traced(nav, tops, stats, &gov, tracer).map(|r| (r, truncated))
             },
         );
         match attempt {
@@ -611,7 +644,7 @@ pub(crate) fn evaluate_operands_budgeted_traced(
         None => tracer.scoped_lazy(
             || format!("rung:{}", Rung::SlcaApprox.name()),
             &mut stats,
-            |stats| slca_approximation(doc, operands, stats),
+            |stats| slca_approximation(nav, operands, stats),
         ),
     };
     // Each trip abandoned one rung; the answer came from the next one.
@@ -677,7 +710,7 @@ fn handle_breach(
 /// requested strategy, charging `gov` and recording spans throughout.
 #[allow(clippy::too_many_arguments)]
 fn strategy_raw_traced(
-    doc: &Document,
+    nav: Nav<'_>,
     query: &Query,
     strategy: Strategy,
     operands: &[FragmentSet],
@@ -686,9 +719,10 @@ fn strategy_raw_traced(
     tracer: &Tracer<'_>,
     cache: Option<CacheRef<'_>>,
 ) -> Result<FragmentSet, Breach> {
+    let doc = nav.doc();
     match strategy {
         Strategy::BruteForce => tracer.scoped("brute-force", stats, |stats| {
-            brute_force_governed(doc, operands, stats, gov)
+            brute_force_governed(nav, operands, stats, gov)
         }),
         Strategy::FixedPointNaive => {
             let fps: Vec<FragmentSet> = operands
@@ -696,7 +730,7 @@ fn strategy_raw_traced(
                 .zip(&query.terms)
                 .map(|(f, t)| {
                     fixed_point_memo_traced(
-                        doc,
+                        nav,
                         f,
                         t,
                         FixpointMode::Naive,
@@ -707,7 +741,7 @@ fn strategy_raw_traced(
                     )
                 })
                 .collect::<Result<_, _>>()?;
-            fold_pairwise_traced(doc, fps, stats, gov, tracer)
+            fold_pairwise_traced(nav, fps, stats, gov, tracer)
         }
         Strategy::FixedPointReduced => {
             let fps: Vec<FragmentSet> = operands
@@ -715,7 +749,7 @@ fn strategy_raw_traced(
                 .zip(&query.terms)
                 .map(|(f, t)| {
                     fixed_point_memo_traced(
-                        doc,
+                        nav,
                         f,
                         t,
                         FixpointMode::Reduced,
@@ -726,7 +760,7 @@ fn strategy_raw_traced(
                     )
                 })
                 .collect::<Result<_, _>>()?;
-            fold_pairwise_traced(doc, fps, stats, gov, tracer)
+            fold_pairwise_traced(nav, fps, stats, gov, tracer)
         }
         Strategy::PushDown => {
             let (anti, _rest) = query.filter.split_anti_monotonic();
@@ -735,12 +769,12 @@ fn strategy_raw_traced(
                 gov.checkpoint()?;
                 let fp = tracer.scoped("push-down-operand", stats, |stats| {
                     let base = select(doc, &anti, f, stats);
-                    filtered_fixed_point_traced(doc, &base, &anti, stats, gov, tracer)
+                    filtered_fixed_point_traced(nav, &base, &anti, stats, gov, tracer)
                 })?;
                 acc = Some(match acc {
                     None => fp,
                     Some(prev) => {
-                        let joined = pairwise_join_traced(doc, &prev, &fp, stats, gov, tracer)?;
+                        let joined = pairwise_join_traced(nav, &prev, &fp, stats, gov, tracer)?;
                         select(doc, &anti, &joined, stats)
                     }
                 });
@@ -756,7 +790,7 @@ fn strategy_raw_traced(
 /// [`Breach::PowersetLimit`] instead of erroring, so the ladder can step
 /// down to a plan that handles large operand sets.
 fn brute_force_governed(
-    doc: &Document,
+    nav: Nav<'_>,
     operands: &[FragmentSet],
     stats: &mut EvalStats,
     gov: &Governor,
@@ -779,7 +813,7 @@ fn brute_force_governed(
         });
         // invariant: every odometer mask is at least 1, so at least one
         // fragment is always chosen.
-        let joined = fragment_join_many(doc, chosen, stats).expect("non-empty choice");
+        let joined = fragment_join_many(nav, chosen, stats).expect("non-empty choice");
         gov.charge_join(joined.size() as u64)?;
         gov.charge_fragments(1)?;
         stats.fragments_emitted += 1;
@@ -804,7 +838,7 @@ fn brute_force_governed(
 /// Governed left-to-right pairwise fold of operand fixed points, recorded
 /// as one `join-fold` span with a `pairwise-join` child per step.
 fn fold_pairwise_traced(
-    doc: &Document,
+    nav: Nav<'_>,
     fps: Vec<FragmentSet>,
     stats: &mut EvalStats,
     gov: &Governor,
@@ -817,7 +851,7 @@ fn fold_pairwise_traced(
         let mut acc = it.next().expect("at least one operand");
         for fp in it {
             gov.checkpoint()?;
-            acc = pairwise_join_traced(doc, &acc, &fp, stats, gov, tracer)?;
+            acc = pairwise_join_traced(nav, &acc, &fp, stats, gov, tracer)?;
         }
         Ok(acc)
     })
@@ -827,7 +861,7 @@ fn fold_pairwise_traced(
 /// push-down: a `filtered-fixpoint` span with one `round` child per
 /// iteration.
 fn filtered_fixed_point_traced(
-    doc: &Document,
+    nav: Nav<'_>,
     f: &FragmentSet,
     anti: &FilterExpr,
     stats: &mut EvalStats,
@@ -843,8 +877,8 @@ fn filtered_fixed_point_traced(
             gov.checkpoint()?;
             let next = tracer.scoped("round", stats, |stats| -> Result<FragmentSet, Breach> {
                 stats.fixpoint_iterations += 1;
-                let joined = pairwise_join_governed(doc, &h, f, stats, gov)?;
-                Ok(select(doc, anti, &joined, stats).union(&h))
+                let joined = pairwise_join_governed(nav, &h, f, stats, gov)?;
+                Ok(select(nav.doc(), anti, &joined, stats).union(&h))
             })?;
             stats.fixpoint_checks += 1;
             if next.len() == h.len() {
@@ -869,10 +903,11 @@ fn filtered_fixed_point_traced(
 /// More than 64 operands exceed the mask width; the approximation then
 /// returns the empty set, which is trivially sound.
 fn slca_approximation(
-    doc: &Document,
+    nav: Nav<'_>,
     operands: &[FragmentSet],
     stats: &mut EvalStats,
 ) -> FragmentSet {
+    let doc = nav.doc();
     let m = operands.len();
     if m == 0 || m > 64 {
         return FragmentSet::new();
@@ -911,7 +946,7 @@ fn slca_approximation(
                 r >= lo && r < hi
             })
         });
-        if let Some(joined) = fragment_join_many(doc, picks, stats) {
+        if let Some(joined) = fragment_join_many(nav, picks, stats) {
             stats.fragments_emitted += 1;
             if !out.insert(joined) {
                 stats.duplicates_collapsed += 1;
@@ -924,7 +959,7 @@ fn slca_approximation(
 /// §4.1 brute force: enumerate every choice of non-empty subsets, one per
 /// operand, and join each union.
 fn brute_force(
-    doc: &Document,
+    nav: Nav<'_>,
     operands: &[FragmentSet],
     stats: &mut EvalStats,
 ) -> Result<FragmentSet, PowersetTooLarge> {
@@ -947,7 +982,7 @@ fn brute_force(
         });
         // invariant: every odometer mask is at least 1, so at least one
         // fragment is always chosen.
-        let joined = fragment_join_many(doc, chosen, stats).expect("non-empty choice");
+        let joined = fragment_join_many(nav, chosen, stats).expect("non-empty choice");
         stats.fragments_emitted += 1;
         if !out.insert(joined) {
             stats.duplicates_collapsed += 1;
@@ -977,14 +1012,15 @@ fn brute_force(
 /// Scoping restricts the operand selections `Fi` to the scope's subtree,
 /// so answer fragments are always contained in one scope — joins never
 /// escape through the scope root's ancestors.
-pub fn evaluate_scoped(
+pub fn evaluate_scoped<I: PostingsSource + ?Sized>(
     doc: &Document,
-    index: &InvertedIndex,
+    index: &I,
     query: &Query,
     scope_path: &str,
     strategy: Strategy,
 ) -> Result<Vec<(xfrag_doc::NodeId, QueryResult)>, ScopedQueryError> {
     let scopes = xfrag_doc::select_path(doc, scope_path).map_err(ScopedQueryError::Path)?;
+    let nav = Nav::new(doc, index.labels());
     let mut out = Vec::new();
     for scope in scopes {
         // Restrict each operand's postings to the scope subtree; pre-order
@@ -996,7 +1032,7 @@ pub fn evaluate_scoped(
             lo,
             hi,
         };
-        let r = evaluate_with_lookup(doc, &scoped_index, query, strategy)
+        let r = evaluate_with_lookup(nav, &scoped_index, query, strategy)
             .map_err(ScopedQueryError::Query)?;
         if !r.fragments.is_empty() {
             out.push((scope, r));
@@ -1030,22 +1066,16 @@ trait TermLookup {
     fn postings(&self, term: &str) -> Vec<xfrag_doc::NodeId>;
 }
 
-impl TermLookup for InvertedIndex {
-    fn postings(&self, term: &str) -> Vec<xfrag_doc::NodeId> {
-        self.lookup(term).to_vec()
-    }
-}
-
-struct ScopedIndex<'a> {
-    inner: &'a InvertedIndex,
+struct ScopedIndex<'a, I: ?Sized> {
+    inner: &'a I,
     lo: u32,
     hi: u32,
 }
 
-impl TermLookup for ScopedIndex<'_> {
+impl<I: PostingsSource + ?Sized> TermLookup for ScopedIndex<'_, I> {
     fn postings(&self, term: &str) -> Vec<xfrag_doc::NodeId> {
         self.inner
-            .lookup(term)
+            .postings(term)
             .iter()
             .copied()
             .filter(|n| n.0 >= self.lo && n.0 < self.hi)
@@ -1054,20 +1084,16 @@ impl TermLookup for ScopedIndex<'_> {
 }
 
 fn evaluate_with_lookup(
-    doc: &Document,
+    nav: Nav<'_>,
     lookup: &dyn TermLookup,
     query: &Query,
     strategy: Strategy,
 ) -> Result<QueryResult, QueryError> {
-    // Build a transient index view: materialize the scoped postings into
-    // fragment sets and reuse the public engine by constructing the
-    // operand sets directly. The main `evaluate` consumes an
-    // `InvertedIndex`, so rather than duplicate its strategy dispatch we
-    // rebuild a minimal document-backed index is unnecessary — instead we
-    // inline the operand construction and call the strategy machinery via
-    // a private entry point.
+    // Materialize the scoped postings into operand sets and reuse the
+    // strategy machinery via the private operand-level entry point —
+    // no need to rebuild a document-backed index per scope.
     crate::query::evaluate_operands(
-        doc,
+        nav,
         query,
         strategy,
         &query
@@ -1081,18 +1107,19 @@ fn evaluate_with_lookup(
 /// Convenience wrapper: the §4.2-style diagnostic of how much each operand
 /// set would shrink under `⊖` — used by the cost model and the CLI explain
 /// output.
-pub fn operand_reduction_factors(
+pub fn operand_reduction_factors<I: PostingsSource + ?Sized>(
     doc: &Document,
-    index: &InvertedIndex,
+    index: &I,
     query: &Query,
 ) -> Vec<(String, usize, usize)> {
+    let nav = Nav::new(doc, index.labels());
     let mut stats = EvalStats::new();
     query
         .terms
         .iter()
         .map(|t| {
-            let f = FragmentSet::of_nodes(index.lookup(t).iter().copied());
-            let r = reduce(doc, &f, &mut stats);
+            let f = FragmentSet::of_nodes(index.postings(t).iter().copied());
+            let r = reduce(nav, &f, &mut stats);
             (t.clone(), f.len(), r.len())
         })
         .collect()
@@ -1101,7 +1128,7 @@ pub fn operand_reduction_factors(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xfrag_doc::DocumentBuilder;
+    use xfrag_doc::{DocumentBuilder, InvertedIndex};
 
     /// article(0) -> sec(1){"alpha"} -> p(2){"alpha beta"}, p(3){"beta"};
     /// article -> sec(4) -> p(5){"alpha"}, p(6){"gamma"}

@@ -9,9 +9,74 @@
 //! we also provide [`InvertedIndex::scan_select`] to evaluate the selection
 //! without the index for apples-to-apples baselines.
 
+use crate::label::StructLabels;
 use crate::text::{keywords, node_contains, normalize_term};
 use crate::tree::{Document, NodeId};
 use std::collections::BTreeMap;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A posting list handed out by a [`PostingsSource`]: either borrowed
+/// from an in-memory index or shared out of a lazily-decoded segment.
+/// Derefs to `[NodeId]` so callers treat both uniformly.
+#[derive(Debug, Clone)]
+pub enum Postings<'a> {
+    /// A slice borrowed from an [`InvertedIndex`].
+    Borrowed(&'a [NodeId]),
+    /// A cached decode shared out of a segment.
+    Shared(Arc<[NodeId]>),
+}
+
+impl Deref for Postings<'_> {
+    type Target = [NodeId];
+
+    fn deref(&self) -> &[NodeId] {
+        match self {
+            Postings::Borrowed(s) => s,
+            Postings::Shared(a) => a,
+        }
+    }
+}
+
+/// Anything that can answer `σ_{keyword=k}` selections: the in-memory
+/// [`InvertedIndex`], a persistent
+/// [`SegmentIndex`](crate::segment::SegmentIndex), or a collection's
+/// per-document handle. The query engine is generic over this trait, so
+/// indexed and tree-walk evaluation share one code path.
+pub trait PostingsSource {
+    /// The postings for a (normalized) term, in document order.
+    fn postings(&self, term: &str) -> Postings<'_>;
+
+    /// Document frequency of a term. Sources with a directory answer
+    /// this without materializing postings.
+    fn df(&self, term: &str) -> usize {
+        self.postings(term).len()
+    }
+
+    /// Structural labels, when this source persists them — the signal
+    /// for the engine to use label arithmetic instead of tree walks.
+    fn labels(&self) -> Option<&StructLabels> {
+        None
+    }
+
+    /// Whether looking `term` up now would lazily materialize it (used
+    /// for `index:load:{term}` trace provenance).
+    fn needs_load(&self, term: &str) -> bool {
+        let _ = term;
+        false
+    }
+
+    /// Whether this source was decoded from a persistent segment.
+    fn persistent(&self) -> bool {
+        false
+    }
+}
+
+impl PostingsSource for InvertedIndex {
+    fn postings(&self, term: &str) -> Postings<'_> {
+        Postings::Borrowed(self.lookup(term))
+    }
+}
 
 /// Immutable inverted index over one document.
 ///

@@ -30,18 +30,22 @@ pub mod builder;
 pub mod collection;
 pub mod error;
 pub mod index;
+pub mod label;
 pub mod manifest;
 pub mod parse;
 pub mod path;
+pub mod segment;
 pub mod serialize;
 pub mod store;
 pub mod text;
 pub mod tree;
 
 pub use builder::DocumentBuilder;
-pub use collection::{Collection, DocId};
+pub use collection::{Collection, DocId, IndexHandle};
 pub use error::{DocError, ParseError};
-pub use index::InvertedIndex;
+pub use index::{InvertedIndex, Postings, PostingsSource};
+pub use label::StructLabels;
 pub use parse::parse_str;
 pub use path::{select_path, PathExpr};
+pub use segment::{encode_segment, segment_file_name, SegmentIndex};
 pub use tree::{Document, NodeId};

@@ -252,15 +252,22 @@ pub fn generation_file_name(stem: &str, generation: u64) -> String {
 }
 
 /// Split a generation-suffixed data file name into its logical display
-/// name and generation: `a.g000002.xfrg` → (`a.xfrg`, 2). Returns `None`
-/// for names without the suffix.
+/// name and generation: `a.g000002.xfrg` → (`a.xfrg`, 2), and likewise
+/// for `.xidx` index segments. Returns `None` for names without the
+/// suffix.
 pub fn split_generation_file(name: &str) -> Option<(String, u64)> {
-    let stem = name.strip_suffix(".xfrg")?;
+    let (stem, ext) = if let Some(s) = name.strip_suffix(".xfrg") {
+        (s, "xfrg")
+    } else if let Some(s) = name.strip_suffix(".xidx") {
+        (s, "xidx")
+    } else {
+        return None;
+    };
     let (logical, gen) = stem.rsplit_once(".g")?;
     if gen.is_empty() || !gen.bytes().all(|b| b.is_ascii_digit()) {
         return None;
     }
-    Some((format!("{logical}.xfrg"), gen.parse().ok()?))
+    Some((format!("{logical}.{ext}"), gen.parse().ok()?))
 }
 
 /// The highest generation number any file in `dir` refers to — committed
@@ -687,6 +694,12 @@ mod tests {
         assert_eq!(split_generation_file("plain.xfrg"), None);
         assert_eq!(split_generation_file("a.gx.xfrg"), None);
         assert_eq!(split_generation_file("a.g2.xml"), None);
+        // Index segments follow the same convention.
+        assert_eq!(
+            split_generation_file("a.g000002.xidx"),
+            Some(("a.xidx".into(), 2))
+        );
+        assert_eq!(split_generation_file("plain.xidx"), None);
     }
 
     #[test]

@@ -78,8 +78,33 @@ impl PathExpr {
             } else {
                 return Err(PathError::MustStartWithSlash);
             };
-            // Step body runs to the next '/'.
-            let end = rest.find('/').unwrap_or(rest.len());
+            // Step body runs to the next '/' *outside* any `[...]`
+            // predicate and outside its quoted value — a slash (or a
+            // bracket) inside `[id='a/b']` belongs to the value, not the
+            // path structure. Quotes are only significant inside
+            // brackets; in a tag test they are ordinary characters.
+            let mut end = rest.len();
+            let mut bracket_depth = 0usize;
+            let mut quote: Option<char> = None;
+            for (i, c) in rest.char_indices() {
+                match quote {
+                    Some(q) => {
+                        if c == q {
+                            quote = None;
+                        }
+                    }
+                    None => match c {
+                        '[' => bracket_depth += 1,
+                        ']' => bracket_depth = bracket_depth.saturating_sub(1),
+                        '\'' | '"' if bracket_depth > 0 => quote = Some(c),
+                        '/' if bracket_depth == 0 => {
+                            end = i;
+                            break;
+                        }
+                        _ => {}
+                    },
+                }
+            }
             let body = &rest[..end];
             rest = &rest[end..];
             if body.is_empty() {
@@ -269,6 +294,53 @@ mod tests {
         assert!(matches!(
             PathExpr::parse("/a/[x='y']").unwrap_err(),
             PathError::EmptyStep
+        ));
+    }
+
+    #[test]
+    fn predicate_values_may_contain_slashes_and_brackets() {
+        let d = parse_str(
+            r#"<article>
+                 <section id="a/b"><title>S</title></section>
+                 <section id="x]y"><title>T</title></section>
+                 <section id="p/q"><par>deep</par></section>
+               </article>"#,
+        )
+        .unwrap();
+        // '/' inside a single-quoted value must not split the step.
+        assert_eq!(
+            select_path(&d, "//section[id='a/b']/title").unwrap(),
+            ids(&[2])
+        );
+        // Same through double quotes.
+        assert_eq!(
+            select_path(&d, "//section[id=\"a/b\"]/title").unwrap(),
+            ids(&[2])
+        );
+        // ']' inside a quoted value must not close the predicate early.
+        assert_eq!(select_path(&d, "//section[id='x]y']").unwrap(), ids(&[3]));
+        assert_eq!(
+            select_path(&d, "//section[id=\"x]y\"]/title").unwrap(),
+            ids(&[4])
+        );
+        // A trailing descendant step after a slash-bearing value.
+        assert_eq!(
+            select_path(&d, "/article/section[id='p/q']//par").unwrap(),
+            ids(&[6])
+        );
+        // Steps without predicates still split on every '/'.
+        assert_eq!(select_path(&d, "/article/section/title").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn unterminated_predicates_still_error() {
+        assert!(matches!(
+            PathExpr::parse("/a[x='y'").unwrap_err(),
+            PathError::BadPredicate(_)
+        ));
+        assert!(matches!(
+            PathExpr::parse("/a[x='y/z").unwrap_err(),
+            PathError::BadPredicate(_)
         ));
     }
 

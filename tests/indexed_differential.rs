@@ -1,0 +1,144 @@
+//! Differential testing across index backends: every evaluation entry
+//! point must return identical answers whether the postings come from
+//! the in-memory [`InvertedIndex`] (structure answered by tree walks)
+//! or from a persistent [`SegmentIndex`] decoded out of its `.xidx`
+//! encoding (structure answered by label arithmetic). The backends also
+//! cross-vouch through the stats counters: the same evaluation performs
+//! the same structural operations, just billed to `tree_ops` on one
+//! side and `label_ops` on the other.
+
+use xfrag::core::{
+    evaluate, evaluate_budgeted, evaluate_scoped, Budget, ExecPolicy, FilterExpr, Query, Strategy,
+};
+use xfrag::corpus::docgen::{generate, DocGenConfig};
+use xfrag::corpus::figure1;
+use xfrag::doc::{encode_segment, InvertedIndex, SegmentIndex};
+
+const STRATEGIES: [Strategy; 4] = [
+    Strategy::BruteForce,
+    Strategy::FixedPointNaive,
+    Strategy::FixedPointReduced,
+    Strategy::PushDown,
+];
+
+fn filters() -> Vec<FilterExpr> {
+    vec![
+        FilterExpr::True,
+        FilterExpr::MaxSize(3),
+        FilterExpr::MaxSize(8),
+        FilterExpr::MaxHeight(2),
+        FilterExpr::MaxWidth(4),
+    ]
+}
+
+#[test]
+fn figure1_backends_agree_across_all_strategies_and_filters() {
+    let fig = figure1();
+    let d = &fig.doc;
+    let idx = InvertedIndex::build(d);
+    let seg = SegmentIndex::from_bytes(&encode_segment(d)).expect("segment round-trip");
+    for filter in filters() {
+        for s in STRATEGIES {
+            let q = Query::new(["xquery", "optimization"], filter.clone());
+            let mem = evaluate(d, &idx, &q, s).unwrap();
+            let per = evaluate(d, &seg, &q, s).unwrap();
+            assert_eq!(mem.fragments, per.fragments, "{s:?} {filter}");
+            // Same algorithm, same operands — the structural work is
+            // identical, only the backend it is billed to differs.
+            assert_eq!(
+                mem.label_ops(),
+                0,
+                "{s:?} {filter}: memory backend used labels"
+            );
+            assert_eq!(
+                per.tree_ops(),
+                0,
+                "{s:?} {filter}: segment backend walked the tree"
+            );
+            assert_eq!(
+                mem.tree_ops(),
+                per.label_ops(),
+                "{s:?} {filter}: structural op counts diverge"
+            );
+            assert!(
+                mem.tree_ops() > 0,
+                "{s:?} {filter}: a two-term join should do structural work"
+            );
+        }
+    }
+}
+
+/// Accessors used above, kept local so the assertions read tersely.
+trait Ops {
+    fn tree_ops(&self) -> u64;
+    fn label_ops(&self) -> u64;
+}
+
+impl Ops for xfrag::core::QueryResult {
+    fn tree_ops(&self) -> u64 {
+        self.stats.tree_ops
+    }
+    fn label_ops(&self) -> u64 {
+        self.stats.label_ops
+    }
+}
+
+#[test]
+fn generated_corpora_agree_unbudgeted_and_budgeted() {
+    for seed in [1, 2, 3] {
+        let cfg = DocGenConfig {
+            seed,
+            ..DocGenConfig::default()
+        }
+        .with_approx_nodes(300)
+        .plant("kwone", 3)
+        .plant("kwtwo", 4);
+        let d = generate(&cfg);
+        let idx = InvertedIndex::build(&d);
+        let seg = SegmentIndex::from_bytes(&encode_segment(&d)).expect("segment round-trip");
+        let q = Query::new(["kwone", "kwtwo"], FilterExpr::MaxSize(10));
+        for s in STRATEGIES {
+            let mem = evaluate(&d, &idx, &q, s).unwrap();
+            let per = evaluate(&d, &seg, &q, s).unwrap();
+            assert_eq!(mem.fragments, per.fragments, "seed {seed} {s:?}");
+
+            // Budgeted evaluation (unlimited and tight) degrades — or
+            // does not — identically, because budget charges count
+            // joins and merged nodes, not which backend answered the
+            // structural questions.
+            for policy in [
+                ExecPolicy::unlimited(),
+                ExecPolicy::with_budget(Budget::unlimited().with_max_joins(8)),
+            ] {
+                let mem = evaluate_budgeted(&d, &idx, &q, s, &policy).unwrap();
+                let per = evaluate_budgeted(&d, &seg, &q, s, &policy).unwrap();
+                assert_eq!(mem.fragments, per.fragments, "seed {seed} {s:?} budgeted");
+                assert_eq!(
+                    mem.degradation, per.degradation,
+                    "seed {seed} {s:?}: backends degraded differently"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn scoped_evaluation_agrees_per_scope() {
+    let fig = figure1();
+    let d = &fig.doc;
+    let idx = InvertedIndex::build(d);
+    let seg = SegmentIndex::from_bytes(&encode_segment(d)).expect("segment round-trip");
+    let q = Query::new(["xquery", "optimization"], FilterExpr::MaxSize(5));
+    for path in ["/article/section", "/article/section/subsection"] {
+        let mem = evaluate_scoped(d, &idx, &q, path, Strategy::PushDown).unwrap();
+        let per = evaluate_scoped(d, &seg, &q, path, Strategy::PushDown).unwrap();
+        assert_eq!(mem.len(), per.len(), "{path}: scope counts differ");
+        for ((ma, mr), (pa, pr)) in mem.iter().zip(per.iter()) {
+            assert_eq!(ma, pa, "{path}: scope roots differ");
+            assert_eq!(
+                mr.fragments, pr.fragments,
+                "{path}: answers differ at {ma:?}"
+            );
+        }
+    }
+}
