@@ -7,7 +7,7 @@
 //! Usage:
 //!
 //! ```text
-//! bench_json [--smoke] [--out PATH] [--out6 PATH] [--out7 PATH]
+//! bench_json [--smoke] [--out PATH] [--out6 PATH] [--out7 PATH] [--out8 PATH]
 //! ```
 //!
 //! `--smoke` shrinks the workload for CI (seconds, not minutes) and
@@ -34,19 +34,33 @@
 //! identical fragments under every (non-brute-force) strategy; the
 //! full-mode gate requires the indexed cold p50 to be strictly below the
 //! tree cold p50.
+//!
+//! A fourth scenario (ISSUE 8 tentpole) measures scatter-gather
+//! sharding: a multi-document collection is partitioned by the serve
+//! path's name-hash routing and the same query stream is evaluated at
+//! 1/2/4/8 shards, one thread per shard per request — emitting
+//! `BENCH_8.json` with the per-request p95 at each width plus a
+//! stampede microbenchmark of N identical cold queries with and
+//! without singleflight coalescing. Gates: coalescing must collapse
+//! the stampede to exactly one evaluation (both modes), and the
+//! 4-shard p95 must beat single-shard in full mode on machines with
+//! at least 4 cores (scatter cannot win without parallelism to spend).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use xfrag_bench::fixtures::{query_fixture, QueryFixture};
 use xfrag_core::{
-    evaluate, evaluate_budgeted_cached_traced, CacheRef, ExecPolicy, FilterExpr, GenerationTag,
-    Query, QueryCache, Strategy, Tracer,
+    evaluate, evaluate_budgeted_cached_traced, evaluate_collection_budgeted_cached_traced_routed,
+    flight_key, CacheRef, DocAnswers, ExecPolicy, FilterExpr, Flight, GenerationTag, Query,
+    QueryCache, Singleflight, Strategy, Tracer,
 };
 use xfrag_corpus::zipf::Zipf;
-use xfrag_doc::{encode_segment, store, InvertedIndex, SegmentIndex};
+use xfrag_doc::{encode_segment, store, Collection, DocId, InvertedIndex, SegmentIndex};
 
 const SEED: u64 = 42;
 const ZIPF_S: f64 = 1.1;
@@ -399,6 +413,238 @@ fn cold_index_scenario(smoke: bool) -> (String, bool) {
     (json, ok)
 }
 
+/// FNV-1a over a document's display name — the same routing function as
+/// `xfrag serve --shards N`, duplicated here so the bench partitions the
+/// collection exactly like the serve path does.
+fn route(name: &str, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in name.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+/// The scatter-gather scenario: returns the BENCH_8 JSON and whether the
+/// gates held.
+///
+/// Part one mirrors the sharded serve path in-process: a multi-document
+/// collection is partitioned by name hash at widths 1/2/4/8, and every
+/// request evaluates one thread per non-empty shard over its document
+/// subset, then merges by document id — exactly the scatter-gather the
+/// server runs, minus the sockets. Merged answers must be identical at
+/// every width (the byte-determinism invariant, checked per request).
+/// Part two is the stampede: `CLIENTS` identical cold queries released
+/// by a barrier against a fresh cache, with and without singleflight
+/// coalescing; evaluations are counted from the per-result cache-miss
+/// counters (a replayed result has `cache_misses == 0`). Coalescing
+/// must collapse the stampede to exactly one evaluation in both modes;
+/// the full run additionally requires the 4-shard p95 to be strictly
+/// below single-shard — but only on hardware with at least 4 cores:
+/// thread-per-shard scatter cannot beat a single shard without
+/// parallelism to spend, so on narrower machines the widths are
+/// reported (with the core count) and the gate is answer-identity
+/// plus coalescing only.
+fn scatter_scenario(pool: &[PoolEntry], smoke: bool) -> (String, bool) {
+    const SCATTER_DOCS: usize = 12;
+    const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+    const CLIENTS: usize = 32;
+    let (nodes, requests) = if smoke {
+        (300usize, 24usize)
+    } else {
+        (2_500usize, 96usize)
+    };
+
+    let mut coll = Collection::new();
+    for d in 0..SCATTER_DOCS {
+        let fx = query_fixture(nodes, 5, 5, SEED + d as u64);
+        coll.add(format!("doc-{d:02}.xml"), fx.doc);
+    }
+    let zipf = Zipf::new(pool.len(), ZIPF_S);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let stream: Vec<usize> = (0..requests).map(|_| zipf.sample(&mut rng) - 1).collect();
+    let policy = ExecPolicy::unlimited();
+
+    // Answers at width 1, per request, as (doc id, fragment count)
+    // digests: every wider merge must reproduce them exactly.
+    let mut baseline: Vec<Vec<(u32, usize)>> = Vec::with_capacity(stream.len());
+    let mut width_p95: Vec<(usize, f64)> = Vec::with_capacity(WIDTHS.len());
+    for &w in &WIDTHS {
+        let mut shards: Vec<Vec<DocId>> = vec![Vec::new(); w];
+        for id in coll.ids() {
+            shards[route(coll.name(id), w)].push(id);
+        }
+        let mut lat = Vec::with_capacity(stream.len());
+        for (ri, &i) in stream.iter().enumerate() {
+            let e = &pool[i];
+            let (coll_r, policy_r, query_r, strategy) = (&coll, &policy, &e.query, e.strategy);
+            let t0 = Instant::now();
+            let results: Vec<_> = std::thread::scope(|s| {
+                let handles: Vec<_> = shards
+                    .iter()
+                    .filter(|docs| !docs.is_empty())
+                    .map(|docs| {
+                        s.spawn(move || {
+                            evaluate_collection_budgeted_cached_traced_routed(
+                                coll_r,
+                                query_r,
+                                strategy,
+                                policy_r,
+                                &Tracer::disabled(),
+                                None,
+                                docs,
+                            )
+                            .expect("unlimited scatter evaluation cannot fail")
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard thread panicked"))
+                    .collect()
+            });
+            let mut answers: Vec<DocAnswers> =
+                results.into_iter().flat_map(|r| r.answers).collect();
+            answers.sort_by_key(|a| a.doc.0);
+            lat.push(t0.elapsed());
+            let digest: Vec<(u32, usize)> = answers
+                .iter()
+                .map(|a| (a.doc.0, a.fragments.len()))
+                .collect();
+            if w == 1 {
+                baseline.push(digest);
+            } else {
+                assert_eq!(
+                    digest, baseline[ri],
+                    "width {w} merge diverged from single shard on request {ri}"
+                );
+            }
+        }
+        width_p95.push((w, percentile_us(&lat, 95.0)));
+    }
+    let p95_at = |w: usize| width_p95.iter().find(|(x, _)| *x == w).unwrap().1;
+
+    // The stampede. One document, one query, `CLIENTS` threads released
+    // together against a cold cache. The document is sized so one
+    // evaluation takes milliseconds — long enough that threads woken a
+    // scheduler quantum apart still find the leader's flight in the air
+    // (a sub-scheduling-latency evaluation has nothing worth coalescing).
+    let sfx = query_fixture(if smoke { 4_000 } else { 20_000 }, 8, 8, SEED);
+    let query = Query::new(["kwalpha", "kwbeta"], FilterExpr::MaxSize(8));
+    // (evaluations, wall_us, flights led, requests coalesced).
+    let stampede = |coalesce: bool| -> (u64, f64, u64, u64) {
+        let cache = QueryCache::with_capacity_mb(CACHE_MB);
+        let gen = GenerationTag::fresh();
+        let flights = Singleflight::new();
+        let evals = AtomicU64::new(0);
+        let barrier = Barrier::new(CLIENTS);
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..CLIENTS {
+                s.spawn(|| {
+                    barrier.wait();
+                    let cref = CacheRef {
+                        cache: &cache,
+                        gen,
+                        doc: 0,
+                    };
+                    let run = || {
+                        evaluate_budgeted_cached_traced(
+                            &sfx.doc,
+                            &sfx.index,
+                            &query,
+                            Strategy::PushDown,
+                            &ExecPolicy::unlimited(),
+                            &Tracer::disabled(),
+                            Some(cref),
+                        )
+                        .expect("unlimited stampede evaluation cannot fail")
+                    };
+                    let r = if coalesce {
+                        match flights.join(flight_key(&("bench-stampede", gen))) {
+                            Flight::Leader(lease) => {
+                                let r = run();
+                                lease.complete();
+                                r
+                            }
+                            Flight::Follower(f) => {
+                                let _ = f.wait(Duration::from_secs(60));
+                                run()
+                            }
+                        }
+                    } else {
+                        run()
+                    };
+                    if r.stats.cache_misses > 0 {
+                        evals.fetch_add(1, Ordering::Relaxed);
+                    }
+                    std::hint::black_box(r.fragments.len());
+                });
+            }
+        });
+        let wall_us = t0.elapsed().as_secs_f64() * 1e6;
+        let sf = flights.stats();
+        (evals.load(Ordering::Relaxed), wall_us, sf.led, sf.coalesced)
+    };
+    let (un_evals, un_wall, _, _) = stampede(false);
+    let (co_evals, co_wall, co_led, co_waiters) = stampede(true);
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let ok = co_evals == 1 && un_evals >= co_evals && (smoke || cores < 4 || p95_at(4) < p95_at(1));
+    let shards_json = width_p95
+        .iter()
+        .map(|(w, p)| format!("    {{\"shards\": {w}, \"p95_us\": {p:.2}}}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"scatter-gather-sharding\",\n",
+            "  \"mode\": \"{mode}\",\n",
+            "  \"seed\": {seed},\n",
+            "  \"cores\": {cores},\n",
+            "  \"docs\": {docs},\n",
+            "  \"doc_nodes\": {doc_nodes},\n",
+            "  \"requests\": {requests},\n",
+            "  \"widths\": [\n{shards}\n  ],\n",
+            "  \"scatter_speedup_p95\": {speedup:.2},\n",
+            "  \"stampede\": {{\n",
+            "    \"clients\": {clients},\n",
+            "    \"uncoalesced\": {{\"evaluations\": {ue}, \"wall_us\": {uw:.2}}},\n",
+            "    \"coalesced\": {{\"evaluations\": {ce}, \"wall_us\": {cw:.2}, ",
+            "\"flights_led\": {led}, \"waiters\": {waiters}}}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        mode = if smoke { "smoke" } else { "full" },
+        seed = SEED,
+        cores = cores,
+        docs = SCATTER_DOCS,
+        doc_nodes = nodes,
+        requests = stream.len(),
+        shards = shards_json,
+        speedup = p95_at(1) / p95_at(4).max(1e-9),
+        clients = CLIENTS,
+        ue = un_evals,
+        uw = un_wall,
+        ce = co_evals,
+        cw = co_wall,
+        led = co_led,
+        waiters = co_waiters,
+    );
+    if !ok {
+        eprintln!(
+            "bench_json: FAIL: stampede coalesced to {co_evals} evaluation(s) \
+             (expected exactly 1, uncoalesced saw {un_evals}), or 4-shard p95 \
+             ({:.2} us) is not strictly below single-shard p95 ({:.2} us) \
+             on a {cores}-core machine",
+            p95_at(4),
+            p95_at(1)
+        );
+    }
+    (json, ok)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -417,21 +663,29 @@ fn main() {
         .position(|a| a == "--out7")
         .map(|i| args.get(i + 1).expect("--out7 needs a path").clone())
         .unwrap_or_else(|| "BENCH_7.json".to_string());
+    let out8_path = args
+        .iter()
+        .position(|a| a == "--out8")
+        .map(|i| args.get(i + 1).expect("--out8 needs a path").clone())
+        .unwrap_or_else(|| "BENCH_8.json".to_string());
     if let Some(bad) = args
         .iter()
         .enumerate()
         .find(|(i, a)| {
-            !matches!(a.as_str(), "--smoke" | "--out" | "--out6" | "--out7")
-                && !(*i > 0
-                    && (args[i - 1] == "--out"
-                        || args[i - 1] == "--out6"
-                        || args[i - 1] == "--out7"))
+            !matches!(
+                a.as_str(),
+                "--smoke" | "--out" | "--out6" | "--out7" | "--out8"
+            ) && !(*i > 0
+                && (args[i - 1] == "--out"
+                    || args[i - 1] == "--out6"
+                    || args[i - 1] == "--out7"
+                    || args[i - 1] == "--out8"))
         })
         .map(|(_, a)| a)
     {
         eprintln!(
             "bench_json: unknown argument {bad:?} \
-             (expected --smoke, --out PATH, --out6 PATH, --out7 PATH)"
+             (expected --smoke, --out PATH, --out6 PATH, --out7 PATH, --out8 PATH)"
         );
         std::process::exit(2);
     }
@@ -584,6 +838,18 @@ fn main() {
         out7_path
     );
 
+    // The scatter-gather scenario: sharded evaluation plus the stampede.
+    let (json8, scatter_ok) = scatter_scenario(&pool, smoke);
+    std::fs::write(&out8_path, &json8).unwrap_or_else(|e| {
+        eprintln!("bench_json: cannot write {out8_path}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "bench_json [{}]: scatter-gather scenario wrote {}",
+        if smoke { "smoke" } else { "full" },
+        out8_path
+    );
+
     if !smoke && warm.p50_us >= cold.p50_us {
         eprintln!(
             "bench_json: FAIL: warm p50 ({:.2} us) is not strictly below cold p50 ({:.2} us)",
@@ -591,7 +857,7 @@ fn main() {
         );
         std::process::exit(1);
     }
-    if !delta_ok || !cold_ok {
+    if !delta_ok || !cold_ok || !scatter_ok {
         std::process::exit(1);
     }
 }

@@ -64,9 +64,15 @@ corpus updates (see README \"Corpus updates & recovery\"):
 
 serve options (see README \"Serving queries over TCP\"):
   --port N           TCP port; 0 picks an ephemeral port (default: 7878)
-  --workers N        worker pool size (default: 4)
-  --queue-depth N    admission queue bound; excess requests are shed
-                     with a `shed` response (default: 64)
+  --shards N         partition the corpus into N fault-isolated shards
+                     (hash of document name), each with its own worker
+                     pool, admission queue, and cache arena; queries fan
+                     out scatter-gather and shards that miss the request
+                     deadline are dropped from the merge with a
+                     `\"complete\":false` marker (default: 1)
+  --workers N        worker pool size *per shard* (default: 4)
+  --queue-depth N    per-shard admission queue bound; excess requests
+                     are shed with a `shed` response (default: 64)
   --timeout-ms N     server-wide per-request deadline, measured from
                      admission (default: none)
   --watch-ms N       poll the corpus dir every N ms and hot-reload when
@@ -85,7 +91,11 @@ request options:
                      up to N times (default: 0)
   --backoff-ms N     base of the exponential backoff between retries,
                      with jitter (default: 100)
-  exit codes: 0 reply received, 1 permanent failure, 3 retries exhausted
+  --retry-partial    also retry partial replies (`\"complete\":false`);
+                     by default a partial reply is printed as-is and
+                     exits 4 without consuming retries
+  exit codes: 0 reply received, 1 permanent failure, 3 retries
+              exhausted, 4 partial reply (some shards dropped)
 ";
 
 /// A parsed command line.
@@ -144,6 +154,10 @@ pub enum Command {
         retries: u32,
         /// Base backoff between retries in milliseconds (`--backoff-ms`).
         backoff_ms: u64,
+        /// Treat partial (`"complete":false`) replies as retryable
+        /// (`--retry-partial`); off by default because a partial reply
+        /// is a *success* over the surviving shards.
+        retry_partial: bool,
     },
     /// Run the paper's §4 example on the built-in Figure 1 document.
     Demo,
@@ -300,6 +314,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let rest: Vec<String> = it.cloned().collect();
             let mut retries = 0u32;
             let mut backoff_ms = 100u64;
+            let mut retry_partial = false;
             let mut parts = Vec::new();
             let mut i = 0;
             while i < rest.len() {
@@ -312,6 +327,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                         backoff_ms = parse_u32("--backoff-ms", rest.get(i + 1))? as u64;
                         i += 1;
                     }
+                    "--retry-partial" => retry_partial = true,
                     _ => parts.push(rest[i].clone()),
                 }
                 i += 1;
@@ -328,6 +344,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 json: json.join(" "),
                 retries,
                 backoff_ms,
+                retry_partial,
             })
         }
         other => Err(format!("unknown subcommand {other:?}")),
@@ -453,6 +470,14 @@ fn parse_serve(rest: &[String]) -> Result<ServeArgs, String> {
                 let v = parse_u32("--port", rest.get(i + 1))?;
                 args.port =
                     u16::try_from(v).map_err(|_| format!("--port must be <= 65535, got {v}"))?;
+                i += 1;
+            }
+            "--shards" => {
+                let v = parse_u32("--shards", rest.get(i + 1))? as usize;
+                if v == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+                args.shards = v;
                 i += 1;
             }
             "--workers" => {
@@ -655,6 +680,7 @@ mod tests {
             Command::Serve(a) => {
                 assert_eq!(a.dir, "corpus");
                 assert_eq!(a.port, 7878);
+                assert_eq!(a.shards, 1);
                 assert_eq!(a.workers, 4);
                 assert_eq!(a.queue_depth, 64);
                 assert_eq!(a.timeout_ms, None);
@@ -667,7 +693,7 @@ mod tests {
             other => panic!("wrong command {other:?}"),
         }
         match parse(&argv(
-            "serve corpus --port 0 --workers 2 --queue-depth 8 --timeout-ms 250 \
+            "serve corpus --port 0 --shards 4 --workers 2 --queue-depth 8 --timeout-ms 250 \
              --watch-ms 500 --inject serve:worker@1=panic --fault-seed 42 \
              --cache-mb 16 --no-cache",
         ))
@@ -675,6 +701,7 @@ mod tests {
         {
             Command::Serve(a) => {
                 assert_eq!(a.port, 0);
+                assert_eq!(a.shards, 4);
                 assert_eq!(a.workers, 2);
                 assert_eq!(a.queue_depth, 8);
                 assert_eq!(a.timeout_ms, Some(250));
@@ -691,6 +718,8 @@ mod tests {
         assert!(parse(&argv("serve corpus extra")).is_err());
         assert!(parse(&argv("serve corpus --port")).is_err());
         assert!(parse(&argv("serve corpus --port 70000")).is_err());
+        assert!(parse(&argv("serve corpus --shards 0")).is_err());
+        assert!(parse(&argv("serve corpus --shards")).is_err());
         assert!(parse(&argv("serve corpus --frobnicate")).is_err());
     }
 
@@ -702,11 +731,13 @@ mod tests {
                 json,
                 retries,
                 backoff_ms,
+                retry_partial,
             } => {
                 assert_eq!(addr, "127.0.0.1:7878");
                 assert_eq!(json, "{\"kind\":\"health\"}");
                 assert_eq!(retries, 0);
                 assert_eq!(backoff_ms, 100);
+                assert!(!retry_partial);
             }
             _ => unreachable!(),
         }
@@ -723,7 +754,7 @@ mod tests {
     fn parse_request_retry_flags() {
         // Flags may appear anywhere, including after the JSON words.
         match parse(&argv(
-            "request h:1 --retries 3 {\"kind\":\"health\"} --backoff-ms 50",
+            "request h:1 --retries 3 {\"kind\":\"health\"} --backoff-ms 50 --retry-partial",
         ))
         .unwrap()
         {
@@ -731,11 +762,13 @@ mod tests {
                 json,
                 retries,
                 backoff_ms,
+                retry_partial,
                 ..
             } => {
                 assert_eq!(json, "{\"kind\":\"health\"}");
                 assert_eq!(retries, 3);
                 assert_eq!(backoff_ms, 50);
+                assert!(retry_partial);
             }
             _ => unreachable!(),
         }

@@ -45,6 +45,12 @@ pub enum CliError {
     /// permanent failures by exit code 3 so scripts can tell "try again
     /// later" from "this will never work".
     RetriesExhausted(String),
+    /// `xfrag request` got a *partial* reply (`"complete":false`): some
+    /// shards were dropped from the merge, so the answers cover only
+    /// the surviving shards. The carried string is the full reply line
+    /// (printed to stdout; exit code 4) — a partial success, distinct
+    /// from shed/timeout (retryable) and from permanent failures.
+    PartialResult(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -55,6 +61,7 @@ impl std::fmt::Display for CliError {
             CliError::Store(e) => write!(f, "{e}"),
             CliError::Query(e) => write!(f, "{e}"),
             CliError::RetriesExhausted(e) => write!(f, "retries exhausted: {e}"),
+            CliError::PartialResult(_) => write!(f, "partial reply: some shards were dropped"),
         }
     }
 }
@@ -117,7 +124,8 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             json,
             retries,
             backoff_ms,
-        } => crate::serve::request_with_retry(&addr, &json, retries, backoff_ms),
+            retry_partial,
+        } => crate::serve::request_with_retry(&addr, &json, retries, backoff_ms, retry_partial),
         Command::Demo => Ok(demo()),
     }
 }

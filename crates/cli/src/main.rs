@@ -37,6 +37,17 @@ fn main() -> ExitCode {
                 // reasonably try again later.
                 ExitCode::from(3)
             }
+            Err(commands::CliError::PartialResult(line)) => {
+                // A partial reply is a success over the surviving
+                // shards: print it like a normal reply (EPIPE-tolerant,
+                // see above), but exit 4 so scripts can tell "complete
+                // answer" from "some shards were dropped".
+                use std::io::Write;
+                let mut out = std::io::stdout().lock();
+                let _ = out.write_all(line.as_bytes());
+                let _ = out.flush();
+                ExitCode::from(4)
+            }
             Err(e) => {
                 eprintln!("error: {e}");
                 ExitCode::FAILURE

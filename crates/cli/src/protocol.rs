@@ -175,7 +175,36 @@ impl<'de> Deserialize<'de> for Request {
     }
 }
 
-/// Response statuses on the wire.
+/// Stable schema of the `stats`-verb response (assembled as raw JSON in
+/// the server; documented here because this module is the protocol
+/// reference). Field order is fixed; counters are cumulative since
+/// boot; no wall-clock values outside `latency`.
+///
+/// ```json
+/// {"id": N, "status": "ok",
+///  "generation": N,                       // on-disk generation number
+///  "reloads": {"ok": N, "failed": N},     // reload attempts (verb + watcher)
+///  "quarantined": [{"file": "...", "reason": "..."}],
+///  "serve": {"total": N, "ok": N, "degraded": N, "shed": N,
+///            "timeout": N, "error": N, "shutting_down": N,
+///            "invalid": N, "worker_panics": N},
+///  "eval": { ...summed EvalStats... },
+///  "latency": { ...histogram buckets... },
+///  "cache": {...} | null,                 // aggregate across shard arenas
+///  "delta": {"parent_chain": [...], "chain_depth": N,
+///            "docs_carried": N, "docs_rewritten": N,
+///            "carry_over": {"kept": N, "rekeyed": N, "evicted": N}},
+///  "index": {"segments": N, "bytes": N, "terms_loaded": N},
+///  "shards": [                            // one entry per shard, in order
+///    {"shard": I, "docs": N, "workers": N, "queued": N, "in_flight": N,
+///     "respawns": N, "evaluations": N,
+///     "flights": {"led": N, "coalesced": N, "aborted": N},
+///     "cache": {...} | null}]}            // this shard's own arena
+/// ```
+///
+/// Grouping invariants: reload counters live only under `"reloads"`,
+/// cache counters only under `"cache"` (aggregate) and
+/// `"shards"[i]."cache"` (per-arena) — never at top level.
 pub mod status {
     /// Evaluated in full.
     pub const OK: &str = "ok";
@@ -189,6 +218,22 @@ pub mod status {
     pub const ERROR: &str = "error";
     /// Rejected at admission: the server is draining.
     pub const SHUTTING_DOWN: &str = "shutting-down";
+}
+
+/// Per-shard outcome accounting attached to a *partial* query response
+/// (one where at least one shard was dropped from the merge). Counts
+/// always sum to the server's `--shards` value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardOutcome {
+    /// Shards whose evaluation made it into the merged answer set.
+    pub ok: u64,
+    /// Shards that missed their deadline slice (in-band timeout or no
+    /// reply by the gather deadline) and were dropped from the merge.
+    pub timed_out: u64,
+    /// Shards whose admission queue was full.
+    pub shed: u64,
+    /// Shards whose worker panicked evaluating this request.
+    pub panicked: u64,
 }
 
 /// One ranked answer inside a query response.
@@ -221,6 +266,14 @@ pub struct Response {
     pub error: Option<String>,
     /// Evaluation counters (deterministic; no wall-clock values).
     pub stats: Option<EvalStats>,
+    /// `false` when at least one shard was dropped from the merge
+    /// (deadline slice missed, queue full, or worker panic) and the
+    /// answers therefore cover only the surviving shards. Always `true`
+    /// for non-query statuses and for complete merges.
+    pub complete: bool,
+    /// Per-shard outcome counts; present exactly when `complete` is
+    /// `false`.
+    pub shards: Option<ShardOutcome>,
 }
 
 impl Response {
@@ -233,6 +286,8 @@ impl Response {
             note: None,
             error: None,
             stats: None,
+            complete: true,
+            shards: None,
         }
     }
 
@@ -330,6 +385,31 @@ mod tests {
         assert_eq!(line, r.to_line(), "serialization is deterministic");
         assert!(
             line.starts_with(r#"{"id":9,"status":"degraded","#),
+            "{line}"
+        );
+        assert!(
+            line.ends_with(r#""complete":true,"shards":null}"#),
+            "shard marker fields trail the line: {line}"
+        );
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn partial_response_carries_shard_accounting() {
+        let mut r = Response::bare(3, status::DEGRADED);
+        r.note = Some("1 of 4 shard(s) missing from merge".into());
+        r.complete = false;
+        r.shards = Some(ShardOutcome {
+            ok: 3,
+            timed_out: 1,
+            shed: 0,
+            panicked: 0,
+        });
+        let line = r.to_line();
+        assert!(line.contains(r#""complete":false"#), "{line}");
+        assert!(
+            line.contains(r#""shards":{"ok":3,"timed_out":1,"shed":0,"panicked":0}"#),
             "{line}"
         );
         let back: Response = serde_json::from_str(&line).unwrap();

@@ -1,16 +1,28 @@
 //! `xfrag serve` — a std-only TCP query server over a corpus directory.
 //!
-//! Architecture (one paragraph): the accept loop spawns one handler
-//! thread per connection; handlers decode newline-delimited JSON
-//! requests and either answer inline (`health`, `stats`, `shutdown`,
-//! admission rejections) or enqueue a job on a bounded queue served by
-//! a fixed pool of worker threads. Each worker wraps request handling
-//! in `catch_unwind`: a panic (organic or injected via `--inject`)
-//! becomes a structured `error` response, the worker spawns its own
-//! replacement, and the process lives on. Deadlines are measured from
-//! *admission* and wired into the existing [`Budget`] wall-clock and a
-//! per-request [`CancelToken`] armed by a watchdog thread, so the
-//! degradation ladder answers with a sound subset when time runs out.
+//! Architecture (one paragraph): the corpus is partitioned into N
+//! shards by a stable hash of each document's display name
+//! (`--shards N`); every shard owns its worker pool, bounded admission
+//! queue, cache arena, and singleflight table, so a panicking or
+//! stalled shard is a fault domain that cannot touch its siblings. The
+//! accept loop spawns one handler thread per connection; handlers
+//! decode newline-delimited JSON requests and either answer inline
+//! (`health`, `stats`, `shutdown`, admission rejections) or scatter a
+//! query sub-job to every shard and gather the per-shard results into
+//! one merged, ranked response. Shards that miss the request deadline
+//! (plus a short gather grace) are dropped from the merge: the
+//! response keeps the survivors' answers, flips `"complete":false`,
+//! and reports per-shard `shards:{ok,timed_out,shed,panicked}`
+//! accounting instead of failing the request. Each worker wraps
+//! request handling in `catch_unwind`: a panic (organic or injected
+//! via `--inject`) becomes a structured reply, the worker spawns its
+//! own replacement in the same shard, and the process lives on.
+//! Deadlines are measured from *admission* and wired into the existing
+//! [`Budget`] wall-clock and a per-request [`CancelToken`] armed by a
+//! watchdog thread, so the degradation ladder answers with a sound
+//! subset when time runs out. Concurrent identical cold queries
+//! coalesce on the shard's singleflight table: one leader evaluates,
+//! followers wake and replay the byte-identical cached answer.
 //! `shutdown` drains gracefully: admission closes, queued work
 //! finishes, workers exit, and the final summary asserts zero
 //! in-flight requests.
@@ -20,7 +32,7 @@
 //! as the `shutdown` request kind instead (see DESIGN.md).
 
 use crate::commands::CliError;
-use crate::protocol::{status, Answer, Request, RequestKind, Response};
+use crate::protocol::{status, Answer, Request, RequestKind, Response, ShardOutcome};
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -30,18 +42,19 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use xfrag_core::collection::{
-    evaluate_collection_budgeted_cached_traced, top_k_collection, CollectionResult,
+    evaluate_collection_budgeted_cached_traced_routed, top_k_collection, BudgetedCollectionResult,
+    CollectionResult,
 };
 use xfrag_core::fault::{panic_message, site};
 use xfrag_core::rank::RankConfig;
 use xfrag_core::snippet::{snippet, SnippetConfig};
 use xfrag_core::trace::{LatencyHistogram, Tracer};
 use xfrag_core::{
-    Breach, Budget, CancelToken, EvalStats, ExecPolicy, FaultInjector, FaultPlan, GenerationTag,
-    Query, QueryCache, QueryError,
+    flight_key, Breach, Budget, CacheStats, CancelToken, EvalStats, ExecPolicy, FaultInjector,
+    FaultPlan, Flight, GenerationTag, Query, QueryCache, QueryError, Singleflight,
 };
 use xfrag_doc::manifest;
-use xfrag_doc::{Collection, Document};
+use xfrag_doc::{Collection, DocId, Document};
 
 /// Parsed `xfrag serve` arguments.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,10 +63,12 @@ pub struct ServeArgs {
     pub dir: String,
     /// TCP port (0 picks an ephemeral port, printed on startup).
     pub port: u16,
-    /// Worker pool size.
+    /// Worker pool size, per shard.
     pub workers: usize,
-    /// Admission queue bound; requests beyond it are shed.
+    /// Admission queue bound, per shard; sub-jobs beyond it are shed.
     pub queue_depth: usize,
+    /// Fault-isolated shard count; documents are routed by name hash.
+    pub shards: usize,
     /// Server-wide per-request deadline (clamps request deadlines).
     pub timeout_ms: Option<u64>,
     /// Poll the corpus dir every N ms and hot-reload newer generations.
@@ -62,7 +77,7 @@ pub struct ServeArgs {
     pub inject: Option<String>,
     /// Seed for a generated fault plan over the runtime sites.
     pub fault_seed: Option<u64>,
-    /// Query-cache capacity in megabytes (shared across the pool).
+    /// Query-cache capacity in megabytes (split evenly across shards).
     pub cache_mb: u64,
     /// Disable the query cache entirely.
     pub no_cache: bool,
@@ -76,6 +91,7 @@ impl ServeArgs {
             port: 7878,
             workers: 4,
             queue_depth: 64,
+            shards: 1,
             timeout_ms: None,
             watch_ms: None,
             inject: None,
@@ -115,6 +131,22 @@ impl ServeArgs {
     }
 }
 
+/// Route a document display name to a shard index.
+///
+/// FNV-1a rather than [`std::hash::DefaultHasher`]: the std hasher's
+/// keys are explicitly not guaranteed stable across processes or
+/// releases, and routing must be stable so a restart or reload keeps
+/// each document — and therefore each shard's cache arena — on the
+/// same shard.
+fn route(name: &str, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h % shards.max(1) as u64) as usize
+}
+
 /// Serve counters; exposed verbatim by the `stats` request kind.
 struct ServeStats {
     total: u64,
@@ -129,7 +161,7 @@ struct ServeStats {
     worker_panics: u64,
     /// Summed evaluation counters across all query requests.
     eval: EvalStats,
-    /// Worker-side handling latency.
+    /// Admission-to-response latency per query request.
     latency: LatencyHistogram,
 }
 
@@ -164,21 +196,64 @@ impl ServeStats {
     }
 }
 
-/// One admitted query waiting for (or being processed by) a worker.
-struct Job {
-    req: Request,
+/// One shard's slice of an admitted query, waiting for (or being
+/// processed by) that shard's worker pool. The corpus snapshot is
+/// pinned at admission so every shard of one request answers from the
+/// same generation even if a reload lands mid-scatter.
+struct ShardJob {
+    req: Arc<Request>,
+    gen: Arc<Generation>,
     /// Admission time; deadlines are measured from here, so time spent
     /// queued counts against the request.
     enqueued: Instant,
-    reply: mpsc::Sender<Response>,
+    reply: mpsc::Sender<ShardReply>,
 }
 
-/// State guarded by the queue mutex.
-struct Inner {
-    queue: VecDeque<Job>,
-    /// Admitted but not yet responded-to queries.
+/// What one shard contributes to the gather.
+enum ShardReply {
+    /// The shard evaluated its document subset.
+    Eval(Box<BudgetedCollectionResult>),
+    /// The shard hit the deadline (before or during evaluation).
+    Timeout(String),
+    /// The shard's evaluation failed outright.
+    Error(String),
+    /// The shard's worker panicked; a replacement was already spawned.
+    Panicked(String),
+}
+
+/// State guarded by one shard's queue mutex.
+struct ShardInner {
+    queue: VecDeque<ShardJob>,
+    /// Admitted but not yet replied-to sub-jobs on this shard.
     in_flight: usize,
     workers_alive: usize,
+}
+
+/// One fault domain: a worker pool, a bounded queue, a cache arena,
+/// and a singleflight table. Nothing here is shared across shards —
+/// the only cross-shard state in the server is the gather merge.
+struct Shard {
+    inner: Mutex<ShardInner>,
+    /// This shard's workers wait here for jobs (or shutdown).
+    work_cv: Condvar,
+    /// This shard's private cache arena (`None` under `--no-cache`).
+    /// Per-shard rather than shared so a wedged or respawning shard
+    /// can never poison or contend on a sibling's cache.
+    cache: Option<Arc<QueryCache>>,
+    /// Coalesces concurrent identical cold queries: one leader
+    /// evaluates, followers wait and replay the cached result.
+    flights: Singleflight,
+    /// Workers respawned after a panic, lifetime total.
+    respawns: AtomicU64,
+    /// Real (cache-missing) evaluations performed, lifetime total.
+    /// The singleflight tests key off this staying at 1 under a
+    /// stampede of identical cold queries.
+    evaluations: AtomicU64,
+}
+
+/// State guarded by the global mutex (connection accounting only —
+/// queues and pools are per-shard by design).
+struct Inner {
     /// Open connection handlers. Part of the drain condition so the
     /// process never exits while a handler still owes a reply (the
     /// shutdown acknowledgement itself, or a drain rejection).
@@ -192,6 +267,10 @@ struct Inner {
 pub(crate) struct Generation {
     /// The loaded corpus.
     coll: Collection,
+    /// Document ids owned by each shard, in collection order within a
+    /// shard. Routing is by display-name hash (see [`route`]), so a
+    /// document stays on its shard across reloads and restarts.
+    shard_docs: Vec<Vec<DocId>>,
     /// Files that failed to load, with reasons.
     quarantined: Vec<(String, String)>,
     /// Manifest generation number; 0 for an unversioned (legacy) corpus.
@@ -230,7 +309,7 @@ struct Shared {
     reload_lock: Mutex<()>,
     reloads_ok: AtomicU64,
     reloads_failed: AtomicU64,
-    /// Cache carry-over totals across all reloads (see
+    /// Cache carry-over totals across all reloads and shards (see
     /// [`xfrag_core::QueryCache::carry_over`]): entries kept under the
     /// same doc id, rekeyed to a new id, and evicted as changed/removed.
     carry_kept: AtomicU64,
@@ -239,15 +318,12 @@ struct Shared {
     queue_depth: usize,
     timeout_ms: Option<u64>,
     fault: Option<Arc<FaultInjector>>,
-    /// Shared query cache (`None` under `--no-cache`). One cache for the
-    /// whole pool: workers contend only on its internal lock shards.
-    cache: Option<Arc<QueryCache>>,
+    /// The fault domains. Fixed at startup; index is the shard id.
+    shards: Vec<Shard>,
     addr: std::net::SocketAddr,
     shutdown: AtomicBool,
     inner: Mutex<Inner>,
-    /// Workers wait here for jobs (or the shutdown signal).
-    work_cv: Condvar,
-    /// The drain loop waits here for workers to exit and jobs to finish.
+    /// The drain loop waits here for pools to exit and jobs to finish.
     drain_cv: Condvar,
     stats: Mutex<ServeStats>,
 }
@@ -263,12 +339,38 @@ impl Shared {
     }
 }
 
+/// Briefly synchronize with the drain loop's mutex, then wake it.
+/// Callers mutate per-shard state first; passing through the global
+/// lock afterwards guarantees the drain loop is either still before
+/// its re-check (and will see the mutation) or parked in `wait`
+/// (and will be woken) — no lost wakeups.
+fn poke_drain(s: &Shared) {
+    drop(s.inner.lock().unwrap());
+    s.drain_cv.notify_all();
+}
+
+/// Workers alive, jobs queued, and sub-jobs in flight, summed across
+/// all shards (the shape `health` has always reported).
+fn pool_totals(s: &Shared) -> (usize, usize, usize) {
+    let mut workers = 0;
+    let mut queued = 0;
+    let mut in_flight = 0;
+    for sh in &s.shards {
+        let g = sh.inner.lock().unwrap();
+        workers += g.workers_alive;
+        queued += g.queue.len();
+        in_flight += g.in_flight;
+    }
+    (workers, queued, in_flight)
+}
+
 /// Run the server until a `shutdown` request drains it. Prints
 /// `listening on <addr>` to stdout before accepting (clients and tests
 /// key off that line, notably with `--port 0`).
 pub fn serve(args: &ServeArgs) -> Result<String, CliError> {
     let fault = args.injector()?;
-    let generation = load_corpus(&args.dir, fault.as_ref())?;
+    let shards_n = args.shards.max(1);
+    let generation = load_corpus(&args.dir, fault.as_ref(), shards_n)?;
     for r in &generation.rollbacks {
         eprintln!("warning: {r}");
     }
@@ -295,6 +397,23 @@ pub fn serve(args: &ServeArgs) -> Result<String, CliError> {
     }
 
     let workers = args.workers.max(1);
+    // Split the cache budget evenly: each shard gets its own arena so
+    // arenas never contend or share failure modes across shards.
+    let per_shard_mb = (args.cache_mb / shards_n as u64).max(1);
+    let shards: Vec<Shard> = (0..shards_n)
+        .map(|_| Shard {
+            inner: Mutex::new(ShardInner {
+                queue: VecDeque::new(),
+                in_flight: 0,
+                workers_alive: workers,
+            }),
+            work_cv: Condvar::new(),
+            cache: (!args.no_cache).then(|| Arc::new(QueryCache::with_capacity_mb(per_shard_mb))),
+            flights: Singleflight::new(),
+            respawns: AtomicU64::new(0),
+            evaluations: AtomicU64::new(0),
+        })
+        .collect();
     let shared = Arc::new(Shared {
         dir: args.dir.clone(),
         gen: Mutex::new(Arc::new(generation)),
@@ -307,22 +426,18 @@ pub fn serve(args: &ServeArgs) -> Result<String, CliError> {
         queue_depth: args.queue_depth.max(1),
         timeout_ms: args.timeout_ms,
         fault,
-        cache: (!args.no_cache).then(|| Arc::new(QueryCache::with_capacity_mb(args.cache_mb))),
+        shards,
         addr,
         shutdown: AtomicBool::new(false),
-        inner: Mutex::new(Inner {
-            queue: VecDeque::new(),
-            in_flight: 0,
-            workers_alive: workers,
-            conns: 0,
-        }),
-        work_cv: Condvar::new(),
+        inner: Mutex::new(Inner { conns: 0 }),
         drain_cv: Condvar::new(),
         stats: Mutex::new(ServeStats::new()),
     });
-    for _ in 0..workers {
-        let s = Arc::clone(&shared);
-        std::thread::spawn(move || worker_loop(s));
+    for shard_idx in 0..shards_n {
+        for _ in 0..workers {
+            let s = Arc::clone(&shared);
+            std::thread::spawn(move || worker_loop(s, shard_idx));
+        }
     }
     if let Some(ms) = args.watch_ms {
         let s = Arc::clone(&shared);
@@ -371,18 +486,27 @@ pub fn serve(args: &ServeArgs) -> Result<String, CliError> {
     }
     drop(listener);
 
-    // Drain: workers exit only once the queue is empty, each job's
-    // response is sent before its in-flight slot is released, and every
-    // connection handler has flushed its last reply and closed.
+    // Drain: each shard's workers exit only once its queue is empty,
+    // each sub-job's reply is sent before its in-flight slot is
+    // released, and every connection handler has flushed its last
+    // reply and closed. Lock order: global `inner` first, then each
+    // shard — the same order every other multi-lock path uses.
     {
         let mut g = shared.inner.lock().unwrap();
-        while g.workers_alive > 0 || g.in_flight > 0 || g.conns > 0 {
+        loop {
+            let pools_done = shared.shards.iter().all(|sh| {
+                let si = sh.inner.lock().unwrap();
+                debug_assert!(si.workers_alive > 0 || si.queue.is_empty());
+                si.workers_alive == 0 && si.in_flight == 0
+            });
+            if pools_done && g.conns == 0 {
+                break;
+            }
             g = shared.drain_cv.wait(g).unwrap();
         }
-        debug_assert!(g.queue.is_empty());
     }
+    let (_, _, in_flight) = pool_totals(&shared);
     let st = shared.stats.lock().unwrap();
-    let g = shared.inner.lock().unwrap();
     let quarantined = shared.snapshot().quarantined.len();
     Ok(format!(
         "drained: {} request(s) ({} ok, {} degraded, {} shed, {} timeout, {} error), \
@@ -395,11 +519,12 @@ pub fn serve(args: &ServeArgs) -> Result<String, CliError> {
         st.error,
         st.worker_panics,
         quarantined,
-        g.in_flight
+        in_flight
     ))
 }
 
-/// Load the corpus in `dir` as a [`Generation`].
+/// Load the corpus in `dir` as a [`Generation`] partitioned into
+/// `shards` routing buckets.
 ///
 /// A manifest-committed corpus loads exactly the newest fully-verified
 /// generation's files ([`manifest::load_generation`] handles rollback);
@@ -409,7 +534,11 @@ pub fn serve(args: &ServeArgs) -> Result<String, CliError> {
 /// loader — are quarantined instead of refusing to start. Only a
 /// directory where manifests exist but *none* verifies is a hard error:
 /// anything served from it would be a partial generation.
-fn load_corpus(dir: &str, fault: Option<&Arc<FaultInjector>>) -> Result<Generation, CliError> {
+fn load_corpus(
+    dir: &str,
+    fault: Option<&Arc<FaultInjector>>,
+    shards: usize,
+) -> Result<Generation, CliError> {
     let dirp = Path::new(dir);
     let mut parent_chain: Vec<u64> = Vec::new();
     let mut docs_carried = 0u64;
@@ -536,8 +665,16 @@ fn load_corpus(dir: &str, fault: Option<&Arc<FaultInjector>>) -> Result<Generati
             )),
         }
     }
+    // Partition by stable name hash. Within a shard the ids stay in
+    // collection order, so a shard's evaluation visits its documents
+    // in the same order a single-shard server would.
+    let mut shard_docs: Vec<Vec<DocId>> = vec![Vec::new(); shards.max(1)];
+    for id in coll.ids() {
+        shard_docs[route(coll.name(id), shards)].push(id);
+    }
     Ok(Generation {
         coll,
+        shard_docs,
         quarantined,
         number,
         parent_chain,
@@ -551,7 +688,7 @@ fn load_corpus(dir: &str, fault: Option<&Arc<FaultInjector>>) -> Result<Generati
 
 /// Build the next generation off the serving path and swap it in.
 /// Runs on the calling connection-handler thread — never on a worker —
-/// so the pool keeps answering queries from the old snapshot throughout.
+/// so the pools keep answering queries from the old snapshot throughout.
 /// On any failure the serving generation is untouched and
 /// `reloads_failed` is bumped; the error is also logged to stderr.
 fn try_reload(s: &Arc<Shared>) -> Result<Arc<Generation>, String> {
@@ -565,7 +702,7 @@ fn try_reload(s: &Arc<Shared>) -> Result<Arc<Generation>, String> {
         );
         Err(why)
     };
-    let next = match load_corpus(&s.dir, s.fault.as_ref()) {
+    let next = match load_corpus(&s.dir, s.fault.as_ref(), s.shards.len()) {
         Ok(g) => g,
         Err(e) => return fail(e.to_string()),
     };
@@ -592,16 +729,19 @@ fn try_reload(s: &Arc<Shared>) -> Result<Arc<Generation>, String> {
         eprintln!("warning: {r}");
     }
     // Carry cache entries for byte-identical documents across the
-    // generation bump. Manifest checksums vouch for byte identity:
-    // equal sums on both sides mean the same file bytes, hence the same
-    // parse tree and `NodeId`s, hence entry-for-entry identical cache
-    // contents — so postings/fixpoint/result entries for untouched
-    // documents are rekeyed to the new tag instead of dropped. Changed,
-    // removed, quarantined, or unverifiable (unversioned) documents get
-    // no mapping and their entries are evicted. Requests already
-    // in flight keep their pinned old `Arc` and tag; their entries were
-    // just moved, so they take benign misses, never stale hits.
-    if let Some(cache) = &s.cache {
+    // generation bump, per shard arena. Manifest checksums vouch for
+    // byte identity: equal sums on both sides mean the same file bytes,
+    // hence the same parse tree and `NodeId`s, hence entry-for-entry
+    // identical cache contents — so postings/fixpoint/result entries
+    // for untouched documents are rekeyed to the new tag instead of
+    // dropped. Changed, removed, quarantined, or unverifiable
+    // (unversioned) documents get no mapping and their entries are
+    // evicted. Name-hash routing keeps a surviving document on the
+    // same shard, so its entries are always in the arena that will be
+    // probed for them. Requests already in flight keep their pinned
+    // old `Arc` and tag; their entries were just moved, so they take
+    // benign misses, never stale hits.
+    if s.shards.iter().any(|sh| sh.cache.is_some()) {
         let old_ids: HashMap<&str, u32> = current
             .coll
             .ids()
@@ -616,10 +756,14 @@ fn try_reload(s: &Arc<Shared>) -> Result<Arc<Generation>, String> {
                 }
             }
         }
-        let co = cache.carry_over(current.tag, next.tag, &doc_map);
-        s.carry_kept.fetch_add(co.kept, Ordering::SeqCst);
-        s.carry_rekeyed.fetch_add(co.rekeyed, Ordering::SeqCst);
-        s.carry_evicted.fetch_add(co.evicted, Ordering::SeqCst);
+        for sh in &s.shards {
+            if let Some(cache) = &sh.cache {
+                let co = cache.carry_over(current.tag, next.tag, &doc_map);
+                s.carry_kept.fetch_add(co.kept, Ordering::SeqCst);
+                s.carry_rekeyed.fetch_add(co.rekeyed, Ordering::SeqCst);
+                s.carry_evicted.fetch_add(co.evicted, Ordering::SeqCst);
+            }
+        }
     }
     let next = Arc::new(next);
     *s.gen.lock().unwrap() = Arc::clone(&next);
@@ -726,25 +870,25 @@ fn handle_conn(s: Arc<Shared>, stream: TcpStream) {
                     }
                 }
                 RequestKind::Shutdown => begin_shutdown(&s, req.id),
-                RequestKind::Query => {
-                    let id = req.id;
-                    match admit(&s, req) {
-                        Err(rejection) => {
-                            s.bump(&rejection.status);
-                            rejection.to_line()
-                        }
-                        Ok(rx) => match rx.recv() {
-                            Ok(resp) => resp.to_line(),
-                            // Unreachable by construction (workers always
-                            // reply, even on panic), kept as a no-lost-
-                            // responses backstop.
-                            Err(_) => {
-                                s.bump(status::ERROR);
-                                Response::error(id, "internal: reply channel closed").to_line()
-                            }
-                        },
+                RequestKind::Query => match admit_scatter(&s, req) {
+                    Err(rejection) => {
+                        s.bump(&rejection.status);
+                        rejection.to_line()
                     }
-                }
+                    Ok(gather) => {
+                        let admitted = gather.enqueued;
+                        let resp = gather_response(&s, gather);
+                        {
+                            let mut st = s.stats.lock().unwrap();
+                            st.bump(&resp.status);
+                            st.latency.record(admitted.elapsed());
+                            if let Some(es) = &resp.stats {
+                                st.eval += *es;
+                            }
+                        }
+                        resp.to_line()
+                    }
+                },
             },
         };
         let wrote = writer
@@ -761,39 +905,269 @@ fn handle_conn(s: Arc<Shared>, stream: TcpStream) {
     }
 }
 
-/// Admission control: reject when draining or when the bounded queue is
-/// full; otherwise enqueue and hand back the reply channel. Rejections
-/// are boxed: they're the cold path, and `Response` is wide.
-fn admit(s: &Arc<Shared>, req: Request) -> Result<mpsc::Receiver<Response>, Box<Response>> {
+/// Everything the connection thread needs to assemble one response
+/// from the scattered sub-jobs.
+struct Gather {
+    rx: mpsc::Receiver<ShardReply>,
+    /// Sub-jobs actually enqueued (shards with room in their queue).
+    expected: usize,
+    /// Shards whose queues were full; their documents are missing from
+    /// the merge and the response reports them under `shards.shed`.
+    shed: u64,
+    enqueued: Instant,
+    req: Arc<Request>,
+    gen: Arc<Generation>,
+}
+
+/// Admission control: reject when draining or when *every* shard's
+/// bounded queue is full; otherwise scatter one sub-job per shard with
+/// queue room and hand back the gather handle. Holding all shard locks
+/// for the scatter makes admission atomic against the drain: either
+/// every sub-job lands before workers can see `shutdown`, or none do.
+/// Rejections are boxed: they're the cold path, and `Response` is wide.
+fn admit_scatter(s: &Arc<Shared>, req: Request) -> Result<Gather, Box<Response>> {
     let id = req.id;
-    let (tx, rx) = mpsc::channel();
-    let mut g = s.inner.lock().unwrap();
-    // Checked under the queue lock: workers only exit when `shutdown`
+    // Index order, same as every other multi-shard path: no cycles.
+    let mut guards: Vec<_> = s.shards.iter().map(|sh| sh.inner.lock().unwrap()).collect();
+    // Checked under the queue locks: workers only exit when `shutdown`
     // is already visible, so nothing can be enqueued past the drain.
     if s.shutdown.load(Ordering::SeqCst) {
         return Err(Box::new(Response::bare(id, status::SHUTTING_DOWN)));
     }
-    if g.queue.len() >= s.queue_depth {
+    if guards.iter().all(|g| g.queue.len() >= s.queue_depth) {
         let mut r = Response::bare(id, status::SHED);
         r.note = Some(format!("queue full (depth {})", s.queue_depth));
         return Err(Box::new(r));
     }
-    g.in_flight += 1;
-    g.queue.push_back(Job {
+    // Pin one snapshot for every shard of this request: a reload that
+    // lands mid-scatter must not split the request across generations.
+    let gen = s.snapshot();
+    let enqueued = Instant::now();
+    let req = Arc::new(req);
+    let (tx, rx) = mpsc::channel();
+    let mut expected = 0usize;
+    let mut shed = 0u64;
+    for g in guards.iter_mut() {
+        if g.queue.len() >= s.queue_depth {
+            shed += 1;
+            continue;
+        }
+        g.in_flight += 1;
+        g.queue.push_back(ShardJob {
+            req: Arc::clone(&req),
+            gen: Arc::clone(&gen),
+            enqueued,
+            reply: tx.clone(),
+        });
+        expected += 1;
+    }
+    drop(guards);
+    for sh in &s.shards {
+        sh.work_cv.notify_one();
+    }
+    Ok(Gather {
+        rx,
+        expected,
+        shed,
+        enqueued,
         req,
-        enqueued: Instant::now(),
-        reply: tx,
-    });
-    drop(g);
-    s.work_cv.notify_one();
-    Ok(rx)
+        gen,
+    })
 }
 
-/// Close admission, wake idle workers, and poke the accept loop so the
-/// main thread proceeds to the drain phase.
+/// How long past the request deadline the gather keeps listening for
+/// in-band replies before declaring a shard wedged and dropping it
+/// from the merge. Shards answer their own deadline misses in-band
+/// (the watchdog cancels, the worker replies `timeout`), and those
+/// replies land within this grace; only a shard that cannot reply at
+/// all — stalled worker, injected hard delay — burns the full grace
+/// and is dropped, flipping the response to `"complete":false`.
+const GATHER_GRACE: Duration = Duration::from_millis(250);
+
+/// Collect the scattered sub-replies and merge them into one response.
+///
+/// Merge invariant (see DESIGN.md): concatenate the surviving shards'
+/// per-document answers, sort by document id, sum the counters, and
+/// rank with `top_k_collection` exactly once — so with every shard
+/// present the response is byte-identical to a single-shard server's,
+/// and with shards missing it is byte-identical to a single-shard
+/// server over the surviving documents (plus the accounting fields).
+fn gather_response(s: &Shared, g: Gather) -> Response {
+    let req = &*g.req;
+    let id = req.id;
+    let total = s.shards.len();
+    let deadline = match (s.timeout_ms, req.timeout_ms) {
+        (None, None) => None,
+        (a, b) => Some(Duration::from_millis(
+            a.unwrap_or(u64::MAX).min(b.unwrap_or(u64::MAX)),
+        )),
+    };
+    let mut evals: Vec<BudgetedCollectionResult> = Vec::new();
+    let mut timeouts: Vec<String> = Vec::new();
+    let mut errors: Vec<String> = Vec::new();
+    let mut panics: Vec<String> = Vec::new();
+    let mut received = 0usize;
+    while received < g.expected {
+        let next = match deadline {
+            // No deadline: a shard may legitimately take as long as it
+            // likes, so the gather blocks (matching the old
+            // single-pool behavior under soak).
+            None => g.rx.recv().ok(),
+            Some(d) => {
+                let wait = (d + GATHER_GRACE).saturating_sub(g.enqueued.elapsed());
+                match g.rx.recv_timeout(wait) {
+                    Ok(r) => Some(r),
+                    Err(mpsc::RecvTimeoutError::Timeout) => break,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => None,
+                }
+            }
+        };
+        let Some(reply) = next else { break };
+        received += 1;
+        match reply {
+            ShardReply::Eval(r) => evals.push(*r),
+            ShardReply::Timeout(m) => timeouts.push(m),
+            ShardReply::Error(m) => errors.push(m),
+            ShardReply::Panicked(m) => panics.push(m),
+        }
+    }
+    // Shards that never replied within deadline + grace: wedged.
+    let dropped = g.expected - received;
+
+    // A hard evaluation error on any shard fails the whole request,
+    // exactly as it failed the whole single-pool request before: a
+    // malformed query or an injected cancel is not a partial answer.
+    if !errors.is_empty() {
+        return Response::error(id, errors.remove(0));
+    }
+    if evals.is_empty() {
+        // Nothing survived to merge: report the dominant failure in
+        // the old single-pool shapes so clients and retry heuristics
+        // keep working unchanged.
+        if !panics.is_empty() {
+            return Response::error(id, panics.remove(0));
+        }
+        let mut r = Response::bare(id, status::TIMEOUT);
+        r.error = Some(if timeouts.is_empty() {
+            "deadline exceeded during evaluation".into()
+        } else {
+            timeouts.remove(0)
+        });
+        return r;
+    }
+
+    let coll = &g.gen.coll;
+    let ok = evals.len();
+    let complete = ok == total;
+    let mut answers = Vec::new();
+    let mut docs_pruned = 0usize;
+    let mut docs_skipped = 0usize;
+    let mut docs_failed: Vec<(DocId, String)> = Vec::new();
+    let mut degraded_docs = Vec::new();
+    let mut stats = EvalStats::new();
+    for r in evals {
+        answers.extend(r.answers);
+        docs_pruned += r.docs_pruned;
+        docs_skipped += r.docs_skipped;
+        docs_failed.extend(r.docs_failed);
+        degraded_docs.extend(r.degraded_docs);
+        stats += r.stats;
+    }
+    // Document order is the canonical order a single-shard evaluation
+    // would have produced; sorting restores it after the concat so the
+    // ranker sees the same sequence (its tie-break is score, then doc
+    // id, then fragment order — never arrival order).
+    answers.sort_by_key(|a| a.doc);
+    docs_failed.sort_by_key(|(d, _)| *d);
+    degraded_docs.sort_by_key(|(d, _)| *d);
+    let merged = BudgetedCollectionResult {
+        answers,
+        docs_pruned,
+        docs_skipped,
+        docs_failed,
+        degraded_docs,
+        stats,
+    };
+    let q = Query::new(req.keywords.iter(), req.filter());
+    let ranked = CollectionResult {
+        answers: merged.answers.clone(),
+        docs_pruned: merged.docs_pruned,
+        docs_failed: merged.docs_failed.clone(),
+        stats: merged.stats,
+    };
+    let k = req.top_k.unwrap_or(10);
+    let top = top_k_collection(coll, &ranked, &q, &RankConfig::default(), k);
+    // A missing shard degrades the answer even when every surviving
+    // document evaluated cleanly: the client is told both ways
+    // (status and the `complete` flag).
+    let degraded = merged.is_degraded() || !complete;
+    let mut resp = Response::bare(
+        id,
+        if degraded {
+            status::DEGRADED
+        } else {
+            status::OK
+        },
+    );
+    resp.answers = top
+        .iter()
+        .map(|(doc_id, f, score)| Answer {
+            doc: coll.name(*doc_id).to_string(),
+            score: *score,
+            nodes: f.nodes().iter().map(|n| n.0).collect(),
+            snippet: snippet(coll.doc(*doc_id), f, &q.terms, &SnippetConfig::default()),
+        })
+        .collect();
+    if degraded {
+        // Assembled from counters and rung names only — never
+        // elapsed times — to keep response bytes deterministic.
+        let mut notes = Vec::new();
+        if merged.docs_skipped > 0 {
+            notes.push(format!("{} doc(s) skipped", merged.docs_skipped));
+        }
+        for (doc_id, d) in &merged.degraded_docs {
+            notes.push(format!(
+                "{} degraded to {}",
+                coll.name(*doc_id),
+                d.rung.map(|rg| rg.name()).unwrap_or("none")
+            ));
+        }
+        for (doc_id, msg) in &merged.docs_failed {
+            notes.push(format!(
+                "{} failed: {}",
+                coll.name(*doc_id),
+                msg.lines().next().unwrap_or("")
+            ));
+        }
+        if !complete {
+            notes.push(format!(
+                "{} of {} shard(s) missing from merge",
+                total - ok,
+                total
+            ));
+        }
+        resp.note = Some(notes.join("; "));
+    }
+    resp.stats = Some(merged.stats);
+    if !complete {
+        resp.complete = false;
+        resp.shards = Some(ShardOutcome {
+            ok: ok as u64,
+            timed_out: (timeouts.len() + dropped) as u64,
+            shed: g.shed,
+            panicked: panics.len() as u64,
+        });
+    }
+    resp
+}
+
+/// Close admission, wake every shard's idle workers, and poke the
+/// accept loop so the main thread proceeds to the drain phase.
 fn begin_shutdown(s: &Arc<Shared>, id: u64) -> String {
     s.shutdown.store(true, Ordering::SeqCst);
-    s.work_cv.notify_all();
+    for sh in &s.shards {
+        sh.work_cv.notify_all();
+    }
     let _ = TcpStream::connect(s.addr);
     s.bump(status::OK);
     let mut r = Response::bare(id, status::OK);
@@ -803,18 +1177,50 @@ fn begin_shutdown(s: &Arc<Shared>, id: u64) -> String {
 
 fn health_line(s: &Shared, id: u64) -> String {
     let gen = s.snapshot();
-    let g = s.inner.lock().unwrap();
+    let (workers, queued, in_flight) = pool_totals(s);
     let quarantined: Vec<&str> = gen.quarantined.iter().map(|(n, _)| n.as_str()).collect();
     format!(
         "{{\"id\":{},\"status\":\"ok\",\"workers\":{},\"queued\":{},\"in_flight\":{},\"docs\":{},\"generation\":{},\"quarantined\":{}}}",
         id,
-        g.workers_alive,
-        g.queue.len(),
-        g.in_flight,
+        workers,
+        queued,
+        in_flight,
         gen.coll.len(),
         gen.number,
         serde_json::to_string(&quarantined).expect("names serialize"),
     )
+}
+
+/// The aggregate cache block for `stats`: shard arenas folded into one
+/// [`CacheStats`] (tier counters summed, per-lock-shard counter lists
+/// concatenated in shard order), or `null` when caching is off. With
+/// one shard this is bit-for-bit the old single-arena block.
+fn cache_json(s: &Shared) -> String {
+    let mut agg: Option<CacheStats> = None;
+    for sh in &s.shards {
+        let Some(c) = &sh.cache else { continue };
+        let st = c.stats();
+        match &mut agg {
+            None => agg = Some(st),
+            Some(a) => {
+                a.postings.hits += st.postings.hits;
+                a.postings.misses += st.postings.misses;
+                a.fixpoint.hits += st.fixpoint.hits;
+                a.fixpoint.misses += st.fixpoint.misses;
+                a.result.hits += st.result.hits;
+                a.result.misses += st.result.misses;
+                a.evictions += st.evictions;
+                a.insertions += st.insertions;
+                a.bytes += st.bytes;
+                a.entries += st.entries;
+                a.shards.extend(st.shards);
+            }
+        }
+    }
+    match agg {
+        None => "null".to_string(),
+        Some(a) => a.to_json(),
+    }
 }
 
 fn stats_line(s: &Shared, id: u64) -> String {
@@ -835,12 +1241,9 @@ fn stats_line(s: &Shared, id: u64) -> String {
         .collect();
     let quarantined = format!("[{}]", quarantined.join(","));
     let st = s.stats.lock().unwrap();
-    // `"cache":null` under `--no-cache`, the per-tier/per-shard counter
-    // object otherwise.
-    let cache = match &s.cache {
-        None => "null".to_string(),
-        Some(c) => c.stats().to_json(),
-    };
+    // `"cache":null` under `--no-cache`, the aggregate tier/shard
+    // counter object otherwise (see `cache_json`).
+    let cache = cache_json(s);
     // Delta lineage: the serving manifest's parent chain (nearest
     // ancestor first), how many documents it carries vs rewrote, and
     // the lifetime cache carry-over counters.
@@ -869,8 +1272,43 @@ fn stats_line(s: &Shared, id: u64) -> String {
         gen.coll.index_bytes(),
         gen.coll.index_terms_loaded(),
     );
+    // Per-shard fault-domain detail, in shard order (see the schema
+    // comment in `protocol.rs`): pool state, respawn and evaluation
+    // lifetime counters, singleflight accounting, and the shard's own
+    // cache arena.
+    let shards: Vec<String> = s
+        .shards
+        .iter()
+        .enumerate()
+        .map(|(i, sh)| {
+            let (workers, queued, in_flight) = {
+                let g = sh.inner.lock().unwrap();
+                (g.workers_alive, g.queue.len(), g.in_flight)
+            };
+            let fl = sh.flights.stats();
+            let sh_cache = match &sh.cache {
+                None => "null".to_string(),
+                Some(c) => c.stats().to_json(),
+            };
+            format!(
+                "{{\"shard\":{},\"docs\":{},\"workers\":{},\"queued\":{},\"in_flight\":{},\"respawns\":{},\"evaluations\":{},\"flights\":{{\"led\":{},\"coalesced\":{},\"aborted\":{}}},\"cache\":{}}}",
+                i,
+                gen.shard_docs.get(i).map_or(0, Vec::len),
+                workers,
+                queued,
+                in_flight,
+                sh.respawns.load(Ordering::SeqCst),
+                sh.evaluations.load(Ordering::SeqCst),
+                fl.led,
+                fl.coalesced,
+                fl.aborted,
+                sh_cache,
+            )
+        })
+        .collect();
+    let shards = format!("[{}]", shards.join(","));
     format!(
-        "{{\"id\":{},\"status\":\"ok\",\"generation\":{},\"reloads\":{{\"ok\":{},\"failed\":{}}},\"quarantined\":{},\"serve\":{{\"total\":{},\"ok\":{},\"degraded\":{},\"shed\":{},\"timeout\":{},\"error\":{},\"shutting_down\":{},\"invalid\":{},\"worker_panics\":{}}},\"eval\":{},\"latency\":{},\"cache\":{},\"delta\":{},\"index\":{}}}",
+        "{{\"id\":{},\"status\":\"ok\",\"generation\":{},\"reloads\":{{\"ok\":{},\"failed\":{}}},\"quarantined\":{},\"serve\":{{\"total\":{},\"ok\":{},\"degraded\":{},\"shed\":{},\"timeout\":{},\"error\":{},\"shutting_down\":{},\"invalid\":{},\"worker_panics\":{}}},\"eval\":{},\"latency\":{},\"cache\":{},\"delta\":{},\"index\":{},\"shards\":{}}}",
         id,
         gen.number,
         s.reloads_ok.load(Ordering::SeqCst),
@@ -890,17 +1328,20 @@ fn stats_line(s: &Shared, id: u64) -> String {
         cache,
         delta,
         index,
+        shards,
     )
 }
 
-/// Worker thread body: pop jobs until the queue is empty *and* the
-/// server is draining. A panicking request is isolated: the payload
-/// becomes a structured `error` response, a replacement worker is
-/// spawned, and only then does the poisoned thread exit.
-fn worker_loop(s: Arc<Shared>) {
+/// Worker thread body for one shard: pop jobs until the shard's queue
+/// is empty *and* the server is draining. A panicking request is
+/// isolated to its shard: the payload becomes a structured sub-reply,
+/// a replacement worker joins the same shard's pool, and only then
+/// does the poisoned thread exit — siblings never notice.
+fn worker_loop(s: Arc<Shared>, shard_idx: usize) {
     loop {
         let job = {
-            let mut g = s.inner.lock().unwrap();
+            let sh = &s.shards[shard_idx];
+            let mut g = sh.inner.lock().unwrap();
             loop {
                 if let Some(j) = g.queue.pop_front() {
                     break j;
@@ -908,73 +1349,73 @@ fn worker_loop(s: Arc<Shared>) {
                 if s.shutdown.load(Ordering::SeqCst) {
                     g.workers_alive -= 1;
                     drop(g);
-                    s.drain_cv.notify_all();
+                    poke_drain(&s);
                     return;
                 }
-                g = s.work_cv.wait(g).unwrap();
+                g = sh.work_cv.wait(g).unwrap();
             }
         };
-        let start = Instant::now();
-        match catch_unwind(AssertUnwindSafe(|| handle_query(&s, &job))) {
-            Ok(resp) => finish(&s, &job, resp, start),
+        match catch_unwind(AssertUnwindSafe(|| handle_shard_query(&s, shard_idx, &job))) {
+            Ok(reply) => finish_shard(&s, shard_idx, &job, reply),
             Err(payload) => {
                 {
                     let mut st = s.stats.lock().unwrap();
                     st.worker_panics += 1;
                 }
                 let msg = panic_message(payload.as_ref());
-                let resp = Response::error(
-                    job.req.id,
-                    format!(
-                        "worker panicked (isolated): {}",
-                        msg.lines().next().unwrap_or("")
-                    ),
-                );
-                // Respawn first so the pool never shrinks.
+                let reply = ShardReply::Panicked(format!(
+                    "worker panicked (isolated): {}",
+                    msg.lines().next().unwrap_or("")
+                ));
+                let sh = &s.shards[shard_idx];
+                sh.respawns.fetch_add(1, Ordering::SeqCst);
+                // Respawn first so the shard's pool never shrinks.
                 {
-                    let mut g = s.inner.lock().unwrap();
+                    let mut g = sh.inner.lock().unwrap();
                     g.workers_alive += 1;
                 }
                 let replacement = Arc::clone(&s);
-                std::thread::spawn(move || worker_loop(replacement));
-                finish(&s, &job, resp, start);
-                let mut g = s.inner.lock().unwrap();
-                g.workers_alive -= 1;
-                drop(g);
-                s.drain_cv.notify_all();
+                std::thread::spawn(move || worker_loop(replacement, shard_idx));
+                finish_shard(&s, shard_idx, &job, reply);
+                {
+                    let mut g = s.shards[shard_idx].inner.lock().unwrap();
+                    g.workers_alive -= 1;
+                }
+                poke_drain(&s);
                 return;
             }
         }
     }
 }
 
-/// Record the outcome, send the reply, release the in-flight slot.
-fn finish(s: &Shared, job: &Job, resp: Response, start: Instant) {
-    {
-        let mut st = s.stats.lock().unwrap();
-        st.bump(&resp.status);
-        st.latency.record(start.elapsed());
-        if let Some(es) = &resp.stats {
-            st.eval += *es;
-        }
-    }
-    // A client that hung up just discards its reply; not an error.
-    let _ = job.reply.send(resp);
-    let mut g = s.inner.lock().unwrap();
+/// Send the sub-reply and release the shard's in-flight slot.
+fn finish_shard(s: &Shared, shard_idx: usize, job: &ShardJob, reply: ShardReply) {
+    // A gather that already gave up on this shard (or a client that
+    // hung up) just discards the reply; not an error.
+    let _ = job.reply.send(reply);
+    let mut g = s.shards[shard_idx].inner.lock().unwrap();
     g.in_flight -= 1;
     drop(g);
-    s.drain_cv.notify_all();
+    poke_drain(s);
 }
 
-/// Evaluate one admitted query. Runs inside the worker's
-/// `catch_unwind`, so a panic anywhere below is isolated per request.
-fn handle_query(s: &Shared, job: &Job) -> Response {
-    let req = &job.req;
-    // Pin the corpus snapshot for the whole evaluation: a reload that
-    // lands mid-query swaps the shared pointer, but this request keeps
-    // its `Arc` and finishes on the generation it started with.
-    let gen = s.snapshot();
+/// Ceiling on how long a singleflight follower waits for its leader
+/// when the request itself has no deadline. Purely a hang backstop:
+/// on any wait outcome the follower re-runs through the cache, so
+/// waking early costs one redundant evaluation, never a wrong answer.
+const FOLLOWER_WAIT_CAP: Duration = Duration::from_secs(60);
+
+/// Evaluate one shard's slice of an admitted query. Runs inside the
+/// worker's `catch_unwind`, so a panic anywhere below is isolated per
+/// sub-job (and per shard).
+fn handle_shard_query(s: &Shared, shard_idx: usize, job: &ShardJob) -> ShardReply {
+    let req = &*job.req;
+    // The corpus snapshot was pinned at admission (not here): every
+    // shard of one request answers from the same generation even if a
+    // reload swapped the shared pointer mid-scatter.
+    let gen = &job.gen;
     let coll = &gen.coll;
+    let shard = &s.shards[shard_idx];
     // Fault-injection point for the worker itself: `panic` unwinds into
     // the worker's catch_unwind, `delay:<ms>` stalls, `cancel`
     // short-circuits here. Fired before the deadline is measured so an
@@ -982,7 +1423,7 @@ fn handle_query(s: &Shared, job: &Job) -> Response {
     // response, exactly like a real slow worker.
     if let Some(inj) = &s.fault {
         if inj.fire(site::SERVE_WORKER).is_err() {
-            return Response::error(req.id, "cancelled by injected fault at serve:worker");
+            return ShardReply::Error("cancelled by injected fault at serve:worker".into());
         }
     }
     // Effective deadline: the tighter of the request's and the server's,
@@ -996,26 +1437,24 @@ fn handle_query(s: &Shared, job: &Job) -> Response {
     let waited = job.enqueued.elapsed();
     let remaining = match deadline {
         Some(d) if waited >= d => {
-            let mut r = Response::bare(req.id, status::TIMEOUT);
-            r.error = Some(format!(
+            return ShardReply::Timeout(format!(
                 "deadline of {} ms passed before evaluation started",
                 d.as_millis()
             ));
-            return r;
         }
         Some(d) => Some(d - waited),
         None => None,
     };
     if req.keywords.is_empty() {
-        return Response::error(req.id, "query needs keywords");
+        return ShardReply::Error("query needs keywords".into());
     }
     let strategy = match req.strategy() {
         Ok(v) => v,
-        Err(e) => return Response::error(req.id, e),
+        Err(e) => return ShardReply::Error(e),
     };
     let degrade = match req.degrade() {
         Ok(v) => v,
-        Err(e) => return Response::error(req.id, e),
+        Err(e) => return ShardReply::Error(e),
     };
     let q = Query::new(req.keywords.iter(), req.filter());
     let mut budget: Budget = req.budget();
@@ -1043,82 +1482,91 @@ fn handle_query(s: &Shared, job: &Job) -> Response {
             }
         })
     });
-    let result = evaluate_collection_budgeted_cached_traced(
-        coll,
-        &q,
-        strategy,
-        &policy,
-        &Tracer::disabled(),
-        s.cache.as_deref().map(|c| (c, gen.tag)),
-    );
+    let docs = &gen.shard_docs[shard_idx];
+    let cache_ref = shard.cache.as_deref().map(|c| (c, gen.tag));
+    let run = || {
+        evaluate_collection_budgeted_cached_traced_routed(
+            coll,
+            &q,
+            strategy,
+            &policy,
+            &Tracer::disabled(),
+            cache_ref,
+            docs,
+        )
+    };
+    let result = if shard.cache.is_none() {
+        // No cache, nothing to coalesce onto: a follower would have no
+        // stored result to replay, so every request evaluates.
+        run()
+    } else {
+        // Coalesce concurrent identical cold queries. The key covers
+        // everything that shapes the *evaluation* (snapshot tag, terms,
+        // filter shape, strategy, degrade ladder, budgets, deadline
+        // presence) — `id` and `top_k` are deliberately absent: they
+        // only shape the response envelope, not the cached result.
+        // Collisions are benign either way: a follower always re-runs
+        // through the cache and evaluates itself on a miss.
+        let key = flight_key(&format!(
+            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+            gen.tag,
+            req.keywords,
+            req.size,
+            req.height,
+            req.width,
+            req.strategy,
+            req.degrade,
+            req.max_joins,
+            req.max_fragments,
+        ));
+        match shard.flights.join(key) {
+            Flight::Leader(lease) => {
+                let r = run();
+                if r.is_ok() {
+                    // Wake followers to probe the cache. A degraded or
+                    // uncacheable result simply won't be there — they
+                    // miss and evaluate themselves, which is correct,
+                    // just not coalesced.
+                    lease.complete();
+                }
+                // On `Err` (or a panic unwinding past us) the lease's
+                // Drop aborts the flight and followers re-evaluate
+                // instead of hanging.
+                r
+            }
+            Flight::Follower(f) => {
+                // Whatever the outcome — leader done, leader aborted,
+                // or our own deadline — re-run *through the cache*:
+                // a completed leader's result is replayed from there
+                // (with its governor checkpoints and fault points, per
+                // the PR-5 replay invariant), never cloned across
+                // requests; anything else is evaluated fresh.
+                let _ = f.wait(remaining.unwrap_or(FOLLOWER_WAIT_CAP));
+                run()
+            }
+        }
+    };
     done.store(true, Ordering::SeqCst);
     if let Some(w) = &watchdog {
         w.thread().unpark(); // let it exit promptly; no need to join
     }
     match result {
         Ok(r) => {
-            let ranked = CollectionResult {
-                answers: r.answers.clone(),
-                docs_pruned: r.docs_pruned,
-                docs_failed: r.docs_failed.clone(),
-                stats: r.stats,
-            };
-            let k = req.top_k.unwrap_or(10);
-            let top = top_k_collection(coll, &ranked, &q, &RankConfig::default(), k);
-            let mut resp = Response::bare(
-                req.id,
-                if r.is_degraded() {
-                    status::DEGRADED
-                } else {
-                    status::OK
-                },
-            );
-            resp.answers = top
-                .iter()
-                .map(|(doc_id, f, score)| Answer {
-                    doc: coll.name(*doc_id).to_string(),
-                    score: *score,
-                    nodes: f.nodes().iter().map(|n| n.0).collect(),
-                    snippet: snippet(coll.doc(*doc_id), f, &q.terms, &SnippetConfig::default()),
-                })
-                .collect();
-            if r.is_degraded() {
-                // Assembled from counters and rung names only — never
-                // elapsed times — to keep response bytes deterministic.
-                let mut notes = Vec::new();
-                if r.docs_skipped > 0 {
-                    notes.push(format!("{} doc(s) skipped", r.docs_skipped));
-                }
-                for (doc_id, d) in &r.degraded_docs {
-                    notes.push(format!(
-                        "{} degraded to {}",
-                        coll.name(*doc_id),
-                        d.rung.map(|rg| rg.name()).unwrap_or("none")
-                    ));
-                }
-                for (doc_id, msg) in &r.docs_failed {
-                    notes.push(format!(
-                        "{} failed: {}",
-                        coll.name(*doc_id),
-                        msg.lines().next().unwrap_or("")
-                    ));
-                }
-                resp.note = Some(notes.join("; "));
+            // A pure cache replay has `cache_misses == 0` (stored
+            // entries are stripped of their own lookup accounting);
+            // anything else did real evaluation work on this shard.
+            if shard.cache.is_none() || r.stats.cache_misses > 0 {
+                shard.evaluations.fetch_add(1, Ordering::SeqCst);
             }
-            resp.stats = Some(r.stats);
-            resp
+            ShardReply::Eval(Box::new(r))
         }
         Err(QueryError::Cancelled) if token.is_cancelled() => {
-            let mut r = Response::bare(req.id, status::TIMEOUT);
-            r.error = Some("deadline exceeded during evaluation".into());
-            r
+            ShardReply::Timeout("deadline exceeded during evaluation".into())
         }
         Err(QueryError::BudgetExceeded(Breach::Deadline)) => {
-            let mut r = Response::bare(req.id, status::TIMEOUT);
-            r.error = Some("deadline exceeded during evaluation".into());
-            r
+            ShardReply::Timeout("deadline exceeded during evaluation".into())
         }
-        Err(e) => Response::error(req.id, e.to_string()),
+        Err(e) => ShardReply::Error(e.to_string()),
     }
 }
 
@@ -1160,6 +1608,13 @@ fn is_retryable_reply(line: &str) -> bool {
         .any(|s| line.contains(&format!("\"status\":\"{s}\"")))
 }
 
+/// A reply whose merge is missing shards. Substring probing is sound
+/// here: the raw bytes `"complete":false` cannot appear inside a JSON
+/// string value, where every interior quote is escaped as `\"`.
+fn is_partial_reply(line: &str) -> bool {
+    line.contains("\"complete\":false")
+}
+
 /// Transport failures worth retrying: the server may be booting,
 /// restarting, or mid-drain.
 fn is_retryable_error(e: &CliError) -> bool {
@@ -1179,21 +1634,31 @@ fn is_retryable_error(e: &CliError) -> bool {
 }
 
 /// `xfrag request` with a bounded retry budget. With `retries == 0`
-/// this is exactly [`request`]: whatever reply arrives is printed and
-/// exits 0, so scripts that grep for `shed`/`timeout` replies keep
-/// working. With retries, retryable outcomes (shed, timeout, or
-/// shutting-down replies; refused/reset/timed-out connections) are
-/// retried with exponential backoff plus deterministic jitter, up to
-/// `retries` extra attempts; exhaustion is [`CliError::RetriesExhausted`]
-/// (exit code 3). Non-retryable failures surface immediately (exit 1).
+/// this is exactly [`request`] except that a partial reply
+/// (`"complete":false`) is surfaced as [`CliError::PartialResult`]:
+/// the line is still printed, but the exit code is 4 so scripts can
+/// tell a full merge from a degraded one. With retries, retryable
+/// outcomes (shed, timeout, or shutting-down replies; refused/reset/
+/// timed-out connections) are retried with exponential backoff plus
+/// deterministic jitter, up to `retries` extra attempts; exhaustion is
+/// [`CliError::RetriesExhausted`] (exit code 3). Partial replies are
+/// *not* retried unless `retry_partial` is set — a partial answer is
+/// an answer, and hammering a degraded server by default would feed
+/// the very overload that degraded it. Non-retryable failures surface
+/// immediately (exit 1).
 pub fn request_with_retry(
     addr: &str,
     json: &str,
     retries: u32,
     backoff_ms: u64,
+    retry_partial: bool,
 ) -> Result<String, CliError> {
     if retries == 0 {
-        return request(addr, json);
+        let line = request(addr, json)?;
+        if is_partial_reply(&line) {
+            return Err(CliError::PartialResult(line));
+        }
+        return Ok(line);
     }
     // SplitMix64 jitter, seeded per process so concurrent clients that
     // all got shed don't re-stampede the server in lockstep.
@@ -1206,6 +1671,9 @@ pub fn request_with_retry(
         x ^ (x >> 31)
     };
     let mut last = String::new();
+    // The freshest partial reply seen, kept so exhaustion can still
+    // hand the caller a usable (if incomplete) answer via exit 4.
+    let mut partial: Option<String> = None;
     for attempt in 0..=retries {
         if attempt > 0 {
             let base = backoff_ms.saturating_mul(1u64 << (attempt - 1).min(16));
@@ -1219,13 +1687,25 @@ pub fn request_with_retry(
         match request(addr, json) {
             Ok(line) if is_retryable_reply(&line) => {
                 last = line.trim_end().to_string();
+                partial = None;
+            }
+            Ok(line) if is_partial_reply(&line) => {
+                if !retry_partial {
+                    return Err(CliError::PartialResult(line));
+                }
+                last = line.trim_end().to_string();
+                partial = Some(line);
             }
             Ok(line) => return Ok(line),
             Err(e) if is_retryable_error(&e) => {
                 last = e.to_string();
+                partial = None;
             }
             Err(e) => return Err(e),
         }
+    }
+    if let Some(line) = partial {
+        return Err(CliError::PartialResult(line));
     }
     Err(CliError::RetriesExhausted(format!(
         "{} attempt(s) to {addr} all failed; last outcome: {last}",

@@ -64,7 +64,8 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 /// Number of independent lock shards.
 pub const SHARDS: usize = 8;
@@ -775,6 +776,212 @@ impl CacheStats {
     }
 }
 
+/// State of one in-flight coalesced evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlightState {
+    /// The leader is still evaluating.
+    Pending,
+    /// The leader finished and (if caching) published its answer.
+    Done,
+    /// The leader unwound (panic, injected fault) without completing.
+    Aborted,
+}
+
+/// The rendezvous one flight's leader and followers share.
+#[derive(Debug)]
+struct FlightSlot {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+impl FlightSlot {
+    fn new() -> Self {
+        FlightSlot {
+            state: Mutex::new(FlightState::Pending),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn settle(&self, state: FlightState) {
+        // invariant: the state mutex only guards an enum write; it
+        // cannot be poisoned.
+        *self.state.lock().unwrap() = state;
+        self.cv.notify_all();
+    }
+}
+
+/// What a follower observed after waiting on a flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightOutcome {
+    /// The leader completed; the cached answer is (re)usable.
+    Done,
+    /// The leader unwound without completing; re-evaluate (the first
+    /// retrier becomes the new leader).
+    Aborted,
+    /// The caller's own deadline expired first; evaluate independently.
+    TimedOut,
+}
+
+/// Leadership of one flight. Call [`FlightLease::complete`] after
+/// publishing the answer; dropping the lease without completing (a
+/// panic unwinding through `catch_unwind`, an error return) marks the
+/// flight aborted so followers wake and re-evaluate instead of hanging.
+pub struct FlightLease<'a> {
+    sf: &'a Singleflight,
+    key: u64,
+    slot: Arc<FlightSlot>,
+    completed: bool,
+}
+
+impl FlightLease<'_> {
+    /// Publish success: the flight is removed and followers wake with
+    /// [`FlightOutcome::Done`].
+    pub fn complete(mut self) {
+        self.completed = true;
+        self.sf.remove(self.key);
+        self.slot.settle(FlightState::Done);
+    }
+}
+
+impl Drop for FlightLease<'_> {
+    fn drop(&mut self) {
+        if !self.completed {
+            self.sf.aborted.fetch_add(1, Ordering::Relaxed);
+            self.sf.remove(self.key);
+            self.slot.settle(FlightState::Aborted);
+        }
+    }
+}
+
+/// A follower's handle on someone else's flight.
+pub struct FlightFollower {
+    slot: Arc<FlightSlot>,
+}
+
+impl FlightFollower {
+    /// Block until the leader settles the flight or `timeout` elapses.
+    pub fn wait(&self, timeout: Duration) -> FlightOutcome {
+        let deadline = std::time::Instant::now() + timeout;
+        // invariant: see FlightSlot::settle on poisoning.
+        let mut state = self.slot.state.lock().unwrap();
+        loop {
+            match *state {
+                FlightState::Done => return FlightOutcome::Done,
+                FlightState::Aborted => return FlightOutcome::Aborted,
+                FlightState::Pending => {}
+            }
+            let now = std::time::Instant::now();
+            let Some(left) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return FlightOutcome::TimedOut;
+            };
+            let (next, timed_out) = self.slot.cv.wait_timeout(state, left).unwrap();
+            state = next;
+            if timed_out.timed_out() && *state == FlightState::Pending {
+                return FlightOutcome::TimedOut;
+            }
+        }
+    }
+}
+
+/// Joining a flight either makes you the leader or a follower.
+pub enum Flight<'a> {
+    /// You own the evaluation; see [`FlightLease`].
+    Leader(FlightLease<'a>),
+    /// Someone else is evaluating the same key; see [`FlightFollower`].
+    Follower(FlightFollower),
+}
+
+/// Counters from one [`Singleflight`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SingleflightStats {
+    /// Flights led (cold evaluations that took the key).
+    pub led: u64,
+    /// Requests that joined an existing flight instead of evaluating.
+    pub coalesced: u64,
+    /// Leases dropped without completing (panics, errors).
+    pub aborted: u64,
+}
+
+/// Request coalescing for identical in-flight cold evaluations.
+///
+/// Keys are caller-hashed (serve hashes the normalized result-cache key
+/// plus the snapshot tag). The first joiner becomes the **leader** and
+/// evaluates; concurrent joiners with the same key become **followers**
+/// and block on the leader instead of repeating the work. The flight
+/// carries no value: after [`FlightOutcome::Done`] a follower re-probes
+/// the result cache, which both preserves the cache-replay invariants
+/// (budget checkpoints and `query:eval` fault points replay on a hit —
+/// see [`QueryCache::get_result`]) and keeps this type trivially
+/// deadlock-safe: a lost wake-up degenerates to an extra evaluation,
+/// never a hang, and an aborted leader's followers re-evaluate.
+#[derive(Default)]
+pub struct Singleflight {
+    flights: Mutex<HashMap<u64, Arc<FlightSlot>>>,
+    led: AtomicU64,
+    coalesced: AtomicU64,
+    aborted: AtomicU64,
+}
+
+impl std::fmt::Debug for Singleflight {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Singleflight").finish()
+    }
+}
+
+impl Singleflight {
+    /// A coalescer with no flights.
+    pub fn new() -> Self {
+        Singleflight::default()
+    }
+
+    /// Join the flight for `key`, creating it (and leading) if absent.
+    pub fn join(&self, key: u64) -> Flight<'_> {
+        // invariant: the map mutex only guards map ops; never poisoned.
+        let mut flights = self.flights.lock().unwrap();
+        match flights.get(&key) {
+            Some(slot) => {
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                Flight::Follower(FlightFollower { slot: slot.clone() })
+            }
+            None => {
+                let slot = Arc::new(FlightSlot::new());
+                flights.insert(key, slot.clone());
+                self.led.fetch_add(1, Ordering::Relaxed);
+                Flight::Leader(FlightLease {
+                    sf: self,
+                    key,
+                    slot,
+                    completed: false,
+                })
+            }
+        }
+    }
+
+    fn remove(&self, key: u64) {
+        self.flights.lock().unwrap().remove(&key);
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> SingleflightStats {
+        SingleflightStats {
+            led: self.led.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            aborted: self.aborted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A stable hash for singleflight keys (the cache's own [`ResultKey`]
+/// plus anything else that distinguishes responses, e.g. `top_k`).
+pub fn flight_key<H: Hash>(value: &H) -> u64 {
+    let mut h = DefaultHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1056,5 +1263,75 @@ mod tests {
         let st = cache.stats();
         assert_eq!(st.hits() + st.misses(), 2);
         assert!((st.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singleflight_coalesces_concurrent_joiners() {
+        let sf = Arc::new(Singleflight::new());
+        let Flight::Leader(lease) = sf.join(7) else {
+            panic!("first joiner must lead");
+        };
+        let mut followers = Vec::new();
+        for _ in 0..8 {
+            let sf = sf.clone();
+            followers.push(std::thread::spawn(move || {
+                let Flight::Follower(f) = sf.join(7) else {
+                    panic!("concurrent joiner must follow");
+                };
+                f.wait(Duration::from_secs(30))
+            }));
+        }
+        // Give every follower time to actually block on the flight.
+        while sf.stats().coalesced < 8 {
+            std::thread::yield_now();
+        }
+        lease.complete();
+        for f in followers {
+            assert_eq!(f.join().unwrap(), FlightOutcome::Done);
+        }
+        let st = sf.stats();
+        assert_eq!((st.led, st.coalesced, st.aborted), (1, 8, 0));
+        // The key is free again: the next joiner leads a new flight.
+        assert!(matches!(sf.join(7), Flight::Leader(_)));
+    }
+
+    #[test]
+    fn singleflight_aborted_leader_wakes_followers_to_retry() {
+        let sf = Arc::new(Singleflight::new());
+        let Flight::Leader(lease) = sf.join(1) else {
+            panic!("first joiner must lead");
+        };
+        let waiter = {
+            let sf = sf.clone();
+            std::thread::spawn(move || {
+                let Flight::Follower(f) = sf.join(1) else {
+                    panic!("must follow");
+                };
+                f.wait(Duration::from_secs(30))
+            })
+        };
+        while sf.stats().coalesced < 1 {
+            std::thread::yield_now();
+        }
+        drop(lease); // leader unwound without completing
+        assert_eq!(waiter.join().unwrap(), FlightOutcome::Aborted);
+        assert_eq!(sf.stats().aborted, 1);
+        // Retrying after an abort takes leadership — no hang, no orphan.
+        assert!(matches!(sf.join(1), Flight::Leader(_)));
+    }
+
+    #[test]
+    fn singleflight_keys_are_independent_and_waits_time_out() {
+        let sf = Singleflight::new();
+        let _a = sf.join(1);
+        assert!(matches!(sf.join(2), Flight::Leader(_)));
+        let Flight::Follower(f) = sf.join(1) else {
+            panic!("same key must follow");
+        };
+        assert_eq!(
+            f.wait(Duration::from_millis(20)),
+            FlightOutcome::TimedOut,
+            "a follower's own deadline bounds the wait"
+        );
     }
 }

@@ -285,13 +285,43 @@ pub fn evaluate_collection_budgeted_cached_traced(
     tracer: &Tracer<'_>,
     cache: Option<(&QueryCache, GenerationTag)>,
 ) -> Result<BudgetedCollectionResult, QueryError> {
+    let all: Vec<DocId> = collection.ids().collect();
+    evaluate_collection_budgeted_cached_traced_routed(
+        collection, query, strategy, policy, tracer, cache, &all,
+    )
+}
+
+/// [`evaluate_collection_budgeted_cached_traced`] restricted to a routed
+/// subset of documents — the shard-serving primitive.
+///
+/// Only documents in `docs` are considered; candidate pruning, the
+/// collection governor, per-document budgets, panic isolation, and cache
+/// interaction all behave exactly as in the whole-collection call, but
+/// scoped to the subset. Because candidacy, evaluation, and stats are
+/// all per-document, evaluating a partition of the collection shard by
+/// shard and concatenating the results (answers and failures re-sorted
+/// by [`DocId`], counters summed) reproduces the whole-collection result
+/// *exactly* — `routed_partition_merges_to_whole_collection_result`
+/// below and the serve-layer shard differential both pin this down.
+pub fn evaluate_collection_budgeted_cached_traced_routed(
+    collection: &Collection,
+    query: &Query,
+    strategy: Strategy,
+    policy: &ExecPolicy,
+    tracer: &Tracer<'_>,
+    cache: Option<(&QueryCache, GenerationTag)>,
+    docs: &[DocId],
+) -> Result<BudgetedCollectionResult, QueryError> {
     if query.terms.is_empty() {
         return Err(QueryError::NoTerms);
     }
     let gov = Governor::new(policy.budget, policy.cancel.clone()).with_fault(policy.fault.clone());
-    let candidates: Vec<DocId> = collection.candidate_docs(&query.terms).collect();
+    let candidates: Vec<DocId> = collection
+        .candidate_docs(&query.terms)
+        .filter(|id| docs.contains(id))
+        .collect();
     let mut out = BudgetedCollectionResult {
-        docs_pruned: collection.len() - candidates.len(),
+        docs_pruned: docs.len() - candidates.len(),
         ..Default::default()
     };
     for (i, &id) in candidates.iter().enumerate() {
@@ -653,6 +683,80 @@ mod tests {
         let r = evaluate_collection_budgeted(&c, &q, Strategy::PushDown, &policy).unwrap();
         assert_eq!(r.docs_failed.len(), 1);
         assert_eq!(r.answers.len(), 1);
+    }
+
+    #[test]
+    fn routed_partition_merges_to_whole_collection_result() {
+        // The shard-serving invariant: evaluating any partition of the
+        // doc set shard by shard and merging reproduces the
+        // whole-collection result exactly — answers, failure lists,
+        // pruning counts, and stats.
+        let mut c = Collection::new();
+        for i in 0..9 {
+            let body = if i % 3 == 0 {
+                format!("<r><p>alpha beta {i}</p><p>noise</p></r>")
+            } else {
+                format!("<r><p>alpha only {i}</p></r>")
+            };
+            c.add(format!("d{i}.xml"), parse_str(&body).unwrap());
+        }
+        let q = Query::new(["alpha", "beta"], FilterExpr::MaxSize(3));
+        let policy = ExecPolicy::unlimited();
+        let tracer = Tracer::disabled();
+        let whole = evaluate_collection_budgeted_cached_traced(
+            &c,
+            &q,
+            Strategy::PushDown,
+            &policy,
+            &tracer,
+            None,
+        )
+        .unwrap();
+
+        for shards in [1usize, 2, 3, 4] {
+            let mut parts: Vec<Vec<DocId>> = vec![Vec::new(); shards];
+            for id in c.ids() {
+                parts[id.0 as usize % shards].push(id);
+            }
+            let mut merged = BudgetedCollectionResult::default();
+            for part in &parts {
+                let r = evaluate_collection_budgeted_cached_traced_routed(
+                    &c,
+                    &q,
+                    Strategy::PushDown,
+                    &policy,
+                    &tracer,
+                    None,
+                    part,
+                )
+                .unwrap();
+                merged.answers.extend(r.answers);
+                merged.docs_failed.extend(r.docs_failed);
+                merged.degraded_docs.extend(r.degraded_docs);
+                merged.docs_pruned += r.docs_pruned;
+                merged.docs_skipped += r.docs_skipped;
+                merged.stats += r.stats;
+            }
+            merged.answers.sort_by_key(|a| a.doc);
+            merged.docs_failed.sort_by_key(|f| f.0);
+
+            assert_eq!(merged.docs_pruned, whole.docs_pruned, "shards={shards}");
+            assert_eq!(merged.docs_skipped, whole.docs_skipped);
+            assert_eq!(merged.answers.len(), whole.answers.len());
+            for (a, b) in merged.answers.iter().zip(&whole.answers) {
+                assert_eq!(a.doc, b.doc, "shards={shards}");
+                assert_eq!(a.fragments, b.fragments, "shards={shards}");
+            }
+            assert_eq!(merged.stats.joins, whole.stats.joins);
+            assert_eq!(
+                merged.stats.fragments_emitted,
+                whole.stats.fragments_emitted
+            );
+            assert_eq!(
+                merged.stats.budget_checkpoints, whole.stats.budget_checkpoints,
+                "one checkpoint per candidate either way (shards={shards})"
+            );
+        }
     }
 
     #[test]

@@ -77,13 +77,15 @@ pub use budget::{
     Breach, Budget, CancelToken, Degradation, DegradeMode, ExecPolicy, Governor, Rung,
 };
 pub use cache::{
-    CacheRef, CacheStats, CachedResult, CarryOver, GenerationTag, PolicyFp, QueryCache, ResultKey,
-    ShardCounters, TierCounters,
+    flight_key, CacheRef, CacheStats, CachedResult, CarryOver, Flight, FlightFollower, FlightLease,
+    FlightOutcome, GenerationTag, PolicyFp, QueryCache, ResultKey, ShardCounters, Singleflight,
+    SingleflightStats, TierCounters,
 };
 pub use collection::{
     evaluate_collection, evaluate_collection_budgeted, evaluate_collection_budgeted_cached_traced,
-    evaluate_collection_budgeted_traced, evaluate_collection_parallel, top_k_collection,
-    BudgetedCollectionResult, CollectionResult, DocAnswers,
+    evaluate_collection_budgeted_cached_traced_routed, evaluate_collection_budgeted_traced,
+    evaluate_collection_parallel, top_k_collection, BudgetedCollectionResult, CollectionResult,
+    DocAnswers,
 };
 pub use cost::{CostEstimate, CostModel};
 pub use fault::{FaultAction, FaultInjector, FaultPlan};
