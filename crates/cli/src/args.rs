@@ -70,8 +70,19 @@ serve options (see README \"Serving queries over TCP\"):
                      out scatter-gather and shards that miss the request
                      deadline are dropped from the merge with a
                      `\"complete\":false` marker (default: 1)
-  --workers N        worker pool size *per shard* (default: 4)
-  --queue-depth N    per-shard admission queue bound; excess requests
+  --replicas R       serve each shard from R independent replicas (own
+                     pool, queue, cache arena); slow sub-jobs are hedged
+                     to a backup replica and the first good reply wins,
+                     byte-identically (default: 1)
+  --hedge-ms N       hedge-delay floor and cold-start hedge delay; the
+                     effective delay tracks each replica's latency EWMA
+                     (default: 25)
+  --breaker-failures N  consecutive sub-job failures (timeout/panic)
+                     that open a replica's circuit breaker (default: 3)
+  --breaker-cooldown-ms N  how long an open breaker refuses sub-jobs
+                     before a single half-open probe (default: 1000)
+  --workers N        worker pool size *per replica* (default: 4)
+  --queue-depth N    per-replica admission queue bound; excess requests
                      are shed with a `shed` response (default: 64)
   --timeout-ms N     server-wide per-request deadline, measured from
                      admission (default: none)
@@ -94,8 +105,12 @@ request options:
   --retry-partial    also retry partial replies (`\"complete\":false`);
                      by default a partial reply is printed as-is and
                      exits 4 without consuming retries
-  exit codes: 0 reply received, 1 permanent failure, 3 retries
-              exhausted, 4 partial reply (some shards dropped)
+  --retry-budget-ms N  wall-clock deadline shared across *all* attempts;
+                     once it passes, no further attempt starts and
+                     backoff sleeps are clamped to the remainder
+                     (default: none)
+  exit codes: 0 reply received, 1 permanent failure, 3 retries or retry
+              budget exhausted, 4 partial reply (some shards dropped)
 ";
 
 /// A parsed command line.
@@ -158,6 +173,9 @@ pub enum Command {
         /// (`--retry-partial`); off by default because a partial reply
         /// is a *success* over the surviving shards.
         retry_partial: bool,
+        /// Wall-clock deadline across all attempts in milliseconds
+        /// (`--retry-budget-ms`); `None` means attempts-only bounding.
+        retry_budget_ms: Option<u64>,
     },
     /// Run the paper's §4 example on the built-in Figure 1 document.
     Demo,
@@ -315,6 +333,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut retries = 0u32;
             let mut backoff_ms = 100u64;
             let mut retry_partial = false;
+            let mut retry_budget_ms = None;
             let mut parts = Vec::new();
             let mut i = 0;
             while i < rest.len() {
@@ -328,6 +347,11 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                         i += 1;
                     }
                     "--retry-partial" => retry_partial = true,
+                    "--retry-budget-ms" => {
+                        retry_budget_ms =
+                            Some(parse_u32("--retry-budget-ms", rest.get(i + 1))? as u64);
+                        i += 1;
+                    }
                     _ => parts.push(rest[i].clone()),
                 }
                 i += 1;
@@ -345,6 +369,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 retries,
                 backoff_ms,
                 retry_partial,
+                retry_budget_ms,
             })
         }
         other => Err(format!("unknown subcommand {other:?}")),
@@ -478,6 +503,31 @@ fn parse_serve(rest: &[String]) -> Result<ServeArgs, String> {
                     return Err("--shards must be at least 1".into());
                 }
                 args.shards = v;
+                i += 1;
+            }
+            "--replicas" => {
+                let v = parse_u32("--replicas", rest.get(i + 1))? as usize;
+                if v == 0 {
+                    return Err("--replicas must be at least 1".into());
+                }
+                args.replicas = v;
+                i += 1;
+            }
+            "--hedge-ms" => {
+                args.hedge_ms = parse_u32("--hedge-ms", rest.get(i + 1))? as u64;
+                i += 1;
+            }
+            "--breaker-failures" => {
+                let v = parse_u32("--breaker-failures", rest.get(i + 1))?;
+                if v == 0 {
+                    return Err("--breaker-failures must be at least 1".into());
+                }
+                args.breaker_failures = v;
+                i += 1;
+            }
+            "--breaker-cooldown-ms" => {
+                args.breaker_cooldown_ms =
+                    parse_u32("--breaker-cooldown-ms", rest.get(i + 1))? as u64;
                 i += 1;
             }
             "--workers" => {
@@ -681,6 +731,10 @@ mod tests {
                 assert_eq!(a.dir, "corpus");
                 assert_eq!(a.port, 7878);
                 assert_eq!(a.shards, 1);
+                assert_eq!(a.replicas, 1);
+                assert_eq!(a.hedge_ms, 25);
+                assert_eq!(a.breaker_failures, 3);
+                assert_eq!(a.breaker_cooldown_ms, 1000);
                 assert_eq!(a.workers, 4);
                 assert_eq!(a.queue_depth, 64);
                 assert_eq!(a.timeout_ms, None);
@@ -693,7 +747,9 @@ mod tests {
             other => panic!("wrong command {other:?}"),
         }
         match parse(&argv(
-            "serve corpus --port 0 --shards 4 --workers 2 --queue-depth 8 --timeout-ms 250 \
+            "serve corpus --port 0 --shards 4 --replicas 2 --hedge-ms 10 \
+             --breaker-failures 5 --breaker-cooldown-ms 200 \
+             --workers 2 --queue-depth 8 --timeout-ms 250 \
              --watch-ms 500 --inject serve:worker@1=panic --fault-seed 42 \
              --cache-mb 16 --no-cache",
         ))
@@ -702,6 +758,10 @@ mod tests {
             Command::Serve(a) => {
                 assert_eq!(a.port, 0);
                 assert_eq!(a.shards, 4);
+                assert_eq!(a.replicas, 2);
+                assert_eq!(a.hedge_ms, 10);
+                assert_eq!(a.breaker_failures, 5);
+                assert_eq!(a.breaker_cooldown_ms, 200);
                 assert_eq!(a.workers, 2);
                 assert_eq!(a.queue_depth, 8);
                 assert_eq!(a.timeout_ms, Some(250));
@@ -720,6 +780,10 @@ mod tests {
         assert!(parse(&argv("serve corpus --port 70000")).is_err());
         assert!(parse(&argv("serve corpus --shards 0")).is_err());
         assert!(parse(&argv("serve corpus --shards")).is_err());
+        assert!(parse(&argv("serve corpus --replicas 0")).is_err());
+        assert!(parse(&argv("serve corpus --replicas")).is_err());
+        assert!(parse(&argv("serve corpus --breaker-failures 0")).is_err());
+        assert!(parse(&argv("serve corpus --hedge-ms")).is_err());
         assert!(parse(&argv("serve corpus --frobnicate")).is_err());
     }
 
@@ -732,12 +796,14 @@ mod tests {
                 retries,
                 backoff_ms,
                 retry_partial,
+                retry_budget_ms,
             } => {
                 assert_eq!(addr, "127.0.0.1:7878");
                 assert_eq!(json, "{\"kind\":\"health\"}");
                 assert_eq!(retries, 0);
                 assert_eq!(backoff_ms, 100);
                 assert!(!retry_partial);
+                assert_eq!(retry_budget_ms, None);
             }
             _ => unreachable!(),
         }
@@ -754,7 +820,8 @@ mod tests {
     fn parse_request_retry_flags() {
         // Flags may appear anywhere, including after the JSON words.
         match parse(&argv(
-            "request h:1 --retries 3 {\"kind\":\"health\"} --backoff-ms 50 --retry-partial",
+            "request h:1 --retries 3 {\"kind\":\"health\"} --backoff-ms 50 --retry-partial \
+             --retry-budget-ms 2000",
         ))
         .unwrap()
         {
@@ -763,17 +830,21 @@ mod tests {
                 retries,
                 backoff_ms,
                 retry_partial,
+                retry_budget_ms,
                 ..
             } => {
                 assert_eq!(json, "{\"kind\":\"health\"}");
                 assert_eq!(retries, 3);
                 assert_eq!(backoff_ms, 50);
                 assert!(retry_partial);
+                assert_eq!(retry_budget_ms, Some(2000));
             }
             _ => unreachable!(),
         }
         assert!(parse(&argv("request h:1 {} --retries")).is_err());
         assert!(parse(&argv("request h:1 {} --retries x")).is_err());
+        assert!(parse(&argv("request h:1 {} --retry-budget-ms")).is_err());
+        assert!(parse(&argv("request h:1 {} --retry-budget-ms x")).is_err());
     }
 
     #[test]

@@ -125,7 +125,15 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             retries,
             backoff_ms,
             retry_partial,
-        } => crate::serve::request_with_retry(&addr, &json, retries, backoff_ms, retry_partial),
+            retry_budget_ms,
+        } => crate::serve::request_with_retry(
+            &addr,
+            &json,
+            retries,
+            backoff_ms,
+            retry_partial,
+            retry_budget_ms,
+        ),
         Command::Demo => Ok(demo()),
     }
 }

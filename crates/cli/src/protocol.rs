@@ -187,24 +187,38 @@ impl<'de> Deserialize<'de> for Request {
 ///  "quarantined": [{"file": "...", "reason": "..."}],
 ///  "serve": {"total": N, "ok": N, "degraded": N, "shed": N,
 ///            "timeout": N, "error": N, "shutting_down": N,
-///            "invalid": N, "worker_panics": N},
+///            "invalid": N, "worker_panics": N, "accept_errors": N},
 ///  "eval": { ...summed EvalStats... },
 ///  "latency": { ...histogram buckets... },
-///  "cache": {...} | null,                 // aggregate across shard arenas
+///  "cache": {...} | null,                 // aggregate across all arenas
 ///  "delta": {"parent_chain": [...], "chain_depth": N,
 ///            "docs_carried": N, "docs_rewritten": N,
 ///            "carry_over": {"kept": N, "rekeyed": N, "evicted": N}},
 ///  "index": {"segments": N, "bytes": N, "terms_loaded": N},
 ///  "shards": [                            // one entry per shard, in order
-///    {"shard": I, "docs": N, "workers": N, "queued": N, "in_flight": N,
-///     "respawns": N, "evaluations": N,
-///     "flights": {"led": N, "coalesced": N, "aborted": N},
-///     "cache": {...} | null}]}            // this shard's own arena
+///    {"shard": I, "docs": N,
+///     "workers": N, "queued": N, "in_flight": N,  // summed over replicas
+///     "respawns": N, "evaluations": N,            // summed over replicas
+///     "flights": {"led": N, "coalesced": N, "aborted": N},  // summed
+///     "cache": {...} | null,             // aggregate of replica arenas
+///     "replicas": [                      // one entry per replica, in order
+///       {"replica": J,
+///        "state": "closed" | "open" | "half-open",  // circuit breaker
+///        "ewma_us": N,                   // latency EWMA; 0 = no samples
+///        "hedges": N,                    // hedge/failover jobs received
+///        "wins": N,                      // of those, won the group race
+///        "opens": N,                     // lifetime breaker opens
+///        "workers": N, "queued": N, "in_flight": N,
+///        "respawns": N, "evaluations": N,
+///        "flights": {"led": N, "coalesced": N, "aborted": N},
+///        "cache": {...} | null}]}]}      // this replica's own arena
 /// ```
 ///
 /// Grouping invariants: reload counters live only under `"reloads"`,
-/// cache counters only under `"cache"` (aggregate) and
-/// `"shards"[i]."cache"` (per-arena) — never at top level.
+/// cache counters only under `"cache"` (aggregate),
+/// `"shards"[i]."cache"` (per-group aggregate), and
+/// `"shards"[i]."replicas"[j]."cache"` (per-arena) — never at top
+/// level; breaker/hedge fields live only under `"replicas"` entries.
 pub mod status {
     /// Evaluated in full.
     pub const OK: &str = "ok";
@@ -221,8 +235,11 @@ pub mod status {
 }
 
 /// Per-shard outcome accounting attached to a *partial* query response
-/// (one where at least one shard was dropped from the merge). Counts
-/// always sum to the server's `--shards` value.
+/// (one where at least one shard's replica group was dropped from the
+/// merge). Counts always sum to the server's `--shards` value; with
+/// `--replicas R` a shard counts against a failure bucket only once
+/// *every* usable replica in its group failed that way — a fault
+/// masked by a hedge or failover leaves the shard under `ok`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShardOutcome {
     /// Shards whose evaluation made it into the merged answer set.
@@ -230,10 +247,14 @@ pub struct ShardOutcome {
     /// Shards that missed their deadline slice (in-band timeout or no
     /// reply by the gather deadline) and were dropped from the merge.
     pub timed_out: u64,
-    /// Shards whose admission queue was full.
+    /// Shards where every admittable replica's queue was full.
     pub shed: u64,
-    /// Shards whose worker panicked evaluating this request.
+    /// Shards whose last usable replica panicked evaluating this
+    /// request (earlier panics that failed over don't count).
     pub panicked: u64,
+    /// Shards where every replica's circuit breaker refused the
+    /// sub-job (all open with no probe slot free).
+    pub open: u64,
 }
 
 /// One ranked answer inside a query response.
@@ -405,11 +426,12 @@ mod tests {
             timed_out: 1,
             shed: 0,
             panicked: 0,
+            open: 0,
         });
         let line = r.to_line();
         assert!(line.contains(r#""complete":false"#), "{line}");
         assert!(
-            line.contains(r#""shards":{"ok":3,"timed_out":1,"shed":0,"panicked":0}"#),
+            line.contains(r#""shards":{"ok":3,"timed_out":1,"shed":0,"panicked":0,"open":0}"#),
             "{line}"
         );
         let back: Response = serde_json::from_str(&line).unwrap();

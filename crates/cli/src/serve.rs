@@ -2,30 +2,39 @@
 //!
 //! Architecture (one paragraph): the corpus is partitioned into N
 //! shards by a stable hash of each document's display name
-//! (`--shards N`); every shard owns its worker pool, bounded admission
-//! queue, cache arena, and singleflight table, so a panicking or
-//! stalled shard is a fault domain that cannot touch its siblings. The
-//! accept loop spawns one handler thread per connection; handlers
-//! decode newline-delimited JSON requests and either answer inline
-//! (`health`, `stats`, `shutdown`, admission rejections) or scatter a
-//! query sub-job to every shard and gather the per-shard results into
-//! one merged, ranked response. Shards that miss the request deadline
-//! (plus a short gather grace) are dropped from the merge: the
-//! response keeps the survivors' answers, flips `"complete":false`,
-//! and reports per-shard `shards:{ok,timed_out,shed,panicked}`
-//! accounting instead of failing the request. Each worker wraps
-//! request handling in `catch_unwind`: a panic (organic or injected
-//! via `--inject`) becomes a structured reply, the worker spawns its
-//! own replacement in the same shard, and the process lives on.
-//! Deadlines are measured from *admission* and wired into the existing
-//! [`Budget`] wall-clock and a per-request [`CancelToken`] armed by a
-//! watchdog thread, so the degradation ladder answers with a sound
-//! subset when time runs out. Concurrent identical cold queries
-//! coalesce on the shard's singleflight table: one leader evaluates,
-//! followers wake and replay the byte-identical cached answer.
-//! `shutdown` drains gracefully: admission closes, queued work
-//! finishes, workers exit, and the final summary asserts zero
-//! in-flight requests.
+//! (`--shards N`), and each shard is served by a **replica group** of R
+//! instances (`--replicas R`); every replica owns its worker pool,
+//! bounded admission queue, cache arena, and singleflight table, so a
+//! panicking or stalled replica is a fault domain that cannot touch
+//! its siblings — in its own group or any other. The accept loop
+//! spawns one handler thread per connection; handlers decode
+//! newline-delimited JSON requests and either answer inline (`health`,
+//! `stats`, `shutdown`, admission rejections) or scatter a query
+//! sub-job to each group's preferred replica and gather the per-group
+//! results into one merged, ranked response. When a group's reply is
+//! late (no answer within a hedge delay derived from the replica's
+//! recent latency EWMA), the gather **hedges** the sub-job to a backup
+//! replica; the first good reply wins and the loser is cancelled via
+//! its [`CancelToken`]. A per-replica circuit breaker (closed → open
+//! on consecutive failures → half-open probe) routes dispatch away
+//! from broken replicas, and a per-request retry budget caps hedges
+//! and failovers so redundancy never amplifies load during a
+//! brown-out. Only when *every* replica in a group is open or failed
+//! is the group dropped from the merge: the response keeps the
+//! survivors' answers, flips `"complete":false`, and reports per-group
+//! `shards:{ok,timed_out,shed,panicked,open}` accounting instead of
+//! failing the request. Each worker wraps request handling in
+//! `catch_unwind`: a panic (organic or injected via `--inject`)
+//! becomes a structured reply, the worker spawns its own replacement
+//! in the same replica, and the process lives on. Deadlines are
+//! measured from *admission* and wired into the existing [`Budget`]
+//! wall-clock and a per-request [`CancelToken`] armed by a watchdog
+//! thread, so the degradation ladder answers with a sound subset when
+//! time runs out. Concurrent identical cold queries coalesce on the
+//! replica's singleflight table: one leader evaluates, followers wake
+//! and replay the byte-identical cached answer. `shutdown` drains
+//! gracefully: admission closes, queued work finishes, workers exit,
+//! and the final summary asserts zero in-flight requests.
 //!
 //! There is no SIGTERM hook — signal handling needs a crate or unsafe
 //! libc bindings, both off-limits here — so graceful drain is exposed
@@ -41,6 +50,7 @@ use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+use xfrag_core::breaker::{BreakerConfig, CircuitBreaker, Permit};
 use xfrag_core::collection::{
     evaluate_collection_budgeted_cached_traced_routed, top_k_collection, BudgetedCollectionResult,
     CollectionResult,
@@ -48,10 +58,10 @@ use xfrag_core::collection::{
 use xfrag_core::fault::{panic_message, site};
 use xfrag_core::rank::RankConfig;
 use xfrag_core::snippet::{snippet, SnippetConfig};
-use xfrag_core::trace::{LatencyHistogram, Tracer};
+use xfrag_core::trace::{serve_stage, LatencyHistogram, Span, Tracer};
 use xfrag_core::{
     flight_key, Breach, Budget, CacheStats, CancelToken, EvalStats, ExecPolicy, FaultInjector,
-    FaultPlan, Flight, GenerationTag, Query, QueryCache, QueryError, Singleflight,
+    FaultPlan, Flight, GenerationTag, Query, QueryCache, QueryError, RetryBudget, Singleflight,
 };
 use xfrag_doc::manifest;
 use xfrag_doc::{Collection, DocId, Document};
@@ -69,6 +79,17 @@ pub struct ServeArgs {
     pub queue_depth: usize,
     /// Fault-isolated shard count; documents are routed by name hash.
     pub shards: usize,
+    /// Replicas per shard: independent instances of the same document
+    /// partition, hedged against each other.
+    pub replicas: usize,
+    /// Hedge-delay floor in ms; also the cold-start hedge delay before
+    /// a replica has any latency samples.
+    pub hedge_ms: u64,
+    /// Consecutive sub-job failures that open a replica's breaker.
+    pub breaker_failures: u32,
+    /// How long an open breaker refuses sub-jobs before a half-open
+    /// probe, in ms.
+    pub breaker_cooldown_ms: u64,
     /// Server-wide per-request deadline (clamps request deadlines).
     pub timeout_ms: Option<u64>,
     /// Poll the corpus dir every N ms and hot-reload newer generations.
@@ -92,6 +113,10 @@ impl ServeArgs {
             workers: 4,
             queue_depth: 64,
             shards: 1,
+            replicas: 1,
+            hedge_ms: 25,
+            breaker_failures: 3,
+            breaker_cooldown_ms: 1000,
             timeout_ms: None,
             watch_ms: None,
             inject: None,
@@ -159,6 +184,9 @@ struct ServeStats {
     /// Request lines that did not decode (also counted under `error`).
     invalid: u64,
     worker_panics: u64,
+    /// Transient `accept()` failures ridden out by the listener loop
+    /// (EMFILE/ENFILE/ECONNABORTED/EINTR and kin).
+    accept_errors: u64,
     /// Summed evaluation counters across all query requests.
     eval: EvalStats,
     /// Admission-to-response latency per query request.
@@ -177,6 +205,7 @@ impl ServeStats {
             shutting_down: 0,
             invalid: 0,
             worker_panics: 0,
+            accept_errors: 0,
             eval: EvalStats::new(),
             latency: LatencyHistogram::new(),
         }
@@ -196,9 +225,9 @@ impl ServeStats {
     }
 }
 
-/// One shard's slice of an admitted query, waiting for (or being
-/// processed by) that shard's worker pool. The corpus snapshot is
-/// pinned at admission so every shard of one request answers from the
+/// One replica's slice of an admitted query, waiting for (or being
+/// processed by) that replica's worker pool. The corpus snapshot is
+/// pinned at admission so every sub-job of one request answers from the
 /// same generation even if a reload lands mid-scatter.
 struct ShardJob {
     req: Arc<Request>,
@@ -206,39 +235,56 @@ struct ShardJob {
     /// Admission time; deadlines are measured from here, so time spent
     /// queued counts against the request.
     enqueued: Instant,
-    reply: mpsc::Sender<ShardReply>,
+    reply: mpsc::Sender<GroupReply>,
+    /// Cancelled by the watchdog when the deadline passes, and by the
+    /// gather when a sibling replica's reply already won this group.
+    cancel: CancelToken,
+    group: usize,
+    replica: usize,
+    /// Attempt ordinal within the group: 0 is the primary dispatch,
+    /// higher ordinals are hedges/failovers.
+    attempt: usize,
 }
 
-/// What one shard contributes to the gather.
+/// What one replica contributes to the gather.
 enum ShardReply {
-    /// The shard evaluated its document subset.
+    /// The replica evaluated its group's document subset.
     Eval(Box<BudgetedCollectionResult>),
-    /// The shard hit the deadline (before or during evaluation).
+    /// The replica hit the deadline (before or during evaluation).
     Timeout(String),
-    /// The shard's evaluation failed outright.
+    /// The replica's evaluation failed outright.
     Error(String),
-    /// The shard's worker panicked; a replacement was already spawned.
+    /// The replica's worker panicked; a replacement was already spawned.
     Panicked(String),
 }
 
-/// State guarded by one shard's queue mutex.
+/// One reply envelope: which group and attempt produced it.
+struct GroupReply {
+    group: usize,
+    attempt: usize,
+    reply: ShardReply,
+}
+
+/// State guarded by one replica's queue mutex.
 struct ShardInner {
     queue: VecDeque<ShardJob>,
-    /// Admitted but not yet replied-to sub-jobs on this shard.
+    /// Admitted but not yet replied-to sub-jobs on this replica.
     in_flight: usize,
     workers_alive: usize,
 }
 
 /// One fault domain: a worker pool, a bounded queue, a cache arena,
-/// and a singleflight table. Nothing here is shared across shards —
-/// the only cross-shard state in the server is the gather merge.
-struct Shard {
+/// and a singleflight table, plus the health signals the scatter path
+/// steers by (latency EWMA, circuit breaker, hedge counters). Nothing
+/// here is shared across replicas — the only cross-replica state in
+/// the server is the gather merge.
+struct Replica {
     inner: Mutex<ShardInner>,
-    /// This shard's workers wait here for jobs (or shutdown).
+    /// This replica's workers wait here for jobs (or shutdown).
     work_cv: Condvar,
-    /// This shard's private cache arena (`None` under `--no-cache`).
-    /// Per-shard rather than shared so a wedged or respawning shard
-    /// can never poison or contend on a sibling's cache.
+    /// This replica's private cache arena (`None` under `--no-cache`).
+    /// Per-replica rather than shared so a wedged or respawning
+    /// replica can never poison or contend on a sibling's cache.
     cache: Option<Arc<QueryCache>>,
     /// Coalesces concurrent identical cold queries: one leader
     /// evaluates, followers wait and replay the cached result.
@@ -249,6 +295,25 @@ struct Shard {
     /// The singleflight tests key off this staying at 1 under a
     /// stampede of identical cold queries.
     evaluations: AtomicU64,
+    /// Routes sub-jobs away from this replica after consecutive
+    /// timeouts/panics; half-open probes let it back in.
+    breaker: CircuitBreaker,
+    /// EWMA of admission-to-reply latency in microseconds (alpha 1/8);
+    /// 0 until the first sample. Drives the group's hedge delay.
+    ewma_us: AtomicU64,
+    /// Hedge/failover sub-jobs dispatched *to* this replica (it was
+    /// the backup), lifetime total.
+    hedges: AtomicU64,
+    /// Hedge/failover sub-jobs to this replica whose reply won the
+    /// group race, lifetime total.
+    hedge_wins: AtomicU64,
+}
+
+/// One shard's replica group: R independent [`Replica`]s over the same
+/// document partition. Scatter picks a preferred replica per request
+/// and hedges to a backup when the preferred one is slow.
+struct ReplicaGroup {
+    replicas: Vec<Replica>,
 }
 
 /// State guarded by the global mutex (connection accounting only —
@@ -317,9 +382,11 @@ struct Shared {
     carry_evicted: AtomicU64,
     queue_depth: usize,
     timeout_ms: Option<u64>,
+    /// Hedge-delay floor (and cold-start hedge delay).
+    hedge_floor: Duration,
     fault: Option<Arc<FaultInjector>>,
-    /// The fault domains. Fixed at startup; index is the shard id.
-    shards: Vec<Shard>,
+    /// The replica groups. Fixed at startup; index is the shard id.
+    groups: Vec<ReplicaGroup>,
     addr: std::net::SocketAddr,
     shutdown: AtomicBool,
     inner: Mutex<Inner>,
@@ -350,18 +417,55 @@ fn poke_drain(s: &Shared) {
 }
 
 /// Workers alive, jobs queued, and sub-jobs in flight, summed across
-/// all shards (the shape `health` has always reported).
+/// all replicas of all groups (the shape `health` has always reported).
 fn pool_totals(s: &Shared) -> (usize, usize, usize) {
     let mut workers = 0;
     let mut queued = 0;
     let mut in_flight = 0;
-    for sh in &s.shards {
-        let g = sh.inner.lock().unwrap();
+    for rep in s.groups.iter().flat_map(|g| &g.replicas) {
+        let g = rep.inner.lock().unwrap();
         workers += g.workers_alive;
         queued += g.queue.len();
         in_flight += g.in_flight;
     }
     (workers, queued, in_flight)
+}
+
+/// EWMA smoothing factor: 1/2^3 = 1/8 of each new sample.
+const EWMA_SHIFT: u32 = 3;
+
+/// Hedge delay as a multiple of the preferred replica's latency EWMA —
+/// roughly a p95+ cutoff for well-behaved latency distributions, so
+/// hedges fire on genuine stragglers, not ordinary jitter.
+const HEDGE_EWMA_MULT: u32 = 4;
+
+/// Fold one admission-to-reply latency sample into a replica's EWMA.
+fn observe_latency(rep: &Replica, sample: Duration) {
+    let us = u64::try_from(sample.as_micros()).unwrap_or(u64::MAX);
+    let _ = rep
+        .ewma_us
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |old| {
+            Some(if old == 0 {
+                // First sample seeds the average (floor 1 so a sub-µs
+                // sample still marks the EWMA as primed).
+                us.max(1)
+            } else {
+                let delta = (us as i128 - old as i128) >> EWMA_SHIFT;
+                (old as i128 + delta).clamp(1, u64::MAX as i128) as u64
+            })
+        });
+}
+
+/// How long the gather waits for `rep`'s reply before hedging its
+/// group's sub-job to a backup: a multiple of the replica's recent
+/// latency, floored (and cold-started) at `--hedge-ms`.
+fn hedge_delay(rep: &Replica, floor: Duration) -> Duration {
+    match rep.ewma_us.load(Ordering::Relaxed) {
+        0 => floor,
+        e => floor.max(Duration::from_micros(
+            e.saturating_mul(HEDGE_EWMA_MULT as u64),
+        )),
+    }
 }
 
 /// Run the server until a `shutdown` request drains it. Prints
@@ -397,21 +501,35 @@ pub fn serve(args: &ServeArgs) -> Result<String, CliError> {
     }
 
     let workers = args.workers.max(1);
-    // Split the cache budget evenly: each shard gets its own arena so
-    // arenas never contend or share failure modes across shards.
-    let per_shard_mb = (args.cache_mb / shards_n as u64).max(1);
-    let shards: Vec<Shard> = (0..shards_n)
-        .map(|_| Shard {
-            inner: Mutex::new(ShardInner {
-                queue: VecDeque::new(),
-                in_flight: 0,
-                workers_alive: workers,
-            }),
-            work_cv: Condvar::new(),
-            cache: (!args.no_cache).then(|| Arc::new(QueryCache::with_capacity_mb(per_shard_mb))),
-            flights: Singleflight::new(),
-            respawns: AtomicU64::new(0),
-            evaluations: AtomicU64::new(0),
+    let replicas_n = args.replicas.max(1);
+    // Split the cache budget evenly: each replica gets its own arena so
+    // arenas never contend or share failure modes across fault domains.
+    let per_replica_mb = (args.cache_mb / (shards_n * replicas_n) as u64).max(1);
+    let breaker_cfg = BreakerConfig {
+        failure_threshold: args.breaker_failures.max(1),
+        cooldown: Duration::from_millis(args.breaker_cooldown_ms.max(1)),
+    };
+    let groups: Vec<ReplicaGroup> = (0..shards_n)
+        .map(|_| ReplicaGroup {
+            replicas: (0..replicas_n)
+                .map(|_| Replica {
+                    inner: Mutex::new(ShardInner {
+                        queue: VecDeque::new(),
+                        in_flight: 0,
+                        workers_alive: workers,
+                    }),
+                    work_cv: Condvar::new(),
+                    cache: (!args.no_cache)
+                        .then(|| Arc::new(QueryCache::with_capacity_mb(per_replica_mb))),
+                    flights: Singleflight::new(),
+                    respawns: AtomicU64::new(0),
+                    evaluations: AtomicU64::new(0),
+                    breaker: CircuitBreaker::new(breaker_cfg),
+                    ewma_us: AtomicU64::new(0),
+                    hedges: AtomicU64::new(0),
+                    hedge_wins: AtomicU64::new(0),
+                })
+                .collect(),
         })
         .collect();
     let shared = Arc::new(Shared {
@@ -425,18 +543,21 @@ pub fn serve(args: &ServeArgs) -> Result<String, CliError> {
         carry_evicted: AtomicU64::new(0),
         queue_depth: args.queue_depth.max(1),
         timeout_ms: args.timeout_ms,
+        hedge_floor: Duration::from_millis(args.hedge_ms.max(1)),
         fault,
-        shards,
+        groups,
         addr,
         shutdown: AtomicBool::new(false),
         inner: Mutex::new(Inner { conns: 0 }),
         drain_cv: Condvar::new(),
         stats: Mutex::new(ServeStats::new()),
     });
-    for shard_idx in 0..shards_n {
-        for _ in 0..workers {
-            let s = Arc::clone(&shared);
-            std::thread::spawn(move || worker_loop(s, shard_idx));
+    for group_idx in 0..shards_n {
+        for replica_idx in 0..replicas_n {
+            for _ in 0..workers {
+                let s = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(s, group_idx, replica_idx));
+            }
         }
     }
     if let Some(ms) = args.watch_ms {
@@ -461,12 +582,33 @@ pub fn serve(args: &ServeArgs) -> Result<String, CliError> {
         });
     }
 
+    // Transient accept() failures — EMFILE/ENFILE when handler threads
+    // briefly exhaust descriptors, ECONNABORTED when a client gives up
+    // in the backlog, EINTR — must not kill the listener. Back off and
+    // keep accepting; the backoff resets on the next successful accept
+    // so one storm doesn't permanently slow admission.
+    let mut accept_backoff = Duration::from_millis(10);
     loop {
         let (stream, _) = match listener.accept() {
-            Ok(x) => x,
-            Err(_) => {
+            Ok(x) => {
+                accept_backoff = Duration::from_millis(10);
+                x
+            }
+            Err(e) => {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break;
+                }
+                shared.stats.lock().unwrap().accept_errors += 1;
+                use std::io::ErrorKind;
+                // Aborted/interrupted accepts cost nothing to retry at
+                // once; resource exhaustion needs breathing room for
+                // open connections to drain descriptors.
+                if !matches!(
+                    e.kind(),
+                    ErrorKind::Interrupted | ErrorKind::ConnectionAborted | ErrorKind::WouldBlock
+                ) {
+                    std::thread::sleep(accept_backoff);
+                    accept_backoff = (accept_backoff * 2).min(Duration::from_secs(1));
                 }
                 continue;
             }
@@ -486,16 +628,16 @@ pub fn serve(args: &ServeArgs) -> Result<String, CliError> {
     }
     drop(listener);
 
-    // Drain: each shard's workers exit only once its queue is empty,
+    // Drain: each replica's workers exit only once its queue is empty,
     // each sub-job's reply is sent before its in-flight slot is
     // released, and every connection handler has flushed its last
     // reply and closed. Lock order: global `inner` first, then each
-    // shard — the same order every other multi-lock path uses.
+    // replica — the same order every other multi-lock path uses.
     {
         let mut g = shared.inner.lock().unwrap();
         loop {
-            let pools_done = shared.shards.iter().all(|sh| {
-                let si = sh.inner.lock().unwrap();
+            let pools_done = shared.groups.iter().flat_map(|gr| &gr.replicas).all(|rep| {
+                let si = rep.inner.lock().unwrap();
                 debug_assert!(si.workers_alive > 0 || si.queue.is_empty());
                 si.workers_alive == 0 && si.in_flight == 0
             });
@@ -702,7 +844,7 @@ fn try_reload(s: &Arc<Shared>) -> Result<Arc<Generation>, String> {
         );
         Err(why)
     };
-    let next = match load_corpus(&s.dir, s.fault.as_ref(), s.shards.len()) {
+    let next = match load_corpus(&s.dir, s.fault.as_ref(), s.groups.len()) {
         Ok(g) => g,
         Err(e) => return fail(e.to_string()),
     };
@@ -729,7 +871,7 @@ fn try_reload(s: &Arc<Shared>) -> Result<Arc<Generation>, String> {
         eprintln!("warning: {r}");
     }
     // Carry cache entries for byte-identical documents across the
-    // generation bump, per shard arena. Manifest checksums vouch for
+    // generation bump, per replica arena. Manifest checksums vouch for
     // byte identity: equal sums on both sides mean the same file bytes,
     // hence the same parse tree and `NodeId`s, hence entry-for-entry
     // identical cache contents — so postings/fixpoint/result entries
@@ -737,11 +879,15 @@ fn try_reload(s: &Arc<Shared>) -> Result<Arc<Generation>, String> {
     // dropped. Changed, removed, quarantined, or unverifiable
     // (unversioned) documents get no mapping and their entries are
     // evicted. Name-hash routing keeps a surviving document on the
-    // same shard, so its entries are always in the arena that will be
+    // same shard, so its entries are always in the arenas that will be
     // probed for them. Requests already in flight keep their pinned
     // old `Arc` and tag; their entries were just moved, so they take
     // benign misses, never stale hits.
-    if s.shards.iter().any(|sh| sh.cache.is_some()) {
+    if s.groups
+        .iter()
+        .flat_map(|g| &g.replicas)
+        .any(|rep| rep.cache.is_some())
+    {
         let old_ids: HashMap<&str, u32> = current
             .coll
             .ids()
@@ -756,8 +902,8 @@ fn try_reload(s: &Arc<Shared>) -> Result<Arc<Generation>, String> {
                 }
             }
         }
-        for sh in &s.shards {
-            if let Some(cache) = &sh.cache {
+        for rep in s.groups.iter().flat_map(|g| &g.replicas) {
+            if let Some(cache) = &rep.cache {
                 let co = cache.carry_over(current.tag, next.tag, &doc_map);
                 s.carry_kept.fetch_add(co.kept, Ordering::SeqCst);
                 s.carry_rekeyed.fetch_add(co.rekeyed, Ordering::SeqCst);
@@ -905,157 +1051,482 @@ fn handle_conn(s: Arc<Shared>, stream: TcpStream) {
     }
 }
 
+/// One dispatched sub-job (primary, hedge, or failover) from the
+/// gather's point of view. The permit is the breaker's witness: it is
+/// resolved exactly once — success, failure, or abandoned when a
+/// sibling's reply already settled the group.
+struct AttemptState {
+    replica: usize,
+    /// Cancelled when a sibling attempt wins the group race (or the
+    /// gather gives the group up), so the loser stops burning CPU.
+    cancel: CancelToken,
+    permit: Permit,
+    /// Whether this attempt's breaker verdict has been delivered.
+    /// Replies from resolved attempts (late losers) are discarded.
+    resolved: bool,
+}
+
+/// Why a group contributed nothing to the merge.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Down {
+    /// No reply within deadline + grace, or an in-band deadline miss.
+    TimedOut,
+    /// Every admittable replica's queue was full at dispatch time.
+    Shed,
+    /// The last usable replica's worker panicked.
+    Panicked,
+    /// Every replica's circuit breaker refused the sub-job.
+    Open,
+}
+
+/// Per-group gather state: the attempts in flight, the winning result
+/// (if any), and the armed hedge timer.
+struct GroupState {
+    attempts: Vec<AttemptState>,
+    eval: Option<Box<BudgetedCollectionResult>>,
+    down: Option<Down>,
+    /// When to hedge the sub-job to a backup replica; `None` once fired
+    /// (one-shot), settled, or when the group has a single replica.
+    hedge_at: Option<Instant>,
+}
+
+impl GroupState {
+    /// A group is settled when it has a result, or is down *and* every
+    /// attempt's breaker verdict has been delivered.
+    fn settled(&self) -> bool {
+        self.eval.is_some() || (self.down.is_some() && self.attempts.iter().all(|a| a.resolved))
+    }
+}
+
 /// Everything the connection thread needs to assemble one response
 /// from the scattered sub-jobs.
 struct Gather {
-    rx: mpsc::Receiver<ShardReply>,
-    /// Sub-jobs actually enqueued (shards with room in their queue).
-    expected: usize,
-    /// Shards whose queues were full; their documents are missing from
-    /// the merge and the response reports them under `shards.shed`.
-    shed: u64,
+    rx: mpsc::Receiver<GroupReply>,
+    /// Kept so hedge/failover dispatches can hand workers a reply
+    /// sender after admission.
+    tx: mpsc::Sender<GroupReply>,
+    groups: Vec<GroupState>,
     enqueued: Instant,
     req: Arc<Request>,
     gen: Arc<Generation>,
+    /// Caps extra (hedge + failover) dispatches for this one request so
+    /// redundancy cannot amplify load during a brown-out: at most one
+    /// extra attempt per group on average, shared across the request.
+    hedge_budget: RetryBudget,
 }
 
-/// Admission control: reject when draining or when *every* shard's
-/// bounded queue is full; otherwise scatter one sub-job per shard with
-/// queue room and hand back the gather handle. Holding all shard locks
-/// for the scatter makes admission atomic against the drain: either
-/// every sub-job lands before workers can see `shutdown`, or none do.
-/// Rejections are boxed: they're the cold path, and `Response` is wide.
+/// Admission control: reject when draining or when no replica anywhere
+/// will take a sub-job; otherwise scatter one sub-job per group to that
+/// group's preferred replica — the first one, in index order, whose
+/// queue has room and whose breaker admits it — and hand back the
+/// gather handle. Index order (not load order) keeps all traffic on
+/// replica 0 while it is healthy, which is what makes an R-replica
+/// server byte- and cache-identical to an R=1 server until a fault or
+/// hedge actually fires. Holding all replica locks for the scatter
+/// makes admission atomic against the drain: either every sub-job
+/// lands before workers can see `shutdown`, or none do. Rejections are
+/// boxed: they're the cold path, and `Response` is wide.
 fn admit_scatter(s: &Arc<Shared>, req: Request) -> Result<Gather, Box<Response>> {
     let id = req.id;
-    // Index order, same as every other multi-shard path: no cycles.
-    let mut guards: Vec<_> = s.shards.iter().map(|sh| sh.inner.lock().unwrap()).collect();
+    // (group, replica) index order, same as every other multi-lock
+    // path: no cycles.
+    let mut guards: Vec<Vec<_>> = s
+        .groups
+        .iter()
+        .map(|g| g.replicas.iter().map(|r| r.inner.lock().unwrap()).collect())
+        .collect();
     // Checked under the queue locks: workers only exit when `shutdown`
     // is already visible, so nothing can be enqueued past the drain.
     if s.shutdown.load(Ordering::SeqCst) {
         return Err(Box::new(Response::bare(id, status::SHUTTING_DOWN)));
     }
-    if guards.iter().all(|g| g.queue.len() >= s.queue_depth) {
-        let mut r = Response::bare(id, status::SHED);
-        r.note = Some(format!("queue full (depth {})", s.queue_depth));
-        return Err(Box::new(r));
-    }
-    // Pin one snapshot for every shard of this request: a reload that
+    // Pin one snapshot for every group of this request: a reload that
     // lands mid-scatter must not split the request across generations.
     let gen = s.snapshot();
     let enqueued = Instant::now();
     let req = Arc::new(req);
     let (tx, rx) = mpsc::channel();
-    let mut expected = 0usize;
-    let mut shed = 0u64;
-    for g in guards.iter_mut() {
-        if g.queue.len() >= s.queue_depth {
-            shed += 1;
-            continue;
+    let mut states: Vec<GroupState> = Vec::with_capacity(s.groups.len());
+    let mut dispatched: Vec<(usize, usize)> = Vec::new();
+    for (gi, group) in s.groups.iter().enumerate() {
+        let mut saw_full = false;
+        let mut admitted = None;
+        for (ri, rep) in group.replicas.iter().enumerate() {
+            let g = &mut guards[gi][ri];
+            if g.queue.len() >= s.queue_depth {
+                saw_full = true;
+                continue;
+            }
+            let Some(permit) = rep.breaker.try_acquire() else {
+                continue;
+            };
+            let cancel = CancelToken::new();
+            g.in_flight += 1;
+            g.queue.push_back(ShardJob {
+                req: Arc::clone(&req),
+                gen: Arc::clone(&gen),
+                enqueued,
+                reply: tx.clone(),
+                cancel: cancel.clone(),
+                group: gi,
+                replica: ri,
+                attempt: 0,
+            });
+            dispatched.push((gi, ri));
+            // Arm the hedge timer only when a backup exists to hedge to.
+            let hedge_at =
+                (group.replicas.len() > 1).then(|| enqueued + hedge_delay(rep, s.hedge_floor));
+            admitted = Some(GroupState {
+                attempts: vec![AttemptState {
+                    replica: ri,
+                    cancel,
+                    permit,
+                    resolved: false,
+                }],
+                eval: None,
+                down: None,
+                hedge_at,
+            });
+            break;
         }
-        g.in_flight += 1;
-        g.queue.push_back(ShardJob {
-            req: Arc::clone(&req),
-            gen: Arc::clone(&gen),
-            enqueued,
-            reply: tx.clone(),
+        states.push(admitted.unwrap_or(GroupState {
+            attempts: Vec::new(),
+            eval: None,
+            down: Some(if saw_full { Down::Shed } else { Down::Open }),
+            hedge_at: None,
+        }));
+    }
+    if dispatched.is_empty() {
+        // Nothing admitted anywhere: a whole-request rejection, in the
+        // old single-pool shape. No permits are outstanding here — a
+        // group either enqueued (and is in `dispatched`) or holds none.
+        let all_open = states.iter().all(|st| st.down == Some(Down::Open));
+        drop(guards);
+        let mut r = Response::bare(id, status::SHED);
+        r.note = Some(if all_open {
+            "every replica's circuit breaker is open".into()
+        } else {
+            format!("queue full (depth {})", s.queue_depth)
         });
-        expected += 1;
+        return Err(Box::new(r));
     }
     drop(guards);
-    for sh in &s.shards {
-        sh.work_cv.notify_one();
+    for (gi, ri) in dispatched {
+        s.groups[gi].replicas[ri].work_cv.notify_one();
     }
+    // One extra attempt per group on average; hedges and failovers draw
+    // from the same pool, so a brown-out cannot double total load.
+    let hedge_budget = RetryBudget::new(s.groups.len() as u64, None);
     Ok(Gather {
         rx,
-        expected,
-        shed,
+        tx,
+        groups: states,
         enqueued,
         req,
         gen,
+        hedge_budget,
     })
+}
+
+/// Dispatch `gi`'s sub-job to the next untried replica in the group
+/// (hedge or failover). Returns whether a backup was actually enqueued;
+/// reasons not to: no untried replica, breakers refuse them all, their
+/// queues are full, the drain began, or the request's hedge budget is
+/// spent. Never blocks beyond the replica queue mutexes.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_backup(
+    s: &Shared,
+    gi: usize,
+    gs: &mut GroupState,
+    req: &Arc<Request>,
+    gen: &Arc<Generation>,
+    enqueued: Instant,
+    tx: &mpsc::Sender<GroupReply>,
+    budget: &RetryBudget,
+) -> bool {
+    let group = &s.groups[gi];
+    for (ri, rep) in group.replicas.iter().enumerate() {
+        if gs.attempts.iter().any(|a| a.replica == ri) {
+            continue; // already tried (or in flight) on this replica
+        }
+        let Some(permit) = rep.breaker.try_acquire() else {
+            continue;
+        };
+        let mut g = rep.inner.lock().unwrap();
+        if s.shutdown.load(Ordering::SeqCst) || g.queue.len() >= s.queue_depth {
+            drop(g);
+            rep.breaker.abandon(permit);
+            continue;
+        }
+        // Charge the budget only once a viable backup exists, so a
+        // fully-broken group doesn't burn allowance other groups could
+        // still use.
+        if !budget.try_spend() {
+            drop(g);
+            rep.breaker.abandon(permit);
+            return false;
+        }
+        let cancel = CancelToken::new();
+        let attempt = gs.attempts.len();
+        g.in_flight += 1;
+        g.queue.push_back(ShardJob {
+            req: Arc::clone(req),
+            gen: Arc::clone(gen),
+            enqueued,
+            reply: tx.clone(),
+            cancel: cancel.clone(),
+            group: gi,
+            replica: ri,
+            attempt,
+        });
+        drop(g);
+        rep.hedges.fetch_add(1, Ordering::Relaxed);
+        rep.work_cv.notify_one();
+        gs.attempts.push(AttemptState {
+            replica: ri,
+            cancel,
+            permit,
+            resolved: false,
+        });
+        return true;
+    }
+    false
 }
 
 /// How long past the request deadline the gather keeps listening for
 /// in-band replies before declaring a shard wedged and dropping it
 /// from the merge. Shards answer their own deadline misses in-band
 /// (the watchdog cancels, the worker replies `timeout`), and those
-/// replies land within this grace; only a shard that cannot reply at
-/// all — stalled worker, injected hard delay — burns the full grace
-/// and is dropped, flipping the response to `"complete":false`.
+/// replies land within this grace; only a group that cannot reply at
+/// all — every usable replica stalled, injected hard delay — burns the
+/// full grace and is dropped, flipping the response to
+/// `"complete":false`.
 const GATHER_GRACE: Duration = Duration::from_millis(250);
 
-/// Collect the scattered sub-replies and merge them into one response.
+/// Collect the scattered sub-replies — firing hedge timers and
+/// failovers along the way — and merge them into one response.
 ///
-/// Merge invariant (see DESIGN.md): concatenate the surviving shards'
+/// Merge invariant (see DESIGN.md): concatenate the surviving groups'
 /// per-document answers, sort by document id, sum the counters, and
-/// rank with `top_k_collection` exactly once — so with every shard
-/// present the response is byte-identical to a single-shard server's,
-/// and with shards missing it is byte-identical to a single-shard
+/// rank with `top_k_collection` exactly once — so with every group
+/// present the response is byte-identical to a single-shard,
+/// single-replica server's (regardless of which replica answered),
+/// and with groups missing it is byte-identical to a single-shard
 /// server over the surviving documents (plus the accounting fields).
-fn gather_response(s: &Shared, g: Gather) -> Response {
-    let req = &*g.req;
-    let id = req.id;
-    let total = s.shards.len();
-    let deadline = match (s.timeout_ms, req.timeout_ms) {
+fn gather_response(s: &Shared, mut g: Gather) -> Response {
+    let id = g.req.id;
+    let total = s.groups.len();
+    let deadline = match (s.timeout_ms, g.req.timeout_ms) {
         (None, None) => None,
         (a, b) => Some(Duration::from_millis(
             a.unwrap_or(u64::MAX).min(b.unwrap_or(u64::MAX)),
         )),
     };
-    let mut evals: Vec<BudgetedCollectionResult> = Vec::new();
-    let mut timeouts: Vec<String> = Vec::new();
-    let mut errors: Vec<String> = Vec::new();
-    let mut panics: Vec<String> = Vec::new();
-    let mut received = 0usize;
-    while received < g.expected {
-        let next = match deadline {
-            // No deadline: a shard may legitimately take as long as it
-            // likes, so the gather blocks (matching the old
-            // single-pool behavior under soak).
+    let overall = deadline.map(|d| g.enqueued + d + GATHER_GRACE);
+    // Hedge spans land here; today no serve-side profile sink exists,
+    // so this is the disabled tracer — the span names stay wired at
+    // the dispatch point for when one grows (see `serve_stage`).
+    let tracer = Tracer::disabled();
+    let mut first_timeout: Option<String> = None;
+    let mut first_panic: Option<String> = None;
+    loop {
+        // Fire due hedge timers before (re-)blocking: the preferred
+        // replica is officially slow, so race a backup against it.
+        let now = Instant::now();
+        for gi in 0..g.groups.len() {
+            if g.groups[gi].hedge_at.is_some_and(|t| t <= now) {
+                let gs = &mut g.groups[gi];
+                gs.hedge_at = None; // one-shot
+                if dispatch_backup(
+                    s,
+                    gi,
+                    gs,
+                    &g.req,
+                    &g.gen,
+                    g.enqueued,
+                    &g.tx,
+                    &g.hedge_budget,
+                ) {
+                    tracer.attach(Span::leaf(
+                        serve_stage::HEDGE_FIRE,
+                        g.enqueued.elapsed(),
+                        EvalStats::new(),
+                    ));
+                }
+            }
+        }
+        if g.groups.iter().all(GroupState::settled) {
+            break;
+        }
+        // Sleep until the next thing that could need action: a reply,
+        // the earliest armed hedge timer, or the overall cutoff.
+        let next_hedge = g.groups.iter().filter_map(|st| st.hedge_at).min();
+        let wake = match (overall, next_hedge) {
+            (None, None) => None,
+            (a, b) => Some(
+                a.unwrap_or_else(|| b.unwrap())
+                    .min(b.unwrap_or_else(|| a.unwrap())),
+            ),
+        };
+        let reply = match wake {
+            // No deadline and no pending hedge: a group may
+            // legitimately take as long as it likes, so the gather
+            // blocks (matching the old single-pool behavior under
+            // soak).
             None => g.rx.recv().ok(),
-            Some(d) => {
-                let wait = (d + GATHER_GRACE).saturating_sub(g.enqueued.elapsed());
-                match g.rx.recv_timeout(wait) {
+            Some(t) => {
+                let now = Instant::now();
+                if t <= now {
+                    if overall.is_some_and(|o| o <= now) && next_hedge.is_none_or(|h| h > now) {
+                        break; // grace burned; unsettled groups are wedged
+                    }
+                    continue; // a hedge timer is due: fire it first
+                }
+                match g.rx.recv_timeout(t - now) {
                     Ok(r) => Some(r),
-                    Err(mpsc::RecvTimeoutError::Timeout) => break,
+                    Err(mpsc::RecvTimeoutError::Timeout) => continue,
                     Err(mpsc::RecvTimeoutError::Disconnected) => None,
                 }
             }
         };
-        let Some(reply) = next else { break };
-        received += 1;
+        let Some(GroupReply {
+            group: gi,
+            attempt,
+            reply,
+        }) = reply
+        else {
+            break;
+        };
+        let gs = &mut g.groups[gi];
+        let Some(att) = gs.attempts.get_mut(attempt) else {
+            continue;
+        };
+        if att.resolved {
+            continue; // a late loser's reply; its verdict was abandoned
+        }
+        att.resolved = true;
+        let permit = att.permit;
+        let replica = att.replica;
+        let rep = &s.groups[gi].replicas[replica];
         match reply {
-            ShardReply::Eval(r) => evals.push(*r),
-            ShardReply::Timeout(m) => timeouts.push(m),
-            ShardReply::Error(m) => errors.push(m),
-            ShardReply::Panicked(m) => panics.push(m),
+            ShardReply::Eval(r) => {
+                rep.breaker.record_success(permit);
+                observe_latency(rep, g.enqueued.elapsed());
+                if attempt > 0 {
+                    rep.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                }
+                // First good reply wins the group: cancel the losers
+                // and abandon their breaker permits — a cancelled
+                // attempt is not evidence about the replica's health.
+                for a in gs.attempts.iter_mut().filter(|a| !a.resolved) {
+                    a.resolved = true;
+                    a.cancel.cancel();
+                    s.groups[gi].replicas[a.replica].breaker.abandon(a.permit);
+                }
+                gs.eval = Some(r);
+                gs.down = None;
+                gs.hedge_at = None;
+            }
+            ShardReply::Timeout(m) => {
+                // The deadline is request-wide: a backup would inherit
+                // the same spent clock, so there is nothing to fail
+                // over to. Count it against the replica and move on.
+                rep.breaker.record_failure(permit);
+                first_timeout.get_or_insert(m);
+                if gs.eval.is_none() {
+                    gs.down = Some(Down::TimedOut);
+                    gs.hedge_at = None;
+                }
+            }
+            ShardReply::Panicked(m) => {
+                rep.breaker.record_failure(permit);
+                first_panic.get_or_insert(m);
+                if gs.eval.is_none() {
+                    // A panic is instant, unlike a timeout: there is
+                    // still time on the clock, so fail over right away
+                    // instead of waiting for the hedge timer.
+                    gs.hedge_at = None;
+                    let failed_over = dispatch_backup(
+                        s,
+                        gi,
+                        gs,
+                        &g.req,
+                        &g.gen,
+                        g.enqueued,
+                        &g.tx,
+                        &g.hedge_budget,
+                    );
+                    if !failed_over && gs.attempts.iter().all(|a| a.resolved) {
+                        gs.down = Some(Down::Panicked);
+                    }
+                }
+            }
+            ShardReply::Error(m) => {
+                // A hard evaluation error on any group fails the whole
+                // request, exactly as it failed the whole single-pool
+                // request before: a malformed query or an injected
+                // cancel is not a partial answer, and retrying it on a
+                // backup would amplify a deterministic failure. The
+                // permit is abandoned, not failed: most errors here are
+                // request-shaped (bad strategy, no keywords) and say
+                // nothing about the replica's health.
+                rep.breaker.abandon(permit);
+                for (ogi, gstate) in g.groups.iter_mut().enumerate() {
+                    for a in gstate.attempts.iter_mut().filter(|a| !a.resolved) {
+                        a.resolved = true;
+                        a.cancel.cancel();
+                        s.groups[ogi].replicas[a.replica].breaker.abandon(a.permit);
+                    }
+                }
+                return Response::error(id, m);
+            }
         }
     }
-    // Shards that never replied within deadline + grace: wedged.
-    let dropped = g.expected - received;
+    // Groups that never settled within deadline + grace: wedged. Cancel
+    // whatever is still running and count it as a failure against each
+    // replica that sat on the sub-job — that is exactly the signal the
+    // breaker exists to integrate.
+    for (gi, gs) in g.groups.iter_mut().enumerate() {
+        if gs.eval.is_some() {
+            continue;
+        }
+        for a in gs.attempts.iter_mut().filter(|a| !a.resolved) {
+            a.resolved = true;
+            a.cancel.cancel();
+            s.groups[gi].replicas[a.replica]
+                .breaker
+                .record_failure(a.permit);
+        }
+        if gs.down.is_none() {
+            gs.down = Some(Down::TimedOut);
+        }
+    }
 
-    // A hard evaluation error on any shard fails the whole request,
-    // exactly as it failed the whole single-pool request before: a
-    // malformed query or an injected cancel is not a partial answer.
-    if !errors.is_empty() {
-        return Response::error(id, errors.remove(0));
+    let mut evals: Vec<BudgetedCollectionResult> = Vec::new();
+    let (mut timed_out, mut shed, mut panicked, mut open) = (0u64, 0u64, 0u64, 0u64);
+    for gs in &mut g.groups {
+        match (gs.eval.take(), gs.down) {
+            (Some(r), _) => evals.push(*r),
+            (None, Some(Down::Shed)) => shed += 1,
+            (None, Some(Down::Panicked)) => panicked += 1,
+            (None, Some(Down::Open)) => open += 1,
+            (None, Some(Down::TimedOut)) | (None, None) => timed_out += 1,
+        }
     }
     if evals.is_empty() {
         // Nothing survived to merge: report the dominant failure in
         // the old single-pool shapes so clients and retry heuristics
         // keep working unchanged.
-        if !panics.is_empty() {
-            return Response::error(id, panics.remove(0));
+        if let Some(m) = first_panic {
+            return Response::error(id, m);
         }
         let mut r = Response::bare(id, status::TIMEOUT);
-        r.error = Some(if timeouts.is_empty() {
-            "deadline exceeded during evaluation".into()
-        } else {
-            timeouts.remove(0)
-        });
+        r.error =
+            Some(first_timeout.unwrap_or_else(|| "deadline exceeded during evaluation".into()));
         return r;
     }
 
+    let req = &*g.req;
     let coll = &g.gen.coll;
     let ok = evals.len();
     let complete = ok == total;
@@ -1153,20 +1624,21 @@ fn gather_response(s: &Shared, g: Gather) -> Response {
         resp.complete = false;
         resp.shards = Some(ShardOutcome {
             ok: ok as u64,
-            timed_out: (timeouts.len() + dropped) as u64,
-            shed: g.shed,
-            panicked: panics.len() as u64,
+            timed_out,
+            shed,
+            panicked,
+            open,
         });
     }
     resp
 }
 
-/// Close admission, wake every shard's idle workers, and poke the
+/// Close admission, wake every replica's idle workers, and poke the
 /// accept loop so the main thread proceeds to the drain phase.
 fn begin_shutdown(s: &Arc<Shared>, id: u64) -> String {
     s.shutdown.store(true, Ordering::SeqCst);
-    for sh in &s.shards {
-        sh.work_cv.notify_all();
+    for rep in s.groups.iter().flat_map(|g| &g.replicas) {
+        rep.work_cv.notify_all();
     }
     let _ = TcpStream::connect(s.addr);
     s.bump(status::OK);
@@ -1191,14 +1663,15 @@ fn health_line(s: &Shared, id: u64) -> String {
     )
 }
 
-/// The aggregate cache block for `stats`: shard arenas folded into one
-/// [`CacheStats`] (tier counters summed, per-lock-shard counter lists
-/// concatenated in shard order), or `null` when caching is off. With
-/// one shard this is bit-for-bit the old single-arena block.
+/// The aggregate cache block for `stats`: replica arenas folded into
+/// one [`CacheStats`] (tier counters summed, per-lock-shard counter
+/// lists concatenated in (group, replica) order), or `null` when
+/// caching is off. With one shard and one replica this is bit-for-bit
+/// the old single-arena block.
 fn cache_json(s: &Shared) -> String {
     let mut agg: Option<CacheStats> = None;
-    for sh in &s.shards {
-        let Some(c) = &sh.cache else { continue };
+    for rep in s.groups.iter().flat_map(|g| &g.replicas) {
+        let Some(c) = &rep.cache else { continue };
         let st = c.stats();
         match &mut agg {
             None => agg = Some(st),
@@ -1274,41 +1747,102 @@ fn stats_line(s: &Shared, id: u64) -> String {
     );
     // Per-shard fault-domain detail, in shard order (see the schema
     // comment in `protocol.rs`): pool state, respawn and evaluation
-    // lifetime counters, singleflight accounting, and the shard's own
-    // cache arena.
+    // lifetime counters, and singleflight accounting, summed across the
+    // shard's replicas, plus a per-replica breakdown carrying each
+    // replica's breaker state, latency EWMA, hedge counters, and its
+    // own cache arena.
     let shards: Vec<String> = s
-        .shards
+        .groups
         .iter()
         .enumerate()
-        .map(|(i, sh)| {
-            let (workers, queued, in_flight) = {
-                let g = sh.inner.lock().unwrap();
-                (g.workers_alive, g.queue.len(), g.in_flight)
-            };
-            let fl = sh.flights.stats();
-            let sh_cache = match &sh.cache {
-                None => "null".to_string(),
-                Some(c) => c.stats().to_json(),
+        .map(|(i, group)| {
+            let (mut workers, mut queued, mut in_flight) = (0usize, 0usize, 0usize);
+            let (mut respawns, mut evaluations) = (0u64, 0u64);
+            let (mut led, mut coalesced, mut aborted) = (0u64, 0u64, 0u64);
+            let mut replicas: Vec<String> = Vec::with_capacity(group.replicas.len());
+            for (j, rep) in group.replicas.iter().enumerate() {
+                let (w, q, f) = {
+                    let g = rep.inner.lock().unwrap();
+                    (g.workers_alive, g.queue.len(), g.in_flight)
+                };
+                workers += w;
+                queued += q;
+                in_flight += f;
+                let rsp = rep.respawns.load(Ordering::SeqCst);
+                let evl = rep.evaluations.load(Ordering::SeqCst);
+                respawns += rsp;
+                evaluations += evl;
+                let fl = rep.flights.stats();
+                led += fl.led;
+                coalesced += fl.coalesced;
+                aborted += fl.aborted;
+                let rep_cache = match &rep.cache {
+                    None => "null".to_string(),
+                    Some(c) => c.stats().to_json(),
+                };
+                replicas.push(format!(
+                    "{{\"replica\":{},\"state\":\"{}\",\"ewma_us\":{},\"hedges\":{},\"wins\":{},\"opens\":{},\"workers\":{},\"queued\":{},\"in_flight\":{},\"respawns\":{},\"evaluations\":{},\"flights\":{{\"led\":{},\"coalesced\":{},\"aborted\":{}}},\"cache\":{}}}",
+                    j,
+                    rep.breaker.state().name(),
+                    rep.ewma_us.load(Ordering::Relaxed),
+                    rep.hedges.load(Ordering::Relaxed),
+                    rep.hedge_wins.load(Ordering::Relaxed),
+                    rep.breaker.opens(),
+                    w,
+                    q,
+                    f,
+                    rsp,
+                    evl,
+                    fl.led,
+                    fl.coalesced,
+                    fl.aborted,
+                    rep_cache,
+                ));
+            }
+            let sh_cache = {
+                let mut agg: Option<CacheStats> = None;
+                for rep in &group.replicas {
+                    let Some(c) = &rep.cache else { continue };
+                    let st = c.stats();
+                    match &mut agg {
+                        None => agg = Some(st),
+                        Some(a) => {
+                            a.postings.hits += st.postings.hits;
+                            a.postings.misses += st.postings.misses;
+                            a.fixpoint.hits += st.fixpoint.hits;
+                            a.fixpoint.misses += st.fixpoint.misses;
+                            a.result.hits += st.result.hits;
+                            a.result.misses += st.result.misses;
+                            a.evictions += st.evictions;
+                            a.insertions += st.insertions;
+                            a.bytes += st.bytes;
+                            a.entries += st.entries;
+                            a.shards.extend(st.shards);
+                        }
+                    }
+                }
+                agg.map_or("null".to_string(), |a| a.to_json())
             };
             format!(
-                "{{\"shard\":{},\"docs\":{},\"workers\":{},\"queued\":{},\"in_flight\":{},\"respawns\":{},\"evaluations\":{},\"flights\":{{\"led\":{},\"coalesced\":{},\"aborted\":{}}},\"cache\":{}}}",
+                "{{\"shard\":{},\"docs\":{},\"workers\":{},\"queued\":{},\"in_flight\":{},\"respawns\":{},\"evaluations\":{},\"flights\":{{\"led\":{},\"coalesced\":{},\"aborted\":{}}},\"cache\":{},\"replicas\":[{}]}}",
                 i,
                 gen.shard_docs.get(i).map_or(0, Vec::len),
                 workers,
                 queued,
                 in_flight,
-                sh.respawns.load(Ordering::SeqCst),
-                sh.evaluations.load(Ordering::SeqCst),
-                fl.led,
-                fl.coalesced,
-                fl.aborted,
+                respawns,
+                evaluations,
+                led,
+                coalesced,
+                aborted,
                 sh_cache,
+                replicas.join(","),
             )
         })
         .collect();
     let shards = format!("[{}]", shards.join(","));
     format!(
-        "{{\"id\":{},\"status\":\"ok\",\"generation\":{},\"reloads\":{{\"ok\":{},\"failed\":{}}},\"quarantined\":{},\"serve\":{{\"total\":{},\"ok\":{},\"degraded\":{},\"shed\":{},\"timeout\":{},\"error\":{},\"shutting_down\":{},\"invalid\":{},\"worker_panics\":{}}},\"eval\":{},\"latency\":{},\"cache\":{},\"delta\":{},\"index\":{},\"shards\":{}}}",
+        "{{\"id\":{},\"status\":\"ok\",\"generation\":{},\"reloads\":{{\"ok\":{},\"failed\":{}}},\"quarantined\":{},\"serve\":{{\"total\":{},\"ok\":{},\"degraded\":{},\"shed\":{},\"timeout\":{},\"error\":{},\"shutting_down\":{},\"invalid\":{},\"worker_panics\":{},\"accept_errors\":{}}},\"eval\":{},\"latency\":{},\"cache\":{},\"delta\":{},\"index\":{},\"shards\":{}}}",
         id,
         gen.number,
         s.reloads_ok.load(Ordering::SeqCst),
@@ -1323,6 +1857,7 @@ fn stats_line(s: &Shared, id: u64) -> String {
         st.shutting_down,
         st.invalid,
         st.worker_panics,
+        st.accept_errors,
         serde_json::to_string(&st.eval).expect("stats serialize"),
         st.latency.to_json(),
         cache,
@@ -1332,16 +1867,17 @@ fn stats_line(s: &Shared, id: u64) -> String {
     )
 }
 
-/// Worker thread body for one shard: pop jobs until the shard's queue
-/// is empty *and* the server is draining. A panicking request is
-/// isolated to its shard: the payload becomes a structured sub-reply,
-/// a replacement worker joins the same shard's pool, and only then
-/// does the poisoned thread exit — siblings never notice.
-fn worker_loop(s: Arc<Shared>, shard_idx: usize) {
+/// Worker thread body for one replica: pop jobs until the replica's
+/// queue is empty *and* the server is draining. A panicking request is
+/// isolated to its replica: the payload becomes a structured
+/// sub-reply, a replacement worker joins the same replica's pool, and
+/// only then does the poisoned thread exit — siblings (in this group
+/// or any other) never notice.
+fn worker_loop(s: Arc<Shared>, group_idx: usize, replica_idx: usize) {
     loop {
         let job = {
-            let sh = &s.shards[shard_idx];
-            let mut g = sh.inner.lock().unwrap();
+            let rep = &s.groups[group_idx].replicas[replica_idx];
+            let mut g = rep.inner.lock().unwrap();
             loop {
                 if let Some(j) = g.queue.pop_front() {
                     break j;
@@ -1352,11 +1888,11 @@ fn worker_loop(s: Arc<Shared>, shard_idx: usize) {
                     poke_drain(&s);
                     return;
                 }
-                g = sh.work_cv.wait(g).unwrap();
+                g = rep.work_cv.wait(g).unwrap();
             }
         };
-        match catch_unwind(AssertUnwindSafe(|| handle_shard_query(&s, shard_idx, &job))) {
-            Ok(reply) => finish_shard(&s, shard_idx, &job, reply),
+        match catch_unwind(AssertUnwindSafe(|| handle_replica_query(&s, &job))) {
+            Ok(reply) => finish_replica(&s, &job, reply),
             Err(payload) => {
                 {
                     let mut st = s.stats.lock().unwrap();
@@ -1367,18 +1903,21 @@ fn worker_loop(s: Arc<Shared>, shard_idx: usize) {
                     "worker panicked (isolated): {}",
                     msg.lines().next().unwrap_or("")
                 ));
-                let sh = &s.shards[shard_idx];
-                sh.respawns.fetch_add(1, Ordering::SeqCst);
-                // Respawn first so the shard's pool never shrinks.
+                let rep = &s.groups[group_idx].replicas[replica_idx];
+                rep.respawns.fetch_add(1, Ordering::SeqCst);
+                // Respawn first so the replica's pool never shrinks.
                 {
-                    let mut g = sh.inner.lock().unwrap();
+                    let mut g = rep.inner.lock().unwrap();
                     g.workers_alive += 1;
                 }
                 let replacement = Arc::clone(&s);
-                std::thread::spawn(move || worker_loop(replacement, shard_idx));
-                finish_shard(&s, shard_idx, &job, reply);
+                std::thread::spawn(move || worker_loop(replacement, group_idx, replica_idx));
+                finish_replica(&s, &job, reply);
                 {
-                    let mut g = s.shards[shard_idx].inner.lock().unwrap();
+                    let mut g = s.groups[group_idx].replicas[replica_idx]
+                        .inner
+                        .lock()
+                        .unwrap();
                     g.workers_alive -= 1;
                 }
                 poke_drain(&s);
@@ -1388,12 +1927,21 @@ fn worker_loop(s: Arc<Shared>, shard_idx: usize) {
     }
 }
 
-/// Send the sub-reply and release the shard's in-flight slot.
-fn finish_shard(s: &Shared, shard_idx: usize, job: &ShardJob, reply: ShardReply) {
-    // A gather that already gave up on this shard (or a client that
+/// Send the sub-reply (tagged with its group and attempt so the gather
+/// can tell a primary's answer from a hedge's) and release the
+/// replica's in-flight slot.
+fn finish_replica(s: &Shared, job: &ShardJob, reply: ShardReply) {
+    // A gather that already gave up on this group (or a client that
     // hung up) just discards the reply; not an error.
-    let _ = job.reply.send(reply);
-    let mut g = s.shards[shard_idx].inner.lock().unwrap();
+    let _ = job.reply.send(GroupReply {
+        group: job.group,
+        attempt: job.attempt,
+        reply,
+    });
+    let mut g = s.groups[job.group].replicas[job.replica]
+        .inner
+        .lock()
+        .unwrap();
     g.in_flight -= 1;
     drop(g);
     poke_drain(s);
@@ -1405,17 +1953,24 @@ fn finish_shard(s: &Shared, shard_idx: usize, job: &ShardJob, reply: ShardReply)
 /// waking early costs one redundant evaluation, never a wrong answer.
 const FOLLOWER_WAIT_CAP: Duration = Duration::from_secs(60);
 
-/// Evaluate one shard's slice of an admitted query. Runs inside the
+/// Evaluate one group's document slice on one replica. Runs inside the
 /// worker's `catch_unwind`, so a panic anywhere below is isolated per
-/// sub-job (and per shard).
-fn handle_shard_query(s: &Shared, shard_idx: usize, job: &ShardJob) -> ShardReply {
+/// sub-job (and per replica).
+fn handle_replica_query(s: &Shared, job: &ShardJob) -> ShardReply {
     let req = &*job.req;
     // The corpus snapshot was pinned at admission (not here): every
-    // shard of one request answers from the same generation even if a
+    // group of one request answers from the same generation even if a
     // reload swapped the shared pointer mid-scatter.
     let gen = &job.gen;
     let coll = &gen.coll;
-    let shard = &s.shards[shard_idx];
+    let shard = &s.groups[job.group].replicas[job.replica];
+    // A losing hedge sibling may have been cancelled while this job
+    // sat queued; don't burn a worker evaluating a dead sub-job. The
+    // gather has already resolved this attempt, so the reply shape is
+    // immaterial — Timeout matches what evaluation would return.
+    if job.cancel.is_cancelled() {
+        return ShardReply::Timeout("cancelled before evaluation started".into());
+    }
     // Fault-injection point for the worker itself: `panic` unwinds into
     // the worker's catch_unwind, `delay:<ms>` stalls, `cancel`
     // short-circuits here. Fired before the deadline is measured so an
@@ -1459,7 +2014,10 @@ fn handle_shard_query(s: &Shared, shard_idx: usize, job: &ShardJob) -> ShardRepl
     let q = Query::new(req.keywords.iter(), req.filter());
     let mut budget: Budget = req.budget();
     budget.wall_clock = remaining;
-    let token = CancelToken::new();
+    // The job's own token, not a fresh one: the gather cancels it when
+    // a hedge sibling's reply already won this group, and the watchdog
+    // below cancels it at the deadline.
+    let token = job.cancel.clone();
     let mut policy = ExecPolicy::with_budget(budget)
         .with_degrade(degrade)
         .with_cancel(token.clone());
@@ -1482,7 +2040,7 @@ fn handle_shard_query(s: &Shared, shard_idx: usize, job: &ShardJob) -> ShardRepl
             }
         })
     });
-    let docs = &gen.shard_docs[shard_idx];
+    let docs = &gen.shard_docs[job.group];
     let cache_ref = shard.cache.as_deref().map(|c| (c, gen.tag));
     let run = || {
         evaluate_collection_budgeted_cached_traced_routed(
@@ -1646,13 +2204,26 @@ fn is_retryable_error(e: &CliError) -> bool {
 /// an answer, and hammering a degraded server by default would feed
 /// the very overload that degraded it. Non-retryable failures surface
 /// immediately (exit 1).
+///
+/// `retry_budget_ms` is a wall-clock deadline shared across *all*
+/// attempts, measured from the first connect: once it passes, no
+/// further attempt starts (mid-flight attempts are not torn down), and
+/// backoff sleeps are clamped to the time remaining so the budget is
+/// never overshot by a sleep. Exhausting the budget is reported as
+/// [`CliError::RetriesExhausted`] — the server never misbehaved, the
+/// client ran out of patience — which keeps exit 3 ("try again later")
+/// distinct from exit 1 (permanent failure); see the README exit-code
+/// table. Without it, `--retries N` alone can amplify a brown-out:
+/// N clients × N retries all camped on a struggling server.
 pub fn request_with_retry(
     addr: &str,
     json: &str,
     retries: u32,
     backoff_ms: u64,
     retry_partial: bool,
+    retry_budget_ms: Option<u64>,
 ) -> Result<String, CliError> {
+    let budget = RetryBudget::new(retries as u64, retry_budget_ms.map(Duration::from_millis));
     if retries == 0 {
         let line = request(addr, json)?;
         if is_partial_reply(&line) {
@@ -1674,15 +2245,32 @@ pub fn request_with_retry(
     // The freshest partial reply seen, kept so exhaustion can still
     // hand the caller a usable (if incomplete) answer via exit 4.
     let mut partial: Option<String> = None;
+    let mut budget_spent = false;
     for attempt in 0..=retries {
         if attempt > 0 {
+            // Attempt 0 is free; each retry draws on the shared budget
+            // (attempt count and wall clock both), so the loop can stop
+            // early without ever starting a doomed attempt.
+            if !budget.try_spend() {
+                budget_spent = true;
+                break;
+            }
             let base = backoff_ms.saturating_mul(1u64 << (attempt - 1).min(16));
-            let sleep = base.saturating_add(jitter() % base.max(1));
+            let mut sleep = base.saturating_add(jitter() % base.max(1));
+            if let Some(rem) = budget.remaining() {
+                // Clamp the sleep so the budget is spent retrying, not
+                // sleeping past its own deadline.
+                sleep = sleep.min(u64::try_from(rem.as_millis()).unwrap_or(u64::MAX));
+            }
             eprintln!(
                 "retry {attempt}/{retries} in {sleep} ms: {}",
                 last.lines().next().unwrap_or("")
             );
             std::thread::sleep(Duration::from_millis(sleep));
+            if budget.expired() {
+                budget_spent = true;
+                break;
+            }
         }
         match request(addr, json) {
             Ok(line) if is_retryable_reply(&line) => {
@@ -1706,6 +2294,12 @@ pub fn request_with_retry(
     }
     if let Some(line) = partial {
         return Err(CliError::PartialResult(line));
+    }
+    if budget_spent {
+        return Err(CliError::RetriesExhausted(format!(
+            "retry budget of {} ms exhausted after {addr} kept failing; last outcome: {last}",
+            retry_budget_ms.unwrap_or(0),
+        )));
     }
     Err(CliError::RetriesExhausted(format!(
         "{} attempt(s) to {addr} all failed; last outcome: {last}",

@@ -1,0 +1,422 @@
+//! End-to-end tests for replicated serving (ISSUE 9): hedged reads
+//! masking a stalled replica byte-identically, per-replica circuit
+//! breakers opening and recovering through a half-open probe, the
+//! whole-group-down demotion to the PR 8 partial-reply ladder (client
+//! exit 4), byte identity across replica counts, and the client-side
+//! `--retry-budget-ms` wall-clock bound.
+//!
+//! Each test boots the real binary with `--port 0`, reads the
+//! `listening on <addr>` line, and drives it over raw TCP with
+//! newline-delimited JSON, exactly like `shard_scatter.rs`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdout, Command, ExitStatus, Stdio};
+use std::time::{Duration, Instant};
+
+fn corpus(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xfrag-replica-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("a.xml"),
+        "<doc><title>xml search alpha</title><p>ranked xml search over fragments</p></doc>",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("b.xml"),
+        "<doc><title>beta</title><sec><p>xml algebra</p><p>search trees</p></sec></doc>",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("c.xml"),
+        "<doc><p>gamma xml</p><p>keyword search</p><p>gamma filler</p></doc>",
+    )
+    .unwrap();
+    dir
+}
+
+/// One NDJSON client connection.
+struct Conn {
+    w: TcpStream,
+    r: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn open(addr: &str) -> Conn {
+        let s = TcpStream::connect(addr).expect("connect to server");
+        s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        Conn {
+            r: BufReader::new(s.try_clone().unwrap()),
+            w: s,
+        }
+    }
+
+    fn rpc(&mut self, json: &str) -> String {
+        self.w.write_all(json.as_bytes()).unwrap();
+        self.w.write_all(b"\n").unwrap();
+        self.w.flush().unwrap();
+        let mut line = String::new();
+        self.r.read_line(&mut line).expect("read response line");
+        assert!(!line.is_empty(), "server hung up instead of replying");
+        line.trim_end().to_string()
+    }
+}
+
+/// A running `xfrag serve` child. Killed on drop so a failing assertion
+/// never leaks a listener into later tests.
+struct Server {
+    child: Child,
+    addr: String,
+    out: BufReader<ChildStdout>,
+}
+
+impl Server {
+    fn start(dir: &Path, extra: &[&str]) -> Server {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_xfrag"))
+            .arg("serve")
+            .arg(dir)
+            .args(["--port", "0"])
+            .args(extra)
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn server");
+        let mut out = BufReader::new(child.stdout.take().unwrap());
+        let mut line = String::new();
+        out.read_line(&mut line).expect("read startup line");
+        let addr = line
+            .trim()
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected startup line: {line:?}"))
+            .to_string();
+        Server { child, addr, out }
+    }
+
+    fn rpc(&self, json: &str) -> String {
+        Conn::open(&self.addr).rpc(json)
+    }
+
+    /// Send `shutdown`, wait for exit, return (status, drain summary).
+    fn shutdown_and_wait(mut self) -> (ExitStatus, String) {
+        let reply = self.rpc(r#"{"kind":"shutdown","id":999}"#);
+        assert!(reply.contains(r#""note":"draining""#), "{reply}");
+        let status = self.child.wait().expect("wait for server exit");
+        let mut rest = String::new();
+        self.out.read_to_string(&mut rest).unwrap();
+        (status, rest)
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+    }
+}
+
+fn field_str<'a>(line: &'a str, name: &str) -> &'a str {
+    let pat = format!("\"{name}\":\"");
+    let start = line
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no {name} in {line}"))
+        + pat.len();
+    let end = line[start..].find('"').unwrap() + start;
+    &line[start..end]
+}
+
+fn field_u64(hay: &str, name: &str) -> u64 {
+    let pat = format!("\"{name}\":");
+    let start = hay
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no {name} in {hay}"))
+        + pat.len();
+    hay[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+/// The stats entry for one replica of one shard, as a substring slice.
+fn replica_entry(stats: &str, shard: usize, replica: usize) -> &str {
+    let shard_pat = format!("{{\"shard\":{shard},");
+    let si = stats
+        .find(&shard_pat)
+        .unwrap_or_else(|| panic!("no shard {shard} in {stats}"));
+    let rep_pat = format!("{{\"replica\":{replica},");
+    let ri = stats[si..]
+        .find(&rep_pat)
+        .unwrap_or_else(|| panic!("no replica {replica} under shard {shard} in {stats}"))
+        + si;
+    let end = stats[ri..]
+        .find("}}")
+        .map(|e| ri + e)
+        .unwrap_or(stats.len());
+    &stats[ri..end]
+}
+
+/// Run `xfrag request` against `addr`, returning (exit code, stdout, stderr).
+fn run_request(addr: &str, json: &str, extra: &[&str]) -> (i32, String, String) {
+    let o = Command::new(env!("CARGO_BIN_EXE_xfrag"))
+        .arg("request")
+        .arg(addr)
+        .arg(json)
+        .args(extra)
+        .output()
+        .expect("run xfrag request");
+    (
+        o.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&o.stdout).into_owned(),
+        String::from_utf8_lossy(&o.stderr).into_owned(),
+    )
+}
+
+/// Tentpole acceptance: a hedge masks a stalled replica. The preferred
+/// replica's worker sleeps far longer than the hedge delay; the backup
+/// replica answers, the reply is `"complete":true` and byte-identical
+/// to an unfaulted single-replica server's, and the replica stats
+/// record the hedge and its win.
+#[test]
+fn hedge_masks_a_stalled_replica_byte_identically() {
+    let dir = corpus("hedge");
+    // Hit 0 of `serve:worker` is the preferred replica's primary
+    // sub-job (one group, so nothing else reaches the site first);
+    // the backup's sub-job (hit 1) runs clean.
+    let srv = Server::start(
+        &dir,
+        &[
+            "--shards",
+            "1",
+            "--replicas",
+            "2",
+            "--hedge-ms",
+            "30",
+            "--inject",
+            "serve:worker@0=delay:2000",
+        ],
+    );
+    let reference = Server::start(&dir, &["--shards", "1"]);
+    let q = r#"{"kind":"query","id":61,"keywords":["xml","search"]}"#;
+    let start = Instant::now();
+    let hedged = srv.rpc(q);
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_millis(1500),
+        "hedge did not mask the stall: {elapsed:?}"
+    );
+    assert_eq!(field_str(&hedged, "status"), "ok", "{hedged}");
+    assert!(
+        hedged.contains(r#""complete":true,"shards":null"#),
+        "{hedged}"
+    );
+    assert_eq!(
+        hedged,
+        reference.rpc(q),
+        "replica fault handling leaked into response bytes"
+    );
+    let stats = srv.rpc(r#"{"kind":"stats","id":62}"#);
+    let backup = replica_entry(&stats, 0, 1);
+    assert_eq!(field_u64(backup, "hedges"), 1, "{stats}");
+    assert_eq!(field_u64(backup, "wins"), 1, "{stats}");
+    // The stalled primary took a cancelled loss, not a breaker failure:
+    // both replicas stay closed.
+    assert_eq!(field_str(replica_entry(&stats, 0, 0), "state"), "closed");
+    assert_eq!(field_str(backup, "state"), "closed");
+    // Drain waits out the injected sleep still held by the loser.
+    let (status, summary) = srv.shutdown_and_wait();
+    assert!(status.success());
+    assert!(summary.contains("0 in flight"), "{summary}");
+    let (status, _) = reference.shutdown_and_wait();
+    assert!(status.success());
+}
+
+/// Satellite 3: deterministic breaker ladder at the serve level —
+/// consecutive injected panics open the replica's breaker (closed →
+/// open), an open breaker sheds with an explanatory note instead of
+/// dispatching, and after the cooldown a single half-open probe closes
+/// it again. (The half-open single-probe and failed-probe-reopens
+/// invariants are unit-tested in `xfrag_core::breaker`.)
+#[test]
+fn breaker_opens_after_consecutive_panics_and_probe_recloses() {
+    let dir = corpus("breaker");
+    let srv = Server::start(
+        &dir,
+        &[
+            "--shards",
+            "1",
+            "--breaker-failures",
+            "2",
+            "--breaker-cooldown-ms",
+            "500",
+            "--inject",
+            "serve:worker@0=panic,serve:worker@1=panic",
+        ],
+    );
+    let q = r#"{"kind":"query","id":71,"keywords":["xml"]}"#;
+    // Two panics in a row: with a single replica there is no backup,
+    // so each surfaces as an isolated-worker error reply…
+    for _ in 0..2 {
+        let r = srv.rpc(q);
+        assert_eq!(field_str(&r, "status"), "error", "{r}");
+        assert!(r.contains("worker panicked (isolated)"), "{r}");
+    }
+    // …and the second one trips the breaker: the next request is shed
+    // at admission without touching a worker.
+    let shed = srv.rpc(q);
+    assert_eq!(field_str(&shed, "status"), "shed", "{shed}");
+    assert!(
+        shed.contains("every replica's circuit breaker is open"),
+        "{shed}"
+    );
+    let stats = srv.rpc(r#"{"kind":"stats","id":72}"#);
+    let rep = replica_entry(&stats, 0, 0);
+    assert_eq!(field_str(rep, "state"), "open", "{stats}");
+    assert_eq!(field_u64(rep, "opens"), 1, "{stats}");
+    // Past the cooldown the breaker half-opens; the probe runs clean
+    // (the fault plan is exhausted) and closes it for good.
+    std::thread::sleep(Duration::from_millis(650));
+    let probed = srv.rpc(q);
+    assert_eq!(field_str(&probed, "status"), "ok", "{probed}");
+    assert!(probed.contains(r#""complete":true"#), "{probed}");
+    let stats = srv.rpc(r#"{"kind":"stats","id":73}"#);
+    let rep = replica_entry(&stats, 0, 0);
+    assert_eq!(field_str(rep, "state"), "closed", "{stats}");
+    assert_eq!(field_u64(rep, "opens"), 1, "{stats}");
+    let (status, summary) = srv.shutdown_and_wait();
+    assert!(status.success());
+    assert!(summary.contains("2 worker panic(s)"), "{summary}");
+}
+
+/// Zero-partial failover, and its limit: with both replicas of the
+/// only candidate group stalled, the hedge fires but cannot help, and
+/// the reply demotes to the PR 8 partial ladder — survivors kept,
+/// `"complete":false`, the group under `timed_out` — with client exit
+/// code 4. Redundancy failed, but the failure is still bounded.
+#[test]
+fn whole_group_down_demotes_to_bounded_partial() {
+    let dir = corpus("groupdown");
+    // `collection:doc` fires once per candidate document; `alpha`
+    // matches only a.xml, so exactly a.xml's owning group reaches the
+    // site — first the preferred replica (hit 0), then, after the
+    // hedge fires, the backup (hit 1). Both stall past the deadline.
+    let srv = Server::start(
+        &dir,
+        &[
+            "--shards",
+            "2",
+            "--replicas",
+            "2",
+            "--hedge-ms",
+            "25",
+            "--inject",
+            "collection:doc@0=delay:2500,collection:doc@1=delay:2500",
+        ],
+    );
+    let q = r#"{"kind":"query","id":81,"keywords":["alpha"],"timeout_ms":600}"#;
+    let start = Instant::now();
+    let (code, out, _) = run_request(&srv.addr, q, &[]);
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_millis(2200),
+        "gather waited for the wedged group: {elapsed:?}"
+    );
+    assert_eq!(code, 4, "whole-group loss must exit 4: {out}");
+    assert_eq!(field_str(&out, "status"), "degraded", "{out}");
+    assert!(out.contains(r#""complete":false"#), "{out}");
+    assert!(
+        out.contains(r#""shards":{"ok":1,"timed_out":1,"shed":0,"panicked":0,"open":0}"#),
+        "{out}"
+    );
+    // The hedge did fire before the group was given up.
+    let stats = srv.rpc(r#"{"kind":"stats","id":82}"#);
+    let hedges: u64 = (0..2)
+        .map(|g| field_u64(replica_entry(&stats, g, 1), "hedges"))
+        .sum();
+    assert_eq!(hedges, 1, "{stats}");
+    let (status, summary) = srv.shutdown_and_wait();
+    assert!(status.success());
+    assert!(summary.contains("0 in flight"), "{summary}");
+}
+
+/// Byte identity across replica counts with no faults: every sub-job
+/// lands on each group's replica 0, no hedge fires, and replies —
+/// cold and cache-replayed — are byte-identical to a single-replica
+/// server's, for the same reason the PR 8 shard merge is.
+#[test]
+fn replicated_serving_matches_single_replica_bytes() {
+    let dir = corpus("rbytes");
+    let one = Server::start(&dir, &["--shards", "2"]);
+    let three = Server::start(
+        &dir,
+        &["--shards", "2", "--replicas", "3", "--hedge-ms", "2000"],
+    );
+    let queries = [
+        r#"{"kind":"query","id":1,"keywords":["xml","search"]}"#,
+        r#"{"kind":"query","id":2,"keywords":["xml","search"],"top_k":2}"#,
+        r#"{"kind":"query","id":3,"keywords":["alpha"],"size":6}"#,
+        r#"{"kind":"query","id":4,"keywords":["xml"],"strategy":"reduced"}"#,
+    ];
+    let mut c1 = Conn::open(&one.addr);
+    let mut c3 = Conn::open(&three.addr);
+    for q in &queries {
+        let r1 = c1.rpc(q);
+        let r3 = c3.rpc(q);
+        assert_eq!(r1, r3, "replica count leaked into response bytes for {q}");
+        assert!(r1.contains(r#""complete":true,"shards":null"#), "{r1}");
+    }
+    // Replay pass: replica 0's arena answers; still indistinguishable.
+    for q in &queries {
+        assert_eq!(c1.rpc(q), c3.rpc(q), "cache replay differs for {q}");
+    }
+    // All traffic stayed on the preferred replicas: no hedges anywhere,
+    // and the backups never evaluated a thing.
+    let stats = c3.rpc(r#"{"kind":"stats","id":9}"#);
+    for g in 0..2 {
+        for r in 1..3 {
+            let rep = replica_entry(&stats, g, r);
+            assert_eq!(field_u64(rep, "hedges"), 0, "{stats}");
+            assert_eq!(field_u64(rep, "evaluations"), 0, "{stats}");
+        }
+    }
+    drop(c1);
+    drop(c3);
+    let (s1, _) = one.shutdown_and_wait();
+    let (s3, _) = three.shutdown_and_wait();
+    assert!(s1.success() && s3.success());
+}
+
+/// Satellite 2: `--retry-budget-ms` is a wall-clock deadline shared
+/// across attempts. Against a dead port with a huge `--retries`, the
+/// client stops within the budget, exits 3 (retryable exhaustion, not
+/// permanent failure), and says which budget ran out.
+#[test]
+fn client_retry_budget_bounds_wall_clock() {
+    // Bind-then-drop yields a port that refuses connections (retryable).
+    let dead = {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    let start = Instant::now();
+    let (code, _, err) = run_request(
+        &dead,
+        r#"{"kind":"health"}"#,
+        &[
+            "--retries",
+            "1000",
+            "--backoff-ms",
+            "40",
+            "--retry-budget-ms",
+            "400",
+        ],
+    );
+    let elapsed = start.elapsed();
+    assert_eq!(code, 3, "budget exhaustion must exit 3: {err}");
+    assert!(err.contains("retry budget of 400 ms exhausted"), "{err}");
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "budget failed to bound the retry loop: {elapsed:?}"
+    );
+}

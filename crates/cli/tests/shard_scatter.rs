@@ -217,7 +217,7 @@ fn stalled_shard_yields_partial_result_within_deadline() {
     assert_eq!(field_str(&partial, "status"), "degraded", "{partial}");
     assert!(partial.contains(r#""complete":false"#), "{partial}");
     assert!(
-        partial.contains(r#""shards":{"ok":3,"timed_out":1,"shed":0,"panicked":0}"#),
+        partial.contains(r#""shards":{"ok":3,"timed_out":1,"shed":0,"panicked":0,"open":0}"#),
         "{partial}"
     );
     assert!(
@@ -384,7 +384,7 @@ fn worker_panic_is_isolated_to_its_shard_and_pool_respawns() {
     assert_eq!(field_str(&partial, "status"), "degraded", "{partial}");
     assert!(partial.contains(r#""complete":false"#), "{partial}");
     assert!(
-        partial.contains(r#""shards":{"ok":1,"timed_out":0,"shed":0,"panicked":1}"#),
+        partial.contains(r#""shards":{"ok":1,"timed_out":0,"shed":0,"panicked":1,"open":0}"#),
         "{partial}"
     );
     assert!(
@@ -415,7 +415,9 @@ fn worker_panic_is_isolated_to_its_shard_and_pool_respawns() {
         .match_indices("\"respawns\":")
         .map(|(i, pat)| field_u64(&shard_block[i..i + pat.len() + 24], "respawns"))
         .sum();
-    assert_eq!(respawns, 1, "{stats}");
+    // The one respawn appears twice in the shards block: once in the
+    // shard's aggregate counters and once in its replica breakdown.
+    assert_eq!(respawns, 2, "{stats}");
     // With the fault exhausted the same query merges whole again.
     let healed = srv.rpc(r#"{"kind":"query","id":44,"keywords":["xml"]}"#);
     assert!(

@@ -1,0 +1,377 @@
+//! Per-replica circuit breakers for the serving layer.
+//!
+//! A replica that keeps timing out or panicking should stop receiving
+//! traffic *before* every request pays its deadline to find that out.
+//! [`CircuitBreaker`] implements the classic three-state machine:
+//!
+//! * **Closed** — requests flow; consecutive failures are counted and
+//!   the breaker opens when they reach the configured threshold (a
+//!   success resets the count).
+//! * **Open** — requests are refused outright for a cooldown period.
+//! * **Half-open** — after the cooldown, exactly **one** probe request
+//!   is admitted. Its success closes the breaker; its failure re-opens
+//!   it for another cooldown. While the probe is in flight every other
+//!   acquire is refused, so a recovering replica is never stampeded
+//!   (the single-probe / no-thundering-herd invariant).
+//!
+//! Every transition takes an explicit [`Instant`] (`*_at` methods), so
+//! state-machine tests are deterministic — no sleeps, no real clock.
+//! The convenience wrappers without `_at` read [`Instant::now`] and are
+//! what the server uses.
+//!
+//! Acquisition is witnessed by a [`Permit`], which the caller must
+//! resolve exactly once with [`CircuitBreaker::record_success`],
+//! [`CircuitBreaker::record_failure`], or [`CircuitBreaker::abandon`]
+//! (for attempts cancelled through no fault of the replica, e.g. a
+//! hedged read that lost the race). Abandoning releases a half-open
+//! probe slot without a verdict, so a cancelled probe can never wedge
+//! the breaker half-open forever.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for one [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures (while closed) that open the breaker.
+    pub failure_threshold: u32,
+    /// How long an open breaker refuses traffic before allowing a
+    /// half-open probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Observable breaker state (the wire/stats vocabulary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows.
+    Closed,
+    /// Traffic refused; cooling down.
+    Open,
+    /// Cooldown elapsed; a single probe may be (or is being) tried.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Short stable name for stats output.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// Witness for one admitted attempt; must be resolved exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Permit {
+    probe: bool,
+}
+
+impl Permit {
+    /// Whether this permit is the half-open probe (it decides the
+    /// open-vs-closed question on its own).
+    pub fn is_probe(self) -> bool {
+        self.probe
+    }
+}
+
+#[derive(Debug)]
+enum State {
+    Closed {
+        consecutive_failures: u32,
+    },
+    /// Open until `until`; past it the breaker is observably half-open
+    /// and `probe_in_flight` gates the single probe.
+    Open {
+        until: Instant,
+        probe_in_flight: bool,
+    },
+}
+
+/// A three-state circuit breaker. Thread-safe; cheap enough to consult
+/// on every sub-job dispatch (one short mutex hold).
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: Mutex<State>,
+    opens: AtomicU64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given config.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            state: Mutex::new(State::Closed {
+                consecutive_failures: 0,
+            }),
+            opens: AtomicU64::new(0),
+        }
+    }
+
+    /// Times the breaker has transitioned to open (including half-open
+    /// probes that failed and re-opened it), lifetime total.
+    pub fn opens(&self) -> u64 {
+        self.opens.load(Ordering::Relaxed)
+    }
+
+    /// The observable state as of `now`.
+    pub fn state_at(&self, now: Instant) -> BreakerState {
+        match *self.state.lock().unwrap() {
+            State::Closed { .. } => BreakerState::Closed,
+            State::Open { until, .. } if now < until => BreakerState::Open,
+            State::Open { .. } => BreakerState::HalfOpen,
+        }
+    }
+
+    /// The observable state now.
+    pub fn state(&self) -> BreakerState {
+        self.state_at(Instant::now())
+    }
+
+    /// Try to admit one attempt as of `now`. Closed always admits;
+    /// open refuses; half-open admits exactly one probe at a time.
+    pub fn try_acquire_at(&self, now: Instant) -> Option<Permit> {
+        let mut st = self.state.lock().unwrap();
+        match &mut *st {
+            State::Closed { .. } => Some(Permit { probe: false }),
+            State::Open {
+                until,
+                probe_in_flight,
+            } => {
+                if now < *until || *probe_in_flight {
+                    None
+                } else {
+                    *probe_in_flight = true;
+                    Some(Permit { probe: true })
+                }
+            }
+        }
+    }
+
+    /// [`Self::try_acquire_at`] with the real clock.
+    pub fn try_acquire(&self) -> Option<Permit> {
+        self.try_acquire_at(Instant::now())
+    }
+
+    /// The attempt succeeded: close the breaker and reset the failure
+    /// count (a successful probe closes from half-open; a success while
+    /// closed clears accumulated failures).
+    pub fn record_success(&self, _permit: Permit) {
+        *self.state.lock().unwrap() = State::Closed {
+            consecutive_failures: 0,
+        };
+    }
+
+    /// The attempt failed (timeout, panic, hard error) as of `now`.
+    /// A failed probe re-opens immediately; while closed, the
+    /// consecutive-failure count advances and opens the breaker at the
+    /// threshold.
+    pub fn record_failure_at(&self, permit: Permit, now: Instant) {
+        let mut st = self.state.lock().unwrap();
+        match &mut *st {
+            State::Open {
+                until,
+                probe_in_flight,
+            } => {
+                if permit.probe {
+                    // Probe verdict: still broken. Re-open for another
+                    // full cooldown.
+                    *until = now + self.cfg.cooldown;
+                    *probe_in_flight = false;
+                    self.opens.fetch_add(1, Ordering::Relaxed);
+                }
+                // A non-probe failure resolving late (dispatched before
+                // the breaker opened) changes nothing: already open.
+            }
+            State::Closed {
+                consecutive_failures,
+            } => {
+                *consecutive_failures += 1;
+                if *consecutive_failures >= self.cfg.failure_threshold {
+                    *st = State::Open {
+                        until: now + self.cfg.cooldown,
+                        probe_in_flight: false,
+                    };
+                    self.opens.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// [`Self::record_failure_at`] with the real clock.
+    pub fn record_failure(&self, permit: Permit) {
+        self.record_failure_at(permit, Instant::now())
+    }
+
+    /// The attempt was cancelled through no fault of the replica (a
+    /// hedge race loser): release the probe slot, change nothing else.
+    pub fn abandon(&self, permit: Permit) {
+        if !permit.probe {
+            return;
+        }
+        if let State::Open {
+            probe_in_flight, ..
+        } = &mut *self.state.lock().unwrap()
+        {
+            *probe_in_flight = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, cooldown_ms: u64) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            cooldown: Duration::from_millis(cooldown_ms),
+        })
+    }
+
+    #[test]
+    fn closed_to_open_on_consecutive_failures() {
+        let b = breaker(3, 100);
+        let t0 = Instant::now();
+        for _ in 0..2 {
+            let p = b.try_acquire_at(t0).unwrap();
+            b.record_failure_at(p, t0);
+            assert_eq!(b.state_at(t0), BreakerState::Closed);
+        }
+        let p = b.try_acquire_at(t0).unwrap();
+        b.record_failure_at(p, t0);
+        assert_eq!(b.state_at(t0), BreakerState::Open);
+        assert_eq!(b.opens(), 1);
+        assert!(b.try_acquire_at(t0).is_none(), "open refuses traffic");
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_count() {
+        let b = breaker(3, 100);
+        let t0 = Instant::now();
+        for _ in 0..2 {
+            let p = b.try_acquire_at(t0).unwrap();
+            b.record_failure_at(p, t0);
+        }
+        let p = b.try_acquire_at(t0).unwrap();
+        b.record_success(p);
+        // Two more failures are again below the threshold.
+        for _ in 0..2 {
+            let p = b.try_acquire_at(t0).unwrap();
+            b.record_failure_at(p, t0);
+        }
+        assert_eq!(b.state_at(t0), BreakerState::Closed);
+        assert_eq!(b.opens(), 0);
+    }
+
+    #[test]
+    fn open_to_half_open_to_closed() {
+        let b = breaker(1, 100);
+        let t0 = Instant::now();
+        let p = b.try_acquire_at(t0).unwrap();
+        b.record_failure_at(p, t0);
+        assert_eq!(b.state_at(t0), BreakerState::Open);
+
+        let cooled = t0 + Duration::from_millis(100);
+        assert_eq!(b.state_at(cooled), BreakerState::HalfOpen);
+        let probe = b.try_acquire_at(cooled).expect("half-open admits a probe");
+        assert!(probe.is_probe());
+        b.record_success(probe);
+        assert_eq!(b.state_at(cooled), BreakerState::Closed);
+        assert!(b.try_acquire_at(cooled).is_some());
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_a_full_cooldown() {
+        let b = breaker(1, 100);
+        let t0 = Instant::now();
+        let p = b.try_acquire_at(t0).unwrap();
+        b.record_failure_at(p, t0);
+
+        let cooled = t0 + Duration::from_millis(100);
+        let probe = b.try_acquire_at(cooled).unwrap();
+        b.record_failure_at(probe, cooled);
+        assert_eq!(b.opens(), 2);
+        assert_eq!(b.state_at(cooled), BreakerState::Open);
+        assert!(b
+            .try_acquire_at(cooled + Duration::from_millis(99))
+            .is_none());
+        assert!(b
+            .try_acquire_at(cooled + Duration::from_millis(100))
+            .is_some());
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_probe() {
+        let b = breaker(1, 100);
+        let t0 = Instant::now();
+        let p = b.try_acquire_at(t0).unwrap();
+        b.record_failure_at(p, t0);
+
+        let cooled = t0 + Duration::from_millis(100);
+        let probe = b.try_acquire_at(cooled).expect("first probe admitted");
+        // The single-probe invariant: while the probe is unresolved,
+        // every other acquire — however many and however late — is
+        // refused, so a recovering replica sees one request, not a herd.
+        for i in 0..16 {
+            assert!(
+                b.try_acquire_at(cooled + Duration::from_millis(i))
+                    .is_none(),
+                "concurrent acquire {i} must be refused during the probe"
+            );
+        }
+        b.record_success(probe);
+        // No thundering herd *after* close either: the breaker just
+        // admits normally (each caller acquires its own permit).
+        for _ in 0..4 {
+            assert!(!b.try_acquire_at(cooled).unwrap().is_probe());
+        }
+    }
+
+    #[test]
+    fn abandoned_probe_frees_the_slot_without_a_verdict() {
+        let b = breaker(1, 100);
+        let t0 = Instant::now();
+        let p = b.try_acquire_at(t0).unwrap();
+        b.record_failure_at(p, t0);
+
+        let cooled = t0 + Duration::from_millis(100);
+        let probe = b.try_acquire_at(cooled).unwrap();
+        b.abandon(probe);
+        // Still half-open (no verdict was reached), and the slot is
+        // free for the next probe.
+        assert_eq!(b.state_at(cooled), BreakerState::HalfOpen);
+        assert_eq!(b.opens(), 1, "abandon is not a failure");
+        assert!(b.try_acquire_at(cooled).is_some());
+    }
+
+    #[test]
+    fn abandon_while_closed_is_a_no_op() {
+        let b = breaker(2, 100);
+        let t0 = Instant::now();
+        let p = b.try_acquire_at(t0).unwrap();
+        b.abandon(p);
+        let p = b.try_acquire_at(t0).unwrap();
+        b.record_failure_at(p, t0);
+        assert_eq!(b.state_at(t0), BreakerState::Closed, "count is 1 of 2");
+    }
+
+    #[test]
+    fn state_names_are_stable() {
+        assert_eq!(BreakerState::Closed.name(), "closed");
+        assert_eq!(BreakerState::Open.name(), "open");
+        assert_eq!(BreakerState::HalfOpen.name(), "half-open");
+    }
+}

@@ -307,6 +307,75 @@ impl Governor {
     }
 }
 
+/// A shared allowance of *extra* attempts (retries, hedged reads,
+/// failovers) for one logical request, optionally bounded by a
+/// wall-clock deadline measured from construction.
+///
+/// Redundancy features amplify load exactly when the system is least
+/// able to absorb it — a brown-out makes every request slow, every slow
+/// request hedges, and the hedges brown the system out further. A
+/// `RetryBudget` caps that feedback loop: the serving layer charges it
+/// for every hedge or failover it dispatches beyond a request's primary
+/// sub-jobs, and the `xfrag request` client charges it across retry
+/// attempts, so neither can multiply traffic without bound.
+#[derive(Debug)]
+pub struct RetryBudget {
+    deadline: Option<Instant>,
+    /// Extra attempts remaining.
+    attempts: AtomicU64,
+}
+
+impl RetryBudget {
+    /// A budget of `extra_attempts` additional attempts, optionally
+    /// expiring `wall_clock` after construction.
+    pub fn new(extra_attempts: u64, wall_clock: Option<Duration>) -> Self {
+        RetryBudget {
+            deadline: wall_clock.map(|d| Instant::now() + d),
+            attempts: AtomicU64::new(extra_attempts),
+        }
+    }
+
+    /// Charge one extra attempt as of `now`. Returns `false` — and
+    /// charges nothing — when the allowance is spent or the deadline
+    /// has passed.
+    pub fn try_spend_at(&self, now: Instant) -> bool {
+        if self.expired_at(now) {
+            return false;
+        }
+        self.attempts
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+            .is_ok()
+    }
+
+    /// [`Self::try_spend_at`] with the real clock.
+    pub fn try_spend(&self) -> bool {
+        self.try_spend_at(Instant::now())
+    }
+
+    /// Whether the wall-clock deadline has passed as of `now` (never
+    /// true without one).
+    pub fn expired_at(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
+
+    /// [`Self::expired_at`] with the real clock.
+    pub fn expired(&self) -> bool {
+        self.expired_at(Instant::now())
+    }
+
+    /// Wall-clock left before expiry: `None` without a deadline, zero
+    /// once expired.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Extra attempts still available.
+    pub fn attempts_left(&self) -> u64 {
+        self.attempts.load(Ordering::Relaxed)
+    }
+}
+
 /// What to do when the budget trips.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DegradeMode {
@@ -614,6 +683,28 @@ mod tests {
         g.fault_point("gov:site").unwrap();
         assert_eq!(g.fault_point("gov:site"), Err(Breach::Cancelled));
         g.fault_point("other:site").unwrap();
+    }
+
+    #[test]
+    fn retry_budget_caps_attempts_and_wall_clock() {
+        let b = RetryBudget::new(2, None);
+        assert!(b.try_spend());
+        assert!(b.try_spend());
+        assert!(!b.try_spend(), "allowance is spent");
+        assert_eq!(b.attempts_left(), 0);
+        assert_eq!(b.remaining(), None);
+
+        let b = RetryBudget::new(u64::MAX, Some(Duration::from_secs(60)));
+        let later = Instant::now() + Duration::from_secs(61);
+        assert!(b.try_spend(), "fresh budget admits");
+        assert!(!b.expired());
+        assert!(b.expired_at(later));
+        assert!(!b.try_spend_at(later), "deadline beats the allowance");
+
+        let b = RetryBudget::new(5, Some(Duration::ZERO));
+        assert!(!b.try_spend(), "already expired: nothing is charged");
+        assert_eq!(b.attempts_left(), 5);
+        assert_eq!(b.remaining(), Some(Duration::ZERO));
     }
 
     #[test]

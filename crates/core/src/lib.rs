@@ -20,8 +20,11 @@
 //!   estimation and reduction-factor-driven strategy choice;
 //! * [`overlap`] — grouping of overlapping answers (§5 discussion);
 //! * [`parallel`] — optional multi-threaded pairwise joins for large sets;
-//! * [`budget`] — resource budgets, cooperative cancellation, and the
-//!   graceful-degradation ladder ([`evaluate_budgeted`]);
+//! * [`budget`] — resource budgets, cooperative cancellation, retry
+//!   budgets, and the graceful-degradation ladder
+//!   ([`evaluate_budgeted`]);
+//! * [`breaker`] — circuit breakers (closed → open → half-open) that
+//!   the replicated server arms per replica;
 //! * [`cache`] — generation-keyed, sharded LRU memoization of postings,
 //!   fixed points and full results for repeated query traffic;
 //! * [`trace`] — span-based stage tracing under every `*_traced` entry
@@ -53,6 +56,7 @@
 //! assert!(push.fragments.iter().any(|f| f.size() == 3));
 //! ```
 
+pub mod breaker;
 pub mod budget;
 pub mod cache;
 pub mod collection;
@@ -73,8 +77,9 @@ pub mod snippet;
 pub mod stats;
 pub mod trace;
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, Permit};
 pub use budget::{
-    Breach, Budget, CancelToken, Degradation, DegradeMode, ExecPolicy, Governor, Rung,
+    Breach, Budget, CancelToken, Degradation, DegradeMode, ExecPolicy, Governor, RetryBudget, Rung,
 };
 pub use cache::{
     flight_key, CacheRef, CacheStats, CachedResult, CarryOver, Flight, FlightFollower, FlightLease,
