@@ -57,6 +57,18 @@
 //! counts. The gate runs in both modes (the stall is an injected
 //! sleep, far above scheduler noise): hedged p99 must be strictly
 //! below unhedged p99.
+//!
+//! A sixth scenario (ISSUE 10 tentpole) measures the cost-based
+//! strategy picker: a mixed query workload (term subsets × filters,
+//! Zipf-skewed) evaluated off a v2 `.xidx` segment — so plans come
+//! from persisted statistics — once with `auto` and once per forced
+//! strategy, emitting `BENCH_10.json` with every arm's p50/p95 plus
+//! the auto pick distribution. The gates run in both modes because the
+//! margins are structural, not noise-scale: auto's p50 must land
+//! within 10% of the best forced strategy's (auto mostly *is* that
+//! strategy, plus a segment-stats plan lookup), and the worst forced
+//! strategy — brute-force powerset enumeration on multi-term operands
+//! — must be at least 2× slower than auto.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -68,8 +80,9 @@ use rand::SeedableRng;
 use xfrag_bench::fixtures::{query_fixture, QueryFixture};
 use xfrag_core::{
     evaluate, evaluate_budgeted_cached_traced, evaluate_collection_budgeted_cached_traced_routed,
-    flight_key, CacheRef, DocAnswers, ExecPolicy, FilterExpr, Flight, GenerationTag, Query,
-    QueryCache, Singleflight, Strategy, Tracer,
+    evaluate_planned_cached_traced, flight_key, Budget, CacheRef, CostModel, DocAnswers,
+    ExecPolicy, FilterExpr, Flight, GenerationTag, Query, QueryCache, Singleflight, Strategy,
+    StrategyChoice, Tracer,
 };
 use xfrag_corpus::zipf::Zipf;
 use xfrag_doc::{encode_segment, store, Collection, DocId, InvertedIndex, SegmentIndex};
@@ -787,6 +800,169 @@ fn hedged_tail_scenario(smoke: bool) -> (String, bool) {
     (json, ok)
 }
 
+/// The strategy-picking scenario: returns the BENCH_10 JSON and whether
+/// both planner gates held.
+///
+/// The workload mixes term subsets and anti-monotonic filters over one
+/// document whose operand sizes sit inside brute force's powerset
+/// limit, so all four strategies are runnable and their costs genuinely
+/// diverge: push-down prunes closures through the pushed selection,
+/// the fixpoints pay the uncapped closure, and brute force pays the
+/// full powerset enumeration regardless of the filter. Evaluation runs
+/// off the encoded v2 segment, so `auto`'s plans come from the
+/// persisted statistics — the production cold path — every arm is cold
+/// (no query cache), and the policy carries a (never-breached) budget
+/// exactly like a serve request, so guards stay disarmed and the
+/// comparison is pure strategy choice.
+fn planner_scenario(smoke: bool) -> (String, bool) {
+    let (nodes, df, requests) = if smoke {
+        (500usize, 7usize, 48usize)
+    } else {
+        (2_000usize, 9usize, 160usize)
+    };
+    let fx = query_fixture(nodes, df, df, SEED);
+    let seg = SegmentIndex::from_bytes(&encode_segment(&fx.doc)).expect("segment roundtrip");
+    // Two-term conjunctions throughout: multi-operand queries are where
+    // the strategies diverge by orders of magnitude (the powerset
+    // product vs the capped closure fold), so the gate margins are
+    // structural rather than microsecond-scale noise.
+    let filters = [
+        FilterExpr::MaxSize(3),
+        FilterExpr::MaxSize(6),
+        FilterExpr::MaxSize(10),
+        FilterExpr::MaxDiameter(4),
+    ];
+    let pool: Vec<Query> = filters
+        .iter()
+        .map(|f| Query::new(["kwalpha", "kwbeta"], f.clone()))
+        .collect();
+    let zipf = Zipf::new(pool.len(), ZIPF_S);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let stream: Vec<usize> = (0..requests).map(|_| zipf.sample(&mut rng) - 1).collect();
+
+    // A budget far above anything the workload can spend: `is_limited`,
+    // so the divergence guard never arms — replans are a CLI-unlimited
+    // safety net, not part of the serving-path comparison.
+    let policy = ExecPolicy::with_budget(Budget::unlimited().with_max_joins(1 << 40));
+    let model = CostModel::default();
+    // One pass over the stream; returns latencies plus the pick
+    // distribution in Strategy::ALL order and the re-plan count.
+    let run = |choice: StrategyChoice| -> (Vec<Duration>, [u64; 4], u64) {
+        let mut lat = Vec::with_capacity(stream.len());
+        let mut picks = [0u64; 4];
+        let mut replans = 0u64;
+        for &i in &stream {
+            let t0 = Instant::now();
+            let (r, decision) = evaluate_planned_cached_traced(
+                &fx.doc,
+                &seg,
+                &pool[i],
+                choice,
+                &policy,
+                &Tracer::disabled(),
+                None,
+                &model,
+            )
+            .expect("unlimited planner workload cannot fail");
+            lat.push(t0.elapsed());
+            let at = Strategy::ALL
+                .iter()
+                .position(|&s| s == decision.effective)
+                .expect("Strategy::ALL is exhaustive");
+            picks[at] += 1;
+            replans += u64::from(decision.replanned);
+            std::hint::black_box(r.fragments.len());
+        }
+        (lat, picks, replans)
+    };
+
+    let (auto_lat, auto_picks, auto_replans) = run(StrategyChoice::Auto);
+    let forced: Vec<(Strategy, Vec<Duration>)> = Strategy::ALL
+        .iter()
+        .map(|&s| (s, run(StrategyChoice::Forced(s)).0))
+        .collect();
+
+    let auto_p50 = percentile_us(&auto_lat, 50.0);
+    let (mut best, mut worst) = (&forced[0], &forced[0]);
+    for arm in &forced {
+        if percentile_us(&arm.1, 50.0) < percentile_us(&best.1, 50.0) {
+            best = arm;
+        }
+        if percentile_us(&arm.1, 50.0) > percentile_us(&worst.1, 50.0) {
+            worst = arm;
+        }
+    }
+    let best_p50 = percentile_us(&best.1, 50.0);
+    let worst_p50 = percentile_us(&worst.1, 50.0);
+    let ok = auto_p50 <= best_p50 * 1.10 && worst_p50 >= auto_p50 * 2.0;
+
+    let forced_json = forced
+        .iter()
+        .map(|(s, lat)| {
+            format!(
+                "    \"{}\": {{\"p50_us\": {:.2}, \"p95_us\": {:.2}}}",
+                s.name(),
+                percentile_us(lat, 50.0),
+                percentile_us(lat, 95.0)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let picks_json = Strategy::ALL
+        .iter()
+        .zip(auto_picks)
+        .map(|(s, n)| format!("\"{}\": {n}", s.name()))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"planner-strategy-picking\",\n",
+            "  \"mode\": \"{mode}\",\n",
+            "  \"seed\": {seed},\n",
+            "  \"zipf_s\": {zipf_s},\n",
+            "  \"doc_nodes\": {doc_nodes},\n",
+            "  \"df\": {df},\n",
+            "  \"requests\": {requests},\n",
+            "  \"pool_size\": {pool_size},\n",
+            "  \"auto\": {{\"p50_us\": {ap50:.2}, \"p95_us\": {ap95:.2}, ",
+            "\"replans\": {replans}, \"picks\": {{{picks}}}}},\n",
+            "  \"forced\": {{\n{forced}\n  }},\n",
+            "  \"best_forced\": \"{best}\",\n",
+            "  \"worst_forced\": \"{worst}\",\n",
+            "  \"auto_vs_best_p50\": {avb:.3},\n",
+            "  \"worst_vs_auto_p50\": {wva:.2}\n",
+            "}}\n"
+        ),
+        mode = if smoke { "smoke" } else { "full" },
+        seed = SEED,
+        zipf_s = ZIPF_S,
+        doc_nodes = fx.doc.len(),
+        df = df,
+        requests = stream.len(),
+        pool_size = pool.len(),
+        ap50 = auto_p50,
+        ap95 = percentile_us(&auto_lat, 95.0),
+        replans = auto_replans,
+        picks = picks_json,
+        forced = forced_json,
+        best = best.0.name(),
+        worst = worst.0.name(),
+        avb = auto_p50 / best_p50.max(1e-9),
+        wva = worst_p50 / auto_p50.max(1e-9),
+    );
+    if !ok {
+        eprintln!(
+            "bench_json: FAIL: auto p50 ({auto_p50:.2} us) must be within 10% of the \
+             best forced strategy ({} at {best_p50:.2} us) and at least 2x faster than \
+             the worst ({} at {worst_p50:.2} us)",
+            best.0.name(),
+            worst.0.name()
+        );
+    }
+    (json, ok)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -815,26 +991,32 @@ fn main() {
         .position(|a| a == "--out9")
         .map(|i| args.get(i + 1).expect("--out9 needs a path").clone())
         .unwrap_or_else(|| "BENCH_9.json".to_string());
+    let out10_path = args
+        .iter()
+        .position(|a| a == "--out10")
+        .map(|i| args.get(i + 1).expect("--out10 needs a path").clone())
+        .unwrap_or_else(|| "BENCH_10.json".to_string());
     if let Some(bad) = args
         .iter()
         .enumerate()
         .find(|(i, a)| {
             !matches!(
                 a.as_str(),
-                "--smoke" | "--out" | "--out6" | "--out7" | "--out8" | "--out9"
+                "--smoke" | "--out" | "--out6" | "--out7" | "--out8" | "--out9" | "--out10"
             ) && !(*i > 0
                 && (args[i - 1] == "--out"
                     || args[i - 1] == "--out6"
                     || args[i - 1] == "--out7"
                     || args[i - 1] == "--out8"
-                    || args[i - 1] == "--out9"))
+                    || args[i - 1] == "--out9"
+                    || args[i - 1] == "--out10"))
         })
         .map(|(_, a)| a)
     {
         eprintln!(
             "bench_json: unknown argument {bad:?} \
              (expected --smoke, --out PATH, --out6 PATH, --out7 PATH, \
-             --out8 PATH, --out9 PATH)"
+             --out8 PATH, --out9 PATH, --out10 PATH)"
         );
         std::process::exit(2);
     }
@@ -1011,6 +1193,18 @@ fn main() {
         out9_path
     );
 
+    // The strategy-picking scenario: auto vs every forced strategy.
+    let (json10, planner_ok) = planner_scenario(smoke);
+    std::fs::write(&out10_path, &json10).unwrap_or_else(|e| {
+        eprintln!("bench_json: cannot write {out10_path}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "bench_json [{}]: planner scenario wrote {}",
+        if smoke { "smoke" } else { "full" },
+        out10_path
+    );
+
     if !smoke && warm.p50_us >= cold.p50_us {
         eprintln!(
             "bench_json: FAIL: warm p50 ({:.2} us) is not strictly below cold p50 ({:.2} us)",
@@ -1018,7 +1212,7 @@ fn main() {
         );
         std::process::exit(1);
     }
-    if !delta_ok || !cold_ok || !scatter_ok || !hedged_ok {
+    if !delta_ok || !cold_ok || !scatter_ok || !hedged_ok || !planner_ok {
         std::process::exit(1);
     }
 }

@@ -2,7 +2,7 @@
 //! dependency set minimal; a CLI parser crate is not on the list).
 
 use crate::serve::ServeArgs;
-use xfrag_core::{Budget, DegradeMode, FilterExpr, Strategy};
+use xfrag_core::{Budget, DegradeMode, FilterExpr, StrategyChoice};
 
 /// Usage text shown on parse errors.
 pub const USAGE: &str = "\
@@ -23,7 +23,9 @@ options:
   --height N      keep fragments of height at most N (anti-monotonic)
   --width N       keep fragments of document-order span at most N
   --min-size N    keep fragments with at least N nodes (not anti-monotonic)
-  --strategy S    brute | naive | reduced | pushdown   (default: pushdown)
+  --strategy S    auto | brute | naive | reduced | pushdown  (default: auto —
+                  a cost-based planner picks per document from index
+                  statistics; see README \"Strategy picking\")
   --strict        require every keyword at a fragment leaf (Definition 8)
   --maximal       hide overlapping sub-fragments (show maximal answers only)
   --ids           print node-id lists instead of XML
@@ -209,8 +211,9 @@ pub struct SearchArgs {
     pub keywords: Vec<String>,
     /// The assembled selection predicate.
     pub filter: FilterExpr,
-    /// Evaluation strategy.
-    pub strategy: Strategy,
+    /// Evaluation strategy: planner-chosen (`auto`, the default) or
+    /// forced.
+    pub strategy: StrategyChoice,
     /// Definition 8 strict leaf semantics.
     pub strict: bool,
     /// Present maximal answers only.
@@ -380,7 +383,7 @@ fn parse_search(rest: &[String]) -> Result<SearchArgs, String> {
     let mut file = None;
     let mut keywords = Vec::new();
     let mut filters = Vec::new();
-    let mut strategy = Strategy::PushDown;
+    let mut strategy = StrategyChoice::Auto;
     let mut strict = false;
     let mut maximal = false;
     let mut ids = false;
@@ -419,7 +422,7 @@ fn parse_search(rest: &[String]) -> Result<SearchArgs, String> {
             }
             "--strategy" => {
                 let v = rest.get(i + 1).ok_or("--strategy needs a value")?;
-                strategy = v.parse::<Strategy>()?;
+                strategy = v.parse::<StrategyChoice>()?;
                 i += 1;
             }
             "--timeout-ms" => {
@@ -593,7 +596,7 @@ mod tests {
                 assert_eq!(a.file, "doc.xml");
                 assert_eq!(a.keywords, vec!["xquery", "optimization"]);
                 assert_eq!(a.filter, FilterExpr::MaxSize(3));
-                assert_eq!(a.strategy, Strategy::PushDown);
+                assert_eq!(a.strategy, StrategyChoice::Auto);
                 assert!(a.stats);
                 assert!(!a.strict);
             }
@@ -617,11 +620,16 @@ mod tests {
 
     #[test]
     fn parse_strategy_aliases() {
+        use xfrag_core::Strategy;
         for (alias, expect) in [
-            ("brute", Strategy::BruteForce),
-            ("naive", Strategy::FixedPointNaive),
-            ("reduced", Strategy::FixedPointReduced),
-            ("pushdown", Strategy::PushDown),
+            ("auto", StrategyChoice::Auto),
+            ("brute", StrategyChoice::Forced(Strategy::BruteForce)),
+            ("naive", StrategyChoice::Forced(Strategy::FixedPointNaive)),
+            (
+                "reduced",
+                StrategyChoice::Forced(Strategy::FixedPointReduced),
+            ),
+            ("pushdown", StrategyChoice::Forced(Strategy::PushDown)),
         ] {
             let cmd = parse(&argv(&format!("search d.xml k --strategy {alias}"))).unwrap();
             match cmd {

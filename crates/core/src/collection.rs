@@ -9,8 +9,13 @@
 
 use crate::budget::{Breach, Degradation, DegradeMode, ExecPolicy, Governor};
 use crate::cache::{CacheRef, GenerationTag, QueryCache};
+use crate::cost::CostModel;
 use crate::fault::{panic_message, site, FaultInjector};
-use crate::query::{evaluate, evaluate_budgeted_cached_traced, Query, QueryError, Strategy};
+use crate::planner::{
+    evaluate_decided_cached_traced, evaluate_planned_cached_traced, PickCounters, PlanCache,
+    StrategyChoice,
+};
+use crate::query::{evaluate, Query, QueryError, Strategy};
 use crate::rank::{score, RankConfig};
 use crate::stats::EvalStats;
 use crate::trace::Tracer;
@@ -312,6 +317,41 @@ pub fn evaluate_collection_budgeted_cached_traced_routed(
     cache: Option<(&QueryCache, GenerationTag)>,
     docs: &[DocId],
 ) -> Result<BudgetedCollectionResult, QueryError> {
+    evaluate_collection_planned_cached_traced_routed(
+        collection,
+        query,
+        StrategyChoice::Forced(strategy),
+        policy,
+        tracer,
+        cache,
+        docs,
+        None,
+        None,
+    )
+}
+
+/// [`evaluate_collection_budgeted_cached_traced_routed`] generalized to a
+/// [`StrategyChoice`]: forced choices take exactly the legacy path, and
+/// `auto` plans per (query, document) — optionally through a shared
+/// [`PlanCache`] — executes under the divergence guard, and records the
+/// pick distribution into `picks`.
+///
+/// Planning is per-document and deterministic, so the routed-partition
+/// merge invariant holds for `auto` exactly as it does for forced
+/// strategies: every shard picks the same strategy for a given document
+/// as the whole-collection call would.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_collection_planned_cached_traced_routed(
+    collection: &Collection,
+    query: &Query,
+    choice: StrategyChoice,
+    policy: &ExecPolicy,
+    tracer: &Tracer<'_>,
+    cache: Option<(&QueryCache, GenerationTag)>,
+    docs: &[DocId],
+    plans: Option<(&PlanCache, GenerationTag)>,
+    picks: Option<&PickCounters>,
+) -> Result<BudgetedCollectionResult, QueryError> {
     if query.terms.is_empty() {
         return Err(QueryError::NoTerms);
     }
@@ -324,6 +364,7 @@ pub fn evaluate_collection_budgeted_cached_traced_routed(
         docs_pruned: docs.len() - candidates.len(),
         ..Default::default()
     };
+    let model = CostModel::default();
     for (i, &id) in candidates.iter().enumerate() {
         match gov.checkpoint() {
             Ok(()) => {}
@@ -355,19 +396,50 @@ pub fn evaluate_collection_budgeted_cached_traced_routed(
                 || format!("doc:{}", collection.name(id)),
                 &mut out.stats,
                 |stats| -> Result<_, QueryError> {
-                    let r = evaluate_budgeted_cached_traced(
-                        collection.doc(id),
-                        &collection.index(id),
-                        query,
-                        strategy,
-                        &per_doc,
-                        tracer,
-                        cache.map(|(cache, gen)| CacheRef {
-                            cache,
-                            gen,
-                            doc: id.0,
-                        }),
-                    )?;
+                    let doc = collection.doc(id);
+                    let index = collection.index(id);
+                    let cache_ref = cache.map(|(cache, gen)| CacheRef {
+                        cache,
+                        gen,
+                        doc: id.0,
+                    });
+                    let r = match (choice, plans) {
+                        (StrategyChoice::Auto, Some((plan_cache, plan_gen))) => {
+                            let mut decision = plan_cache.get_or_plan(
+                                plan_gen,
+                                id.0 as u64,
+                                doc,
+                                &index,
+                                query,
+                                &model,
+                            );
+                            let r = evaluate_decided_cached_traced(
+                                doc,
+                                &index,
+                                query,
+                                &mut decision,
+                                &per_doc,
+                                tracer,
+                                cache_ref,
+                            )?;
+                            if let Some(picks) = picks {
+                                picks.record(&decision);
+                            }
+                            r
+                        }
+                        _ => {
+                            let (r, decision) = evaluate_planned_cached_traced(
+                                doc, &index, query, choice, &per_doc, tracer, cache_ref, &model,
+                            )?;
+                            if let Some(picks) = picks {
+                                match choice {
+                                    StrategyChoice::Forced(_) => picks.record_forced(),
+                                    StrategyChoice::Auto => picks.record(&decision),
+                                }
+                            }
+                            r
+                        }
+                    };
                     *stats += r.stats;
                     Ok(r)
                 },

@@ -70,6 +70,7 @@ pub mod nav;
 pub mod overlap;
 pub mod parallel;
 pub mod plan;
+pub mod planner;
 pub mod query;
 pub mod rank;
 pub mod set;
@@ -89,8 +90,8 @@ pub use cache::{
 pub use collection::{
     evaluate_collection, evaluate_collection_budgeted, evaluate_collection_budgeted_cached_traced,
     evaluate_collection_budgeted_cached_traced_routed, evaluate_collection_budgeted_traced,
-    evaluate_collection_parallel, top_k_collection, BudgetedCollectionResult, CollectionResult,
-    DocAnswers,
+    evaluate_collection_parallel, evaluate_collection_planned_cached_traced_routed,
+    top_k_collection, BudgetedCollectionResult, CollectionResult, DocAnswers,
 };
 pub use cost::{CostEstimate, CostModel};
 pub use fault::{FaultAction, FaultInjector, FaultPlan};
@@ -109,6 +110,10 @@ pub use join::{
 };
 pub use nav::Nav;
 pub use plan::{execute_governed, execute_traced, LogicalPlan, Optimizer, OptimizerRule};
+pub use planner::{
+    evaluate_decided_cached_traced, evaluate_planned_cached_traced, plan_query, OperandProfile,
+    PickCounters, PickSnapshot, PlanCache, PlanDecision, StrategyChoice,
+};
 pub use query::{
     evaluate, evaluate_budgeted, evaluate_budgeted_cached_traced, evaluate_budgeted_traced,
     evaluate_scoped, evaluate_traced, Query, QueryError, QueryResult, ScopedQueryError, Strategy,

@@ -447,6 +447,35 @@ pub fn evaluate_budgeted_cached_traced<I: PostingsSource + ?Sized>(
     tracer: &Tracer<'_>,
     cache: Option<CacheRef<'_>>,
 ) -> Result<QueryResult, QueryError> {
+    evaluate_budgeted_cached_guarded_traced(
+        doc, index, query, strategy, policy, tracer, cache, None,
+    )
+}
+
+/// [`evaluate_budgeted_cached_traced`] with an optional planner *guard*
+/// budget (see [`crate::planner`]).
+///
+/// The guard only replaces the [`Governor`]'s work caps; cache keys, the
+/// tier gates and the result's policy fingerprint all still come from
+/// `policy`, so a guarded run that completes is byte-identical to an
+/// unguarded one. When the guard trips, the run aborts with
+/// [`QueryError::BudgetExceeded`] at the breaching charge instead of
+/// walking the degradation ladder — the planner treats that as "actuals
+/// diverged from estimates" and re-plans with the conservative strategy.
+/// Callers must only arm a guard under an unlimited, non-cancellable
+/// `policy` (the planner's arming condition), where a breach can only
+/// mean guard divergence.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn evaluate_budgeted_cached_guarded_traced<I: PostingsSource + ?Sized>(
+    doc: &Document,
+    index: &I,
+    query: &Query,
+    strategy: Strategy,
+    policy: &ExecPolicy,
+    tracer: &Tracer<'_>,
+    cache: Option<CacheRef<'_>>,
+    guard: Option<&crate::budget::Budget>,
+) -> Result<QueryResult, QueryError> {
     if query.terms.is_empty() {
         return Err(QueryError::NoTerms);
     }
@@ -510,10 +539,13 @@ pub fn evaluate_budgeted_cached_traced<I: PostingsSource + ?Sized>(
         })
         .collect();
 
-    // Tier (b) gate — see the doc comment above.
+    // Tier (b) gate — see the doc comment above. Deliberately reads the
+    // caller's `policy`, not the guard: the guard must not change what
+    // gets cached or under which keys.
     let tier_b = cache.filter(|_| !policy.budget.is_limited() && policy.cancel.is_none());
-    let mut result =
-        evaluate_operands_budgeted_traced(nav, query, strategy, &operands, policy, tracer, tier_b)?;
+    let mut result = evaluate_operands_budgeted_traced(
+        nav, query, strategy, &operands, policy, tracer, tier_b, guard,
+    )?;
     result.stats.cache_hits += lookup_stats.cache_hits;
     result.stats.cache_misses += lookup_stats.cache_misses;
     if let (Some(c), Some(key)) = (&cache, &key) {
@@ -534,6 +566,11 @@ pub fn evaluate_budgeted_cached_traced<I: PostingsSource + ?Sized>(
 /// `cache` (when present) memoizes per-term fixed points — callers are
 /// responsible for the tier (b) gate: pass `Some` only under unlimited,
 /// non-cancellable policies (see [`evaluate_budgeted_cached_traced`]).
+///
+/// `guard` (when present) replaces the governor's budget with the
+/// planner's divergence guard; a breach then aborts instead of
+/// degrading (see [`evaluate_budgeted_cached_guarded_traced`]).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn evaluate_operands_budgeted_traced(
     nav: Nav<'_>,
     query: &Query,
@@ -542,6 +579,7 @@ pub(crate) fn evaluate_operands_budgeted_traced(
     policy: &ExecPolicy,
     tracer: &Tracer<'_>,
     cache: Option<CacheRef<'_>>,
+    guard: Option<&crate::budget::Budget>,
 ) -> Result<QueryResult, QueryError> {
     if query.terms.is_empty() {
         return Err(QueryError::NoTerms);
@@ -558,7 +596,11 @@ pub(crate) fn evaluate_operands_budgeted_traced(
         });
     }
 
-    let gov = Governor::new(policy.budget, policy.cancel.clone()).with_fault(policy.fault.clone());
+    let gov = Governor::new(
+        guard.copied().unwrap_or(policy.budget),
+        policy.cancel.clone(),
+    )
+    .with_fault(policy.fault.clone());
     // Fault-injection point: an armed `query:eval` site can panic, stall,
     // or cancel this evaluation before any rung runs.
     if gov.fault_point(crate::fault::site::QUERY_EVAL).is_err() {
@@ -575,6 +617,13 @@ pub(crate) fn evaluate_operands_budgeted_traced(
     );
     let mut raw = match attempt {
         Ok(raw) => Some(raw),
+        // A tripped planner guard is a divergence signal, not a resource
+        // limit: surface it at this checkpoint so the planner can re-plan
+        // under the caller's real (unlimited) policy — the ladder's
+        // partial answers are never acceptable substitutes here.
+        Err(breach) if guard.is_some() => {
+            return Err(QueryError::BudgetExceeded(breach));
+        }
         Err(breach) => {
             handle_breach(Rung::Full, breach, policy, &mut trips)?;
             None

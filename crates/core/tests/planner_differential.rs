@@ -1,0 +1,409 @@
+//! The planner-conformance differential suite (ISSUE 10).
+//!
+//! `--strategy auto` is the default, so its one non-negotiable property
+//! is that it never *changes* an answer: for every (document, query,
+//! filter, policy) cell, the auto path must be byte-identical — the full
+//! `QueryResult` `Debug` rendering, fragments *and* `EvalStats` — to
+//! forcing the strategy the planner picked, and every forced strategy
+//! must agree on the answer set whenever none of them degraded. The
+//! matrix below crosses generated corpora × queries × filters × budget
+//! policies × {cold, warm} and checks exactly that.
+//!
+//! The second half exercises the adaptive re-plan: a corpus built to
+//! make the planner's estimate badly optimistic (a flat sibling run
+//! whose closure is the full powerset), where the divergence guard must
+//! trip, emit a `plan:replan` span, fall back to the conservative
+//! strategy under the caller's original policy, and still return the
+//! byte-identical answer a forced conservative run produces.
+
+use xfrag_core::{
+    evaluate_planned_cached_traced, plan_query, Budget, CacheRef, CostModel, Degradation,
+    DegradeMode, EvalStats, ExecPolicy, FilterExpr, GenerationTag, Query, QueryCache, QueryResult,
+    RecordingSink, Span, Strategy, StrategyChoice, Tracer,
+};
+use xfrag_doc::{parse_str, Document, DocumentBuilder, InvertedIndex};
+
+/// The generated corpora: shapes chosen to push the picker toward
+/// different strategies (tiny operands → brute force, chains → high RF,
+/// flat runs → low RF) so the matrix exercises every pick, not just one.
+fn corpora() -> Vec<(&'static str, Document)> {
+    vec![
+        (
+            "paper-shaped",
+            parse_str(
+                "<sec><sub>alpha topics<par>beta alpha in practice</par>\
+                 <par>beta gamma</par></sub></sec>",
+            )
+            .unwrap(),
+        ),
+        (
+            "flat-wide",
+            parse_str(
+                "<r><p>alpha</p><p>beta</p><p>alpha gamma</p><p>beta</p>\
+                 <p>gamma</p><p>alpha</p></r>",
+            )
+            .unwrap(),
+        ),
+        (
+            "deep-chain",
+            parse_str("<a>alpha<b>beta<c>alpha<d>gamma<e>beta alpha</e></d></c></b></a>").unwrap(),
+        ),
+        (
+            "skewed",
+            parse_str(
+                "<r><hub><x>alpha</x><x>alpha</x><x>alpha</x><x>alpha</x></hub>\
+                 <y>beta</y><z><w>beta gamma</w></z><q>gamma alpha</q></r>",
+            )
+            .unwrap(),
+        ),
+    ]
+}
+
+fn queries() -> Vec<(&'static str, Vec<&'static str>)> {
+    vec![
+        ("one-term", vec!["alpha"]),
+        ("two-term", vec!["alpha", "beta"]),
+        ("three-term", vec!["alpha", "beta", "gamma"]),
+        // Conjunctive semantics: a missing term short-circuits every
+        // strategy to the empty answer — the planner's no-guard path.
+        ("missing-term", vec!["alpha", "zzz-missing"]),
+    ]
+}
+
+fn filters() -> Vec<(&'static str, FilterExpr)> {
+    vec![
+        ("true", FilterExpr::True),
+        ("max-size", FilterExpr::MaxSize(3)),
+        ("max-height", FilterExpr::MaxHeight(2)),
+        (
+            "and-anti",
+            FilterExpr::And(vec![FilterExpr::MaxSize(4), FilterExpr::MaxDiameter(3)]),
+        ),
+    ]
+}
+
+/// The budget policies: unlimited (guards arm), a generous cap nothing
+/// here can breach, the degradation ladder under a tight cap, and a
+/// tight cap with the ladder off (hard errors).
+fn policies() -> Vec<(&'static str, ExecPolicy)> {
+    vec![
+        ("unlimited", ExecPolicy::unlimited()),
+        (
+            "generous",
+            ExecPolicy::with_budget(
+                Budget::unlimited()
+                    .with_max_joins(50_000_000)
+                    .with_max_fragments(1_000_000),
+            ),
+        ),
+        (
+            "tight-ladder",
+            ExecPolicy::with_budget(Budget::unlimited().with_max_joins(40))
+                .with_degrade(DegradeMode::Ladder),
+        ),
+        (
+            "tight-off",
+            ExecPolicy::with_budget(Budget::unlimited().with_max_joins(40))
+                .with_degrade(DegradeMode::Off),
+        ),
+    ]
+}
+
+/// One arm of a cell: evaluate the same request twice through a fresh
+/// private cache — a cold pass and a warm replay — so cached and cold
+/// behavior are both covered without arms contaminating each other.
+fn run_arm(
+    doc: &Document,
+    index: &InvertedIndex,
+    query: &Query,
+    choice: StrategyChoice,
+    policy: &ExecPolicy,
+) -> [Result<(QueryResult, Strategy), String>; 2] {
+    let cache = QueryCache::with_capacity_mb(8);
+    let gen = GenerationTag::fresh();
+    let model = CostModel::default();
+    [0, 1].map(|_| {
+        let cref = CacheRef {
+            cache: &cache,
+            gen,
+            doc: 0,
+        };
+        evaluate_planned_cached_traced(
+            doc,
+            index,
+            query,
+            choice,
+            policy,
+            &Tracer::disabled(),
+            Some(cref),
+            &model,
+        )
+        .map(|(r, d)| (r, d.effective))
+        .map_err(|e| format!("{e:?}"))
+    })
+}
+
+/// The tentpole invariant, cell by cell: auto is indistinguishable from
+/// forcing what it picked, and the four forced strategies agree whenever
+/// they all completed undegraded.
+#[test]
+fn auto_matches_forced_across_the_full_matrix() {
+    for (dname, doc) in corpora() {
+        let index = InvertedIndex::build(&doc);
+        for (qname, terms) in queries() {
+            for (fname, filter) in filters() {
+                let query = Query::new(terms.iter().copied(), filter.clone());
+                for (pname, policy) in policies() {
+                    let cell = format!("{dname}/{qname}/{fname}/{pname}");
+                    let auto = run_arm(&doc, &index, &query, StrategyChoice::Auto, &policy);
+                    let forced: Vec<_> = Strategy::ALL
+                        .iter()
+                        .map(|&s| run_arm(&doc, &index, &query, StrategyChoice::Forced(s), &policy))
+                        .collect();
+                    let forced_for = |s: Strategy| {
+                        let i = Strategy::ALL.iter().position(|&x| x == s).unwrap();
+                        &forced[i]
+                    };
+
+                    // Auto ≡ forced(effective), cold pass: full result
+                    // identity, stats included. A re-planned run must be
+                    // indistinguishable from forcing the fallback.
+                    match &auto[0] {
+                        Ok((r, effective)) => {
+                            let (fr, _) = forced_for(*effective)[0]
+                                .as_ref()
+                                .unwrap_or_else(|e| panic!("{cell}: forced arm errored: {e}"));
+                            assert_eq!(
+                                format!("{r:?}"),
+                                format!("{fr:?}"),
+                                "{cell}: auto diverged from forced {}",
+                                effective.name()
+                            );
+                        }
+                        Err(e) => {
+                            // Auto can only fail the way the picked
+                            // strategy fails (guards never arm under a
+                            // limited policy, so there is no fallback).
+                            let mut scratch = EvalStats::new();
+                            let picked = plan_query(
+                                &doc,
+                                &index,
+                                &query,
+                                &CostModel::default(),
+                                &mut scratch,
+                            )
+                            .picked;
+                            let fe = forced_for(picked)[0]
+                                .as_ref()
+                                .err()
+                                .unwrap_or_else(|| panic!("{cell}: auto errored, forced did not"));
+                            assert_eq!(e, fe, "{cell}: auto error diverged");
+                        }
+                    }
+
+                    // Auto ≡ forced(effective), warm pass: the answer
+                    // payload must replay identically through the cache.
+                    if let (Ok((r, effective)), _) = (&auto[1], ()) {
+                        if let Ok((fr, _)) = &forced_for(*effective)[1] {
+                            assert_eq!(
+                                r.fragments, fr.fragments,
+                                "{cell}: warm auto fragments diverged"
+                            );
+                            assert_eq!(
+                                r.degradation, fr.degradation,
+                                "{cell}: warm auto degradation diverged"
+                            );
+                        }
+                    }
+
+                    // Within every arm, warm must replay the cold answer.
+                    for (arm, name) in std::iter::once((&auto, "auto"))
+                        .chain(Strategy::ALL.iter().map(|&s| (forced_for(s), s.name())))
+                    {
+                        if let [Ok((cold, _)), Ok((warm, _))] = arm {
+                            assert_eq!(
+                                cold.fragments, warm.fragments,
+                                "{cell}/{name}: warm pass changed the answer"
+                            );
+                        }
+                    }
+
+                    // Cross-strategy agreement: all four forced arms
+                    // that completed undegraded share one answer set.
+                    let clean: Vec<(&str, &QueryResult)> = Strategy::ALL
+                        .iter()
+                        .filter_map(|&s| match &forced_for(s)[0] {
+                            Ok((r, _)) if r.degradation == Degradation::none() => {
+                                Some((s.name(), r))
+                            }
+                            _ => None,
+                        })
+                        .collect();
+                    // Set equality, not rendering: strategies emit the
+                    // same answers in different closure orders.
+                    for pair in clean.windows(2) {
+                        assert_eq!(
+                            pair[0].1.fragments, pair[1].1.fragments,
+                            "{cell}: {} and {} disagree",
+                            pair[0].0, pair[1].0
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The planner is a pure function of (document, query): the same cell
+/// planned twice yields the same decision, estimates and rationale.
+#[test]
+fn plans_are_deterministic_across_the_matrix() {
+    for (dname, doc) in corpora() {
+        let index = InvertedIndex::build(&doc);
+        for (_, terms) in queries() {
+            for (_, filter) in filters() {
+                let query = Query::new(terms.iter().copied(), filter.clone());
+                let model = CostModel::default();
+                let mut s1 = EvalStats::new();
+                let mut s2 = EvalStats::new();
+                let d1 = plan_query(&doc, &index, &query, &model, &mut s1);
+                let d2 = plan_query(&doc, &index, &query, &model, &mut s2);
+                assert_eq!(d1, d2, "{dname}/{terms:?}: plan not deterministic");
+            }
+        }
+    }
+}
+
+/// A flat run of `n` identical-term siblings: every subset of the
+/// postings joins into a distinct fragment, so the true closure is the
+/// full powerset (2^n − 1 fragments) while the sampled RF is 0 and the
+/// planner's fixpoint estimate stays linear — the canonical case where
+/// estimates diverge from actuals.
+fn flat_blowup_doc(n: usize) -> Document {
+    let mut b = DocumentBuilder::new();
+    b.begin("r");
+    for _ in 0..n {
+        b.leaf("p", "hot");
+    }
+    b.end();
+    b.finish().unwrap()
+}
+
+fn span_stages(spans: &[Span], out: &mut Vec<String>) {
+    for s in spans {
+        out.push(s.stage.clone());
+        span_stages(&s.children, out);
+    }
+}
+
+/// The mid-query re-plan, end to end: the guard trips on the skewed
+/// corpus, the `plan:replan` span fires, the fallback completes under
+/// the caller's original (unlimited) policy, and the reply is
+/// byte-identical to having forced the conservative strategy.
+#[test]
+fn guard_trip_replans_and_matches_forced_conservative() {
+    let doc = flat_blowup_doc(10);
+    let index = InvertedIndex::build(&doc);
+    let query = Query::new(["hot"], FilterExpr::True);
+    let model = CostModel::default();
+
+    // The plan must be optimistic here: a guard exists and its caps sit
+    // far below the 2^10 − 1 = 1023-fragment closure's real cost.
+    let mut scratch = EvalStats::new();
+    let planned = plan_query(&doc, &index, &query, &model, &mut scratch);
+    let guard = planned.guard.expect("finite estimate arms a guard");
+    assert!(
+        guard.max_joins.unwrap() < 10_000,
+        "estimate unexpectedly pessimistic: {guard:?}"
+    );
+
+    let sink = RecordingSink::new();
+    let tracer = Tracer::new(&sink);
+    let (auto_r, decision) = evaluate_planned_cached_traced(
+        &doc,
+        &index,
+        &query,
+        StrategyChoice::Auto,
+        &ExecPolicy::unlimited(),
+        &tracer,
+        None,
+        &model,
+    )
+    .expect("re-planned evaluation completes");
+
+    assert!(
+        decision.replanned,
+        "guard should have tripped: {decision:?}"
+    );
+    assert_eq!(decision.effective, Strategy::PushDown);
+    assert_eq!(auto_r.fragments.len(), 1023, "full powerset closure");
+    assert_eq!(auto_r.degradation, Degradation::none());
+
+    let mut stages = Vec::new();
+    span_stages(&sink.take(), &mut stages);
+    assert!(
+        stages.iter().any(|s| s.starts_with("plan:choose")),
+        "missing plan:choose span: {stages:?}"
+    );
+    assert!(
+        stages.iter().any(|s| s.starts_with("plan:replan:")),
+        "missing plan:replan span: {stages:?}"
+    );
+
+    // Byte-identity with the forced conservative run, stats included.
+    let (forced_r, _) = evaluate_planned_cached_traced(
+        &doc,
+        &index,
+        &query,
+        StrategyChoice::Forced(Strategy::PushDown),
+        &ExecPolicy::unlimited(),
+        &Tracer::disabled(),
+        None,
+        &model,
+    )
+    .expect("forced conservative evaluation completes");
+    assert_eq!(
+        format!("{auto_r:?}"),
+        format!("{forced_r:?}"),
+        "re-planned reply differs from forced push-down"
+    );
+}
+
+/// Guards are divergence detectors, not resource policy: under a real
+/// budget the ladder owns breaches, so the same skewed corpus must not
+/// re-plan — it degrades or completes exactly like a forced run.
+#[test]
+fn guard_never_arms_under_a_limited_policy() {
+    let doc = flat_blowup_doc(10);
+    let index = InvertedIndex::build(&doc);
+    let query = Query::new(["hot"], FilterExpr::True);
+    let model = CostModel::default();
+    let policy = ExecPolicy::with_budget(Budget::unlimited().with_max_joins(10_000_000));
+
+    let (auto_r, decision) = evaluate_planned_cached_traced(
+        &doc,
+        &index,
+        &query,
+        StrategyChoice::Auto,
+        &policy,
+        &Tracer::disabled(),
+        None,
+        &model,
+    )
+    .expect("budgeted evaluation completes");
+    assert!(!decision.replanned, "limited policy must not arm the guard");
+    assert_eq!(decision.picked, decision.effective);
+
+    let (forced_r, _) = evaluate_planned_cached_traced(
+        &doc,
+        &index,
+        &query,
+        StrategyChoice::Forced(decision.picked),
+        &policy,
+        &Tracer::disabled(),
+        None,
+        &model,
+    )
+    .expect("forced evaluation completes");
+    assert_eq!(format!("{auto_r:?}"), format!("{forced_r:?}"));
+}

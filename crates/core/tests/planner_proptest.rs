@@ -1,0 +1,327 @@
+//! Property tests for the §5 estimator and the v2 stats segment
+//! (ISSUE 10).
+//!
+//! The estimator's documented error envelope, checked here:
+//!
+//! * with `sample >= |F|` the strided RF estimate is *exact* — it equals
+//!   [`reduction_factor`] to the bit, because stride 1 visits every
+//!   candidate against every pair;
+//! * with any smaller sample it is *one-sided*: a sampled elimination is
+//!   a real elimination (the witness pair exists in the full set), so a
+//!   positive estimate implies a positive true RF, and the estimate
+//!   always stays in `[0, 1]`;
+//! * join-cardinality estimates are monotone in posting size, so a
+//!   bigger operand can never look cheaper;
+//! * at runtime the envelope is enforced, not assumed: an un-replanned
+//!   auto evaluation's actual join/fragment counts sit under the guard
+//!   caps (`8× estimate + slack`), and anything past that re-plans.
+//!
+//! The segment half: random documents round-trip through the v2 `.xidx`
+//! encoding with statistics that reproduce the live profile bit-for-bit;
+//! a downgraded v1 segment (stats stripped by byte surgery, the way an
+//! old indexer would have written it) still plans identically via the
+//! live fallback; a corrupted segment never decodes; and a segment whose
+//! stats block fails its sanity checks (restamped checksum, absurd
+//! counters) degrades to "no stats" — never to wrong answers.
+
+use proptest::prelude::*;
+use xfrag_core::cost::estimate_rf;
+use xfrag_core::{
+    evaluate_planned_cached_traced, plan_query, reduction_factor, CostModel, EvalStats, ExecPolicy,
+    FilterExpr, FixpointMode, FragmentSet, Query, StrategyChoice, Tracer,
+};
+use xfrag_doc::{
+    encode_segment, Document, DocumentBuilder, InvertedIndex, PostingsSource, SegmentIndex,
+};
+
+/// The term pool random documents draw from.
+const TERMS: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+/// Query shapes for the planning properties: every pool subset size,
+/// including the full conjunction.
+const QUERY_SHAPES: [&[&str]; 4] = [
+    &["alpha"],
+    &["alpha", "beta"],
+    &["beta", "gamma"],
+    &["alpha", "beta", "gamma", "delta"],
+];
+
+/// Structure from a parent-choice vector (the `proptest_doc` idiom);
+/// content from per-node term-subset selectors: bit `i` of a selector
+/// puts `TERMS[i]` into that node's text. Node 0 always holds the full
+/// pool so no generated document is term-free.
+fn build_doc(choices: &[usize], sels: &[u8]) -> Document {
+    let n = choices.len() + 1;
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, &c) in choices.iter().enumerate() {
+        children[c % (i + 1)].push(i + 1);
+    }
+    fn emit(b: &mut DocumentBuilder, children: &[Vec<usize>], v: usize, sels: &[u8]) {
+        b.begin(format!("e{v}"));
+        let sel = if v == 0 {
+            0b1111
+        } else {
+            sels.get(v % sels.len().max(1)).copied().unwrap_or(0)
+        };
+        let words: Vec<&str> = TERMS
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| sel & (1 << i) != 0)
+            .map(|(_, t)| *t)
+            .collect();
+        if !words.is_empty() {
+            b.text(words.join(" "));
+        }
+        for &c in &children[v] {
+            emit(b, children, c, sels);
+        }
+        b.end();
+    }
+    let mut b = DocumentBuilder::new();
+    emit(&mut b, &children, 0, sels);
+    b.finish().expect("generated tree is valid")
+}
+
+/// FNV-1a, re-implemented locally: the tests must be able to restamp a
+/// surgically edited segment without access to the crate-private hasher.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Byte length of the v2 stats section: the 16-bucket depth histogram
+/// plus 20 bytes of planner stats per term.
+fn stats_section_len(terms: usize) -> usize {
+    16 * 4 + terms * 20
+}
+
+/// Downgrade encoded v2 segment bytes to the v1 layout: strip the stats
+/// section, patch the version word, restamp the checksum — exactly the
+/// bytes an old indexer would have written.
+fn downgrade_to_v1(bytes: &[u8], terms: usize) -> Vec<u8> {
+    let body_end = bytes.len() - 8 - stats_section_len(terms);
+    let mut v1 = bytes[..body_end].to_vec();
+    v1[4..6].copy_from_slice(&1u16.to_le_bytes());
+    let sum = fnv1a(&v1);
+    v1.extend_from_slice(&sum.to_le_bytes());
+    v1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Envelope, exact end: `sample >= |F|` reproduces the true RF.
+    #[test]
+    fn full_sample_estimate_is_exact(
+        choices in prop::collection::vec(any::<usize>(), 0..22),
+        sels in prop::collection::vec(any::<u8>(), 1..8),
+    ) {
+        let doc = build_doc(&choices, &sels);
+        let index = InvertedIndex::build(&doc);
+        for term in TERMS {
+            let f = FragmentSet::of_nodes(index.postings(term).iter().copied());
+            let mut s = EvalStats::new();
+            let est = estimate_rf(&doc, &f, f.len().max(1), &mut s);
+            let exact = reduction_factor(&doc, &f, &mut s);
+            prop_assert!(
+                (est - exact).abs() < 1e-12,
+                "term {term}: full-sample estimate {est} != exact {exact}"
+            );
+        }
+    }
+
+    /// Envelope, sampled end: one-sided and bounded. A positive sampled
+    /// RF implies a positive true RF, and the estimate stays in [0, 1].
+    #[test]
+    fn sampled_estimate_is_one_sided(
+        choices in prop::collection::vec(any::<usize>(), 0..22),
+        sels in prop::collection::vec(any::<u8>(), 1..8),
+        sample in 1usize..8,
+    ) {
+        let doc = build_doc(&choices, &sels);
+        let index = InvertedIndex::build(&doc);
+        for term in TERMS {
+            let f = FragmentSet::of_nodes(index.postings(term).iter().copied());
+            let mut s = EvalStats::new();
+            let est = estimate_rf(&doc, &f, sample, &mut s);
+            prop_assert!((0.0..=1.0).contains(&est), "term {term}: RF {est} out of range");
+            if est > 0.0 {
+                let exact = reduction_factor(&doc, &f, &mut s);
+                prop_assert!(
+                    exact > 0.0,
+                    "term {term}: sampled RF {est} but true RF is zero"
+                );
+            }
+        }
+    }
+
+    /// Join-cardinality estimates are monotone in posting size: growing
+    /// an operand never makes any strategy's estimate cheaper.
+    #[test]
+    fn cost_estimates_are_monotone_in_posting_size(
+        n in 1u64..160,
+        delta in 1u64..40,
+        rf_pct in 0u32..=100,
+        span in 0u64..16,
+    ) {
+        let model = CostModel::default();
+        let rf = f64::from(rf_pct) / 100.0;
+        for mode in [FixpointMode::Naive, FixpointMode::Reduced] {
+            let small = model.planner_fixpoint_estimate(n, rf, span, mode);
+            let big = model.planner_fixpoint_estimate(n + delta, rf, span, mode);
+            prop_assert!(
+                big.joins >= small.joins && big.fragments >= small.fragments,
+                "{mode:?}: estimate shrank from n={n} ({small:?}) to n={} ({big:?})",
+                n + delta
+            );
+        }
+    }
+
+    /// The runtime envelope: an auto evaluation that did not re-plan
+    /// stayed within its guard caps; divergence beyond 8× + slack is
+    /// impossible to miss because the guard is the execution budget.
+    /// Documents stay small here: a replanned case re-runs the full
+    /// conservative closure, which is exponential on dense term runs.
+    #[test]
+    fn unreplanned_actuals_stay_within_the_guard(
+        choices in prop::collection::vec(any::<usize>(), 0..10),
+        sels in prop::collection::vec(any::<u8>(), 1..8),
+    ) {
+        let doc = build_doc(&choices, &sels);
+        let index = InvertedIndex::build(&doc);
+        for terms in QUERY_SHAPES {
+            let q = Query::new(terms.iter().copied(), FilterExpr::True);
+            let (r, decision) = evaluate_planned_cached_traced(
+                &doc, &index, &q, StrategyChoice::Auto, &ExecPolicy::unlimited(),
+                &Tracer::disabled(), None, &CostModel::default(),
+            ).expect("unlimited auto evaluation completes");
+            if let (false, Some(guard)) = (decision.replanned, &decision.guard) {
+                prop_assert!(
+                    r.stats.joins <= guard.max_joins.unwrap_or(u64::MAX),
+                    "joins {} exceeded guard {guard:?} without a re-plan",
+                    r.stats.joins
+                );
+                prop_assert!(
+                    r.stats.fragments_emitted <= guard.max_fragments.unwrap_or(u64::MAX),
+                    "fragments {} exceeded guard {guard:?} without a re-plan",
+                    r.stats.fragments_emitted
+                );
+            }
+        }
+    }
+
+    /// v2 round-trip: segment statistics reproduce the live profile —
+    /// same picks, same estimates, RF equal to the bit — on arbitrary
+    /// documents, not just the fixtures.
+    #[test]
+    fn segment_stats_plan_like_live_profiles(
+        choices in prop::collection::vec(any::<usize>(), 0..22),
+        sels in prop::collection::vec(any::<u8>(), 1..8),
+    ) {
+        let doc = build_doc(&choices, &sels);
+        let index = InvertedIndex::build(&doc);
+        let seg = SegmentIndex::from_bytes(&encode_segment(&doc)).expect("v2 roundtrip");
+        prop_assert!(seg.stats().is_some(), "v2 segment lost its stats block");
+        let model = CostModel::default();
+        for terms in QUERY_SHAPES {
+            let q = Query::new(terms.iter().copied(), FilterExpr::True);
+            let mut s = EvalStats::new();
+            let mem = plan_query(&doc, &index, &q, &model, &mut s);
+            let segd = plan_query(&doc, &seg, &q, &model, &mut s);
+            prop_assert_eq!(mem.picked, segd.picked, "picks diverged on {:?}", terms);
+            prop_assert_eq!(mem.estimates, segd.estimates, "estimates diverged on {:?}", terms);
+            prop_assert!(segd.from_segment_stats());
+            for (m, g) in mem.operands.iter().zip(&segd.operands) {
+                prop_assert!(
+                    (m.rf - g.rf).abs() < 1e-12,
+                    "term {}: live RF {} vs segment RF {}", m.term, m.rf, g.rf
+                );
+                prop_assert_eq!(m.n, g.n);
+                prop_assert_eq!(m.depth_span, g.depth_span);
+            }
+        }
+    }
+
+    /// v1 fallback: stripping the stats section (old-format bytes) keeps
+    /// the segment decodable with `stats() == None`, and the planner's
+    /// live fallback reproduces the in-memory decision *exactly*.
+    #[test]
+    fn v1_segment_falls_back_to_live_planning(
+        choices in prop::collection::vec(any::<usize>(), 0..22),
+        sels in prop::collection::vec(any::<u8>(), 1..8),
+    ) {
+        let doc = build_doc(&choices, &sels);
+        let index = InvertedIndex::build(&doc);
+        let v2 = encode_segment(&doc);
+        let terms = SegmentIndex::from_bytes(&v2).expect("v2 roundtrip").term_count();
+        let v1 = SegmentIndex::from_bytes(&downgrade_to_v1(&v2, terms))
+            .expect("v1 layout decodes");
+        prop_assert!(v1.stats().is_none(), "v1 segment cannot carry stats");
+        let model = CostModel::default();
+        for terms in QUERY_SHAPES {
+            let q = Query::new(terms.iter().copied(), FilterExpr::True);
+            let mut s = EvalStats::new();
+            let mem = plan_query(&doc, &index, &q, &model, &mut s);
+            let via_v1 = plan_query(&doc, &v1, &q, &model, &mut s);
+            prop_assert_eq!(mem, via_v1, "v1 fallback diverged on {:?}", terms);
+        }
+    }
+
+    /// Corruption: flipping any single byte is caught by the trailing
+    /// checksum — the decoder errors, it never serves garbage.
+    #[test]
+    fn corrupted_segment_never_decodes(
+        choices in prop::collection::vec(any::<usize>(), 0..22),
+        sels in prop::collection::vec(any::<u8>(), 1..8),
+        at in any::<usize>(),
+    ) {
+        let doc = build_doc(&choices, &sels);
+        let mut bytes = encode_segment(&doc);
+        let i = at % bytes.len();
+        bytes[i] ^= 0x5a;
+        prop_assert!(
+            SegmentIndex::from_bytes(&bytes).is_err(),
+            "flipped byte {i} of {} went unnoticed", bytes.len()
+        );
+    }
+}
+
+/// A stats block that passes the checksum but fails its sanity checks
+/// (a restamped segment claiming more RF candidates than the sampler
+/// ever draws) must degrade to `stats() == None` — the planner falls
+/// back to live profiling and keeps answering correctly.
+#[test]
+fn insane_stats_block_degrades_to_live_planning() {
+    let doc = build_doc(&[0, 0, 1, 1, 2], &[0b0011, 0b0101, 0b1111]);
+    let index = InvertedIndex::build(&doc);
+    let mut bytes = encode_segment(&doc);
+    let terms = SegmentIndex::from_bytes(&bytes)
+        .expect("v2 roundtrip")
+        .term_count();
+
+    // Term 0's `rf_candidates` lives 2 bytes into its 20-byte record,
+    // after the 16-bucket depth histogram. 0xFFFF is far beyond the
+    // sampler's RF_SAMPLE cap, so the sanity pass must reject the block.
+    let stats_start = bytes.len() - 8 - stats_section_len(terms);
+    let cand_at = stats_start + 16 * 4 + 2;
+    bytes[cand_at..cand_at + 2].copy_from_slice(&0xFFFFu16.to_le_bytes());
+    let body_end = bytes.len() - 8;
+    let sum = fnv1a(&bytes[..body_end]);
+    bytes[body_end..].copy_from_slice(&sum.to_le_bytes());
+
+    let seg = SegmentIndex::from_bytes(&bytes).expect("restamped segment decodes");
+    assert!(seg.stats().is_none(), "insane stats block was accepted");
+
+    let model = CostModel::default();
+    for terms in QUERY_SHAPES {
+        let q = Query::new(terms.iter().copied(), FilterExpr::True);
+        let mut s = EvalStats::new();
+        let mem = plan_query(&doc, &index, &q, &model, &mut s);
+        let via_seg = plan_query(&doc, &seg, &q, &model, &mut s);
+        assert_eq!(mem, via_seg, "fallback planning diverged on {terms:?}");
+    }
+}

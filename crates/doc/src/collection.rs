@@ -33,7 +33,9 @@ impl std::fmt::Display for DocId {
 #[derive(Debug)]
 enum DocIndex {
     Mem(InvertedIndex),
-    Seg(SegmentIndex),
+    // Boxed: the stats block makes SegmentIndex an order of magnitude
+    // larger than InvertedIndex's map header.
+    Seg(Box<SegmentIndex>),
 }
 
 /// A borrowed view of one document's index, uniform over the in-memory
@@ -116,6 +118,13 @@ impl PostingsSource for IndexHandle<'_> {
     fn persistent(&self) -> bool {
         matches!(self.0, DocIndex::Seg(_))
     }
+
+    fn term_stats(&self, term: &str) -> Option<crate::stats::TermStats> {
+        match self.0 {
+            DocIndex::Mem(_) => None,
+            DocIndex::Seg(s) => s.term_stats(term),
+        }
+    }
 }
 
 /// A named set of documents with per-document indexes and collection-wide
@@ -157,7 +166,7 @@ impl Collection {
         for term in segment.term_names() {
             *self.doc_freq.entry(term.to_string()).or_insert(0) += 1;
         }
-        self.push(name.into(), doc, DocIndex::Seg(segment))
+        self.push(name.into(), doc, DocIndex::Seg(Box::new(segment)))
     }
 
     fn push(&mut self, name: String, doc: Document, index: DocIndex) -> DocId {

@@ -20,7 +20,7 @@
 //!
 //! ```text
 //! magic    4 bytes  "XIDX"
-//! version  u16      1
+//! version  u16      2 (v1 still decodes; it simply has no stats)
 //! nodes    u32      node count (pre-order)
 //! per node: u32     label length (= depth + 1)
 //! labels   u32 × Σ  flattened root paths, node order
@@ -31,6 +31,15 @@
 //!   offset u32      byte offset of this term's postings in the blob
 //! blob_len u32      postings blob length in bytes
 //! blob     bytes    u32 node ids, ascending, per directory order
+//! --- v2 only: planner statistics ---
+//! hist     u32 × 16 node count per depth bucket (clamped at 15)
+//! per term (directory order):
+//!   rf_elim  u16    sampled candidates eliminated by a pair join
+//!   rf_cand  u16    sampled candidate count (≤ RF_SAMPLE)
+//!   dmin     u32    minimum posting depth
+//!   dmax     u32    maximum posting depth
+//!   sketch   u64    hashed-posting membership bitmap
+//! --- end v2 ---
 //! checksum u64      FNV-1a over everything before it
 //! ```
 //!
@@ -44,6 +53,9 @@
 
 use crate::index::InvertedIndex;
 use crate::label::StructLabels;
+use crate::stats::{
+    compute_term_stats, depth_histogram, SegmentStats, TermStats, DEPTH_BUCKETS, RF_SAMPLE,
+};
 use crate::store::fnv1a;
 use crate::tree::{Document, NodeId};
 use std::collections::HashMap;
@@ -51,7 +63,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 const MAGIC: &[u8; 4] = b"XIDX";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
+/// Oldest version this build still decodes (v1 = no stats section).
+const MIN_VERSION: u16 = 1;
 
 /// Errors from decoding an index segment.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -127,6 +141,19 @@ pub fn encode_from(doc: &Document, index: &InvertedIndex) -> Vec<u8> {
     }
     buf.extend_from_slice(&(blob.len() as u32).to_le_bytes());
     buf.extend_from_slice(&blob);
+    // v2 stats section: depth histogram, then per-term planner stats in
+    // the same lexicographic order as the directory.
+    for c in depth_histogram(&labels) {
+        buf.extend_from_slice(&c.to_le_bytes());
+    }
+    for (_, postings) in index.terms() {
+        let ts = compute_term_stats(&labels, postings);
+        buf.extend_from_slice(&ts.rf_eliminated.to_le_bytes());
+        buf.extend_from_slice(&ts.rf_candidates.to_le_bytes());
+        buf.extend_from_slice(&ts.depth_min.to_le_bytes());
+        buf.extend_from_slice(&ts.depth_max.to_le_bytes());
+        buf.extend_from_slice(&ts.sketch.to_le_bytes());
+    }
     let checksum = fnv1a(&buf);
     buf.extend_from_slice(&checksum.to_le_bytes());
     buf
@@ -160,6 +187,9 @@ pub struct SegmentIndex {
     /// Total encoded segment size, for stats.
     bytes_len: usize,
     node_count: usize,
+    /// v2 planner statistics; `None` for v1 segments or when the stats
+    /// section failed its sanity checks.
+    stats: Option<SegmentStats>,
     loaded: Mutex<HashMap<String, Arc<[NodeId]>>>,
     terms_loaded: AtomicU64,
 }
@@ -197,6 +227,13 @@ impl<'a> Reader<'a> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
+
+    fn u64_le(&mut self) -> Result<u64, SegmentError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
 }
 
 impl SegmentIndex {
@@ -216,7 +253,7 @@ impl SegmentIndex {
             return Err(SegmentError::BadMagic);
         }
         let version = r.u16_le()?;
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(SegmentError::UnsupportedVersion(version));
         }
         let n = r.u32_le()? as usize;
@@ -274,6 +311,35 @@ impl SegmentIndex {
         }
         let blob_len = r.u32_le()? as usize;
         let blob = r.take(blob_len)?.to_vec();
+        // v2 planner statistics. The section is advisory: a segment whose
+        // stats fail their own sanity checks (only reachable by re-stamped
+        // corruption) still decodes — with `stats: None`, so the planner
+        // falls back to its heuristic default rather than mis-planning.
+        let stats = if version >= 2 {
+            let mut depth_hist = [0u32; DEPTH_BUCKETS];
+            for c in depth_hist.iter_mut() {
+                *c = r.u32_le()?;
+            }
+            let mut terms = Vec::with_capacity(tcount);
+            let mut valid = depth_hist.iter().map(|&c| c as u64).sum::<u64>() == n as u64;
+            for d in &dirs {
+                let ts = TermStats {
+                    rf_eliminated: r.u16_le()?,
+                    rf_candidates: r.u16_le()?,
+                    depth_min: r.u32_le()?,
+                    depth_max: r.u32_le()?,
+                    sketch: r.u64_le()?,
+                };
+                valid &= ts.rf_eliminated <= ts.rf_candidates
+                    && ts.rf_candidates as usize <= RF_SAMPLE
+                    && (d.count == 0
+                        || (ts.depth_min <= ts.depth_max && (ts.depth_max as usize) < n));
+                terms.push(ts);
+            }
+            valid.then_some(SegmentStats { depth_hist, terms })
+        } else {
+            None
+        };
         if r.remaining() > 0 {
             return Err(SegmentError::StructuralError("trailing bytes".into()));
         }
@@ -316,6 +382,7 @@ impl SegmentIndex {
             blob,
             bytes_len: data.len(),
             node_count: n,
+            stats,
             loaded: Mutex::new(HashMap::new()),
             terms_loaded: AtomicU64::new(0),
         })
@@ -348,6 +415,25 @@ impl SegmentIndex {
     /// How many distinct terms have been lazily materialized so far.
     pub fn terms_loaded(&self) -> u64 {
         self.terms_loaded.load(Ordering::Relaxed)
+    }
+
+    /// The planner statistics persisted with this segment, when present
+    /// and sane (`None` for v1 segments and corrupt-but-restamped stats).
+    #[inline]
+    pub fn stats(&self) -> Option<&SegmentStats> {
+        self.stats.as_ref()
+    }
+
+    /// Planner statistics for one term — directory only, no posting
+    /// decode. `None` when the segment carries no stats or the term is
+    /// absent.
+    pub fn term_stats(&self, term: &str) -> Option<TermStats> {
+        let stats = self.stats.as_ref()?;
+        let i = self
+            .term_order
+            .binary_search_by(|t| t.as_str().cmp(term))
+            .ok()?;
+        stats.terms.get(i).copied()
     }
 
     /// Document frequency of a term — directory only, no posting decode.
@@ -425,6 +511,10 @@ impl crate::index::PostingsSource for SegmentIndex {
 
     fn persistent(&self) -> bool {
         true
+    }
+
+    fn term_stats(&self, term: &str) -> Option<TermStats> {
+        SegmentIndex::term_stats(self, term)
     }
 }
 
@@ -538,6 +628,82 @@ mod tests {
         let mut v = bytes.clone();
         v[10..14].copy_from_slice(&3u32.to_le_bytes());
         assert!(SegmentIndex::from_bytes(&restamp(v)).is_err());
+    }
+
+    /// Rewrite a v2 segment as v1: drop the stats section, stamp
+    /// version 1, re-checksum. This is byte-identical to what the v1
+    /// encoder produced, so it exercises true backward compatibility.
+    fn downgrade_to_v1(d: &Document) -> Vec<u8> {
+        let v2 = encode_segment(d);
+        let idx = InvertedIndex::build(d);
+        let stats_len = DEPTH_BUCKETS * 4 + idx.term_count() * 20;
+        let payload_end = v2.len() - 8 - stats_len;
+        let mut v1 = v2[..payload_end].to_vec();
+        v1[4..6].copy_from_slice(&1u16.to_le_bytes());
+        let csum = fnv1a(&v1);
+        v1.extend_from_slice(&csum.to_le_bytes());
+        v1
+    }
+
+    #[test]
+    fn v2_roundtrip_carries_stats() {
+        let d = sample();
+        let idx = InvertedIndex::build(&d);
+        let labels = StructLabels::build(&d);
+        let seg = SegmentIndex::from_bytes(&encode_segment(&d)).unwrap();
+        let stats = seg.stats().expect("v2 segment has stats");
+        assert_eq!(
+            stats.depth_hist.iter().map(|&c| c as usize).sum::<usize>(),
+            d.len()
+        );
+        assert_eq!(stats.terms.len(), idx.term_count());
+        for (term, postings) in idx.terms() {
+            assert_eq!(
+                seg.term_stats(term),
+                Some(compute_term_stats(&labels, postings)),
+                "stats for {term}"
+            );
+        }
+        assert_eq!(seg.term_stats("absent"), None);
+    }
+
+    #[test]
+    fn v1_segments_still_decode_without_stats() {
+        let d = sample();
+        let idx = InvertedIndex::build(&d);
+        let seg = SegmentIndex::from_bytes(&downgrade_to_v1(&d)).unwrap();
+        assert!(seg.stats().is_none());
+        assert_eq!(seg.term_stats("alpha"), None);
+        // Postings and labels are unaffected by the missing stats.
+        assert_eq!(seg.doc_len(), d.len());
+        for (term, postings) in idx.terms() {
+            assert_eq!(&*seg.lookup(term), postings, "postings {term}");
+        }
+        assert_eq!(seg.labels(), &StructLabels::build(&d));
+    }
+
+    #[test]
+    fn restamped_stats_corruption_decodes_without_stats() {
+        let d = sample();
+        let good = encode_segment(&d);
+        let idx = InvertedIndex::build(&d);
+        let stats_start = good.len() - 8 - (DEPTH_BUCKETS * 4 + idx.term_count() * 20);
+        // Stomp the depth histogram so it no longer sums to the node
+        // count: the section fails validation, the segment still loads.
+        let mut v = good.clone();
+        v[stats_start..stats_start + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let seg = SegmentIndex::from_bytes(&restamp(v)).unwrap();
+        assert!(seg.stats().is_none());
+        // Stomp one term's rf counters so eliminated > candidates.
+        let mut v = good.clone();
+        let t0 = stats_start + DEPTH_BUCKETS * 4;
+        v[t0..t0 + 4].copy_from_slice(&[0xff, 0xff, 0x00, 0x00]);
+        let seg = SegmentIndex::from_bytes(&restamp(v)).unwrap();
+        assert!(seg.stats().is_none());
+        // Either way answers are unaffected.
+        for (term, postings) in idx.terms() {
+            assert_eq!(&*seg.lookup(term), postings);
+        }
     }
 
     #[test]

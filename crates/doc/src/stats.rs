@@ -1,0 +1,232 @@
+//! Index-time statistics for the §5 cost model.
+//!
+//! The planner (core) needs, per term: how much `⊖` (fragment-set
+//! reduce) would shrink the operand set (the paper's reduction factor
+//! `RF = (a − b)/a`), how deep the postings sit, and a cheap overlap
+//! summary for join-cardinality guesses. All three are computable at
+//! `xfrag index` time from the structural labels alone, because every
+//! posting is a *single-node* fragment: the join of two single-node
+//! fragments ⟨a⟩ ⋈ ⟨b⟩ is exactly the inclusive tree path between
+//! `a` and `b`, and membership of a third node on that path is O(1)
+//! label arithmetic — no fragment materialization at all.
+//!
+//! The RF estimate here replicates `core`'s sampled estimator
+//! **step for step** (same stride, same candidate and pair pools, same
+//! elimination predicate), and the segment stores the raw
+//! `(eliminated, candidates)` integers rather than a rounded ratio, so
+//! a plan computed from a v2 segment is bit-identical to one computed
+//! live from in-memory postings.
+
+use crate::label::StructLabels;
+use crate::store::fnv1a;
+use crate::tree::NodeId;
+
+/// Sample size used for the index-time RF estimate. Must match the
+/// query-time estimator's sample (`CostModel::rf_sample` defaults to
+/// this) for segment-backed and in-memory plans to agree exactly; the
+/// planner only trusts segment stats when the samples match.
+pub const RF_SAMPLE: usize = 32;
+
+/// Number of buckets in the per-document depth histogram; depths at or
+/// beyond the last bucket are clamped into it.
+pub const DEPTH_BUCKETS: usize = 16;
+
+/// Per-term statistics persisted in a v2 `.xidx` segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TermStats {
+    /// Sampled candidates eliminated by some sampled pair's join.
+    pub rf_eliminated: u16,
+    /// Sampled candidate count (0 when the set is too small to reduce).
+    pub rf_candidates: u16,
+    /// Minimum posting depth (root = 0); 0 when the term has no postings.
+    pub depth_min: u32,
+    /// Maximum posting depth; 0 when the term has no postings.
+    pub depth_max: u32,
+    /// 64-bit bitmap of hashed posting node ids, for overlap estimates.
+    pub sketch: u64,
+}
+
+impl TermStats {
+    /// The sampled reduction factor `RF = eliminated / candidates`
+    /// (0 when nothing was sampled — sets of ≤ 2 never reduce).
+    pub fn rf(&self) -> f64 {
+        if self.rf_candidates == 0 {
+            0.0
+        } else {
+            self.rf_eliminated as f64 / self.rf_candidates as f64
+        }
+    }
+
+    /// Depth spread of the postings (`depth_max − depth_min`).
+    pub fn depth_span(&self) -> u32 {
+        self.depth_max.saturating_sub(self.depth_min)
+    }
+
+    /// Estimated number of shared posting nodes with another term:
+    /// popcount of the sketch intersection (an upper-bound style guess,
+    /// good enough to rank join cardinalities).
+    pub fn overlap_estimate(&self, other: &TermStats) -> u32 {
+        (self.sketch & other.sketch).count_ones()
+    }
+}
+
+/// Document-level + per-term statistics, as stored in a segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentStats {
+    /// Node count per depth bucket (depth clamped to the last bucket);
+    /// sums to the document's node count.
+    pub depth_hist: [u32; DEPTH_BUCKETS],
+    /// Per-term stats, parallel to the segment's lexicographic term
+    /// directory.
+    pub terms: Vec<TermStats>,
+}
+
+/// 64-bit membership sketch of a posting list: one hashed bit per node.
+pub fn term_sketch(postings: &[NodeId]) -> u64 {
+    let mut sketch = 0u64;
+    for n in postings {
+        sketch |= 1u64 << (fnv1a(&n.0.to_le_bytes()) % 64);
+    }
+    sketch
+}
+
+/// Depth histogram over every node of the document.
+pub fn depth_histogram(labels: &StructLabels) -> [u32; DEPTH_BUCKETS] {
+    let mut hist = [0u32; DEPTH_BUCKETS];
+    for i in 0..labels.len() {
+        let d = (labels.depth(NodeId(i as u32)) as usize).min(DEPTH_BUCKETS - 1);
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Is `c` on the inclusive tree path between `a` and `b`? Equivalent to
+/// `⟨c⟩ ⊆ ⟨a⟩ ⋈ ⟨b⟩` for single-node fragments: `c` must be an
+/// ancestor-or-self of one endpoint and a descendant-or-self of their
+/// LCA.
+fn on_path(labels: &StructLabels, c: NodeId, a: NodeId, b: NodeId) -> bool {
+    (labels.is_ancestor_or_self(c, a) || labels.is_ancestor_or_self(c, b))
+        && labels.is_ancestor_or_self(labels.lca(a, b), c)
+}
+
+/// Compute the stats for one term's posting list.
+///
+/// The RF loop mirrors the query-time estimator exactly: evenly-strided
+/// candidate and pair pools of up to [`RF_SAMPLE`] postings each, a
+/// candidate counts as eliminated when *any* sampled pair's join
+/// contains it, and sets of ≤ 2 postings never reduce.
+pub fn compute_term_stats(labels: &StructLabels, postings: &[NodeId]) -> TermStats {
+    let (depth_min, depth_max) = postings.iter().fold((u32::MAX, 0u32), |(lo, hi), &n| {
+        let d = labels.depth(n);
+        (lo.min(d), hi.max(d))
+    });
+    let (depth_min, depth_max) = if postings.is_empty() {
+        (0, 0)
+    } else {
+        (depth_min, depth_max)
+    };
+
+    let n = postings.len();
+    let (mut eliminated, mut candidates) = (0u16, 0u16);
+    if n > 2 {
+        let stride = n.div_ceil(RF_SAMPLE).max(1);
+        let pool: Vec<usize> = (0..n).step_by(stride).collect();
+        candidates = pool.len() as u16;
+        'cand: for &ci in &pool {
+            for (ii, &i) in pool.iter().enumerate() {
+                if i == ci {
+                    continue;
+                }
+                for &j in &pool[ii + 1..] {
+                    if j == ci {
+                        continue;
+                    }
+                    if on_path(labels, postings[ci], postings[i], postings[j]) {
+                        eliminated += 1;
+                        continue 'cand;
+                    }
+                }
+            }
+        }
+    }
+
+    TermStats {
+        rf_eliminated: eliminated,
+        rf_candidates: candidates,
+        depth_min,
+        depth_max,
+        sketch: term_sketch(postings),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_str;
+
+    #[test]
+    fn chain_postings_reduce_heavily() {
+        // r -> a -> b -> c -> d: every interior node of the chain lies on
+        // the path between its neighbours.
+        let d = parse_str("<r><a><b><c><d/></c></b></a></r>").unwrap();
+        let labels = StructLabels::build(&d);
+        let postings: Vec<NodeId> = (0..5).map(NodeId).collect();
+        let ts = compute_term_stats(&labels, &postings);
+        assert_eq!(ts.rf_candidates, 5);
+        // Ends of the chain can never be inside a path of other nodes.
+        assert_eq!(ts.rf_eliminated, 3);
+        assert!((ts.rf() - 0.6).abs() < 1e-9);
+        assert_eq!((ts.depth_min, ts.depth_max), (0, 4));
+        assert_eq!(ts.depth_span(), 4);
+    }
+
+    #[test]
+    fn scattered_leaves_do_not_reduce() {
+        let d = parse_str("<r><a/><b/><c/></r>").unwrap();
+        let labels = StructLabels::build(&d);
+        let postings: Vec<NodeId> = (1..4).map(NodeId).collect();
+        let ts = compute_term_stats(&labels, &postings);
+        assert_eq!(ts.rf_eliminated, 0);
+        assert_eq!(ts.rf(), 0.0);
+        assert_eq!((ts.depth_min, ts.depth_max), (1, 1));
+    }
+
+    #[test]
+    fn tiny_and_empty_sets_have_no_rf_sample() {
+        let d = parse_str("<r><a/></r>").unwrap();
+        let labels = StructLabels::build(&d);
+        for postings in [vec![], vec![NodeId(0)], vec![NodeId(0), NodeId(1)]] {
+            let ts = compute_term_stats(&labels, &postings);
+            assert_eq!(ts.rf_candidates, 0);
+            assert_eq!(ts.rf(), 0.0);
+        }
+    }
+
+    #[test]
+    fn sketch_overlap_tracks_shared_postings() {
+        let a = term_sketch(&[NodeId(1), NodeId(2), NodeId(3)]);
+        let b = term_sketch(&[NodeId(2), NodeId(3), NodeId(9)]);
+        let ta = TermStats {
+            rf_eliminated: 0,
+            rf_candidates: 0,
+            depth_min: 0,
+            depth_max: 0,
+            sketch: a,
+        };
+        let tb = TermStats { sketch: b, ..ta };
+        assert!(ta.overlap_estimate(&tb) >= 2);
+        assert_eq!(ta.overlap_estimate(&ta), a.count_ones());
+        assert_eq!(term_sketch(&[]), 0);
+    }
+
+    #[test]
+    fn depth_histogram_sums_to_node_count_and_clamps() {
+        let d = parse_str("<r><a><b/></a><c/></r>").unwrap();
+        let labels = StructLabels::build(&d);
+        let hist = depth_histogram(&labels);
+        assert_eq!(hist.iter().map(|&c| c as usize).sum::<usize>(), d.len());
+        assert_eq!(hist[0], 1);
+        assert_eq!(hist[1], 2);
+        assert_eq!(hist[2], 1);
+    }
+}
